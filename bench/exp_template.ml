@@ -1,0 +1,36 @@
+(* Template-polyhedron refinement of the reach set (the extension
+   sketched at the end of Sec. IV-C): the rectangle from coordinate
+   bounds vs k-direction support-function polyhedra vs the inner
+   Monte-Carlo reach hull.  Soundness sandwich:
+   inner hull <= template_16 <= template_8 <= rectangle. *)
+open Umf
+
+let run () =
+  Common.banner "TEMPLATE: polyhedral reach sets of the SIR inclusion";
+  let p = Sir.default_params in
+  let di = Sir.di p in
+  List.iter
+    (fun horizon ->
+      let area_of dirs =
+        Template.area_2d
+          (Template.compute ~steps:200 di ~x0:Sir.x0 ~horizon ~directions:dirs)
+      in
+      let rect = area_of (Template.axis_directions 2) in
+      let oct = area_of (Template.directions_2d 8) in
+      let hexdec = area_of (Template.directions_2d 16) in
+      let inner =
+        Geometry.polygon_area
+          (Reach.hull_2d di ~x0:Sir.x0 ~horizon ~n_controls:400 (Rng.create 5))
+      in
+      Printf.printf
+        "T=%g: rectangle %.5f  8-dir %.5f  16-dir %.5f  inner MC hull %.5f\n"
+        horizon rect oct hexdec inner;
+      Common.claim
+        (Printf.sprintf "templates refine the rectangle (T=%g)" horizon)
+        (hexdec <= oct +. 1e-9 && oct <= rect +. 1e-9 && hexdec < 0.9 *. rect)
+        (Printf.sprintf "16-dir/rect = %.2f" (hexdec /. rect));
+      Common.claim
+        (Printf.sprintf "templates contain the inner reach hull (T=%g)" horizon)
+        (inner <= hexdec +. 1e-6)
+        (Printf.sprintf "inner/16-dir = %.2f" (inner /. hexdec)))
+    [ 1.; 3. ]

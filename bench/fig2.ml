@@ -1,0 +1,45 @@
+(* Figure 2: extremal trajectories attaining the maximum / minimum
+   number of infected nodes at T = 3, and their bang-bang switching
+   times.  Paper: max switches theta_min -> theta_max near t = 2.25;
+   min switches at ~0.7 and ~2.2. *)
+open Umf
+
+let print_traj label (r : Pontryagin.result) =
+  Common.banner label;
+  Common.header [ "t"; "xS"; "xI"; "theta" ];
+  Array.iteri
+    (fun i t ->
+      if i mod 15 = 0 || i = Array.length r.Pontryagin.times - 1 then begin
+        let th =
+          if i < Array.length r.Pontryagin.control then
+            r.Pontryagin.control.(i).(0)
+          else r.Pontryagin.control.(i - 1).(0)
+        in
+        Printf.printf "%.3f\t%.4f\t%.4f\t%.2f\n" t r.Pontryagin.x.(i).(0)
+          r.Pontryagin.x.(i).(1) th
+      end)
+    r.Pontryagin.times
+
+let run () =
+  let p = Sir.default_params in
+  let di = Sir.di p in
+  let rmax = Pontryagin.solve ~steps:300 di ~x0:Sir.x0 ~horizon:3. ~sense:`Max (`Coord 1) in
+  let rmin = Pontryagin.solve ~steps:300 di ~x0:Sir.x0 ~horizon:3. ~sense:`Min (`Coord 1) in
+  print_traj "FIG2a: trajectory maximising x_I(3)" rmax;
+  print_traj "FIG2b: trajectory minimising x_I(3)" rmin;
+  let sw_max = Pontryagin.switch_times rmax ~coord:0 in
+  let sw_min = Pontryagin.switch_times rmin ~coord:0 in
+  let show l = String.concat ", " (List.map (Printf.sprintf "%.3f") l) in
+  Printf.printf "\nmax x_I(3) = %.4f, switches at [%s]\n" rmax.Pontryagin.value (show sw_max);
+  Printf.printf "min x_I(3) = %.4f, switches at [%s]\n" rmin.Pontryagin.value (show sw_min);
+  Common.claim "max control: single switch near 2.25 (paper: 2.25)"
+    (match sw_max with [ s ] -> s > 2.0 && s < 2.5 | _ -> false)
+    (show sw_max);
+  Common.claim "min control: switches near 0.7 and 2.2 (paper: 0.7, 2.2)"
+    (match sw_min with
+    | [ s1; s2 ] -> s1 > 0.4 && s1 < 1.0 && s2 > 1.9 && s2 < 2.4
+    | _ -> false)
+    (show sw_min);
+  Common.claim "both sweeps converged"
+    (rmax.Pontryagin.converged && rmin.Pontryagin.converged)
+    (Printf.sprintf "iters %d / %d" rmax.Pontryagin.iterations rmin.Pontryagin.iterations)

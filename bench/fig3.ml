@@ -1,0 +1,33 @@
+(* Figure 3: steady-state regions of the SIR model with
+   theta_max = 10 theta_min: Birkhoff centre of the imprecise model
+   (convex region) vs the equilibrium curve of the uncertain model. *)
+open Umf
+
+let run () =
+  Common.banner "FIG3: SIR steady state, imprecise region vs uncertain curve";
+  let p = Sir.default_params in
+  let di = Sir.di p in
+  let b = Birkhoff.compute di ~x_start:Sir.x0 in
+  let eqs = Uncertain.equilibria ~grid:21 di ~x0:Sir.x0 in
+  print_endline "# uncertain equilibrium curve (one point per constant theta)";
+  Common.series [ "xS_eq"; "xI_eq" ] (List.map (fun e -> [ e.(0); e.(1) ]) eqs);
+  print_endline "# imprecise Birkhoff-centre boundary (convex polygon)";
+  let boundary = Geometry.resample_boundary b.Birkhoff.polygon 40 in
+  Common.series [ "xS"; "xI" ] (List.map (fun (x, y) -> [ x; y ]) boundary);
+  let (bxmin, _), (bxmax, bymax) = Geometry.bounding_box b.Birkhoff.polygon in
+  let exmin = List.fold_left (fun a e -> Float.min a e.(0)) 1. eqs in
+  let eymax = List.fold_left (fun a e -> Float.max a e.(1)) 0. eqs in
+  Printf.printf "\nregion area %.4f, xS in [%.3f, %.3f], xI max %.3f\n"
+    (Birkhoff.area b) bxmin bxmax bymax;
+  Common.claim "uncertain equilibria inside imprecise region"
+    (List.for_all (fun e -> Birkhoff.contains ~tol:3e-3 b (e.(0), e.(1))) eqs)
+    (Printf.sprintf "%d equilibria" (List.length eqs));
+  Common.claim "region reaches smaller xS than any uncertain equilibrium"
+    (bxmin < exmin -. 0.02)
+    (Printf.sprintf "%.3f vs %.3f" bxmin exmin);
+  Common.claim "region reaches larger xI than any uncertain equilibrium"
+    (bymax > eymax +. 0.02)
+    (Printf.sprintf "%.3f vs %.3f" bymax eymax);
+  Common.claim "expansion converged (no outward drift left)"
+    (not b.Birkhoff.escaped)
+    (Printf.sprintf "%d rounds" b.Birkhoff.rounds)

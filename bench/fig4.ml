@@ -1,0 +1,51 @@
+(* Figure 4: transient differential-hull approximation vs the exact
+   imprecise bounds (Pontryagin) for theta_max in {2, 5, 6} over
+   t in [0, 10].  Paper: hull accurate at 2, loose at 5, trivial at 6. *)
+open Umf
+
+let run () =
+  let p0 = Sir.default_params in
+  let clip = Optim.Box.make [| 0.; 0. |] [| 1.; 1. |] in
+  let widths =
+    List.map
+      (fun theta_max ->
+        let p = { p0 with Sir.theta_max } in
+        let di = Sir.di p in
+        Common.banner
+          (Printf.sprintf "FIG4: hull vs imprecise bounds, theta_max = %g" theta_max);
+        let h = Hull.bounds ~clip di ~x0:Sir.x0 ~horizon:10. ~dt:0.02 in
+        let times = Vec.linspace 0. 10. 11 in
+        let imp = Pontryagin.bound_series ~steps:300 di ~x0:Sir.x0 ~coord:1 ~times in
+        Common.series
+          [ "t"; "xI_lo_hull"; "xI_hi_hull"; "xI_lo_exact"; "xI_hi_exact" ]
+          (Array.to_list
+             (Array.mapi
+                (fun i t ->
+                  let ilo, ihi = imp.(i) in
+                  [ t; (Hull.lower_at h t).(1); (Hull.upper_at h t).(1); ilo; ihi ])
+                times));
+        let sound =
+          Array.for_all
+            (fun i ->
+              let t = times.(i) in
+              let ilo, ihi = imp.(i) in
+              (Hull.lower_at h t).(1) <= ilo +. 1e-3
+              && (Hull.upper_at h t).(1) >= ihi -. 1e-3)
+            (Array.init (Array.length times) Fun.id)
+        in
+        Common.claim
+          (Printf.sprintf "hull is a sound over-approximation (theta_max=%g)" theta_max)
+          sound "hull contains exact interval";
+        (Hull.final_width h).(1))
+      [ 2.; 5.; 6. ]
+  in
+  match widths with
+  | [ w2; w5; w6 ] ->
+      Common.claim "hull tight at theta_max=2 (paper: accurate)" (w2 < 0.1)
+        (Printf.sprintf "final xI width %.3f" w2);
+      Common.claim "hull loose at theta_max=5 (paper: [.02, 1.17]-like)"
+        (w5 > 0.1)
+        (Printf.sprintf "final xI width %.3f" w5);
+      Common.claim "hull trivial at theta_max=6 (paper: [0, 1])" (w6 > 0.9)
+        (Printf.sprintf "final xI width %.3f" w6)
+  | _ -> ()

@@ -1,0 +1,48 @@
+(* Figure 5: steady-state comparison of the uncertain equilibrium
+   curve, the imprecise Birkhoff centre and the differential-hull
+   rectangle, for theta_max in {2, 3, 4, 5}.  Paper: the hull rectangle
+   degrades non-linearly in theta_max. *)
+open Umf
+
+let run () =
+  let p0 = Sir.default_params in
+  let clip = Optim.Box.make [| 0.; 0. |] [| 1.; 1. |] in
+  List.iter
+    (fun theta_max ->
+      let p = { p0 with Sir.theta_max } in
+      let di = Sir.di p in
+      Common.banner (Printf.sprintf "FIG5: steady state, theta_max = %g" theta_max);
+      let b = Birkhoff.compute di ~x_start:Sir.x0 in
+      let (bxmin, bymin), (bxmax, bymax) = Geometry.bounding_box b.Birkhoff.polygon in
+      (* hull integrated to (near) stationarity gives the rectangle *)
+      let h = Hull.bounds ~clip di ~x0:Sir.x0 ~horizon:60. ~dt:0.02 in
+      let hlo = Hull.lower_at h 60. and hhi = Hull.upper_at h 60. in
+      let eqs = Uncertain.equilibria ~grid:11 di ~x0:Sir.x0 in
+      let exmin = List.fold_left (fun a e -> Float.min a e.(0)) 1. eqs in
+      let exmax = List.fold_left (fun a e -> Float.max a e.(0)) 0. eqs in
+      Printf.printf "uncertain curve: xS in [%.3f, %.3f]\n" exmin exmax;
+      Printf.printf "imprecise region: xS in [%.3f, %.3f], xI in [%.3f, %.3f], area %.4f\n"
+        bxmin bxmax bymin bymax (Birkhoff.area b);
+      Printf.printf "hull rectangle: xS in [%.3f, %.3f], xI in [%.3f, %.3f]\n"
+        hlo.(0) hhi.(0) hlo.(1) hhi.(1);
+      let hull_area = (hhi.(0) -. hlo.(0)) *. (hhi.(1) -. hlo.(1)) in
+      Common.claim
+        (Printf.sprintf "hull rectangle contains imprecise region (tm=%g)" theta_max)
+        (hlo.(0) <= bxmin +. 5e-3 && hhi.(0) >= bxmax -. 5e-3
+        && hlo.(1) <= bymin +. 5e-3 && hhi.(1) >= bymax -. 5e-3)
+        (Printf.sprintf "areas %.4f vs %.4f" hull_area (Birkhoff.area b)))
+    [ 2.; 3.; 4.; 5. ];
+  (* degradation summary *)
+  let hull_slack theta_max =
+    let p = { p0 with Sir.theta_max } in
+    let di = Sir.di p in
+    let b = Birkhoff.compute di ~x_start:Sir.x0 in
+    let h = Hull.bounds ~clip di ~x0:Sir.x0 ~horizon:60. ~dt:0.02 in
+    let hlo = Hull.lower_at h 60. and hhi = Hull.upper_at h 60. in
+    let hull_area = (hhi.(0) -. hlo.(0)) *. (hhi.(1) -. hlo.(1)) in
+    hull_area /. Float.max 1e-9 (Birkhoff.area b)
+  in
+  let s2 = hull_slack 2. and s5 = hull_slack 5. in
+  Common.claim "hull/Birkhoff area ratio degrades sharply from 2 to 5"
+    (s5 > 2. *. s2)
+    (Printf.sprintf "ratio %.1f at tm=2 vs %.1f at tm=5" s2 s5)

@@ -1,0 +1,57 @@
+(* Experiment harness: regenerates the data behind every table and
+   figure of the paper's evaluation (Secs. V and VI).
+
+   Usage: main.exe [experiment ...]
+   with experiments among fig1 fig2 fig3 fig4 fig5 fig6 fig7 tune kolm
+   conv template hier certified ablation perf; no argument runs
+   everything. *)
+
+let experiments =
+  [
+    ("fig1", Fig1.run);
+    ("fig2", Fig2.run);
+    ("fig3", Fig3.run);
+    ("fig4", Fig4.run);
+    ("fig5", Fig5.run);
+    ("fig6", Fig6.run);
+    ("fig7", Fig7.run);
+    ("tune", Tune.run);
+    ("kolm", Kolm.run);
+    ("conv", Conv.run);
+    ("template", Exp_template.run);
+    ("hier", Exp_hier.run);
+    ("certified", Exp_certified.run);
+    ("safety", Exp_safety.run);
+    ("lb", Exp_lb.run);
+    ("ablation", Ablation.run);
+    ("perf", Perf.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  (* optional: --dump DIR writes each printed series as gnuplot-ready
+     .dat/.gp files *)
+  let args =
+    match args with
+    | "--dump" :: dir :: rest ->
+        Common.set_dump (Some dir);
+        rest
+    | rest -> rest
+  in
+  let requested =
+    match args with [] -> List.map fst experiments | names -> names
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run ->
+          let t = Unix.gettimeofday () in
+          run ();
+          Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t)
+      | None ->
+          Printf.eprintf "unknown experiment %s (known: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    requested;
+  Printf.printf "\nall experiments completed in %.1fs\n" (Unix.gettimeofday () -. t0)

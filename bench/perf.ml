@@ -1,0 +1,93 @@
+(* Bechamel timing of each solver on its paper workload.  One
+   Test.make per experiment kernel; estimates printed as ms/run via OLS
+   on the monotonic clock. *)
+open Umf
+open Bechamel
+open Toolkit
+
+let p = Sir.default_params
+
+let di = Sir.di p
+
+let model = Sir.model p
+
+let gps = Gps.default_params
+
+let clip = Optim.Box.make [| 0.; 0. |] [| 1.; 1. |]
+
+let tests =
+  [
+    Test.make ~name:"fig1:pontryagin-max-xI(3)"
+      (Staged.stage (fun () ->
+           Pontryagin.solve ~steps:300 di ~x0:Sir.x0 ~horizon:3. ~sense:`Max
+             (`Coord 1)));
+    Test.make ~name:"fig1:uncertain-envelope-21"
+      (Staged.stage (fun () ->
+           Uncertain.transient_envelope ~grid:21 di ~x0:Sir.x0
+             ~times:[| 1.; 2.; 3.; 4. |]));
+    Test.make ~name:"fig4:hull-T10"
+      (Staged.stage (fun () ->
+           Hull.bounds ~clip di ~x0:Sir.x0 ~horizon:10. ~dt:0.02));
+    Test.make ~name:"fig3:birkhoff-centre"
+      (Staged.stage (fun () -> Birkhoff.compute di ~x_start:Sir.x0));
+    Test.make ~name:"fig6:ssa-N1000-T10"
+      (Staged.stage
+         (let rng = Rng.create 99 in
+          fun () ->
+            Ssa.final model ~n:1000 ~x0:Sir.x0 ~policy:(Sir.policy_theta1 p)
+              ~tmax:10. rng));
+    Test.make ~name:"fig7:pontryagin-gps-map"
+      (Staged.stage (fun () ->
+           Pontryagin.solve ~steps:250 (Gps.map_di gps) ~x0:Gps.x0_map
+             ~horizon:2. ~sense:`Max (`Coord 0)));
+    Test.make ~name:"kolm:lower-expectation-N20-T5"
+      (Staged.stage
+         (let m = Bikesharing.ictmc Bikesharing.default_params ~capacity:20 in
+          let h = Bikesharing.occupancy_reward ~capacity:20 in
+          fun () -> Imprecise_ctmc.lower_expectation m ~h ~horizon:5.));
+    Test.make ~name:"substrate:rk45-sir"
+      (Staged.stage (fun () ->
+           Ode.integrate_adaptive
+             (fun _t x -> Sir.drift p x [| 5. |])
+             ~t0:0. ~y0:Sir.x0 ~t1:10.));
+    Test.make ~name:"template:16-dir-sir-T2"
+      (Staged.stage (fun () ->
+           Template.compute ~steps:150 di ~x0:Sir.x0 ~horizon:2.
+             ~directions:(Template.directions_2d 16)));
+    Test.make ~name:"kolm:interval-dtmc-1000-steps"
+      (Staged.stage
+         (let m = Bikesharing.ictmc Bikesharing.default_params ~capacity:20 in
+          let dtmc = Interval_dtmc.of_imprecise_ctmc m ~dt:0.005 in
+          let h = Bikesharing.occupancy_reward ~capacity:20 in
+          fun () -> Interval_dtmc.lower_expectation dtmc ~h ~steps:1000));
+    Test.make ~name:"certified:interval-hull-cholera-T3"
+      (Staged.stage
+         (let s = Cholera.symbolic Cholera.default_params in
+          fun () ->
+            Certified.hull_bounds ~clip:Cholera.state_clip s ~x0:Cholera.x0
+              ~horizon:3. ~dt:0.01));
+  ]
+
+let run () =
+  Common.banner "PERF: solver timings (Bechamel, OLS ms/run)";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"umf" ~fmt:"%s/%s" tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> rows := (name, est /. 1e6) :: !rows
+      | Some [] | None -> ())
+    results;
+  Common.header [ "kernel"; "ms/run" ];
+  List.iter
+    (fun (name, ms) -> Printf.printf "%s\t%.3f\n" name ms)
+    (List.sort compare !rows)

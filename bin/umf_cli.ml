@@ -1,0 +1,341 @@
+(* Command-line front end: analyse the bundled models without writing
+   OCaml.
+
+     umf_cli list
+     umf_cli bounds --model sir --var I --horizon 4 --points 20
+     umf_cli bounds --model sir --var I --scenario uncertain
+     umf_cli bounds --model sir --var I --scenario pw:3
+     umf_cli hull --model sir --horizon 10
+     umf_cli steady --model sir
+     umf_cli simulate --model sir --n 1000 --tmax 20 --policy theta1 *)
+open Umf
+open Cmdliner
+
+type entry = {
+  model : Population.t;
+  di : Di.t;
+  x0 : Vec.t;
+  clip : Optim.Box.t option;
+  policies : (string * Policy.t) list;
+}
+
+let registry () =
+  let sirp = Sir.default_params in
+  let sir =
+    {
+      model = Sir.model sirp;
+      di = Sir.di sirp;
+      x0 = Sir.x0;
+      clip = Some (Optim.Box.make [| 0.; 0. |] [| 1.; 1. |]);
+      policies =
+        [ ("theta1", Sir.policy_theta1 sirp); ("theta2", Sir.policy_theta2 sirp) ];
+    }
+  in
+  let sisp = Sis.default_params in
+  let sis =
+    {
+      model = Sis.model sisp;
+      di = Sis.di sisp;
+      x0 = Sis.x0;
+      clip = Some (Optim.Box.make [| 0. |] [| 1. |]);
+      policies = [];
+    }
+  in
+  let bikep = Bikesharing.default_params in
+  let bike =
+    {
+      model = Bikesharing.model bikep;
+      di = Bikesharing.di bikep;
+      x0 = [| 0.5 |];
+      clip = Some (Optim.Box.make [| 0. |] [| 1. |]);
+      policies = [];
+    }
+  in
+  let cholp = Cholera.default_params in
+  let cholera =
+    {
+      model = Cholera.model cholp;
+      di = Cholera.di cholp;
+      x0 = Cholera.x0;
+      clip = Some Cholera.state_clip;
+      policies = [];
+    }
+  in
+  let gpsp = Gps.default_params in
+  let gps_poisson =
+    {
+      model = Gps.poisson_model gpsp;
+      di = Gps.poisson_di gpsp;
+      x0 = Gps.x0_poisson;
+      clip = Some (Optim.Box.make [| 0.; 0. |] [| 1.; 1. |]);
+      policies = [];
+    }
+  in
+  let gps_map =
+    {
+      model = Gps.map_model gpsp;
+      di = Gps.map_di gpsp;
+      x0 = Gps.x0_map;
+      clip = Some (Optim.Box.make (Vec.zeros 4) (Vec.create 4 1.));
+      policies = [];
+    }
+  in
+  let lbp = Loadbalance.default_params in
+  let loadbalance =
+    {
+      model = Loadbalance.model lbp;
+      di = Loadbalance.di lbp;
+      x0 = Loadbalance.x0_empty lbp;
+      clip =
+        Some
+          (Optim.Box.make
+             (Vec.zeros lbp.Loadbalance.k_max)
+             (Vec.create lbp.Loadbalance.k_max 1.));
+      policies = [];
+    }
+  in
+  [
+    ("sir", sir);
+    ("sis", sis);
+    ("bike", bike);
+    ("cholera", cholera);
+    ("gps-poisson", gps_poisson);
+    ("gps-map", gps_map);
+    ("jsq2", loadbalance);
+  ]
+
+let lookup_model name =
+  match List.assoc_opt name (registry ()) with
+  | Some e -> Ok e
+  | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown model %s (try: %s)" name
+             (String.concat ", " (List.map fst (registry ())))))
+
+let var_index entry name =
+  let names = entry.model.Population.var_names in
+  let found = ref None in
+  Array.iteri (fun i n -> if n = name then found := Some i) names;
+  match !found with
+  | Some i -> Ok i
+  | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown variable %s (model has: %s)" name
+             (String.concat ", " (Array.to_list names))))
+
+let parse_scenario = function
+  | "imprecise" -> Ok Scenario.Imprecise
+  | "uncertain" -> Ok Scenario.Uncertain
+  | s when String.length s > 3 && String.sub s 0 3 = "pw:" -> (
+      match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
+      | Some k when k >= 1 -> Ok (Scenario.Piecewise k)
+      | _ -> Error (`Msg "pw:<k> needs a positive integer"))
+  | s -> Error (`Msg (Printf.sprintf "unknown scenario %s" s))
+
+(* common args *)
+let model_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Model name (see `list').")
+
+let horizon_arg default =
+  Arg.(value & opt float default & info [ "horizon" ] ~docv:"T" ~doc:"Time horizon.")
+
+let exit_of_result = function
+  | Ok () -> ()
+  | Error (`Msg m) ->
+      Printf.eprintf "error: %s\n" m;
+      exit 1
+
+(* list command *)
+let list_cmd =
+  let doc = "List the bundled models, their variables and policies." in
+  let run () =
+    List.iter
+      (fun (name, e) ->
+        Printf.printf "%-12s vars: %s; theta: %s; policies: %s\n" name
+          (String.concat ", " (Array.to_list e.model.Population.var_names))
+          (String.concat ", " (Array.to_list e.model.Population.theta_names))
+          (match e.policies with
+          | [] -> "(constant/feedback only)"
+          | ps -> String.concat ", " (List.map fst ps)))
+      (registry ())
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* bounds command *)
+let bounds_cmd =
+  let doc = "Reachability envelope of one variable over time." in
+  let var_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "var" ] ~docv:"VAR" ~doc:"Variable name.")
+  in
+  let scenario_arg =
+    Arg.(
+      value & opt string "imprecise"
+      & info [ "scenario" ] ~docv:"S"
+          ~doc:"imprecise | uncertain | pw:<k> (piecewise-constant).")
+  in
+  let points_arg =
+    Arg.(value & opt int 11 & info [ "points" ] ~docv:"N" ~doc:"Sample times.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 300 & info [ "steps" ] ~docv:"K" ~doc:"Pontryagin grid.")
+  in
+  let run model var scenario horizon points steps =
+    exit_of_result
+      (let ( let* ) = Result.bind in
+       let* entry = lookup_model model in
+       let* coord = var_index entry var in
+       let* scen = parse_scenario scenario in
+       if points < 2 then Error (`Msg "need at least 2 points")
+       else begin
+         let times = Vec.linspace 0. horizon points in
+         Printf.printf "t\t%s_min\t%s_max\n" var var;
+         Array.iter
+           (fun t ->
+             if t <= 0. then
+               Printf.printf "%.3f\t%.5f\t%.5f\n" t entry.x0.(coord)
+                 entry.x0.(coord)
+             else begin
+               let lo, hi =
+                 Scenario.extremal_coord ~steps scen entry.di ~x0:entry.x0
+                   ~coord ~horizon:t
+               in
+               Printf.printf "%.3f\t%.5f\t%.5f\n" t lo hi
+             end)
+           times;
+         Ok ()
+       end)
+  in
+  Cmd.v (Cmd.info "bounds" ~doc)
+    Term.(
+      const run $ model_arg $ var_arg $ scenario_arg $ horizon_arg 4.
+      $ points_arg $ steps_arg)
+
+(* hull command *)
+let hull_cmd =
+  let doc = "Differential-hull rectangle over time (fast, conservative)." in
+  let dt_arg =
+    Arg.(value & opt float 0.02 & info [ "dt" ] ~docv:"DT" ~doc:"Hull step.")
+  in
+  let run model horizon dt =
+    exit_of_result
+      (let ( let* ) = Result.bind in
+       let* entry = lookup_model model in
+       let h =
+         Hull.bounds ?clip:entry.clip entry.di ~x0:entry.x0 ~horizon ~dt
+       in
+       let names = entry.model.Population.var_names in
+       print_string "t";
+       Array.iter (fun n -> Printf.printf "\t%s_lo\t%s_hi" n n) names;
+       print_newline ();
+       Array.iter
+         (fun t ->
+           Printf.printf "%.3f" t;
+           let lo = Hull.lower_at h t and hi = Hull.upper_at h t in
+           Array.iteri (fun i _ -> Printf.printf "\t%.5f\t%.5f" lo.(i) hi.(i)) names;
+           print_newline ())
+         (Vec.linspace 0. horizon 11);
+       Ok ())
+  in
+  Cmd.v (Cmd.info "hull" ~doc) Term.(const run $ model_arg $ horizon_arg 10. $ dt_arg)
+
+(* steady command *)
+let steady_cmd =
+  let doc = "Steady-state Birkhoff region of a 2-variable model." in
+  let run model =
+    exit_of_result
+      (let ( let* ) = Result.bind in
+       let* entry = lookup_model model in
+       if Population.dim entry.model <> 2 then
+         Error (`Msg "steady-state regions are computed for 2-variable models")
+       else begin
+         let b = Birkhoff.compute entry.di ~x_start:entry.x0 in
+         Printf.printf "# area %.5f, %d boundary vertices, converged %b\n"
+           (Birkhoff.area b)
+           (List.length b.Birkhoff.polygon)
+           (not b.Birkhoff.escaped);
+         let names = entry.model.Population.var_names in
+         Printf.printf "%s\t%s\n" names.(0) names.(1);
+         List.iter
+           (fun (x, y) -> Printf.printf "%.5f\t%.5f\n" x y)
+           (Geometry.resample_boundary b.Birkhoff.polygon 60);
+         Ok ()
+       end)
+  in
+  Cmd.v (Cmd.info "steady" ~doc) Term.(const run $ model_arg)
+
+(* simulate command *)
+let simulate_cmd =
+  let doc = "Exact stochastic simulation of the size-N system." in
+  let n_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "n"; "size" ] ~docv:"N" ~doc:"Population size.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let points_arg =
+    Arg.(value & opt int 50 & info [ "points" ] ~docv:"P" ~doc:"Output samples.")
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "mid"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Named policy, `mid' (θ midpoint), `lo', or `hi'.")
+  in
+  let run model n tmax seed points policy =
+    exit_of_result
+      (let ( let* ) = Result.bind in
+       let* entry = lookup_model model in
+       let box = entry.model.Population.theta in
+       let* pol =
+         match policy with
+         | "mid" -> Ok (Policy.constant (Optim.Box.midpoint box))
+         | "lo" -> Ok (Policy.constant box.Optim.Box.lo)
+         | "hi" -> Ok (Policy.constant box.Optim.Box.hi)
+         | name -> (
+             match List.assoc_opt name entry.policies with
+             | Some p -> Ok p
+             | None ->
+                 Error
+                   (`Msg
+                     (Printf.sprintf "unknown policy %s for this model" name)))
+       in
+       if points < 1 then Error (`Msg "need at least one point")
+       else begin
+         let times =
+           Array.init points (fun i ->
+               tmax *. float_of_int (i + 1) /. float_of_int points)
+         in
+         let states =
+           Ssa.sampled entry.model ~n ~x0:entry.x0 ~policy:pol ~times
+             (Rng.create seed)
+         in
+         let names = entry.model.Population.var_names in
+         Printf.printf "t\t%s\n" (String.concat "\t" (Array.to_list names));
+         Array.iteri
+           (fun i t ->
+             Printf.printf "%.3f" t;
+             Array.iter (fun v -> Printf.printf "\t%.5f" v) states.(i);
+             print_newline ())
+           times;
+         Ok ()
+       end)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ model_arg $ n_arg $ horizon_arg 10. $ seed_arg $ points_arg
+      $ policy_arg)
+
+let () =
+  let doc = "mean-field analysis of uncertain and imprecise stochastic models" in
+  let info = Cmd.info "umf_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; bounds_cmd; hull_cmd; steady_cmd; simulate_cmd ]))

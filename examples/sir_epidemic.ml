@@ -1,0 +1,86 @@
+(* Designing a robust patching campaign (the paper's introductory
+   motivation): the contact infection rate theta varies unpredictably in
+   [1, 10].  We must pick a patch (recovery) rate b such that the
+   long-run infected fraction stays below a safety threshold.
+
+   Sizing against the UNCERTAIN model (theta constant but unknown) means
+   checking the worst equilibrium over constant theta.  But a
+   time-varying environment can sustain infection levels far above any
+   constant-theta equilibrium (Fig. 3 of the paper): the IMPRECISE
+   analysis is the sound design criterion.
+
+   Run with: dune exec examples/sir_epidemic.exe *)
+open Umf
+
+(* worst long-run infected level over constant theta: the largest
+   equilibrium along the uncertain curve *)
+let worst_uncertain p =
+  let di = Sir.di p in
+  Uncertain.equilibria ~grid:11 di ~x0:Sir.x0
+  |> List.fold_left (fun acc e -> Float.max acc e.(1)) 0.
+
+(* worst long-run infected level of the imprecise model: the adversary
+   times a dip-and-spike pattern to peak at the audit horizon, so the
+   long-horizon Pontryagin bound reaches the top of the asymptotic set *)
+let worst_imprecise p =
+  let di = Sir.di p in
+  (Pontryagin.solve ~steps:400 di ~x0:Sir.x0 ~horizon:25. ~sense:`Max
+     (`Coord 1))
+    .Pontryagin.value
+
+let () =
+  let base = Sir.default_params in
+  let threshold = 0.12 in
+  Printf.printf
+    "contact rate imprecise in [%g, %g]; target: long-run infected < %.0f%%\n\n"
+    base.Sir.theta_min base.Sir.theta_max (100. *. threshold);
+  print_endline "patch rate b\tworst long-run x_I\t\t";
+  print_endline "\t\tuncertain\timprecise";
+  let rates = [ 5.; 6.; 7.; 8.; 10.; 12. ] in
+  let rows =
+    List.map
+      (fun b ->
+        let p = { base with Sir.b } in
+        let wu = worst_uncertain p and wi = worst_imprecise p in
+        Printf.printf "%.0f\t\t%.4f\t\t%.4f\n" b wu wi;
+        (b, wu, wi))
+      rates
+  in
+  let first_ok metric = List.find_opt (fun (_, wu, wi) -> metric wu wi <= threshold) rows in
+  let b_unc =
+    match first_ok (fun wu _ -> wu) with Some (b, _, _) -> b | None -> nan
+  in
+  let b_imp =
+    match first_ok (fun _ wi -> wi) with Some (b, _, _) -> b | None -> nan
+  in
+  Printf.printf
+    "\nsized against the UNCERTAIN model: b = %.0f looks sufficient.\n" b_unc;
+  Printf.printf
+    "sized against the IMPRECISE model: b = %.0f is actually needed.\n" b_imp;
+
+  (* demonstrate the fragility: run the uncertain-safe design against an
+     adversarial time-varying environment and watch it blow through the
+     threshold *)
+  let p_fragile = { base with Sir.b = b_unc } in
+  Printf.printf
+    "\nattack on the b = %.0f design (hysteresis environment, N = 2000):\n"
+    b_unc;
+  let model = Sir.model p_fragile in
+  let cloud =
+    Analysis.stationary_cloud model ~n:2000 ~x0:Sir.x0
+      ~policy:(Sir.policy_theta1 p_fragile) ~warmup:10. ~horizon:100.
+      ~samples:500 ~seed:7
+  in
+  let infected = Array.map (fun x -> x.(1)) cloud in
+  let q95 = Stats.quantile infected 0.95 in
+  let recur = Stats.quantile infected 0.999 in
+  Printf.printf
+    "  stationary infected level: 95th pct %.4f, peak %.4f\n\
+    \  (worst constant-theta equilibrium was %.4f, imprecise bound %.4f)\n"
+    q95 recur
+    (worst_uncertain p_fragile)
+    (worst_imprecise p_fragile);
+  if recur > worst_uncertain p_fragile then
+    print_endline
+      "  => the time-varying environment recurrently drives infection above\n\
+      \    every constant-theta equilibrium; only the imprecise bound is safe."

@@ -1,0 +1,99 @@
+module Vec = Umf_numerics.Vec
+module Mat = Umf_numerics.Mat
+module Interval = Umf_numerics.Interval
+module Ode = Umf_numerics.Ode
+module Optim = Umf_numerics.Optim
+module Rootfind = Umf_numerics.Rootfind
+module Geometry = Umf_numerics.Geometry
+module Ode_stiff = Umf_numerics.Ode_stiff
+module Rng = Umf_numerics.Rng
+module Stats = Umf_numerics.Stats
+module Diff = Umf_numerics.Diff
+module Expr = Umf_numerics.Expr
+module Generator = Umf_ctmc.Generator
+module Ctmc_path = Umf_ctmc.Path
+module Ctmc_simulate = Umf_ctmc.Simulate
+module Transient = Umf_ctmc.Transient
+module Stationary = Umf_ctmc.Stationary
+module Imprecise_ctmc = Umf_ctmc.Imprecise_ctmc
+module Interval_dtmc = Umf_ctmc.Interval_dtmc
+module Population = Umf_meanfield.Population
+module Symbolic = Umf_meanfield.Symbolic
+module Policy = Umf_meanfield.Policy
+module Ssa = Umf_meanfield.Ssa
+module Convergence = Umf_meanfield.Convergence
+module Di = Umf_diffinc.Di
+module Hull = Umf_diffinc.Hull
+module Pontryagin = Umf_diffinc.Pontryagin
+module Uncertain = Umf_diffinc.Uncertain
+module Scenario = Umf_diffinc.Scenario
+module Reach = Umf_diffinc.Reach
+module Template = Umf_diffinc.Template
+module Birkhoff = Umf_diffinc.Birkhoff
+module Certified = Umf_diffinc.Certified
+module Safety = Umf_diffinc.Safety
+module Sir = Umf_models.Sir
+module Gps = Umf_models.Gps
+module Bikesharing = Umf_models.Bikesharing
+module Sis = Umf_models.Sis
+module Cholera = Umf_models.Cholera
+module Loadbalance = Umf_models.Loadbalance
+module Bikenetwork = Umf_models.Bikenetwork
+
+module Analysis = struct
+  type scenario = Imprecise | Uncertain of int
+
+  let transient_bounds ?(scenario = Imprecise) ?steps model ~x0 ~coord ~times =
+    let di = Di.of_population model in
+    match scenario with
+    | Imprecise -> Pontryagin.bound_series ?steps di ~x0 ~coord ~times
+    | Uncertain grid ->
+        let lower, upper = Uncertain.transient_envelope ~grid di ~x0 ~times in
+        Array.init (Array.length times) (fun i ->
+            (lower.(i).(coord), upper.(i).(coord)))
+
+  let hull_bounds ?clip ?(dt = 1e-2) model ~x0 ~horizon =
+    let di = Di.of_population model in
+    Hull.bounds ?clip di ~x0 ~horizon ~dt
+
+  let steady_state_region_2d ?x_start model =
+    let di = Di.of_population model in
+    let x_start =
+      match x_start with
+      | Some x -> x
+      | None -> Vec.create (Population.dim model) 0.5
+    in
+    Birkhoff.compute di ~x_start
+
+  let stationary_cloud model ~n ~x0 ~policy ~warmup ~horizon ~samples ~seed =
+    if samples <= 0 then invalid_arg "Analysis.stationary_cloud: samples <= 0";
+    if warmup >= horizon then
+      invalid_arg "Analysis.stationary_cloud: warmup >= horizon";
+    let times =
+      Array.init samples (fun i ->
+          warmup
+          +. ((horizon -. warmup) *. float_of_int (i + 1) /. float_of_int samples))
+    in
+    Ssa.sampled model ~n ~x0 ~policy ~times (Rng.create seed)
+
+  let inclusion_fraction ?tol region states =
+    if Array.length states = 0 then
+      invalid_arg "Analysis.inclusion_fraction: no states";
+    let inside = ref 0 in
+    Array.iter
+      (fun x ->
+        if Birkhoff.contains ?tol region (x.(0), x.(1)) then incr inside)
+      states;
+    float_of_int !inside /. float_of_int (Array.length states)
+
+  let mean_exceedance region states =
+    if Array.length states = 0 then
+      invalid_arg "Analysis.mean_exceedance: no states";
+    let acc = ref 0. in
+    Array.iter
+      (fun x ->
+        acc :=
+          !acc +. Geometry.violation_depth (x.(0), x.(1)) region.Birkhoff.polygon)
+      states;
+    !acc /. float_of_int (Array.length states)
+end

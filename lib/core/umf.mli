@@ -1,0 +1,131 @@
+(** Mean-field analysis of uncertain and imprecise stochastic models.
+
+    Umbrella interface of the library reproducing Bortolussi & Gast,
+    {e Mean Field Approximation of Uncertain Stochastic Models}
+    (DSN 2016).  Model a system of N interacting agents as a
+    {!Population} of transition classes with parameters ranging in a
+    box Θ, then analyse:
+
+    - the {e uncertain} scenario (θ constant but unknown) with
+      {!Uncertain} sweeps, and
+    - the {e imprecise} scenario (θ_t varying arbitrarily in Θ) through
+      its mean-field differential-inclusion limit, with {!Hull} (cheap
+      rectangular bounds), {!Pontryagin} (tight extremal bounds) and
+      {!Birkhoff} (steady-state regions);
+
+    and validate against finite-N stochastic simulation ({!Ssa}) or
+    exact finite-chain imprecise bounds ({!Imprecise_ctmc}).
+
+    The {!Analysis} module bundles the common end-to-end workflows. *)
+
+(* numerics substrate *)
+module Vec = Umf_numerics.Vec
+module Mat = Umf_numerics.Mat
+module Interval = Umf_numerics.Interval
+module Ode = Umf_numerics.Ode
+module Optim = Umf_numerics.Optim
+module Rootfind = Umf_numerics.Rootfind
+module Geometry = Umf_numerics.Geometry
+module Ode_stiff = Umf_numerics.Ode_stiff
+module Rng = Umf_numerics.Rng
+module Stats = Umf_numerics.Stats
+module Diff = Umf_numerics.Diff
+module Expr = Umf_numerics.Expr
+
+(* Markov chain substrate *)
+module Generator = Umf_ctmc.Generator
+module Ctmc_path = Umf_ctmc.Path
+module Ctmc_simulate = Umf_ctmc.Simulate
+module Transient = Umf_ctmc.Transient
+module Stationary = Umf_ctmc.Stationary
+module Imprecise_ctmc = Umf_ctmc.Imprecise_ctmc
+module Interval_dtmc = Umf_ctmc.Interval_dtmc
+
+(* population models and their simulation *)
+module Population = Umf_meanfield.Population
+module Symbolic = Umf_meanfield.Symbolic
+module Policy = Umf_meanfield.Policy
+module Ssa = Umf_meanfield.Ssa
+module Convergence = Umf_meanfield.Convergence
+
+(* differential-inclusion mean-field limits *)
+module Di = Umf_diffinc.Di
+module Hull = Umf_diffinc.Hull
+module Pontryagin = Umf_diffinc.Pontryagin
+module Uncertain = Umf_diffinc.Uncertain
+module Scenario = Umf_diffinc.Scenario
+module Reach = Umf_diffinc.Reach
+module Template = Umf_diffinc.Template
+module Birkhoff = Umf_diffinc.Birkhoff
+module Certified = Umf_diffinc.Certified
+module Safety = Umf_diffinc.Safety
+
+(* the paper's case studies *)
+module Sir = Umf_models.Sir
+module Gps = Umf_models.Gps
+module Bikesharing = Umf_models.Bikesharing
+module Sis = Umf_models.Sis
+module Cholera = Umf_models.Cholera
+module Loadbalance = Umf_models.Loadbalance
+module Bikenetwork = Umf_models.Bikenetwork
+
+(** High-level end-to-end analyses. *)
+module Analysis : sig
+  type scenario =
+    | Imprecise  (** θ_t may vary arbitrarily in Θ over time. *)
+    | Uncertain of int
+        (** θ constant but unknown; the payload is the per-axis grid
+            resolution used to sweep Θ. *)
+
+  val transient_bounds :
+    ?scenario:scenario ->
+    ?steps:int ->
+    Population.t ->
+    x0:Vec.t ->
+    coord:int ->
+    times:float array ->
+    (float * float) array
+  (** Lower/upper bounds on coordinate [coord] at each sample time.
+      Imprecise (default) uses the Pontryagin solver on the mean-field
+      differential inclusion; [Uncertain g] sweeps constant parameters
+      on a [g]-per-axis grid. *)
+
+  val hull_bounds :
+    ?clip:Optim.Box.t ->
+    ?dt:float ->
+    Population.t ->
+    x0:Vec.t ->
+    horizon:float ->
+    Hull.traj
+  (** The differential-hull over-approximation (fast, conservative). *)
+
+  val steady_state_region_2d :
+    ?x_start:Vec.t -> Population.t -> Birkhoff.result
+  (** The Birkhoff centre of a 2-variable model (steady-state region of
+      the imprecise scenario).  [x_start] defaults to the θ-midpoint
+      equilibrium seed (0.5, 0.25)-style midpoint of the unit box. *)
+
+  val stationary_cloud :
+    Population.t ->
+    n:int ->
+    x0:Vec.t ->
+    policy:Policy.t ->
+    warmup:float ->
+    horizon:float ->
+    samples:int ->
+    seed:int ->
+    Vec.t array
+  (** Stationary-regime states of the size-N stochastic system under a
+      policy, sampled at regular intervals after [warmup]. *)
+
+  val inclusion_fraction :
+    ?tol:float -> Birkhoff.result -> Vec.t array -> float
+  (** Fraction of 2-D sample states inside a Birkhoff region, up to a
+      boundary slack [tol] (the convergence diagnostic of Figure 6 —
+      policies like θ1 ride exactly along the region boundary, so a
+      small slack separates genuine escapes from boundary hugging). *)
+
+  val mean_exceedance : Birkhoff.result -> Vec.t array -> float
+  (** Average distance by which sample states stick out of the region
+      (0 when all inside); converges to 0 as N → ∞ by Theorem 3. *)
+end

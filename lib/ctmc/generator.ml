@@ -1,0 +1,81 @@
+open Umf_numerics
+
+type t = { n : int; rows : (int * float) array array; exit : float array }
+
+let make ~n transitions =
+  if n <= 0 then invalid_arg "Generator.make: need n > 0";
+  let tbl = Array.make n [] in
+  List.iter
+    (fun (src, dst, rate) ->
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        invalid_arg "Generator.make: state out of range";
+      if src = dst then invalid_arg "Generator.make: self loop";
+      if rate < 0. || Float.is_nan rate then
+        invalid_arg "Generator.make: negative rate";
+      if rate > 0. then tbl.(src) <- (dst, rate) :: tbl.(src))
+    transitions;
+  let merge lst =
+    let m = Hashtbl.create 8 in
+    List.iter
+      (fun (dst, rate) ->
+        let cur = try Hashtbl.find m dst with Not_found -> 0. in
+        Hashtbl.replace m dst (cur +. rate))
+      lst;
+    Hashtbl.fold (fun dst rate acc -> (dst, rate) :: acc) m []
+    |> List.sort compare |> Array.of_list
+  in
+  let rows = Array.map merge tbl in
+  let exit =
+    Array.map (fun row -> Array.fold_left (fun s (_, r) -> s +. r) 0. row) rows
+  in
+  { n; rows; exit }
+
+let n_states g = g.n
+
+let outgoing g i = g.rows.(i)
+
+let exit_rate g i = g.exit.(i)
+
+let max_exit_rate g = Array.fold_left Float.max 0. g.exit
+
+let to_dense g =
+  let m = Mat.zeros g.n g.n in
+  for i = 0 to g.n - 1 do
+    Mat.set m i i (-.g.exit.(i));
+    Array.iter (fun (j, r) -> Mat.set m i j (Mat.get m i j +. r)) g.rows.(i)
+  done;
+  m
+
+let uniformized ?rate g =
+  let lambda =
+    match rate with
+    | Some r ->
+        if r < max_exit_rate g then
+          invalid_arg "Generator.uniformized: rate below max exit rate";
+        r
+    | None -> Float.max 1e-9 (1.01 *. max_exit_rate g)
+  in
+  let p = Mat.identity g.n in
+  for i = 0 to g.n - 1 do
+    Mat.set p i i (1. -. (g.exit.(i) /. lambda));
+    Array.iter
+      (fun (j, r) -> Mat.set p i j (Mat.get p i j +. (r /. lambda)))
+      g.rows.(i)
+  done;
+  p
+
+let apply g v =
+  if Vec.dim v <> g.n then invalid_arg "Generator.apply: dimension mismatch";
+  Array.init g.n (fun i ->
+      let acc = ref (-.g.exit.(i) *. v.(i)) in
+      Array.iter (fun (j, r) -> acc := !acc +. (r *. v.(j))) g.rows.(i);
+      !acc)
+
+let apply_forward g p =
+  if Vec.dim p <> g.n then
+    invalid_arg "Generator.apply_forward: dimension mismatch";
+  let out = Array.init g.n (fun i -> -.g.exit.(i) *. p.(i)) in
+  for i = 0 to g.n - 1 do
+    Array.iter (fun (j, r) -> out.(j) <- out.(j) +. (r *. p.(i))) g.rows.(i)
+  done;
+  out

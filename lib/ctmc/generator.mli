@@ -1,0 +1,38 @@
+(** Sparse generator matrices of finite continuous-time Markov chains.
+
+    States are [0 .. n-1].  A generator stores, per state, the outgoing
+    transitions [(target, rate)] with [rate >= 0] and [target <> src];
+    the diagonal is implicit ([- exit rate]). *)
+
+type t
+
+val make : n:int -> (int * int * float) list -> t
+(** [make ~n transitions] from [(src, dst, rate)] triples.  Transitions
+    with rate 0 are dropped; duplicate [(src, dst)] pairs are summed.
+    @raise Invalid_argument on out-of-range states, self loops or
+    negative rates. *)
+
+val n_states : t -> int
+
+val outgoing : t -> int -> (int * float) array
+
+val exit_rate : t -> int -> float
+
+val max_exit_rate : t -> float
+
+val to_dense : t -> Umf_numerics.Mat.t
+(** The full [n x n] generator matrix [Q] (row sums are zero). *)
+
+val uniformized : ?rate:float -> t -> Umf_numerics.Mat.t
+(** The DTMC transition matrix [P = I + Q/Λ] of the uniformised chain;
+    [Λ] defaults to [1.01 * max_exit_rate] (strictly positive even for
+    an absorbing chain).
+    @raise Invalid_argument if [rate] is not an upper bound on the exit
+    rates. *)
+
+val apply : t -> Umf_numerics.Vec.t -> Umf_numerics.Vec.t
+(** [apply q g] is the vector [Q g] (backward operator: expectations),
+    computed sparsely. *)
+
+val apply_forward : t -> Umf_numerics.Vec.t -> Umf_numerics.Vec.t
+(** [apply_forward q p] is [Qᵀ p] (forward operator: distributions). *)

@@ -1,0 +1,123 @@
+open Umf_numerics
+
+type transition = { src : int; dst : int; rate : Vec.t -> float }
+
+type t = {
+  n : int;
+  theta : Optim.Box.t;
+  by_src : transition list array;
+  theta_vertices : Vec.t list;
+}
+
+let make ~n ~theta transitions =
+  if n <= 0 then invalid_arg "Imprecise_ctmc.make: need n > 0";
+  let by_src = Array.make n [] in
+  List.iter
+    (fun tr ->
+      if tr.src < 0 || tr.src >= n || tr.dst < 0 || tr.dst >= n then
+        invalid_arg "Imprecise_ctmc.make: state out of range";
+      if tr.src = tr.dst then invalid_arg "Imprecise_ctmc.make: self loop";
+      by_src.(tr.src) <- tr :: by_src.(tr.src))
+    transitions;
+  { n; theta; by_src; theta_vertices = Optim.Box.vertices theta }
+
+let n_states m = m.n
+
+let theta_box m = m.theta
+
+let generator_at m theta =
+  let triples = ref [] in
+  Array.iter
+    (List.iter (fun tr ->
+         let r = tr.rate theta in
+         if r < 0. then invalid_arg "Imprecise_ctmc: negative rate at theta";
+         if r > 0. then triples := (tr.src, tr.dst, r) :: !triples))
+    m.by_src;
+  Generator.make ~n:m.n !triples
+
+(* (Q^θ g)(x) for a given state x: the backward operator row *)
+let row_value m g x theta =
+  List.fold_left
+    (fun acc tr -> acc +. (tr.rate theta *. (g.(tr.dst) -. g.(x))))
+    0. m.by_src.(x)
+
+let max_exit_bound m =
+  (* conservative uniformisation rate: max over θ-vertices of the exit
+     rates (exact for rates monotone in θ, e.g. affine) *)
+  let best = ref 1e-9 in
+  for x = 0 to m.n - 1 do
+    List.iter
+      (fun theta ->
+        let e =
+          List.fold_left (fun acc tr -> acc +. tr.rate theta) 0. m.by_src.(x)
+        in
+        if e > !best then best := e)
+      m.theta_vertices
+  done;
+  !best
+
+let extremal_expectation sense ?steps_per_unit m ~h ~horizon =
+  if Vec.dim h <> m.n then
+    invalid_arg "Imprecise_ctmc: reward dimension mismatch";
+  if horizon < 0. then invalid_arg "Imprecise_ctmc: negative horizon";
+  let lambda = max_exit_bound m in
+  let per_unit =
+    match steps_per_unit with
+    | Some s ->
+        if s <= 0 then invalid_arg "Imprecise_ctmc: steps_per_unit <= 0";
+        float_of_int s
+    | None -> Float.max 100. (10. *. lambda)
+  in
+  let steps = int_of_float (Float.ceil (horizon *. per_unit)) in
+  let steps = Stdlib.max steps 1 in
+  let dt = horizon /. float_of_int steps in
+  let g = ref (Vec.copy h) in
+  let pick =
+    match sense with
+    | `Lower -> fun a b -> Float.min a b
+    | `Upper -> fun a b -> Float.max a b
+  in
+  if horizon > 0. then
+    for _ = 1 to steps do
+      let cur = !g in
+      g :=
+        Array.init m.n (fun x ->
+            (* extremise the backward operator over the θ-vertices *)
+            let best = ref None in
+            List.iter
+              (fun theta ->
+                let v = row_value m cur x theta in
+                best :=
+                  Some (match !best with None -> v | Some b -> pick v b))
+              m.theta_vertices;
+            let rate = match !best with None -> 0. | Some v -> v in
+            cur.(x) +. (dt *. rate))
+    done;
+  !g
+
+let lower_expectation ?steps_per_unit m ~h ~horizon =
+  extremal_expectation `Lower ?steps_per_unit m ~h ~horizon
+
+let upper_expectation ?steps_per_unit m ~h ~horizon =
+  extremal_expectation `Upper ?steps_per_unit m ~h ~horizon
+
+let probability_bounds ?steps_per_unit m ~state ~horizon ~x0 =
+  if state < 0 || state >= m.n || x0 < 0 || x0 >= m.n then
+    invalid_arg "Imprecise_ctmc.probability_bounds: state out of range";
+  let h = Array.init m.n (fun i -> if i = state then 1. else 0.) in
+  let lo = lower_expectation ?steps_per_unit m ~h ~horizon in
+  let hi = upper_expectation ?steps_per_unit m ~h ~horizon in
+  (lo.(x0), hi.(x0))
+
+type policy = t:float -> x:int -> Vec.t
+
+let constant_policy theta ~t:_ ~x:_ = theta
+
+let simulate rng m policy ~x0 ~tmax =
+  Simulate.run_imprecise
+    ~rate_bound:(max_exit_bound m *. 1.000001)
+    rng
+    (fun ~t ~x ->
+      let theta = Optim.Box.clamp m.theta (policy ~t ~x) in
+      generator_at m theta)
+    ~x0 ~tmax

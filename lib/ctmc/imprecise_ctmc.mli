@@ -1,0 +1,58 @@
+(** Imprecise continuous-time Markov chains (Sec. II of the paper).
+
+    A finite-state chain whose transition rates depend on a parameter
+    vector θ constrained to a box Θ.  In the {e imprecise} semantics
+    θ_t may vary in time (adapted to the process); in the {e uncertain}
+    semantics θ is constant but unknown.
+
+    Transient analysis uses the lower/upper expectation operators: the
+    tight bounds on E[h(X_T)] over all adapted parameter processes
+    solve the imprecise Kolmogorov backward equation
+
+    d/dt g_t(x) = min_{θ ∈ Θ} Σ_y Q^θ(x,y) g_t(y),
+
+    where the minimum is taken independently per state — exact for the
+    imprecise semantics. *)
+
+open Umf_numerics
+
+type transition = { src : int; dst : int; rate : Vec.t -> float }
+(** One parametrised transition; [rate θ] must be >= 0 on Θ. *)
+
+type t
+
+val make : n:int -> theta:Optim.Box.t -> transition list -> t
+(** @raise Invalid_argument on out-of-range states or self loops. *)
+
+val n_states : t -> int
+
+val theta_box : t -> Optim.Box.t
+
+val generator_at : t -> Vec.t -> Generator.t
+(** The precise generator for a fixed θ.
+    @raise Invalid_argument if some rate is negative at θ. *)
+
+val lower_expectation :
+  ?steps_per_unit:int -> t -> h:Vec.t -> horizon:float -> Vec.t
+(** [lower_expectation m ~h ~horizon] is the vector of lower
+    expectations x ↦ E̲[h(X_horizon) | X_0 = x].  The backward equation
+    is integrated with uniformisation-style Euler steps;
+    [steps_per_unit] (default: enough for stability at the maximal exit
+    rate, at least 100) controls the discretisation. *)
+
+val upper_expectation :
+  ?steps_per_unit:int -> t -> h:Vec.t -> horizon:float -> Vec.t
+
+val probability_bounds :
+  ?steps_per_unit:int -> t -> state:int -> horizon:float -> x0:int -> float * float
+(** Lower and upper bounds on P(X_horizon = state | X_0 = x0). *)
+
+type policy = t:float -> x:int -> Vec.t
+(** An adapted parameter policy: observes time and current state,
+    returns θ ∈ Θ. *)
+
+val constant_policy : Vec.t -> policy
+
+val simulate :
+  Rng.t -> t -> policy -> x0:int -> tmax:float -> Path.t
+(** Simulate the chain under a policy (θ frozen between jumps). *)

@@ -1,0 +1,48 @@
+type t = { times : float array; states : int array; horizon : float }
+
+let make ~times ~states ~horizon =
+  let n = Array.length times in
+  if n = 0 then invalid_arg "Path.make: empty path";
+  if n <> Array.length states then invalid_arg "Path.make: length mismatch";
+  for i = 1 to n - 1 do
+    if times.(i) < times.(i - 1) then
+      invalid_arg "Path.make: times not increasing"
+  done;
+  if horizon < times.(n - 1) then
+    invalid_arg "Path.make: horizon before last jump";
+  { times; states; horizon }
+
+let length p = Array.length p.times
+
+let state_at p t =
+  let n = Array.length p.times in
+  if t <= p.times.(0) then p.states.(0)
+  else if t >= p.times.(n - 1) then p.states.(n - 1)
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if p.times.(mid) <= t then lo := mid else hi := mid
+    done;
+    p.states.(!lo)
+  end
+
+let final_state p = p.states.(Array.length p.states - 1)
+
+let time_average p reward =
+  let n = Array.length p.times in
+  let total = p.horizon -. p.times.(0) in
+  if total <= 0. then reward p.states.(0)
+  else begin
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      let t_end = if i = n - 1 then p.horizon else p.times.(i + 1) in
+      acc := !acc +. ((t_end -. p.times.(i)) *. reward p.states.(i))
+    done;
+    !acc /. total
+  end
+
+let occupancy p n =
+  Array.init n (fun s -> time_average p (fun x -> if x = s then 1. else 0.))
+
+let jumps p = length p - 1

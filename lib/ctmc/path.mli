@@ -1,0 +1,32 @@
+(** Sampled paths of finite-state jump processes.
+
+    A path records the jump times and the state entered at each jump;
+    [times.(0)] is the start time and the process holds [states.(i)] on
+    [[times.(i), times.(i+1))]. *)
+
+type t = { times : float array; states : int array; horizon : float }
+(** [horizon] is the time at which observation stopped (>= last jump). *)
+
+val make : times:float array -> states:int array -> horizon:float -> t
+(** @raise Invalid_argument on empty input, mismatched lengths,
+    non-increasing times or a horizon before the last jump. *)
+
+val length : t -> int
+(** Number of recorded jumps (including the initial state). *)
+
+val state_at : t -> float -> int
+(** State occupied at a given time (clamped to the observation
+    window). *)
+
+val final_state : t -> int
+
+val time_average : t -> (int -> float) -> float
+(** Holding-time-weighted average of a state reward over the whole
+    window. *)
+
+val occupancy : t -> int -> Umf_numerics.Vec.t
+(** [occupancy p n] is the fraction of time spent in each of the [n]
+    states. *)
+
+val jumps : t -> int
+(** Number of actual transitions (length - 1). *)

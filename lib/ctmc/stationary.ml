@@ -1,0 +1,56 @@
+open Umf_numerics
+
+let gth g =
+  let n = Generator.n_states g in
+  (* work on a dense copy of the off-diagonal rates *)
+  let q = Mat.to_arrays (Generator.to_dense g) in
+  for i = 0 to n - 1 do
+    q.(i).(i) <- 0.
+  done;
+  (* forward elimination: fold state k into states < k *)
+  for k = n - 1 downto 1 do
+    let s = ref 0. in
+    for j = 0 to k - 1 do
+      s := !s +. q.(k).(j)
+    done;
+    if !s <= 0. then failwith "Stationary.gth: reducible chain";
+    for i = 0 to k - 1 do
+      let qik = q.(i).(k) /. !s in
+      if qik > 0. then
+        for j = 0 to k - 1 do
+          if j <> i then q.(i).(j) <- q.(i).(j) +. (qik *. q.(k).(j))
+        done
+    done
+  done;
+  (* back substitution *)
+  let pi = Array.make n 0. in
+  pi.(0) <- 1.;
+  for k = 1 to n - 1 do
+    let s = ref 0. in
+    for j = 0 to k - 1 do
+      s := !s +. q.(k).(j)
+    done;
+    let acc = ref 0. in
+    for i = 0 to k - 1 do
+      acc := !acc +. (pi.(i) *. q.(i).(k))
+    done;
+    pi.(k) <- !acc /. !s
+  done;
+  let total = Vec.sum pi in
+  Vec.scale (1. /. total) pi
+
+let power_iteration ?(tol = 1e-12) ?(max_iter = 1_000_000) g =
+  let n = Generator.n_states g in
+  let p = Generator.uniformized g in
+  let pi = ref (Vec.create n (1. /. float_of_int n)) in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    let next = Mat.tmulv p !pi in
+    let next = Vec.scale (1. /. Vec.sum next) next in
+    if Vec.dist_inf next !pi < tol then converged := true;
+    pi := next
+  done;
+  if not !converged then failwith "Stationary.power_iteration: no convergence";
+  !pi

@@ -1,0 +1,14 @@
+(** Stationary distributions of irreducible finite CTMCs. *)
+
+val gth : Generator.t -> Umf_numerics.Vec.t
+(** The stationary distribution by the Grassmann–Taksar–Heyman
+    elimination algorithm — subtraction-free, hence numerically stable
+    even for stiff chains.
+    @raise Failure if the chain is reducible (elimination encounters a
+    zero pivot). *)
+
+val power_iteration :
+  ?tol:float -> ?max_iter:int -> Generator.t -> Umf_numerics.Vec.t
+(** The same distribution by power iteration on the uniformised DTMC —
+    used as a cross-check of {!gth}.
+    @raise Failure if the iteration does not converge. *)

@@ -1,0 +1,56 @@
+open Umf_numerics
+
+let check_distribution g p0 =
+  if Vec.dim p0 <> Generator.n_states g then
+    invalid_arg "Transient: distribution dimension mismatch";
+  Array.iter
+    (fun x -> if x < -1e-12 then invalid_arg "Transient: negative probability")
+    p0;
+  if Float.abs (Vec.sum p0 -. 1.) > 1e-9 then
+    invalid_arg "Transient: distribution does not sum to 1"
+
+let uniformization ?(epsilon = 1e-12) g ~p0 ~t =
+  check_distribution g p0;
+  if t < 0. then invalid_arg "Transient.uniformization: t < 0";
+  let lambda = Float.max 1e-9 (1.01 *. Generator.max_exit_rate g) in
+  if t = 0. then Vec.copy p0
+  else begin
+    let p_mat = Generator.uniformized ~rate:lambda g in
+    let lt = lambda *. t in
+    (* iterate v_k = p0 P^k, accumulating Poisson(lt, k) v_k until the
+       Poisson tail is below epsilon *)
+    let result = Vec.zeros (Vec.dim p0) in
+    let v = ref (Vec.copy p0) in
+    let weight = ref (Float.exp (-.lt)) in
+    let cumulative = ref 0. in
+    let k = ref 0 in
+    (* for large lt, exp(-lt) underflows; rescale by tracking log *)
+    let log_weight = ref (-.lt) in
+    while !cumulative < 1. -. epsilon && !k < 100_000 do
+      weight := Float.exp !log_weight;
+      if !weight > 0. then begin
+        Vec.axpy_in_place !weight !v result;
+        cumulative := !cumulative +. !weight
+      end;
+      incr k;
+      log_weight := !log_weight +. Float.log (lt /. float_of_int !k);
+      v := Mat.tmulv p_mat !v
+    done;
+    (* renormalise the truncation mass *)
+    let s = Vec.sum result in
+    if s > 0. then Vec.scale (1. /. s) result else result
+  end
+
+let kolmogorov_ode ?(dt = 1e-3) g ~p0 ~t =
+  check_distribution g p0;
+  if t < 0. then invalid_arg "Transient.kolmogorov_ode: t < 0";
+  if t = 0. then Vec.copy p0
+  else
+    Ode.integrate_to (fun _t p -> Generator.apply_forward g p) ~t0:0. ~y0:p0
+      ~t1:t ~dt
+
+let expectation ?epsilon g ~p0 ~t h =
+  let p = uniformization ?epsilon g ~p0 ~t in
+  let acc = ref 0. in
+  Array.iteri (fun i pi -> acc := !acc +. (pi *. h i)) p;
+  !acc

@@ -1,0 +1,32 @@
+(** Transient distributions of finite CTMCs. *)
+
+val uniformization :
+  ?epsilon:float ->
+  Generator.t ->
+  p0:Umf_numerics.Vec.t ->
+  t:float ->
+  Umf_numerics.Vec.t
+(** [uniformization g ~p0 ~t] is the distribution at time [t] starting
+    from [p0], by uniformisation with Poisson-tail truncation at total
+    mass [1 - epsilon] (default [1e-12]).
+    @raise Invalid_argument if [p0] is not a distribution over the
+    chain's states or [t < 0]. *)
+
+val kolmogorov_ode :
+  ?dt:float ->
+  Generator.t ->
+  p0:Umf_numerics.Vec.t ->
+  t:float ->
+  Umf_numerics.Vec.t
+(** Same quantity by RK4 integration of the forward Kolmogorov
+    equations ṗ = Qᵀp — the reference implementation used to
+    cross-check uniformisation. *)
+
+val expectation :
+  ?epsilon:float ->
+  Generator.t ->
+  p0:Umf_numerics.Vec.t ->
+  t:float ->
+  (int -> float) ->
+  float
+(** E[h(X_t)] under the transient distribution. *)

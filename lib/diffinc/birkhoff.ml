@@ -1,0 +1,111 @@
+open Umf_numerics
+
+type result = {
+  polygon : Geometry.point list;
+  rounds : int;
+  escaped : bool;
+}
+
+let to_point x = (x.(0), x.(1))
+
+let of_point (px, py) = [| px; py |]
+
+let traj_points traj =
+  Array.to_list (Array.map to_point traj.Ode.Traj.states)
+
+let compute ?theta_a ?theta_b ?(dt = 1e-2) ?(settle_time = 200.)
+    ?(escape_time = 30.) ?(n_boundary = 200) ?(max_rounds = 50) ?(tol = 1e-6)
+    di ~x_start =
+  if di.Di.dim <> 2 then invalid_arg "Birkhoff.compute: system is not 2-D";
+  let theta_a =
+    match theta_a with Some t -> t | None -> di.Di.theta.Optim.Box.hi
+  in
+  let theta_b =
+    match theta_b with Some t -> t | None -> di.Di.theta.Optim.Box.lo
+  in
+  let settle theta x0 =
+    Ode.integrate_to (fun _t x -> di.Di.drift x theta) ~t0:0. ~y0:x0
+      ~t1:settle_time ~dt
+  in
+  let run theta x0 horizon =
+    Di.integrate_constant di ~theta ~x0 ~horizon ~dt
+  in
+  (* seed region: heteroclinic loop between the two extreme dynamics *)
+  let x0 = settle theta_a x_start in
+  let t1 = run theta_b x0 settle_time in
+  let t2 = run theta_a (Ode.Traj.last t1) settle_time in
+  let points = ref (to_point x0 :: traj_points t1 @ traj_points t2) in
+  let hull = ref (Geometry.convex_hull !points) in
+  let theta_vertices = Optim.Box.vertices di.Di.theta in
+  (* worst outward drift at a boundary point with outward normal nrm *)
+  let outward_escape (px, py) (nx, ny) =
+    let x = of_point (px, py) in
+    List.fold_left
+      (fun best theta ->
+        let f = di.Di.drift x theta in
+        let out = (f.(0) *. nx) +. (f.(1) *. ny) in
+        match best with
+        | Some (b, _) when b >= out -> best
+        | _ -> Some (out, theta))
+      None theta_vertices
+  in
+  let rounds = ref 0 in
+  let growing = ref true in
+  let outward_left = ref false in
+  while !growing && !rounds < max_rounds do
+    incr rounds;
+    outward_left := false;
+    (* test resampled boundary points against their edge normals *)
+    let boundary = Geometry.resample_boundary !hull n_boundary in
+    let edge_normals = Geometry.edge_midpoints !hull in
+    let normal_for p =
+      (* use the normal of the nearest edge midpoint *)
+      let best = ref None in
+      List.iter
+        (fun (mid, nrm) ->
+          let d = Geometry.dist p mid in
+          match !best with
+          | Some (bd, _) when bd <= d -> ()
+          | _ -> best := Some (d, nrm))
+        edge_normals;
+      match !best with Some (_, nrm) -> nrm | None -> (0., 0.)
+    in
+    let additions = ref [] in
+    List.iter
+      (fun p ->
+        match outward_escape p (normal_for p) with
+        | Some (out, theta) when out > tol ->
+            outward_left := true;
+            let traj = run theta (of_point p) escape_time in
+            additions := traj_points traj @ !additions
+        | Some _ | None -> ())
+      boundary;
+    if !outward_left then begin
+      (* only the current hull vertices matter for the next hull *)
+      let before = Geometry.polygon_area !hull in
+      points := !additions @ !hull;
+      hull := Geometry.convex_hull !points;
+      points := !hull;
+      let after = Geometry.polygon_area !hull in
+      (* stop growing once escapes no longer enlarge the region: the
+         outward drift then only traces chords of a non-convex set
+         already inside the hull *)
+      if after -. before <= 1e-5 *. Float.max 1e-6 before then
+        growing := false
+    end
+    else growing := false
+  done;
+  (* dense trajectory points make hulls with tens of thousands of
+     vertices; simplify to keep downstream membership tests cheap *)
+  let max_vertices = 256 in
+  let polygon =
+    if List.length !hull > max_vertices then
+      Geometry.convex_hull (Geometry.resample_boundary !hull max_vertices)
+    else !hull
+  in
+  { polygon; rounds = !rounds; escaped = !outward_left && !rounds >= max_rounds }
+
+let contains ?tol r p =
+  Geometry.point_in_convex_polygon ?tol p r.polygon
+
+let area r = Geometry.polygon_area r.polygon

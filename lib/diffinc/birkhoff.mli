@@ -1,0 +1,49 @@
+(** Birkhoff centres of 2-D differential inclusions (Sec. V-C).
+
+    Theorem 3 shows stationary measures of the stochastic system
+    concentrate on the Birkhoff centre B_F.  For 2-D systems the paper
+    computes (the convex hull of) B_F by:
+
+    + integrating to the fixed point x₀ of ẋ = f(x, θ_a);
+    + integrating the heteroclinic trajectories x₀ →(θ_b)→ x₁(∞)
+      →(θ_a)→ back, whose union delimits an initial region;
+    + repeatedly checking every boundary point for a parameter whose
+      drift points outward, and growing the region with the escaping
+      trajectory, until the drift field never points outward —
+      at which point no solution can leave the region.
+
+    The region is maintained as a convex polygon. *)
+
+open Umf_numerics
+
+type result = {
+  polygon : Geometry.point list;  (** CCW convex polygon. *)
+  rounds : int;  (** Expansion rounds performed. *)
+  escaped : bool;  (** True if expansion stopped at the round budget
+                        with outward drift remaining. *)
+}
+
+val compute :
+  ?theta_a:Vec.t ->
+  ?theta_b:Vec.t ->
+  ?dt:float ->
+  ?settle_time:float ->
+  ?escape_time:float ->
+  ?n_boundary:int ->
+  ?max_rounds:int ->
+  ?tol:float ->
+  Di.t ->
+  x_start:Vec.t ->
+  result
+(** Defaults: [theta_a] = upper corner of Θ, [theta_b] = lower corner,
+    [settle_time = 200] for reaching equilibria, [escape_time = 30] for
+    growing trajectories, [n_boundary = 200] boundary test points,
+    [max_rounds = 50], [tol = 1e-6] on the outward drift component.
+    @raise Invalid_argument unless the system is 2-dimensional. *)
+
+val contains : ?tol:float -> result -> Geometry.point -> bool
+(** Membership in the region's polygon; [tol] (default 1e-12, scaled
+    per edge) adds boundary slack — useful because equilibria and
+    extremal trajectories lie exactly on the boundary. *)
+
+val area : result -> float

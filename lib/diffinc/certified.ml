@@ -1,0 +1,33 @@
+open Umf_numerics
+module Symbolic = Umf_meanfield.Symbolic
+module Population = Umf_meanfield.Population
+
+let di s =
+  Di.of_population ~jacobian:(Symbolic.jacobian s) (Symbolic.population s)
+
+let hull_bounds ?clip s ~x0 ~horizon ~dt =
+  let model = Symbolic.population s in
+  let theta_ivs =
+    Array.to_list
+      (Array.mapi
+         (fun j _ ->
+           Interval.make model.Population.theta.Optim.Box.lo.(j)
+             model.Population.theta.Optim.Box.hi.(j))
+         model.Population.theta.Optim.Box.lo)
+    |> Array.of_list
+  in
+  let face_extremum ~lo ~hi ~coord ~value sense =
+    let x =
+      Array.init (Vec.dim lo) (fun i ->
+          if i = coord then Interval.make value value
+          else Interval.make lo.(i) hi.(i))
+    in
+    let enclosure = (Symbolic.drift_interval s ~x ~th:theta_ivs).(coord) in
+    match sense with
+    | `Min -> Interval.lo enclosure
+    | `Max -> Interval.hi enclosure
+  in
+  Hull.bounds ?clip ~face_extremum (di s) ~x0 ~horizon ~dt
+
+let recommended_hamiltonian_opt s =
+  if Symbolic.affine_in_theta s then `Vertices else `Box 5

@@ -1,0 +1,29 @@
+(** Certified analyses of symbolically-specified models.
+
+    For models whose rates are {!Umf_numerics.Expr} trees
+    ({!Umf_meanfield.Symbolic}), the solvers can replace sampling-based
+    ingredients with sound symbolic ones:
+
+    - {!di} builds the differential inclusion with the {e exact}
+      Jacobian (Pontryagin costates free of finite-difference error);
+    - {!hull_bounds} integrates the differential hull with per-face
+      drift ranges from interval arithmetic — a mathematically
+      guaranteed over-approximation, not a sampled one (possibly wider,
+      by the interval dependency problem). *)
+
+open Umf_numerics
+module Symbolic = Umf_meanfield.Symbolic
+
+val di : Symbolic.t -> Di.t
+
+val hull_bounds :
+  ?clip:Optim.Box.t ->
+  Symbolic.t ->
+  x0:Vec.t ->
+  horizon:float ->
+  dt:float ->
+  Hull.traj
+
+val recommended_hamiltonian_opt : Symbolic.t -> [ `Vertices | `Box of int ]
+(** [`Vertices] when every drift coordinate is affine in θ (exact),
+    [`Box 5] otherwise. *)

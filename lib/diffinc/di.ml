@@ -1,0 +1,41 @@
+open Umf_numerics
+
+type t = {
+  dim : int;
+  theta : Optim.Box.t;
+  drift : Vec.t -> Vec.t -> Vec.t;
+  jacobian : (Vec.t -> Vec.t -> Mat.t) option;
+}
+
+let make ?jacobian ~dim ~theta drift =
+  if dim <= 0 then invalid_arg "Di.make: need dim > 0";
+  { dim; theta; drift; jacobian }
+
+let of_population ?jacobian (m : Umf_meanfield.Population.t) =
+  {
+    dim = Umf_meanfield.Population.dim m;
+    theta = m.Umf_meanfield.Population.theta;
+    drift = Umf_meanfield.Population.drift m;
+    jacobian;
+  }
+
+let integrate_constant di ~theta ~x0 ~horizon ~dt =
+  Ode.integrate (fun _t x -> di.drift x theta) ~t0:0. ~y0:x0 ~t1:horizon ~dt
+
+let integrate_control di ~control ~x0 ~horizon ~dt =
+  Ode.integrate
+    (fun t x -> di.drift x (Optim.Box.clamp di.theta (control t x)))
+    ~t0:0. ~y0:x0 ~t1:horizon ~dt
+
+let costate_rhs di ~x ~theta ~p =
+  match di.jacobian with
+  | Some jac -> Vec.scale (-1.) (Mat.tmulv (jac x theta) p)
+  | None -> Vec.scale (-1.) (Diff.jacobian_tv (fun y -> di.drift y theta) x p)
+
+let hamiltonian di ~x ~p theta = Vec.dot (di.drift x theta) p
+
+let argmax_hamiltonian ?(opt = `Vertices) di ~x ~p =
+  let h theta = hamiltonian di ~x ~p theta in
+  match opt with
+  | `Vertices -> fst (Optim.argmax_vertices h di.theta)
+  | `Box k -> fst (Optim.maximize_box ~grid:k ~refine_iters:15 h di.theta)

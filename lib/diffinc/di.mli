@@ -1,0 +1,57 @@
+(** Parametrised differential inclusions ẋ ∈ F(x) = {f(x, θ) : θ ∈ Θ}.
+
+    This is the mean-field limit object of an imprecise population
+    process (Theorem 1): the drift [f] is the limit drift of
+    Definition 3 and Θ is the parameter box.  All solvers in this
+    library ({!Hull}, {!Pontryagin}, {!Birkhoff}, {!Reach},
+    {!Uncertain}) operate on this type. *)
+
+open Umf_numerics
+
+type t = {
+  dim : int;
+  theta : Optim.Box.t;
+  drift : Vec.t -> Vec.t -> Vec.t;  (** [drift x theta] = f(x, θ). *)
+  jacobian : (Vec.t -> Vec.t -> Mat.t) option;
+      (** Optional analytic ∂f/∂x at (x, θ); finite differences are
+          used when absent. *)
+}
+
+val make :
+  ?jacobian:(Vec.t -> Vec.t -> Mat.t) ->
+  dim:int ->
+  theta:Optim.Box.t ->
+  (Vec.t -> Vec.t -> Vec.t) ->
+  t
+
+val of_population : ?jacobian:(Vec.t -> Vec.t -> Mat.t) -> Umf_meanfield.Population.t -> t
+(** The mean-field differential inclusion of a population model:
+    drift and θ-box are taken from the transition classes. *)
+
+val integrate_constant :
+  t -> theta:Vec.t -> x0:Vec.t -> horizon:float -> dt:float -> Ode.Traj.t
+(** One selection: the solution under a constant parameter. *)
+
+val integrate_control :
+  t ->
+  control:(float -> Vec.t -> Vec.t) ->
+  x0:Vec.t ->
+  horizon:float ->
+  dt:float ->
+  Ode.Traj.t
+(** The solution under a deterministic feedback control θ(t, x)
+    (clamped into Θ). *)
+
+val costate_rhs : t -> x:Vec.t -> theta:Vec.t -> p:Vec.t -> Vec.t
+(** The Pontryagin costate right-hand side ṗ = −(∂f/∂x)ᵀ p, using the
+    analytic Jacobian when available. *)
+
+val hamiltonian : t -> x:Vec.t -> p:Vec.t -> Vec.t -> float
+(** H(x, p, θ) = f(x, θ)·p. *)
+
+val argmax_hamiltonian :
+  ?opt:[ `Vertices | `Box of int ] -> t -> x:Vec.t -> p:Vec.t -> Vec.t
+(** The maximising parameter arg max_θ H(x, p, θ).  [`Vertices]
+    (default) enumerates the corners of Θ — exact for drifts affine in
+    θ; [`Box k] additionally searches a k-per-axis grid with local
+    refinement for non-affine drifts. *)

@@ -1,0 +1,118 @@
+open Umf_numerics
+
+type traj = {
+  times : float array;
+  lower : Vec.t array;
+  upper : Vec.t array;
+}
+
+(* extremise f_i over the face {z in [lo, hi] : z_i = v} x Theta *)
+let face_extremum ~grid ~refine di ~lo ~hi ~coord ~v sense =
+  let d = di.Di.dim in
+  let face_lo = Vec.copy lo and face_hi = Vec.copy hi in
+  face_lo.(coord) <- v;
+  face_hi.(coord) <- v;
+  let joint =
+    Optim.Box.make
+      (Array.append face_lo di.Di.theta.Optim.Box.lo)
+      (Array.append face_hi di.Di.theta.Optim.Box.hi)
+  in
+  let f_i z =
+    let x = Array.sub z 0 d in
+    let theta = Array.sub z d (Array.length z - d) in
+    (di.Di.drift x theta).(coord)
+  in
+  match sense with
+  | `Min -> snd (Optim.minimize_box ~grid ~refine_iters:refine f_i joint)
+  | `Max -> snd (Optim.maximize_box ~grid ~refine_iters:refine f_i joint)
+
+type face_extremum =
+  lo:Vec.t -> hi:Vec.t -> coord:int -> value:float -> [ `Min | `Max ] -> float
+
+let bounds ?(grid = 2) ?(refine = 8) ?clip ?face_extremum:custom di ~x0
+    ~horizon ~dt =
+  if horizon < 0. then invalid_arg "Hull.bounds: negative horizon";
+  if dt <= 0. then invalid_arg "Hull.bounds: dt <= 0";
+  if Vec.dim x0 <> di.Di.dim then invalid_arg "Hull.bounds: x0 dimension";
+  let d = di.Di.dim in
+  let extremum =
+    match custom with
+    | Some f -> f
+    | None ->
+        fun ~lo ~hi ~coord ~value sense ->
+          face_extremum ~grid ~refine di ~lo ~hi ~coord ~v:value sense
+  in
+  (* hull state z = (lower, upper) of dimension 2d *)
+  let rhs _t z =
+    let lo = Array.sub z 0 d and hi = Array.sub z d d in
+    (* the hull can momentarily invert by integration error; repair *)
+    let lo' = Vec.cmin lo hi and hi' = Vec.cmax lo hi in
+    Array.init (2 * d) (fun j ->
+        if j < d then
+          extremum ~lo:lo' ~hi:hi' ~coord:j ~value:lo'.(j) `Min
+        else
+          let coord = j - d in
+          extremum ~lo:lo' ~hi:hi' ~coord ~value:hi'.(coord) `Max)
+  in
+  let clip_state z =
+    match clip with
+    | None -> z
+    | Some box ->
+        Array.init (2 * d) (fun j ->
+            let i = if j < d then j else j - d in
+            Float.min box.Optim.Box.hi.(i) (Float.max box.Optim.Box.lo.(i) z.(j)))
+  in
+  let z0 = Array.append (Vec.copy x0) (Vec.copy x0) in
+  let steps = Stdlib.max 1 (int_of_float (Float.ceil (horizon /. dt))) in
+  let h = if horizon > 0. then horizon /. float_of_int steps else 0. in
+  let times = Array.make (steps + 1) 0. in
+  let lower = Array.make (steps + 1) (Vec.copy x0) in
+  let upper = Array.make (steps + 1) (Vec.copy x0) in
+  let z = ref (clip_state z0) in
+  for i = 1 to steps do
+    z := clip_state (Ode.rk4_step rhs 0. !z h);
+    (* enforce the hull ordering after each step *)
+    let lo = Array.sub !z 0 d and hi = Array.sub !z d d in
+    let lo' = Vec.cmin lo hi and hi' = Vec.cmax lo hi in
+    times.(i) <- float_of_int i *. h;
+    lower.(i) <- lo';
+    upper.(i) <- hi';
+    z := Array.append lo' hi'
+  done;
+  { times; lower; upper }
+
+let locate times t =
+  let n = Array.length times in
+  if t <= times.(0) then 0
+  else if t >= times.(n - 1) then n - 1
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if times.(mid) <= t then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let interp times arr t =
+  let n = Array.length times in
+  if t <= times.(0) then Vec.copy arr.(0)
+  else if t >= times.(n - 1) then Vec.copy arr.(n - 1)
+  else begin
+    let i = locate times t in
+    let s = (t -. times.(i)) /. (times.(i + 1) -. times.(i)) in
+    Vec.lerp arr.(i) arr.(i + 1) s
+  end
+
+let lower_at h t = interp h.times h.lower t
+
+let upper_at h t = interp h.times h.upper t
+
+let contains ?(tol = 1e-6) h t x =
+  let slack = Vec.create (Vec.dim x) tol in
+  Vec.le (Vec.sub (lower_at h t) slack) x
+  && Vec.le x (Vec.add (upper_at h t) slack)
+
+let final_width h =
+  let n = Array.length h.times in
+  Vec.sub h.upper.(n - 1) h.lower.(n - 1)

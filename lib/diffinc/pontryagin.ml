@@ -1,0 +1,199 @@
+open Umf_numerics
+
+type objective = [ `Coord of int | `Linear of Vec.t ]
+
+type result = {
+  value : float;
+  times : float array;
+  x : Vec.t array;
+  p : Vec.t array;
+  control : Vec.t array;
+  iterations : int;
+  converged : bool;
+}
+
+let objective_vector di sense obj =
+  let c =
+    match obj with
+    | `Coord i ->
+        if i < 0 || i >= di.Di.dim then
+          invalid_arg "Pontryagin: coordinate out of range";
+        Array.init di.Di.dim (fun j -> if i = j then 1. else 0.)
+    | `Linear c ->
+        if Vec.dim c <> di.Di.dim then
+          invalid_arg "Pontryagin: objective dimension mismatch";
+        Vec.copy c
+  in
+  match sense with `Max -> c | `Min -> Vec.scale (-1.) c
+
+(* forward sweep: RK4 with the control frozen per grid interval *)
+let forward di ~x0 ~h ~control xs =
+  let k = Array.length control in
+  xs.(0) <- Vec.copy x0;
+  for i = 0 to k - 1 do
+    let theta = control.(i) in
+    let rhs _t x = di.Di.drift x theta in
+    xs.(i + 1) <- Ode.rk4_step rhs 0. xs.(i) h
+  done
+
+(* backward sweep: integrate the costate from T to 0 holding x fixed *)
+let backward di ~c ~h ~control xs ps =
+  let k = Array.length control in
+  ps.(k) <- Vec.copy c;
+  for i = k - 1 downto 0 do
+    let theta = control.(i) in
+    (* state on the interval: midpoint interpolation for the RK4 stages *)
+    let x_lo = xs.(i) and x_hi = xs.(i + 1) in
+    let rhs s p =
+      (* s in [0, 1] parametrises the interval backwards from t_{i+1} *)
+      let x = Vec.lerp x_hi x_lo s in
+      Vec.scale (-1.) (Di.costate_rhs di ~x ~theta ~p)
+      (* note: integrating backwards in time flips the sign, so the
+         effective rhs is +(∂f/∂x)ᵀ p; costate_rhs already carries the
+         minus sign, hence the extra [scale (-1.)] *)
+    in
+    (* one RK4 step of length h in the reversed time variable *)
+    let k1 = rhs 0. ps.(i + 1) in
+    let k2 = rhs 0.5 (Vec.axpy (h /. 2.) k1 ps.(i + 1)) in
+    let k3 = rhs 0.5 (Vec.axpy (h /. 2.) k2 ps.(i + 1)) in
+    let k4 = rhs 1. (Vec.axpy h k3 ps.(i + 1)) in
+    ps.(i) <-
+      Vec.mapi
+        (fun j v ->
+          v +. (h /. 6. *. (k1.(j) +. (2. *. k2.(j)) +. (2. *. k3.(j)) +. k4.(j))))
+        ps.(i + 1)
+  done
+
+let solve ?(steps = 400) ?(max_iter = 200) ?(tol = 1e-4) ?(relax = 0.5)
+    ?(opt = `Vertices) di ~x0 ~horizon ~sense obj =
+  if horizon <= 0. then invalid_arg "Pontryagin.solve: need horizon > 0";
+  if steps < 1 then invalid_arg "Pontryagin.solve: need steps >= 1";
+  if Vec.dim x0 <> di.Di.dim then invalid_arg "Pontryagin.solve: x0 dimension";
+  let c = objective_vector di sense obj in
+  let h = horizon /. float_of_int steps in
+  let times = Array.init (steps + 1) (fun i -> float_of_int i *. h) in
+  let mid = Optim.Box.midpoint di.Di.theta in
+  let control = Array.init steps (fun _ -> Vec.copy mid) in
+  let xs = Array.make (steps + 1) (Vec.zeros di.Di.dim) in
+  let ps = Array.make (steps + 1) (Vec.zeros di.Di.dim) in
+  let update_control ~relax =
+    for i = 0 to steps - 1 do
+      (* evaluate at the interval midpoint state/costate *)
+      let x = Vec.lerp xs.(i) xs.(i + 1) 0.5 in
+      let p = Vec.lerp ps.(i) ps.(i + 1) 0.5 in
+      let star = Di.argmax_hamiltonian ~opt di ~x ~p in
+      control.(i) <- Vec.lerp control.(i) star relax
+    done
+  in
+  let value () = Vec.dot c xs.(steps) in
+  let iterations = ref 0 and converged = ref false in
+  (* Near the optimal bang-bang switch the control cell chatters across
+     sweeps: the value enters a small limit cycle whose amplitude is the
+     grid-discretisation precision.  We therefore (a) remember the best
+     control seen and (b) declare convergence when the value oscillation
+     over a window of sweeps falls below [tol]. *)
+  let window = Array.make 10 Float.nan in
+  let best_value = ref Float.neg_infinity in
+  let best_control = Array.map Vec.copy control in
+  while (not !converged) && !iterations < max_iter do
+    incr iterations;
+    forward di ~x0 ~h ~control xs;
+    let v = value () in
+    if v > !best_value then begin
+      best_value := v;
+      Array.iteri (fun i ci -> best_control.(i) <- Vec.copy ci) control
+    end;
+    window.((!iterations - 1) mod Array.length window) <- v;
+    if !iterations >= Array.length window then begin
+      let wmin = Array.fold_left Float.min Float.infinity window in
+      let wmax = Array.fold_left Float.max Float.neg_infinity window in
+      if wmax -. wmin <= tol *. Float.max 1. (Float.abs v) then
+        converged := true
+    end;
+    backward di ~c ~h ~control xs ps;
+    update_control ~relax
+  done;
+  Array.blit (Array.map Vec.copy best_control) 0 control 0 steps;
+  forward di ~x0 ~h ~control xs;
+  backward di ~c ~h ~control xs ps;
+  (* snap to the pure bang-bang argmax control; keep the snap unless it
+     loses more than the discretisation tolerance *)
+  update_control ~relax:1.0;
+  forward di ~x0 ~h ~control xs;
+  if value () < !best_value -. (tol *. Float.max 1. (Float.abs !best_value))
+  then begin
+    Array.blit (Array.map Vec.copy best_control) 0 control 0 steps;
+    forward di ~x0 ~h ~control xs
+  end;
+  backward di ~c ~h ~control xs ps;
+  let signed = value () in
+  let value = match sense with `Max -> signed | `Min -> -.signed in
+  { value; times; x = xs; p = ps; control; iterations = !iterations;
+    converged = !converged }
+
+let bound_series ?steps ?max_iter ?tol ?relax ?opt di ~x0 ~coord ~times =
+  Array.map
+    (fun t ->
+      if t <= 0. then (x0.(coord), x0.(coord))
+      else begin
+        let lo =
+          (solve ?steps ?max_iter ?tol ?relax ?opt di ~x0 ~horizon:t
+             ~sense:`Min (`Coord coord))
+            .value
+        in
+        let hi =
+          (solve ?steps ?max_iter ?tol ?relax ?opt di ~x0 ~horizon:t
+             ~sense:`Max (`Coord coord))
+            .value
+        in
+        (lo, hi)
+      end)
+    times
+
+let switch_times ?min_dwell result ~coord =
+  let k = Array.length result.control in
+  if k = 0 then []
+  else begin
+    let h = result.times.(1) -. result.times.(0) in
+    let min_dwell = match min_dwell with Some d -> d | None -> 5. *. h in
+    (* segment the control into maximal constant runs, scanning
+       backwards so the list comes out in time order *)
+    let segments = ref [] in
+    for i = k - 1 downto 0 do
+      let v = result.control.(i).(coord) in
+      match !segments with
+      | (v0, _start, stop) :: rest when Float.abs (v0 -. v) <= 1e-9 ->
+          segments := (v0, i, stop) :: rest
+      | _ -> segments := (v, i, i + 1) :: !segments
+    done;
+    (* absorb runs shorter than the dwell threshold (chattering cells
+       around the true switch) into their predecessor, re-merging equal
+       neighbours as they appear *)
+    let merged =
+      List.fold_left
+        (fun acc (v, start, stop) ->
+          let dwell = float_of_int (stop - start) *. h in
+          match acc with
+          | (v0, s0, _) :: rest when dwell < min_dwell ->
+              (v0, s0, stop) :: rest
+          | (v0, s0, _) :: rest when Float.abs (v0 -. v) <= 1e-9 ->
+              (v0, s0, stop) :: rest
+          | _ -> (v, start, stop) :: acc)
+        [] !segments
+      |> List.rev
+    in
+    (* a short leading run has no predecessor: absorb it forwards *)
+    let merged =
+      match merged with
+      | (_, s0, stop0) :: (v1, _, stop1) :: rest
+        when float_of_int (stop0 - s0) *. h < min_dwell ->
+          (v1, s0, stop1) :: rest
+      | other -> other
+    in
+    let rec boundaries = function
+      | (_, _, stop) :: ((_, _, _) :: _ as rest) ->
+          result.times.(stop) :: boundaries rest
+      | _ -> []
+    in
+    boundaries merged
+  end

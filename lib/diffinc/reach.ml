@@ -1,0 +1,36 @@
+open Umf_numerics
+
+let random_piecewise_control rng di ~horizon ~switches ~vertex_bias =
+  let vertices = Array.of_list (Optim.Box.vertices di.Di.theta) in
+  let n_pieces = 1 + Rng.int rng (switches + 1) in
+  let cuts =
+    Array.init (n_pieces - 1) (fun _ -> Rng.float_range rng 0. horizon)
+  in
+  Array.sort compare cuts;
+  let draw () =
+    if Rng.float rng < vertex_bias then
+      Vec.copy vertices.(Rng.int rng (Array.length vertices))
+    else Optim.Box.sample_uniform rng di.Di.theta
+  in
+  let values = Array.init n_pieces (fun _ -> draw ()) in
+  fun t _x ->
+    let rec piece i = if i < Array.length cuts && t >= cuts.(i) then piece (i + 1) else i in
+    values.(piece 0)
+
+let sample_states ?(dt = 1e-2) ?(switches = 4) ?(vertex_bias = 0.7) di ~x0
+    ~horizon ~n_controls rng =
+  if n_controls <= 0 then invalid_arg "Reach.sample_states: need n_controls > 0";
+  if horizon <= 0. then invalid_arg "Reach.sample_states: need horizon > 0";
+  List.init n_controls (fun _ ->
+      let control =
+        random_piecewise_control rng di ~horizon ~switches ~vertex_bias
+      in
+      let traj = Di.integrate_control di ~control ~x0 ~horizon ~dt in
+      Ode.Traj.last traj)
+
+let hull_2d ?dt ?switches ?vertex_bias di ~x0 ~horizon ~n_controls rng =
+  if di.Di.dim <> 2 then invalid_arg "Reach.hull_2d: system is not 2-D";
+  let states =
+    sample_states ?dt ?switches ?vertex_bias di ~x0 ~horizon ~n_controls rng
+  in
+  Geometry.convex_hull (List.map (fun x -> (x.(0), x.(1))) states)

@@ -1,0 +1,38 @@
+(** Monte-Carlo under-approximation of reach sets.
+
+    Random piecewise-constant controls (biased towards the vertices of
+    Θ, where the extremal bang-bang controls live) yield a cloud of
+    genuinely reachable states — an inner approximation that
+    complements the outer Pontryagin/hull bounds, in the spirit of the
+    sampling methods [39–41] cited by the paper. *)
+
+open Umf_numerics
+
+val sample_states :
+  ?dt:float ->
+  ?switches:int ->
+  ?vertex_bias:float ->
+  Di.t ->
+  x0:Vec.t ->
+  horizon:float ->
+  n_controls:int ->
+  Rng.t ->
+  Vec.t list
+(** [n_controls] random controls, each a piecewise-constant function
+    with at most [switches] (default 4) switching times; with
+    probability [vertex_bias] (default 0.7) each piece is a vertex of
+    Θ, otherwise uniform in Θ.  Returns the states reached at
+    [horizon]. *)
+
+val hull_2d :
+  ?dt:float ->
+  ?switches:int ->
+  ?vertex_bias:float ->
+  Di.t ->
+  x0:Vec.t ->
+  horizon:float ->
+  n_controls:int ->
+  Rng.t ->
+  Geometry.point list
+(** Convex hull of the reachable cloud for 2-D systems.
+    @raise Invalid_argument if the system is not 2-dimensional. *)

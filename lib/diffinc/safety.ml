@@ -1,0 +1,91 @@
+open Umf_numerics
+
+type constraint_ = { label : string; normal : Vec.t; bound : float }
+
+let le ?label ~coord ~dim b =
+  if coord < 0 || coord >= dim then invalid_arg "Safety.le: coordinate range";
+  let normal = Vec.zeros dim in
+  normal.(coord) <- 1.;
+  let label =
+    match label with Some l -> l | None -> Printf.sprintf "x%d <= %g" coord b
+  in
+  { label; normal; bound = b }
+
+let ge ?label ~coord ~dim b =
+  if coord < 0 || coord >= dim then invalid_arg "Safety.ge: coordinate range";
+  let normal = Vec.zeros dim in
+  normal.(coord) <- -1.;
+  let label =
+    match label with Some l -> l | None -> Printf.sprintf "x%d >= %g" coord b
+  in
+  { label; normal; bound = -.b }
+
+type witness = {
+  constraint_ : constraint_;
+  time : float;
+  value : float;
+  control : Pontryagin.result;
+}
+
+type verdict = Safe of float | Violated of witness
+
+let verify ?steps ?(check_points = 20) di ~x0 ~horizon constraints =
+  if constraints = [] then invalid_arg "Safety.verify: no constraints";
+  if check_points < 1 then invalid_arg "Safety.verify: check_points < 1";
+  List.iter
+    (fun c ->
+      if Vec.dim c.normal <> di.Di.dim then
+        invalid_arg
+          (Printf.sprintf "Safety.verify: constraint %s dimension mismatch"
+             c.label))
+    constraints;
+  let times =
+    Array.init check_points (fun i ->
+        horizon *. float_of_int (i + 1) /. float_of_int check_points)
+  in
+  let margin = ref Float.infinity in
+  let worst : witness option ref = ref None in
+  (* initial state check *)
+  List.iter
+    (fun c ->
+      let v = Vec.dot c.normal x0 in
+      margin := Float.min !margin (c.bound -. v))
+    constraints;
+  let initial_violation =
+    List.find_opt (fun c -> Vec.dot c.normal x0 > c.bound) constraints
+  in
+  (match initial_violation with
+  | Some c ->
+      (* degenerate witness at t = 0: build a trivial control record *)
+      let r =
+        Pontryagin.solve ?steps di ~x0 ~horizon:(Float.max horizon 1e-6)
+          ~sense:`Max (`Linear c.normal)
+      in
+      worst :=
+        Some { constraint_ = c; time = 0.; value = Vec.dot c.normal x0; control = r }
+  | None ->
+      (try
+         List.iter
+           (fun c ->
+             Array.iter
+               (fun t ->
+                 let r =
+                   Pontryagin.solve ?steps di ~x0 ~horizon:t ~sense:`Max
+                     (`Linear c.normal)
+                 in
+                 margin := Float.min !margin (c.bound -. r.Pontryagin.value);
+                 if r.Pontryagin.value > c.bound then begin
+                   worst :=
+                     Some
+                       {
+                         constraint_ = c;
+                         time = t;
+                         value = r.Pontryagin.value;
+                         control = r;
+                       };
+                   raise Exit
+                 end)
+               times)
+           constraints
+       with Exit -> ()));
+  match !worst with Some w -> Violated w | None -> Safe !margin

@@ -1,0 +1,53 @@
+(** Bounded-horizon safety verification of imprecise mean-field models.
+
+    A safety property is a conjunction of linear constraints
+    a·x(t) ≤ b required to hold at {e every} time in [0, T], for
+    {e every} solution of the differential inclusion — i.e. whatever
+    the imprecise parameters do.  Verification reduces to support
+    functions: the property holds iff max over solutions of a·x(t)
+    stays ≤ b, which the Pontryagin solver computes on a time grid.
+
+    When violated, the checker returns a {e witness}: the violating
+    time, the extremal value, and the bang-bang parameter trajectory
+    realising it — directly usable as a counterexample (e.g. the
+    environment pattern that breaks a vaccination design). *)
+
+open Umf_numerics
+
+type constraint_ = {
+  label : string;
+  normal : Vec.t;  (** a *)
+  bound : float;  (** b: the constraint is a·x ≤ b *)
+}
+
+val le : ?label:string -> coord:int -> dim:int -> float -> constraint_
+(** [le ~coord ~dim b]: x_coord ≤ b. *)
+
+val ge : ?label:string -> coord:int -> dim:int -> float -> constraint_
+(** [ge ~coord ~dim b]: x_coord ≥ b (encoded as −x ≤ −b). *)
+
+type witness = {
+  constraint_ : constraint_;
+  time : float;  (** Grid time of the worst violation. *)
+  value : float;  (** Extremal a·x(time) (> bound). *)
+  control : Pontryagin.result;  (** The violating parameter pattern. *)
+}
+
+type verdict = Safe of float | Violated of witness
+(** [Safe margin]: the property holds with [margin] = min over
+    constraints and grid times of (b − worst-case a·x). *)
+
+val verify :
+  ?steps:int ->
+  ?check_points:int ->
+  Di.t ->
+  x0:Vec.t ->
+  horizon:float ->
+  constraint_ list ->
+  verdict
+(** Checks each constraint at [check_points] (default 20) evenly spaced
+    times (plus the initial state).  Sound up to the time grid: the
+    maximum of a·x(t) between check points is not examined, so choose
+    [check_points] commensurate with the system's time scale.
+    @raise Invalid_argument on an empty constraint list or dimension
+    mismatches. *)

@@ -1,0 +1,78 @@
+open Umf_numerics
+
+type t = { directions : Vec.t array; support : float array }
+
+let directions_2d k =
+  if k < 3 then invalid_arg "Template.directions_2d: need k >= 3";
+  Array.init k (fun i ->
+      let a = 2. *. Float.pi *. float_of_int i /. float_of_int k in
+      [| Float.cos a; Float.sin a |])
+
+let axis_directions d =
+  if d < 1 then invalid_arg "Template.axis_directions: need d >= 1";
+  Array.init (2 * d) (fun i ->
+      let v = Vec.zeros d in
+      v.(i / 2) <- (if i mod 2 = 0 then 1. else -1.);
+      v)
+
+let compute ?steps ?max_iter ?relax di ~x0 ~horizon ~directions =
+  let support =
+    Array.map
+      (fun alpha ->
+        (Pontryagin.solve ?steps ?max_iter ?relax di ~x0 ~horizon ~sense:`Max
+           (`Linear alpha))
+          .Pontryagin.value)
+      directions
+  in
+  { directions; support }
+
+let mem ?(tol = 1e-9) t x =
+  let ok = ref true in
+  Array.iteri
+    (fun i alpha -> if Vec.dot alpha x > t.support.(i) +. tol then ok := false)
+    t.directions;
+  !ok
+
+(* Sutherland–Hodgman clipping of a polygon by the half-plane
+   {p : n.p <= h}. *)
+let clip_halfplane poly (nx, ny) h =
+  let inside (px, py) = (nx *. px) +. (ny *. py) <= h +. 1e-12 in
+  let intersect (ax, ay) (bx, by) =
+    let da = (nx *. ax) +. (ny *. ay) -. h in
+    let db = (nx *. bx) +. (ny *. by) -. h in
+    let s = da /. (da -. db) in
+    (ax +. (s *. (bx -. ax)), ay +. (s *. (by -. ay)))
+  in
+  match poly with
+  | [] -> []
+  | _ ->
+      let n = List.length poly in
+      let arr = Array.of_list poly in
+      let out = ref [] in
+      for i = 0 to n - 1 do
+        let cur = arr.(i) and next = arr.((i + 1) mod n) in
+        let cin = inside cur and nin = inside next in
+        if cin then out := cur :: !out;
+        if cin <> nin then out := intersect cur next :: !out
+      done;
+      List.rev !out
+
+let polygon_2d t =
+  if Array.length t.directions = 0 then
+    invalid_arg "Template.polygon_2d: no directions";
+  Array.iter
+    (fun d ->
+      if Vec.dim d <> 2 then
+        invalid_arg "Template.polygon_2d: directions are not 2-D")
+    t.directions;
+  (* start from a huge square and clip by every template half-plane *)
+  let big = 1e6 in
+  let square = [ (-.big, -.big); (big, -.big); (big, big); (-.big, big) ] in
+  let poly = ref square in
+  Array.iteri
+    (fun i alpha ->
+      poly := clip_halfplane !poly (alpha.(0), alpha.(1)) t.support.(i))
+    t.directions;
+  Geometry.convex_hull !poly
+
+let area_2d t = Geometry.polygon_area (polygon_2d t)

@@ -1,0 +1,48 @@
+(** Template-polyhedron reach sets (the extension sketched at the end
+    of Sec. IV-C and in the paper's future work).
+
+    The coordinate bounds x_i^min(T), x_i^max(T) describe the reach set
+    only as a rectangle.  Running the Pontryagin solver on linear
+    objectives α·x(T) for a set of template directions α yields the
+    exact support function of the reach set in those directions; the
+    intersection of the half-spaces {x : α·x ≤ h(α)} is a convex
+    polyhedron that over-approximates the reach set and refines the
+    rectangle (it IS the convex hull of the reach set as the number of
+    directions grows). *)
+
+open Umf_numerics
+
+type t = {
+  directions : Vec.t array;  (** Outward template normals α. *)
+  support : float array;  (** h(α) = max α·x(T) over the inclusion. *)
+}
+
+val directions_2d : int -> Vec.t array
+(** [k] unit directions evenly spread on the circle ([k >= 3]). *)
+
+val axis_directions : int -> Vec.t array
+(** The 2d axis-aligned directions ±e_i of a d-dimensional system —
+    template bounds with these recover the coordinate rectangle. *)
+
+val compute :
+  ?steps:int ->
+  ?max_iter:int ->
+  ?relax:float ->
+  Di.t ->
+  x0:Vec.t ->
+  horizon:float ->
+  directions:Vec.t array ->
+  t
+(** One Pontryagin solve per direction. *)
+
+val mem : ?tol:float -> t -> Vec.t -> bool
+(** Whether a point satisfies every template inequality. *)
+
+val polygon_2d : t -> Geometry.point list
+(** For 2-D systems: the polygon of the template polyhedron (vertices
+    of the intersection of half-planes, computed by clipping a large
+    bounding square).
+    @raise Invalid_argument if the directions are not 2-D. *)
+
+val area_2d : t -> float
+(** Area of {!polygon_2d}. *)

@@ -1,0 +1,40 @@
+open Umf_numerics
+
+let theta_grid di grid = Optim.Box.sample_grid di.Di.theta grid
+
+let transient_envelope ?(dt = 1e-2) ?(grid = 21) di ~x0 ~times =
+  let m = Array.length times in
+  if m = 0 then invalid_arg "Uncertain.transient_envelope: no sample times";
+  let horizon = Array.fold_left Float.max 0. times in
+  let lower = Array.make m (Vec.create di.Di.dim Float.infinity) in
+  let upper = Array.make m (Vec.create di.Di.dim Float.neg_infinity) in
+  List.iter
+    (fun theta ->
+      let traj =
+        if horizon > 0. then
+          Di.integrate_constant di ~theta ~x0 ~horizon ~dt
+        else Ode.Traj.of_arrays [| 0. |] [| Vec.copy x0 |]
+      in
+      Array.iteri
+        (fun i t ->
+          let x = Ode.Traj.at traj t in
+          lower.(i) <- Vec.cmin lower.(i) x;
+          upper.(i) <- Vec.cmax upper.(i) x)
+        times)
+    (theta_grid di grid);
+  (lower, upper)
+
+let equilibria ?(dt = 1e-2) ?(grid = 21) ?(settle_time = 200.) di ~x0 =
+  List.map
+    (fun theta ->
+      Ode.integrate_to (fun _t x -> di.Di.drift x theta) ~t0:0. ~y0:x0
+        ~t1:settle_time ~dt)
+    (theta_grid di grid)
+
+let extremal_coord ?(dt = 1e-2) ?(grid = 21) di ~x0 ~coord ~horizon =
+  if coord < 0 || coord >= di.Di.dim then
+    invalid_arg "Uncertain.extremal_coord: coordinate out of range";
+  let lower, upper =
+    transient_envelope ~dt ~grid di ~x0 ~times:[| horizon |]
+  in
+  (lower.(0).(coord), upper.(0).(coord))

@@ -1,0 +1,40 @@
+(** Analysis of the uncertain scenario: θ constant but unknown in Θ
+    (Definition 2 / Corollary 1).
+
+    The reachable set is the union over constant θ of single ODE
+    solutions, explored on a parameter grid. *)
+
+open Umf_numerics
+
+val transient_envelope :
+  ?dt:float ->
+  ?grid:int ->
+  Di.t ->
+  x0:Vec.t ->
+  times:float array ->
+  Vec.t array * Vec.t array
+(** [(lower, upper)] per sample time: the coordinate-wise min/max of
+    x^θ(t) over a [grid]-per-axis factorial grid of constant parameters
+    (default 21).  These are the solid curves of Figure 1. *)
+
+val equilibria :
+  ?dt:float ->
+  ?grid:int ->
+  ?settle_time:float ->
+  Di.t ->
+  x0:Vec.t ->
+  Vec.t list
+(** Long-run states x^θ(∞) for each constant θ on the grid, obtained by
+    integrating from [x0] for [settle_time] (default 200) — the red
+    equilibrium curve of Figure 3.  For systems with fixed points this
+    is the equilibrium manifold sampled along Θ. *)
+
+val extremal_coord :
+  ?dt:float ->
+  ?grid:int ->
+  Di.t ->
+  x0:Vec.t ->
+  coord:int ->
+  horizon:float ->
+  float * float
+(** [(min, max)] of x_coord(horizon) over constant parameters. *)

@@ -1,0 +1,65 @@
+open Umf_numerics
+
+type instance = {
+  theta : float -> Vec.t -> Vec.t;
+  jump_rate : float -> Vec.t -> float;
+  do_jump : Rng.t -> float -> Vec.t -> unit;
+  notify : float -> Vec.t -> unit;
+}
+
+type t = { name : string; instantiate : unit -> instance }
+
+let no_jump =
+  ( (fun _t _x -> 0.),
+    fun _rng _t _x -> () )
+
+let constant theta =
+  let jump_rate, do_jump = no_jump in
+  {
+    name = "constant";
+    instantiate =
+      (fun () ->
+        { theta = (fun _t _x -> theta); jump_rate; do_jump; notify = (fun _ _ -> ()) });
+  }
+
+let feedback name f =
+  let jump_rate, do_jump = no_jump in
+  {
+    name;
+    instantiate =
+      (fun () -> { theta = f; jump_rate; do_jump; notify = (fun _ _ -> ()) });
+  }
+
+let hysteresis ~name ~high ~low ~drop_if ~rise_if ~init =
+  let jump_rate, do_jump = no_jump in
+  {
+    name;
+    instantiate =
+      (fun () ->
+        let mode = ref init in
+        let notify _t x =
+          match !mode with
+          | `High -> if drop_if x then mode := `Low
+          | `Low -> if rise_if x then mode := `High
+        in
+        let theta _t _x = match !mode with `High -> high | `Low -> low in
+        { theta; jump_rate; do_jump; notify });
+  }
+
+let jump_redraw ~name ~rate ~redraw ~box ~init =
+  if not (Optim.Box.mem init box) then
+    invalid_arg "Policy.jump_redraw: init outside box";
+  {
+    name;
+    instantiate =
+      (fun () ->
+        let current = ref (Vec.copy init) in
+        {
+          theta = (fun _t _x -> !current);
+          jump_rate = rate;
+          do_jump = (fun rng _t _x -> current := redraw rng box);
+          notify = (fun _ _ -> ());
+        });
+  }
+
+let uniform_redraw rng box = Optim.Box.sample_uniform rng box

@@ -1,0 +1,56 @@
+(** Adapted parameter policies θ_t for imprecise population processes.
+
+    A policy is the adversary/environment choosing θ inside Θ.  It may
+    observe time and the current (density) state, keep internal state
+    (hysteresis), and possess its own exponential jump clock (random
+    redraws), covering the two control functions of Sec. V-E of the
+    paper. *)
+
+open Umf_numerics
+
+(** A live instance carries the policy's mutable internal state for one
+    simulation run. *)
+type instance = {
+  theta : float -> Vec.t -> Vec.t;
+      (** [theta t x]: the current parameter choice. *)
+  jump_rate : float -> Vec.t -> float;
+      (** Absolute rate of spontaneous policy jumps (0 if none). *)
+  do_jump : Rng.t -> float -> Vec.t -> unit;
+      (** Apply a spontaneous jump (called when the jump clock fires). *)
+  notify : float -> Vec.t -> unit;
+      (** Called after every process transition, so state-triggered
+          policies (hysteresis) can update. *)
+}
+
+type t = { name : string; instantiate : unit -> instance }
+
+val constant : Vec.t -> t
+(** The uncertain scenario: θ fixed for the whole run. *)
+
+val feedback : string -> (float -> Vec.t -> Vec.t) -> t
+(** Deterministic measurable feedback θ(t, x). *)
+
+val hysteresis :
+  name:string ->
+  high:Vec.t ->
+  low:Vec.t ->
+  drop_if:(Vec.t -> bool) ->
+  rise_if:(Vec.t -> bool) ->
+  init:[ `High | `Low ] ->
+  t
+(** Two-mode switching policy: in mode [`High] it plays [high] and
+    drops to [`Low] when [drop_if x]; in mode [`Low] it plays [low] and
+    rises when [rise_if x].  Policy θ1 of the paper is an instance. *)
+
+val jump_redraw :
+  name:string ->
+  rate:(float -> Vec.t -> float) ->
+  redraw:(Rng.t -> Optim.Box.t -> Vec.t) ->
+  box:Optim.Box.t ->
+  init:Vec.t ->
+  t
+(** θ jumps to a freshly drawn value at a state-dependent rate — policy
+    θ2 of the paper uses rate 5·X_I and a uniform redraw. *)
+
+val uniform_redraw : Rng.t -> Optim.Box.t -> Vec.t
+(** Convenience redraw function: uniform over the box. *)

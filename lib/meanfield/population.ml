@@ -1,0 +1,72 @@
+open Umf_numerics
+
+type transition = {
+  name : string;
+  change : Vec.t;
+  rate : Vec.t -> Vec.t -> float;
+}
+
+type t = {
+  name : string;
+  dim : int;
+  var_names : string array;
+  theta_names : string array;
+  theta : Optim.Box.t;
+  transitions : transition array;
+}
+
+let make ~name ~var_names ~theta_names ~theta transitions =
+  let dim = Array.length var_names in
+  if dim = 0 then invalid_arg "Population.make: no variables";
+  if Optim.Box.dim theta <> Array.length theta_names then
+    invalid_arg "Population.make: theta box/name dimension mismatch";
+  List.iter
+    (fun tr ->
+      if Vec.dim tr.change <> dim then
+        invalid_arg
+          (Printf.sprintf "Population.make: transition %s has change of wrong dimension"
+             tr.name))
+    transitions;
+  { name; dim; var_names; theta_names; theta; transitions = Array.of_list transitions }
+
+let dim m = m.dim
+
+let theta_dim m = Optim.Box.dim m.theta
+
+let drift m x theta =
+  let f = Vec.zeros m.dim in
+  Array.iter
+    (fun tr -> Vec.axpy_in_place (tr.rate x theta) tr.change f)
+    m.transitions;
+  f
+
+let drift_rhs m ~theta _t x = drift m x theta
+
+let controlled_rhs m ~control t x = drift m x (control t x)
+
+let propensities m ~n x theta =
+  if n <= 0 then invalid_arg "Population.propensities: need n > 0";
+  Array.map
+    (fun tr ->
+      let beta = tr.rate x theta in
+      if beta < 0. || Float.is_nan beta then
+        invalid_arg
+          (Printf.sprintf "Population: transition %s has invalid rate" tr.name);
+      float_of_int n *. beta)
+    m.transitions
+
+let total_rate_bound m ~x_box =
+  (* maximise the total density rate over state-box x theta-box *)
+  let joint =
+    Optim.Box.make
+      (Array.append x_box.Optim.Box.lo m.theta.Optim.Box.lo)
+      (Array.append x_box.Optim.Box.hi m.theta.Optim.Box.hi)
+  in
+  let d = m.dim in
+  let total v =
+    let x = Array.sub v 0 d and theta = Array.sub v d (Array.length v - d) in
+    Array.fold_left (fun acc tr -> acc +. tr.rate x theta) 0. m.transitions
+  in
+  let _, best = Optim.maximize_box ~grid:3 total joint in
+  (* small safety factor against non-multilinear rates *)
+  best *. 1.05

@@ -1,0 +1,132 @@
+open Umf_numerics
+
+(* Core Gillespie loop.  [on_hold t0 t1 x] is invoked for every maximal
+   interval on which the density state is the constant [x] (a copy);
+   the union of intervals is exactly [0, tmax]. *)
+let run model ~n ~x0 ~(policy : Policy.t) ~tmax ~rng ~on_hold =
+  if n <= 0 then invalid_arg "Ssa: need n > 0";
+  if tmax < 0. then invalid_arg "Ssa: negative horizon";
+  if Vec.dim x0 <> Population.dim model then
+    invalid_arg "Ssa: x0 dimension mismatch";
+  let nf = float_of_int n in
+  let counts = Vec.map (fun v -> Float.round (v *. nf)) x0 in
+  let inst = policy.Policy.instantiate () in
+  let ntrans = Array.length model.Population.transitions in
+  let t = ref 0. in
+  let events = ref 0 in
+  let density () = Vec.scale (1. /. nf) counts in
+  let finished = ref false in
+  while not !finished do
+    let x = density () in
+    let theta = Optim.Box.clamp model.Population.theta (inst.Policy.theta !t x) in
+    let props = Population.propensities model ~n x theta in
+    let jump_rate = inst.Policy.jump_rate !t x in
+    if jump_rate < 0. then invalid_arg "Ssa: negative policy jump rate";
+    let total = Vec.sum props +. jump_rate in
+    if total <= 0. then begin
+      on_hold !t tmax x;
+      t := tmax;
+      finished := true
+    end
+    else begin
+      let dt = Rng.exponential rng total in
+      if !t +. dt >= tmax then begin
+        on_hold !t tmax x;
+        t := tmax;
+        finished := true
+      end
+      else begin
+        let t' = !t +. dt in
+        on_hold !t t' x;
+        let weights = Array.append props [| jump_rate |] in
+        let k = Rng.categorical rng weights in
+        if k < ntrans then begin
+          let tr = model.Population.transitions.(k) in
+          Vec.axpy_in_place 1. tr.Population.change counts;
+          Array.iteri
+            (fun i c ->
+              if c < -1e-9 then
+                failwith
+                  (Printf.sprintf
+                     "Ssa: transition %s drove count of %s negative"
+                     tr.Population.name
+                     model.Population.var_names.(i)))
+            counts
+        end
+        else inst.Policy.do_jump rng t' (density ());
+        incr events;
+        t := t';
+        inst.Policy.notify t' (density ())
+      end
+    end
+  done;
+  (density (), !events)
+
+let final model ~n ~x0 ~policy ~tmax rng =
+  let x, _ = run model ~n ~x0 ~policy ~tmax ~rng ~on_hold:(fun _ _ _ -> ()) in
+  x
+
+let count_events model ~n ~x0 ~policy ~tmax rng =
+  let _, events =
+    run model ~n ~x0 ~policy ~tmax ~rng ~on_hold:(fun _ _ _ -> ())
+  in
+  events
+
+let trajectory model ~n ~x0 ~policy ~tmax rng =
+  let times = ref [] and states = ref [] in
+  let on_hold t0 _t1 x =
+    match !times with
+    | prev :: _ when t0 <= prev -> ()
+    | _ ->
+        times := t0 :: !times;
+        states := x :: !states
+  in
+  let xf, _ = run model ~n ~x0 ~policy ~tmax ~rng ~on_hold in
+  (* close the trajectory at the horizon *)
+  (match !times with
+  | prev :: _ when tmax > prev ->
+      times := tmax :: !times;
+      states := xf :: !states
+  | _ -> ());
+  Ode.Traj.of_arrays
+    (Array.of_list (List.rev !times))
+    (Array.of_list (List.rev !states))
+
+let sampled model ~n ~x0 ~policy ~times rng =
+  let m = Array.length times in
+  if m = 0 then [||]
+  else begin
+    for i = 1 to m - 1 do
+      if times.(i) <= times.(i - 1) then
+        invalid_arg "Ssa.sampled: times not increasing"
+    done;
+    if times.(0) < 0. then invalid_arg "Ssa.sampled: negative sample time";
+    let tmax = times.(m - 1) +. 1e-12 in
+    let out = Array.make m [||] in
+    let next = ref 0 in
+    let on_hold t0 t1 x =
+      (* samples in [t0, t1) see state x; the final hold is closed at
+         the horizon so the last sample is always emitted *)
+      while !next < m && times.(!next) >= t0 -. 1e-12 && times.(!next) < t1 do
+        out.(!next) <- x;
+        incr next
+      done
+    in
+    let xf, _ = run model ~n ~x0 ~policy ~tmax ~rng ~on_hold in
+    while !next < m do
+      out.(!next) <- xf;
+      incr next
+    done;
+    out
+  end
+
+let time_average model ~n ~x0 ~policy ~tmax ~warmup ~reward rng =
+  if warmup < 0. || warmup >= tmax then
+    invalid_arg "Ssa.time_average: need 0 <= warmup < tmax";
+  let acc = ref 0. in
+  let on_hold t0 t1 x =
+    let a = Float.max t0 warmup and b = t1 in
+    if b > a then acc := !acc +. ((b -. a) *. reward x)
+  in
+  let _ = run model ~n ~x0 ~policy ~tmax ~rng ~on_hold in
+  !acc /. (tmax -. warmup)

@@ -1,0 +1,68 @@
+(** Exact stochastic simulation of population models at finite size N.
+
+    The Gillespie direct method on the counting variables X = N·x, with
+    an adapted θ-policy interleaved: the policy chooses θ at every
+    transition epoch and may fire its own exponential jump clock
+    (redraw policies).  All outputs are on the density scale x = X/N,
+    so trajectories converge to the mean-field limit as N grows
+    (Theorem 1). *)
+
+open Umf_numerics
+
+val final :
+  Population.t ->
+  n:int ->
+  x0:Vec.t ->
+  policy:Policy.t ->
+  tmax:float ->
+  Rng.t ->
+  Vec.t
+(** Density state at [tmax].  [x0] is a density vector; the initial
+    counts are [round (N x0)] component-wise.
+    @raise Failure if a transition drives a count negative (a
+    mis-specified model whose rate does not vanish at the
+    boundary). *)
+
+val trajectory :
+  Population.t ->
+  n:int ->
+  x0:Vec.t ->
+  policy:Policy.t ->
+  tmax:float ->
+  Rng.t ->
+  Ode.Traj.t
+(** Full event trajectory (one point per transition) — memory scales
+    with the number of events. *)
+
+val sampled :
+  Population.t ->
+  n:int ->
+  x0:Vec.t ->
+  policy:Policy.t ->
+  times:float array ->
+  Rng.t ->
+  Vec.t array
+(** Density states at the given increasing sample times (piecewise
+    constant between events), without storing the full path. *)
+
+val time_average :
+  Population.t ->
+  n:int ->
+  x0:Vec.t ->
+  policy:Policy.t ->
+  tmax:float ->
+  warmup:float ->
+  reward:(Vec.t -> float) ->
+  Rng.t ->
+  float
+(** Holding-time-weighted average of [reward x] over [[warmup, tmax]]. *)
+
+val count_events :
+  Population.t ->
+  n:int ->
+  x0:Vec.t ->
+  policy:Policy.t ->
+  tmax:float ->
+  Rng.t ->
+  int
+(** Number of transitions fired (model transitions + policy jumps). *)

@@ -1,0 +1,88 @@
+open Umf_numerics
+
+type transition = { name : string; change : Vec.t; rate : Expr.t }
+
+type t = {
+  model : Population.t;
+  transitions : transition list;
+  drift : Expr.t array;
+  jac : Expr.t array array;  (** jac.(i).(j) = ∂f_i/∂x_j *)
+  theta_jac : Expr.t array array;
+}
+
+let make ~name ~var_names ~theta_names ~theta transitions =
+  let dim = Array.length var_names in
+  let theta_dim = Array.length theta_names in
+  List.iter
+    (fun tr ->
+      List.iter
+        (fun i ->
+          if i >= dim then
+            invalid_arg
+              (Printf.sprintf "Symbolic.make: %s references x%d (dim %d)"
+                 tr.name i dim))
+        (Expr.vars tr.rate);
+      List.iter
+        (fun j ->
+          if j >= theta_dim then
+            invalid_arg
+              (Printf.sprintf "Symbolic.make: %s references th%d (theta dim %d)"
+                 tr.name j theta_dim))
+        (Expr.thetas tr.rate))
+    transitions;
+  let compiled =
+    List.map
+      (fun tr ->
+        {
+          Population.name = tr.name;
+          change = tr.change;
+          rate = (fun x th -> Expr.eval tr.rate ~x ~th);
+        })
+      transitions
+  in
+  let model =
+    Population.make ~name ~var_names ~theta_names ~theta compiled
+  in
+  (* f_i = sum over transitions of change_i * rate *)
+  let drift =
+    Array.init dim (fun i ->
+        List.fold_left
+          (fun acc tr ->
+            if tr.change.(i) = 0. then acc
+            else
+              Expr.(acc +: (const tr.change.(i) *: tr.rate)))
+          (Expr.const 0.) transitions
+        |> Expr.simplify)
+  in
+  let jac =
+    Array.map
+      (fun fi -> Array.init dim (fun j -> Expr.simplify (Expr.diff_var fi j)))
+      drift
+  in
+  let theta_jac =
+    Array.map
+      (fun fi ->
+        Array.init theta_dim (fun j -> Expr.simplify (Expr.diff_theta fi j)))
+      drift
+  in
+  { model; transitions; drift; jac; theta_jac }
+
+let population s = s.model
+
+let drift_exprs s = s.drift
+
+let eval_matrix cells x th =
+  Mat.init (Array.length cells)
+    (if Array.length cells = 0 then 0 else Array.length cells.(0))
+    (fun i j -> Expr.eval cells.(i).(j) ~x ~th)
+
+let jacobian s x th = eval_matrix s.jac x th
+
+let theta_jacobian s x th = eval_matrix s.theta_jac x th
+
+let drift_interval s ~x ~th =
+  Array.map (fun fi -> Expr.eval_interval fi ~x ~th) s.drift
+
+let affine_in_theta s = Array.for_all Expr.is_affine_in_theta s.drift
+
+let multilinear s = Array.for_all Expr.is_multilinear s.drift

@@ -1,0 +1,54 @@
+(** Population models with symbolic transition rates.
+
+    A thin bridge from {!Umf_numerics.Expr} rate trees to
+    {!Population.t}: the same model object works with every solver,
+    plus the extras only a symbolic representation can provide — exact
+    drift Jacobians (for Pontryagin costates) and certified interval
+    drift bounds (for the differential hull). *)
+
+open Umf_numerics
+
+type transition = {
+  name : string;
+  change : Vec.t;
+  rate : Expr.t;  (** density-scaled rate, must be >= 0 on the domain *)
+}
+
+type t
+
+val make :
+  name:string ->
+  var_names:string array ->
+  theta_names:string array ->
+  theta:Optim.Box.t ->
+  transition list ->
+  t
+(** @raise Invalid_argument if a rate references a variable or
+    parameter index out of range, or a change vector has the wrong
+    dimension. *)
+
+val population : t -> Population.t
+(** The ordinary population model (rates compiled to closures). *)
+
+val drift_exprs : t -> Expr.t array
+(** The drift coordinates f_i(x, θ) as simplified expressions. *)
+
+val jacobian : t -> Vec.t -> Vec.t -> Mat.t
+(** Exact ∂f/∂x from symbolic differentiation. *)
+
+val theta_jacobian : t -> Vec.t -> Vec.t -> Mat.t
+(** Exact ∂f/∂θ. *)
+
+val drift_interval :
+  t -> x:Interval.t array -> th:Interval.t array -> Interval.t array
+(** Certified enclosure of each drift coordinate over a state box and
+    parameter box (interval arithmetic — conservative). *)
+
+val affine_in_theta : t -> bool
+(** Whether every drift coordinate is (syntactically) affine in θ, in
+    which case vertex enumeration of Θ is exact for Hamiltonian
+    maximisation. *)
+
+val multilinear : t -> bool
+(** Whether every drift coordinate is multilinear, in which case box
+    extrema (hull faces) are attained at vertices. *)

@@ -1,0 +1,43 @@
+open Umf_numerics
+open Umf_meanfield
+
+type params = { arrival : Interval.t; return_ : Interval.t }
+
+let default_params =
+  { arrival = Interval.make 0.8 1.4; return_ = Interval.make 0.9 1.2 }
+
+let theta_box p = Optim.Box.of_intervals [ p.arrival; p.return_ ]
+
+let model p =
+  let tr name change rate = { Population.name; change; rate } in
+  Population.make ~name:"bike-station" ~var_names:[| "B" |]
+    ~theta_names:[| "theta_a"; "theta_r" |] ~theta:(theta_box p)
+    [
+      tr "departure" [| -1. |]
+        (fun x theta -> if x.(0) > 1e-12 then theta.(0) else 0.);
+      tr "return" [| 1. |]
+        (fun x theta -> if x.(0) < 1. -. 1e-12 then theta.(1) else 0.);
+    ]
+
+let di p = Umf_diffinc.Di.of_population (model p)
+
+let ictmc p ~capacity =
+  if capacity <= 0 then invalid_arg "Bikesharing.ictmc: need capacity > 0";
+  let trans = ref [] in
+  for k = 0 to capacity do
+    if k > 0 then
+      trans :=
+        { Umf_ctmc.Imprecise_ctmc.src = k; dst = k - 1; rate = (fun th -> th.(0)) }
+        :: !trans;
+    if k < capacity then
+      trans :=
+        { Umf_ctmc.Imprecise_ctmc.src = k; dst = k + 1; rate = (fun th -> th.(1)) }
+        :: !trans
+  done;
+  Umf_ctmc.Imprecise_ctmc.make ~n:(capacity + 1) ~theta:(theta_box p) !trans
+
+let occupancy_reward ~capacity =
+  Array.init (capacity + 1) (fun k -> float_of_int k /. float_of_int capacity)
+
+let empty_indicator ~capacity =
+  Array.init (capacity + 1) (fun k -> if k = 0 then 1. else 0.)

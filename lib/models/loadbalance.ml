@@ -1,0 +1,80 @@
+open Umf_numerics
+open Umf_meanfield
+
+type params = { d : int; k_max : int; lambda : Interval.t }
+
+let default_params = { d = 2; k_max = 8; lambda = Interval.make 0.5 0.9 }
+
+let clamp01 v = Float.min 1. (Float.max 0. v)
+
+let ipow x n =
+  let rec go acc n = if n = 0 then acc else go (acc *. x) (n - 1) in
+  go 1. n
+
+let model p =
+  if p.d < 1 then invalid_arg "Loadbalance: need d >= 1";
+  if p.k_max < 1 then invalid_arg "Loadbalance: need k_max >= 1";
+  let kk = p.k_max in
+  let x_at (x : Vec.t) k =
+    if k = 0 then 1. else if k > kk then 0. else clamp01 x.(k - 1)
+  in
+  let unit k =
+    let v = Vec.zeros kk in
+    v.(k - 1) <- 1.;
+    v
+  in
+  let arrival k (x : Vec.t) (th : Vec.t) =
+    (* a job lands on a server with exactly k-1 jobs *)
+    let below = x_at x (k - 1) and here = x_at x k in
+    th.(0) *. Float.max 0. (ipow below p.d -. ipow here p.d)
+  in
+  let departure k (x : Vec.t) _th =
+    Float.max 0. (x_at x k -. x_at x (k + 1))
+  in
+  let transitions =
+    List.concat_map
+      (fun k ->
+        [
+          {
+            Population.name = Printf.sprintf "arrive-%d" k;
+            change = unit k;
+            rate = arrival k;
+          };
+          {
+            Population.name = Printf.sprintf "depart-%d" k;
+            change = Vec.scale (-1.) (unit k);
+            rate = departure k;
+          };
+        ])
+      (List.init kk (fun i -> i + 1))
+  in
+  Population.make
+    ~name:(Printf.sprintf "jsq-%d" p.d)
+    ~var_names:(Array.init kk (fun i -> Printf.sprintf "x%d" (i + 1)))
+    ~theta_names:[| "lambda" |]
+    ~theta:(Optim.Box.of_intervals [ p.lambda ])
+    transitions
+
+let di p = Umf_diffinc.Di.of_population (model p)
+
+let x0_empty p = Vec.zeros p.k_max
+
+let fixed_point p ~lambda =
+  if lambda >= 1. then invalid_arg "Loadbalance.fixed_point: need lambda < 1";
+  Array.init p.k_max (fun i ->
+      let k = i + 1 in
+      if p.d = 1 then ipow lambda k
+      else begin
+        (* exponent (d^k - 1) / (d - 1) *)
+        let e = (ipow (float_of_int p.d) k -. 1.) /. float_of_int (p.d - 1) in
+        lambda ** e
+      end)
+
+let mean_queue x = Vec.sum x
+
+let tail_monotone x =
+  let ok = ref (x.(0) <= 1. +. 1e-9) in
+  for i = 1 to Vec.dim x - 1 do
+    if x.(i) > x.(i - 1) +. 1e-9 then ok := false
+  done;
+  !ok && Vec.min_elt x >= -1e-9

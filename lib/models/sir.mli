@@ -1,0 +1,51 @@
+(** The SIR epidemic model of Sec. V.
+
+    N nodes, each susceptible / infected / recovered.  A susceptible
+    node is infected from an external source at rate [a] or by contact
+    at rate θ·X_I with θ ∈ [θ_min, θ_max] imprecise; infected nodes
+    recover at rate [b]; recovered nodes become susceptible again at
+    rate [c].
+
+    The analysis uses the reduced 2-D state (X_S, X_I) with
+    X_R = 1 − X_S − X_I substituted (Eq. 11). *)
+
+open Umf_numerics
+open Umf_meanfield
+
+type params = {
+  a : float;  (** external infection rate *)
+  b : float;  (** recovery rate *)
+  c : float;  (** immunity-loss rate *)
+  theta_min : float;
+  theta_max : float;
+}
+
+val default_params : params
+(** The paper's values: a = 0.1, b = 5, c = 1, θ ∈ [1, 10]. *)
+
+val x0 : Vec.t
+(** The paper's initial condition (X_S, X_I) = (0.7, 0.3). *)
+
+val model : params -> Population.t
+(** Reduced 2-variable population model (variables S, I). *)
+
+val model3 : params -> Population.t
+(** Full 3-variable model (S, I, R) — used to check the reduction. *)
+
+val drift : params -> Vec.t -> Vec.t -> Vec.t
+(** Closed-form reduced drift (Eq. 11): [drift p x theta] with
+    [x = (xS, xI)] and [theta] a 1-vector. *)
+
+val jacobian : params -> Vec.t -> Vec.t -> Mat.t
+(** Analytic ∂f/∂x of the reduced drift. *)
+
+val di : params -> Umf_diffinc.Di.t
+(** The mean-field differential inclusion with analytic Jacobian. *)
+
+val policy_theta1 : params -> Policy.t
+(** Hysteresis policy θ1 of Sec. V-E: plays θ_max and drops to θ_min
+    when X_S < 0.5, rises again when X_S > 0.85. *)
+
+val policy_theta2 : ?redraw_rate:float -> params -> Policy.t
+(** Jump policy θ2 of Sec. V-E: θ redrawn uniformly in [θ_min, θ_max]
+    at rate [redraw_rate]·X_I (default coefficient 5). *)

@@ -1,0 +1,270 @@
+type t =
+  | Const of float
+  | Var of int
+  | Theta of int
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Neg of t
+  | Pow of t * int
+  | Min of t * t
+  | Max of t * t
+  | Ite of t * t * t
+
+let const c = Const c
+
+let var i =
+  if i < 0 then invalid_arg "Expr.var: negative index";
+  Var i
+
+let theta j =
+  if j < 0 then invalid_arg "Expr.theta: negative index";
+  Theta j
+
+let ( +: ) a b = Add (a, b)
+
+let ( -: ) a b = Sub (a, b)
+
+let ( *: ) a b = Mul (a, b)
+
+let ( /: ) a b = Div (a, b)
+
+let neg a = Neg a
+
+let pow a n =
+  if n < 0 then invalid_arg "Expr.pow: negative exponent";
+  Pow (a, n)
+
+let min_ a b = Min (a, b)
+
+let max_ a b = Max (a, b)
+
+let rec eval e ~x ~th =
+  match e with
+  | Const c -> c
+  | Var i ->
+      if i >= Vec.dim x then invalid_arg "Expr.eval: variable out of range";
+      x.(i)
+  | Theta j ->
+      if j >= Vec.dim th then invalid_arg "Expr.eval: theta out of range";
+      th.(j)
+  | Add (a, b) -> eval a ~x ~th +. eval b ~x ~th
+  | Sub (a, b) -> eval a ~x ~th -. eval b ~x ~th
+  | Mul (a, b) -> eval a ~x ~th *. eval b ~x ~th
+  | Div (a, b) -> eval a ~x ~th /. eval b ~x ~th
+  | Neg a -> -.eval a ~x ~th
+  | Pow (a, n) ->
+      let base = eval a ~x ~th in
+      let rec go acc n = if n = 0 then acc else go (acc *. base) (n - 1) in
+      go 1. n
+  | Min (a, b) -> Float.min (eval a ~x ~th) (eval b ~x ~th)
+  | Max (a, b) -> Float.max (eval a ~x ~th) (eval b ~x ~th)
+  | Ite (g, a, b) ->
+      if eval g ~x ~th <= 0. then eval a ~x ~th else eval b ~x ~th
+
+let rec eval_interval e ~x ~th =
+  match e with
+  | Const c -> Interval.of_float c
+  | Var i ->
+      if i >= Array.length x then
+        invalid_arg "Expr.eval_interval: variable out of range";
+      x.(i)
+  | Theta j ->
+      if j >= Array.length th then
+        invalid_arg "Expr.eval_interval: theta out of range";
+      th.(j)
+  | Add (a, b) -> Interval.add (eval_interval a ~x ~th) (eval_interval b ~x ~th)
+  | Sub (a, b) -> Interval.sub (eval_interval a ~x ~th) (eval_interval b ~x ~th)
+  | Mul (a, b) -> Interval.mul (eval_interval a ~x ~th) (eval_interval b ~x ~th)
+  | Div (a, b) -> Interval.div (eval_interval a ~x ~th) (eval_interval b ~x ~th)
+  | Neg a -> Interval.neg (eval_interval a ~x ~th)
+  | Pow (a, n) ->
+      let ia = eval_interval a ~x ~th in
+      (* even powers via [sq] keep the enclosure tight around 0 *)
+      let rec go n =
+        if n = 0 then Interval.of_float 1.
+        else if n mod 2 = 0 then Interval.sq (go (n / 2))
+        else Interval.mul ia (go (n - 1))
+      in
+      go n
+  | Min (a, b) -> Interval.min_ (eval_interval a ~x ~th) (eval_interval b ~x ~th)
+  | Max (a, b) -> Interval.max_ (eval_interval a ~x ~th) (eval_interval b ~x ~th)
+  | Ite (g, a, b) ->
+      let ig = eval_interval g ~x ~th in
+      if Interval.hi ig <= 0. then eval_interval a ~x ~th
+      else if Interval.lo ig > 0. then eval_interval b ~x ~th
+      else Interval.hull (eval_interval a ~x ~th) (eval_interval b ~x ~th)
+
+let rec diff_leaf ~is_one e =
+  match e with
+  | Const _ -> Const 0.
+  | Var _ | Theta _ -> Const (if is_one e then 1. else 0.)
+  | Add (a, b) -> Add (diff_leaf ~is_one a, diff_leaf ~is_one b)
+  | Sub (a, b) -> Sub (diff_leaf ~is_one a, diff_leaf ~is_one b)
+  | Mul (a, b) ->
+      Add (Mul (diff_leaf ~is_one a, b), Mul (a, diff_leaf ~is_one b))
+  | Div (a, b) ->
+      Div
+        ( Sub (Mul (diff_leaf ~is_one a, b), Mul (a, diff_leaf ~is_one b)),
+          Pow (b, 2) )
+  | Neg a -> Neg (diff_leaf ~is_one a)
+  | Pow (_, 0) -> Const 0.
+  | Pow (a, n) ->
+      Mul (Mul (Const (float_of_int n), Pow (a, n - 1)), diff_leaf ~is_one a)
+  | Min (a, b) ->
+      (* active where a <= b: guard a - b <= 0 selects da *)
+      Ite (Sub (a, b), diff_leaf ~is_one a, diff_leaf ~is_one b)
+  | Max (a, b) -> Ite (Sub (a, b), diff_leaf ~is_one b, diff_leaf ~is_one a)
+  | Ite (g, a, b) -> Ite (g, diff_leaf ~is_one a, diff_leaf ~is_one b)
+
+let diff_var e i = diff_leaf ~is_one:(fun l -> l = Var i) e
+
+let diff_theta e j = diff_leaf ~is_one:(fun l -> l = Theta j) e
+
+let rec simplify e =
+  let s = simplify in
+  match e with
+  | Const _ | Var _ | Theta _ -> e
+  | Add (a, b) -> (
+      match (s a, s b) with
+      | Const x, Const y -> Const (x +. y)
+      | Const 0., b' -> b'
+      | a', Const 0. -> a'
+      | a', b' -> Add (a', b'))
+  | Sub (a, b) -> (
+      match (s a, s b) with
+      | Const x, Const y -> Const (x -. y)
+      | a', Const 0. -> a'
+      | Const 0., b' -> Neg b'
+      | a', b' -> Sub (a', b'))
+  | Mul (a, b) -> (
+      match (s a, s b) with
+      | Const x, Const y -> Const (x *. y)
+      | Const 0., _ | _, Const 0. -> Const 0.
+      | Const 1., b' -> b'
+      | a', Const 1. -> a'
+      | a', b' -> Mul (a', b'))
+  | Div (a, b) -> (
+      match (s a, s b) with
+      | Const x, Const y when y <> 0. -> Const (x /. y)
+      | a', Const 1. -> a'
+      | Const 0., b' when b' <> Const 0. -> Const 0.
+      | a', b' -> Div (a', b'))
+  | Neg a -> (
+      match s a with
+      | Const x -> Const (-.x)
+      | Neg a' -> a'
+      | a' -> Neg a')
+  | Pow (_, 0) -> Const 1.
+  | Pow (a, 1) -> s a
+  | Pow (a, n) -> (
+      match s a with Const x -> Const (x ** float_of_int n) | a' -> Pow (a', n))
+  | Min (a, b) -> (
+      match (s a, s b) with
+      | Const x, Const y -> Const (Float.min x y)
+      | a', b' -> Min (a', b'))
+  | Max (a, b) -> (
+      match (s a, s b) with
+      | Const x, Const y -> Const (Float.max x y)
+      | a', b' -> Max (a', b'))
+  | Ite (g, a, b) -> (
+      match (s g, s a, s b) with
+      | Const x, a', b' -> if x <= 0. then a' else b'
+      | _g', a', b' when a' = b' -> a'
+      | g', a', b' -> Ite (g', a', b'))
+
+(* syntactic theta-degree: None when not polynomial in theta *)
+let rec theta_degree = function
+  | Const _ | Var _ -> Some 0
+  | Theta _ -> Some 1
+  | Add (a, b) | Sub (a, b) | Min (a, b) | Max (a, b) -> (
+      match (theta_degree a, theta_degree b) with
+      | Some da, Some db -> Some (Stdlib.max da db)
+      | _ -> None)
+  | Mul (a, b) -> (
+      match (theta_degree a, theta_degree b) with
+      | Some da, Some db -> Some (da + db)
+      | _ -> None)
+  | Div (a, b) -> (
+      match (theta_degree a, theta_degree b) with
+      | Some da, Some 0 -> Some da
+      | _ -> None)
+  | Neg a -> theta_degree a
+  | Pow (a, n) -> (
+      match theta_degree a with Some d -> Some (d * n) | None -> None)
+  | Ite (g, a, b) -> (
+      match (theta_degree g, theta_degree a, theta_degree b) with
+      | Some 0, Some da, Some db -> Some (Stdlib.max da db)
+      | _ -> None)
+
+let is_affine_in_theta e =
+  (* affine: polynomial of joint degree <= 1 and no Min/Max mixing...
+     Min/Max of affine functions is not affine, so exclude them when
+     they involve theta *)
+  let rec no_theta_kinks = function
+    | Const _ | Var _ | Theta _ -> true
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+        no_theta_kinks a && no_theta_kinks b
+    | Neg a | Pow (a, _) -> no_theta_kinks a
+    | Min (a, b) | Max (a, b) ->
+        (theta_degree a = Some 0 && theta_degree b = Some 0)
+        && no_theta_kinks a && no_theta_kinks b
+    | Ite (g, a, b) ->
+        theta_degree g = Some 0 && no_theta_kinks a && no_theta_kinks b
+  in
+  match theta_degree e with
+  | Some d -> d <= 1 && no_theta_kinks e
+  | None -> false
+
+module Iset = Set.Make (Int)
+
+(* leaves used, tagged by kind *)
+let rec leaves e =
+  match e with
+  | Const _ -> (Iset.empty, Iset.empty)
+  | Var i -> (Iset.singleton i, Iset.empty)
+  | Theta j -> (Iset.empty, Iset.singleton j)
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Min (a, b) | Max (a, b)
+    ->
+      let va, ta = leaves a and vb, tb = leaves b in
+      (Iset.union va vb, Iset.union ta tb)
+  | Neg a | Pow (a, _) -> leaves a
+  | Ite (g, a, b) ->
+      let vg, tg = leaves g and va, ta = leaves a and vb, tb = leaves b in
+      (Iset.union vg (Iset.union va vb), Iset.union tg (Iset.union ta tb))
+
+let vars e = Iset.elements (fst (leaves e))
+
+let thetas e = Iset.elements (snd (leaves e))
+
+let rec is_multilinear e =
+  match e with
+  | Const _ | Var _ | Theta _ -> true
+  | Add (a, b) | Sub (a, b) -> is_multilinear a && is_multilinear b
+  | Mul (a, b) ->
+      let va, ta = leaves a and vb, tb = leaves b in
+      is_multilinear a && is_multilinear b
+      && Iset.is_empty (Iset.inter va vb)
+      && Iset.is_empty (Iset.inter ta tb)
+  | Neg a -> is_multilinear a
+  | Pow (_, 0) -> true
+  | Pow (a, 1) -> is_multilinear a
+  | Pow (_, _) -> false
+  | Div (_, _) | Min (_, _) | Max (_, _) | Ite (_, _, _) -> false
+
+let rec pp ppf = function
+  | Const c -> Format.fprintf ppf "%g" c
+  | Var i -> Format.fprintf ppf "x%d" i
+  | Theta j -> Format.fprintf ppf "th%d" j
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Format.fprintf ppf "(%a / %a)" pp a pp b
+  | Neg a -> Format.fprintf ppf "(- %a)" pp a
+  | Pow (a, n) -> Format.fprintf ppf "%a^%d" pp a n
+  | Min (a, b) -> Format.fprintf ppf "min(%a, %a)" pp a pp b
+  | Max (a, b) -> Format.fprintf ppf "max(%a, %a)" pp a pp b
+  | Ite (g, a, b) -> Format.fprintf ppf "(if %a <= 0 then %a else %a)" pp g pp a pp b
+
+let to_string e = Format.asprintf "%a" pp e

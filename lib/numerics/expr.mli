@@ -1,0 +1,93 @@
+(** Symbolic rate expressions over state variables and parameters.
+
+    An expression tree in the state coordinates x_i ([var i]) and the
+    imprecise parameters θ_j ([theta j]).  Writing model rates
+    symbolically buys three things the black-box representation cannot
+    provide:
+
+    - exact partial derivatives ({!diff_var}) — Pontryagin costates
+      without finite differences;
+    - guaranteed interval enclosures ({!eval_interval}) — certified
+      differential-hull bounds;
+    - structure detection ({!is_affine_in_theta}, {!is_multilinear}) —
+      choosing vertex enumeration where it is exact. *)
+
+type t =
+  | Const of float
+  | Var of int  (** state coordinate x_i *)
+  | Theta of int  (** parameter coordinate θ_j *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Neg of t
+  | Pow of t * int  (** non-negative integer power *)
+  | Min of t * t
+  | Max of t * t
+  | Ite of t * t * t
+      (** [Ite (g, a, b)] evaluates to [a] where [g <= 0] and to [b]
+          elsewhere.  Produced by differentiating [Min]/[Max]; interval
+          evaluation takes the hull of both branches when the guard's
+          sign is not decided. *)
+
+val const : float -> t
+
+val var : int -> t
+
+val theta : int -> t
+
+val ( +: ) : t -> t -> t
+
+val ( -: ) : t -> t -> t
+
+val ( *: ) : t -> t -> t
+
+val ( /: ) : t -> t -> t
+
+val neg : t -> t
+
+val pow : t -> int -> t
+(** @raise Invalid_argument on negative exponents. *)
+
+val min_ : t -> t -> t
+
+val max_ : t -> t -> t
+
+val eval : t -> x:Vec.t -> th:Vec.t -> float
+(** @raise Invalid_argument on out-of-range indices. *)
+
+val eval_interval : t -> x:Interval.t array -> th:Interval.t array -> Interval.t
+(** Conservative interval enclosure of the expression over boxes of
+    states and parameters (standard interval arithmetic — subject to
+    the dependency problem, i.e. possibly wider than the true range).
+    @raise Division_by_zero if a divisor interval contains 0. *)
+
+val diff_var : t -> int -> t
+(** Symbolic ∂/∂x_i.  [Min]/[Max] are differentiated piecewise through
+    {!Ite}; at the kink the branch active at evaluation time is used
+    (a valid Clarke subgradient choice). *)
+
+val diff_theta : t -> int -> t
+
+val simplify : t -> t
+(** Constant folding and 0/1-identity elimination (idempotent;
+    preserves {!eval} exactly away from removable singularities). *)
+
+val is_affine_in_theta : t -> bool
+(** Whether the expression is affine in the θ vector (syntactic, sound
+    but not complete: some affine expressions written oddly may be
+    rejected, never the converse). *)
+
+val is_multilinear : t -> bool
+(** No division/min/max/ite, and no product ever multiplies two
+    sub-expressions sharing a variable or parameter — box extrema are
+    then attained at vertices. *)
+
+val vars : t -> int list
+(** Sorted distinct state indices used. *)
+
+val thetas : t -> int list
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

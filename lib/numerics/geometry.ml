@@ -1,0 +1,174 @@
+type point = float * float
+
+let cross (ox, oy) (ax, ay) (bx, by) =
+  ((ax -. ox) *. (by -. oy)) -. ((ay -. oy) *. (bx -. ox))
+
+let dist (ax, ay) (bx, by) = Float.hypot (bx -. ax) (by -. ay)
+
+let convex_hull points =
+  let pts = List.sort_uniq compare points in
+  match pts with
+  | [] | [ _ ] | [ _; _ ] -> pts
+  | _ ->
+      (* Andrew's monotone chain.  [half] folds the sorted points into
+         one hull chain, kept in reverse order; a non-positive cross
+         product means the middle point is not a strict left turn and
+         is popped. *)
+      let half input =
+        List.fold_left
+          (fun acc p ->
+            let rec pop = function
+              | a :: b :: rest when cross b a p <= 0. -> pop (b :: rest)
+              | l -> l
+            in
+            p :: pop acc)
+          [] input
+      in
+      let lower = half pts in
+      let upper = half (List.rev pts) in
+      (* each chain ends (in reverse order, starts) with the first
+         point of the other chain; drop one endpoint from each *)
+      let strip = function [] -> [] | _ :: tl -> tl in
+      let hull = List.rev (strip lower) @ List.rev (strip upper) in
+      if hull = [] then pts else hull
+
+let polygon_area poly =
+  match poly with
+  | [] | [ _ ] | [ _; _ ] -> 0.
+  | first :: _ ->
+      let rec go acc = function
+        | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+            go (acc +. ((x1 *. y2) -. (x2 *. y1))) rest
+        | [ (x1, y1) ] ->
+            let x2, y2 = first in
+            acc +. ((x1 *. y2) -. (x2 *. y1))
+        | [] -> acc
+      in
+      Float.abs (go 0. poly) /. 2.
+
+let centroid poly =
+  match poly with
+  | [] -> invalid_arg "Geometry.centroid: empty polygon"
+  | _ ->
+      let n = float_of_int (List.length poly) in
+      let sx = List.fold_left (fun s (x, _) -> s +. x) 0. poly in
+      let sy = List.fold_left (fun s (_, y) -> s +. y) 0. poly in
+      (sx /. n, sy /. n)
+
+let edges poly =
+  match poly with
+  | [] | [ _ ] -> []
+  | first :: _ ->
+      let rec go = function
+        | a :: (b :: _ as rest) -> (a, b) :: go rest
+        | [ last ] -> [ (last, first) ]
+        | [] -> []
+      in
+      go poly
+
+let point_in_convex_polygon ?(tol = 1e-12) p poly =
+  match poly with
+  | [] -> false
+  | [ q ] -> dist p q <= tol
+  | [ a; b ] ->
+      (* segment membership: perpendicular distance and projection *)
+      let len = dist a b in
+      Float.abs (cross a b p) <= tol *. Float.max len 1e-300
+      && dist a p +. dist p b <= len +. (2. *. tol)
+  | _ ->
+      (* [cross a b p / |ab|] is the signed perpendicular distance to
+         the edge line, so [tol] is a true distance slack regardless of
+         how finely the polygon is subdivided *)
+      List.for_all
+        (fun (a, b) ->
+          let len = dist a b in
+          len <= 0. || cross a b p >= -.(tol *. len))
+        (edges poly)
+
+let violation_depth p poly =
+  match poly with
+  | [] -> Float.infinity
+  | [ q ] -> dist p q
+  | _ ->
+      (* max over edges of the outward signed distance; 0 inside *)
+      List.fold_left
+        (fun worst (a, b) ->
+          let len = dist a b in
+          if len <= 0. then worst
+          else Float.max worst (-.(cross a b p) /. len))
+        0. (edges poly)
+      |> Float.max 0.
+
+let outward_normal (ax, ay) (bx, by) =
+  (* CCW polygon: interior is to the left of each edge, so the outward
+     normal is the right-hand normal of the edge direction *)
+  let dx = bx -. ax and dy = by -. ay in
+  let len = Float.hypot dx dy in
+  if len = 0. then (0., 0.) else (dy /. len, -.dx /. len)
+
+let edge_midpoints poly =
+  List.map
+    (fun ((ax, ay), (bx, by)) ->
+      let mid = (0.5 *. (ax +. bx), 0.5 *. (ay +. by)) in
+      (mid, outward_normal (ax, ay) (bx, by)))
+    (edges poly)
+
+let resample_boundary poly n =
+  if n < 1 then invalid_arg "Geometry.resample_boundary: need n >= 1";
+  let es = edges poly in
+  let perimeter = List.fold_left (fun s (a, b) -> s +. dist a b) 0. es in
+  if perimeter = 0. then List.init n (fun _ -> List.hd poly)
+  else begin
+    let step = perimeter /. float_of_int n in
+    let result = ref [] in
+    let carried = ref 0. in
+    (* walk the boundary emitting a point every [step] of arc length *)
+    List.iter
+      (fun ((ax, ay), (bx, by)) ->
+        let len = dist (ax, ay) (bx, by) in
+        if len > 0. then begin
+          let pos = ref (step -. !carried) in
+          while !pos <= len do
+            let s = !pos /. len in
+            result := (ax +. (s *. (bx -. ax)), ay +. (s *. (by -. ay))) :: !result;
+            pos := !pos +. step
+          done;
+          carried := len -. (!pos -. step)
+        end)
+      es;
+    let pts = List.rev !result in
+    (* rounding can yield n-1 or n+1 points; pad or trim *)
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: tl -> x :: take (k - 1) tl
+    in
+    let pts = take n pts in
+    let missing = n - List.length pts in
+    if missing > 0 then pts @ List.init missing (fun _ -> List.hd poly) else pts
+  end
+
+let hausdorff a b =
+  let directed xs ys =
+    List.fold_left
+      (fun worst x ->
+        let nearest =
+          List.fold_left (fun best y -> Float.min best (dist x y)) Float.infinity ys
+        in
+        Float.max worst nearest)
+      0. xs
+  in
+  match (a, b) with
+  | [], [] -> 0.
+  | [], _ | _, [] -> Float.infinity
+  | _ -> Float.max (directed a b) (directed b a)
+
+let bounding_box = function
+  | [] -> invalid_arg "Geometry.bounding_box: empty"
+  | (x0, y0) :: rest ->
+      List.fold_left
+        (fun ((xmin, ymin), (xmax, ymax)) (x, y) ->
+          ( (Float.min xmin x, Float.min ymin y),
+            (Float.max xmax x, Float.max ymax y) ))
+        ((x0, y0), (x0, y0))
+        rest

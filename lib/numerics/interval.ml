@@ -1,0 +1,89 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi then invalid_arg "Interval.make: NaN";
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let of_float x = make x x
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let hull_list = function
+  | [] -> invalid_arg "Interval.hull_list: empty list"
+  | iv :: rest -> List.fold_left hull iv rest
+
+let lo iv = iv.lo
+
+let hi iv = iv.hi
+
+let width iv = iv.hi -. iv.lo
+
+let midpoint iv = 0.5 *. (iv.lo +. iv.hi)
+
+let mem x iv = iv.lo <= x && x <= iv.hi
+
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+
+let intersect a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo <= hi then Some { lo; hi } else None
+
+let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+
+let sub a b = { lo = a.lo -. b.hi; hi = a.hi -. b.lo }
+
+let neg a = { lo = -.a.hi; hi = -.a.lo }
+
+let mul a b =
+  let p1 = a.lo *. b.lo
+  and p2 = a.lo *. b.hi
+  and p3 = a.hi *. b.lo
+  and p4 = a.hi *. b.hi in
+  {
+    lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
+    hi = Float.max (Float.max p1 p2) (Float.max p3 p4);
+  }
+
+let inv a =
+  if mem 0. a then raise Division_by_zero;
+  { lo = 1. /. a.hi; hi = 1. /. a.lo }
+
+let div a b = mul a (inv b)
+
+let scale s a = if s >= 0. then { lo = s *. a.lo; hi = s *. a.hi } else { lo = s *. a.hi; hi = s *. a.lo }
+
+let sq a =
+  if a.lo >= 0. then { lo = a.lo *. a.lo; hi = a.hi *. a.hi }
+  else if a.hi <= 0. then { lo = a.hi *. a.hi; hi = a.lo *. a.lo }
+  else { lo = 0.; hi = Float.max (a.lo *. a.lo) (a.hi *. a.hi) }
+
+let sqrt a =
+  if a.lo < 0. then invalid_arg "Interval.sqrt: negative values";
+  { lo = Float.sqrt a.lo; hi = Float.sqrt a.hi }
+
+let exp a = { lo = Float.exp a.lo; hi = Float.exp a.hi }
+
+let log a =
+  if a.lo <= 0. then invalid_arg "Interval.log: non-positive values";
+  { lo = Float.log a.lo; hi = Float.log a.hi }
+
+let monotone f a =
+  let x = f a.lo and y = f a.hi in
+  { lo = Float.min x y; hi = Float.max x y }
+
+let min_ a b = { lo = Float.min a.lo b.lo; hi = Float.min a.hi b.hi }
+
+let max_ a b = { lo = Float.max a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let clamp iv x = Float.min iv.hi (Float.max iv.lo x)
+
+let sample iv n =
+  if n < 1 then invalid_arg "Interval.sample: need n >= 1";
+  if n = 1 then [| midpoint iv |]
+  else Vec.linspace iv.lo iv.hi n
+
+let pp ppf iv = Format.fprintf ppf "[%g, %g]" iv.lo iv.hi
+
+let equal ?(tol = 0.) a b =
+  Float.abs (a.lo -. b.lo) <= tol && Float.abs (a.hi -. b.hi) <= tol

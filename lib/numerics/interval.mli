@@ -1,0 +1,78 @@
+(** Closed real intervals [lo, hi] with outward-conservative arithmetic.
+
+    Used by the differential-hull method and by bound checks.  An
+    interval is valid when [lo <= hi]; constructors enforce this. *)
+
+type t = private { lo : float; hi : float }
+
+val make : float -> float -> t
+(** [make lo hi]. @raise Invalid_argument if [lo > hi] or either bound
+    is NaN. *)
+
+val of_float : float -> t
+(** Degenerate interval [x, x]. *)
+
+val hull : t -> t -> t
+(** Smallest interval containing both arguments. *)
+
+val hull_list : t list -> t
+
+val lo : t -> float
+
+val hi : t -> float
+
+val width : t -> float
+
+val midpoint : t -> float
+
+val mem : float -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] is true when [a] is contained in [b]. *)
+
+val intersect : t -> t -> t option
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val neg : t -> t
+
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor contains 0. *)
+
+val scale : float -> t -> t
+
+val inv : t -> t
+(** @raise Division_by_zero if the interval contains 0. *)
+
+val sq : t -> t
+(** Square, tight (non-negative) even when the interval straddles 0. *)
+
+val sqrt : t -> t
+(** @raise Invalid_argument on intervals containing negatives. *)
+
+val exp : t -> t
+
+val log : t -> t
+
+val monotone : (float -> float) -> t -> t
+(** Image of the interval under a monotone (increasing or decreasing)
+    function, computed from the endpoints. *)
+
+val min_ : t -> t -> t
+
+val max_ : t -> t -> t
+
+val clamp : t -> float -> float
+(** [clamp iv x] projects [x] into the interval. *)
+
+val sample : t -> int -> float array
+(** [sample iv n] is [n >= 1] evenly spaced points covering the
+    interval ([n = 1] gives the midpoint). *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : ?tol:float -> t -> t -> bool

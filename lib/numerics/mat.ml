@@ -1,0 +1,176 @@
+type t = { r : int; c : int; a : float array }
+
+let create r c v =
+  if r < 0 || c < 0 then invalid_arg "Mat.create: negative dimension";
+  { r; c; a = Array.make (r * c) v }
+
+let zeros r c = create r c 0.
+
+let init r c f =
+  let m = zeros r c in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      m.a.((i * c) + j) <- f i j
+    done
+  done;
+  m
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let of_arrays rows_ =
+  let r = Array.length rows_ in
+  if r = 0 then { r = 0; c = 0; a = [||] }
+  else begin
+    let c = Array.length rows_.(0) in
+    Array.iter
+      (fun row ->
+        if Array.length row <> c then invalid_arg "Mat.of_arrays: ragged rows")
+      rows_;
+    init r c (fun i j -> rows_.(i).(j))
+  end
+
+let rows m = m.r
+
+let cols m = m.c
+
+let get m i j = m.a.((i * m.c) + j)
+
+let set m i j v = m.a.((i * m.c) + j) <- v
+
+let to_arrays m = Array.init m.r (fun i -> Array.init m.c (fun j -> get m i j))
+
+let copy m = { m with a = Array.copy m.a }
+
+let row m i = Array.init m.c (fun j -> get m i j)
+
+let col m j = Array.init m.r (fun i -> get m i j)
+
+let transpose m = init m.c m.r (fun i j -> get m j i)
+
+let same_dims a b =
+  if a.r <> b.r || a.c <> b.c then invalid_arg "Mat: dimension mismatch"
+
+let add a b =
+  same_dims a b;
+  { a with a = Array.mapi (fun i x -> x +. b.a.(i)) a.a }
+
+let sub a b =
+  same_dims a b;
+  { a with a = Array.mapi (fun i x -> x -. b.a.(i)) a.a }
+
+let scale s m = { m with a = Array.map (fun x -> s *. x) m.a }
+
+let matmul a b =
+  if a.c <> b.r then invalid_arg "Mat.matmul: dimension mismatch";
+  let m = zeros a.r b.c in
+  for i = 0 to a.r - 1 do
+    for k = 0 to a.c - 1 do
+      let aik = get a i k in
+      if aik <> 0. then
+        for j = 0 to b.c - 1 do
+          set m i j (get m i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  m
+
+let mulv m x =
+  if m.c <> Array.length x then invalid_arg "Mat.mulv: dimension mismatch";
+  Array.init m.r (fun i ->
+      let acc = ref 0. in
+      for j = 0 to m.c - 1 do
+        acc := !acc +. (get m i j *. x.(j))
+      done;
+      !acc)
+
+let tmulv m x =
+  if m.r <> Array.length x then invalid_arg "Mat.tmulv: dimension mismatch";
+  Array.init m.c (fun j ->
+      let acc = ref 0. in
+      for i = 0 to m.r - 1 do
+        acc := !acc +. (get m i j *. x.(i))
+      done;
+      !acc)
+
+(* Gaussian elimination with partial pivoting on an augmented system.
+   [rhs] has one row per row of [a]; solved in place on copies. *)
+let gauss a rhs =
+  if a.r <> a.c then invalid_arg "Mat.solve: matrix not square";
+  if rhs.r <> a.r then invalid_arg "Mat.solve: rhs dimension mismatch";
+  let n = a.r in
+  let m = copy a and b = copy rhs in
+  for k = 0 to n - 1 do
+    (* pivot selection *)
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (get m i k) > Float.abs (get m !piv k) then piv := i
+    done;
+    if Float.abs (get m !piv k) < 1e-300 then
+      failwith "Mat.solve: singular matrix";
+    if !piv <> k then begin
+      for j = 0 to n - 1 do
+        let t = get m k j in
+        set m k j (get m !piv j);
+        set m !piv j t
+      done;
+      for j = 0 to b.c - 1 do
+        let t = get b k j in
+        set b k j (get b !piv j);
+        set b !piv j t
+      done
+    end;
+    for i = k + 1 to n - 1 do
+      let factor = get m i k /. get m k k in
+      if factor <> 0. then begin
+        for j = k to n - 1 do
+          set m i j (get m i j -. (factor *. get m k j))
+        done;
+        for j = 0 to b.c - 1 do
+          set b i j (get b i j -. (factor *. get b k j))
+        done
+      end
+    done
+  done;
+  (* back substitution *)
+  let x = zeros n b.c in
+  for j = 0 to b.c - 1 do
+    for i = n - 1 downto 0 do
+      let acc = ref (get b i j) in
+      for k = i + 1 to n - 1 do
+        acc := !acc -. (get m i k *. get x k j)
+      done;
+      set x i j (!acc /. get m i i)
+    done
+  done;
+  x
+
+let solve_many a b = gauss a b
+
+let solve a b =
+  let bm = init (Array.length b) 1 (fun i _ -> b.(i)) in
+  col (gauss a bm) 0
+
+let inverse a = solve_many a (identity a.r)
+
+let norm_inf m =
+  let best = ref 0. in
+  for i = 0 to m.r - 1 do
+    let s = ref 0. in
+    for j = 0 to m.c - 1 do
+      s := !s +. Float.abs (get m i j)
+    done;
+    if !s > !best then best := !s
+  done;
+  !best
+
+let max_abs m = Array.fold_left (fun s x -> Float.max s (Float.abs x)) 0. m.a
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.r = b.r && a.c = b.c && max_abs (sub a b) <= tol
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.r - 1 do
+    Format.fprintf ppf "%a@," Vec.pp (row m i)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,72 @@
+(** Dense matrices of floats, row-major.
+
+    Small dense linear algebra: products, transposition, Gaussian
+    elimination with partial pivoting, LU-based solves and inversion.
+    Used for CTMC generators in dense form, Jacobians and linear
+    systems.  Dimensions are validated and [Invalid_argument] is raised
+    on mismatch; [Failure] is raised on singular systems. *)
+
+type t
+
+val create : int -> int -> float -> t
+(** [create rows cols v] is a [rows] x [cols] matrix filled with [v]. *)
+
+val zeros : int -> int -> t
+
+val identity : int -> t
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val of_arrays : float array array -> t
+(** Copies the given rows; all rows must have equal length. *)
+
+val to_arrays : t -> float array array
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+
+val row : t -> int -> Vec.t
+
+val col : t -> int -> Vec.t
+
+val transpose : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val matmul : t -> t -> t
+
+val mulv : t -> Vec.t -> Vec.t
+(** [mulv m x] is the matrix-vector product [m x]. *)
+
+val tmulv : t -> Vec.t -> Vec.t
+(** [tmulv m x] is [mᵀ x], without materialising the transpose. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting.  @raise Failure if [a] is (numerically) singular. *)
+
+val solve_many : t -> t -> t
+(** [solve_many a b] solves [a x = b] column-wise. *)
+
+val inverse : t -> t
+
+val norm_inf : t -> float
+(** Maximum absolute row sum. *)
+
+val max_abs : t -> float
+(** Largest absolute entry. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

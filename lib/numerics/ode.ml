@@ -1,0 +1,198 @@
+type rhs = float -> Vec.t -> Vec.t
+
+module Traj = struct
+  type t = { times : float array; states : Vec.t array }
+
+  let of_arrays times states =
+    let n = Array.length times in
+    if n = 0 then invalid_arg "Traj.of_arrays: empty trajectory";
+    if n <> Array.length states then
+      invalid_arg "Traj.of_arrays: length mismatch";
+    for i = 1 to n - 1 do
+      if times.(i) <= times.(i - 1) then
+        invalid_arg "Traj.of_arrays: times not strictly increasing"
+    done;
+    { times; states }
+
+  let length t = Array.length t.times
+
+  let first t = t.states.(0)
+
+  let last t = t.states.(Array.length t.states - 1)
+
+  let t0 t = t.times.(0)
+
+  let t1 t = t.times.(Array.length t.times - 1)
+
+  (* binary search for the last index with times.(i) <= x *)
+  let locate t x =
+    let n = Array.length t.times in
+    if x <= t.times.(0) then 0
+    else if x >= t.times.(n - 1) then n - 1
+    else begin
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if t.times.(mid) <= x then lo := mid else hi := mid
+      done;
+      !lo
+    end
+
+  let at t x =
+    let n = Array.length t.times in
+    if x <= t.times.(0) then Vec.copy t.states.(0)
+    else if x >= t.times.(n - 1) then Vec.copy t.states.(n - 1)
+    else begin
+      let i = locate t x in
+      let t_a = t.times.(i) and t_b = t.times.(i + 1) in
+      let s = (x -. t_a) /. (t_b -. t_a) in
+      Vec.lerp t.states.(i) t.states.(i + 1) s
+    end
+
+  let component t i = Array.map (fun st -> st.(i)) t.states
+
+  let map f t = { t with states = Array.map f t.states }
+
+  let sample t times = Array.map (at t) times
+end
+
+let euler_step f t y dt = Vec.axpy dt (f t y) y
+
+let rk4_step f t y dt =
+  let k1 = f t y in
+  let k2 = f (t +. (dt /. 2.)) (Vec.axpy (dt /. 2.) k1 y) in
+  let k3 = f (t +. (dt /. 2.)) (Vec.axpy (dt /. 2.) k2 y) in
+  let k4 = f (t +. dt) (Vec.axpy dt k3 y) in
+  let incr =
+    Vec.mapi
+      (fun i _ -> (dt /. 6.) *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i)))
+      y
+  in
+  Vec.add y incr
+
+let step_fn = function `Euler -> euler_step | `Rk4 -> rk4_step
+
+let check_span t0 t1 dt =
+  if t1 < t0 then invalid_arg "Ode: t1 < t0";
+  if dt <= 0. then invalid_arg "Ode: dt <= 0"
+
+let integrate ?(method_ = `Rk4) f ~t0 ~y0 ~t1 ~dt =
+  check_span t0 t1 dt;
+  let step = step_fn method_ in
+  let times = ref [ t0 ] and states = ref [ Vec.copy y0 ] in
+  let t = ref t0 and y = ref y0 in
+  while !t < t1 -. 1e-12 do
+    let h = Float.min dt (t1 -. !t) in
+    y := step f !t !y h;
+    t := !t +. h;
+    times := !t :: !times;
+    states := !y :: !states
+  done;
+  Traj.of_arrays
+    (Array.of_list (List.rev !times))
+    (Array.of_list (List.rev !states))
+
+let integrate_to ?(method_ = `Rk4) f ~t0 ~y0 ~t1 ~dt =
+  check_span t0 t1 dt;
+  let step = step_fn method_ in
+  let t = ref t0 and y = ref y0 in
+  while !t < t1 -. 1e-12 do
+    let h = Float.min dt (t1 -. !t) in
+    y := step f !t !y h;
+    t := !t +. h
+  done;
+  !y
+
+(* Dormand-Prince 5(4) coefficients *)
+let dp_c = [| 0.; 0.2; 0.3; 0.8; 8. /. 9.; 1.; 1. |]
+
+let dp_a =
+  [|
+    [||];
+    [| 0.2 |];
+    [| 3. /. 40.; 9. /. 40. |];
+    [| 44. /. 45.; -56. /. 15.; 32. /. 9. |];
+    [| 19372. /. 6561.; -25360. /. 2187.; 64448. /. 6561.; -212. /. 729. |];
+    [|
+      9017. /. 3168.; -355. /. 33.; 46732. /. 5247.; 49. /. 176.;
+      -5103. /. 18656.;
+    |];
+    [| 35. /. 384.; 0.; 500. /. 1113.; 125. /. 192.; -2187. /. 6784.; 11. /. 84. |];
+  |]
+
+let dp_b5 =
+  [| 35. /. 384.; 0.; 500. /. 1113.; 125. /. 192.; -2187. /. 6784.; 11. /. 84.; 0. |]
+
+let dp_b4 =
+  [|
+    5179. /. 57600.; 0.; 7571. /. 16695.; 393. /. 640.; -92097. /. 339200.;
+    187. /. 2100.; 1. /. 40.;
+  |]
+
+let integrate_adaptive ?(rtol = 1e-6) ?(atol = 1e-9) ?dt0 ?dt_max
+    ?(max_steps = 1_000_000) f ~t0 ~y0 ~t1 =
+  if t1 < t0 then invalid_arg "Ode.integrate_adaptive: t1 < t0";
+  let span = t1 -. t0 in
+  let dt_max = match dt_max with Some h -> h | None -> span in
+  let h = ref (match dt0 with Some h -> h | None -> Float.min dt_max (span /. 100.)) in
+  if !h <= 0. then h := span;
+  let times = ref [ t0 ] and states = ref [ Vec.copy y0 ] in
+  let t = ref t0 and y = ref y0 in
+  let steps = ref 0 in
+  let n = Vec.dim y0 in
+  let k = Array.make 7 (Vec.zeros n) in
+  if span > 0. then begin
+    while !t < t1 -. 1e-12 do
+      incr steps;
+      if !steps > max_steps then failwith "Ode.integrate_adaptive: too many steps";
+      let hh = Float.min !h (t1 -. !t) in
+      if hh < 1e-14 *. Float.max 1. (Float.abs !t) then
+        failwith "Ode.integrate_adaptive: step size underflow";
+      (* build the seven stages *)
+      for s = 0 to 6 do
+        let acc = Vec.copy !y in
+        for j = 0 to s - 1 do
+          Vec.axpy_in_place (hh *. dp_a.(s).(j)) k.(j) acc
+        done;
+        k.(s) <- f (!t +. (dp_c.(s) *. hh)) acc
+      done;
+      let y5 = Vec.copy !y and y4 = Vec.copy !y in
+      for s = 0 to 6 do
+        Vec.axpy_in_place (hh *. dp_b5.(s)) k.(s) y5;
+        Vec.axpy_in_place (hh *. dp_b4.(s)) k.(s) y4
+      done;
+      (* scaled error estimate *)
+      let err = ref 0. in
+      for i = 0 to n - 1 do
+        let sc = atol +. (rtol *. Float.max (Float.abs !y.(i)) (Float.abs y5.(i))) in
+        let e = (y5.(i) -. y4.(i)) /. sc in
+        err := !err +. (e *. e)
+      done;
+      let err = sqrt (!err /. float_of_int n) in
+      if err <= 1. then begin
+        t := !t +. hh;
+        y := y5;
+        times := !t :: !times;
+        states := !y :: !states
+      end;
+      let fac = if err = 0. then 5. else 0.9 *. (err ** -0.2) in
+      let fac = Float.max 0.2 (Float.min 5. fac) in
+      h := Float.min dt_max (hh *. fac)
+    done
+  end;
+  Traj.of_arrays
+    (Array.of_list (List.rev !times))
+    (Array.of_list (List.rev !states))
+
+let fixed_point ?(tol = 1e-9) ?(dt = 1e-2) ?(max_time = 1e4) f y0 =
+  let t = ref 0. and y = ref y0 in
+  let converged = ref false in
+  while (not !converged) && !t < max_time do
+    (* integrate in bursts, checking the drift between bursts *)
+    let burst = Float.min 1.0 (max_time -. !t) in
+    y := integrate_to f ~t0:!t ~y0:!y ~t1:(!t +. burst) ~dt;
+    t := !t +. burst;
+    if Vec.norm_inf (f !t !y) < tol then converged := true
+  done;
+  if not !converged then failwith "Ode.fixed_point: no equilibrium reached";
+  !y

@@ -1,0 +1,95 @@
+(** Ordinary differential equation solvers.
+
+    Right-hand sides are functions [f t y] returning dy/dt.  Solvers:
+    explicit Euler, classical RK4 (fixed step) and the adaptive
+    Dormand–Prince RK45 pair.  Trajectories store every accepted step
+    and support linear interpolation. *)
+
+type rhs = float -> Vec.t -> Vec.t
+
+(** A discrete trajectory: strictly increasing times with matching
+    states. *)
+module Traj : sig
+  type t = { times : float array; states : Vec.t array }
+
+  val length : t -> int
+
+  val first : t -> Vec.t
+
+  val last : t -> Vec.t
+
+  val t0 : t -> float
+
+  val t1 : t -> float
+
+  val at : t -> float -> Vec.t
+  (** Linear interpolation; clamps outside the time range. *)
+
+  val component : t -> int -> float array
+  (** Time series of one coordinate. *)
+
+  val map : (Vec.t -> Vec.t) -> t -> t
+
+  val sample : t -> float array -> Vec.t array
+  (** States interpolated at the given times. *)
+
+  val of_arrays : float array -> Vec.t array -> t
+  (** @raise Invalid_argument on length mismatch, empty input or
+      non-increasing times. *)
+end
+
+val euler_step : rhs -> float -> Vec.t -> float -> Vec.t
+(** [euler_step f t y dt]. *)
+
+val rk4_step : rhs -> float -> Vec.t -> float -> Vec.t
+
+val integrate :
+  ?method_:[ `Euler | `Rk4 ] ->
+  rhs ->
+  t0:float ->
+  y0:Vec.t ->
+  t1:float ->
+  dt:float ->
+  Traj.t
+(** Fixed-step integration from [t0] to [t1] (default RK4).  The final
+    step is shortened to land exactly on [t1].  Requires [t1 >= t0] and
+    [dt > 0]. *)
+
+val integrate_to :
+  ?method_:[ `Euler | `Rk4 ] ->
+  rhs ->
+  t0:float ->
+  y0:Vec.t ->
+  t1:float ->
+  dt:float ->
+  Vec.t
+(** Like {!integrate} but returns only the final state and allocates no
+    trajectory. *)
+
+val integrate_adaptive :
+  ?rtol:float ->
+  ?atol:float ->
+  ?dt0:float ->
+  ?dt_max:float ->
+  ?max_steps:int ->
+  rhs ->
+  t0:float ->
+  y0:Vec.t ->
+  t1:float ->
+  Traj.t
+(** Dormand–Prince RK45 with PI step-size control.  Defaults:
+    [rtol = 1e-6], [atol = 1e-9], [max_steps = 1_000_000].
+    @raise Failure when the step count budget is exhausted or the step
+    size underflows. *)
+
+val fixed_point :
+  ?tol:float ->
+  ?dt:float ->
+  ?max_time:float ->
+  rhs ->
+  Vec.t ->
+  Vec.t
+(** Integrate an autonomous system until the drift norm falls below
+    [tol] (default 1e-9); returns the state reached.
+    @raise Failure if no equilibrium is reached before [max_time]
+    (default 1e4) — e.g. for systems with limit cycles. *)

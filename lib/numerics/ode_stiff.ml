@@ -1,0 +1,76 @@
+(* Newton solve of g(z) = z - y - w·f(t_eval, z) - c = 0, the generic
+   implicit stage equation (backward Euler: w = dt, c = 0; trapezoidal:
+   w = dt/2, c = dt/2 f(t, y)). *)
+let solve_stage ~newton_tol ~max_newton f ~t_eval ~y ~w ~c =
+  let n = Vec.dim y in
+  let z = ref (Vec.copy y) in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < max_newton do
+    incr iter;
+    let fz = f t_eval !z in
+    let g = Vec.mapi (fun i zi -> zi -. y.(i) -. (w *. fz.(i)) -. c.(i)) !z in
+    if Vec.norm_inf g < newton_tol then converged := true
+    else begin
+      (* jacobian of g: I - w * df/dz, by finite differences *)
+      let jf = Diff.jacobian (fun v -> f t_eval v) !z in
+      let jg = Mat.init n n (fun i j ->
+          (if i = j then 1. else 0.) -. (w *. Mat.get jf i j))
+      in
+      let step = Mat.solve jg g in
+      (* damped update: halve until the residual decreases *)
+      let base = Vec.norm_inf g in
+      let damping = ref 1. in
+      let accepted = ref false in
+      while (not !accepted) && !damping > 1e-4 do
+        let cand = Vec.axpy (-. !damping) step !z in
+        let fc = f t_eval cand in
+        let gc =
+          Vec.mapi (fun i zi -> zi -. y.(i) -. (w *. fc.(i)) -. c.(i)) cand
+        in
+        if Vec.norm_inf gc < base then begin
+          z := cand;
+          accepted := true
+        end
+        else damping := !damping /. 2.
+      done;
+      if not !accepted then
+        (* accept the full step anyway and let the next iteration try *)
+        z := Vec.axpy (-1.) step !z
+    end
+  done;
+  if not !converged then failwith "Ode_stiff: Newton did not converge";
+  !z
+
+let backward_euler_step ?(newton_tol = 1e-10) ?(max_newton = 50) f t y dt =
+  solve_stage ~newton_tol ~max_newton f ~t_eval:(t +. dt) ~y ~w:dt
+    ~c:(Vec.zeros (Vec.dim y))
+
+let trapezoidal_step ?(newton_tol = 1e-10) ?(max_newton = 50) f t y dt =
+  let c = Vec.scale (dt /. 2.) (f t y) in
+  solve_stage ~newton_tol ~max_newton f ~t_eval:(t +. dt) ~y ~w:(dt /. 2.) ~c
+
+let step_fn method_ ?newton_tol =
+  match method_ with
+  | `BackwardEuler -> backward_euler_step ?newton_tol
+  | `Trapezoidal -> trapezoidal_step ?newton_tol
+
+let integrate ?(method_ = `Trapezoidal) ?newton_tol f ~t0 ~y0 ~t1 ~dt =
+  if t1 < t0 then invalid_arg "Ode_stiff: t1 < t0";
+  if dt <= 0. then invalid_arg "Ode_stiff: dt <= 0";
+  let step = step_fn method_ ?newton_tol in
+  let times = ref [ t0 ] and states = ref [ Vec.copy y0 ] in
+  let t = ref t0 and y = ref y0 in
+  while !t < t1 -. 1e-12 do
+    let h = Float.min dt (t1 -. !t) in
+    y := step f !t !y h;
+    t := !t +. h;
+    times := !t :: !times;
+    states := !y :: !states
+  done;
+  Ode.Traj.of_arrays
+    (Array.of_list (List.rev !times))
+    (Array.of_list (List.rev !states))
+
+let integrate_to ?method_ ?newton_tol f ~t0 ~y0 ~t1 ~dt =
+  Ode.Traj.last (integrate ?method_ ?newton_tol f ~t0 ~y0 ~t1 ~dt)

@@ -1,0 +1,38 @@
+(** Implicit integrators for stiff systems.
+
+    Backward Euler (L-stable, first order) and the trapezoidal rule
+    (A-stable, second order), both solving the implicit stage equation
+    with a damped Newton iteration on a finite-difference Jacobian.
+    Useful for population models with near-discontinuous rates (e.g.
+    processor-sharing ratios near an empty system), where explicit RK4
+    needs prohibitively small steps. *)
+
+val backward_euler_step :
+  ?newton_tol:float -> ?max_newton:int -> Ode.rhs -> float -> Vec.t -> float -> Vec.t
+(** [backward_euler_step f t y dt] solves y' = y + dt·f(t+dt, y').
+    @raise Failure if the Newton iteration does not converge. *)
+
+val trapezoidal_step :
+  ?newton_tol:float -> ?max_newton:int -> Ode.rhs -> float -> Vec.t -> float -> Vec.t
+(** Solves y' = y + dt/2·(f(t, y) + f(t+dt, y')). *)
+
+val integrate :
+  ?method_:[ `BackwardEuler | `Trapezoidal ] ->
+  ?newton_tol:float ->
+  Ode.rhs ->
+  t0:float ->
+  y0:Vec.t ->
+  t1:float ->
+  dt:float ->
+  Ode.Traj.t
+(** Fixed-step implicit integration (default trapezoidal). *)
+
+val integrate_to :
+  ?method_:[ `BackwardEuler | `Trapezoidal ] ->
+  ?newton_tol:float ->
+  Ode.rhs ->
+  t0:float ->
+  y0:Vec.t ->
+  t1:float ->
+  dt:float ->
+  Vec.t

@@ -1,0 +1,102 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: expands an integer seed into well-mixed 64-bit states. *)
+let splitmix64 state =
+  let ( +% ) = Int64.add and ( *% ) = Int64.mul in
+  let ( ^^ ) = Int64.logxor in
+  state := !state +% 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = (z ^^ Int64.shift_right_logical z 30) *% 0xBF58476D1CE4E5B9L in
+  let z = (z ^^ Int64.shift_right_logical z 27) *% 0x94D049BB133111EBL in
+  z ^^ Int64.shift_right_logical z 31
+
+let create seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256++ step *)
+let uint64 t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = Int64.to_int (uint64 t) in
+  create seed
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let float t =
+  (* take the top 53 bits for a uniform double in [0,1) *)
+  let bits = Int64.shift_right_logical (uint64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float_range t a b =
+  if a > b then invalid_arg "Rng.float_range: a > b";
+  a +. ((b -. a) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: need n > 0";
+  (* rejection-free for our (non-crypto) purposes: modulo bias is
+     negligible for n << 2^64 *)
+  let v = Int64.shift_right_logical (uint64 t) 1 in
+  Int64.to_int (Int64.rem v (Int64.of_int n))
+
+let bool t = Int64.logand (uint64 t) 1L = 1L
+
+let exponential t rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: need rate > 0";
+  let u = 1. -. float t in
+  -.Float.log u /. rate
+
+let gaussian t =
+  let u1 = 1. -. float t and u2 = float t in
+  sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+
+let categorical t w =
+  let total = ref 0. in
+  Array.iter
+    (fun x ->
+      if x < 0. || Float.is_nan x then
+        invalid_arg "Rng.categorical: negative weight";
+      total := !total +. x)
+    w;
+  if !total <= 0. then invalid_arg "Rng.categorical: all weights zero";
+  let target = float t *. !total in
+  let acc = ref 0. and chosen = ref (-1) in
+  (try
+     Array.iteri
+       (fun i x ->
+         acc := !acc +. x;
+         if !acc > target && !chosen < 0 then begin
+           chosen := i;
+           raise Exit
+         end)
+       w
+   with Exit -> ());
+  if !chosen < 0 then begin
+    (* numerical edge: pick the last strictly positive weight *)
+    Array.iteri (fun i x -> if x > 0. then chosen := i) w
+  end;
+  !chosen
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

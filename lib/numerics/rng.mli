@@ -1,0 +1,47 @@
+(** Deterministic pseudo-random number generation.
+
+    A self-contained xoshiro256++ generator seeded through splitmix64,
+    so that every simulation in the library is reproducible from an
+    integer seed and independent streams can be split off cheaply.
+    Not cryptographically secure. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed (any value,
+    including 0, gives a well-mixed state). *)
+
+val split : t -> t
+(** A new generator statistically independent from the parent; the
+    parent is advanced. *)
+
+val copy : t -> t
+
+val uint64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [0, 1) with 53-bit resolution. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t a b] is uniform in [a, b). Requires [a <= b]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n-1]. Requires [n > 0]. *)
+
+val bool : t -> bool
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples Exp(rate). Requires [rate > 0]. *)
+
+val gaussian : t -> float
+(** Standard normal (Box–Muller). *)
+
+val categorical : t -> float array -> int
+(** [categorical t w] samples index [i] with probability proportional
+    to the non-negative weight [w.(i)].
+    @raise Invalid_argument if all weights are zero or any is
+    negative. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

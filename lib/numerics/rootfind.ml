@@ -1,0 +1,111 @@
+let check_bracket f a b =
+  let fa = f a and fb = f b in
+  if fa = 0. then `Root a
+  else if fb = 0. then `Root b
+  else if fa *. fb > 0. then
+    invalid_arg "Rootfind: endpoints do not bracket a root"
+  else `Bracket (fa, fb)
+
+let bisection ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  match check_bracket f a b with
+  | `Root r -> r
+  | `Bracket (fa, _) ->
+      let a = ref a and b = ref b and fa = ref fa in
+      let iter = ref 0 in
+      while !b -. !a > tol && !iter < max_iter do
+        incr iter;
+        let m = 0.5 *. (!a +. !b) in
+        let fm = f m in
+        if fm = 0. then begin
+          a := m;
+          b := m
+        end
+        else if !fa *. fm < 0. then b := m
+        else begin
+          a := m;
+          fa := fm
+        end
+      done;
+      0.5 *. (!a +. !b)
+
+let brent ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  match check_bracket f a b with
+  | `Root r -> r
+  | `Bracket (fa0, fb0) ->
+      let a = ref a and b = ref b in
+      let fa = ref fa0 and fb = ref fb0 in
+      if Float.abs !fa < Float.abs !fb then begin
+        let t = !a in
+        a := !b;
+        b := t;
+        let t = !fa in
+        fa := !fb;
+        fb := t
+      end;
+      let c = ref !a and fc = ref !fa in
+      let mflag = ref true in
+      let d = ref !a in
+      let iter = ref 0 in
+      while Float.abs !fb > 0. && Float.abs (!b -. !a) > tol && !iter < max_iter do
+        incr iter;
+        let s =
+          if !fa <> !fc && !fb <> !fc then
+            (* inverse quadratic interpolation *)
+            (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+            +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+            +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+          else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+        in
+        let lo = ((3. *. !a) +. !b) /. 4. and hi = !b in
+        let lo, hi = (Float.min lo hi, Float.max lo hi) in
+        let bad_interp =
+          s < lo || s > hi
+          || (!mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.)
+          || ((not !mflag) && Float.abs (s -. !b) >= Float.abs (!c -. !d) /. 2.)
+          || (!mflag && Float.abs (!b -. !c) < tol)
+          || ((not !mflag) && Float.abs (!c -. !d) < tol)
+        in
+        let s = if bad_interp then 0.5 *. (!a +. !b) else s in
+        mflag := bad_interp;
+        let fs = f s in
+        d := !c;
+        c := !b;
+        fc := !fb;
+        if !fa *. fs < 0. then begin
+          b := s;
+          fb := fs
+        end
+        else begin
+          a := s;
+          fa := fs
+        end;
+        if Float.abs !fa < Float.abs !fb then begin
+          let t = !a in
+          a := !b;
+          b := t;
+          let t = !fa in
+          fa := !fb;
+          fb := t
+        end
+      done;
+      !b
+
+let newton ?(tol = 1e-12) ?(max_iter = 100) ?(h = 1e-7) f x0 =
+  let x = ref x0 in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    let fx = f !x in
+    if Float.abs fx < tol then converged := true
+    else begin
+      let d = (f (!x +. h) -. f (!x -. h)) /. (2. *. h) in
+      if Float.abs d < 1e-300 then failwith "Rootfind.newton: vanishing derivative";
+      let next = !x -. (fx /. d) in
+      if Float.is_nan next || Float.abs next > 1e12 then
+        failwith "Rootfind.newton: divergence";
+      x := next
+    end
+  done;
+  if not !converged then failwith "Rootfind.newton: no convergence";
+  !x

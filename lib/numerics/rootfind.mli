@@ -1,0 +1,19 @@
+(** Scalar root finding. *)
+
+val bisection :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [bisection f a b] finds a root of [f] in [a, b].
+    @raise Invalid_argument unless [f a] and [f b] have opposite
+    signs (or one endpoint is a root). *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** Brent's root bracketing method (bisection + secant + inverse
+    quadratic interpolation); same contract as {!bisection} but with
+    superlinear convergence. *)
+
+val newton :
+  ?tol:float -> ?max_iter:int -> ?h:float -> (float -> float) -> float -> float
+(** Newton iteration with central finite-difference derivative, started
+    at the given point. @raise Failure on divergence or vanishing
+    derivative. *)

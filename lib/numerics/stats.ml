@@ -1,0 +1,98 @@
+module Running = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.; m2 = 0.; min = Float.infinity; max = Float.neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+
+  let mean t =
+    if t.n = 0 then invalid_arg "Stats.Running.mean: empty";
+    t.mean
+
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+
+  let std t = sqrt (variance t)
+
+  let min t = t.min
+
+  let max t = t.max
+end
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun s x -> s +. ((x -. m) ** 2.)) 0. xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let std xs = sqrt (variance xs)
+
+let quantile xs q =
+  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty";
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let i = int_of_float (Float.floor pos) in
+  let frac = pos -. float_of_int i in
+  if i >= n - 1 then sorted.(n - 1)
+  else ((1. -. frac) *. sorted.(i)) +. (frac *. sorted.(i + 1))
+
+let median xs = quantile xs 0.5
+
+let confidence_interval_95 xs =
+  let m = mean xs in
+  let half = 1.96 *. std xs /. sqrt (float_of_int (Array.length xs)) in
+  (m -. half, m +. half)
+
+let histogram ~lo ~hi ~bins xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: need bins > 0";
+  if lo >= hi then invalid_arg "Stats.histogram: need lo < hi";
+  let counts = Array.make bins 0 in
+  let w = (hi -. lo) /. float_of_int bins in
+  Array.iter
+    (fun x ->
+      let i = int_of_float (Float.floor ((x -. lo) /. w)) in
+      let i = if i < 0 then 0 else if i >= bins then bins - 1 else i in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  counts
+
+let covariance xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.covariance: length mismatch";
+  if n < 2 then 0.
+  else begin
+    let mx = mean xs and my = mean ys in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc := !acc +. ((xs.(i) -. mx) *. (ys.(i) -. my))
+    done;
+    !acc /. float_of_int (n - 1)
+  end
+
+let correlation xs ys =
+  let sx = std xs and sy = std ys in
+  if sx = 0. || sy = 0. then 0. else covariance xs ys /. (sx *. sy)

@@ -1,0 +1,48 @@
+(** Descriptive statistics and streaming accumulators. *)
+
+(** Welford streaming accumulator for mean and variance. *)
+module Running : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val mean : t -> float
+  (** @raise Invalid_argument when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; 0 for fewer than two samples. *)
+
+  val std : t -> float
+
+  val min : t -> float
+
+  val max : t -> float
+end
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Unbiased sample variance. *)
+
+val std : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] with [q] in [0,1]; linear interpolation between
+    order statistics. Does not modify [xs]. *)
+
+val median : float array -> float
+
+val confidence_interval_95 : float array -> float * float
+(** Normal-approximation 95% CI for the mean. *)
+
+val histogram : lo:float -> hi:float -> bins:int -> float array -> int array
+(** Counts per bin; values outside [lo, hi] are clamped into the first
+    or last bin. *)
+
+val covariance : float array -> float array -> float
+
+val correlation : float array -> float array -> float

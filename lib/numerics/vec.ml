@@ -1,0 +1,132 @@
+type t = float array
+
+let create n v = Array.make n v
+
+let zeros n = create n 0.
+
+let of_list = Array.of_list
+
+let dim = Array.length
+
+let copy = Array.copy
+
+let get (v : t) i = v.(i)
+
+let set (v : t) i x = v.(i) <- x
+
+let check_dims a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vec: dimension mismatch"
+
+let add a b =
+  check_dims a b;
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_dims a b;
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale s a = Array.map (fun x -> s *. x) a
+
+let axpy a x y =
+  check_dims x y;
+  Array.mapi (fun i xi -> (a *. xi) +. y.(i)) x
+
+let axpy_in_place a x y =
+  check_dims x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let mul a b =
+  check_dims a b;
+  Array.mapi (fun i x -> x *. b.(i)) a
+
+let dot a b =
+  check_dims a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm1 a = Array.fold_left (fun s x -> s +. Float.abs x) 0. a
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun s x -> Float.max s (Float.abs x)) 0. a
+
+let dist_inf a b = norm_inf (sub a b)
+
+let dist2 a b = norm2 (sub a b)
+
+let map = Array.map
+
+let mapi = Array.mapi
+
+let map2 f a b =
+  check_dims a b;
+  Array.mapi (fun i x -> f x b.(i)) a
+
+let iteri = Array.iteri
+
+let fold = Array.fold_left
+
+let sum a = Array.fold_left ( +. ) 0. a
+
+let mean a =
+  if Array.length a = 0 then invalid_arg "Vec.mean: empty vector";
+  sum a /. float_of_int (Array.length a)
+
+let min_elt a =
+  if Array.length a = 0 then invalid_arg "Vec.min_elt: empty vector";
+  Array.fold_left Float.min a.(0) a
+
+let max_elt a =
+  if Array.length a = 0 then invalid_arg "Vec.max_elt: empty vector";
+  Array.fold_left Float.max a.(0) a
+
+let arg_best better a =
+  if Array.length a = 0 then invalid_arg "Vec.arg: empty vector";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if better a.(i) a.(!best) then best := i
+  done;
+  !best
+
+let argmin a = arg_best ( < ) a
+
+let argmax a = arg_best ( > ) a
+
+let cmin a b = map2 Float.min a b
+
+let cmax a b = map2 Float.max a b
+
+let clamp ~lo ~hi v =
+  check_dims lo v;
+  check_dims hi v;
+  Array.mapi (fun i x -> Float.min hi.(i) (Float.max lo.(i) x)) v
+
+let lerp a b s = map2 (fun x y -> ((1. -. s) *. x) +. (s *. y)) a b
+
+let le a b =
+  check_dims a b;
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+let approx_equal ?(tol = 1e-9) a b = dist_inf a b <= tol
+
+let linspace a b n =
+  if n < 2 then invalid_arg "Vec.linspace: need n >= 2";
+  let h = (b -. a) /. float_of_int (n - 1) in
+  Array.init n (fun i -> a +. (float_of_int i *. h))
+
+let pp ppf v =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    v
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,97 @@
+(** Dense vectors of floats.
+
+    Thin wrappers over [float array] used throughout the library for
+    states, drifts and costates.  All binary operations require equal
+    dimensions and raise [Invalid_argument] otherwise. *)
+
+type t = float array
+
+val create : int -> float -> t
+(** [create n v] is a vector of dimension [n] filled with [v]. *)
+
+val zeros : int -> t
+
+val of_list : float list -> t
+
+val dim : t -> int
+
+val copy : t -> t
+
+val get : t -> int -> float
+
+val set : t -> int -> float -> unit
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val axpy : float -> t -> t -> t
+(** [axpy a x y] is [a*x + y] (a fresh vector). *)
+
+val axpy_in_place : float -> t -> t -> unit
+(** [axpy_in_place a x y] updates [y <- a*x + y]. *)
+
+val mul : t -> t -> t
+(** Component-wise product. *)
+
+val dot : t -> t -> float
+
+val norm1 : t -> float
+
+val norm2 : t -> float
+
+val norm_inf : t -> float
+
+val dist_inf : t -> t -> float
+
+val dist2 : t -> t -> float
+
+val map : (float -> float) -> t -> t
+
+val mapi : (int -> float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val iteri : (int -> float -> unit) -> t -> unit
+
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val sum : t -> float
+
+val mean : t -> float
+
+val min_elt : t -> float
+
+val max_elt : t -> float
+
+val argmin : t -> int
+
+val argmax : t -> int
+
+val cmin : t -> t -> t
+(** Component-wise minimum. *)
+
+val cmax : t -> t -> t
+(** Component-wise maximum. *)
+
+val clamp : lo:t -> hi:t -> t -> t
+(** Component-wise clamping of a vector into the box [lo, hi]. *)
+
+val lerp : t -> t -> float -> t
+(** [lerp a b s] is [(1-s)*a + s*b]. *)
+
+val le : t -> t -> bool
+(** Component-wise [<=]. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Equality up to [tol] in the sup norm (default [1e-9]). *)
+
+val linspace : float -> float -> int -> t
+(** [linspace a b n] is [n >= 2] evenly spaced points from [a] to [b]
+    inclusive. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,125 @@
+open Umf_numerics
+open Umf_ctmc
+
+(* single-station bike sharing chain (paper Sec. II example):
+   states 0..cap bikes; arrivals take a bike at rate θa, returns add one
+   at rate θr *)
+let bike_station ~cap ~theta_box =
+  let trans = ref [] in
+  for k = 0 to cap do
+    if k > 0 then
+      trans := { Imprecise_ctmc.src = k; dst = k - 1; rate = (fun th -> th.(0)) } :: !trans;
+    if k < cap then
+      trans := { Imprecise_ctmc.src = k; dst = k + 1; rate = (fun th -> th.(1)) } :: !trans
+  done;
+  Imprecise_ctmc.make ~n:(cap + 1) ~theta:theta_box !trans
+
+let box2 a b c d = Optim.Box.make [| a; c |] [| b; d |]
+
+let test_generator_at () =
+  let m = bike_station ~cap:3 ~theta_box:(box2 1. 2. 1. 3.) in
+  let g = Imprecise_ctmc.generator_at m [| 1.5; 2. |] in
+  Alcotest.(check (float 1e-12)) "interior exit" 3.5 (Generator.exit_rate g 1);
+  Alcotest.(check (float 1e-12)) "boundary exit (no departures at 0)" 2.
+    (Generator.exit_rate g 0)
+
+let test_degenerate_box_matches_precise () =
+  (* point box: lower = upper = exact transient expectation *)
+  let theta = [| 1.2; 0.8 |] in
+  let m = bike_station ~cap:4 ~theta_box:(box2 1.2 1.2 0.8 0.8) in
+  let g = Imprecise_ctmc.generator_at m theta in
+  let h = Array.init 5 float_of_int in
+  let lo = Imprecise_ctmc.lower_expectation ~steps_per_unit:2000 m ~h ~horizon:1. in
+  let hi = Imprecise_ctmc.upper_expectation ~steps_per_unit:2000 m ~h ~horizon:1. in
+  let p0 = [| 0.; 0.; 1.; 0.; 0. |] in
+  let exact = Transient.expectation g ~p0 ~t:1. (fun s -> h.(s)) in
+  Alcotest.(check (float 1e-3)) "lower = precise" exact lo.(2);
+  Alcotest.(check (float 1e-3)) "upper = precise" exact hi.(2);
+  Alcotest.(check bool) "lower <= upper" true (lo.(2) <= hi.(2) +. 1e-9)
+
+let test_bounds_order_and_nesting () =
+  let narrow = bike_station ~cap:4 ~theta_box:(box2 1. 1.5 1. 1.5) in
+  let wide = bike_station ~cap:4 ~theta_box:(box2 0.5 2. 0.5 2.) in
+  let h = Array.init 5 float_of_int in
+  let lo_n = Imprecise_ctmc.lower_expectation narrow ~h ~horizon:2. in
+  let hi_n = Imprecise_ctmc.upper_expectation narrow ~h ~horizon:2. in
+  let lo_w = Imprecise_ctmc.lower_expectation wide ~h ~horizon:2. in
+  let hi_w = Imprecise_ctmc.upper_expectation wide ~h ~horizon:2. in
+  for x = 0 to 4 do
+    Alcotest.(check bool) "lower <= upper" true (lo_n.(x) <= hi_n.(x) +. 1e-9);
+    Alcotest.(check bool) "wider box gives wider bounds (lo)" true
+      (lo_w.(x) <= lo_n.(x) +. 1e-6);
+    Alcotest.(check bool) "wider box gives wider bounds (hi)" true
+      (hi_w.(x) >= hi_n.(x) -. 1e-6)
+  done
+
+let test_horizon_zero_is_reward () =
+  let m = bike_station ~cap:3 ~theta_box:(box2 1. 2. 1. 2.) in
+  let h = [| 5.; 1.; 0.; 2. |] in
+  let lo = Imprecise_ctmc.lower_expectation m ~h ~horizon:0. in
+  Alcotest.(check bool) "g_0 = h" true (Vec.approx_equal lo h)
+
+let test_probability_bounds () =
+  let m = bike_station ~cap:3 ~theta_box:(box2 1. 3. 1. 3.) in
+  let lo, hi = Imprecise_ctmc.probability_bounds m ~state:0 ~horizon:1. ~x0:2 in
+  Alcotest.(check bool) "probabilities in [0,1]" true
+    (lo >= -1e-9 && hi <= 1. +. 1e-9 && lo <= hi)
+
+let test_simulation_within_bounds () =
+  (* Monte-Carlo mean under any adapted policy must lie within the
+     lower/upper expectation bounds *)
+  let box = box2 1. 3. 1. 3. in
+  let m = bike_station ~cap:5 ~theta_box:box in
+  let h = Array.init 6 float_of_int in
+  let horizon = 2. in
+  let lo = Imprecise_ctmc.lower_expectation m ~h ~horizon in
+  let hi = Imprecise_ctmc.upper_expectation m ~h ~horizon in
+  let policies =
+    [
+      ("constant mid", Imprecise_ctmc.constant_policy [| 2.; 2. |]);
+      ("time switch", fun ~t ~x:_ -> if t < 1. then [| 1.; 3. |] else [| 3.; 1. |]);
+      ("state feedback", fun ~t:_ ~x -> if x > 2 then [| 3.; 1. |] else [| 1.; 3. |]);
+    ]
+  in
+  List.iter
+    (fun (name, policy) ->
+      let rng = Rng.create 77 in
+      let acc = Stats.Running.create () in
+      for _ = 1 to 600 do
+        let p = Imprecise_ctmc.simulate rng m policy ~x0:3 ~tmax:horizon in
+        Stats.Running.add acc h.(Path.final_state p)
+      done;
+      let mean = Stats.Running.mean acc in
+      let se = Stats.Running.std acc /. sqrt 600. in
+      let margin = (4. *. se) +. 0.02 in
+      Alcotest.(check bool)
+        (name ^ " above lower") true
+        (mean >= lo.(3) -. margin);
+      Alcotest.(check bool)
+        (name ^ " below upper") true
+        (mean <= hi.(3) +. margin))
+    policies
+
+let test_negative_rate_detected () =
+  let m =
+    Imprecise_ctmc.make ~n:2
+      ~theta:(Optim.Box.make [| -1. |] [| 1. |])
+      [ { Imprecise_ctmc.src = 0; dst = 1; rate = (fun th -> th.(0)) } ]
+  in
+  Alcotest.check_raises "negative rate"
+    (Invalid_argument "Imprecise_ctmc: negative rate at theta") (fun () ->
+      ignore (Imprecise_ctmc.generator_at m [| -0.5 |]))
+
+let suites =
+  [
+    ( "imprecise_ctmc",
+      [
+        Alcotest.test_case "generator at theta" `Quick test_generator_at;
+        Alcotest.test_case "degenerate box = precise" `Quick test_degenerate_box_matches_precise;
+        Alcotest.test_case "bound ordering and nesting" `Quick test_bounds_order_and_nesting;
+        Alcotest.test_case "zero horizon" `Quick test_horizon_zero_is_reward;
+        Alcotest.test_case "probability bounds" `Quick test_probability_bounds;
+        Alcotest.test_case "simulations within bounds" `Slow test_simulation_within_bounds;
+        Alcotest.test_case "negative rate detection" `Quick test_negative_rate_detected;
+      ] );
+  ]

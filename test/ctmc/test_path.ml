@@ -1,0 +1,60 @@
+open Umf_ctmc
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let sample_path () =
+  Path.make ~times:[| 0.; 1.; 3. |] ~states:[| 0; 1; 0 |] ~horizon:4.
+
+let test_state_at () =
+  let p = sample_path () in
+  Alcotest.(check int) "initial" 0 (Path.state_at p 0.);
+  Alcotest.(check int) "mid first" 0 (Path.state_at p 0.5);
+  Alcotest.(check int) "after first jump" 1 (Path.state_at p 1.5);
+  Alcotest.(check int) "after second jump" 0 (Path.state_at p 3.5);
+  Alcotest.(check int) "before start clamps" 0 (Path.state_at p (-1.));
+  Alcotest.(check int) "after horizon clamps" 0 (Path.state_at p 100.)
+
+let test_time_average () =
+  let p = sample_path () in
+  (* state 1 occupied on [1,3) out of [0,4): fraction 1/2 *)
+  check_float "fraction in state 1" 0.5
+    (Path.time_average p (fun s -> if s = 1 then 1. else 0.))
+
+let test_occupancy () =
+  let p = sample_path () in
+  let occ = Path.occupancy p 2 in
+  check_float "state 0" 0.5 occ.(0);
+  check_float "state 1" 0.5 occ.(1);
+  check_float "sums to 1" 1. (occ.(0) +. occ.(1))
+
+let test_counts () =
+  let p = sample_path () in
+  Alcotest.(check int) "length" 3 (Path.length p);
+  Alcotest.(check int) "jumps" 2 (Path.jumps p);
+  Alcotest.(check int) "final" 0 (Path.final_state p)
+
+let test_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Path.make: empty path")
+    (fun () -> ignore (Path.make ~times:[||] ~states:[||] ~horizon:1.));
+  Alcotest.check_raises "mismatch" (Invalid_argument "Path.make: length mismatch")
+    (fun () -> ignore (Path.make ~times:[| 0. |] ~states:[| 0; 1 |] ~horizon:1.));
+  Alcotest.check_raises "horizon" (Invalid_argument "Path.make: horizon before last jump")
+    (fun () -> ignore (Path.make ~times:[| 0.; 2. |] ~states:[| 0; 1 |] ~horizon:1.))
+
+let test_single_state_path () =
+  let p = Path.make ~times:[| 0. |] ~states:[| 3 |] ~horizon:10. in
+  Alcotest.(check int) "constant path" 3 (Path.state_at p 5.);
+  check_float "reward" 7. (Path.time_average p (fun _ -> 7.))
+
+let suites =
+  [
+    ( "path",
+      [
+        Alcotest.test_case "state_at" `Quick test_state_at;
+        Alcotest.test_case "time_average" `Quick test_time_average;
+        Alcotest.test_case "occupancy" `Quick test_occupancy;
+        Alcotest.test_case "lengths and jumps" `Quick test_counts;
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "single state path" `Quick test_single_state_path;
+      ] );
+  ]

@@ -1,0 +1,73 @@
+open Umf_numerics
+open Umf_ctmc
+
+let test_two_state () =
+  let g = Generator.make ~n:2 [ (0, 1, 2.); (1, 0, 3.) ] in
+  let pi = Stationary.gth g in
+  Alcotest.(check (float 1e-12)) "pi0" 0.6 pi.(0);
+  Alcotest.(check (float 1e-12)) "pi1" 0.4 pi.(1)
+
+let test_birth_death () =
+  (* M/M/1/K with arrival 1, service 2: pi_k proportional to (1/2)^k *)
+  let k = 5 in
+  let trans = ref [] in
+  for i = 0 to k - 1 do
+    trans := (i, i + 1, 1.) :: (i + 1, i, 2.) :: !trans
+  done;
+  let g = Generator.make ~n:(k + 1) !trans in
+  let pi = Stationary.gth g in
+  let rho = 0.5 in
+  let z = (1. -. (rho ** float_of_int (k + 1))) /. (1. -. rho) in
+  for i = 0 to k do
+    Alcotest.(check (float 1e-12))
+      (Printf.sprintf "pi%d" i)
+      ((rho ** float_of_int i) /. z)
+      pi.(i)
+  done
+
+let test_gth_vs_power () =
+  let g =
+    Generator.make ~n:4
+      [ (0, 1, 1.); (1, 2, 0.5); (2, 3, 2.); (3, 0, 1.5); (1, 0, 0.2); (2, 0, 0.1) ]
+  in
+  let pi1 = Stationary.gth g in
+  let pi2 = Stationary.power_iteration ~tol:1e-13 g in
+  Alcotest.(check bool) "methods agree" true (Vec.approx_equal ~tol:1e-8 pi1 pi2)
+
+let test_stationarity_equation () =
+  let g =
+    Generator.make ~n:5
+      [ (0, 1, 1.3); (1, 2, 0.7); (2, 3, 2.1); (3, 4, 0.4); (4, 0, 1.1);
+        (2, 0, 0.5); (3, 1, 0.9) ]
+  in
+  let pi = Stationary.gth g in
+  let residual = Mat.tmulv (Generator.to_dense g) pi in
+  Alcotest.(check bool) "pi Q = 0" true (Vec.norm_inf residual < 1e-12);
+  Alcotest.(check (float 1e-12)) "normalised" 1. (Vec.sum pi)
+
+let test_reducible_detected () =
+  (* two disconnected components *)
+  let g = Generator.make ~n:4 [ (0, 1, 1.); (1, 0, 1.); (2, 3, 1.); (3, 2, 1.) ] in
+  Alcotest.check_raises "reducible" (Failure "Stationary.gth: reducible chain")
+    (fun () -> ignore (Stationary.gth g))
+
+let test_stiff_chain () =
+  (* rates spanning 8 orders of magnitude: GTH stays accurate *)
+  let g = Generator.make ~n:3 [ (0, 1, 1e-4); (1, 2, 1e4); (2, 0, 1.) ] in
+  let pi = Stationary.gth g in
+  let residual = Mat.tmulv (Generator.to_dense g) pi in
+  Alcotest.(check bool) "pi Q = 0 (stiff)" true
+    (Vec.norm_inf residual /. Vec.norm_inf pi < 1e-10)
+
+let suites =
+  [
+    ( "stationary",
+      [
+        Alcotest.test_case "two-state" `Quick test_two_state;
+        Alcotest.test_case "birth-death closed form" `Quick test_birth_death;
+        Alcotest.test_case "gth vs power iteration" `Quick test_gth_vs_power;
+        Alcotest.test_case "stationarity equation" `Quick test_stationarity_equation;
+        Alcotest.test_case "reducible detection" `Quick test_reducible_detected;
+        Alcotest.test_case "stiff chain" `Quick test_stiff_chain;
+      ] );
+  ]

@@ -1,0 +1,75 @@
+open Umf_numerics
+open Umf_ctmc
+
+(* 0 <-> 1 with rates a=2, b=3: p_0(t) has closed form
+   p0(t) = b/(a+b) + (p0(0) - b/(a+b)) exp(-(a+b) t) *)
+let a = 2. and b = 3.
+
+let two_state () = Generator.make ~n:2 [ (0, 1, a); (1, 0, b) ]
+
+let closed_form p00 t = (b /. (a +. b)) +. ((p00 -. (b /. (a +. b))) *. Float.exp (-.(a +. b) *. t))
+
+let test_uniformization_closed_form () =
+  let g = two_state () in
+  List.iter
+    (fun t ->
+      let p = Transient.uniformization g ~p0:[| 1.; 0. |] ~t in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p0 at t=%g" t)
+        (closed_form 1. t) p.(0))
+    [ 0.; 0.1; 0.5; 1.; 5. ]
+
+let test_uniformization_preserves_mass () =
+  let g = two_state () in
+  let p = Transient.uniformization g ~p0:[| 0.3; 0.7 |] ~t:2.5 in
+  Alcotest.(check (float 1e-9)) "mass" 1. (Vec.sum p)
+
+let test_matches_ode () =
+  let g = Generator.make ~n:3 [ (0, 1, 1.); (1, 2, 2.); (2, 0, 0.7); (0, 2, 0.2) ] in
+  let p0 = [| 1.; 0.; 0. |] in
+  let pu = Transient.uniformization g ~p0 ~t:1.7 in
+  let po = Transient.kolmogorov_ode ~dt:1e-4 g ~p0 ~t:1.7 in
+  Alcotest.(check bool) "uniformization = ODE" true
+    (Vec.approx_equal ~tol:1e-6 pu po)
+
+let test_long_horizon_converges_to_stationary () =
+  let g = two_state () in
+  let p = Transient.uniformization g ~p0:[| 1.; 0. |] ~t:50. in
+  Alcotest.(check (float 1e-9)) "stationary p0" (b /. (a +. b)) p.(0)
+
+let test_validation () =
+  let g = two_state () in
+  Alcotest.check_raises "bad distribution"
+    (Invalid_argument "Transient: distribution does not sum to 1") (fun () ->
+      ignore (Transient.uniformization g ~p0:[| 0.5; 0.2 |] ~t:1.));
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Transient.uniformization: t < 0") (fun () ->
+      ignore (Transient.uniformization g ~p0:[| 1.; 0. |] ~t:(-1.)))
+
+let test_expectation () =
+  let g = two_state () in
+  let e =
+    Transient.expectation g ~p0:[| 1.; 0. |] ~t:0.5 (fun s -> float_of_int s)
+  in
+  Alcotest.(check (float 1e-9)) "E[X_t] = p1(t)" (1. -. closed_form 1. 0.5) e
+
+let test_large_lambda_t () =
+  (* stiff chain over a long horizon: exp(-lt) underflows; the
+     log-space Poisson recursion must still work *)
+  let g = Generator.make ~n:2 [ (0, 1, 500.); (1, 0, 300.) ] in
+  let p = Transient.uniformization g ~p0:[| 1.; 0. |] ~t:10. in
+  Alcotest.(check (float 1e-6)) "stationary" (300. /. 800.) p.(0)
+
+let suites =
+  [
+    ( "transient",
+      [
+        Alcotest.test_case "closed form" `Quick test_uniformization_closed_form;
+        Alcotest.test_case "mass preserved" `Quick test_uniformization_preserves_mass;
+        Alcotest.test_case "uniformization vs ODE" `Quick test_matches_ode;
+        Alcotest.test_case "long horizon" `Quick test_long_horizon_converges_to_stationary;
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "expectation" `Quick test_expectation;
+        Alcotest.test_case "stiff / large Λt" `Quick test_large_lambda_t;
+      ] );
+  ]

@@ -1,0 +1,87 @@
+open Umf_numerics
+open Umf_meanfield
+open Umf_diffinc
+
+(* bilinear controlled system, symbolic: f = th x (1 - x) - x *)
+let sys () =
+  let open Expr in
+  let tr name change rate = { Symbolic.name; change; rate } in
+  Symbolic.make ~name:"logistic" ~var_names:[| "X" |] ~theta_names:[| "th" |]
+    ~theta:(Optim.Box.make [| 2. |] [| 4. |])
+    [
+      tr "birth" [| 1. |] (theta 0 *: var 0 *: (const 1. -: var 0));
+      tr "death" [| -1. |] (var 0);
+    ]
+
+let test_di_has_exact_jacobian () =
+  let s = sys () in
+  let di = Certified.di s in
+  (* costate rhs with the symbolic jacobian vs finite differences *)
+  let di_fd = Di.make ~dim:1 ~theta:di.Di.theta di.Di.drift in
+  let x = [| 0.3 |] and theta = [| 3. |] and p = [| 1.5 |] in
+  let a = Di.costate_rhs di ~x ~theta ~p in
+  let b = Di.costate_rhs di_fd ~x ~theta ~p in
+  Alcotest.(check bool) "exact vs FD costate" true (Vec.approx_equal ~tol:1e-5 a b);
+  (* the exact value: d/dx (th x (1-x) - x) = th (1 - 2x) - 1 *)
+  Alcotest.(check (float 1e-12)) "analytic value"
+    (-.((3. *. (1. -. 0.6)) -. 1.) *. 1.5)
+    a.(0)
+
+let test_certified_hull_contains_sampled_hull () =
+  let s = sys () in
+  let di = Certified.di s in
+  let x0 = [| 0.3 |] in
+  let sampled = Hull.bounds di ~x0 ~horizon:2. ~dt:0.01 in
+  let certified = Certified.hull_bounds s ~x0 ~horizon:2. ~dt:0.01 in
+  (* certified interval bounds enclose the numerically optimised ones *)
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "certified wider at t=%g" t)
+        true
+        ((Hull.lower_at certified t).(0) <= (Hull.lower_at sampled t).(0) +. 1e-6
+        && (Hull.upper_at certified t).(0) >= (Hull.upper_at sampled t).(0) -. 1e-6))
+    [ 0.5; 1.; 2. ];
+  (* and still sound: every constant-theta solution inside *)
+  List.iter
+    (fun th ->
+      let traj = Di.integrate_constant di ~theta:[| th |] ~x0 ~horizon:2. ~dt:0.01 in
+      List.iter
+        (fun t ->
+          Alcotest.(check bool) "solution within certified hull" true
+            (Hull.contains ~tol:1e-5 certified t (Ode.Traj.at traj t)))
+        [ 0.5; 1.; 2. ])
+    [ 2.; 3.; 4. ]
+
+let test_certified_hull_not_too_loose () =
+  let s = sys () in
+  let x0 = [| 0.3 |] in
+  let certified = Certified.hull_bounds s ~x0 ~horizon:2. ~dt:0.01 in
+  let w = (Hull.final_width certified).(0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "width %.3f below 0.6" w)
+    true (w < 0.6)
+
+let test_recommendation () =
+  let s = sys () in
+  Alcotest.(check bool) "affine: vertices" true
+    (Certified.recommended_hamiltonian_opt s = `Vertices);
+  let open Expr in
+  let quad =
+    Symbolic.make ~name:"quad" ~var_names:[| "X" |] ~theta_names:[| "th" |]
+      ~theta:(Optim.Box.make [| 0. |] [| 1. |])
+      [ { Symbolic.name = "t"; change = [| 1. |]; rate = pow (theta 0) 2 } ]
+  in
+  Alcotest.(check bool) "non-affine: box" true
+    (Certified.recommended_hamiltonian_opt quad = `Box 5)
+
+let suites =
+  [
+    ( "certified",
+      [
+        Alcotest.test_case "exact jacobian wiring" `Quick test_di_has_exact_jacobian;
+        Alcotest.test_case "certified hull encloses sampled" `Quick test_certified_hull_contains_sampled_hull;
+        Alcotest.test_case "certified hull reasonably tight" `Quick test_certified_hull_not_too_loose;
+        Alcotest.test_case "hamiltonian opt recommendation" `Quick test_recommendation;
+      ] );
+  ]

@@ -1,0 +1,5 @@
+let () =
+  Alcotest.run "umf_diffinc"
+    (Test_di.suites @ Test_pontryagin.suites @ Test_hull.suites
+   @ Test_uncertain.suites @ Test_reach.suites @ Test_birkhoff.suites
+   @ Test_template.suites @ Test_scenario.suites @ Test_certified.suites @ Test_safety.suites)

@@ -1,0 +1,134 @@
+open Umf_numerics
+open Umf_diffinc
+
+let integrator_di () =
+  Di.make ~dim:1 ~theta:(Optim.Box.make [| -1. |] [| 1. |]) (fun _x th -> [| th.(0) |])
+
+(* coupled linear system: ẋ1 = -x1 + x2, ẋ2 = -x2 + θ, θ ∈ [1, 2] *)
+let coupled_di () =
+  Di.make ~dim:2 ~theta:(Optim.Box.make [| 1. |] [| 2. |])
+    (fun x th -> [| -.x.(0) +. x.(1); -.x.(1) +. th.(0) |])
+
+let test_integrator_hull_exact () =
+  let di = integrator_di () in
+  let h = Hull.bounds di ~x0:[| 0. |] ~horizon:2. ~dt:0.01 in
+  let lo = Hull.lower_at h 2. and hi = Hull.upper_at h 2. in
+  Alcotest.(check (float 1e-6)) "lower -T" (-2.) lo.(0);
+  Alcotest.(check (float 1e-6)) "upper +T" 2. hi.(0)
+
+let test_hull_ordered () =
+  let di = coupled_di () in
+  let h = Hull.bounds di ~x0:[| 0.5; 0.5 |] ~horizon:5. ~dt:0.01 in
+  Array.iteri
+    (fun i t ->
+      ignore t;
+      Alcotest.(check bool) "lower <= upper" true (Vec.le h.Hull.lower.(i) h.Hull.upper.(i)))
+    h.Hull.times
+
+let test_hull_contains_constant_solutions () =
+  let di = coupled_di () in
+  let h = Hull.bounds di ~x0:[| 0.5; 0.5 |] ~horizon:4. ~dt:0.01 in
+  List.iter
+    (fun theta ->
+      let traj =
+        Di.integrate_constant di ~theta:[| theta |] ~x0:[| 0.5; 0.5 |] ~horizon:4. ~dt:0.01
+      in
+      List.iter
+        (fun t ->
+          let x = Ode.Traj.at traj t in
+          Alcotest.(check bool)
+            (Printf.sprintf "theta=%g inside at t=%g" theta t)
+            true
+            (Hull.contains ~tol:1e-4 h t (Vec.add x [| 0.; 0. |])))
+        [ 0.5; 1.; 2.; 3.9 ])
+    [ 1.; 1.3; 1.7; 2. ]
+
+let test_hull_contains_switching_solutions () =
+  let di = coupled_di () in
+  let h = Hull.bounds di ~x0:[| 0.5; 0.5 |] ~horizon:4. ~dt:0.01 in
+  let rng = Rng.create 5 in
+  let states = Reach.sample_states di ~x0:[| 0.5; 0.5 |] ~horizon:4. ~n_controls:15 rng in
+  List.iter
+    (fun x ->
+      (* allow integration slack at the boundary *)
+      let eps = 1e-6 in
+      let lo = Hull.lower_at h 4. and hi = Hull.upper_at h 4. in
+      Alcotest.(check bool) "switching solution inside" true
+        (Vec.le (Vec.sub lo [| eps; eps |]) x && Vec.le x (Vec.add hi [| eps; eps |])))
+    states
+
+let test_width_grows_with_theta_box () =
+  let make w =
+    Di.make ~dim:1
+      ~theta:(Optim.Box.make [| 1. -. w |] [| 1. +. w |])
+      (fun x th -> [| th.(0) -. x.(0) |])
+  in
+  let width w =
+    let h = Hull.bounds (make w) ~x0:[| 0. |] ~horizon:5. ~dt:0.01 in
+    (Hull.final_width h).(0)
+  in
+  let w_small = width 0.1 and w_big = width 0.9 in
+  Alcotest.(check bool) "wider theta, wider hull" true (w_big > w_small *. 3.)
+
+let test_clip () =
+  let di = integrator_di () in
+  let clip = Optim.Box.make [| -0.5 |] [| 0.5 |] in
+  let h = Hull.bounds ~clip di ~x0:[| 0. |] ~horizon:3. ~dt:0.01 in
+  let lo = Hull.lower_at h 3. and hi = Hull.upper_at h 3. in
+  Alcotest.(check (float 1e-9)) "clipped below" (-0.5) lo.(0);
+  Alcotest.(check (float 1e-9)) "clipped above" 0.5 hi.(0)
+
+let test_zero_horizon () =
+  let di = integrator_di () in
+  let h = Hull.bounds di ~x0:[| 0.3 |] ~horizon:0. ~dt:0.01 in
+  Alcotest.(check (float 1e-12)) "degenerate" 0.3 (Hull.lower_at h 0.).(0);
+  Alcotest.(check (float 1e-12)) "width zero" 0. (Hull.final_width h).(0)
+
+let test_validation () =
+  let di = integrator_di () in
+  Alcotest.check_raises "dt" (Invalid_argument "Hull.bounds: dt <= 0") (fun () ->
+      ignore (Hull.bounds di ~x0:[| 0. |] ~horizon:1. ~dt:0.))
+
+(* soundness property on a family of multilinear 2-D systems *)
+let prop_hull_sound_multilinear =
+  let gen = QCheck.Gen.(pair (float_range 0.2 1.5) (float_range 0.2 1.5)) in
+  QCheck.Test.make ~name:"hull contains solutions (multilinear)" ~count:15
+    (QCheck.make gen) (fun (a, b) ->
+      let di =
+        Di.make ~dim:2
+          ~theta:(Optim.Box.make [| 0.5 |] [| 1.5 |])
+          (fun x th ->
+            [|
+              (a *. (1. -. x.(0))) -. (th.(0) *. x.(0) *. x.(1));
+              (th.(0) *. x.(0) *. x.(1)) -. (b *. x.(1));
+            |])
+      in
+      let x0 = [| 0.6; 0.3 |] in
+      let h = Hull.bounds di ~x0 ~horizon:2. ~dt:0.02 in
+      List.for_all
+        (fun theta ->
+          let traj = Di.integrate_constant di ~theta:[| theta |] ~x0 ~horizon:2. ~dt:0.02 in
+          List.for_all
+            (fun t ->
+              let x = Ode.Traj.at traj t in
+              let lo = Hull.lower_at h t and hi = Hull.upper_at h t in
+              Vec.le (Vec.sub lo [| 1e-6; 1e-6 |]) x
+              && Vec.le x (Vec.add hi [| 1e-6; 1e-6 |]))
+            [ 0.5; 1.; 1.5; 2. ])
+        [ 0.5; 0.8; 1.2; 1.5 ])
+
+let suites =
+  [
+    ( "hull",
+      [
+        Alcotest.test_case "integrator exact" `Quick test_integrator_hull_exact;
+        Alcotest.test_case "ordering invariant" `Quick test_hull_ordered;
+        Alcotest.test_case "contains constant-theta solutions" `Quick test_hull_contains_constant_solutions;
+        Alcotest.test_case "contains switching solutions" `Quick test_hull_contains_switching_solutions;
+        Alcotest.test_case "width grows with theta" `Quick test_width_grows_with_theta_box;
+        Alcotest.test_case "clipping" `Quick test_clip;
+        Alcotest.test_case "zero horizon" `Quick test_zero_horizon;
+        Alcotest.test_case "validation" `Quick test_validation;
+        QCheck_alcotest.to_alcotest prop_hull_sound_multilinear;
+      ] );
+  ]

@@ -1,0 +1,103 @@
+(* The high-level Analysis API wiring. *)
+open Umf
+
+let p = Sir.default_params
+
+let model = Sir.model p
+
+let times = [| 0.; 1.; 2. |]
+
+let test_transient_bounds_imprecise () =
+  let bounds =
+    Analysis.transient_bounds ~steps:150 model ~x0:Sir.x0 ~coord:1 ~times
+  in
+  let lo0, hi0 = bounds.(0) in
+  Alcotest.(check (float 1e-12)) "t=0 is x0 (lo)" 0.3 lo0;
+  Alcotest.(check (float 1e-12)) "t=0 is x0 (hi)" 0.3 hi0;
+  Array.iter (fun (lo, hi) -> Alcotest.(check bool) "ordered" true (lo <= hi)) bounds
+
+let test_transient_bounds_scenarios_nested () =
+  let imprecise =
+    Analysis.transient_bounds ~steps:150 model ~x0:Sir.x0 ~coord:1 ~times
+  in
+  let uncertain =
+    Analysis.transient_bounds ~scenario:(Analysis.Uncertain 9) model ~x0:Sir.x0
+      ~coord:1 ~times
+  in
+  Array.iteri
+    (fun i (ulo, uhi) ->
+      let ilo, ihi = imprecise.(i) in
+      Alcotest.(check bool) "uncertain inside imprecise" true
+        (ilo <= ulo +. 1e-4 && uhi <= ihi +. 1e-4))
+    uncertain
+
+let test_hull_bounds_wrapper () =
+  let clip = Optim.Box.make [| 0.; 0. |] [| 1.; 1. |] in
+  let h = Analysis.hull_bounds ~clip model ~x0:Sir.x0 ~horizon:2. in
+  Alcotest.(check bool) "hull contains x0 at 0" true (Hull.contains h 0. Sir.x0)
+
+let test_steady_state_region () =
+  let b = Analysis.steady_state_region_2d ~x_start:Sir.x0 model in
+  Alcotest.(check bool) "non-trivial region" true (Birkhoff.area b > 0.01)
+
+let test_stationary_cloud_and_inclusion () =
+  let b = Analysis.steady_state_region_2d ~x_start:Sir.x0 model in
+  let cloud =
+    Analysis.stationary_cloud model ~n:500 ~x0:Sir.x0
+      ~policy:(Sir.policy_theta1 p) ~warmup:10. ~horizon:40. ~samples:50 ~seed:1
+  in
+  Alcotest.(check int) "sample count" 50 (Array.length cloud);
+  let frac = Analysis.inclusion_fraction ~tol:3e-3 b cloud in
+  Alcotest.(check bool) "fraction in [0,1]" true (frac >= 0. && frac <= 1.);
+  Alcotest.(check bool) "mostly inside" true (frac > 0.6)
+
+let test_mean_exceedance_semantics () =
+  let b = Analysis.steady_state_region_2d ~x_start:Sir.x0 model in
+  (* interior points contribute zero exceedance *)
+  let cx, cy = Geometry.centroid b.Birkhoff.polygon in
+  Alcotest.(check (float 1e-12)) "interior exceedance" 0.
+    (Analysis.mean_exceedance b [| [| cx; cy |] |]);
+  (* a point pushed distance d outside contributes ~d *)
+  let (_, _), (xmax, _) = Geometry.bounding_box b.Birkhoff.polygon in
+  let outside = [| xmax +. 0.1; cy |] in
+  let e = Analysis.mean_exceedance b [| outside |] in
+  Alcotest.(check bool)
+    (Printf.sprintf "outside exceedance %.4f near 0.1" e)
+    true
+    (e > 0.05 && e < 0.2);
+  (* averaging over one inside and one outside point halves it *)
+  let half = Analysis.mean_exceedance b [| [| cx; cy |]; outside |] in
+  Alcotest.(check (float 1e-9)) "mean over samples" (e /. 2.) half
+
+let test_safety_on_population_model () =
+  (* end-to-end: Safety over a Di built from the population model *)
+  let di = Di.of_population model in
+  match
+    Safety.verify ~steps:150 ~check_points:6 di ~x0:Sir.x0 ~horizon:4.
+      [ Safety.le ~coord:1 ~dim:2 0.9 ]
+  with
+  | Safety.Safe margin -> Alcotest.(check bool) "trivially safe" true (margin > 0.5)
+  | Safety.Violated _ -> Alcotest.fail "x_I <= 0.9 cannot be violated"
+
+let test_stationary_cloud_validation () =
+  Alcotest.check_raises "warmup >= horizon"
+    (Invalid_argument "Analysis.stationary_cloud: warmup >= horizon") (fun () ->
+      ignore
+        (Analysis.stationary_cloud model ~n:10 ~x0:Sir.x0
+           ~policy:(Sir.policy_theta1 p) ~warmup:5. ~horizon:5. ~samples:10
+           ~seed:1))
+
+let suites =
+  [
+    ( "analysis",
+      [
+        Alcotest.test_case "imprecise transient bounds" `Quick test_transient_bounds_imprecise;
+        Alcotest.test_case "scenario nesting" `Quick test_transient_bounds_scenarios_nested;
+        Alcotest.test_case "hull wrapper" `Quick test_hull_bounds_wrapper;
+        Alcotest.test_case "steady-state region" `Quick test_steady_state_region;
+        Alcotest.test_case "stationary cloud" `Slow test_stationary_cloud_and_inclusion;
+        Alcotest.test_case "mean exceedance semantics" `Quick test_mean_exceedance_semantics;
+        Alcotest.test_case "safety end-to-end" `Quick test_safety_on_population_model;
+        Alcotest.test_case "validation" `Quick test_stationary_cloud_validation;
+      ] );
+  ]

@@ -1,0 +1,165 @@
+(* End-to-end checks of the paper's Sec. V claims on the SIR model. *)
+open Umf
+
+let p = Sir.default_params
+
+let di = Sir.di p
+
+let test_pontryagin_vs_brute_force () =
+  (* the optimal control is bang-bang with one switch (Fig. 2 top):
+     scanning the switch time gives an independent lower bound on the
+     true maximum, which the PMP solver must match *)
+  let value_of_switch s =
+    let control t _x = if t < s then [| p.Sir.theta_min |] else [| p.Sir.theta_max |] in
+    let traj = Di.integrate_control di ~control ~x0:Sir.x0 ~horizon:3. ~dt:1e-3 in
+    (Ode.Traj.last traj).(1)
+  in
+  let brute = ref neg_infinity in
+  for i = 0 to 150 do
+    let v = value_of_switch (3. *. float_of_int i /. 150.) in
+    if v > !brute then brute := v
+  done;
+  let pmp =
+    (Pontryagin.solve ~steps:300 di ~x0:Sir.x0 ~horizon:3. ~sense:`Max (`Coord 1)).value
+  in
+  Alcotest.(check (float 2e-3)) "PMP matches brute force" !brute pmp
+
+let test_fig2_switching_structure () =
+  (* paper: max-xI(3) control switches theta_min -> theta_max near 2.25;
+     min-xI(3) control switches at ~0.7 and ~2.2 *)
+  let rmax = Pontryagin.solve ~steps:300 di ~x0:Sir.x0 ~horizon:3. ~sense:`Max (`Coord 1) in
+  (match Pontryagin.switch_times rmax ~coord:0 with
+  | [ s ] -> Alcotest.(check bool) "max switch near 2.25" true (s > 2.0 && s < 2.5)
+  | l -> Alcotest.failf "expected 1 switch, got %d" (List.length l));
+  let rmin = Pontryagin.solve ~steps:300 di ~x0:Sir.x0 ~horizon:3. ~sense:`Min (`Coord 1) in
+  (match Pontryagin.switch_times rmin ~coord:0 with
+  | [ s1; s2 ] ->
+      Alcotest.(check bool) "min switch 1 near 0.7" true (s1 > 0.4 && s1 < 1.0);
+      Alcotest.(check bool) "min switch 2 near 2.2" true (s2 > 1.9 && s2 < 2.4)
+  | l -> Alcotest.failf "expected 2 switches, got %d" (List.length l))
+
+let test_fig1_uncertain_within_imprecise () =
+  (* Eq. 12: strict inclusion of the uncertain envelope, with a large
+     gap at late times (the paper's headline observation) *)
+  List.iter
+    (fun t ->
+      let u_lo, u_hi = Uncertain.extremal_coord di ~x0:Sir.x0 ~coord:1 ~horizon:t in
+      let i_lo =
+        (Pontryagin.solve ~steps:300 di ~x0:Sir.x0 ~horizon:t ~sense:`Min (`Coord 1)).value
+      in
+      let i_hi =
+        (Pontryagin.solve ~steps:300 di ~x0:Sir.x0 ~horizon:t ~sense:`Max (`Coord 1)).value
+      in
+      Alcotest.(check bool) "imprecise below uncertain" true (i_lo <= u_lo +. 1e-4);
+      Alcotest.(check bool) "imprecise above uncertain" true (i_hi >= u_hi -. 1e-4);
+      if t >= 3. then
+        Alcotest.(check bool)
+          (Printf.sprintf "strict gap at t=%g (%.3f vs %.3f)" t i_hi u_hi)
+          true
+          (i_hi > u_hi *. 1.3))
+    [ 1.; 3.; 4. ]
+
+let test_fig4_hull_looser_than_pontryagin () =
+  let clip = Optim.Box.make [| 0.; 0. |] [| 1.; 1. |] in
+  let h = Hull.bounds ~clip di ~x0:Sir.x0 ~horizon:4. ~dt:0.02 in
+  List.iter
+    (fun t ->
+      let i_lo =
+        (Pontryagin.solve ~steps:200 di ~x0:Sir.x0 ~horizon:t ~sense:`Min (`Coord 1)).value
+      in
+      let i_hi =
+        (Pontryagin.solve ~steps:200 di ~x0:Sir.x0 ~horizon:t ~sense:`Max (`Coord 1)).value
+      in
+      let h_lo = (Hull.lower_at h t).(1) and h_hi = (Hull.upper_at h t).(1) in
+      Alcotest.(check bool) "hull below exact lower" true (h_lo <= i_lo +. 1e-3);
+      Alcotest.(check bool) "hull above exact upper" true (h_hi >= i_hi -. 1e-3))
+    [ 1.; 2.; 4. ]
+
+let test_fig4_hull_degrades_with_theta_max () =
+  let clip = Optim.Box.make [| 0.; 0. |] [| 1.; 1. |] in
+  let width theta_max =
+    let di' = Sir.di { p with Sir.theta_max } in
+    let h = Hull.bounds ~clip di' ~x0:Sir.x0 ~horizon:10. ~dt:0.02 in
+    (Hull.final_width h).(1)
+  in
+  let w2 = width 2. and w5 = width 5. and w6 = width 6. in
+  Alcotest.(check bool) (Printf.sprintf "tight at 2 (%.3f)" w2) true (w2 < 0.1);
+  Alcotest.(check bool) (Printf.sprintf "loose at 5 (%.3f)" w5) true (w5 > 0.1);
+  Alcotest.(check bool) (Printf.sprintf "trivial at 6 (%.3f)" w6) true (w6 > 0.9)
+
+let test_fig3_birkhoff_vs_uncertain () =
+  let b = Birkhoff.compute di ~x_start:Sir.x0 in
+  Alcotest.(check bool) "birkhoff converged" false b.Birkhoff.escaped;
+  (* every uncertain equilibrium lies inside the imprecise region *)
+  let eqs = Uncertain.equilibria ~grid:9 di ~x0:Sir.x0 in
+  (* extreme equilibria sit exactly on the region boundary; allow the
+     polygon-simplification slack *)
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "equilibrium (%.3f, %.3f) inside" e.(0) e.(1))
+        true
+        (Birkhoff.contains ~tol:3e-3 b (e.(0), e.(1))))
+    eqs;
+  (* the paper: some imprecise steady states have smaller X_S and larger
+     X_I than every uncertain equilibrium *)
+  let (bxmin, _), (_, bymax) = Geometry.bounding_box b.Birkhoff.polygon in
+  let exmin = List.fold_left (fun acc e -> Float.min acc e.(0)) 1. eqs in
+  let eymax = List.fold_left (fun acc e -> Float.max acc e.(1)) 0. eqs in
+  Alcotest.(check bool) "region extends below uncertain X_S" true (bxmin < exmin -. 0.02);
+  Alcotest.(check bool) "region extends above uncertain X_I" true (bymax > eymax +. 0.02)
+
+let test_fig6_stationary_inclusion () =
+  (* simulations under both adversarial policies stay essentially inside
+     the Birkhoff centre for N = 1000; the hysteresis policy θ1 rides
+     exactly along the region boundary, so inclusion is measured with a
+     small boundary slack *)
+  let b = Birkhoff.compute di ~x_start:Sir.x0 in
+  let model = Sir.model p in
+  List.iter
+    (fun (policy, name) ->
+      let cloud =
+        Analysis.stationary_cloud model ~n:1000 ~x0:Sir.x0 ~policy ~warmup:20.
+          ~horizon:120. ~samples:400 ~seed:7
+      in
+      let frac = Analysis.inclusion_fraction ~tol:3e-3 b cloud in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s inclusion %.3f >= 0.8" name frac)
+        true (frac >= 0.8))
+    [ (Sir.policy_theta1 p, "theta1"); (Sir.policy_theta2 p, "theta2") ]
+
+let test_fig6_inclusion_improves_with_n () =
+  let b = Birkhoff.compute di ~x_start:Sir.x0 in
+  let model = Sir.model p in
+  let stats n =
+    let cloud =
+      Analysis.stationary_cloud model ~n ~x0:Sir.x0
+        ~policy:(Sir.policy_theta2 p) ~warmup:20. ~horizon:80. ~samples:300
+        ~seed:11
+    in
+    (Analysis.inclusion_fraction ~tol:3e-3 b cloud, Analysis.mean_exceedance b cloud)
+  in
+  let f100, e100 = stats 100 and f5000, e5000 = stats 5000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "inclusion improves: %.3f -> %.3f" f100 f5000)
+    true
+    (f5000 >= f100 && f5000 >= 0.9);
+  Alcotest.(check bool)
+    (Printf.sprintf "exceedance shrinks: %.4f -> %.4f" e100 e5000)
+    true
+    (e5000 < e100 /. 3. || e5000 < 1e-4)
+
+let suites =
+  [
+    ( "sir-paper",
+      [
+        Alcotest.test_case "PMP vs brute force" `Quick test_pontryagin_vs_brute_force;
+        Alcotest.test_case "Fig 2 switching structure" `Quick test_fig2_switching_structure;
+        Alcotest.test_case "Fig 1 uncertain within imprecise" `Quick test_fig1_uncertain_within_imprecise;
+        Alcotest.test_case "Fig 4 hull conservative" `Quick test_fig4_hull_looser_than_pontryagin;
+        Alcotest.test_case "Fig 4 hull degradation" `Quick test_fig4_hull_degrades_with_theta_max;
+        Alcotest.test_case "Fig 3 Birkhoff vs uncertain" `Quick test_fig3_birkhoff_vs_uncertain;
+        Alcotest.test_case "Fig 6 stationary inclusion" `Slow test_fig6_stationary_inclusion;
+        Alcotest.test_case "Fig 6 inclusion vs N" `Slow test_fig6_inclusion_improves_with_n;
+      ] );
+  ]

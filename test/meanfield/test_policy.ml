@@ -1,0 +1,90 @@
+open Umf_numerics
+open Umf_meanfield
+
+let test_constant () =
+  let p = Policy.constant [| 3. |] in
+  let inst = p.Policy.instantiate () in
+  Alcotest.(check (float 1e-12)) "theta" 3. (inst.Policy.theta 1. [| 0.5 |]).(0);
+  Alcotest.(check (float 1e-12)) "no jumps" 0. (inst.Policy.jump_rate 1. [| 0.5 |])
+
+let test_feedback () =
+  let p = Policy.feedback "fb" (fun t x -> [| t +. x.(0) |]) in
+  let inst = p.Policy.instantiate () in
+  Alcotest.(check (float 1e-12)) "theta(t,x)" 1.5 (inst.Policy.theta 1. [| 0.5 |]).(0)
+
+let test_hysteresis_switching () =
+  let p =
+    Policy.hysteresis ~name:"h" ~high:[| 10. |] ~low:[| 1. |]
+      ~drop_if:(fun x -> x.(0) < 0.5)
+      ~rise_if:(fun x -> x.(0) > 0.85)
+      ~init:`High
+  in
+  let inst = p.Policy.instantiate () in
+  let theta x = (inst.Policy.theta 0. x).(0) in
+  Alcotest.(check (float 1e-12)) "starts high" 10. (theta [| 0.7 |]);
+  (* observe a state below the drop threshold *)
+  inst.Policy.notify 1. [| 0.4 |];
+  Alcotest.(check (float 1e-12)) "dropped" 1. (theta [| 0.4 |]);
+  (* mid-band states do not switch back *)
+  inst.Policy.notify 2. [| 0.7 |];
+  Alcotest.(check (float 1e-12)) "stays low in band" 1. (theta [| 0.7 |]);
+  inst.Policy.notify 3. [| 0.9 |];
+  Alcotest.(check (float 1e-12)) "rises" 10. (theta [| 0.9 |])
+
+let test_hysteresis_instances_independent () =
+  let p =
+    Policy.hysteresis ~name:"h" ~high:[| 10. |] ~low:[| 1. |]
+      ~drop_if:(fun x -> x.(0) < 0.5)
+      ~rise_if:(fun x -> x.(0) > 0.85)
+      ~init:`High
+  in
+  let i1 = p.Policy.instantiate () and i2 = p.Policy.instantiate () in
+  i1.Policy.notify 0. [| 0.1 |];
+  Alcotest.(check (float 1e-12)) "i1 dropped" 1. (i1.Policy.theta 0. [| 0.1 |]).(0);
+  Alcotest.(check (float 1e-12)) "i2 unaffected" 10. (i2.Policy.theta 0. [| 0.1 |]).(0)
+
+let test_jump_redraw () =
+  let box = Optim.Box.make [| 1. |] [| 10. |] in
+  let p =
+    Policy.jump_redraw ~name:"j"
+      ~rate:(fun _t x -> 5. *. x.(0))
+      ~redraw:Policy.uniform_redraw ~box ~init:[| 5. |]
+  in
+  let inst = p.Policy.instantiate () in
+  Alcotest.(check (float 1e-12)) "init theta" 5. (inst.Policy.theta 0. [| 0.2 |]).(0);
+  Alcotest.(check (float 1e-12)) "rate" 1. (inst.Policy.jump_rate 0. [| 0.2 |]);
+  let rng = Rng.create 3 in
+  inst.Policy.do_jump rng 0.1 [| 0.2 |];
+  let v = (inst.Policy.theta 0.2 [| 0.2 |]).(0) in
+  Alcotest.(check bool) "redrawn inside box" true (v >= 1. && v <= 10.)
+
+let test_jump_redraw_init_validation () =
+  let box = Optim.Box.make [| 1. |] [| 10. |] in
+  Alcotest.check_raises "init outside"
+    (Invalid_argument "Policy.jump_redraw: init outside box") (fun () ->
+      ignore
+        (Policy.jump_redraw ~name:"j"
+           ~rate:(fun _ _ -> 1.)
+           ~redraw:Policy.uniform_redraw ~box ~init:[| 0. |]))
+
+let test_uniform_redraw_coverage () =
+  let box = Optim.Box.make [| 0.; 5. |] [| 1.; 6. |] in
+  let rng = Rng.create 9 in
+  for _ = 1 to 200 do
+    let v = Policy.uniform_redraw rng box in
+    Alcotest.(check bool) "inside" true (Optim.Box.mem v box)
+  done
+
+let suites =
+  [
+    ( "policy",
+      [
+        Alcotest.test_case "constant" `Quick test_constant;
+        Alcotest.test_case "feedback" `Quick test_feedback;
+        Alcotest.test_case "hysteresis switching" `Quick test_hysteresis_switching;
+        Alcotest.test_case "instances independent" `Quick test_hysteresis_instances_independent;
+        Alcotest.test_case "jump redraw" `Quick test_jump_redraw;
+        Alcotest.test_case "jump redraw validation" `Quick test_jump_redraw_init_validation;
+        Alcotest.test_case "uniform redraw coverage" `Quick test_uniform_redraw_coverage;
+      ] );
+  ]

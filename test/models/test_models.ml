@@ -1,0 +1,5 @@
+let () =
+  Alcotest.run "umf_models"
+    (Test_sir.suites @ Test_gps.suites @ Test_bikesharing.suites
+   @ Test_sis.suites @ Test_cholera.suites @ Test_loadbalance.suites
+   @ Test_bikenetwork.suites)

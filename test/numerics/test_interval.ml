@@ -1,0 +1,132 @@
+open Umf_numerics
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let iv = Interval.make
+
+let test_make_invalid () =
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Interval.make: lo > hi")
+    (fun () -> ignore (iv 2. 1.))
+
+let test_basic () =
+  let a = iv 1. 3. in
+  check_float "lo" 1. (Interval.lo a);
+  check_float "hi" 3. (Interval.hi a);
+  check_float "width" 2. (Interval.width a);
+  check_float "mid" 2. (Interval.midpoint a);
+  Alcotest.(check bool) "mem" true (Interval.mem 2.5 a);
+  Alcotest.(check bool) "not mem" false (Interval.mem 3.5 a)
+
+let test_hull_intersect () =
+  let a = iv 0. 2. and b = iv 1. 4. in
+  Alcotest.(check bool) "hull" true
+    (Interval.equal (Interval.hull a b) (iv 0. 4.));
+  (match Interval.intersect a b with
+  | Some c -> Alcotest.(check bool) "intersect" true (Interval.equal c (iv 1. 2.))
+  | None -> Alcotest.fail "expected intersection");
+  Alcotest.(check bool) "disjoint" true
+    (Interval.intersect (iv 0. 1.) (iv 2. 3.) = None)
+
+let test_hull_list () =
+  let h = Interval.hull_list [ iv 0. 1.; iv 3. 4.; iv (-1.) 0.5 ] in
+  Alcotest.(check bool) "hull of list" true (Interval.equal h (iv (-1.) 4.));
+  Alcotest.check_raises "empty list"
+    (Invalid_argument "Interval.hull_list: empty list") (fun () ->
+      ignore (Interval.hull_list []))
+
+let test_scale () =
+  Alcotest.(check bool) "positive scale" true
+    (Interval.equal (Interval.scale 2. (iv 1. 3.)) (iv 2. 6.));
+  Alcotest.(check bool) "negative scale flips" true
+    (Interval.equal (Interval.scale (-1.) (iv 1. 3.)) (iv (-3.) (-1.)))
+
+let test_arith () =
+  let a = iv 1. 2. and b = iv (-1.) 3. in
+  Alcotest.(check bool) "add" true (Interval.equal (Interval.add a b) (iv 0. 5.));
+  Alcotest.(check bool) "sub" true (Interval.equal (Interval.sub a b) (iv (-2.) 3.));
+  Alcotest.(check bool) "mul" true (Interval.equal (Interval.mul a b) (iv (-2.) 6.));
+  Alcotest.(check bool) "neg" true (Interval.equal (Interval.neg a) (iv (-2.) (-1.)))
+
+let test_mul_signs () =
+  Alcotest.(check bool) "neg*neg" true
+    (Interval.equal (Interval.mul (iv (-3.) (-1.)) (iv (-2.) (-1.))) (iv 1. 6.));
+  Alcotest.(check bool) "straddle*straddle" true
+    (Interval.equal (Interval.mul (iv (-1.) 2.) (iv (-3.) 1.)) (iv (-6.) 3.))
+
+let test_div () =
+  Alcotest.(check bool) "div" true
+    (Interval.equal (Interval.div (iv 1. 2.) (iv 2. 4.)) (iv 0.25 1.));
+  Alcotest.check_raises "div by zero-containing" Division_by_zero (fun () ->
+      ignore (Interval.div (iv 1. 2.) (iv (-1.) 1.)))
+
+let test_sq () =
+  Alcotest.(check bool) "sq straddle" true
+    (Interval.equal (Interval.sq (iv (-2.) 1.)) (iv 0. 4.));
+  Alcotest.(check bool) "sq positive" true
+    (Interval.equal (Interval.sq (iv 1. 3.)) (iv 1. 9.))
+
+let test_monotone () =
+  let e = Interval.monotone Float.exp (iv 0. 1.) in
+  check_float "exp lo" 1. (Interval.lo e);
+  check_float "exp hi" (Float.exp 1.) (Interval.hi e);
+  let d = Interval.monotone (fun x -> -.x) (iv 0. 1.) in
+  Alcotest.(check bool) "decreasing" true (Interval.equal d (iv (-1.) 0.))
+
+let test_clamp_sample () =
+  let a = iv 0. 10. in
+  check_float "clamp in" 5. (Interval.clamp a 5.);
+  check_float "clamp below" 0. (Interval.clamp a (-3.));
+  check_float "clamp above" 10. (Interval.clamp a 42.);
+  let s = Interval.sample a 3 in
+  Alcotest.(check int) "sample count" 3 (Array.length s);
+  check_float "sample mid" 5. s.(1);
+  let one = Interval.sample a 1 in
+  check_float "single sample is midpoint" 5. one.(0)
+
+let arb_iv =
+  QCheck.make
+    ~print:(fun (a, b) -> Printf.sprintf "(%g,%g)" a b)
+    QCheck.Gen.(pair (float_range (-50.) 50.) (float_range (-50.) 50.))
+
+let norm (a, b) = Interval.make (Float.min a b) (Float.max a b)
+
+(* fundamental soundness: interval ops contain all pointwise results *)
+let prop_mul_sound =
+  QCheck.Test.make ~name:"mul contains pointwise products" ~count:300
+    (QCheck.pair arb_iv arb_iv) (fun (p, q) ->
+      let a = norm p and b = norm q in
+      let prod = Interval.mul a b in
+      let pts = [ Interval.lo a; Interval.midpoint a; Interval.hi a ] in
+      let qts = [ Interval.lo b; Interval.midpoint b; Interval.hi b ] in
+      List.for_all
+        (fun x -> List.for_all (fun y -> Interval.mem (x *. y) prod) qts)
+        pts)
+
+let prop_add_width =
+  QCheck.Test.make ~name:"add widths add" ~count:300 (QCheck.pair arb_iv arb_iv)
+    (fun (p, q) ->
+      let a = norm p and b = norm q in
+      Float.abs
+        (Interval.width (Interval.add a b)
+        -. (Interval.width a +. Interval.width b))
+      < 1e-9)
+
+let suites =
+  [
+    ( "interval",
+      [
+        Alcotest.test_case "make validation" `Quick test_make_invalid;
+        Alcotest.test_case "basic accessors" `Quick test_basic;
+        Alcotest.test_case "hull/intersect" `Quick test_hull_intersect;
+        Alcotest.test_case "hull of list" `Quick test_hull_list;
+        Alcotest.test_case "scale" `Quick test_scale;
+        Alcotest.test_case "arithmetic" `Quick test_arith;
+        Alcotest.test_case "mul sign cases" `Quick test_mul_signs;
+        Alcotest.test_case "division" `Quick test_div;
+        Alcotest.test_case "square" `Quick test_sq;
+        Alcotest.test_case "monotone map" `Quick test_monotone;
+        Alcotest.test_case "clamp/sample" `Quick test_clamp_sample;
+        QCheck_alcotest.to_alcotest prop_mul_sound;
+        QCheck_alcotest.to_alcotest prop_add_width;
+      ] );
+  ]

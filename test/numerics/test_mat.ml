@@ -1,0 +1,127 @@
+open Umf_numerics
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_vec msg expected actual =
+  Alcotest.(check bool) msg true (Vec.approx_equal ~tol:1e-9 expected actual)
+
+let m22 a b c d = Mat.of_arrays [| [| a; b |]; [| c; d |] |]
+
+let test_identity () =
+  let i3 = Mat.identity 3 in
+  check_float "diag" 1. (Mat.get i3 1 1);
+  check_float "offdiag" 0. (Mat.get i3 0 2)
+
+let test_of_arrays_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Mat.of_arrays: ragged rows")
+    (fun () -> ignore (Mat.of_arrays [| [| 1. |]; [| 1.; 2. |] |]))
+
+let test_matmul () =
+  let a = m22 1. 2. 3. 4. and b = m22 5. 6. 7. 8. in
+  let c = Mat.matmul a b in
+  check_float "c00" 19. (Mat.get c 0 0);
+  check_float "c01" 22. (Mat.get c 0 1);
+  check_float "c10" 43. (Mat.get c 1 0);
+  check_float "c11" 50. (Mat.get c 1 1)
+
+let test_mulv () =
+  let a = m22 1. 2. 3. 4. in
+  check_vec "mulv" [| 5.; 11. |] (Mat.mulv a [| 1.; 2. |]);
+  check_vec "tmulv" [| 7.; 10. |] (Mat.tmulv a [| 1.; 2. |])
+
+let test_transpose () =
+  let a = Mat.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let t = Mat.transpose a in
+  Alcotest.(check int) "rows" 3 (Mat.rows t);
+  Alcotest.(check int) "cols" 2 (Mat.cols t);
+  check_float "t21" 6. (Mat.get t 2 1)
+
+let test_solve () =
+  (* 2x + y = 5; x + 3y = 10 -> x = 1, y = 3 *)
+  let a = m22 2. 1. 1. 3. in
+  check_vec "solve" [| 1.; 3. |] (Mat.solve a [| 5.; 10. |])
+
+let test_solve_pivoting () =
+  (* leading zero forces a row swap *)
+  let a = m22 0. 1. 1. 0. in
+  check_vec "pivot solve" [| 2.; 1. |] (Mat.solve a [| 1.; 2. |])
+
+let test_solve_singular () =
+  let a = m22 1. 2. 2. 4. in
+  Alcotest.check_raises "singular" (Failure "Mat.solve: singular matrix")
+    (fun () -> ignore (Mat.solve a [| 1.; 2. |]))
+
+let test_solve_many () =
+  let a = m22 2. 1. 1. 3. in
+  let b = Mat.of_arrays [| [| 5.; 2. |]; [| 10.; 3. |] |] in
+  let x = Mat.solve_many a b in
+  Alcotest.(check bool) "column solutions" true
+    (Mat.approx_equal ~tol:1e-9 (Mat.matmul a x) b)
+
+let test_inverse () =
+  let a = m22 4. 7. 2. 6. in
+  let inv = Mat.inverse a in
+  Alcotest.(check bool) "a * a^-1 = I" true
+    (Mat.approx_equal ~tol:1e-9 (Mat.matmul a inv) (Mat.identity 2))
+
+let test_norms () =
+  let a = m22 1. (-2.) 3. 4. in
+  check_float "norm_inf" 7. (Mat.norm_inf a);
+  check_float "max_abs" 4. (Mat.max_abs a)
+
+let test_row_col () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |]; [| 5.; 6. |] |] in
+  check_vec "row" [| 3.; 4. |] (Mat.row a 1);
+  check_vec "col" [| 2.; 4.; 6. |] (Mat.col a 1)
+
+let test_add_sub_scale () =
+  let a = m22 1. 2. 3. 4. and b = m22 1. 1. 1. 1. in
+  Alcotest.(check bool) "add" true
+    (Mat.approx_equal (Mat.add a b) (m22 2. 3. 4. 5.));
+  Alcotest.(check bool) "sub" true
+    (Mat.approx_equal (Mat.sub a b) (m22 0. 1. 2. 3.));
+  Alcotest.(check bool) "scale" true
+    (Mat.approx_equal (Mat.scale 2. a) (m22 2. 4. 6. 8.))
+
+(* random well-conditioned systems round-trip through solve *)
+let prop_solve_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let dim = int_range 1 6 in
+      dim >>= fun n ->
+      let entry = float_range (-5.) 5. in
+      pair
+        (array_size (return (n * n)) entry)
+        (array_size (return n) entry))
+  in
+  QCheck.Test.make ~name:"solve round-trips" ~count:100 (QCheck.make gen)
+    (fun (entries, b) ->
+      let n = Array.length b in
+      let a =
+        Mat.init n n (fun i j ->
+            (* diagonal dominance keeps the system well-conditioned *)
+            entries.((i * n) + j) +. if i = j then 20. else 0.)
+      in
+      let x = Mat.solve a b in
+      Vec.approx_equal ~tol:1e-6 (Mat.mulv a x) b)
+
+let suites =
+  [
+    ( "mat",
+      [
+        Alcotest.test_case "identity" `Quick test_identity;
+        Alcotest.test_case "of_arrays ragged" `Quick test_of_arrays_ragged;
+        Alcotest.test_case "matmul" `Quick test_matmul;
+        Alcotest.test_case "mulv/tmulv" `Quick test_mulv;
+        Alcotest.test_case "transpose" `Quick test_transpose;
+        Alcotest.test_case "solve" `Quick test_solve;
+        Alcotest.test_case "solve with pivoting" `Quick test_solve_pivoting;
+        Alcotest.test_case "singular detection" `Quick test_solve_singular;
+        Alcotest.test_case "solve many" `Quick test_solve_many;
+        Alcotest.test_case "inverse" `Quick test_inverse;
+        Alcotest.test_case "norms" `Quick test_norms;
+        Alcotest.test_case "row/col" `Quick test_row_col;
+        Alcotest.test_case "add/sub/scale" `Quick test_add_sub_scale;
+        QCheck_alcotest.to_alcotest prop_solve_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,84 @@
+open Umf_numerics
+
+let check_close tol msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let decay lambda _t y = Vec.scale (-.lambda) y
+
+let test_backward_euler_accuracy () =
+  let y =
+    Ode_stiff.integrate_to ~method_:`BackwardEuler (decay 1.) ~t0:0.
+      ~y0:[| 1. |] ~t1:1. ~dt:1e-3
+  in
+  check_close 1e-3 "exp(-1)" (Float.exp (-1.)) y.(0)
+
+let test_trapezoidal_second_order () =
+  let err dt =
+    let y =
+      Ode_stiff.integrate_to ~method_:`Trapezoidal (decay 1.) ~t0:0.
+        ~y0:[| 1. |] ~t1:1. ~dt
+    in
+    Float.abs (y.(0) -. Float.exp (-1.))
+  in
+  let e1 = err 0.1 and e2 = err 0.05 in
+  Alcotest.(check bool)
+    (Printf.sprintf "second order: ratio %.2f" (e1 /. e2))
+    true
+    (e1 /. e2 > 3.2 && e1 /. e2 < 4.8)
+
+let test_stiff_stability () =
+  (* lambda = 1000 with dt = 0.01: explicit RK4 blows up (h*lambda = 10),
+     backward Euler stays stable and lands on the equilibrium *)
+  let stiff _t y = [| -1000. *. (y.(0) -. 1.) |] in
+  let explicit = Ode.integrate_to stiff ~t0:0. ~y0:[| 0. |] ~t1:1. ~dt:0.01 in
+  Alcotest.(check bool) "explicit unstable" true
+    (Float.abs explicit.(0) > 10. || Float.is_nan explicit.(0));
+  let implicit =
+    Ode_stiff.integrate_to ~method_:`BackwardEuler stiff ~t0:0. ~y0:[| 0. |]
+      ~t1:1. ~dt:0.01
+  in
+  check_close 1e-6 "implicit finds equilibrium" 1. implicit.(0)
+
+let test_nonlinear_stage () =
+  (* logistic: nonlinear implicit equation per step; closed form
+     x(t) = 1 / (1 + 4 e^{-t}) from x(0) = 0.2 *)
+  let f _t y = [| y.(0) *. (1. -. y.(0)) |] in
+  let y =
+    Ode_stiff.integrate_to ~method_:`Trapezoidal f ~t0:0. ~y0:[| 0.2 |] ~t1:10.
+      ~dt:0.1
+  in
+  check_close 1e-4 "logistic closed form" (1. /. (1. +. (4. *. Float.exp (-10.)))) y.(0)
+
+let test_matches_explicit_on_smooth () =
+  let f _t y = [| y.(1); -.y.(0) |] in
+  let a = Ode.integrate_to f ~t0:0. ~y0:[| 1.; 0. |] ~t1:2. ~dt:1e-3 in
+  let b =
+    Ode_stiff.integrate_to ~method_:`Trapezoidal f ~t0:0. ~y0:[| 1.; 0. |]
+      ~t1:2. ~dt:1e-3
+  in
+  Alcotest.(check bool) "agrees with RK4" true (Vec.approx_equal ~tol:1e-5 a b)
+
+let test_trajectory_form () =
+  let traj =
+    Ode_stiff.integrate (decay 2.) ~t0:0. ~y0:[| 3. |] ~t1:1. ~dt:0.25
+  in
+  Alcotest.(check int) "5 nodes" 5 (Ode.Traj.length traj);
+  check_close 1e-12 "starts at y0" 3. (Ode.Traj.first traj).(0)
+
+let test_validation () =
+  Alcotest.check_raises "dt" (Invalid_argument "Ode_stiff: dt <= 0") (fun () ->
+      ignore (Ode_stiff.integrate (decay 1.) ~t0:0. ~y0:[| 1. |] ~t1:1. ~dt:0.))
+
+let suites =
+  [
+    ( "ode_stiff",
+      [
+        Alcotest.test_case "backward euler accuracy" `Quick test_backward_euler_accuracy;
+        Alcotest.test_case "trapezoidal order" `Quick test_trapezoidal_second_order;
+        Alcotest.test_case "stiff stability" `Quick test_stiff_stability;
+        Alcotest.test_case "nonlinear stage" `Quick test_nonlinear_stage;
+        Alcotest.test_case "matches explicit (smooth)" `Quick test_matches_explicit_on_smooth;
+        Alcotest.test_case "trajectory form" `Quick test_trajectory_form;
+        Alcotest.test_case "validation" `Quick test_validation;
+      ] );
+  ]

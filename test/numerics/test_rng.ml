@@ -1,0 +1,133 @@
+open Umf_numerics
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "same stream" true (Rng.uint64 a = Rng.uint64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" false (Rng.uint64 a = Rng.uint64 b)
+
+let test_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.float a);
+  let b = Rng.copy a in
+  Alcotest.(check bool) "copy continues identically" true
+    (Rng.uint64 a = Rng.uint64 b)
+
+let test_split_independent () =
+  let a = Rng.create 11 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split differs" false (Rng.uint64 a = Rng.uint64 b)
+
+let test_float_range_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_float_mean () =
+  let rng = Rng.create 5 in
+  let n = 20_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float rng
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_int_range () =
+  let rng = Rng.create 9 in
+  let counts = Array.make 5 0 in
+  for _ = 1 to 5000 do
+    let i = Rng.int rng 5 in
+    Alcotest.(check bool) "in range" true (i >= 0 && i < 5);
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 800 && c < 1200))
+    counts
+
+let test_int_invalid () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Rng.int: need n > 0")
+    (fun () -> ignore (Rng.int (Rng.create 1) 0))
+
+let test_exponential_mean () =
+  let rng = Rng.create 13 in
+  let rate = 2.5 in
+  let n = 50_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential rng rate
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 1/rate" true
+    (Float.abs (mean -. (1. /. rate)) < 0.01)
+
+let test_exponential_invalid () =
+  Alcotest.check_raises "rate 0" (Invalid_argument "Rng.exponential: need rate > 0")
+    (fun () -> ignore (Rng.exponential (Rng.create 1) 0.))
+
+let test_gaussian_moments () =
+  let rng = Rng.create 17 in
+  let n = 50_000 in
+  let acc = Stats.Running.create () in
+  for _ = 1 to n do
+    Stats.Running.add acc (Rng.gaussian rng)
+  done;
+  Alcotest.(check bool) "mean near 0" true
+    (Float.abs (Stats.Running.mean acc) < 0.02);
+  Alcotest.(check bool) "std near 1" true
+    (Float.abs (Stats.Running.std acc -. 1.) < 0.02)
+
+let test_categorical () =
+  let rng = Rng.create 21 in
+  let w = [| 1.; 0.; 3. |] in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 10_000 do
+    let i = Rng.categorical rng w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight never drawn" 0 counts.(1);
+  let ratio = float_of_int counts.(2) /. float_of_int counts.(0) in
+  Alcotest.(check bool) "ratio near 3" true (Float.abs (ratio -. 3.) < 0.3)
+
+let test_categorical_invalid () =
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Rng.categorical: all weights zero") (fun () ->
+      ignore (Rng.categorical (Rng.create 1) [| 0.; 0. |]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Rng.categorical: negative weight") (fun () ->
+      ignore (Rng.categorical (Rng.create 1) [| 1.; -1. |]))
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 23 in
+  let a = Array.init 20 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let suites =
+  [
+    ( "rng",
+      [
+        Alcotest.test_case "deterministic from seed" `Quick test_determinism;
+        Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+        Alcotest.test_case "copy" `Quick test_copy;
+        Alcotest.test_case "split independence" `Quick test_split_independent;
+        Alcotest.test_case "float in [0,1)" `Quick test_float_range_bounds;
+        Alcotest.test_case "float mean" `Slow test_float_mean;
+        Alcotest.test_case "int uniformity" `Slow test_int_range;
+        Alcotest.test_case "int validation" `Quick test_int_invalid;
+        Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+        Alcotest.test_case "exponential validation" `Quick test_exponential_invalid;
+        Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
+        Alcotest.test_case "categorical frequencies" `Slow test_categorical;
+        Alcotest.test_case "categorical validation" `Quick test_categorical_invalid;
+        Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+      ] );
+  ]

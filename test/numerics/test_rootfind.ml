@@ -1,0 +1,60 @@
+open Umf_numerics
+
+let check_close tol msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let test_bisection () =
+  let root = Rootfind.bisection (fun x -> (x *. x) -. 2.) 0. 2. in
+  check_close 1e-10 "sqrt 2" (sqrt 2.) root
+
+let test_bisection_endpoint_root () =
+  check_close 1e-12 "endpoint" 1. (Rootfind.bisection (fun x -> x -. 1.) 1. 2.)
+
+let test_bisection_no_bracket () =
+  Alcotest.check_raises "no bracket"
+    (Invalid_argument "Rootfind: endpoints do not bracket a root") (fun () ->
+      ignore (Rootfind.bisection (fun x -> (x *. x) +. 1.) 0. 1.))
+
+let test_brent () =
+  let root = Rootfind.brent (fun x -> Float.cos x -. x) 0. 1. in
+  check_close 1e-9 "dottie number" 0.7390851332151607 root
+
+let test_brent_cubic () =
+  let root = Rootfind.brent (fun x -> ((x +. 3.) *. (x -. 1.)) ** 1. *. (x -. 1.)) (-4.) (0.) in
+  check_close 1e-8 "cubic root" (-3.) root
+
+let test_newton () =
+  let root = Rootfind.newton (fun x -> (x *. x *. x) -. 8.) 3. in
+  check_close 1e-8 "cube root of 8" 2. root
+
+let test_newton_divergence () =
+  (* f(x) = x^(1/3) (odd cube root) famously diverges under Newton *)
+  let cbrt x = if x >= 0. then x ** (1. /. 3.) else -.((-.x) ** (1. /. 3.)) in
+  Alcotest.(check bool) "diverges or fails" true
+    (try
+       let r = Rootfind.newton ~max_iter:50 cbrt 1. in
+       Float.abs r < 1e-6
+     with Failure _ -> true)
+
+let prop_brent_finds_planted_root =
+  let gen = QCheck.Gen.(float_range (-5.) 5.) in
+  QCheck.Test.make ~name:"brent finds planted root" ~count:100 (QCheck.make gen)
+    (fun r ->
+      let f x = (x -. r) *. ((x *. x) +. 1.) in
+      let root = Rootfind.brent f (-10.) 10. in
+      Float.abs (root -. r) < 1e-7)
+
+let suites =
+  [
+    ( "rootfind",
+      [
+        Alcotest.test_case "bisection" `Quick test_bisection;
+        Alcotest.test_case "bisection endpoint" `Quick test_bisection_endpoint_root;
+        Alcotest.test_case "bracket validation" `Quick test_bisection_no_bracket;
+        Alcotest.test_case "brent" `Quick test_brent;
+        Alcotest.test_case "brent repeated root region" `Quick test_brent_cubic;
+        Alcotest.test_case "newton" `Quick test_newton;
+        Alcotest.test_case "newton divergence" `Quick test_newton_divergence;
+        QCheck_alcotest.to_alcotest prop_brent_finds_planted_root;
+      ] );
+  ]

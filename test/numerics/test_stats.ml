@@ -1,0 +1,85 @@
+open Umf_numerics
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_mean_var () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_float "mean" 5. (Stats.mean xs);
+  check_float "variance" (32. /. 7.) (Stats.variance xs);
+  check_float "std" (sqrt (32. /. 7.)) (Stats.std xs)
+
+let test_empty_mean () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty") (fun () ->
+      ignore (Stats.mean [||]))
+
+let test_quantiles () =
+  let xs = [| 3.; 1.; 2.; 4. |] in
+  check_float "q0" 1. (Stats.quantile xs 0.);
+  check_float "q1" 4. (Stats.quantile xs 1.);
+  check_float "median" 2.5 (Stats.median xs);
+  check_float "q25" 1.75 (Stats.quantile xs 0.25)
+
+let test_quantile_invalid () =
+  Alcotest.check_raises "q > 1" (Invalid_argument "Stats.quantile: q outside [0,1]")
+    (fun () -> ignore (Stats.quantile [| 1. |] 1.5))
+
+let test_histogram () =
+  let xs = [| 0.1; 0.2; 0.6; 0.9; -5.; 7. |] in
+  let h = Stats.histogram ~lo:0. ~hi:1. ~bins:2 xs in
+  Alcotest.(check (array int)) "bins" [| 3; 3 |] h
+
+let test_running () =
+  let acc = Stats.Running.create () in
+  List.iter (Stats.Running.add acc) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Stats.Running.count acc);
+  check_float "mean" 5. (Stats.Running.mean acc);
+  check_float "variance" (32. /. 7.) (Stats.Running.variance acc);
+  check_float "min" 2. (Stats.Running.min acc);
+  check_float "max" 9. (Stats.Running.max acc)
+
+let test_covariance () =
+  let xs = [| 1.; 2.; 3. |] and ys = [| 2.; 4.; 6. |] in
+  check_float "cov" 2. (Stats.covariance xs ys);
+  check_float "corr" 1. (Stats.correlation xs ys);
+  let zs = [| 6.; 4.; 2. |] in
+  check_float "anticorr" (-1.) (Stats.correlation xs zs)
+
+let test_ci () =
+  let xs = Array.make 100 3. in
+  let lo, hi = Stats.confidence_interval_95 xs in
+  check_float "degenerate ci lo" 3. lo;
+  check_float "degenerate ci hi" 3. hi
+
+let prop_running_matches_batch =
+  let gen = QCheck.Gen.(list_size (int_range 2 50) (float_range (-10.) 10.)) in
+  QCheck.Test.make ~name:"running matches batch stats" ~count:200
+    (QCheck.make gen) (fun xs ->
+      let arr = Array.of_list xs in
+      let acc = Stats.Running.create () in
+      Array.iter (Stats.Running.add acc) arr;
+      Float.abs (Stats.Running.mean acc -. Stats.mean arr) < 1e-9
+      && Float.abs (Stats.Running.variance acc -. Stats.variance arr) < 1e-7)
+
+let prop_quantile_monotone =
+  let gen = QCheck.Gen.(list_size (int_range 1 50) (float_range (-10.) 10.)) in
+  QCheck.Test.make ~name:"quantile monotone in q" ~count:200 (QCheck.make gen)
+    (fun xs ->
+      let arr = Array.of_list xs in
+      Stats.quantile arr 0.2 <= Stats.quantile arr 0.8 +. 1e-12)
+
+let suites =
+  [
+    ( "stats",
+      [
+        Alcotest.test_case "mean/variance/std" `Quick test_mean_var;
+        Alcotest.test_case "empty mean raises" `Quick test_empty_mean;
+        Alcotest.test_case "quantiles" `Quick test_quantiles;
+        Alcotest.test_case "quantile validation" `Quick test_quantile_invalid;
+        Alcotest.test_case "histogram with clamping" `Quick test_histogram;
+        Alcotest.test_case "running accumulator" `Quick test_running;
+        Alcotest.test_case "covariance/correlation" `Quick test_covariance;
+        Alcotest.test_case "confidence interval" `Quick test_ci;
+        QCheck_alcotest.to_alcotest prop_running_matches_batch;
+        QCheck_alcotest.to_alcotest prop_quantile_monotone;
+      ] );
+  ]

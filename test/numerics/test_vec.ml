@@ -1,0 +1,134 @@
+open Umf_numerics
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let check_vec msg expected actual =
+  Alcotest.(check bool) msg true (Vec.approx_equal ~tol:1e-12 expected actual)
+
+let test_create () =
+  let v = Vec.create 3 2.5 in
+  check_float "filled" 2.5 (Vec.get v 1);
+  Alcotest.(check int) "dim" 3 (Vec.dim v)
+
+let test_zeros () =
+  check_float "zero" 0. (Vec.sum (Vec.zeros 5))
+
+let test_add_sub () =
+  let a = [| 1.; 2.; 3. |] and b = [| 4.; 5.; 6. |] in
+  check_vec "add" [| 5.; 7.; 9. |] (Vec.add a b);
+  check_vec "sub" [| -3.; -3.; -3. |] (Vec.sub a b)
+
+let test_dim_mismatch () =
+  Alcotest.check_raises "add mismatch" (Invalid_argument "Vec: dimension mismatch")
+    (fun () -> ignore (Vec.add [| 1. |] [| 1.; 2. |]))
+
+let test_scale_axpy () =
+  let a = [| 1.; -2. |] in
+  check_vec "scale" [| 3.; -6. |] (Vec.scale 3. a);
+  check_vec "axpy" [| 3.; 0. |] (Vec.axpy 2. a [| 1.; 4. |]);
+  let y = [| 1.; 4. |] in
+  Vec.axpy_in_place 2. a y;
+  check_vec "axpy_in_place" [| 3.; 0. |] y
+
+let test_dot_norms () =
+  let a = [| 3.; 4. |] in
+  check_float "dot" 25. (Vec.dot a a);
+  check_float "norm2" 5. (Vec.norm2 a);
+  check_float "norm1" 7. (Vec.norm1 a);
+  check_float "norm_inf" 4. (Vec.norm_inf a);
+  check_float "dist_inf" 2. (Vec.dist_inf a [| 1.; 2. |])
+
+let test_elementwise () =
+  let a = [| 1.; 5.; 3. |] and b = [| 2.; 4.; 3. |] in
+  check_vec "cmin" [| 1.; 4.; 3. |] (Vec.cmin a b);
+  check_vec "cmax" [| 2.; 5.; 3. |] (Vec.cmax a b);
+  check_vec "mul" [| 2.; 20.; 9. |] (Vec.mul a b)
+
+let test_minmax () =
+  let a = [| 3.; -1.; 7.; 0. |] in
+  check_float "min" (-1.) (Vec.min_elt a);
+  check_float "max" 7. (Vec.max_elt a);
+  Alcotest.(check int) "argmin" 1 (Vec.argmin a);
+  Alcotest.(check int) "argmax" 2 (Vec.argmax a)
+
+let test_clamp () =
+  let lo = [| 0.; 0. |] and hi = [| 1.; 1. |] in
+  check_vec "clamp" [| 0.; 1. |] (Vec.clamp ~lo ~hi [| -0.5; 2. |])
+
+let test_lerp () =
+  check_vec "lerp mid" [| 1.5; 3. |] (Vec.lerp [| 1.; 2. |] [| 2.; 4. |] 0.5);
+  check_vec "lerp 0" [| 1.; 2. |] (Vec.lerp [| 1.; 2. |] [| 2.; 4. |] 0.);
+  check_vec "lerp 1" [| 2.; 4. |] (Vec.lerp [| 1.; 2. |] [| 2.; 4. |] 1.)
+
+let test_le () =
+  Alcotest.(check bool) "le true" true (Vec.le [| 1.; 2. |] [| 1.; 3. |]);
+  Alcotest.(check bool) "le false" false (Vec.le [| 1.; 4. |] [| 1.; 3. |])
+
+let test_linspace () =
+  let v = Vec.linspace 0. 1. 5 in
+  check_vec "linspace" [| 0.; 0.25; 0.5; 0.75; 1. |] v
+
+let test_stats () =
+  let a = [| 1.; 2.; 3.; 4. |] in
+  check_float "sum" 10. (Vec.sum a);
+  check_float "mean" 2.5 (Vec.mean a)
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Vec.mean: empty vector")
+    (fun () -> ignore (Vec.mean [||]))
+
+(* properties *)
+let vec_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 8) (float_range (-100.) 100.) >|= Array.of_list)
+
+let arb_vec = QCheck.make ~print:Vec.to_string vec_gen
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"add commutative" ~count:200
+    (QCheck.pair arb_vec arb_vec) (fun (a, b) ->
+      QCheck.assume (Vec.dim a = Vec.dim b);
+      Vec.approx_equal (Vec.add a b) (Vec.add b a))
+
+let prop_triangle =
+  QCheck.Test.make ~name:"triangle inequality" ~count:200
+    (QCheck.pair arb_vec arb_vec) (fun (a, b) ->
+      QCheck.assume (Vec.dim a = Vec.dim b);
+      Vec.norm2 (Vec.add a b) <= Vec.norm2 a +. Vec.norm2 b +. 1e-9)
+
+let prop_cauchy_schwarz =
+  QCheck.Test.make ~name:"Cauchy-Schwarz" ~count:200
+    (QCheck.pair arb_vec arb_vec) (fun (a, b) ->
+      QCheck.assume (Vec.dim a = Vec.dim b);
+      Float.abs (Vec.dot a b) <= (Vec.norm2 a *. Vec.norm2 b) +. 1e-6)
+
+let prop_clamp_in_box =
+  QCheck.Test.make ~name:"clamp lands in box" ~count:200 arb_vec (fun v ->
+      let lo = Vec.create (Vec.dim v) (-1.) and hi = Vec.create (Vec.dim v) 1. in
+      let c = Vec.clamp ~lo ~hi v in
+      Vec.le lo c && Vec.le c hi)
+
+let suites =
+  [
+    ( "vec",
+      [
+        Alcotest.test_case "create" `Quick test_create;
+        Alcotest.test_case "zeros" `Quick test_zeros;
+        Alcotest.test_case "add/sub" `Quick test_add_sub;
+        Alcotest.test_case "dimension mismatch" `Quick test_dim_mismatch;
+        Alcotest.test_case "scale/axpy" `Quick test_scale_axpy;
+        Alcotest.test_case "dot and norms" `Quick test_dot_norms;
+        Alcotest.test_case "elementwise" `Quick test_elementwise;
+        Alcotest.test_case "min/max/arg" `Quick test_minmax;
+        Alcotest.test_case "clamp" `Quick test_clamp;
+        Alcotest.test_case "lerp" `Quick test_lerp;
+        Alcotest.test_case "le" `Quick test_le;
+        Alcotest.test_case "linspace" `Quick test_linspace;
+        Alcotest.test_case "sum/mean" `Quick test_stats;
+        Alcotest.test_case "mean of empty raises" `Quick test_mean_empty;
+        QCheck_alcotest.to_alcotest prop_add_comm;
+        QCheck_alcotest.to_alcotest prop_triangle;
+        QCheck_alcotest.to_alcotest prop_cauchy_schwarz;
+        QCheck_alcotest.to_alcotest prop_clamp_in_box;
+      ] );
+  ]
