@@ -17,6 +17,11 @@ type entry = {
   x0 : Vec.t;
   clip : Optim.Box.t option;
   policies : (string * Policy.t) list;
+  symbolic : Symbolic.t option;
+      (* symbolic twin for the static analyzer; None only if a model
+         has no Expr-tree form *)
+  lint_domain : Optim.Box.t option;
+      (* state box for lint certification; defaults to the unit box *)
 }
 
 let registry () =
@@ -29,6 +34,10 @@ let registry () =
       clip = Some (Optim.Box.make [| 0.; 0. |] [| 1.; 1. |]);
       policies =
         [ ("theta1", Sir.policy_theta1 sirp); ("theta2", Sir.policy_theta2 sirp) ];
+      (* lint the 3-variable S/I/R layout: it carries the S+I+R
+         conservation law the 2-variable projection hides *)
+      symbolic = Some (Sir.symbolic3 sirp);
+      lint_domain = None;
     }
   in
   let sisp = Sis.default_params in
@@ -39,6 +48,8 @@ let registry () =
       x0 = Sis.x0;
       clip = Some (Optim.Box.make [| 0. |] [| 1. |]);
       policies = [];
+      symbolic = Some (Sis.symbolic sisp);
+      lint_domain = None;
     }
   in
   let bikep = Bikesharing.default_params in
@@ -49,6 +60,8 @@ let registry () =
       x0 = [| 0.5 |];
       clip = Some (Optim.Box.make [| 0. |] [| 1. |]);
       policies = [];
+      symbolic = Some (Bikesharing.symbolic bikep);
+      lint_domain = None;
     }
   in
   let cholp = Cholera.default_params in
@@ -59,6 +72,8 @@ let registry () =
       x0 = Cholera.x0;
       clip = Some Cholera.state_clip;
       policies = [];
+      symbolic = Some (Cholera.symbolic cholp);
+      lint_domain = Some Cholera.state_clip;
     }
   in
   let gpsp = Gps.default_params in
@@ -69,6 +84,8 @@ let registry () =
       x0 = Gps.x0_poisson;
       clip = Some (Optim.Box.make [| 0.; 0. |] [| 1.; 1. |]);
       policies = [];
+      symbolic = Some (Gps.poisson_symbolic gpsp);
+      lint_domain = None;
     }
   in
   let gps_map =
@@ -78,6 +95,8 @@ let registry () =
       x0 = Gps.x0_map;
       clip = Some (Optim.Box.make (Vec.zeros 4) (Vec.create 4 1.));
       policies = [];
+      symbolic = Some (Gps.map_symbolic gpsp);
+      lint_domain = None;
     }
   in
   let lbp = Loadbalance.default_params in
@@ -92,6 +111,26 @@ let registry () =
              (Vec.zeros lbp.Loadbalance.k_max)
              (Vec.create lbp.Loadbalance.k_max 1.));
       policies = [];
+      symbolic = Some (Loadbalance.symbolic lbp);
+      lint_domain = None;
+    }
+  in
+  let bnp = Bikenetwork.default_params in
+  let bikenetwork =
+    let cap = Bikenetwork.capacity bnp in
+    let dim = Bikenetwork.dim bnp in
+    let box =
+      Optim.Box.make (Vec.zeros dim)
+        (Array.init dim (fun i -> if i = dim - 1 then 1. else cap))
+    in
+    {
+      model = Bikenetwork.model bnp;
+      di = Bikenetwork.di bnp;
+      x0 = Bikenetwork.x0 bnp;
+      clip = Some box;
+      policies = [];
+      symbolic = Some (Bikenetwork.symbolic bnp);
+      lint_domain = Some box;
     }
   in
   [
@@ -102,6 +141,7 @@ let registry () =
     ("gps-poisson", gps_poisson);
     ("gps-map", gps_map);
     ("jsq2", loadbalance);
+    ("bikenet", bikenetwork);
   ]
 
 let lookup_model name =
@@ -333,9 +373,66 @@ let simulate_cmd =
       const run $ model_arg $ n_arg $ horizon_arg 10. $ seed_arg $ points_arg
       $ policy_arg)
 
+(* lint command *)
+let lint_cmd =
+  let doc =
+    "Statically analyse a model: certified rate soundness, structure \
+     classification, conservation laws, a Lipschitz certificate and \
+     dead-code lints."
+  in
+  let model_pos_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"MODEL" ~doc:"Model name (see `list').")
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Lint every bundled model.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit non-zero if any linted model has Error-level findings.")
+  in
+  let lint_entry name entry =
+    match entry.symbolic with
+    | None ->
+        Printf.printf "%s: no symbolic form; nothing to lint\n" name;
+        Ok true
+    | Some s ->
+        let report = Lint.analyze ?domain:entry.lint_domain s in
+        Format.printf "%a@." Lint.pp_report report;
+        Ok (Lint.ok report)
+  in
+  let run model all strict =
+    exit_of_result
+      (let ( let* ) = Result.bind in
+       let* clean =
+         match (model, all) with
+         | None, false -> Error (`Msg "need a MODEL argument (or --all)")
+         | Some m, false ->
+             let* entry = lookup_model m in
+             lint_entry m entry
+         | _, true ->
+             List.fold_left
+               (fun acc (name, entry) ->
+                 let* acc = acc in
+                 let* clean = lint_entry name entry in
+                 Ok (acc && clean))
+               (Ok true) (registry ())
+       in
+       if strict && not clean then
+         Error (`Msg "lint found Error-level problems")
+       else Ok ())
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run $ model_pos_arg $ all_arg $ strict_arg)
+
 let () =
   let doc = "mean-field analysis of uncertain and imprecise stochastic models" in
   let info = Cmd.info "umf_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; bounds_cmd; hull_cmd; steady_cmd; simulate_cmd ]))
+       (Cmd.group info
+          [ list_cmd; bounds_cmd; hull_cmd; steady_cmd; simulate_cmd; lint_cmd ]))

@@ -22,6 +22,7 @@ module Symbolic = Umf_meanfield.Symbolic
 module Policy = Umf_meanfield.Policy
 module Ssa = Umf_meanfield.Ssa
 module Convergence = Umf_meanfield.Convergence
+module Lint = Umf_lint.Lint
 module Di = Umf_diffinc.Di
 module Hull = Umf_diffinc.Hull
 module Pontryagin = Umf_diffinc.Pontryagin

@@ -48,6 +48,9 @@ module Policy = Umf_meanfield.Policy
 module Ssa = Umf_meanfield.Ssa
 module Convergence = Umf_meanfield.Convergence
 
+(* static model analysis *)
+module Lint = Umf_lint.Lint
+
 (* differential-inclusion mean-field limits *)
 module Di = Umf_diffinc.Di
 module Hull = Umf_diffinc.Hull

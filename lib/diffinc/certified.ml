@@ -1,11 +1,47 @@
 open Umf_numerics
 module Symbolic = Umf_meanfield.Symbolic
 module Population = Umf_meanfield.Population
+module Lint = Umf_lint.Lint
+
+exception Rejected of Lint.report
 
 let di s =
   Di.of_population ~jacobian:(Symbolic.jacobian s) (Symbolic.population s)
 
-let hull_bounds ?clip s ~x0 ~horizon ~dt =
+(* gate: refuse models the static analyzer rejects, and reuse its
+   structure classification to pick the Hamiltonian arg-max strategy *)
+let gate ?domain ?(lint = true) s =
+  if not lint then None
+  else begin
+    let report = Lint.analyze ?domain s in
+    if not (Lint.ok report) then raise (Rejected report);
+    Some report
+  end
+
+let recommended_hamiltonian_opt ?domain s =
+  (Lint.analyze ?domain s).Lint.recommended_opt
+
+let opt_of ?domain report s =
+  match report with
+  | Some r -> r.Lint.recommended_opt
+  | None -> recommended_hamiltonian_opt ?domain s
+
+let pontryagin ?steps ?max_iter ?tol ?relax ?domain ?lint s ~x0 ~horizon
+    ~sense obj =
+  let report = gate ?domain ?lint s in
+  let opt = opt_of ?domain report s in
+  Pontryagin.solve ?steps ?max_iter ?tol ?relax ~opt (di s) ~x0 ~horizon
+    ~sense obj
+
+let bound_series ?steps ?max_iter ?tol ?relax ?domain ?lint s ~x0 ~coord
+    ~times =
+  let report = gate ?domain ?lint s in
+  let opt = opt_of ?domain report s in
+  Pontryagin.bound_series ?steps ?max_iter ?tol ?relax ~opt (di s) ~x0 ~coord
+    ~times
+
+let hull_bounds ?clip ?lint s ~x0 ~horizon ~dt =
+  ignore (gate ?domain:clip ?lint s : Lint.report option);
   let model = Symbolic.population s in
   let theta_ivs =
     Array.to_list
@@ -27,7 +63,4 @@ let hull_bounds ?clip s ~x0 ~horizon ~dt =
     | `Min -> Interval.lo enclosure
     | `Max -> Interval.hi enclosure
   in
-  Hull.bounds ?clip ~face_extremum (di s) ~x0 ~horizon ~dt
-
-let recommended_hamiltonian_opt s =
-  if Symbolic.affine_in_theta s then `Vertices else `Box 5
+  Hull.bounds ~check:true ?clip ~face_extremum (di s) ~x0 ~horizon ~dt

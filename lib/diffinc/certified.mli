@@ -9,21 +9,76 @@
     - {!hull_bounds} integrates the differential hull with per-face
       drift ranges from interval arithmetic — a mathematically
       guaranteed over-approximation, not a sampled one (possibly wider,
-      by the interval dependency problem). *)
+      by the interval dependency problem).
+
+    Every entry point first runs the static analyzer
+    ({!Umf_lint.Lint}) unless [~lint:false]: models with Error-level
+    findings (certifiably negative rates, malformed transitions) are
+    refused with {!Rejected}, and the linter's structure
+    classification auto-selects the Hamiltonian arg-max strategy —
+    vertex enumeration exactly when the drift is affine in θ, where
+    bang-bang controls are provably optimal. *)
 
 open Umf_numerics
 module Symbolic = Umf_meanfield.Symbolic
+module Lint = Umf_lint.Lint
+
+exception Rejected of Lint.report
+(** Raised when the pre-solve lint finds Error-level problems; the
+    payload is the full diagnostic report. *)
 
 val di : Symbolic.t -> Di.t
 
+val pontryagin :
+  ?steps:int ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?relax:float ->
+  ?domain:Optim.Box.t ->
+  ?lint:bool ->
+  Symbolic.t ->
+  x0:Vec.t ->
+  horizon:float ->
+  sense:[ `Max | `Min ] ->
+  Pontryagin.objective ->
+  Pontryagin.result
+(** {!Pontryagin.solve} on {!di}, gated by the linter ([lint] defaults
+    to [true]) and with the Hamiltonian optimiser auto-selected from
+    the lint classification; the chosen strategy is recorded in the
+    result's [opt] field.  [domain] is passed to the linter (defaults
+    to the unit box).
+    @raise Rejected when the lint report contains errors. *)
+
+val bound_series :
+  ?steps:int ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?relax:float ->
+  ?domain:Optim.Box.t ->
+  ?lint:bool ->
+  Symbolic.t ->
+  x0:Vec.t ->
+  coord:int ->
+  times:float array ->
+  (float * float) array
+(** {!Pontryagin.bound_series} with the same lint gate and optimiser
+    auto-selection as {!pontryagin}.
+    @raise Rejected when the lint report contains errors. *)
+
 val hull_bounds :
   ?clip:Optim.Box.t ->
+  ?lint:bool ->
   Symbolic.t ->
   x0:Vec.t ->
   horizon:float ->
   dt:float ->
   Hull.traj
+(** Interval-certified differential hull.  Runs the linter first
+    (over [clip] when given, else the unit box) and integrates with
+    the {!Hull.bounds} [~check:true] NaN/Inf sanitizer on.
+    @raise Rejected when the lint report contains errors. *)
 
-val recommended_hamiltonian_opt : Symbolic.t -> [ `Vertices | `Box of int ]
-(** [`Vertices] when every drift coordinate is affine in θ (exact),
-    [`Box 5] otherwise. *)
+val recommended_hamiltonian_opt :
+  ?domain:Optim.Box.t -> Symbolic.t -> [ `Vertices | `Box of int ]
+(** The linter's solver recommendation: [`Vertices] when every drift
+    coordinate is affine in θ (exact bang-bang), [`Box 5] otherwise. *)

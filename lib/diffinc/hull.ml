@@ -29,8 +29,8 @@ let face_extremum ~grid ~refine di ~lo ~hi ~coord ~v sense =
 type face_extremum =
   lo:Vec.t -> hi:Vec.t -> coord:int -> value:float -> [ `Min | `Max ] -> float
 
-let bounds ?(grid = 2) ?(refine = 8) ?clip ?face_extremum:custom di ~x0
-    ~horizon ~dt =
+let bounds ?(grid = 2) ?(refine = 8) ?(check = false) ?clip
+    ?face_extremum:custom di ~x0 ~horizon ~dt =
   if horizon < 0. then invalid_arg "Hull.bounds: negative horizon";
   if dt <= 0. then invalid_arg "Hull.bounds: dt <= 0";
   if Vec.dim x0 <> di.Di.dim then invalid_arg "Hull.bounds: x0 dimension";
@@ -68,9 +68,26 @@ let bounds ?(grid = 2) ?(refine = 8) ?clip ?face_extremum:custom di ~x0
   let times = Array.make (steps + 1) 0. in
   let lower = Array.make (steps + 1) (Vec.copy x0) in
   let upper = Array.make (steps + 1) (Vec.copy x0) in
+  let check_state i z =
+    if check then
+      Array.iteri
+        (fun j v ->
+          if not (Float.is_finite v) then
+            failwith
+              (Printf.sprintf
+                 "Hull.bounds: non-finite %s bound (coordinate %d = %g) at t \
+                  = %g, step %d"
+                 (if j < d then "lower" else "upper")
+                 (j mod d) v
+                 (float_of_int i *. h)
+                 i))
+        z
+  in
   let z = ref (clip_state z0) in
+  check_state 0 !z;
   for i = 1 to steps do
     z := clip_state (Ode.rk4_step rhs 0. !z h);
+    check_state i !z;
     (* enforce the hull ordering after each step *)
     let lo = Array.sub !z 0 d and hi = Array.sub !z d d in
     let lo' = Vec.cmin lo hi and hi' = Vec.cmax lo hi in

@@ -30,6 +30,7 @@ type face_extremum =
 val bounds :
   ?grid:int ->
   ?refine:int ->
+  ?check:bool ->
   ?clip:Optim.Box.t ->
   ?face_extremum:face_extremum ->
   Di.t ->
@@ -40,6 +41,9 @@ val bounds :
 (** Integrate the 2d-dimensional hull system from the degenerate hull
     [x0, x0].  [grid]/[refine] tune the default per-face box
     optimisation (defaults 2 and 8; vertices are always included).
+    [check] (default false) raises [Failure] as soon as a hull bound
+    becomes NaN or infinite, reporting the offending time and step —
+    the runtime sanitizer the {!Certified} path switches on.
     [clip] bounds the hull inside an invariant state box (e.g. the unit
     simplex box for densities) — without it, hulls that blow up take
     the drift far outside the model's domain. *)

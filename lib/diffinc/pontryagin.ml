@@ -10,6 +10,7 @@ type result = {
   control : Vec.t array;
   iterations : int;
   converged : bool;
+  opt : [ `Vertices | `Box of int ];
 }
 
 let objective_vector di sense obj =
@@ -129,7 +130,7 @@ let solve ?(steps = 400) ?(max_iter = 200) ?(tol = 1e-4) ?(relax = 0.5)
   let signed = value () in
   let value = match sense with `Max -> signed | `Min -> -.signed in
   { value; times; x = xs; p = ps; control; iterations = !iterations;
-    converged = !converged }
+    converged = !converged; opt }
 
 let bound_series ?steps ?max_iter ?tol ?relax ?opt di ~x0 ~coord ~times =
   Array.map

@@ -27,6 +27,10 @@ type result = {
   control : Vec.t array;  (** Optimal (bang-bang) control on the grid. *)
   iterations : int;
   converged : bool;
+  opt : [ `Vertices | `Box of int ];
+      (** The Hamiltonian arg-max strategy actually used — records
+          whether {!Certified.pontryagin}'s auto-selection picked vertex
+          enumeration. *)
 }
 
 val solve :

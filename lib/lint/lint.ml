@@ -1,0 +1,497 @@
+open Umf_numerics
+module Symbolic = Umf_meanfield.Symbolic
+module Population = Umf_meanfield.Population
+
+type severity = Error | Warning | Info
+
+type subject =
+  | Model
+  | Transition of string
+  | Coord of int
+  | Param of int
+
+type finding = {
+  code : string;
+  severity : severity;
+  subject : subject;
+  message : string;
+}
+
+type coord_class = {
+  affine_theta : bool;
+  multilinear : bool;
+  smooth : bool;
+}
+
+type conservation = { weights : Vec.t; pretty : string }
+
+type report = {
+  model : string;
+  var_names : string array;
+  theta_names : string array;
+  findings : finding list;
+  classes : coord_class array;
+  conservation : conservation list;
+  simplex_preserving : bool;
+  lipschitz : float option;
+  recommended_opt : [ `Vertices | `Box of int ];
+}
+
+let code_table =
+  [
+    ("L001", "transition rate is certifiably negative on the domain");
+    ("L002", "transition rate cannot be certified non-negative");
+    ("L003", "rate references a state variable out of range");
+    ("L004", "rate references a parameter out of range");
+    ("L005", "change vector has the wrong dimension");
+    ("L006", "a divisor can contain zero: division-by-zero freedom not certified");
+    ("L101", "drift affine in theta: vertex enumeration of the Hamiltonian is exact");
+    ("L102", "drift not affine in theta: vertex enumeration may miss the arg max");
+    ("L103", "drift multilinear: hull face extrema are attained at box vertices");
+    ("L201", "conservation law (left null space of the change-vector matrix)");
+    ("L202", "drift preserves the unit simplex");
+    ("L301", "certified Lipschitz bound on the drift Jacobian");
+    ("L302", "drift only piecewise-smooth (Min/Max/Ite kinks)");
+    ("L303", "Lipschitz bound not certifiable over the domain");
+    ("L401", "state variable never read by a rate nor moved by a change vector");
+    ("L402", "parameter never referenced by any rate");
+    ("L403", "transition rate is identically zero");
+    ("L404", "transition can push a coordinate below zero");
+  ]
+
+let describe code =
+  match List.assoc_opt code code_table with Some d -> d | None -> ""
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let tol = 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* expression helpers                                                  *)
+
+let rec has_kink e =
+  match (e : Expr.t) with
+  | Const _ | Var _ | Theta _ -> false
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      has_kink a || has_kink b
+  | Neg a | Pow (a, _) -> has_kink a
+  | Min (_, _) | Max (_, _) | Ite (_, _, _) -> true
+
+(* ------------------------------------------------------------------ *)
+(* conservation-law pretty printing                                    *)
+
+let pretty_weights var_names (w : Vec.t) =
+  let n = Vec.dim w in
+  let smallest = ref Float.infinity in
+  for i = 0 to n - 1 do
+    let a = Float.abs w.(i) in
+    if a > tol && a < !smallest then smallest := a
+  done;
+  let scaled =
+    if Float.is_finite !smallest then Vec.scale (1. /. !smallest) w else w
+  in
+  let integral =
+    Array.for_all
+      (fun v -> Float.abs (v -. Float.round v) <= 1e-6 *. Float.max 1. (Float.abs v))
+      scaled
+  in
+  let coeff v =
+    if integral then Printf.sprintf "%.0f" (Float.abs (Float.round v))
+    else Printf.sprintf "%.3g" (Float.abs v)
+  in
+  let buf = Buffer.create 32 in
+  let first = ref true in
+  Array.iteri
+    (fun i v ->
+      if Float.abs v > tol then begin
+        let sign = if v < 0. then "-" else "+" in
+        if !first then begin
+          if v < 0. then Buffer.add_string buf "-";
+          first := false
+        end
+        else Buffer.add_string buf (Printf.sprintf " %s " sign);
+        let c = coeff v in
+        if c <> "1" then Buffer.add_string buf c;
+        Buffer.add_string buf var_names.(i)
+      end)
+    scaled;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* the analysis                                                        *)
+
+let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
+    (transitions : Symbolic.transition list) =
+  let dim = Array.length var_names in
+  let theta_dim = Array.length theta_names in
+  let domain =
+    match domain with
+    | Some b ->
+        if Optim.Box.dim b <> dim then
+          invalid_arg "Lint: domain dimension mismatch";
+        b
+    | None -> Optim.Box.make (Vec.zeros dim) (Vec.create dim 1.)
+  in
+  let x_ivs =
+    Array.init dim (fun i ->
+        Interval.make domain.Optim.Box.lo.(i) domain.Optim.Box.hi.(i))
+  in
+  let th_ivs =
+    Array.init theta_dim (fun j ->
+        Interval.make theta.Optim.Box.lo.(j) theta.Optim.Box.hi.(j))
+  in
+  let findings = ref [] in
+  let report code severity subject fmt =
+    Printf.ksprintf
+      (fun message -> findings := { code; severity; subject; message } :: !findings)
+      fmt
+  in
+
+  (* -------- well-formedness: L003/L004/L005 ----------------------- *)
+  let valid =
+    List.filter
+      (fun (tr : Symbolic.transition) ->
+        let ok = ref true in
+        if Vec.dim tr.change <> dim then begin
+          report "L005" Error (Transition tr.name)
+            "transition %s: change vector has dimension %d, expected %d"
+            tr.name (Vec.dim tr.change) dim;
+          ok := false
+        end;
+        List.iter
+          (fun i ->
+            if i >= dim then begin
+              report "L003" Error (Transition tr.name)
+                "transition %s: rate references x%d but the model has %d \
+                 variable%s"
+                tr.name i dim
+                (if dim = 1 then "" else "s");
+              ok := false
+            end)
+          (Expr.vars tr.rate);
+        List.iter
+          (fun j ->
+            if j >= theta_dim then begin
+              report "L004" Error (Transition tr.name)
+                "transition %s: rate references th%d but Θ has %d \
+                 coordinate%s"
+                tr.name j theta_dim
+                (if theta_dim = 1 then "" else "s");
+              ok := false
+            end)
+          (Expr.thetas tr.rate);
+        !ok)
+      transitions
+  in
+
+  (* -------- rate soundness: L001/L002/L006/L403 ------------------- *)
+  let rate_sound = ref true in
+  List.iter
+    (fun (tr : Symbolic.transition) ->
+      if Expr.simplify tr.rate = Expr.Const 0. then
+        report "L403" Warning (Transition tr.name)
+          "transition %s: rate simplifies to 0 — the transition never fires"
+          tr.name
+      else begin
+        match Expr.eval_interval tr.rate ~x:x_ivs ~th:th_ivs with
+        | enc ->
+            if Interval.hi enc < -.tol then begin
+              rate_sound := false;
+              report "L001" Error (Transition tr.name)
+                "transition %s: rate is negative everywhere on the domain \
+                 (enclosure [%g, %g]) — propensities are ill-defined"
+                tr.name (Interval.lo enc) (Interval.hi enc)
+            end
+            else if Interval.lo enc < -.tol then begin
+              rate_sound := false;
+              report "L002" Warning (Transition tr.name)
+                "transition %s: rate not certified non-negative (enclosure \
+                 [%g, %g]); Theorems 1-4 assume β ≥ 0 — guard the rate with \
+                 max(0, ·) or shrink the domain"
+                tr.name (Interval.lo enc) (Interval.hi enc)
+            end
+        | exception Division_by_zero ->
+            rate_sound := false;
+            report "L006" Warning (Transition tr.name)
+              "transition %s: a divisor interval contains 0 on the domain — \
+               division-by-zero freedom not certified (guard the denominator, \
+               e.g. with max(den, ε))"
+              tr.name
+      end)
+    valid;
+
+  (* -------- dead code: L401/L402 ---------------------------------- *)
+  let var_read = Array.make dim false and var_moved = Array.make dim false in
+  let param_read = Array.make theta_dim false in
+  List.iter
+    (fun (tr : Symbolic.transition) ->
+      List.iter (fun i -> var_read.(i) <- true) (Expr.vars tr.rate);
+      List.iter (fun j -> param_read.(j) <- true) (Expr.thetas tr.rate);
+      Array.iteri (fun i c -> if c <> 0. then var_moved.(i) <- true) tr.change)
+    valid;
+  Array.iteri
+    (fun i name_i ->
+      if not (var_read.(i) || var_moved.(i)) then
+        report "L401" Warning (Coord i)
+          "variable %s is never read by a rate nor moved by a change vector"
+          name_i)
+    var_names;
+  Array.iteri
+    (fun j name_j ->
+      if not param_read.(j) then
+        report "L402" Warning (Param j)
+          "parameter %s is never referenced by any rate — its imprecision \
+           interval is dead"
+          name_j)
+    theta_names;
+
+  (* -------- positive-orthant invariance: L404 --------------------- *)
+  let orthant_ok = ref true in
+  List.iter
+    (fun (tr : Symbolic.transition) ->
+      Array.iteri
+        (fun i c ->
+          if
+            c < 0.
+            && domain.Optim.Box.lo.(i) <= 0.
+            && domain.Optim.Box.hi.(i) >= 0.
+          then begin
+            let face =
+              Array.mapi
+                (fun k iv -> if k = i then Interval.of_float 0. else iv)
+                x_ivs
+            in
+            match Expr.eval_interval tr.rate ~x:face ~th:th_ivs with
+            | enc ->
+                if Interval.hi enc > tol then begin
+                  orthant_ok := false;
+                  report "L404" Warning (Transition tr.name)
+                    "transition %s decreases %s but can fire at rate up to %g \
+                     on the face %s = 0 — the state can leave the positive \
+                     orthant"
+                    tr.name var_names.(i) (Interval.hi enc) var_names.(i)
+                end
+            | exception Division_by_zero ->
+                orthant_ok := false;
+                report "L404" Warning (Transition tr.name)
+                  "transition %s decreases %s and its rate cannot be \
+                   certified zero on the face %s = 0 (division by an \
+                   interval containing 0)"
+                  tr.name var_names.(i) var_names.(i)
+          end)
+        tr.change)
+    valid;
+
+  (* -------- drift and structure classification -------------------- *)
+  let drift =
+    Array.init dim (fun i ->
+        List.fold_left
+          (fun acc (tr : Symbolic.transition) ->
+            if tr.change.(i) = 0. then acc
+            else Expr.(acc +: (const tr.change.(i) *: tr.rate)))
+          (Expr.const 0.) valid
+        |> Expr.simplify)
+  in
+  let classes =
+    Array.map
+      (fun fi ->
+        {
+          affine_theta = Expr.is_affine_in_theta fi;
+          multilinear = Expr.is_multilinear fi;
+          smooth = not (has_kink fi);
+        })
+      drift
+  in
+  let all_affine = Array.for_all (fun c -> c.affine_theta) classes in
+  let all_multilinear = Array.for_all (fun c -> c.multilinear) classes in
+  if dim > 0 then begin
+    if all_affine then
+      report "L101" Info Model
+        "drift is affine in θ: the Hamiltonian arg max is attained at a \
+         vertex of Θ — Pontryagin can use exact vertex enumeration"
+    else begin
+      let bad =
+        String.concat ", "
+          (List.filteri (fun i _ -> not classes.(i).affine_theta)
+             (Array.to_list var_names))
+      in
+      report "L102" Warning Model
+        "drift not affine in θ (coordinate%s %s): vertex enumeration may \
+         miss the Hamiltonian arg max — a box search is used instead"
+        (if String.contains bad ',' then "s" else "")
+        bad
+    end;
+    if all_multilinear then
+      report "L103" Info Model
+        "drift is multilinear: hull face extrema are attained at box \
+         vertices, so vertex/grid optimisation is exact"
+  end;
+  let kinked =
+    List.filteri (fun i _ -> not classes.(i).smooth) (Array.to_list var_names)
+  in
+  if kinked <> [] then
+    report "L302" Warning Model
+      "drift coordinate%s %s %s only piecewise-smooth (Min/Max/Ite): \
+       costates use Clarke subgradients at kinks; the drift remains \
+       Lipschitz but not C¹"
+      (if List.length kinked > 1 then "s" else "")
+      (String.concat ", " kinked)
+      (if List.length kinked > 1 then "are" else "is");
+
+  (* -------- conservation laws: L201/L202 -------------------------- *)
+  let conservation =
+    if valid = [] || dim = 0 then []
+    else begin
+      let c = Mat.of_arrays (Array.of_list (List.map (fun (tr : Symbolic.transition) -> Vec.copy tr.change) valid)) in
+      Mat.null_space ~tol:1e-9 c
+      |> Array.to_list
+      |> List.map (fun w -> { weights = w; pretty = pretty_weights var_names w })
+    end
+  in
+  List.iter
+    (fun cons ->
+      report "L201" Info Model "conservation law: %s is constant along every trajectory"
+        cons.pretty)
+    conservation;
+  let mass_conserved =
+    valid <> []
+    && List.for_all
+         (fun (tr : Symbolic.transition) -> Float.abs (Vec.sum tr.change) <= tol)
+         valid
+  in
+  let simplex_preserving = mass_conserved && !rate_sound && !orthant_ok in
+  if simplex_preserving then
+    report "L202" Info Model
+      "the drift preserves the unit simplex: total mass is conserved, rates \
+       are certified non-negative and no transition can push a coordinate \
+       below zero";
+
+  (* -------- Lipschitz certificate: L301/L302/L303 ----------------- *)
+  let lipschitz =
+    if dim = 0 then None
+    else begin
+      let certified = ref true in
+      let bound = ref 0. in
+      Array.iteri
+        (fun i fi ->
+          if !certified then begin
+            let row = ref 0. in
+            for j = 0 to dim - 1 do
+              if !certified then begin
+                let dij = Expr.simplify (Expr.diff_var fi j) in
+                match Expr.eval_interval dij ~x:x_ivs ~th:th_ivs with
+                | enc ->
+                    let mag =
+                      Float.max (Float.abs (Interval.lo enc))
+                        (Float.abs (Interval.hi enc))
+                    in
+                    if Float.is_finite mag then row := !row +. mag
+                    else begin
+                      certified := false;
+                      report "L303" Warning (Coord i)
+                        "Lipschitz bound not certifiable: ∂f_%s/∂%s is \
+                         unbounded over the domain × Θ"
+                        var_names.(i) var_names.(j)
+                    end
+                | exception Division_by_zero ->
+                    certified := false;
+                    report "L303" Warning (Coord i)
+                      "Lipschitz bound not certifiable: ∂f_%s/∂%s divides by \
+                       an interval containing 0 — Theorems 1-4 need a \
+                       Lipschitz drift, certify it on a smaller domain"
+                      var_names.(i) var_names.(j)
+              end
+            done;
+            if !certified then bound := Float.max !bound !row
+          end)
+        drift;
+      if !certified then begin
+        report "L301" Info Model
+          "certified Lipschitz bound: ‖∂f/∂x‖∞ ≤ %g over the domain × Θ \
+           (feeds the Certified error bounds)"
+          !bound;
+        Some !bound
+      end
+      else None
+    end
+  in
+
+  let recommended_opt = if all_affine then `Vertices else `Box 5 in
+  let findings =
+    List.sort
+      (fun a b ->
+        match compare a.code b.code with 0 -> compare a.message b.message | c -> c)
+      !findings
+  in
+  {
+    model = name;
+    var_names;
+    theta_names;
+    findings;
+    classes;
+    conservation;
+    simplex_preserving;
+    lipschitz;
+    recommended_opt;
+  }
+
+let analyze ?domain s =
+  let m = Symbolic.population s in
+  analyze_transitions ?domain ~name:m.Population.name
+    ~var_names:m.Population.var_names ~theta_names:m.Population.theta_names
+    ~theta:m.Population.theta (Symbolic.transitions s)
+
+(* ------------------------------------------------------------------ *)
+(* report access and printing                                          *)
+
+let errors r = List.filter (fun f -> f.severity = Error) r.findings
+
+let warnings r = List.filter (fun f -> f.severity = Warning) r.findings
+
+let ok r = errors r = []
+
+let findings_with r code = List.filter (fun f -> f.code = code) r.findings
+
+let pp_finding ppf f =
+  Format.fprintf ppf "[%s] %-7s %s" f.code (severity_to_string f.severity)
+    f.message
+
+let pp_report ppf r =
+  let n_err = List.length (errors r)
+  and n_warn = List.length (warnings r) in
+  let n_info = List.length r.findings - n_err - n_warn in
+  Format.fprintf ppf "lint report for %s (%d state variable%s, %d parameter%s)@."
+    r.model (Array.length r.var_names)
+    (if Array.length r.var_names = 1 then "" else "s")
+    (Array.length r.theta_names)
+    (if Array.length r.theta_names = 1 then "" else "s");
+  Format.fprintf ppf "  %d error%s, %d warning%s, %d info%s@." n_err
+    (if n_err = 1 then "" else "s")
+    n_warn
+    (if n_warn = 1 then "" else "s")
+    n_info
+    (if n_info = 1 then "" else "s");
+  List.iter (fun f -> Format.fprintf ppf "  %a@." pp_finding f) r.findings;
+  Format.fprintf ppf "  classification (per drift coordinate):@.";
+  Array.iteri
+    (fun i c ->
+      Format.fprintf ppf "    %s: %s in θ, %s, %s@." r.var_names.(i)
+        (if c.affine_theta then "affine" else "non-affine")
+        (if c.multilinear then "multilinear" else "not multilinear")
+        (if c.smooth then "smooth" else "piecewise-smooth"))
+    r.classes;
+  (match r.conservation with
+  | [] -> Format.fprintf ppf "  conservation laws: none@."
+  | laws ->
+      Format.fprintf ppf "  conservation laws:@.";
+      List.iter (fun c -> Format.fprintf ppf "    %s constant@." c.pretty) laws);
+  (match r.lipschitz with
+  | Some l -> Format.fprintf ppf "  Lipschitz: ‖∂f/∂x‖∞ ≤ %g on domain × Θ@." l
+  | None -> Format.fprintf ppf "  Lipschitz: not certifiable on this domain@.");
+  Format.fprintf ppf "  recommended Hamiltonian optimiser: %s@."
+    (match r.recommended_opt with
+    | `Vertices -> "vertex enumeration (exact: drift affine in θ)"
+    | `Box k -> Printf.sprintf "box search (grid %d + refinement)" k)

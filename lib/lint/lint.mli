@@ -1,0 +1,112 @@
+(** Static analysis of symbolic population models.
+
+    Every numerical method in the library is only sound under
+    structural preconditions that the solvers themselves never check:
+
+    - Theorems 1–4 (mean-field convergence, differential hulls) need a
+      Lipschitz drift and non-negative transition rates;
+    - the Pontryagin bang-bang shortcut (Sec. IV-C) is exact only for
+      drifts affine in θ, where the Hamiltonian arg max is attained at
+      a vertex of Θ;
+    - hull face extrema are attained at box vertices only for
+      multilinear drifts.
+
+    [Lint] checks these {e before} any solver runs, over a symbolic
+    ({!Umf_meanfield.Symbolic}) model: certified rate non-negativity
+    and division-by-zero freedom by interval arithmetic, structure
+    classification with a solver recommendation, conservation laws
+    from the left null space of the change-vector matrix, an interval
+    Lipschitz certificate, and dead-code lints.  Each finding carries
+    a stable code ([L001]…), a severity, and the transition or
+    coordinate it points at.  Certification is sound but not complete:
+    interval arithmetic over-approximates, so a [Warning] means
+    "cannot be certified", not "definitely wrong"; an [Error] is a
+    definite violation. *)
+
+open Umf_numerics
+
+type severity = Error | Warning | Info
+
+type subject =
+  | Model  (** the model as a whole *)
+  | Transition of string
+  | Coord of int  (** a state coordinate / drift component *)
+  | Param of int  (** a θ coordinate *)
+
+type finding = {
+  code : string;  (** stable lint code, ["L001"]… *)
+  severity : severity;
+  subject : subject;
+  message : string;
+}
+
+type coord_class = {
+  affine_theta : bool;  (** drift coordinate affine in θ *)
+  multilinear : bool;
+  smooth : bool;  (** free of [Min]/[Max]/[Ite] kinks *)
+}
+
+type conservation = {
+  weights : Vec.t;  (** w with w·change = 0 for every transition *)
+  pretty : string;  (** e.g. ["S + I + R"] *)
+}
+
+type report = {
+  model : string;
+  var_names : string array;
+  theta_names : string array;
+  findings : finding list;  (** in code order *)
+  classes : coord_class array;  (** one per drift coordinate *)
+  conservation : conservation list;
+      (** basis of the left null space of the change-vector matrix *)
+  simplex_preserving : bool;
+      (** total mass conserved, rates certified non-negative and no
+          transition can push a coordinate below zero *)
+  lipschitz : float option;
+      (** certified bound on ‖∂f/∂x‖∞ over domain × Θ; [None] when not
+          certifiable (e.g. a divisor interval containing zero) *)
+  recommended_opt : [ `Vertices | `Box of int ];
+      (** Hamiltonian optimiser: vertex enumeration exactly when every
+          drift coordinate is affine in θ *)
+}
+
+val analyze : ?domain:Optim.Box.t -> Umf_meanfield.Symbolic.t -> report
+(** Lint a well-formed symbolic model.  [domain] is the state box over
+    which rates and derivatives are certified; it defaults to the unit
+    box [0,1]^dim (densities). *)
+
+val analyze_transitions :
+  ?domain:Optim.Box.t ->
+  name:string ->
+  var_names:string array ->
+  theta_names:string array ->
+  theta:Optim.Box.t ->
+  Umf_meanfield.Symbolic.transition list ->
+  report
+(** Like {!analyze} but on raw transitions, without requiring
+    {!Umf_meanfield.Symbolic.make} to accept them first: out-of-range
+    variable or parameter references and mis-sized change vectors are
+    {e reported} (L003–L005) instead of raised, and the offending
+    transitions are excluded from the remaining checks. *)
+
+val errors : report -> finding list
+
+val warnings : report -> finding list
+
+val ok : report -> bool
+(** No [Error]-level findings. *)
+
+val findings_with : report -> string -> finding list
+(** All findings carrying the given code. *)
+
+val describe : string -> string
+(** One-line description of a lint code (empty for unknown codes). *)
+
+val severity_to_string : severity -> string
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable report: findings, per-coordinate classification,
+    conservation laws, the Lipschitz certificate and the solver
+    recommendation. *)

@@ -69,6 +69,8 @@ let make ~name ~var_names ~theta_names ~theta transitions =
 
 let population s = s.model
 
+let transitions s = s.transitions
+
 let drift_exprs s = s.drift
 
 let eval_matrix cells x th =

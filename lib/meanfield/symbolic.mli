@@ -30,6 +30,11 @@ val make :
 val population : t -> Population.t
 (** The ordinary population model (rates compiled to closures). *)
 
+val transitions : t -> transition list
+(** The symbolic transition classes, as given to {!make} (rates are
+    kept un-simplified).  Static analyses ({!Umf_lint.Lint}) walk
+    these directly. *)
+
 val drift_exprs : t -> Expr.t array
 (** The drift coordinates f_i(x, θ) as simplified expressions. *)
 

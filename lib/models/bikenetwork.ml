@@ -106,6 +106,67 @@ let model p =
       (Optim.Box.of_intervals (Array.to_list p.demand))
     (List.init k departure @ List.init k arrival @ rebalances)
 
+let symbolic p =
+  validate p;
+  let open Expr in
+  let k = p.stations in
+  let z_idx = k in
+  let unit i s =
+    let v = Vec.zeros (k + 1) in
+    v.(i) <- s;
+    v
+  in
+  let cap = capacity p in
+  (* Ite (g, a, b) is [a] where g <= 0: the same threshold guards as the
+     closure rates *)
+  let departure i =
+    {
+      Symbolic.name = Printf.sprintf "depart-%d" (i + 1);
+      change = Vec.add (unit i (-1.)) (unit z_idx 1.);
+      rate = Ite (var i -: const 1e-12, const 0., theta i);
+    }
+  in
+  let arrival i =
+    {
+      Symbolic.name = Printf.sprintf "return-%d" (i + 1);
+      change = Vec.add (unit i 1.) (unit z_idx (-1.));
+      rate =
+        Ite
+          ( var i -: const (cap -. 1e-12),
+            const p.mu *: max_ (const 0.) (var z_idx) *: const p.routing.(i),
+            const 0. );
+    }
+  in
+  let rebalances =
+    if p.rebalance = 0. then []
+    else
+      List.concat_map
+        (fun j ->
+          List.filter_map
+            (fun i ->
+              if i = j then None
+              else
+                Some
+                  {
+                    Symbolic.name =
+                      Printf.sprintf "rebalance-%d-%d" (j + 1) (i + 1);
+                    change = Vec.add (unit j (-1.)) (unit i 1.);
+                    rate =
+                      const p.rebalance
+                      *: max_ (const 0.) (var j)
+                      *: (max_ (const 0.) (const cap -: var i) /: const cap);
+                  })
+            (List.init k Fun.id))
+        (List.init k Fun.id)
+  in
+  Symbolic.make ~name:"bike-network"
+    ~var_names:
+      (Array.init (k + 1) (fun i ->
+           if i = k then "Z" else Printf.sprintf "S%d" (i + 1)))
+    ~theta_names:(Array.init k (fun i -> Printf.sprintf "theta%d" (i + 1)))
+    ~theta:(Optim.Box.of_intervals (Array.to_list p.demand))
+    (List.init k departure @ List.init k arrival @ rebalances)
+
 let di p = Umf_diffinc.Di.of_population (model p)
 
 let x0 p =

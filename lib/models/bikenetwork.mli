@@ -47,12 +47,19 @@ val with_rebalance : params -> float -> params
 val model : params -> Population.t
 (** Variables x1 … xK, z. *)
 
+val symbolic : params -> Symbolic.t
+(** Symbolic twin of {!model}: the empty/full guards become [Ite]
+    thresholds; conserves Σ x_i + z (every change vector sums to 0). *)
+
 val di : params -> Umf_diffinc.Di.t
 
 val x0 : params -> Vec.t
 (** Fleet spread evenly over the stations, nothing in transit. *)
 
 val dim : params -> int
+
+val capacity : params -> float
+(** Rack capacity per station on the density scale, 1/K. *)
 
 val total_bikes : Vec.t -> float
 (** Σ x_i + z: the conserved fleet density. *)

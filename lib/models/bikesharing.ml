@@ -19,6 +19,19 @@ let model p =
         (fun x theta -> if x.(0) < 1. -. 1e-12 then theta.(1) else 0.);
     ]
 
+let symbolic p =
+  let open Expr in
+  let b = var 0 in
+  let tr name change rate = { Symbolic.name; change; rate } in
+  (* Ite (g, a, b) is [a] where g <= 0: the same indicator guards as the
+     closure rates, written as threshold tests *)
+  Symbolic.make ~name:"bike-station" ~var_names:[| "B" |]
+    ~theta_names:[| "theta_a"; "theta_r" |] ~theta:(theta_box p)
+    [
+      tr "departure" [| -1. |] (Ite (b -: const 1e-12, const 0., theta 0));
+      tr "return" [| 1. |] (Ite (b -: const (1. -. 1e-12), theta 1, const 0.));
+    ]
+
 let di p = Umf_diffinc.Di.of_population (model p)
 
 let ictmc p ~capacity =

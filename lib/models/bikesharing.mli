@@ -23,6 +23,11 @@ val default_params : params
 val model : params -> Population.t
 (** Population model with the single density variable X_B. *)
 
+val symbolic : params -> Symbolic.t
+(** Symbolic twin of {!model}: the emptiness/fullness indicator guards
+    become [Ite] thresholds, so the drift is affine in θ but only
+    piecewise-smooth. *)
+
 val di : params -> Umf_diffinc.Di.t
 
 val ictmc : params -> capacity:int -> Umf_ctmc.Imprecise_ctmc.t

@@ -115,6 +115,74 @@ let map_model p =
       tr "service-2" (step 2 p.gamma2 ~dq:(-1.) ~dd:0.) (serve 2);
     ]
 
+(* symbolic GPS service rate: the same guarded ratio as [service], with
+   the denominator floored at the guard threshold so that the quotient
+   is well-defined (and interval-certifiable) on the whole box — below
+   the threshold the Ite selects 0, so the floor never changes the
+   value *)
+let symbolic_service p ~q1 ~q2 i =
+  let open Expr in
+  let clamp q = min_ (const 1.) (max_ (const 0.) q) in
+  let q1 = clamp q1 and q2 = clamp q2 in
+  let backlog =
+    (const (p.phi1 *. p.gamma1) *: q1) +: (const (p.phi2 *. p.gamma2) *: q2)
+  in
+  let num =
+    match i with
+    | 1 -> const (p.mu1 *. p.capacity *. p.phi1 *. p.gamma1) *: q1
+    | 2 -> const (p.mu2 *. p.capacity *. p.phi2 *. p.gamma2) *: q2
+    | _ -> invalid_arg "Gps.symbolic_service: class must be 1 or 2"
+  in
+  Ite
+    ( backlog -: const 1e-12,
+      const 0.,
+      num /: max_ backlog (const 1e-12) )
+
+let poisson_symbolic p =
+  let open Expr in
+  let tr name change rate = { Symbolic.name; change; rate } in
+  let arrival i =
+    let gamma = if i = 1 then p.gamma1 else p.gamma2 in
+    theta (i - 1) *: const gamma
+    *: max_ (const 0.) (const 1. -: var (i - 1))
+  in
+  let serve i = symbolic_service p ~q1:(var 0) ~q2:(var 1) i in
+  Symbolic.make ~name:"gps-poisson" ~var_names:[| "Q1"; "Q2" |]
+    ~theta_names:[| "lambda'1"; "lambda'2" |] ~theta:(poisson_theta p)
+    [
+      tr "arrival-1" [| 1. /. p.gamma1; 0. |] (arrival 1);
+      tr "service-1" [| -1. /. p.gamma1; 0. |] (serve 1);
+      tr "arrival-2" [| 0.; 1. /. p.gamma2 |] (arrival 2);
+      tr "service-2" [| 0.; -1. /. p.gamma2 |] (serve 2);
+    ]
+
+let map_symbolic p =
+  let open Expr in
+  let tr name change rate = { Symbolic.name; change; rate } in
+  let q i = var ((2 * (i - 1)) + 0) in
+  let d i = var ((2 * (i - 1)) + 1) in
+  let e i = max_ (const 0.) (const 1. -: q i -: d i) in
+  let activation i gamma ai = const (ai *. gamma) *: e i in
+  let arrival i gamma = theta (i - 1) *: const gamma *: max_ (const 0.) (d i) in
+  let serve i = symbolic_service p ~q1:(q 1) ~q2:(q 2) i in
+  let step i gamma ~dq ~dd =
+    let v = Vec.zeros 4 in
+    v.((2 * (i - 1)) + 0) <- dq /. gamma;
+    v.((2 * (i - 1)) + 1) <- dd /. gamma;
+    v
+  in
+  Symbolic.make ~name:"gps-map"
+    ~var_names:[| "Q1"; "D1"; "Q2"; "D2" |]
+    ~theta_names:[| "lambda1"; "lambda2" |] ~theta:(map_theta p)
+    [
+      tr "activate-1" (step 1 p.gamma1 ~dq:0. ~dd:1.) (activation 1 p.gamma1 p.a1);
+      tr "arrival-1" (step 1 p.gamma1 ~dq:1. ~dd:(-1.)) (arrival 1 p.gamma1);
+      tr "service-1" (step 1 p.gamma1 ~dq:(-1.) ~dd:0.) (serve 1);
+      tr "activate-2" (step 2 p.gamma2 ~dq:0. ~dd:1.) (activation 2 p.gamma2 p.a2);
+      tr "arrival-2" (step 2 p.gamma2 ~dq:1. ~dd:(-1.)) (arrival 2 p.gamma2);
+      tr "service-2" (step 2 p.gamma2 ~dq:(-1.) ~dd:0.) (serve 2);
+    ]
+
 let poisson_di p = Umf_diffinc.Di.of_population (poisson_model p)
 
 let map_di p = Umf_diffinc.Di.of_population (map_model p)

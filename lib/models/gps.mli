@@ -55,6 +55,14 @@ val poisson_model : params -> Population.t
 val map_model : params -> Population.t
 (** MAP-arrival model.  θ = (λ1, λ2). *)
 
+val poisson_symbolic : params -> Symbolic.t
+(** Symbolic twin of {!poisson_model}: affine in θ (the GPS service
+    ratio carries no θ), but the ratio itself has a [Div] and an [Ite]
+    guard, so the drift is neither multilinear nor smooth. *)
+
+val map_symbolic : params -> Symbolic.t
+(** Symbolic twin of {!map_model}. *)
+
 val poisson_di : params -> Umf_diffinc.Di.t
 
 val map_di : params -> Umf_diffinc.Di.t

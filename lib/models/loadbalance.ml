@@ -55,6 +55,49 @@ let model p =
     ~theta:(Optim.Box.of_intervals [ p.lambda ])
     transitions
 
+let symbolic p =
+  if p.d < 1 then invalid_arg "Loadbalance: need d >= 1";
+  if p.k_max < 1 then invalid_arg "Loadbalance: need k_max >= 1";
+  let open Expr in
+  let kk = p.k_max in
+  let x_at k =
+    if k = 0 then const 1.
+    else if k > kk then const 0.
+    else min_ (const 1.) (max_ (const 0.) (var (k - 1)))
+  in
+  let unit k =
+    let v = Vec.zeros kk in
+    v.(k - 1) <- 1.;
+    v
+  in
+  let arrival k =
+    theta 0 *: max_ (const 0.) (pow (x_at (k - 1)) p.d -: pow (x_at k) p.d)
+  in
+  let departure k = max_ (const 0.) (x_at k -: x_at (k + 1)) in
+  let transitions =
+    List.concat_map
+      (fun k ->
+        [
+          {
+            Symbolic.name = Printf.sprintf "arrive-%d" k;
+            change = unit k;
+            rate = arrival k;
+          };
+          {
+            Symbolic.name = Printf.sprintf "depart-%d" k;
+            change = Vec.scale (-1.) (unit k);
+            rate = departure k;
+          };
+        ])
+      (List.init kk (fun i -> i + 1))
+  in
+  Symbolic.make
+    ~name:(Printf.sprintf "jsq-%d" p.d)
+    ~var_names:(Array.init kk (fun i -> Printf.sprintf "x%d" (i + 1)))
+    ~theta_names:[| "lambda" |]
+    ~theta:(Optim.Box.of_intervals [ p.lambda ])
+    transitions
+
 let di p = Umf_diffinc.Di.of_population (model p)
 
 let x0_empty p = Vec.zeros p.k_max

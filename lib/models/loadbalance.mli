@@ -32,6 +32,11 @@ val default_params : params
 val model : params -> Population.t
 (** Variables x_1 … x_{k_max}. *)
 
+val symbolic : params -> Symbolic.t
+(** Symbolic twin of {!model}: affine in θ, with clamps and tail
+    differences written as [Min]/[Max] kinks and the power-of-d choice
+    as [Pow _ d] (not multilinear for d ≥ 2). *)
+
 val di : params -> Umf_diffinc.Di.t
 
 val x0_empty : params -> Vec.t

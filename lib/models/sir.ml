@@ -40,6 +40,33 @@ let model3 p =
       tr "immunity-loss" [| 1.; 0.; -1. |] (fun x _ -> p.c *. x.(2));
     ]
 
+(* symbolic twins of [model]/[model3]: same rates as Expr trees, so the
+   static analyzer and the certified solvers can inspect them *)
+let symbolic p =
+  let open Expr in
+  let s = var 0 and i = var 1 in
+  let tr name change rate = { Symbolic.name; change; rate } in
+  Symbolic.make ~name:"sir" ~var_names:[| "S"; "I" |]
+    ~theta_names:[| "theta" |] ~theta:(theta_box p)
+    [
+      tr "infection" [| -1.; 1. |] ((const p.a *: s) +: (theta 0 *: s *: i));
+      tr "recovery" [| 0.; -1. |] (const p.b *: i);
+      tr "immunity-loss" [| 1.; 0. |]
+        (const p.c *: max_ (const 0.) (const 1. -: s -: i));
+    ]
+
+let symbolic3 p =
+  let open Expr in
+  let s = var 0 and i = var 1 and r = var 2 in
+  let tr name change rate = { Symbolic.name; change; rate } in
+  Symbolic.make ~name:"sir3" ~var_names:[| "S"; "I"; "R" |]
+    ~theta_names:[| "theta" |] ~theta:(theta_box p)
+    [
+      tr "infection" [| -1.; 1.; 0. |] ((const p.a *: s) +: (theta 0 *: s *: i));
+      tr "recovery" [| 0.; -1.; 1. |] (const p.b *: i);
+      tr "immunity-loss" [| 1.; 0.; -1. |] (const p.c *: r);
+    ]
+
 (* Eq. (11) of the paper *)
 let drift p x theta =
   let xs = x.(0) and xi = x.(1) and th = theta.(0) in

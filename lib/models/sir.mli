@@ -32,6 +32,16 @@ val model : params -> Population.t
 val model3 : params -> Population.t
 (** Full 3-variable model (S, I, R) — used to check the reduction. *)
 
+val symbolic : params -> Symbolic.t
+(** Symbolic twin of {!model} (same rates as {!Umf_numerics.Expr}
+    trees): drift affine in θ, but the reduced immunity-loss rate
+    carries a [max(0, 1 − S − I)] kink. *)
+
+val symbolic3 : params -> Symbolic.t
+(** Symbolic twin of {!model3}: affine in θ, multilinear, smooth, and
+    mass-conserving (S + I + R constant) — the model the static
+    analyzer certifies completely clean. *)
+
 val drift : params -> Vec.t -> Vec.t -> Vec.t
 (** Closed-form reduced drift (Eq. 11): [drift p x theta] with
     [x = (xS, xI)] and [theta] a 1-vector. *)

@@ -24,6 +24,18 @@ let model p =
       tr "patch" [| -1. |] (fun x _ -> p.delta *. x.(0));
     ]
 
+let symbolic p =
+  let open Expr in
+  let i = var 0 in
+  let clean = max_ (const 0.) (const 1. -: i) in
+  let tr name change rate = { Symbolic.name; change; rate } in
+  Symbolic.make ~name:"sis-malware" ~var_names:[| "I" |]
+    ~theta_names:[| "beta" |] ~theta:(theta_box p)
+    [
+      tr "infection" [| 1. |] ((const p.a *: clean) +: (theta 0 *: i *: clean));
+      tr "patch" [| -1. |] (const p.delta *: i);
+    ]
+
 let di p = Umf_diffinc.Di.of_population (model p)
 
 (* a(1-x) + b x(1-x) - d x = 0  <=>  b x^2 + (d - b + a) x - a = 0 *)

@@ -21,6 +21,11 @@ val default_params : params
 
 val model : params -> Population.t
 
+val symbolic : params -> Symbolic.t
+(** Symbolic twin of {!model}: affine in θ; the clean fraction
+    [max(0, 1 − I)] is a kink and I·(1 − I) is quadratic, so the drift
+    is neither smooth nor multilinear. *)
+
 val di : params -> Umf_diffinc.Di.t
 
 val drift : params -> Vec.t -> Vec.t -> Vec.t

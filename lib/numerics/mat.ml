@@ -168,6 +168,63 @@ let max_abs m = Array.fold_left (fun s x -> Float.max s (Float.abs x)) 0. m.a
 let approx_equal ?(tol = 1e-9) a b =
   a.r = b.r && a.c = b.c && max_abs (sub a b) <= tol
 
+let null_space ?(tol = 1e-9) m =
+  let rows_ = to_arrays m in
+  let nr = m.r and nc = m.c in
+  let threshold = tol *. Float.max 1. (max_abs m) in
+  (* reduced row echelon form with partial pivoting *)
+  let pivot_col = Array.make (Stdlib.min nr nc) (-1) in
+  let rank = ref 0 in
+  for col = 0 to nc - 1 do
+    if !rank < nr then begin
+      let best = ref (-1) and best_abs = ref threshold in
+      for i = !rank to nr - 1 do
+        let v = Float.abs rows_.(i).(col) in
+        if v > !best_abs then begin
+          best := i;
+          best_abs := v
+        end
+      done;
+      if !best >= 0 then begin
+        let tmp = rows_.(!rank) in
+        rows_.(!rank) <- rows_.(!best);
+        rows_.(!best) <- tmp;
+        let p = rows_.(!rank).(col) in
+        for j = 0 to nc - 1 do
+          rows_.(!rank).(j) <- rows_.(!rank).(j) /. p
+        done;
+        for i = 0 to nr - 1 do
+          if i <> !rank then begin
+            let f = rows_.(i).(col) in
+            if f <> 0. then
+              for j = 0 to nc - 1 do
+                rows_.(i).(j) <- rows_.(i).(j) -. (f *. rows_.(!rank).(j))
+              done
+          end
+        done;
+        pivot_col.(!rank) <- col;
+        incr rank
+      end
+    end
+  done;
+  let is_pivot = Array.make nc false in
+  for i = 0 to !rank - 1 do
+    is_pivot.(pivot_col.(i)) <- true
+  done;
+  (* one basis vector per free column: v_free = 1, pivots balance it *)
+  let basis = ref [] in
+  for j = nc - 1 downto 0 do
+    if not is_pivot.(j) then begin
+      let v = Array.make nc 0. in
+      v.(j) <- 1.;
+      for i = 0 to !rank - 1 do
+        v.(pivot_col.(i)) <- -.rows_.(i).(j)
+      done;
+      basis := v :: !basis
+    end
+  done;
+  Array.of_list !basis
+
 let pp ppf m =
   Format.fprintf ppf "@[<v>";
   for i = 0 to m.r - 1 do

@@ -69,4 +69,13 @@ val max_abs : t -> float
 
 val approx_equal : ?tol:float -> t -> t -> bool
 
+val null_space : ?tol:float -> t -> Vec.t array
+(** Basis of the right null space [{ v : m v = 0 }], by Gauss–Jordan
+    elimination with partial pivoting; entries below
+    [tol * max 1 (max_abs m)] are treated as zero.  Returns one vector
+    per free column (an empty array for full-column-rank matrices).
+    Used for conservation laws: the left null space of a change-vector
+    matrix is [null_space] of the matrix whose {e rows} are the change
+    vectors. *)
+
 val pp : Format.formatter -> t -> unit

@@ -76,15 +76,51 @@ let check_span t0 t1 dt =
   if t1 < t0 then invalid_arg "Ode: t1 < t0";
   if dt <= 0. then invalid_arg "Ode: dt <= 0"
 
-let integrate ?(method_ = `Rk4) f ~t0 ~y0 ~t1 ~dt =
+let all_finite v =
+  let ok = ref true in
+  for i = 0 to Vec.dim v - 1 do
+    if not (Float.is_finite v.(i)) then ok := false
+  done;
+  !ok
+
+let fail_non_finite ~what ~t ~step v =
+  let bad = ref (-1) in
+  for i = Vec.dim v - 1 downto 0 do
+    if not (Float.is_finite v.(i)) then bad := i
+  done;
+  failwith
+    (Printf.sprintf
+       "Ode: non-finite %s (coordinate %d = %g) at t = %g, step %d" what !bad
+       v.(!bad) t step)
+
+(* with checking on, the rhs is validated at every stage and the state
+   after every accepted step, so the failure points at the first bad
+   time rather than at a NaN that has silently spread *)
+let checked_rhs ~enabled ~step f =
+  if not enabled then f
+  else fun t y ->
+    let dy = f t y in
+    if not (all_finite dy) then fail_non_finite ~what:"right-hand side" ~t ~step:!step dy;
+    dy
+
+let check_state ~enabled ~step t y =
+  if enabled && not (all_finite y) then
+    fail_non_finite ~what:"state" ~t ~step:!step y
+
+let integrate ?(method_ = `Rk4) ?(check = false) f ~t0 ~y0 ~t1 ~dt =
   check_span t0 t1 dt;
   let step = step_fn method_ in
+  let step_no = ref 0 in
+  let f = checked_rhs ~enabled:check ~step:step_no f in
+  check_state ~enabled:check ~step:step_no t0 y0;
   let times = ref [ t0 ] and states = ref [ Vec.copy y0 ] in
   let t = ref t0 and y = ref y0 in
   while !t < t1 -. 1e-12 do
+    incr step_no;
     let h = Float.min dt (t1 -. !t) in
     y := step f !t !y h;
     t := !t +. h;
+    check_state ~enabled:check ~step:step_no !t !y;
     times := !t :: !times;
     states := !y :: !states
   done;
@@ -92,14 +128,19 @@ let integrate ?(method_ = `Rk4) f ~t0 ~y0 ~t1 ~dt =
     (Array.of_list (List.rev !times))
     (Array.of_list (List.rev !states))
 
-let integrate_to ?(method_ = `Rk4) f ~t0 ~y0 ~t1 ~dt =
+let integrate_to ?(method_ = `Rk4) ?(check = false) f ~t0 ~y0 ~t1 ~dt =
   check_span t0 t1 dt;
   let step = step_fn method_ in
+  let step_no = ref 0 in
+  let f = checked_rhs ~enabled:check ~step:step_no f in
+  check_state ~enabled:check ~step:step_no t0 y0;
   let t = ref t0 and y = ref y0 in
   while !t < t1 -. 1e-12 do
+    incr step_no;
     let h = Float.min dt (t1 -. !t) in
     y := step f !t !y h;
-    t := !t +. h
+    t := !t +. h;
+    check_state ~enabled:check ~step:step_no !t !y
   done;
   !y
 
@@ -130,15 +171,17 @@ let dp_b4 =
   |]
 
 let integrate_adaptive ?(rtol = 1e-6) ?(atol = 1e-9) ?dt0 ?dt_max
-    ?(max_steps = 1_000_000) f ~t0 ~y0 ~t1 =
+    ?(max_steps = 1_000_000) ?(check = false) f ~t0 ~y0 ~t1 =
   if t1 < t0 then invalid_arg "Ode.integrate_adaptive: t1 < t0";
   let span = t1 -. t0 in
   let dt_max = match dt_max with Some h -> h | None -> span in
   let h = ref (match dt0 with Some h -> h | None -> Float.min dt_max (span /. 100.)) in
   if !h <= 0. then h := span;
+  let steps = ref 0 in
+  let f = checked_rhs ~enabled:check ~step:steps f in
+  check_state ~enabled:check ~step:steps t0 y0;
   let times = ref [ t0 ] and states = ref [ Vec.copy y0 ] in
   let t = ref t0 and y = ref y0 in
-  let steps = ref 0 in
   let n = Vec.dim y0 in
   let k = Array.make 7 (Vec.zeros n) in
   if span > 0. then begin
@@ -172,6 +215,7 @@ let integrate_adaptive ?(rtol = 1e-6) ?(atol = 1e-9) ?dt0 ?dt_max
       if err <= 1. then begin
         t := !t +. hh;
         y := y5;
+        check_state ~enabled:check ~step:steps !t !y;
         times := !t :: !times;
         states := !y :: !states
       end;

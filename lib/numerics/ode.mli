@@ -45,6 +45,7 @@ val rk4_step : rhs -> float -> Vec.t -> float -> Vec.t
 
 val integrate :
   ?method_:[ `Euler | `Rk4 ] ->
+  ?check:bool ->
   rhs ->
   t0:float ->
   y0:Vec.t ->
@@ -53,10 +54,14 @@ val integrate :
   Traj.t
 (** Fixed-step integration from [t0] to [t1] (default RK4).  The final
     step is shortened to land exactly on [t1].  Requires [t1 >= t0] and
-    [dt > 0]. *)
+    [dt > 0].  With [check] (default off), every right-hand-side
+    evaluation and every accepted state is sanitised and a NaN/Inf
+    raises [Failure] naming the offending time and step instead of
+    silently propagating. *)
 
 val integrate_to :
   ?method_:[ `Euler | `Rk4 ] ->
+  ?check:bool ->
   rhs ->
   t0:float ->
   y0:Vec.t ->
@@ -72,13 +77,15 @@ val integrate_adaptive :
   ?dt0:float ->
   ?dt_max:float ->
   ?max_steps:int ->
+  ?check:bool ->
   rhs ->
   t0:float ->
   y0:Vec.t ->
   t1:float ->
   Traj.t
 (** Dormand–Prince RK45 with PI step-size control.  Defaults:
-    [rtol = 1e-6], [atol = 1e-9], [max_steps = 1_000_000].
+    [rtol = 1e-6], [atol = 1e-9], [max_steps = 1_000_000]; [check] as
+    in {!integrate}.
     @raise Failure when the step count budget is exhausted or the step
     size underflows. *)
 

@@ -75,10 +75,60 @@ let test_recommendation () =
   Alcotest.(check bool) "non-affine: box" true
     (Certified.recommended_hamiltonian_opt quad = `Box 5)
 
+let test_auto_select_vertices () =
+  (* the lint-gated solver must pick vertex enumeration for the
+     affine-in-theta SIR drift, record it in the result, and compute
+     exactly the same bound as the plain solver with explicit opt *)
+  let s = Umf_models.Sir.symbolic Umf_models.Sir.default_params in
+  let x0 = Umf_models.Sir.x0 in
+  let r =
+    Certified.pontryagin ~steps:100 s ~x0 ~horizon:2. ~sense:`Max (`Coord 1)
+  in
+  Alcotest.(check bool) "sir: auto-selected vertices" true
+    (r.Pontryagin.opt = `Vertices);
+  let plain =
+    Pontryagin.solve ~steps:100 ~opt:`Vertices (Certified.di s) ~x0 ~horizon:2.
+      ~sense:`Max (`Coord 1)
+  in
+  Alcotest.(check (float 1e-12)) "sir: identical bound"
+    plain.Pontryagin.value r.Pontryagin.value;
+  (* same on the GPS Poisson network (affine in theta despite Div/Ite) *)
+  let g = Umf_models.Gps.poisson_symbolic Umf_models.Gps.default_params in
+  let gx0 = Umf_models.Gps.x0_poisson in
+  let gr =
+    Certified.pontryagin ~steps:60 g ~x0:gx0 ~horizon:1. ~sense:`Max (`Coord 0)
+  in
+  Alcotest.(check bool) "gps: auto-selected vertices" true
+    (gr.Pontryagin.opt = `Vertices);
+  let gplain =
+    Pontryagin.solve ~steps:60 ~opt:`Vertices (Certified.di g) ~x0:gx0
+      ~horizon:1. ~sense:`Max (`Coord 0)
+  in
+  Alcotest.(check (float 1e-12)) "gps: identical bound"
+    gplain.Pontryagin.value gr.Pontryagin.value
+
+let test_auto_select_box_when_not_affine () =
+  let open Expr in
+  let quad =
+    Symbolic.make ~name:"quad" ~var_names:[| "X" |] ~theta_names:[| "th" |]
+      ~theta:(Optim.Box.make [| 0. |] [| 1. |])
+      [ { Symbolic.name = "t"; change = [| 1. |]; rate = pow (theta 0) 2 } ]
+  in
+  let r =
+    Certified.pontryagin ~steps:40 quad ~x0:[| 0. |] ~horizon:0.5 ~sense:`Max
+      (`Coord 0)
+  in
+  Alcotest.(check bool) "non-affine falls back to box search" true
+    (match r.Pontryagin.opt with `Box _ -> true | `Vertices -> false)
+
 let suites =
   [
     ( "certified",
       [
+        Alcotest.test_case "auto-select vertices (sir, gps)" `Quick
+          test_auto_select_vertices;
+        Alcotest.test_case "auto-select box (non-affine)" `Quick
+          test_auto_select_box_when_not_affine;
         Alcotest.test_case "exact jacobian wiring" `Quick test_di_has_exact_jacobian;
         Alcotest.test_case "certified hull encloses sampled" `Quick test_certified_hull_contains_sampled_hull;
         Alcotest.test_case "certified hull reasonably tight" `Quick test_certified_hull_not_too_loose;

@@ -1,0 +1,248 @@
+open Umf_numerics
+open Umf_meanfield
+open Umf_lint
+
+(* ------------------------------------------------------------------ *)
+(* a deliberately broken model: every class of defect at once          *)
+(* ------------------------------------------------------------------ *)
+
+let broken_report () =
+  let open Expr in
+  let tr name change rate = { Symbolic.name; change; rate } in
+  Lint.analyze_transitions ~name:"broken"
+    ~var_names:[| "X"; "Y"; "Z" |]
+    ~theta_names:[| "a"; "b" |]
+    ~theta:(Optim.Box.make [| 0.; 0. |] [| 1.; 1. |])
+    [
+      (* L001: rate certifiably negative everywhere *)
+      tr "neg-rate" [| 1.; 0.; 0. |] (const (-1.));
+      (* L004: out-of-range parameter reference *)
+      tr "bad-theta" [| 0.; 1.; 0. |] (theta 5);
+      (* L005: change vector of the wrong dimension *)
+      tr "bad-change" [| 1. |] (const 1.);
+      (* L002: sign not certifiable (negative at X < Y) *)
+      tr "maybe-neg" [| 0.; 1.; 0. |] (theta 0 *: (var 0 -: var 1));
+      (* L006: divisor interval contains zero on the unit box *)
+      tr "div-zero" [| 1.; 0.; 0. |] (const 1. /: var 0);
+      (* L404: drains X at a strictly positive rate even at X = 0 *)
+      tr "drain" [| -1.; 0.; 0. |] (const 1.);
+    ]
+(* Z is never read nor moved (L401) and parameter b never read (L402) *)
+
+let codes_of findings = List.map (fun f -> f.Lint.code) findings
+
+let test_broken_has_errors_and_warnings () =
+  let r = broken_report () in
+  Alcotest.(check bool) "not ok" false (Lint.ok r);
+  let errs = List.sort_uniq compare (codes_of (Lint.errors r)) in
+  let warns = List.sort_uniq compare (codes_of (Lint.warnings r)) in
+  (* at least 3 distinct error/warning codes, as distinct codes *)
+  Alcotest.(check bool)
+    (Printf.sprintf "distinct codes: %s"
+       (String.concat "," (errs @ warns)))
+    true
+    (List.length errs + List.length warns >= 3);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " reported as error") true (List.mem c errs))
+    [ "L001"; "L004"; "L005" ];
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " reported as warning") true (List.mem c warns))
+    [ "L002"; "L006"; "L404"; "L401"; "L402" ]
+
+let test_broken_subjects () =
+  let r = broken_report () in
+  let by code = Lint.findings_with r code in
+  (match by "L001" with
+  | [ f ] ->
+      Alcotest.(check bool) "L001 names the transition" true
+        (f.Lint.subject = Lint.Transition "neg-rate")
+  | fs ->
+      Alcotest.failf "expected exactly one L001, got %d" (List.length fs));
+  (match by "L401" with
+  | [ f ] ->
+      Alcotest.(check bool) "L401 names coordinate Z" true
+        (f.Lint.subject = Lint.Coord 2)
+  | fs ->
+      Alcotest.failf "expected exactly one L401, got %d" (List.length fs));
+  match by "L402" with
+  | [ f ] ->
+      Alcotest.(check bool) "L402 names parameter b" true
+        (f.Lint.subject = Lint.Param 1)
+  | fs -> Alcotest.failf "expected exactly one L402, got %d" (List.length fs)
+
+let test_invalid_transitions_excluded () =
+  (* the malformed transitions must not poison the remaining analysis:
+     the drift/classification is still produced for all 3 coordinates *)
+  let r = broken_report () in
+  Alcotest.(check int) "classes for every coordinate" 3
+    (Array.length r.Lint.classes);
+  Alcotest.(check bool) "describe knows the codes" true
+    (String.length (Lint.describe "L001") > 0
+    && String.length (Lint.describe "L404") > 0)
+
+(* ------------------------------------------------------------------ *)
+(* integration: every bundled model must lint without errors           *)
+(* ------------------------------------------------------------------ *)
+
+let models () =
+  [
+    ("sir3", Lint.analyze (Umf_models.Sir.symbolic3 Umf_models.Sir.default_params));
+    ("sir", Lint.analyze (Umf_models.Sir.symbolic Umf_models.Sir.default_params));
+    ("sis", Lint.analyze (Umf_models.Sis.symbolic Umf_models.Sis.default_params));
+    ( "bike",
+      Lint.analyze
+        (Umf_models.Bikesharing.symbolic Umf_models.Bikesharing.default_params)
+    );
+    ( "cholera",
+      Lint.analyze
+        ~domain:Umf_models.Cholera.state_clip
+        (Umf_models.Cholera.symbolic Umf_models.Cholera.default_params) );
+    ( "gps-poisson",
+      Lint.analyze (Umf_models.Gps.poisson_symbolic Umf_models.Gps.default_params)
+    );
+    ( "gps-map",
+      Lint.analyze (Umf_models.Gps.map_symbolic Umf_models.Gps.default_params) );
+    ( "jsq2",
+      Lint.analyze
+        (Umf_models.Loadbalance.symbolic Umf_models.Loadbalance.default_params)
+    );
+    ( "bikenet",
+      Lint.analyze
+        (Umf_models.Bikenetwork.symbolic Umf_models.Bikenetwork.default_params)
+    );
+  ]
+
+let test_all_models_error_free () =
+  List.iter
+    (fun (name, r) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has no lint errors (%s)" name
+           (String.concat ","
+              (List.map (fun f -> f.Lint.code) (Lint.errors r))))
+        true (Lint.ok r))
+    (models ())
+
+let class_forall r pred = Array.for_all pred r.Lint.classes
+
+let test_sir3_certified_clean () =
+  let r = List.assoc "sir3" (models ()) in
+  Alcotest.(check bool) "affine in theta" true
+    (class_forall r (fun c -> c.Lint.affine_theta));
+  Alcotest.(check bool) "multilinear" true
+    (class_forall r (fun c -> c.Lint.multilinear));
+  Alcotest.(check bool) "smooth" true (class_forall r (fun c -> c.Lint.smooth));
+  Alcotest.(check bool) "S+I+R conservation law" true
+    (List.exists
+       (fun c -> c.Lint.pretty = "S + I + R")
+       r.Lint.conservation);
+  Alcotest.(check bool) "simplex preserving" true r.Lint.simplex_preserving;
+  (match r.Lint.lipschitz with
+  | Some l -> Alcotest.(check bool) "finite Lipschitz bound" true (Float.is_finite l && l > 0.)
+  | None -> Alcotest.fail "expected a Lipschitz certificate");
+  Alcotest.(check bool) "recommends vertex enumeration" true
+    (r.Lint.recommended_opt = `Vertices)
+
+let test_structure_classification () =
+  let m = models () in
+  (* SIS: affine in theta, quadratic (not multilinear), kinked *)
+  let sis = List.assoc "sis" m in
+  Alcotest.(check bool) "sis affine" true
+    (class_forall sis (fun c -> c.Lint.affine_theta));
+  Alcotest.(check bool) "sis not multilinear" false
+    (class_forall sis (fun c -> c.Lint.multilinear));
+  Alcotest.(check bool) "sis kinked" false
+    (class_forall sis (fun c -> c.Lint.smooth));
+  (* GPS: affine in theta (service carries no theta) but has Div/Ite *)
+  let gps = List.assoc "gps-poisson" m in
+  Alcotest.(check bool) "gps affine" true
+    (class_forall gps (fun c -> c.Lint.affine_theta));
+  Alcotest.(check bool) "gps recommends vertices" true
+    (gps.Lint.recommended_opt = `Vertices);
+  Alcotest.(check bool) "gps not multilinear" false
+    (class_forall gps (fun c -> c.Lint.multilinear));
+  (* jsq-2: the power-of-two-choices x^2 terms are not multilinear *)
+  let jsq = List.assoc "jsq2" m in
+  Alcotest.(check bool) "jsq2 affine" true
+    (class_forall jsq (fun c -> c.Lint.affine_theta));
+  Alcotest.(check bool) "jsq2 not multilinear" false
+    (class_forall jsq (fun c -> c.Lint.multilinear))
+
+let test_bikenet_conservation () =
+  let r = List.assoc "bikenet" (models ()) in
+  Alcotest.(check bool) "fleet conservation law" true
+    (List.exists
+       (fun c -> c.Lint.pretty = "S1 + S2 + S3 + Z")
+       r.Lint.conservation)
+
+let test_report_printing () =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.fprintf fmt "%a@." Lint.pp_report (broken_report ());
+  let s = Buffer.contents buf in
+  (* severities and codes appear in the rendered report *)
+  List.iter
+    (fun needle ->
+      let n = String.length needle and ls = String.length s in
+      let rec go i = i + n <= ls && (String.sub s i n = needle || go (i + 1)) in
+      Alcotest.(check bool) ("report mentions " ^ needle) true (go 0))
+    [ "broken"; "L001"; "error"; "warning" ]
+
+(* ------------------------------------------------------------------ *)
+(* the Certified gate refuses Error-level models                       *)
+(* ------------------------------------------------------------------ *)
+
+let negative_rate_model () =
+  let open Expr in
+  Symbolic.make ~name:"bad" ~var_names:[| "X" |] ~theta_names:[| "t" |]
+    ~theta:(Optim.Box.make [| 0. |] [| 1. |])
+    [ { Symbolic.name = "sink"; change = [| 1. |]; rate = const (-2.) } ]
+
+let test_certified_gate_rejects () =
+  let s = negative_rate_model () in
+  (match Umf_diffinc.Certified.pontryagin s ~x0:[| 0.5 |] ~horizon:1. ~sense:`Max (`Coord 0) with
+  | _ -> Alcotest.fail "expected Rejected"
+  | exception Umf_diffinc.Certified.Rejected r ->
+      Alcotest.(check bool) "report carries L001" true
+        (List.exists (fun f -> f.Lint.code = "L001") (Lint.errors r)));
+  (match Umf_diffinc.Certified.hull_bounds s ~x0:[| 0.5 |] ~horizon:1. ~dt:0.1 with
+  | _ -> Alcotest.fail "expected Rejected (hull)"
+  | exception Umf_diffinc.Certified.Rejected _ -> ());
+  (* the gate can be disabled explicitly *)
+  match
+    Umf_diffinc.Certified.pontryagin ~lint:false s ~x0:[| 0.5 |] ~horizon:0.5
+      ~sense:`Max (`Coord 0)
+  with
+  | r -> Alcotest.(check bool) "runs ungated" true (Float.is_finite r.Umf_diffinc.Pontryagin.value)
+  | exception Umf_diffinc.Certified.Rejected _ ->
+      Alcotest.fail "lint:false must not reject"
+
+let () =
+  Alcotest.run "umf_lint"
+    [
+      ( "broken fixture",
+        [
+          Alcotest.test_case "errors and warnings" `Quick
+            test_broken_has_errors_and_warnings;
+          Alcotest.test_case "subjects" `Quick test_broken_subjects;
+          Alcotest.test_case "invalid transitions excluded" `Quick
+            test_invalid_transitions_excluded;
+          Alcotest.test_case "report printing" `Quick test_report_printing;
+        ] );
+      ( "builtin models",
+        [
+          Alcotest.test_case "all error-free" `Quick test_all_models_error_free;
+          Alcotest.test_case "sir3 certified clean" `Quick
+            test_sir3_certified_clean;
+          Alcotest.test_case "structure classification" `Quick
+            test_structure_classification;
+          Alcotest.test_case "bikenet conservation" `Quick
+            test_bikenet_conservation;
+        ] );
+      ( "certified gate",
+        [
+          Alcotest.test_case "rejects error-level models" `Quick
+            test_certified_gate_rejects;
+        ] );
+    ]

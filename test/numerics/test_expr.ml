@@ -182,6 +182,81 @@ let prop_interval_sound =
           Interval.lo enc -. 1e-9 <= p && p <= Interval.hi enc +. 1e-9)
         [ (0., 0., 0.); (1., 1., 1.); (0.5, 0.5, 0.5); (0., 1., 0.5); (1., 0., 0.2) ])
 
+(* the full grammar, Div/Pow/Ite included, for the enclosure property;
+   divisions make some draws partial (Division_by_zero from interval
+   division, non-finite points), filtered with [assume] *)
+let rec full_gen depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [
+        map (fun c -> Const c) (float_range (-3.) 3.);
+        map (fun i -> Var i) (int_range 0 1);
+        return (Theta 0);
+      ]
+  else begin
+    let sub = full_gen (depth - 1) in
+    oneof
+      [
+        map2 (fun a b -> Add (a, b)) sub sub;
+        map2 (fun a b -> Sub (a, b)) sub sub;
+        map2 (fun a b -> Mul (a, b)) sub sub;
+        map2 (fun a b -> Div (a, b)) sub sub;
+        map (fun a -> Neg a) sub;
+        map2 (fun a n -> Pow (a, n)) sub (int_range 0 3);
+        map2 (fun a b -> Min (a, b)) sub sub;
+        map2 (fun a b -> Max (a, b)) sub sub;
+        map3 (fun g a b -> Ite (g, a, b)) sub sub sub;
+        sub;
+      ]
+  end
+
+(* a random tree, a random box (per-coordinate lo and width) and random
+   relative sample positions inside the box *)
+let arb_boxed =
+  let open QCheck.Gen in
+  let iv = pair (float_range (-2.) 2.) (float_range 0. 2.) in
+  let point =
+    triple (float_range 0. 1.) (float_range 0. 1.) (float_range 0. 1.)
+  in
+  QCheck.make
+    ~print:(fun (e, _, _) -> to_string e)
+    (triple (full_gen 4) (triple iv iv iv) (list_size (int_range 1 5) point))
+
+let prop_interval_sound_random =
+  QCheck.Test.make ~name:"interval enclosure sound (random boxes/points)"
+    ~count:500 arb_boxed (fun (e, ((la, wa), (lb, wb), (lt, wt)), points) ->
+      let xa = Interval.make la (la +. wa) in
+      let xb = Interval.make lb (lb +. wb) in
+      let ta = Interval.make lt (lt +. wt) in
+      let enc =
+        try eval_interval e ~x:[| xa; xb |] ~th:[| ta |]
+        with Division_by_zero -> QCheck.assume false; assert false
+      in
+      List.for_all
+        (fun (u, v, w) ->
+          let p =
+            eval e
+              ~x:[| la +. (u *. wa); lb +. (v *. wb) |]
+              ~th:[| lt +. (w *. wt) |]
+          in
+          (not (Float.is_finite p))
+          || (let tol = 1e-6 *. Float.max 1. (Float.abs p) in
+              Interval.lo enc -. tol <= p && p <= Interval.hi enc +. tol))
+        points)
+
+let prop_simplify_preserves_eval_random =
+  QCheck.Test.make ~name:"simplify preserves evaluation (random points)"
+    ~count:500 arb_boxed (fun (e, ((la, wa), (lb, wb), (lt, wt)), points) ->
+      List.for_all
+        (fun (u, v, w) ->
+          let x = [| la +. (u *. wa); lb +. (v *. wb) |] in
+          let th = [| lt +. (w *. wt) |] in
+          let a = eval e ~x ~th and b = eval (simplify e) ~x ~th in
+          if not (Float.is_finite a) then true
+          else Float.abs (a -. b) <= 1e-6 *. Float.max 1. (Float.abs a))
+        points)
+
 (* smooth expressions (no Min/Max kinks): FD must match tightly *)
 let rec smooth_gen depth =
   let open QCheck.Gen in
@@ -237,6 +312,8 @@ let suites =
         Alcotest.test_case "pretty printing" `Quick test_pp;
         QCheck_alcotest.to_alcotest prop_simplify_preserves_eval;
         QCheck_alcotest.to_alcotest prop_interval_sound;
+        QCheck_alcotest.to_alcotest prop_interval_sound_random;
+        QCheck_alcotest.to_alcotest prop_simplify_preserves_eval_random;
         QCheck_alcotest.to_alcotest prop_diff_matches_fd;
       ] );
   ]

@@ -105,11 +105,44 @@ let prop_solve_roundtrip =
       let x = Mat.solve a b in
       Vec.approx_equal ~tol:1e-6 (Mat.mulv a x) b)
 
+let test_null_space_conservation () =
+  (* SIR change vectors as rows: infection, recovery, immunity loss;
+     the null space is the conservation law S + I + R = const *)
+  let a =
+    Mat.of_arrays [| [| -1.; 1.; 0. |]; [| 0.; -1.; 1. |]; [| 1.; 0.; -1. |] |]
+  in
+  let basis = Mat.null_space a in
+  Alcotest.(check int) "one conservation law" 1 (Array.length basis);
+  let v = basis.(0) in
+  check_vec "A v = 0" (Vec.zeros 3) (Mat.mulv a v);
+  Alcotest.(check bool) "proportional to (1,1,1)" true
+    (Float.abs (v.(0) -. v.(1)) < 1e-9 && Float.abs (v.(1) -. v.(2)) < 1e-9
+    && Float.abs v.(0) > 1e-12)
+
+let test_null_space_full_rank () =
+  let a = m22 1. 2. 3. 4. in
+  Alcotest.(check int) "trivial null space" 0 (Array.length (Mat.null_space a))
+
+let test_null_space_zero_and_rect () =
+  Alcotest.(check int) "zero matrix: all of R^3" 3
+    (Array.length (Mat.null_space (Mat.create 2 3 0.)));
+  (* rectangular: rows (1, 1, 0) and (0, 1, 1) leave one free direction *)
+  let a = Mat.of_arrays [| [| 1.; 1.; 0. |]; [| 0.; 1.; 1. |] |] in
+  let basis = Mat.null_space a in
+  Alcotest.(check int) "one free direction" 1 (Array.length basis);
+  check_vec "A v = 0" (Vec.zeros 2) (Mat.mulv a basis.(0))
+
 let suites =
   [
     ( "mat",
       [
         Alcotest.test_case "identity" `Quick test_identity;
+        Alcotest.test_case "null space conservation" `Quick
+          test_null_space_conservation;
+        Alcotest.test_case "null space full rank" `Quick
+          test_null_space_full_rank;
+        Alcotest.test_case "null space zero/rectangular" `Quick
+          test_null_space_zero_and_rect;
         Alcotest.test_case "of_arrays ragged" `Quick test_of_arrays_ragged;
         Alcotest.test_case "matmul" `Quick test_matmul;
         Alcotest.test_case "mulv/tmulv" `Quick test_mulv;

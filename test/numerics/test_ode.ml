@@ -109,10 +109,66 @@ let prop_rk4_linear_exact =
       let y = Ode.integrate_to f ~t0:0. ~y0:[| 0. |] ~t1:1. ~dt:0.25 in
       Float.abs (y.(0) -. (a /. 3.)) < 1e-10)
 
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_check_flags_nan () =
+  (* rhs turns NaN halfway through the horizon *)
+  let f t _y = [| (if t > 0.5 then Float.nan else 1.) |] in
+  (* without the sanitizer the NaN propagates silently to the result *)
+  let y = Ode.integrate_to f ~t0:0. ~y0:[| 0. |] ~t1:1. ~dt:0.1 in
+  Alcotest.(check bool) "nan propagates unchecked" true (Float.is_nan y.(0));
+  (* with it, the failure points at the offending time and step *)
+  (match Ode.integrate_to ~check:true f ~t0:0. ~y0:[| 0. |] ~t1:1. ~dt:0.1 with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message localises the NaN: %s" msg)
+        true
+        (contains_substring msg "non-finite"
+        && contains_substring msg "t = " && contains_substring msg "step"));
+  match
+    Ode.integrate ~check:true f ~t0:0. ~y0:[| 0. |] ~t1:1. ~dt:0.1
+  with
+  | _ -> Alcotest.fail "expected Failure (integrate)"
+  | exception Failure _ -> ()
+
+let test_check_flags_bad_initial_state () =
+  let f _t y = Vec.copy y in
+  match
+    Ode.integrate_to ~check:true f ~t0:0. ~y0:[| Float.infinity |] ~t1:1.
+      ~dt:0.1
+  with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+      Alcotest.(check bool) "flags step 0" true (contains_substring msg "step 0")
+
+let test_check_adaptive () =
+  let f t y = [| (if t > 0.3 then Float.nan else y.(0)) |] in
+  match Ode.integrate_adaptive ~check:true f ~t0:0. ~y0:[| 1. |] ~t1:1. with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+      Alcotest.(check bool) "adaptive flags non-finite" true
+        (contains_substring msg "non-finite")
+
+let test_check_clean_run_unchanged () =
+  let f _t y = [| -.y.(0) |] in
+  let a = Ode.integrate_to f ~t0:0. ~y0:[| 1. |] ~t1:1. ~dt:0.05 in
+  let b = Ode.integrate_to ~check:true f ~t0:0. ~y0:[| 1. |] ~t1:1. ~dt:0.05 in
+  Alcotest.(check (float 0.)) "identical results" a.(0) b.(0)
+
 let suites =
   [
     ( "ode",
       [
+        Alcotest.test_case "check flags nan" `Quick test_check_flags_nan;
+        Alcotest.test_case "check flags bad initial state" `Quick
+          test_check_flags_bad_initial_state;
+        Alcotest.test_case "check in adaptive" `Quick test_check_adaptive;
+        Alcotest.test_case "check leaves clean runs unchanged" `Quick
+          test_check_clean_run_unchanged;
         Alcotest.test_case "euler first order" `Quick test_euler_order;
         Alcotest.test_case "rk4 accuracy" `Quick test_rk4_accuracy;
         Alcotest.test_case "rk4 fourth order" `Quick test_rk4_order;
