@@ -1,5 +1,10 @@
 (* Shared output helpers for the experiment harness. *)
 
+(* worker pool shared by the experiments that opt into --jobs; None
+   (the default) keeps every experiment on its historical sequential
+   path *)
+let pool : Umf.Runtime.Pool.t option ref = ref None
+
 let dump_dir : string option ref = ref None
 
 let current_slug = ref "experiment"

@@ -29,5 +29,5 @@ let run () =
     (bymax > eymax +. 0.02)
     (Printf.sprintf "%.3f vs %.3f" bymax eymax);
   Common.claim "expansion converged (no outward drift left)"
-    (not b.Birkhoff.escaped)
-    (Printf.sprintf "%d rounds" b.Birkhoff.rounds)
+    (Birkhoff.converged b)
+    (Birkhoff.result_to_string b)

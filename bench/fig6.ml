@@ -5,12 +5,18 @@
    region. *)
 open Umf
 
-let run () =
+let run ?pool () =
   Common.banner "FIG6: stationary SIR samples vs Birkhoff centre";
   let p = Sir.default_params in
-  let di = Sir.di p in
   let model = Sir.model p in
-  let b = Birkhoff.compute di ~x_start:Sir.x0 in
+  let spec = Analysis.spec ?pool ~horizon:120. model in
+  (* the region comes from Sir.di (hand-written jacobian), exactly as
+     before the spec API; wrap it in the Analysis.region record *)
+  let b = Birkhoff.compute (Sir.di p) ~x_start:Sir.x0 in
+  let region =
+    { Analysis.birkhoff = b; area = Birkhoff.area b;
+      converged = Birkhoff.converged b }
+  in
   Common.header [ "policy"; "N"; "inclusion"; "inclusion(3e-3)"; "mean_exceed" ];
   let all_ok = ref true in
   let fractions =
@@ -19,14 +25,19 @@ let run () =
         List.map
           (fun n ->
             let cloud =
-              Analysis.stationary_cloud model ~n ~x0:Sir.x0 ~policy ~warmup:20.
-                ~horizon:120. ~samples:500 ~seed:7
+              Analysis.stationary_cloud spec ~n ~x0:Sir.x0 ~policy ~warmup:20.
+                ~samples:500 ~seed:7
             in
-            let strict = Analysis.inclusion_fraction b cloud in
-            let tol = Analysis.inclusion_fraction ~tol:3e-3 b cloud in
-            let exc = Analysis.mean_exceedance b cloud in
-            Printf.printf "%s\t%d\t%.3f\t%.3f\t%.5f\n" name n strict tol exc;
-            (name, n, tol, exc))
+            let incl =
+              Analysis.inclusion_fraction ~tol:3e-3 spec region
+                cloud.Analysis.states
+            in
+            let exc =
+              Analysis.mean_exceedance spec region cloud.Analysis.states
+            in
+            Printf.printf "%s\t%d\t%.3f\t%.3f\t%.5f\n" name n incl.Analysis.strict
+              incl.Analysis.fraction exc.Analysis.mean;
+            (name, n, incl.Analysis.fraction, exc.Analysis.mean))
           [ 100; 1000; 10000 ])
       [ (Sir.policy_theta1 p, "theta1"); (Sir.policy_theta2 p, "theta2") ]
   in

@@ -1,10 +1,12 @@
 (* Experiment harness: regenerates the data behind every table and
    figure of the paper's evaluation (Secs. V and VI).
 
-   Usage: main.exe [experiment ...]
+   Usage: main.exe [--dump DIR] [--jobs N] [experiment ...]
    with experiments among fig1 fig2 fig3 fig4 fig5 fig6 fig7 tune kolm
-   conv template hier certified ablation perf; no argument runs
-   everything. *)
+   conv template hier certified ablation perf runtime; no argument runs
+   everything.  --jobs N (or UMF_JOBS) runs the parallel-aware
+   experiments on N worker domains (0 = one per core); results are
+   bit-identical for any N. *)
 
 let experiments =
   [
@@ -13,7 +15,7 @@ let experiments =
     ("fig3", Fig3.run);
     ("fig4", Fig4.run);
     ("fig5", Fig5.run);
-    ("fig6", Fig6.run);
+    ("fig6", fun () -> Fig6.run ?pool:!Common.pool ());
     ("fig7", Fig7.run);
     ("tune", Tune.run);
     ("kolm", Kolm.run);
@@ -25,18 +27,44 @@ let experiments =
     ("lb", Exp_lb.run);
     ("ablation", Ablation.run);
     ("perf", Perf.run);
+    ("runtime", Perf.run_runtime);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* optional: --dump DIR writes each printed series as gnuplot-ready
-     .dat/.gp files *)
-  let args =
-    match args with
+  (* optional leading flags: --dump DIR writes each printed series as
+     gnuplot-ready .dat/.gp files; --jobs N turns on the shared worker
+     pool (0 = one domain per core) *)
+  let rec parse_flags = function
     | "--dump" :: dir :: rest ->
         Common.set_dump (Some dir);
-        rest
+        parse_flags rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 0 ->
+            if j <> 1 then
+              Common.pool :=
+                Some
+                  (if j = 0 then Umf.Runtime.Pool.create ()
+                   else Umf.Runtime.Pool.create ~domains:j ());
+            parse_flags rest
+        | _ ->
+            Printf.eprintf "--jobs needs a non-negative integer\n";
+            exit 1)
     | rest -> rest
+  in
+  let args =
+    match (parse_flags args, Sys.getenv_opt "UMF_JOBS") with
+    | rest, Some env when !Common.pool = None -> (
+        match int_of_string_opt env with
+        | Some j when j > 1 ->
+            Common.pool := Some (Umf.Runtime.Pool.create ~domains:j ());
+            rest
+        | Some 0 ->
+            Common.pool := Some (Umf.Runtime.Pool.create ());
+            rest
+        | _ -> rest)
+    | rest, _ -> rest
   in
   let requested =
     match args with [] -> List.map fst experiments | names -> names
@@ -54,4 +82,9 @@ let () =
             (String.concat ", " (List.map fst experiments));
           exit 1)
     requested;
+  (match !Common.pool with
+  | Some p ->
+      Printf.printf "\npool %s\n" (Umf.Runtime.stats_to_string (Umf.Runtime.Pool.stats p));
+      Umf.Runtime.Pool.shutdown p
+  | None -> ());
   Printf.printf "\nall experiments completed in %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -91,3 +91,78 @@ let run () =
   List.iter
     (fun (name, ms) -> Printf.printf "%s\t%.3f\n" name ms)
     (List.sort compare !rows)
+
+(* RUNTIME: sequential vs pooled wall time of the three hot fan-out
+   workloads, with a bit-identity check on each.  Speedup needs cores;
+   on a 1-core box the interest is the (small) scheduling overhead. *)
+let run_runtime () =
+  Common.banner "RUNTIME: parallel engine, seq vs pool wall time";
+  let pool, owned =
+    match !Common.pool with
+    | Some p -> (p, false)
+    | None -> (Runtime.Pool.create (), true)
+  in
+  let times = [| 1.; 2.; 3.; 4. |] in
+  (* reach's sequential lane uses a one-domain pool: with a pool the
+     cloud comes from split RNG streams, so only pool-vs-pool runs are
+     comparable bit-for-bit *)
+  let pool1 = Runtime.Pool.create ~domains:1 () in
+  let workloads =
+    [
+      ( "uncertain-sweep-21",
+        (fun () ->
+          `Env (Uncertain.transient_envelope ~grid:21 di ~x0:Sir.x0 ~times)),
+        fun () ->
+          `Env
+            (Uncertain.transient_envelope ~pool ~grid:21 di ~x0:Sir.x0 ~times)
+      );
+      ( "reach-mc-cloud-400",
+        (fun () ->
+          `Cloud
+            (Reach.sample_states ~pool:pool1 di ~x0:Sir.x0 ~horizon:3.
+               ~n_controls:400 (Rng.create 5)
+             |> Array.of_list)),
+        fun () ->
+          `Cloud
+            (Reach.sample_states ~pool di ~x0:Sir.x0 ~horizon:3.
+               ~n_controls:400 (Rng.create 5)
+             |> Array.of_list) );
+      ( "ssa-replicate-N500x40",
+        (fun () ->
+          `Cloud
+            (Ssa.replicate model ~n:500 ~x0:Sir.x0
+               ~policy:(Sir.policy_theta1 p) ~tmax:10. ~reps:40 ~seed:3)),
+        fun () ->
+          `Cloud
+            (Ssa.replicate ~pool model ~n:500 ~x0:Sir.x0
+               ~policy:(Sir.policy_theta1 p) ~tmax:10. ~reps:40 ~seed:3) );
+    ]
+  in
+  Common.header [ "workload"; "seq_s"; "pool_s"; "speedup"; "identical" ];
+  let json_rows =
+    List.map
+      (fun (name, seq, par) ->
+        let r_seq, t_seq = Common.time_it seq in
+        let r_par, t_par = Common.time_it par in
+        let identical = r_seq = r_par in
+        Printf.printf "%s\t%.3f\t%.3f\t%.2fx\t%b\n" name t_seq t_par
+          (t_seq /. Float.max 1e-9 t_par)
+          identical;
+        Common.claim
+          (Printf.sprintf "%s: pool output bit-identical" name)
+          identical
+          (Printf.sprintf "%d domains" (Runtime.Pool.size pool));
+        Printf.sprintf
+          "    {\"workload\": %S, \"seq_s\": %.6f, \"pool_s\": %.6f, \
+           \"domains\": %d, \"identical\": %b}"
+          name t_seq t_par (Runtime.Pool.size pool) identical)
+      workloads
+  in
+  let oc = open_out "BENCH_runtime.json" in
+  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"rows\": [\n%s\n  ]\n}\n"
+    (Runtime.Pool.size pool)
+    (String.concat ",\n" json_rows);
+  close_out oc;
+  print_endline "wrote BENCH_runtime.json";
+  Runtime.Pool.shutdown pool1;
+  if owned then Runtime.Pool.shutdown pool

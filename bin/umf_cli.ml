@@ -3,11 +3,16 @@
 
      umf_cli list
      umf_cli bounds --model sir --var I --horizon 4 --points 20
-     umf_cli bounds --model sir --var I --scenario uncertain
+     umf_cli bounds --model sir --var I --scenario uncertain --jobs 4
      umf_cli bounds --model sir --var I --scenario pw:3
      umf_cli hull --model sir --horizon 10
      umf_cli steady --model sir
-     umf_cli simulate --model sir --n 1000 --tmax 20 --policy theta1 *)
+     umf_cli simulate --model sir --n 1000 --tmax 20 --policy theta1
+     umf_cli simulate --model sir --n 1000 --reps 50 --jobs 0
+
+   --jobs (or UMF_JOBS) only changes wall-clock time, never results:
+   parallel sweeps use per-task RNG streams split deterministically
+   from the seed. *)
 open Umf
 open Cmdliner
 
@@ -184,6 +189,32 @@ let model_arg =
 let horizon_arg default =
   Arg.(value & opt float default & info [ "horizon" ] ~docv:"T" ~doc:"Time horizon.")
 
+(* parallel execution: 1 = sequential (default), 0 = one worker domain
+   per core, N > 1 = N worker domains.  Results are bit-identical for
+   any value, so --jobs is purely a wall-clock knob. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ]
+        ~env:(Cmd.Env.info "UMF_JOBS")
+        ~docv:"JOBS"
+        ~doc:
+          "Worker domains for parallel sweeps: 1 runs sequentially \
+           (default), 0 picks one per core, $(docv) uses that many \
+           domains.  Output is bit-identical for any value.")
+
+let with_jobs jobs f =
+  if jobs < 0 then Error (`Msg "--jobs must be >= 0")
+  else if jobs = 1 then f None
+  else
+    let pool =
+      if jobs = 0 then Runtime.Pool.create ()
+      else Runtime.Pool.create ~domains:jobs ()
+    in
+    Fun.protect
+      ~finally:(fun () -> Runtime.Pool.shutdown pool)
+      (fun () -> f (Some pool))
+
 let exit_of_result = function
   | Ok () -> ()
   | Error (`Msg m) ->
@@ -227,36 +258,36 @@ let bounds_cmd =
   let steps_arg =
     Arg.(value & opt int 300 & info [ "steps" ] ~docv:"K" ~doc:"Pontryagin grid.")
   in
-  let run model var scenario horizon points steps =
+  let run model var scenario horizon points steps jobs =
     exit_of_result
       (let ( let* ) = Result.bind in
        let* entry = lookup_model model in
        let* coord = var_index entry var in
        let* scen = parse_scenario scenario in
        if points < 2 then Error (`Msg "need at least 2 points")
-       else begin
-         let times = Vec.linspace 0. horizon points in
-         Printf.printf "t\t%s_min\t%s_max\n" var var;
-         Array.iter
-           (fun t ->
-             if t <= 0. then
-               Printf.printf "%.3f\t%.5f\t%.5f\n" t entry.x0.(coord)
-                 entry.x0.(coord)
-             else begin
-               let lo, hi =
-                 Scenario.extremal_coord ~steps scen entry.di ~x0:entry.x0
-                   ~coord ~horizon:t
-               in
-               Printf.printf "%.3f\t%.5f\t%.5f\n" t lo hi
-             end)
-           times;
-         Ok ()
-       end)
+       else
+         with_jobs jobs (fun pool ->
+             let times = Vec.linspace 0. horizon points in
+             Printf.printf "t\t%s_min\t%s_max\n" var var;
+             Array.iter
+               (fun t ->
+                 if t <= 0. then
+                   Printf.printf "%.3f\t%.5f\t%.5f\n" t entry.x0.(coord)
+                     entry.x0.(coord)
+                 else begin
+                   let lo, hi =
+                     Scenario.extremal_coord ?pool ~steps scen entry.di
+                       ~x0:entry.x0 ~coord ~horizon:t
+                   in
+                   Printf.printf "%.3f\t%.5f\t%.5f\n" t lo hi
+                 end)
+               times;
+             Ok ()))
   in
   Cmd.v (Cmd.info "bounds" ~doc)
     Term.(
       const run $ model_arg $ var_arg $ scenario_arg $ horizon_arg 4.
-      $ points_arg $ steps_arg)
+      $ points_arg $ steps_arg $ jobs_arg)
 
 (* hull command *)
 let hull_cmd =
@@ -297,10 +328,7 @@ let steady_cmd =
          Error (`Msg "steady-state regions are computed for 2-variable models")
        else begin
          let b = Birkhoff.compute entry.di ~x_start:entry.x0 in
-         Printf.printf "# area %.5f, %d boundary vertices, converged %b\n"
-           (Birkhoff.area b)
-           (List.length b.Birkhoff.polygon)
-           (not b.Birkhoff.escaped);
+         Printf.printf "# %s\n" (Birkhoff.result_to_string b);
          let names = entry.model.Population.var_names in
          Printf.printf "%s\t%s\n" names.(0) names.(1);
          List.iter
@@ -329,7 +357,16 @@ let simulate_cmd =
       & info [ "policy" ] ~docv:"POLICY"
           ~doc:"Named policy, `mid' (θ midpoint), `lo', or `hi'.")
   in
-  let run model n tmax seed points policy =
+  let reps_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "reps" ] ~docv:"R"
+          ~doc:
+            "Independent replications.  With $(docv) = 1 (default) one \
+             trajectory is sampled over time; with $(docv) > 1 the final \
+             state of $(docv) runs is reported (parallelises with --jobs).")
+  in
+  let run model n tmax seed points policy reps jobs =
     exit_of_result
       (let ( let* ) = Result.bind in
        let* entry = lookup_model model in
@@ -348,7 +385,8 @@ let simulate_cmd =
                      (Printf.sprintf "unknown policy %s for this model" name)))
        in
        if points < 1 then Error (`Msg "need at least one point")
-       else begin
+       else if reps < 1 then Error (`Msg "need at least one replication")
+       else if reps = 1 then begin
          let times =
            Array.init points (fun i ->
                tmax *. float_of_int (i + 1) /. float_of_int points)
@@ -366,12 +404,37 @@ let simulate_cmd =
              print_newline ())
            times;
          Ok ()
-       end)
+       end
+       else
+         with_jobs jobs (fun pool ->
+             let finals =
+               Ssa.replicate ?pool entry.model ~n ~x0:entry.x0 ~policy:pol
+                 ~tmax ~reps ~seed
+             in
+             let names = entry.model.Population.var_names in
+             Printf.printf "rep\t%s\n"
+               (String.concat "\t" (Array.to_list names));
+             Array.iteri
+               (fun i x ->
+                 Printf.printf "%d" i;
+                 Array.iter (fun v -> Printf.printf "\t%.5f" v) x;
+                 print_newline ())
+               finals;
+             let dim = Population.dim entry.model in
+             Printf.printf "mean";
+             for c = 0 to dim - 1 do
+               let s =
+                 Array.fold_left (fun acc x -> acc +. x.(c)) 0. finals
+               in
+               Printf.printf "\t%.5f" (s /. float_of_int reps)
+             done;
+             print_newline ();
+             Ok ()))
   in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ model_arg $ n_arg $ horizon_arg 10. $ seed_arg $ points_arg
-      $ policy_arg)
+      $ policy_arg $ reps_arg $ jobs_arg)
 
 (* lint command *)
 let lint_cmd =

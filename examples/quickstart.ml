@@ -25,21 +25,24 @@ let () =
   let x0 = [| 0.05 |] in
 
   (* 2. transient bounds in the imprecise scenario: the exact envelope
-     of the mean-field differential inclusion, by Pontryagin *)
-  let times = Vec.linspace 0. 5. 11 in
-  let bounds = Analysis.transient_bounds model ~x0 ~coord:0 ~times in
+     of the mean-field differential inclusion, by Pontryagin.  One
+     Analysis.spec names the model + horizon and is reused below. *)
+  let spec = Analysis.spec ~horizon:5. model in
+  let bounds = Analysis.transient_bounds spec ~x0 ~coord:0 in
   print_endline "t\tdown_min\tdown_max   (imprecise envelope, N -> inf)";
   Array.iteri
     (fun i t ->
-      let lo, hi = bounds.(i) in
-      Printf.printf "%.1f\t%.4f\t%.4f\n" t lo hi)
-    times;
+      Printf.printf "%.1f\t%.4f\t%.4f\n" t bounds.Analysis.lower.(i)
+        bounds.Analysis.upper.(i))
+    bounds.Analysis.times;
 
   (* 3. compare with the uncertain scenario (failure rate constant but
      unknown): here the drift is monotone in theta, so the envelopes
      coincide *)
-  let ub = Analysis.transient_bounds ~scenario:(Analysis.Uncertain 11) model ~x0 ~coord:0 ~times in
-  let lo_u, hi_u = ub.(10) and lo_i, hi_i = bounds.(10) in
+  let uspec = Analysis.spec ~scenario:(Analysis.Uncertain 11) ~horizon:5. model in
+  let ub = Analysis.transient_bounds uspec ~x0 ~coord:0 in
+  let lo_u = ub.Analysis.lower.(10) and hi_u = ub.Analysis.upper.(10) in
+  let lo_i = bounds.Analysis.lower.(10) and hi_i = bounds.Analysis.upper.(10) in
   Printf.printf
     "\nat t=5: uncertain [%.4f, %.4f] vs imprecise [%.4f, %.4f]\n" lo_u hi_u
     lo_i hi_i;
@@ -54,6 +57,6 @@ let () =
   let final = Ssa.final model ~n:50 ~x0 ~policy:adversary ~tmax:5. rng in
   Printf.printf "\nN=50 sample run under adversarial environment: %.0f%% down at t=5\n"
     (100. *. final.(0));
-  let lo5, hi5 = bounds.(10) in
+  let lo5 = bounds.Analysis.lower.(10) and hi5 = bounds.Analysis.upper.(10) in
   Printf.printf "mean-field envelope at t=5 was [%.1f%%, %.1f%%]\n" (100. *. lo5)
     (100. *. hi5)

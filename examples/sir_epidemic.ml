@@ -66,12 +66,12 @@ let () =
     "\nattack on the b = %.0f design (hysteresis environment, N = 2000):\n"
     b_unc;
   let model = Sir.model p_fragile in
+  let spec = Analysis.spec ~horizon:100. model in
   let cloud =
-    Analysis.stationary_cloud model ~n:2000 ~x0:Sir.x0
-      ~policy:(Sir.policy_theta1 p_fragile) ~warmup:10. ~horizon:100.
-      ~samples:500 ~seed:7
+    Analysis.stationary_cloud spec ~n:2000 ~x0:Sir.x0
+      ~policy:(Sir.policy_theta1 p_fragile) ~warmup:10. ~samples:500 ~seed:7
   in
-  let infected = Array.map (fun x -> x.(1)) cloud in
+  let infected = Array.map (fun x -> x.(1)) cloud.Analysis.states in
   let q95 = Stats.quantile infected 0.95 in
   let recur = Stats.quantile infected 0.999 in
   Printf.printf

@@ -23,6 +23,7 @@ module Policy = Umf_meanfield.Policy
 module Ssa = Umf_meanfield.Ssa
 module Convergence = Umf_meanfield.Convergence
 module Lint = Umf_lint.Lint
+module Runtime = Umf_runtime.Runtime
 module Di = Umf_diffinc.Di
 module Hull = Umf_diffinc.Hull
 module Pontryagin = Umf_diffinc.Pontryagin
@@ -44,57 +45,229 @@ module Bikenetwork = Umf_models.Bikenetwork
 module Analysis = struct
   type scenario = Imprecise | Uncertain of int
 
-  let transient_bounds ?(scenario = Imprecise) ?steps model ~x0 ~coord ~times =
-    let di = Di.of_population model in
-    match scenario with
-    | Imprecise -> Pontryagin.bound_series ?steps di ~x0 ~coord ~times
-    | Uncertain grid ->
-        let lower, upper = Uncertain.transient_envelope ~grid di ~x0 ~times in
-        Array.init (Array.length times) (fun i ->
-            (lower.(i).(coord), upper.(i).(coord)))
+  type spec = {
+    model : Population.t;
+    scenario : scenario;
+    theta : Optim.Box.t option;
+    horizon : float;
+    steps : int;
+    dt : float;
+    tol : float;
+    pool : Runtime.Pool.t option;
+  }
 
-  let hull_bounds ?clip ?(dt = 1e-2) model ~x0 ~horizon =
-    let di = Di.of_population model in
-    Hull.bounds ?clip di ~x0 ~horizon ~dt
+  let spec ?(scenario = Imprecise) ?theta ?(horizon = 10.) ?(steps = 400)
+      ?(dt = 1e-2) ?(tol = 1e-4) ?pool model =
+    if horizon <= 0. then invalid_arg "Analysis.spec: need horizon > 0";
+    if steps < 1 then invalid_arg "Analysis.spec: need steps >= 1";
+    if dt <= 0. then invalid_arg "Analysis.spec: need dt > 0";
+    (match scenario with
+    | Uncertain g when g < 2 -> invalid_arg "Analysis.spec: need grid >= 2"
+    | Uncertain _ | Imprecise -> ());
+    { model; scenario; theta; horizon; steps; dt; tol; pool }
 
-  let steady_state_region_2d ?x_start model =
-    let di = Di.of_population model in
+  let di_of_spec s =
+    let di = Di.of_population s.model in
+    match s.theta with None -> di | Some box -> { di with Di.theta = box }
+
+  type bounds = {
+    coord : int;
+    times : float array;
+    lower : float array;
+    upper : float array;
+  }
+
+  let transient_bounds ?times s ~x0 ~coord =
+    let times =
+      match times with Some ts -> ts | None -> Vec.linspace 0. s.horizon 11
+    in
+    let di = di_of_spec s in
+    let pairs =
+      match s.scenario with
+      | Imprecise ->
+          Pontryagin.bound_series ?pool:s.pool ~steps:s.steps ~tol:s.tol di ~x0
+            ~coord ~times
+      | Uncertain grid ->
+          let lower, upper =
+            Uncertain.transient_envelope ?pool:s.pool ~dt:s.dt ~grid di ~x0
+              ~times
+          in
+          Array.init (Array.length times) (fun i ->
+              (lower.(i).(coord), upper.(i).(coord)))
+    in
+    {
+      coord;
+      times;
+      lower = Array.map fst pairs;
+      upper = Array.map snd pairs;
+    }
+
+  let hull_bounds ?clip s ~x0 =
+    Hull.bounds ?clip (di_of_spec s) ~x0 ~horizon:s.horizon ~dt:s.dt
+
+  type region = {
+    birkhoff : Birkhoff.result;
+    area : float;
+    converged : bool;
+  }
+
+  let steady_state_region_2d ?x_start s =
     let x_start =
       match x_start with
       | Some x -> x
-      | None -> Vec.create (Population.dim model) 0.5
+      | None -> Vec.create (Population.dim s.model) 0.5
     in
-    Birkhoff.compute di ~x_start
+    let b = Birkhoff.compute (di_of_spec s) ~x_start in
+    { birkhoff = b; area = Birkhoff.area b; converged = Birkhoff.converged b }
 
-  let stationary_cloud model ~n ~x0 ~policy ~warmup ~horizon ~samples ~seed =
+  type cloud = { times : float array; states : Vec.t array }
+
+  let stationary_cloud s ~n ~x0 ~policy ~warmup ~samples ~seed =
     if samples <= 0 then invalid_arg "Analysis.stationary_cloud: samples <= 0";
-    if warmup >= horizon then
+    if warmup >= s.horizon then
       invalid_arg "Analysis.stationary_cloud: warmup >= horizon";
     let times =
       Array.init samples (fun i ->
           warmup
-          +. ((horizon -. warmup) *. float_of_int (i + 1) /. float_of_int samples))
+          +. (s.horizon -. warmup)
+             *. float_of_int (i + 1)
+             /. float_of_int samples)
     in
-    Ssa.sampled model ~n ~x0 ~policy ~times (Rng.create seed)
+    let states = Ssa.sampled s.model ~n ~x0 ~policy ~times (Rng.create seed) in
+    { times; states }
 
-  let inclusion_fraction ?tol region states =
+  type inclusion = {
+    total : int;
+    inside : int;  (** Number of states within the [tol] slack. *)
+    fraction : float;
+    strict : float;  (** Fraction with no boundary slack. *)
+  }
+
+  (* chunked fold over states: per-chunk partials with a FIXED chunk
+     size, combined in chunk order — the same association whether the
+     partials are computed here or on pool workers, so pool presence
+     and domain count never change a single bit of the result *)
+  let chunked_fold s ~per_state ~combine ~init states =
+    let total = Array.length states in
+    let chunk = 1024 in
+    if total <= chunk then Array.fold_left per_state init states
+    else begin
+      let n_chunks = (total + chunk - 1) / chunk in
+      let partial ci =
+        let lo = ci * chunk in
+        let hi = Stdlib.min total (lo + chunk) in
+        let acc = ref init in
+        for i = lo to hi - 1 do
+          acc := per_state !acc states.(i)
+        done;
+        !acc
+      in
+      let partials =
+        match s.pool with
+        | Some p ->
+            Runtime.Pool.parallel_map ~stage:"analysis-fold" ~chunk:1 p
+              partial
+              (Array.init n_chunks Fun.id)
+        | None -> Array.init n_chunks partial
+      in
+      Array.fold_left combine init partials
+    end
+
+  let inclusion_fraction ?tol s region states =
     if Array.length states = 0 then
       invalid_arg "Analysis.inclusion_fraction: no states";
-    let inside = ref 0 in
-    Array.iter
-      (fun x ->
-        if Birkhoff.contains ?tol region (x.(0), x.(1)) then incr inside)
-      states;
-    float_of_int !inside /. float_of_int (Array.length states)
+    let b = region.birkhoff in
+    let count (slack, strict) x =
+      let p = (x.(0), x.(1)) in
+      ( (slack + if Birkhoff.contains ?tol b p then 1 else 0),
+        strict + if Birkhoff.contains b p then 1 else 0 )
+    in
+    let inside, strict_inside =
+      chunked_fold s states ~init:(0, 0) ~per_state:count
+        ~combine:(fun (a, b) (c, d) -> (a + c, b + d))
+    in
+    let total = Array.length states in
+    {
+      total;
+      inside;
+      fraction = float_of_int inside /. float_of_int total;
+      strict = float_of_int strict_inside /. float_of_int total;
+    }
 
-  let mean_exceedance region states =
+  type exceedance = { mean : float; worst : float }
+
+  let mean_exceedance s region states =
     if Array.length states = 0 then
       invalid_arg "Analysis.mean_exceedance: no states";
-    let acc = ref 0. in
-    Array.iter
-      (fun x ->
-        acc :=
-          !acc +. Geometry.violation_depth (x.(0), x.(1)) region.Birkhoff.polygon)
-      states;
-    !acc /. float_of_int (Array.length states)
+    let polygon = region.birkhoff.Birkhoff.polygon in
+    let step (acc, worst) x =
+      let d = Geometry.violation_depth (x.(0), x.(1)) polygon in
+      (acc +. d, Float.max worst d)
+    in
+    let acc, worst =
+      chunked_fold s states ~init:(0., 0.) ~per_state:step
+        ~combine:(fun (a, w) (a', w') -> (a +. a', Float.max w w'))
+    in
+    { mean = acc /. float_of_int (Array.length states); worst }
+
+  (* the pre-spec entry points, kept one release as thin wrappers *)
+  module Legacy = struct
+    let transient_bounds ?(scenario = Imprecise) ?steps model ~x0 ~coord ~times
+        =
+      let di = Di.of_population model in
+      match scenario with
+      | Imprecise -> Pontryagin.bound_series ?steps di ~x0 ~coord ~times
+      | Uncertain grid ->
+          let lower, upper = Uncertain.transient_envelope ~grid di ~x0 ~times in
+          Array.init (Array.length times) (fun i ->
+              (lower.(i).(coord), upper.(i).(coord)))
+
+    let hull_bounds ?clip ?(dt = 1e-2) model ~x0 ~horizon =
+      let di = Di.of_population model in
+      Hull.bounds ?clip di ~x0 ~horizon ~dt
+
+    let steady_state_region_2d ?x_start model =
+      let di = Di.of_population model in
+      let x_start =
+        match x_start with
+        | Some x -> x
+        | None -> Vec.create (Population.dim model) 0.5
+      in
+      Birkhoff.compute di ~x_start
+
+    let stationary_cloud model ~n ~x0 ~policy ~warmup ~horizon ~samples ~seed =
+      if samples <= 0 then invalid_arg "Analysis.stationary_cloud: samples <= 0";
+      if warmup >= horizon then
+        invalid_arg "Analysis.stationary_cloud: warmup >= horizon";
+      let times =
+        Array.init samples (fun i ->
+            warmup
+            +. (horizon -. warmup)
+               *. float_of_int (i + 1)
+               /. float_of_int samples)
+      in
+      Ssa.sampled model ~n ~x0 ~policy ~times (Rng.create seed)
+
+    let inclusion_fraction ?tol region states =
+      if Array.length states = 0 then
+        invalid_arg "Analysis.inclusion_fraction: no states";
+      let inside = ref 0 in
+      Array.iter
+        (fun x ->
+          if Birkhoff.contains ?tol region (x.(0), x.(1)) then incr inside)
+        states;
+      float_of_int !inside /. float_of_int (Array.length states)
+
+    let mean_exceedance region states =
+      if Array.length states = 0 then
+        invalid_arg "Analysis.mean_exceedance: no states";
+      let acc = ref 0. in
+      Array.iter
+        (fun x ->
+          acc :=
+            !acc
+            +. Geometry.violation_depth (x.(0), x.(1)) region.Birkhoff.polygon)
+        states;
+      !acc /. float_of_int (Array.length states)
+  end
 end

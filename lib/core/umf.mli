@@ -51,6 +51,9 @@ module Convergence = Umf_meanfield.Convergence
 (* static model analysis *)
 module Lint = Umf_lint.Lint
 
+(* multicore execution engine *)
+module Runtime = Umf_runtime.Runtime
+
 (* differential-inclusion mean-field limits *)
 module Di = Umf_diffinc.Di
 module Hull = Umf_diffinc.Hull
@@ -72,7 +75,13 @@ module Cholera = Umf_models.Cholera
 module Loadbalance = Umf_models.Loadbalance
 module Bikenetwork = Umf_models.Bikenetwork
 
-(** High-level end-to-end analyses. *)
+(** High-level end-to-end analyses.
+
+    Every entry point consumes an {!Analysis.spec}: one record naming
+    the model, the scenario, the θ-box override, the horizon, the
+    solver tolerances and an optional {!Runtime.Pool} for multicore
+    execution.  Build one with {!Analysis.spec} and reuse it across
+    analyses; results come back as named records. *)
 module Analysis : sig
   type scenario =
     | Imprecise  (** θ_t may vary arbitrarily in Θ over time. *)
@@ -80,55 +89,152 @@ module Analysis : sig
         (** θ constant but unknown; the payload is the per-axis grid
             resolution used to sweep Θ. *)
 
-  val transient_bounds :
-    ?scenario:scenario ->
-    ?steps:int ->
-    Population.t ->
-    x0:Vec.t ->
-    coord:int ->
-    times:float array ->
-    (float * float) array
-  (** Lower/upper bounds on coordinate [coord] at each sample time.
-      Imprecise (default) uses the Pontryagin solver on the mean-field
-      differential inclusion; [Uncertain g] sweeps constant parameters
-      on a [g]-per-axis grid. *)
+  type spec = {
+    model : Population.t;
+    scenario : scenario;  (** Default [Imprecise]. *)
+    theta : Optim.Box.t option;
+        (** Overrides the model's parameter box when given. *)
+    horizon : float;  (** Default 10. *)
+    steps : int;  (** Pontryagin grid intervals; default 400. *)
+    dt : float;  (** Fixed-step integrator step; default 1e-2. *)
+    tol : float;  (** Solver convergence tolerance; default 1e-4. *)
+    pool : Runtime.Pool.t option;
+        (** Fan parallel selections of the inclusion out across these
+            domains; [None] (default) runs sequentially.  Results are
+            bit-identical for any pool size. *)
+  }
 
-  val hull_bounds :
-    ?clip:Optim.Box.t ->
+  val spec :
+    ?scenario:scenario ->
+    ?theta:Optim.Box.t ->
+    ?horizon:float ->
+    ?steps:int ->
     ?dt:float ->
+    ?tol:float ->
+    ?pool:Runtime.Pool.t ->
     Population.t ->
-    x0:Vec.t ->
-    horizon:float ->
-    Hull.traj
+    spec
+  (** Smart constructor with the defaults above.
+      @raise Invalid_argument on non-positive horizon/steps/dt or an
+      [Uncertain] grid below 2. *)
+
+  val di_of_spec : spec -> Di.t
+  (** The mean-field differential inclusion the spec denotes (with the
+      θ-box override applied). *)
+
+  type bounds = {
+    coord : int;
+    times : float array;
+    lower : float array;
+    upper : float array;
+  }
+  (** Reachability envelope of one coordinate: at [times.(i)] the
+      variable lies in [lower.(i), upper.(i)]. *)
+
+  val transient_bounds :
+    ?times:float array -> spec -> x0:Vec.t -> coord:int -> bounds
+  (** Lower/upper bounds on coordinate [coord] at each sample time
+      ([times] defaults to 11 points on [0, horizon]).  Imprecise uses
+      the Pontryagin solver on the mean-field differential inclusion;
+      [Uncertain g] sweeps constant parameters on a [g]-per-axis
+      grid.  Both fan out over [spec.pool] when present. *)
+
+  val hull_bounds : ?clip:Optim.Box.t -> spec -> x0:Vec.t -> Hull.traj
   (** The differential-hull over-approximation (fast, conservative). *)
 
-  val steady_state_region_2d :
-    ?x_start:Vec.t -> Population.t -> Birkhoff.result
+  type region = {
+    birkhoff : Birkhoff.result;
+    area : float;
+    converged : bool;  (** [Birkhoff.converged]. *)
+  }
+
+  val steady_state_region_2d : ?x_start:Vec.t -> spec -> region
   (** The Birkhoff centre of a 2-variable model (steady-state region of
-      the imprecise scenario).  [x_start] defaults to the θ-midpoint
-      equilibrium seed (0.5, 0.25)-style midpoint of the unit box. *)
+      the imprecise scenario).  [x_start] defaults to the
+      all-coordinates-0.5 seed. *)
+
+  type cloud = { times : float array; states : Vec.t array }
+  (** Sampled states of the finite-N system, [states.(i)] at
+      [times.(i)]. *)
 
   val stationary_cloud :
-    Population.t ->
+    spec ->
     n:int ->
     x0:Vec.t ->
     policy:Policy.t ->
     warmup:float ->
-    horizon:float ->
     samples:int ->
     seed:int ->
-    Vec.t array
+    cloud
   (** Stationary-regime states of the size-N stochastic system under a
-      policy, sampled at regular intervals after [warmup]. *)
+      policy, sampled at regular intervals after [warmup] up to
+      [spec.horizon]. *)
+
+  type inclusion = {
+    total : int;
+    inside : int;  (** Number of states within the [tol] slack. *)
+    fraction : float;  (** [inside / total]. *)
+    strict : float;  (** Fraction with no boundary slack. *)
+  }
 
   val inclusion_fraction :
-    ?tol:float -> Birkhoff.result -> Vec.t array -> float
+    ?tol:float -> spec -> region -> Vec.t array -> inclusion
   (** Fraction of 2-D sample states inside a Birkhoff region, up to a
       boundary slack [tol] (the convergence diagnostic of Figure 6 —
       policies like θ1 ride exactly along the region boundary, so a
       small slack separates genuine escapes from boundary hugging). *)
 
-  val mean_exceedance : Birkhoff.result -> Vec.t array -> float
-  (** Average distance by which sample states stick out of the region
-      (0 when all inside); converges to 0 as N → ∞ by Theorem 3. *)
+  type exceedance = { mean : float; worst : float }
+
+  val mean_exceedance : spec -> region -> Vec.t array -> exceedance
+  (** Average (and worst-case) distance by which sample states stick
+      out of the region (0 when all inside); the mean converges to 0
+      as N → ∞ by Theorem 3. *)
+
+  (** The pre-spec API, kept for one release as deprecated wrappers
+      with the original signatures. *)
+  module Legacy : sig
+    val transient_bounds :
+      ?scenario:scenario ->
+      ?steps:int ->
+      Population.t ->
+      x0:Vec.t ->
+      coord:int ->
+      times:float array ->
+      (float * float) array
+    [@@ocaml.deprecated "use Analysis.transient_bounds with an Analysis.spec"]
+
+    val hull_bounds :
+      ?clip:Optim.Box.t ->
+      ?dt:float ->
+      Population.t ->
+      x0:Vec.t ->
+      horizon:float ->
+      Hull.traj
+    [@@ocaml.deprecated "use Analysis.hull_bounds with an Analysis.spec"]
+
+    val steady_state_region_2d :
+      ?x_start:Vec.t -> Population.t -> Birkhoff.result
+    [@@ocaml.deprecated
+      "use Analysis.steady_state_region_2d with an Analysis.spec"]
+
+    val stationary_cloud :
+      Population.t ->
+      n:int ->
+      x0:Vec.t ->
+      policy:Policy.t ->
+      warmup:float ->
+      horizon:float ->
+      samples:int ->
+      seed:int ->
+      Vec.t array
+    [@@ocaml.deprecated "use Analysis.stationary_cloud with an Analysis.spec"]
+
+    val inclusion_fraction :
+      ?tol:float -> Birkhoff.result -> Vec.t array -> float
+    [@@ocaml.deprecated "use Analysis.inclusion_fraction with an Analysis.spec"]
+
+    val mean_exceedance : Birkhoff.result -> Vec.t array -> float
+    [@@ocaml.deprecated "use Analysis.mean_exceedance with an Analysis.spec"]
+  end
 end

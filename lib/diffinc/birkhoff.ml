@@ -2,7 +2,7 @@ open Umf_numerics
 
 type result = {
   polygon : Geometry.point list;
-  rounds : int;
+  iterations : int;
   escaped : bool;
 }
 
@@ -103,9 +103,25 @@ let compute ?theta_a ?theta_b ?(dt = 1e-2) ?(settle_time = 200.)
       Geometry.convex_hull (Geometry.resample_boundary !hull max_vertices)
     else !hull
   in
-  { polygon; rounds = !rounds; escaped = !outward_left && !rounds >= max_rounds }
+  {
+    polygon;
+    iterations = !rounds;
+    escaped = !outward_left && !rounds >= max_rounds;
+  }
 
 let contains ?tol r p =
   Geometry.point_in_convex_polygon ?tol p r.polygon
 
 let area r = Geometry.polygon_area r.polygon
+
+let converged r = not r.escaped
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[birkhoff: value %.6g (area), %d iteration%s, %s, %d vertices@]" (area r)
+    r.iterations
+    (if r.iterations = 1 then "" else "s")
+    (if converged r then "converged" else "NOT converged")
+    (List.length r.polygon)
+
+let result_to_string r = Format.asprintf "%a" pp_result r

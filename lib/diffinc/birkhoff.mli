@@ -18,7 +18,7 @@ open Umf_numerics
 
 type result = {
   polygon : Geometry.point list;  (** CCW convex polygon. *)
-  rounds : int;  (** Expansion rounds performed. *)
+  iterations : int;  (** Expansion rounds performed. *)
   escaped : bool;  (** True if expansion stopped at the round budget
                         with outward drift remaining. *)
 }
@@ -47,3 +47,14 @@ val contains : ?tol:float -> result -> Geometry.point -> bool
     extremal trajectories lie exactly on the boundary. *)
 
 val area : result -> float
+
+val converged : result -> bool
+(** [not escaped]: the expansion reached a region the drift field never
+    leaves. *)
+
+val pp_result : Format.formatter -> result -> unit
+(** One-line summary (area as the result's value, iterations,
+    convergence, vertex count) in the uniform format shared with
+    {!Pontryagin.pp_result} and {!Hull.pp_traj}. *)
+
+val result_to_string : result -> string

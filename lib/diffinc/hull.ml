@@ -133,3 +133,14 @@ let contains ?(tol = 1e-6) h t x =
 let final_width h =
   let n = Array.length h.times in
   Vec.sub h.upper.(n - 1) h.lower.(n - 1)
+
+let pp_traj ppf h =
+  let n = Array.length h.times in
+  let width = final_width h in
+  Format.fprintf ppf
+    "@[hull: value %.6g (max final width), %d iteration%s, horizon %g, dim %d@]"
+    (Vec.norm_inf width) (n - 1)
+    (if n - 1 = 1 then "" else "s")
+    h.times.(n - 1) (Vec.dim h.lower.(0))
+
+let traj_to_string h = Format.asprintf "%a" pp_traj h

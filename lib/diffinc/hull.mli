@@ -61,3 +61,10 @@ val contains : ?tol:float -> traj -> float -> Vec.t -> bool
 val final_width : traj -> Vec.t
 (** x̄(T) − x̲(T): the looseness of the hull at the end of the
     horizon. *)
+
+val pp_traj : Format.formatter -> traj -> unit
+(** One-line summary (max final width as the result's value,
+    integration steps, horizon, dimension) in the uniform format
+    shared with {!Pontryagin.pp_result} and {!Birkhoff.pp_result}. *)
+
+val traj_to_string : traj -> string

@@ -1,4 +1,5 @@
 open Umf_numerics
+module Pool = Umf_runtime.Runtime.Pool
 
 type objective = [ `Coord of int | `Linear of Vec.t ]
 
@@ -132,24 +133,41 @@ let solve ?(steps = 400) ?(max_iter = 200) ?(tol = 1e-4) ?(relax = 0.5)
   { value; times; x = xs; p = ps; control; iterations = !iterations;
     converged = !converged; opt }
 
-let bound_series ?steps ?max_iter ?tol ?relax ?opt di ~x0 ~coord ~times =
-  Array.map
-    (fun t ->
-      if t <= 0. then (x0.(coord), x0.(coord))
-      else begin
-        let lo =
-          (solve ?steps ?max_iter ?tol ?relax ?opt di ~x0 ~horizon:t
-             ~sense:`Min (`Coord coord))
-            .value
-        in
-        let hi =
-          (solve ?steps ?max_iter ?tol ?relax ?opt di ~x0 ~horizon:t
-             ~sense:`Max (`Coord coord))
-            .value
-        in
-        (lo, hi)
-      end)
-    times
+let bound_series ?pool ?steps ?max_iter ?tol ?relax ?opt di ~x0 ~coord ~times =
+  let at t =
+    if t <= 0. then (x0.(coord), x0.(coord))
+    else begin
+      let lo =
+        (solve ?steps ?max_iter ?tol ?relax ?opt di ~x0 ~horizon:t ~sense:`Min
+           (`Coord coord))
+          .value
+      in
+      let hi =
+        (solve ?steps ?max_iter ?tol ?relax ?opt di ~x0 ~horizon:t ~sense:`Max
+           (`Coord coord))
+          .value
+      in
+      (lo, hi)
+    end
+  in
+  match pool with
+  | Some p -> Pool.parallel_map ~stage:"pontryagin-series" p at times
+  | None -> Array.map at times
+
+let pp_result ppf r =
+  let strategy =
+    match r.opt with
+    | `Vertices -> "vertices"
+    | `Box g -> Printf.sprintf "box:%d" g
+  in
+  Format.fprintf ppf
+    "@[pontryagin: value %.6g, %d iteration%s, %s, opt %s@]" r.value
+    r.iterations
+    (if r.iterations = 1 then "" else "s")
+    (if r.converged then "converged" else "NOT converged")
+    strategy
+
+let result_to_string r = Format.asprintf "%a" pp_result r
 
 let switch_times ?min_dwell result ~coord =
   let k = Array.length result.control in

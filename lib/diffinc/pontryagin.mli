@@ -14,6 +14,7 @@
     is taken over the vertices of Θ. *)
 
 open Umf_numerics
+module Pool = Umf_runtime.Runtime.Pool
 
 type objective = [ `Coord of int | `Linear of Vec.t ]
 (** Extremise one coordinate x_i(T), or a general linear combination
@@ -59,6 +60,7 @@ val solve :
     horizon. *)
 
 val bound_series :
+  ?pool:Pool.t ->
   ?steps:int ->
   ?max_iter:int ->
   ?tol:float ->
@@ -71,7 +73,16 @@ val bound_series :
   (float * float) array
 (** For every horizon T in [times]: [(min, max)] of x_coord(T) over the
     inclusion — the curves of Figure 1.  A zero horizon yields the
-    initial value on both sides. *)
+    initial value on both sides.  Each horizon is an independent
+    min/max solve pair, so with [pool] the series fans out across the
+    worker domains with results stored by time index. *)
+
+val pp_result : Format.formatter -> result -> unit
+(** One-line summary: value, iterations, convergence and the
+    Hamiltonian arg-max strategy — the uniform result format shared
+    with {!Hull.pp_traj} and {!Birkhoff.pp_result}. *)
+
+val result_to_string : result -> string
 
 val switch_times : ?min_dwell:float -> result -> coord:int -> float list
 (** Times at which the [coord]-th control component changes value — the

@@ -7,8 +7,10 @@
     sampling methods [39–41] cited by the paper. *)
 
 open Umf_numerics
+module Pool = Umf_runtime.Runtime.Pool
 
 val sample_states :
+  ?pool:Pool.t ->
   ?dt:float ->
   ?switches:int ->
   ?vertex_bias:float ->
@@ -22,9 +24,17 @@ val sample_states :
     with at most [switches] (default 4) switching times; with
     probability [vertex_bias] (default 0.7) each piece is a vertex of
     Θ, otherwise uniform in Θ.  Returns the states reached at
-    [horizon]. *)
+    [horizon].
+
+    Without [pool] the caller's generator is consumed in program
+    order, exactly as before.  With a pool, a single [uint64] draw
+    from [rng] picks a root seed and control [i] runs on the derived
+    stream [Seeds.rng ~root i]: the cloud is then bit-identical for
+    any number of domains (including a pool of one), though different
+    from the sequential shared-stream cloud. *)
 
 val hull_2d :
+  ?pool:Pool.t ->
   ?dt:float ->
   ?switches:int ->
   ?vertex_bias:float ->

@@ -34,6 +34,7 @@ type t =
   | Imprecise  (** Arbitrary measurable θ_t (Pontryagin bound). *)
 
 val extremal_coord :
+  ?pool:Umf_runtime.Runtime.Pool.t ->
   ?grid:int ->
   ?steps:int ->
   ?dt:float ->

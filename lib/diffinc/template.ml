@@ -1,4 +1,5 @@
 open Umf_numerics
+module Pool = Umf_runtime.Runtime.Pool
 
 type t = { directions : Vec.t array; support : float array }
 
@@ -15,14 +16,16 @@ let axis_directions d =
       v.(i / 2) <- (if i mod 2 = 0 then 1. else -1.);
       v)
 
-let compute ?steps ?max_iter ?relax di ~x0 ~horizon ~directions =
+let compute ?pool ?steps ?max_iter ?relax di ~x0 ~horizon ~directions =
+  let solve_dir alpha =
+    (Pontryagin.solve ?steps ?max_iter ?relax di ~x0 ~horizon ~sense:`Max
+       (`Linear alpha))
+      .Pontryagin.value
+  in
   let support =
-    Array.map
-      (fun alpha ->
-        (Pontryagin.solve ?steps ?max_iter ?relax di ~x0 ~horizon ~sense:`Max
-           (`Linear alpha))
-          .Pontryagin.value)
-      directions
+    match pool with
+    | Some p -> Pool.parallel_map ~stage:"template-directions" p solve_dir directions
+    | None -> Array.map solve_dir directions
   in
   { directions; support }
 

@@ -11,6 +11,7 @@
     directions grows). *)
 
 open Umf_numerics
+module Pool = Umf_runtime.Runtime.Pool
 
 type t = {
   directions : Vec.t array;  (** Outward template normals α. *)
@@ -25,6 +26,7 @@ val axis_directions : int -> Vec.t array
     template bounds with these recover the coordinate rectangle. *)
 
 val compute :
+  ?pool:Pool.t ->
   ?steps:int ->
   ?max_iter:int ->
   ?relax:float ->
@@ -33,7 +35,9 @@ val compute :
   horizon:float ->
   directions:Vec.t array ->
   t
-(** One Pontryagin solve per direction. *)
+(** One Pontryagin solve per direction; with [pool] the directions fan
+    out across the worker domains (supports are stored by direction
+    index, so the result is identical for any domain count). *)
 
 val mem : ?tol:float -> t -> Vec.t -> bool
 (** Whether a point satisfies every template inequality. *)

@@ -2,11 +2,17 @@
     (Definition 2 / Corollary 1).
 
     The reachable set is the union over constant θ of single ODE
-    solutions, explored on a parameter grid. *)
+    solutions, explored on a parameter grid.  Every entry point takes
+    an optional [?pool]; the per-θ integrations are independent, so
+    with a pool they fan out across the worker domains and are folded
+    back in grid order — output is bit-identical to the sequential
+    path for any number of domains. *)
 
 open Umf_numerics
+module Pool = Umf_runtime.Runtime.Pool
 
 val transient_envelope :
+  ?pool:Pool.t ->
   ?dt:float ->
   ?grid:int ->
   Di.t ->
@@ -18,6 +24,7 @@ val transient_envelope :
     (default 21).  These are the solid curves of Figure 1. *)
 
 val equilibria :
+  ?pool:Pool.t ->
   ?dt:float ->
   ?grid:int ->
   ?settle_time:float ->
@@ -30,6 +37,7 @@ val equilibria :
     is the equilibrium manifold sampled along Θ. *)
 
 val extremal_coord :
+  ?pool:Pool.t ->
   ?dt:float ->
   ?grid:int ->
   Di.t ->

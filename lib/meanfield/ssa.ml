@@ -1,4 +1,6 @@
 open Umf_numerics
+module Runtime = Umf_runtime.Runtime
+module Pool = Runtime.Pool
 
 (* Core Gillespie loop.  [on_hold t0 t1 x] is invoked for every maximal
    interval on which the density state is the constant [x] (a copy);
@@ -119,6 +121,17 @@ let sampled model ~n ~x0 ~policy ~times rng =
     done;
     out
   end
+
+let replicate ?pool model ~n ~x0 ~policy ~tmax ~reps ~seed =
+  if reps <= 0 then invalid_arg "Ssa.replicate: need reps > 0";
+  (* replication [i] always runs on the stream derived from (seed, i),
+     so the batch is a pure function of its arguments: sequential and
+     parallel runs of any domain count are bit-identical *)
+  let one i = final model ~n ~x0 ~policy ~tmax (Runtime.Seeds.rng ~root:seed i) in
+  match pool with
+  | None -> Array.init reps one
+  | Some p ->
+      Pool.parallel_map ~stage:"ssa-replicate" p one (Array.init reps Fun.id)
 
 let time_average model ~n ~x0 ~policy ~tmax ~warmup ~reward rng =
   if warmup < 0. || warmup >= tmax then

@@ -8,6 +8,7 @@
     (Theorem 1). *)
 
 open Umf_numerics
+module Pool = Umf_runtime.Runtime.Pool
 
 val final :
   Population.t ->
@@ -56,6 +57,23 @@ val time_average :
   Rng.t ->
   float
 (** Holding-time-weighted average of [reward x] over [[warmup, tmax]]. *)
+
+val replicate :
+  ?pool:Pool.t ->
+  Population.t ->
+  n:int ->
+  x0:Vec.t ->
+  policy:Policy.t ->
+  tmax:float ->
+  reps:int ->
+  seed:int ->
+  Vec.t array
+(** [reps] independent replications of {!final}; slot [i] holds the
+    final density of the run seeded from the splitmix64 mix of
+    [(seed, i)].  The batch is deterministic in its arguments —
+    with or without a [pool], and for any pool size, the output is
+    bit-identical (the Figure 6 inclusion-fraction workload at
+    N = 10⁴). *)
 
 val count_events :
   Population.t ->

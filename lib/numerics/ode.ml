@@ -58,17 +58,28 @@ end
 
 let euler_step f t y dt = Vec.axpy dt (f t y) y
 
+(* one reused stage buffer: the rhs must return a fresh vector (every
+   drift in this library does), never its argument.  Arithmetic is
+   kept bit-identical to the earlier allocating formulation: axpy_into
+   matches axpy component-wise, and the final combination evaluates
+   (dt/6)*(k1 + 2 k2 + 2 k3 + k4) before adding y, exactly as the
+   separate incr vector did. *)
 let rk4_step f t y dt =
+  let tmp = Vec.copy y in
   let k1 = f t y in
-  let k2 = f (t +. (dt /. 2.)) (Vec.axpy (dt /. 2.) k1 y) in
-  let k3 = f (t +. (dt /. 2.)) (Vec.axpy (dt /. 2.) k2 y) in
-  let k4 = f (t +. dt) (Vec.axpy dt k3 y) in
-  let incr =
-    Vec.mapi
-      (fun i _ -> (dt /. 6.) *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i)))
-      y
-  in
-  Vec.add y incr
+  Vec.axpy_into (dt /. 2.) k1 y ~into:tmp;
+  let k2 = f (t +. (dt /. 2.)) tmp in
+  Vec.axpy_into (dt /. 2.) k2 y ~into:tmp;
+  let k3 = f (t +. (dt /. 2.)) tmp in
+  Vec.axpy_into dt k3 y ~into:tmp;
+  let k4 = f (t +. dt) tmp in
+  for i = 0 to Vec.dim y - 1 do
+    tmp.(i) <-
+      y.(i)
+      +. ((dt /. 6.)
+         *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i)))
+  done;
+  tmp
 
 let step_fn = function `Euler -> euler_step | `Rk4 -> rk4_step
 
@@ -184,6 +195,10 @@ let integrate_adaptive ?(rtol = 1e-6) ?(atol = 1e-9) ?dt0 ?dt_max
   let t = ref t0 and y = ref y0 in
   let n = Vec.dim y0 in
   let k = Array.make 7 (Vec.zeros n) in
+  (* buffers reused across steps: the stage state fed to f (which must
+     return a fresh vector) and the 4th-order comparison solution *)
+  let acc = Vec.zeros n in
+  let y4 = Vec.zeros n in
   if span > 0. then begin
     while !t < t1 -. 1e-12 do
       incr steps;
@@ -193,13 +208,14 @@ let integrate_adaptive ?(rtol = 1e-6) ?(atol = 1e-9) ?dt0 ?dt_max
         failwith "Ode.integrate_adaptive: step size underflow";
       (* build the seven stages *)
       for s = 0 to 6 do
-        let acc = Vec.copy !y in
+        Vec.blit !y ~into:acc;
         for j = 0 to s - 1 do
           Vec.axpy_in_place (hh *. dp_a.(s).(j)) k.(j) acc
         done;
         k.(s) <- f (!t +. (dp_c.(s) *. hh)) acc
       done;
-      let y5 = Vec.copy !y and y4 = Vec.copy !y in
+      let y5 = Vec.copy !y in
+      Vec.blit !y ~into:y4;
       for s = 0 to 6 do
         Vec.axpy_in_place (hh *. dp_b5.(s)) k.(s) y5;
         Vec.axpy_in_place (hh *. dp_b4.(s)) k.(s) y4

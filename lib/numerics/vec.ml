@@ -38,6 +38,30 @@ let axpy_in_place a x y =
     y.(i) <- y.(i) +. (a *. x.(i))
   done
 
+let blit src ~into =
+  check_dims src into;
+  Array.blit src 0 into 0 (Array.length src)
+
+let add_into a b ~into =
+  check_dims a b;
+  check_dims a into;
+  for i = 0 to Array.length a - 1 do
+    into.(i) <- a.(i) +. b.(i)
+  done
+
+let scale_into s a ~into =
+  check_dims a into;
+  for i = 0 to Array.length a - 1 do
+    into.(i) <- s *. a.(i)
+  done
+
+let axpy_into a x y ~into =
+  check_dims x y;
+  check_dims x into;
+  for i = 0 to Array.length x - 1 do
+    into.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
 let mul a b =
   check_dims a b;
   Array.mapi (fun i x -> x *. b.(i)) a

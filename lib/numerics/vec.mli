@@ -33,6 +33,21 @@ val axpy : float -> t -> t -> t
 val axpy_in_place : float -> t -> t -> unit
 (** [axpy_in_place a x y] updates [y <- a*x + y]. *)
 
+val blit : t -> into:t -> unit
+(** [blit src ~into] copies [src] over [into]. *)
+
+val add_into : t -> t -> into:t -> unit
+(** [add_into a b ~into] writes [a + b] into [into] (which may alias
+    [a] or [b]).  The allocation-free {!add} for hot loops. *)
+
+val scale_into : float -> t -> into:t -> unit
+(** [scale_into s a ~into] writes [s*a] into [into] (may alias [a]). *)
+
+val axpy_into : float -> t -> t -> into:t -> unit
+(** [axpy_into a x y ~into] writes [a*x + y] into [into] (may alias
+    either operand); component order matches {!axpy} exactly, so
+    replacing an [axpy] with [axpy_into] is bit-identical. *)
+
 val mul : t -> t -> t
 (** Component-wise product. *)
 

@@ -1,0 +1,254 @@
+module Rng = Umf_numerics.Rng
+
+type stats = { domains : int; sections : int; tasks : int; wall : float }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "@[%d domain%s, %d section%s, %d task%s, %.3fs wall@]"
+    s.domains
+    (if s.domains = 1 then "" else "s")
+    s.sections
+    (if s.sections = 1 then "" else "s")
+    s.tasks
+    (if s.tasks = 1 then "" else "s")
+    s.wall
+
+let stats_to_string s = Format.asprintf "%a" pp_stats s
+
+(* set to true inside every worker domain: parallel sections started
+   from a task would wait on workers that are all busy waiting — a
+   fixed-size pool must reject them instead of deadlocking *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+module Pool = struct
+  type stage_acc = {
+    mutable s_sections : int;
+    mutable s_tasks : int;
+    mutable s_wall : float;
+  }
+
+  type t = {
+    mutable workers : unit Domain.t array;
+    queue : (unit -> unit) Queue.t;
+    lock : Mutex.t;
+    work_available : Condition.t;
+    mutable stop : bool;
+    mutable shut : bool;
+    mutable sections : int;
+    mutable tasks : int;
+    mutable wall : float;
+    stages : (string, stage_acc) Hashtbl.t;
+  }
+
+  let worker_loop t () =
+    Domain.DLS.set in_worker true;
+    let rec loop () =
+      Mutex.lock t.lock;
+      while Queue.is_empty t.queue && not t.stop do
+        Condition.wait t.work_available t.lock
+      done;
+      (* drain any queued work even when stopping *)
+      match Queue.take_opt t.queue with
+      | None ->
+          Mutex.unlock t.lock
+      | Some job ->
+          Mutex.unlock t.lock;
+          job ();
+          loop ()
+    in
+    loop ()
+
+  let create ?domains () =
+    let domains =
+      match domains with
+      | Some d ->
+          if d < 1 then invalid_arg "Runtime.Pool.create: need domains >= 1";
+          d
+      | None -> Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+    in
+    let t =
+      {
+        workers = [||];
+        queue = Queue.create ();
+        lock = Mutex.create ();
+        work_available = Condition.create ();
+        stop = false;
+        shut = false;
+        sections = 0;
+        tasks = 0;
+        wall = 0.;
+        stages = Hashtbl.create 8;
+      }
+    in
+    t.workers <- Array.init domains (fun _ -> Domain.spawn (worker_loop t));
+    t
+
+  let size t = Array.length t.workers
+
+  let shutdown t =
+    let join =
+      Mutex.lock t.lock;
+      if t.shut then begin
+        Mutex.unlock t.lock;
+        false
+      end
+      else begin
+        t.shut <- true;
+        t.stop <- true;
+        Condition.broadcast t.work_available;
+        Mutex.unlock t.lock;
+        true
+      end
+    in
+    if join then Array.iter Domain.join t.workers
+
+  let with_pool ?domains f =
+    let t = create ?domains () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+  let record ?stage t ~n_tasks ~dt =
+    Mutex.lock t.lock;
+    t.sections <- t.sections + 1;
+    t.tasks <- t.tasks + n_tasks;
+    t.wall <- t.wall +. dt;
+    let label = match stage with Some s -> s | None -> "_" in
+    let acc =
+      match Hashtbl.find_opt t.stages label with
+      | Some a -> a
+      | None ->
+          let a = { s_sections = 0; s_tasks = 0; s_wall = 0. } in
+          Hashtbl.add t.stages label a;
+          a
+    in
+    acc.s_sections <- acc.s_sections + 1;
+    acc.s_tasks <- acc.s_tasks + n_tasks;
+    acc.s_wall <- acc.s_wall +. dt;
+    Mutex.unlock t.lock
+
+  (* fork-join over [n] items, dealt out as [n_chunks] contiguous
+     chunk tasks; [body ~lo ~hi] must only touch state owned by items
+     in [lo, hi).  The first exception (in completion order) is
+     re-raised in the caller once every task has drained, so no task
+     of a failed section is ever still running afterwards. *)
+  let section ?stage ?chunk t ~n body =
+    if n > 0 then begin
+      if Domain.DLS.get in_worker then
+        invalid_arg "Runtime.Pool: nested parallel section";
+      Mutex.lock t.lock;
+      let rejected = t.shut in
+      Mutex.unlock t.lock;
+      if rejected then invalid_arg "Runtime.Pool: pool is shut down";
+      let t0 = Unix.gettimeofday () in
+      let chunk =
+        match chunk with
+        | Some c ->
+            if c < 1 then invalid_arg "Runtime.Pool: need chunk >= 1";
+            c
+        | None ->
+            (* about four chunks per worker: fine enough to balance
+               uneven task costs, coarse enough to keep queue traffic
+               negligible *)
+            Stdlib.max 1 ((n + (4 * size t) - 1) / (4 * size t))
+      in
+      let n_chunks = (n + chunk - 1) / chunk in
+      let remaining = Atomic.make n_chunks in
+      let failed = Atomic.make None in
+      let done_lock = Mutex.create () in
+      let all_done = Condition.create () in
+      let job ci () =
+        (try
+           let lo = ci * chunk in
+           let hi = Stdlib.min n (lo + chunk) in
+           body ~lo ~hi
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set failed None (Some (e, bt))));
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          Mutex.lock done_lock;
+          Condition.signal all_done;
+          Mutex.unlock done_lock
+        end
+      in
+      Mutex.lock t.lock;
+      for ci = 0 to n_chunks - 1 do
+        Queue.add (job ci) t.queue
+      done;
+      Condition.broadcast t.work_available;
+      Mutex.unlock t.lock;
+      Mutex.lock done_lock;
+      while Atomic.get remaining > 0 do
+        Condition.wait all_done done_lock
+      done;
+      Mutex.unlock done_lock;
+      record ?stage t ~n_tasks:n ~dt:(Unix.gettimeofday () -. t0);
+      match Atomic.get failed with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+
+  let parallel_for ?stage ?chunk t n f =
+    section ?stage ?chunk t ~n (fun ~lo ~hi ->
+        for i = lo to hi - 1 do
+          f i
+        done)
+
+  let parallel_map ?stage ?chunk t f xs =
+    let n = Array.length xs in
+    if n = 0 then [||]
+    else begin
+      let out = Array.make n None in
+      section ?stage ?chunk t ~n (fun ~lo ~hi ->
+          for i = lo to hi - 1 do
+            out.(i) <- Some (f xs.(i))
+          done);
+      Array.map
+        (function Some v -> v | None -> assert false (* section filled all *))
+        out
+    end
+
+  let map_list ?stage ?chunk t f xs =
+    Array.to_list (parallel_map ?stage ?chunk t f (Array.of_list xs))
+
+  let stats t =
+    Mutex.lock t.lock;
+    let s =
+      { domains = size t; sections = t.sections; tasks = t.tasks; wall = t.wall }
+    in
+    Mutex.unlock t.lock;
+    s
+
+  let stage_stats t =
+    Mutex.lock t.lock;
+    let rows =
+      Hashtbl.fold
+        (fun label a acc ->
+          ( label,
+            {
+              domains = size t;
+              sections = a.s_sections;
+              tasks = a.s_tasks;
+              wall = a.s_wall;
+            } )
+          :: acc)
+        t.stages []
+    in
+    Mutex.unlock t.lock;
+    List.sort (fun (a, _) (b, _) -> compare a b) rows
+end
+
+module Seeds = struct
+  let golden = 0x9E3779B97F4A7C15L
+
+  let splitmix_round z =
+    let open Int64 in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let mix root i =
+    let z = Int64.add (Int64.of_int root) (Int64.mul (Int64.of_int (i + 1)) golden) in
+    let z = splitmix_round z in
+    let z = splitmix_round (Int64.add z golden) in
+    Int64.to_int z
+
+  let rng ~root i = Rng.create (mix root i)
+end

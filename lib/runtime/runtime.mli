@@ -1,0 +1,101 @@
+(** Multicore parallel execution engine.
+
+    A fixed-size pool of OCaml 5 {!Domain}s behind a deterministic
+    fork-join interface.  The hot fan-out loops of the library —
+    uncertain θ-grid sweeps, Monte-Carlo reachability sampling, SSA
+    replication batches and template-direction solves — are
+    embarrassingly parallel selections over the differential inclusion
+    ẋ ∈ ∪_θ {f(x, θ)}; each of them takes an optional [?pool] and
+    falls back to its original sequential path when none is given.
+
+    Two invariants make parallel runs reproducible:
+
+    - results are written by task index, never in completion order, so
+      a [parallel_map] is extensionally equal to [Array.map];
+    - stochastic workloads never share an RNG stream across tasks:
+      each task derives its own generator from a splitmix64 mix of a
+      root seed and the task index ({!Seeds}), so output is
+      bit-identical regardless of scheduling, chunking or the number
+      of domains. *)
+
+(** Per-pool execution counters (see {!Pool.stats}). *)
+type stats = {
+  domains : int;  (** Worker domains in the pool. *)
+  sections : int;  (** Parallel sections (fork-join regions) run. *)
+  tasks : int;  (** Individual tasks executed across all sections. *)
+  wall : float;  (** Total wall-clock seconds spent inside sections. *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val stats_to_string : stats -> string
+
+module Pool : sig
+  type t
+  (** A fixed set of worker domains fed from a shared task queue.
+      Create once, reuse across many parallel sections, [shutdown]
+      when done (or use {!with_pool}). *)
+
+  val create : ?domains:int -> unit -> t
+  (** [create ~domains ()] spawns [domains] workers (default
+      [Domain.recommended_domain_count () - 1], at least 1).
+      @raise Invalid_argument if [domains < 1]. *)
+
+  val size : t -> int
+  (** Number of worker domains. *)
+
+  val shutdown : t -> unit
+  (** Terminate and join the workers.  Idempotent.  Subsequent
+      parallel sections raise [Invalid_argument]. *)
+
+  val with_pool : ?domains:int -> (t -> 'a) -> 'a
+  (** [with_pool f] runs [f] on a fresh pool and shuts it down
+      afterwards, even on exceptions. *)
+
+  val parallel_map :
+    ?stage:string -> ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+  (** [parallel_map pool f xs] is extensionally [Array.map f xs]: the
+      result slot [i] always holds [f xs.(i)].  Work is dealt to the
+      workers in contiguous chunks of [chunk] items (default: tuned to
+      four chunks per domain).  If any task raises, the first
+      exception (by completion order) is re-raised in the caller with
+      its backtrace, after all tasks have drained.  [stage] labels the
+      section in {!stage_stats}.
+      @raise Invalid_argument when called from inside a pool task
+      (nested sections would deadlock a fixed-size pool) or after
+      [shutdown]. *)
+
+  val parallel_for : ?stage:string -> ?chunk:int -> t -> int -> (int -> unit) -> unit
+  (** [parallel_for pool n f] runs [f i] for [0 <= i < n], chunked
+      like {!parallel_map}.  The body must only write to disjoint,
+      index-owned locations for the result to be deterministic. *)
+
+  val map_list : ?stage:string -> ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+  (** {!parallel_map} over a list, preserving order. *)
+
+  val stats : t -> stats
+  (** Counters accumulated since [create]. *)
+
+  val stage_stats : t -> (string * stats) list
+  (** Per-[?stage] breakdown of {!stats}, sorted by label; unlabelled
+      sections are accumulated under ["_"]. *)
+end
+
+(** Deterministic RNG stream splitting.
+
+    Sequential code that owns a single {!Umf_numerics.Rng.t} consumes
+    it in program order, which a parallel schedule cannot reproduce.
+    Parallel (and replication-batch) entry points instead give task
+    [i] the generator [rng ~root i]: a fresh xoshiro256++ state seeded
+    from a splitmix64 mix of the root seed and the task index.  The
+    mapping depends only on [(root, i)], never on scheduling, chunk
+    size or domain count — hence bit-identical output for any number
+    of jobs, including one. *)
+module Seeds : sig
+  val mix : int -> int -> int
+  (** [mix root i] hashes the pair through two splitmix64 rounds.
+      Well-mixed for adjacent roots and indices. *)
+
+  val rng : root:int -> int -> Umf_numerics.Rng.t
+  (** [rng ~root i] is [Rng.create (mix root i)]. *)
+end

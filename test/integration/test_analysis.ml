@@ -1,4 +1,6 @@
-(* The high-level Analysis API wiring. *)
+(* The high-level Analysis API wiring: the spec record consumed by all
+   entry points, the named result records, and the deprecated Legacy
+   wrappers. *)
 open Umf
 
 let p = Sir.default_params
@@ -7,67 +9,119 @@ let model = Sir.model p
 
 let times = [| 0.; 1.; 2. |]
 
+let test_spec_validation () =
+  Alcotest.check_raises "horizon <= 0"
+    (Invalid_argument "Analysis.spec: need horizon > 0") (fun () ->
+      ignore (Analysis.spec ~horizon:0. model));
+  Alcotest.check_raises "steps < 1"
+    (Invalid_argument "Analysis.spec: need steps >= 1") (fun () ->
+      ignore (Analysis.spec ~steps:0 model));
+  Alcotest.check_raises "grid < 2"
+    (Invalid_argument "Analysis.spec: need grid >= 2") (fun () ->
+      ignore (Analysis.spec ~scenario:(Analysis.Uncertain 1) model))
+
+let test_spec_theta_override () =
+  let box = Optim.Box.make [| 2. |] [| 3. |] in
+  let s = Analysis.spec ~theta:box model in
+  let di = Analysis.di_of_spec s in
+  Alcotest.(check bool) "theta box overridden" true (di.Di.theta == box);
+  let s0 = Analysis.spec model in
+  let di0 = Analysis.di_of_spec s0 in
+  Alcotest.(check (float 1e-12))
+    "default box from model" p.Sir.theta_min
+    di0.Di.theta.Optim.Box.lo.(0)
+
 let test_transient_bounds_imprecise () =
-  let bounds =
-    Analysis.transient_bounds ~steps:150 model ~x0:Sir.x0 ~coord:1 ~times
-  in
-  let lo0, hi0 = bounds.(0) in
-  Alcotest.(check (float 1e-12)) "t=0 is x0 (lo)" 0.3 lo0;
-  Alcotest.(check (float 1e-12)) "t=0 is x0 (hi)" 0.3 hi0;
-  Array.iter (fun (lo, hi) -> Alcotest.(check bool) "ordered" true (lo <= hi)) bounds
+  let s = Analysis.spec ~steps:150 model in
+  let b = Analysis.transient_bounds ~times s ~x0:Sir.x0 ~coord:1 in
+  Alcotest.(check int) "coord recorded" 1 b.Analysis.coord;
+  Alcotest.(check (float 1e-12)) "t=0 is x0 (lo)" 0.3 b.Analysis.lower.(0);
+  Alcotest.(check (float 1e-12)) "t=0 is x0 (hi)" 0.3 b.Analysis.upper.(0);
+  Array.iteri
+    (fun i lo ->
+      Alcotest.(check bool) "ordered" true (lo <= b.Analysis.upper.(i)))
+    b.Analysis.lower
+
+let test_transient_bounds_default_times () =
+  let s = Analysis.spec ~steps:60 ~horizon:2. model in
+  let b = Analysis.transient_bounds s ~x0:Sir.x0 ~coord:1 in
+  Alcotest.(check int) "11 default sample times" 11
+    (Array.length b.Analysis.times);
+  Alcotest.(check (float 1e-12)) "last time is horizon" 2.
+    b.Analysis.times.(10)
 
 let test_transient_bounds_scenarios_nested () =
-  let imprecise =
-    Analysis.transient_bounds ~steps:150 model ~x0:Sir.x0 ~coord:1 ~times
-  in
-  let uncertain =
-    Analysis.transient_bounds ~scenario:(Analysis.Uncertain 9) model ~x0:Sir.x0
-      ~coord:1 ~times
-  in
+  let s = Analysis.spec ~steps:150 model in
+  let imprecise = Analysis.transient_bounds ~times s ~x0:Sir.x0 ~coord:1 in
+  let su = Analysis.spec ~scenario:(Analysis.Uncertain 9) model in
+  let uncertain = Analysis.transient_bounds ~times su ~x0:Sir.x0 ~coord:1 in
   Array.iteri
-    (fun i (ulo, uhi) ->
-      let ilo, ihi = imprecise.(i) in
+    (fun i ulo ->
+      let uhi = uncertain.Analysis.upper.(i) in
+      let ilo = imprecise.Analysis.lower.(i)
+      and ihi = imprecise.Analysis.upper.(i) in
       Alcotest.(check bool) "uncertain inside imprecise" true
         (ilo <= ulo +. 1e-4 && uhi <= ihi +. 1e-4))
-    uncertain
+    uncertain.Analysis.lower
 
 let test_hull_bounds_wrapper () =
   let clip = Optim.Box.make [| 0.; 0. |] [| 1.; 1. |] in
-  let h = Analysis.hull_bounds ~clip model ~x0:Sir.x0 ~horizon:2. in
+  let s = Analysis.spec ~horizon:2. model in
+  let h = Analysis.hull_bounds ~clip s ~x0:Sir.x0 in
   Alcotest.(check bool) "hull contains x0 at 0" true (Hull.contains h 0. Sir.x0)
 
 let test_steady_state_region () =
-  let b = Analysis.steady_state_region_2d ~x_start:Sir.x0 model in
-  Alcotest.(check bool) "non-trivial region" true (Birkhoff.area b > 0.01)
+  let s = Analysis.spec model in
+  let r = Analysis.steady_state_region_2d ~x_start:Sir.x0 s in
+  Alcotest.(check bool) "non-trivial region" true (r.Analysis.area > 0.01);
+  Alcotest.(check (float 1e-12))
+    "area matches birkhoff"
+    (Birkhoff.area r.Analysis.birkhoff)
+    r.Analysis.area
 
 let test_stationary_cloud_and_inclusion () =
-  let b = Analysis.steady_state_region_2d ~x_start:Sir.x0 model in
+  let s = Analysis.spec ~horizon:40. model in
+  let r = Analysis.steady_state_region_2d ~x_start:Sir.x0 s in
   let cloud =
-    Analysis.stationary_cloud model ~n:500 ~x0:Sir.x0
-      ~policy:(Sir.policy_theta1 p) ~warmup:10. ~horizon:40. ~samples:50 ~seed:1
+    Analysis.stationary_cloud s ~n:500 ~x0:Sir.x0
+      ~policy:(Sir.policy_theta1 p) ~warmup:10. ~samples:50 ~seed:1
   in
-  Alcotest.(check int) "sample count" 50 (Array.length cloud);
-  let frac = Analysis.inclusion_fraction ~tol:3e-3 b cloud in
-  Alcotest.(check bool) "fraction in [0,1]" true (frac >= 0. && frac <= 1.);
-  Alcotest.(check bool) "mostly inside" true (frac > 0.6)
+  Alcotest.(check int) "sample count" 50 (Array.length cloud.Analysis.states);
+  Alcotest.(check int) "time per sample" 50 (Array.length cloud.Analysis.times);
+  let incl =
+    Analysis.inclusion_fraction ~tol:3e-3 s r cloud.Analysis.states
+  in
+  Alcotest.(check int) "total recorded" 50 incl.Analysis.total;
+  Alcotest.(check (float 1e-12))
+    "fraction consistent"
+    (float_of_int incl.Analysis.inside /. 50.)
+    incl.Analysis.fraction;
+  Alcotest.(check bool) "strict <= slack fraction" true
+    (incl.Analysis.strict <= incl.Analysis.fraction);
+  Alcotest.(check bool) "mostly inside" true (incl.Analysis.fraction > 0.6)
 
 let test_mean_exceedance_semantics () =
-  let b = Analysis.steady_state_region_2d ~x_start:Sir.x0 model in
+  let s = Analysis.spec model in
+  let r = Analysis.steady_state_region_2d ~x_start:Sir.x0 s in
+  let b = r.Analysis.birkhoff in
   (* interior points contribute zero exceedance *)
   let cx, cy = Geometry.centroid b.Birkhoff.polygon in
-  Alcotest.(check (float 1e-12)) "interior exceedance" 0.
-    (Analysis.mean_exceedance b [| [| cx; cy |] |]);
+  let interior = Analysis.mean_exceedance s r [| [| cx; cy |] |] in
+  Alcotest.(check (float 1e-12)) "interior exceedance" 0. interior.Analysis.mean;
+  Alcotest.(check (float 1e-12)) "interior worst" 0. interior.Analysis.worst;
   (* a point pushed distance d outside contributes ~d *)
   let (_, _), (xmax, _) = Geometry.bounding_box b.Birkhoff.polygon in
   let outside = [| xmax +. 0.1; cy |] in
-  let e = Analysis.mean_exceedance b [| outside |] in
+  let e = (Analysis.mean_exceedance s r [| outside |]).Analysis.mean in
   Alcotest.(check bool)
     (Printf.sprintf "outside exceedance %.4f near 0.1" e)
     true
     (e > 0.05 && e < 0.2);
-  (* averaging over one inside and one outside point halves it *)
-  let half = Analysis.mean_exceedance b [| [| cx; cy |]; outside |] in
-  Alcotest.(check (float 1e-9)) "mean over samples" (e /. 2.) half
+  (* averaging over one inside and one outside point halves the mean
+     but keeps the worst *)
+  let half = Analysis.mean_exceedance s r [| [| cx; cy |]; outside |] in
+  Alcotest.(check (float 1e-9)) "mean over samples" (e /. 2.) half.Analysis.mean;
+  Alcotest.(check (float 1e-9)) "worst over samples" e half.Analysis.worst
 
 let test_safety_on_population_model () =
   (* end-to-end: Safety over a Di built from the population model *)
@@ -80,18 +134,65 @@ let test_safety_on_population_model () =
   | Safety.Violated _ -> Alcotest.fail "x_I <= 0.9 cannot be violated"
 
 let test_stationary_cloud_validation () =
+  let s = Analysis.spec ~horizon:5. model in
   Alcotest.check_raises "warmup >= horizon"
     (Invalid_argument "Analysis.stationary_cloud: warmup >= horizon") (fun () ->
       ignore
-        (Analysis.stationary_cloud model ~n:10 ~x0:Sir.x0
-           ~policy:(Sir.policy_theta1 p) ~warmup:5. ~horizon:5. ~samples:10
-           ~seed:1))
+        (Analysis.stationary_cloud s ~n:10 ~x0:Sir.x0
+           ~policy:(Sir.policy_theta1 p) ~warmup:5. ~samples:10 ~seed:1))
+
+(* the deprecated wrappers must keep producing the same numbers as the
+   spec-based entry points *)
+[@@@ocaml.warning "-3"]
+
+let test_legacy_wrappers_agree () =
+  let s = Analysis.spec ~steps:150 model in
+  let fresh = Analysis.transient_bounds ~times s ~x0:Sir.x0 ~coord:1 in
+  let legacy =
+    Analysis.Legacy.transient_bounds ~steps:150 model ~x0:Sir.x0 ~coord:1
+      ~times
+  in
+  Array.iteri
+    (fun i (lo, hi) ->
+      Alcotest.(check (float 0.)) "legacy lower identical" fresh.Analysis.lower.(i) lo;
+      Alcotest.(check (float 0.)) "legacy upper identical" fresh.Analysis.upper.(i) hi)
+    legacy;
+  let b = Analysis.Legacy.steady_state_region_2d ~x_start:Sir.x0 model in
+  let r = Analysis.steady_state_region_2d ~x_start:Sir.x0 (Analysis.spec model) in
+  Alcotest.(check (float 0.)) "legacy region identical"
+    (Birkhoff.area r.Analysis.birkhoff) (Birkhoff.area b);
+  let sc = Analysis.spec ~horizon:40. model in
+  let cloud =
+    Analysis.stationary_cloud sc ~n:200 ~x0:Sir.x0
+      ~policy:(Sir.policy_theta1 p) ~warmup:10. ~samples:20 ~seed:1
+  in
+  let legacy_cloud =
+    Analysis.Legacy.stationary_cloud model ~n:200 ~x0:Sir.x0
+      ~policy:(Sir.policy_theta1 p) ~warmup:10. ~horizon:40. ~samples:20
+      ~seed:1
+  in
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check bool) "legacy cloud identical" true
+        (x = cloud.Analysis.states.(i)))
+    legacy_cloud;
+  let incl = Analysis.inclusion_fraction ~tol:3e-3 sc r cloud.Analysis.states in
+  Alcotest.(check (float 0.)) "legacy inclusion identical"
+    incl.Analysis.fraction
+    (Analysis.Legacy.inclusion_fraction ~tol:3e-3 b legacy_cloud);
+  let exc = Analysis.mean_exceedance sc r cloud.Analysis.states in
+  Alcotest.(check (float 0.)) "legacy exceedance identical"
+    exc.Analysis.mean
+    (Analysis.Legacy.mean_exceedance b legacy_cloud)
 
 let suites =
   [
     ( "analysis",
       [
+        Alcotest.test_case "spec validation" `Quick test_spec_validation;
+        Alcotest.test_case "spec theta override" `Quick test_spec_theta_override;
         Alcotest.test_case "imprecise transient bounds" `Quick test_transient_bounds_imprecise;
+        Alcotest.test_case "default sample times" `Quick test_transient_bounds_default_times;
         Alcotest.test_case "scenario nesting" `Quick test_transient_bounds_scenarios_nested;
         Alcotest.test_case "hull wrapper" `Quick test_hull_bounds_wrapper;
         Alcotest.test_case "steady-state region" `Quick test_steady_state_region;
@@ -99,5 +200,6 @@ let suites =
         Alcotest.test_case "mean exceedance semantics" `Quick test_mean_exceedance_semantics;
         Alcotest.test_case "safety end-to-end" `Quick test_safety_on_population_model;
         Alcotest.test_case "validation" `Quick test_stationary_cloud_validation;
+        Alcotest.test_case "legacy wrappers agree" `Slow test_legacy_wrappers_agree;
       ] );
   ]

@@ -115,29 +115,42 @@ let test_fig6_stationary_inclusion () =
      exactly along the region boundary, so inclusion is measured with a
      small boundary slack *)
   let b = Birkhoff.compute di ~x_start:Sir.x0 in
-  let model = Sir.model p in
+  let region =
+    { Analysis.birkhoff = b; area = Birkhoff.area b;
+      converged = Birkhoff.converged b }
+  in
+  let spec = Analysis.spec ~horizon:120. (Sir.model p) in
   List.iter
     (fun (policy, name) ->
       let cloud =
-        Analysis.stationary_cloud model ~n:1000 ~x0:Sir.x0 ~policy ~warmup:20.
-          ~horizon:120. ~samples:400 ~seed:7
+        Analysis.stationary_cloud spec ~n:1000 ~x0:Sir.x0 ~policy ~warmup:20.
+          ~samples:400 ~seed:7
       in
-      let frac = Analysis.inclusion_fraction ~tol:3e-3 b cloud in
+      let incl =
+        Analysis.inclusion_fraction ~tol:3e-3 spec region cloud.Analysis.states
+      in
       Alcotest.(check bool)
-        (Printf.sprintf "%s inclusion %.3f >= 0.8" name frac)
-        true (frac >= 0.8))
+        (Printf.sprintf "%s inclusion %.3f >= 0.8" name incl.Analysis.fraction)
+        true
+        (incl.Analysis.fraction >= 0.8))
     [ (Sir.policy_theta1 p, "theta1"); (Sir.policy_theta2 p, "theta2") ]
 
 let test_fig6_inclusion_improves_with_n () =
   let b = Birkhoff.compute di ~x_start:Sir.x0 in
-  let model = Sir.model p in
+  let region =
+    { Analysis.birkhoff = b; area = Birkhoff.area b;
+      converged = Birkhoff.converged b }
+  in
+  let spec = Analysis.spec ~horizon:80. (Sir.model p) in
   let stats n =
     let cloud =
-      Analysis.stationary_cloud model ~n ~x0:Sir.x0
-        ~policy:(Sir.policy_theta2 p) ~warmup:20. ~horizon:80. ~samples:300
-        ~seed:11
+      Analysis.stationary_cloud spec ~n ~x0:Sir.x0
+        ~policy:(Sir.policy_theta2 p) ~warmup:20. ~samples:300 ~seed:11
     in
-    (Analysis.inclusion_fraction ~tol:3e-3 b cloud, Analysis.mean_exceedance b cloud)
+    ( (Analysis.inclusion_fraction ~tol:3e-3 spec region cloud.Analysis.states)
+        .Analysis.fraction,
+      (Analysis.mean_exceedance spec region cloud.Analysis.states).Analysis.mean
+    )
   in
   let f100, e100 = stats 100 and f5000, e5000 = stats 5000 in
   Alcotest.(check bool)
