@@ -15,7 +15,7 @@ let run ?pool () =
   let b = Birkhoff.compute (Sir.di p) ~x_start:Sir.x0 in
   let region =
     { Analysis.birkhoff = b; area = Birkhoff.area b;
-      converged = Birkhoff.converged b }
+      converged = Birkhoff.converged b; metrics = Analysis.no_metrics }
   in
   Common.header [ "policy"; "N"; "inclusion"; "inclusion(3e-3)"; "mean_exceed" ];
   let all_ok = ref true in

@@ -3,8 +3,8 @@
 
    Usage: main.exe [--dump DIR] [--jobs N] [experiment ...]
    with experiments among fig1 fig2 fig3 fig4 fig5 fig6 fig7 tune kolm
-   conv template hier certified ablation perf runtime; no argument runs
-   everything.  --jobs N (or UMF_JOBS) runs the parallel-aware
+   conv template hier certified ablation perf runtime obs; no argument
+   runs everything.  --jobs N (or UMF_JOBS) runs the parallel-aware
    experiments on N worker domains (0 = one per core); results are
    bit-identical for any N. *)
 
@@ -28,6 +28,7 @@ let experiments =
     ("ablation", Ablation.run);
     ("perf", Perf.run);
     ("runtime", Perf.run_runtime);
+    ("obs", Exp_obs.run);
   ]
 
 let () =

@@ -12,7 +12,13 @@
 
    --jobs (or UMF_JOBS) only changes wall-clock time, never results:
    parallel sweeps use per-task RNG streams split deterministically
-   from the seed. *)
+   from the seed.
+
+   The analysis commands accept --trace FILE (NDJSON stream of solver
+   spans/counters/gauges) and --metrics (aggregate summary on stderr).
+   Neither changes results; a run whose iterative solver failed to
+   converge exits non-zero either way, reporting the iteration count
+   from the same metrics. *)
 open Umf
 open Cmdliner
 
@@ -203,17 +209,87 @@ let jobs_arg =
            (default), 0 picks one per core, $(docv) uses that many \
            domains.  Output is bit-identical for any value.")
 
-let with_jobs jobs f =
+let with_jobs ?(obs = Obs.off) jobs f =
   if jobs < 0 then Error (`Msg "--jobs must be >= 0")
   else if jobs = 1 then f None
   else
     let pool =
-      if jobs = 0 then Runtime.Pool.create ()
-      else Runtime.Pool.create ~domains:jobs ()
+      if jobs = 0 then Runtime.Pool.create ~obs ()
+      else Runtime.Pool.create ~obs ~domains:jobs ()
     in
     Fun.protect
       ~finally:(fun () -> Runtime.Pool.shutdown pool)
       (fun () -> f (Some pool))
+
+(* observability: --trace streams NDJSON solver events, --metrics prints
+   an aggregate summary.  Every analysis run keeps an in-memory registry
+   regardless, so non-convergence is detected (and turned into a
+   non-zero exit) from the solver counters. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Stream solver spans, counters and gauges to $(docv) as \
+           NDJSON, one event object per line.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print a per-span/counter/gauge summary to stderr after the run.")
+
+let print_metrics agg =
+  Printf.eprintf "# metrics\n";
+  List.iter
+    (fun (name, st) ->
+      Printf.eprintf "# span  %-28s calls=%-6d total=%.6fs max=%.6fs\n" name
+        st.Obs.Agg.calls st.Obs.Agg.total st.Obs.Agg.max)
+    (Obs.Agg.span_stats agg);
+  List.iter
+    (fun (name, v) -> Printf.eprintf "# count %-28s %.0f\n" name v)
+    (Obs.Agg.counters agg);
+  List.iter
+    (fun (name, g) ->
+      Printf.eprintf "# gauge %-28s last=%g min=%g max=%g\n" name
+        g.Obs.Agg.last g.Obs.Agg.g_min g.Obs.Agg.g_max)
+    (Obs.Agg.gauges agg)
+
+(* the solvers report failed fixpoints through dedicated counters *)
+let check_converged agg =
+  let n = Obs.Agg.counter agg in
+  if n "pontryagin.nonconverged" > 0. then
+    Error
+      (`Msg
+        (Printf.sprintf "Pontryagin fixpoint did not converge (%.0f sweeps)"
+           (n "pontryagin.sweeps")))
+  else if n "birkhoff.nonconverged" > 0. then
+    Error
+      (`Msg
+        (Printf.sprintf "Birkhoff iteration did not converge (%.0f rounds)"
+           (n "birkhoff.iterations")))
+  else Ok ()
+
+let with_obs ~trace ~metrics f =
+  let ( let* ) = Result.bind in
+  let agg = Obs.Agg.create () in
+  let run tr = f (Obs.make ~agg ?trace:tr ()) in
+  let* () =
+    match trace with
+    | None -> run None
+    | Some file ->
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            let tr = Obs.Trace.to_channel oc in
+            let r = run (Some tr) in
+            Obs.Trace.flush tr;
+            r)
+  in
+  if metrics then print_metrics agg;
+  check_converged agg
 
 let exit_of_result = function
   | Ok () -> ()
@@ -258,7 +334,7 @@ let bounds_cmd =
   let steps_arg =
     Arg.(value & opt int 300 & info [ "steps" ] ~docv:"K" ~doc:"Pontryagin grid.")
   in
-  let run model var scenario horizon points steps jobs =
+  let run model var scenario horizon points steps jobs trace metrics =
     exit_of_result
       (let ( let* ) = Result.bind in
        let* entry = lookup_model model in
@@ -266,28 +342,29 @@ let bounds_cmd =
        let* scen = parse_scenario scenario in
        if points < 2 then Error (`Msg "need at least 2 points")
        else
-         with_jobs jobs (fun pool ->
-             let times = Vec.linspace 0. horizon points in
-             Printf.printf "t\t%s_min\t%s_max\n" var var;
-             Array.iter
-               (fun t ->
-                 if t <= 0. then
-                   Printf.printf "%.3f\t%.5f\t%.5f\n" t entry.x0.(coord)
-                     entry.x0.(coord)
-                 else begin
-                   let lo, hi =
-                     Scenario.extremal_coord ?pool ~steps scen entry.di
-                       ~x0:entry.x0 ~coord ~horizon:t
-                   in
-                   Printf.printf "%.3f\t%.5f\t%.5f\n" t lo hi
-                 end)
-               times;
-             Ok ()))
+         with_obs ~trace ~metrics (fun obs ->
+             with_jobs ~obs jobs (fun pool ->
+                 let times = Vec.linspace 0. horizon points in
+                 Printf.printf "t\t%s_min\t%s_max\n" var var;
+                 Array.iter
+                   (fun t ->
+                     if t <= 0. then
+                       Printf.printf "%.3f\t%.5f\t%.5f\n" t entry.x0.(coord)
+                         entry.x0.(coord)
+                     else begin
+                       let lo, hi =
+                         Scenario.extremal_coord ?pool ~obs ~steps scen
+                           entry.di ~x0:entry.x0 ~coord ~horizon:t
+                       in
+                       Printf.printf "%.3f\t%.5f\t%.5f\n" t lo hi
+                     end)
+                   times;
+                 Ok ())))
   in
   Cmd.v (Cmd.info "bounds" ~doc)
     Term.(
       const run $ model_arg $ var_arg $ scenario_arg $ horizon_arg 4.
-      $ points_arg $ steps_arg $ jobs_arg)
+      $ points_arg $ steps_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* hull command *)
 let hull_cmd =
@@ -295,49 +372,57 @@ let hull_cmd =
   let dt_arg =
     Arg.(value & opt float 0.02 & info [ "dt" ] ~docv:"DT" ~doc:"Hull step.")
   in
-  let run model horizon dt =
+  let run model horizon dt trace metrics =
     exit_of_result
       (let ( let* ) = Result.bind in
        let* entry = lookup_model model in
-       let h =
-         Hull.bounds ?clip:entry.clip entry.di ~x0:entry.x0 ~horizon ~dt
-       in
-       let names = entry.model.Population.var_names in
-       print_string "t";
-       Array.iter (fun n -> Printf.printf "\t%s_lo\t%s_hi" n n) names;
-       print_newline ();
-       Array.iter
-         (fun t ->
-           Printf.printf "%.3f" t;
-           let lo = Hull.lower_at h t and hi = Hull.upper_at h t in
-           Array.iteri (fun i _ -> Printf.printf "\t%.5f\t%.5f" lo.(i) hi.(i)) names;
-           print_newline ())
-         (Vec.linspace 0. horizon 11);
-       Ok ())
+       with_obs ~trace ~metrics (fun obs ->
+           let h =
+             Hull.bounds ?clip:entry.clip ~obs entry.di ~x0:entry.x0 ~horizon
+               ~dt
+           in
+           let names = entry.model.Population.var_names in
+           print_string "t";
+           Array.iter (fun n -> Printf.printf "\t%s_lo\t%s_hi" n n) names;
+           print_newline ();
+           Array.iter
+             (fun t ->
+               Printf.printf "%.3f" t;
+               let lo = Hull.lower_at h t and hi = Hull.upper_at h t in
+               Array.iteri
+                 (fun i _ -> Printf.printf "\t%.5f\t%.5f" lo.(i) hi.(i))
+                 names;
+               print_newline ())
+             (Vec.linspace 0. horizon 11);
+           Ok ()))
   in
-  Cmd.v (Cmd.info "hull" ~doc) Term.(const run $ model_arg $ horizon_arg 10. $ dt_arg)
+  Cmd.v (Cmd.info "hull" ~doc)
+    Term.(
+      const run $ model_arg $ horizon_arg 10. $ dt_arg $ trace_arg
+      $ metrics_arg)
 
 (* steady command *)
 let steady_cmd =
   let doc = "Steady-state Birkhoff region of a 2-variable model." in
-  let run model =
+  let run model trace metrics =
     exit_of_result
       (let ( let* ) = Result.bind in
        let* entry = lookup_model model in
        if Population.dim entry.model <> 2 then
          Error (`Msg "steady-state regions are computed for 2-variable models")
-       else begin
-         let b = Birkhoff.compute entry.di ~x_start:entry.x0 in
-         Printf.printf "# %s\n" (Birkhoff.result_to_string b);
-         let names = entry.model.Population.var_names in
-         Printf.printf "%s\t%s\n" names.(0) names.(1);
-         List.iter
-           (fun (x, y) -> Printf.printf "%.5f\t%.5f\n" x y)
-           (Geometry.resample_boundary b.Birkhoff.polygon 60);
-         Ok ()
-       end)
+       else
+         with_obs ~trace ~metrics (fun obs ->
+             let b = Birkhoff.compute ~obs entry.di ~x_start:entry.x0 in
+             Printf.printf "# %s\n" (Birkhoff.result_to_string b);
+             let names = entry.model.Population.var_names in
+             Printf.printf "%s\t%s\n" names.(0) names.(1);
+             List.iter
+               (fun (x, y) -> Printf.printf "%.5f\t%.5f\n" x y)
+               (Geometry.resample_boundary b.Birkhoff.polygon 60);
+             Ok ()))
   in
-  Cmd.v (Cmd.info "steady" ~doc) Term.(const run $ model_arg)
+  Cmd.v (Cmd.info "steady" ~doc)
+    Term.(const run $ model_arg $ trace_arg $ metrics_arg)
 
 (* simulate command *)
 let simulate_cmd =
@@ -366,7 +451,7 @@ let simulate_cmd =
              trajectory is sampled over time; with $(docv) > 1 the final \
              state of $(docv) runs is reported (parallelises with --jobs).")
   in
-  let run model n tmax seed points policy reps jobs =
+  let run model n tmax seed points policy reps jobs trace metrics =
     exit_of_result
       (let ( let* ) = Result.bind in
        let* entry = lookup_model model in
@@ -386,55 +471,58 @@ let simulate_cmd =
        in
        if points < 1 then Error (`Msg "need at least one point")
        else if reps < 1 then Error (`Msg "need at least one replication")
-       else if reps = 1 then begin
-         let times =
-           Array.init points (fun i ->
-               tmax *. float_of_int (i + 1) /. float_of_int points)
-         in
-         let states =
-           Ssa.sampled entry.model ~n ~x0:entry.x0 ~policy:pol ~times
-             (Rng.create seed)
-         in
-         let names = entry.model.Population.var_names in
-         Printf.printf "t\t%s\n" (String.concat "\t" (Array.to_list names));
-         Array.iteri
-           (fun i t ->
-             Printf.printf "%.3f" t;
-             Array.iter (fun v -> Printf.printf "\t%.5f" v) states.(i);
-             print_newline ())
-           times;
-         Ok ()
-       end
        else
-         with_jobs jobs (fun pool ->
-             let finals =
-               Ssa.replicate ?pool entry.model ~n ~x0:entry.x0 ~policy:pol
-                 ~tmax ~reps ~seed
-             in
-             let names = entry.model.Population.var_names in
-             Printf.printf "rep\t%s\n"
-               (String.concat "\t" (Array.to_list names));
-             Array.iteri
-               (fun i x ->
-                 Printf.printf "%d" i;
-                 Array.iter (fun v -> Printf.printf "\t%.5f" v) x;
-                 print_newline ())
-               finals;
-             let dim = Population.dim entry.model in
-             Printf.printf "mean";
-             for c = 0 to dim - 1 do
-               let s =
-                 Array.fold_left (fun acc x -> acc +. x.(c)) 0. finals
+         with_obs ~trace ~metrics (fun obs ->
+             if reps = 1 then begin
+               let times =
+                 Array.init points (fun i ->
+                     tmax *. float_of_int (i + 1) /. float_of_int points)
                in
-               Printf.printf "\t%.5f" (s /. float_of_int reps)
-             done;
-             print_newline ();
-             Ok ()))
+               let states =
+                 Ssa.sampled ~obs entry.model ~n ~x0:entry.x0 ~policy:pol
+                   ~times (Rng.create seed)
+               in
+               let names = entry.model.Population.var_names in
+               Printf.printf "t\t%s\n"
+                 (String.concat "\t" (Array.to_list names));
+               Array.iteri
+                 (fun i t ->
+                   Printf.printf "%.3f" t;
+                   Array.iter (fun v -> Printf.printf "\t%.5f" v) states.(i);
+                   print_newline ())
+                 times;
+               Ok ()
+             end
+             else
+               with_jobs ~obs jobs (fun pool ->
+                   let finals =
+                     Ssa.replicate ?pool ~obs entry.model ~n ~x0:entry.x0
+                       ~policy:pol ~tmax ~reps ~seed
+                   in
+                   let names = entry.model.Population.var_names in
+                   Printf.printf "rep\t%s\n"
+                     (String.concat "\t" (Array.to_list names));
+                   Array.iteri
+                     (fun i x ->
+                       Printf.printf "%d" i;
+                       Array.iter (fun v -> Printf.printf "\t%.5f" v) x;
+                       print_newline ())
+                     finals;
+                   let dim = Population.dim entry.model in
+                   Printf.printf "mean";
+                   for c = 0 to dim - 1 do
+                     let s =
+                       Array.fold_left (fun acc x -> acc +. x.(c)) 0. finals
+                     in
+                     Printf.printf "\t%.5f" (s /. float_of_int reps)
+                   done;
+                   print_newline ();
+                   Ok ())))
   in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ model_arg $ n_arg $ horizon_arg 10. $ seed_arg $ points_arg
-      $ policy_arg $ reps_arg $ jobs_arg)
+      $ policy_arg $ reps_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* lint command *)
 let lint_cmd =

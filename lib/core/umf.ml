@@ -24,6 +24,7 @@ module Ssa = Umf_meanfield.Ssa
 module Convergence = Umf_meanfield.Convergence
 module Lint = Umf_lint.Lint
 module Runtime = Umf_runtime.Runtime
+module Obs = Umf_obs.Obs
 module Di = Umf_diffinc.Di
 module Hull = Umf_diffinc.Hull
 module Pontryagin = Umf_diffinc.Pontryagin
@@ -54,27 +55,73 @@ module Analysis = struct
     dt : float;
     tol : float;
     pool : Runtime.Pool.t option;
+    obs : Obs.t;
   }
 
   let spec ?(scenario = Imprecise) ?theta ?(horizon = 10.) ?(steps = 400)
-      ?(dt = 1e-2) ?(tol = 1e-4) ?pool model =
+      ?(dt = 1e-2) ?(tol = 1e-4) ?pool ?(obs = Obs.off) model =
     if horizon <= 0. then invalid_arg "Analysis.spec: need horizon > 0";
     if steps < 1 then invalid_arg "Analysis.spec: need steps >= 1";
     if dt <= 0. then invalid_arg "Analysis.spec: need dt > 0";
     (match scenario with
     | Uncertain g when g < 2 -> invalid_arg "Analysis.spec: need grid >= 2"
     | Uncertain _ | Imprecise -> ());
-    { model; scenario; theta; horizon; steps; dt; tol; pool }
+    { model; scenario; theta; horizon; steps; dt; tol; pool; obs }
 
   let di_of_spec s =
     let di = Di.of_population s.model in
     match s.theta with None -> di | Some box -> { di with Di.theta = box }
+
+  type metrics = {
+    wall : float;
+    spans : (string * Obs.Agg.span_stat) list;
+    counters : (string * float) list;
+  }
+
+  let no_metrics = { wall = 0.; spans = []; counters = [] }
+
+  let metric m name = try Some (List.assoc name m.counters) with Not_found -> None
+
+  (* Run one analysis under the spec's observation context, collecting
+     a per-call metrics summary in an ephemeral Agg layered over the
+     caller's sinks.  When the spec observes nothing this degenerates
+     to a bare call: no registry, no clock reads, no allocation — the
+     zero-cost-when-off contract. *)
+  let instrumented s name f =
+    if not (Obs.enabled s.obs) then (f s.obs, no_metrics)
+    else begin
+      let agg = Obs.Agg.create () in
+      let obs = Obs.with_agg s.obs agg in
+      (match s.pool with Some p -> Runtime.Pool.set_obs p obs | None -> ());
+      let restore () =
+        match s.pool with Some p -> Runtime.Pool.set_obs p s.obs | None -> ()
+      in
+      let x =
+        Fun.protect ~finally:restore (fun () ->
+            let sp = Obs.span_begin obs name in
+            let x = f obs in
+            Obs.span_end obs sp;
+            x)
+      in
+      let wall =
+        match Obs.Agg.span_stat agg name with
+        | Some st -> st.Obs.Agg.total
+        | None -> 0.
+      in
+      ( x,
+        {
+          wall;
+          spans = Obs.Agg.span_stats agg;
+          counters = Obs.Agg.counters agg;
+        } )
+    end
 
   type bounds = {
     coord : int;
     times : float array;
     lower : float array;
     upper : float array;
+    metrics : metrics;
   }
 
   let transient_bounds ?times s ~x0 ~coord =
@@ -82,33 +129,39 @@ module Analysis = struct
       match times with Some ts -> ts | None -> Vec.linspace 0. s.horizon 11
     in
     let di = di_of_spec s in
-    let pairs =
-      match s.scenario with
-      | Imprecise ->
-          Pontryagin.bound_series ?pool:s.pool ~steps:s.steps ~tol:s.tol di ~x0
-            ~coord ~times
-      | Uncertain grid ->
-          let lower, upper =
-            Uncertain.transient_envelope ?pool:s.pool ~dt:s.dt ~grid di ~x0
-              ~times
-          in
-          Array.init (Array.length times) (fun i ->
-              (lower.(i).(coord), upper.(i).(coord)))
+    let pairs, metrics =
+      instrumented s "analysis.transient_bounds" (fun obs ->
+          match s.scenario with
+          | Imprecise ->
+              Pontryagin.bound_series ?pool:s.pool ~steps:s.steps ~tol:s.tol
+                ~obs di ~x0 ~coord ~times
+          | Uncertain grid ->
+              let lower, upper =
+                Uncertain.transient_envelope ?pool:s.pool ~obs ~dt:s.dt ~grid
+                  di ~x0 ~times
+              in
+              Array.init (Array.length times) (fun i ->
+                  (lower.(i).(coord), upper.(i).(coord))))
     in
     {
       coord;
       times;
       lower = Array.map fst pairs;
       upper = Array.map snd pairs;
+      metrics;
     }
 
   let hull_bounds ?clip s ~x0 =
-    Hull.bounds ?clip (di_of_spec s) ~x0 ~horizon:s.horizon ~dt:s.dt
+    fst
+      (instrumented s "analysis.hull_bounds" (fun obs ->
+           Hull.bounds ?clip ~obs (di_of_spec s) ~x0 ~horizon:s.horizon
+             ~dt:s.dt))
 
   type region = {
     birkhoff : Birkhoff.result;
     area : float;
     converged : bool;
+    metrics : metrics;
   }
 
   let steady_state_region_2d ?x_start s =
@@ -117,10 +170,18 @@ module Analysis = struct
       | Some x -> x
       | None -> Vec.create (Population.dim s.model) 0.5
     in
-    let b = Birkhoff.compute (di_of_spec s) ~x_start in
-    { birkhoff = b; area = Birkhoff.area b; converged = Birkhoff.converged b }
+    let b, metrics =
+      instrumented s "analysis.steady_state_region_2d" (fun obs ->
+          Birkhoff.compute ~obs (di_of_spec s) ~x_start)
+    in
+    {
+      birkhoff = b;
+      area = Birkhoff.area b;
+      converged = Birkhoff.converged b;
+      metrics;
+    }
 
-  type cloud = { times : float array; states : Vec.t array }
+  type cloud = { times : float array; states : Vec.t array; metrics : metrics }
 
   let stationary_cloud s ~n ~x0 ~policy ~warmup ~samples ~seed =
     if samples <= 0 then invalid_arg "Analysis.stationary_cloud: samples <= 0";
@@ -133,21 +194,25 @@ module Analysis = struct
              *. float_of_int (i + 1)
              /. float_of_int samples)
     in
-    let states = Ssa.sampled s.model ~n ~x0 ~policy ~times (Rng.create seed) in
-    { times; states }
+    let states, metrics =
+      instrumented s "analysis.stationary_cloud" (fun obs ->
+          Ssa.sampled ~obs s.model ~n ~x0 ~policy ~times (Rng.create seed))
+    in
+    { times; states; metrics }
 
   type inclusion = {
     total : int;
     inside : int;  (** Number of states within the [tol] slack. *)
     fraction : float;
     strict : float;  (** Fraction with no boundary slack. *)
+    metrics : metrics;
   }
 
   (* chunked fold over states: per-chunk partials with a FIXED chunk
      size, combined in chunk order — the same association whether the
      partials are computed here or on pool workers, so pool presence
      and domain count never change a single bit of the result *)
-  let chunked_fold s ~per_state ~combine ~init states =
+  let chunked_fold ?pool ~per_state ~combine ~init states =
     let total = Array.length states in
     let chunk = 1024 in
     if total <= chunk then Array.fold_left per_state init states
@@ -163,7 +228,7 @@ module Analysis = struct
         !acc
       in
       let partials =
-        match s.pool with
+        match pool with
         | Some p ->
             Runtime.Pool.parallel_map ~stage:"analysis-fold" ~chunk:1 p
               partial
@@ -173,18 +238,31 @@ module Analysis = struct
       Array.fold_left combine init partials
     end
 
-  let inclusion_fraction ?tol s region states =
-    if Array.length states = 0 then
-      invalid_arg "Analysis.inclusion_fraction: no states";
-    let b = region.birkhoff in
+  (* shared cores: the spec entry points wrap these in [instrumented];
+     the Legacy wrappers call them pool-less and context-free *)
+  let inclusion_counts ?pool ?tol b states =
     let count (slack, strict) x =
       let p = (x.(0), x.(1)) in
       ( (slack + if Birkhoff.contains ?tol b p then 1 else 0),
         strict + if Birkhoff.contains b p then 1 else 0 )
     in
-    let inside, strict_inside =
-      chunked_fold s states ~init:(0, 0) ~per_state:count
-        ~combine:(fun (a, b) (c, d) -> (a + c, b + d))
+    chunked_fold ?pool states ~init:(0, 0) ~per_state:count
+      ~combine:(fun (a, b) (c, d) -> (a + c, b + d))
+
+  let exceedance_stats ?pool polygon states =
+    let step (acc, worst) x =
+      let d = Geometry.violation_depth (x.(0), x.(1)) polygon in
+      (acc +. d, Float.max worst d)
+    in
+    chunked_fold ?pool states ~init:(0., 0.) ~per_state:step
+      ~combine:(fun (a, w) (a', w') -> (a +. a', Float.max w w'))
+
+  let inclusion_fraction ?tol s region states =
+    if Array.length states = 0 then
+      invalid_arg "Analysis.inclusion_fraction: no states";
+    let (inside, strict_inside), metrics =
+      instrumented s "analysis.inclusion_fraction" (fun _obs ->
+          inclusion_counts ?pool:s.pool ?tol region.birkhoff states)
     in
     let total = Array.length states in
     {
@@ -192,82 +270,52 @@ module Analysis = struct
       inside;
       fraction = float_of_int inside /. float_of_int total;
       strict = float_of_int strict_inside /. float_of_int total;
+      metrics;
     }
 
-  type exceedance = { mean : float; worst : float }
+  type exceedance = { mean : float; worst : float; metrics : metrics }
 
   let mean_exceedance s region states =
     if Array.length states = 0 then
       invalid_arg "Analysis.mean_exceedance: no states";
-    let polygon = region.birkhoff.Birkhoff.polygon in
-    let step (acc, worst) x =
-      let d = Geometry.violation_depth (x.(0), x.(1)) polygon in
-      (acc +. d, Float.max worst d)
+    let (acc, worst), metrics =
+      instrumented s "analysis.mean_exceedance" (fun _obs ->
+          exceedance_stats ?pool:s.pool region.birkhoff.Birkhoff.polygon
+            states)
     in
-    let acc, worst =
-      chunked_fold s states ~init:(0., 0.) ~per_state:step
-        ~combine:(fun (a, w) (a', w') -> (a +. a', Float.max w w'))
-    in
-    { mean = acc /. float_of_int (Array.length states); worst }
+    { mean = acc /. float_of_int (Array.length states); worst; metrics }
 
-  (* the pre-spec entry points, kept one release as thin wrappers *)
+  (* Deprecated pre-spec entry points, now thin aliases over the spec
+     API (they build a throwaway sequential spec, or share the fold
+     cores above when they never had a model argument).  Scheduled for
+     removal: see the timeline note in umf.mli. *)
   module Legacy = struct
     let transient_bounds ?(scenario = Imprecise) ?steps model ~x0 ~coord ~times
         =
-      let di = Di.of_population model in
-      match scenario with
-      | Imprecise -> Pontryagin.bound_series ?steps di ~x0 ~coord ~times
-      | Uncertain grid ->
-          let lower, upper = Uncertain.transient_envelope ~grid di ~x0 ~times in
-          Array.init (Array.length times) (fun i ->
-              (lower.(i).(coord), upper.(i).(coord)))
+      let b = transient_bounds ~times (spec ~scenario ?steps model) ~x0 ~coord in
+      Array.init (Array.length times) (fun i -> (b.lower.(i), b.upper.(i)))
 
     let hull_bounds ?clip ?(dt = 1e-2) model ~x0 ~horizon =
-      let di = Di.of_population model in
-      Hull.bounds ?clip di ~x0 ~horizon ~dt
+      hull_bounds ?clip (spec ~horizon ~dt model) ~x0
 
     let steady_state_region_2d ?x_start model =
-      let di = Di.of_population model in
-      let x_start =
-        match x_start with
-        | Some x -> x
-        | None -> Vec.create (Population.dim model) 0.5
-      in
-      Birkhoff.compute di ~x_start
+      (steady_state_region_2d ?x_start (spec model)).birkhoff
 
     let stationary_cloud model ~n ~x0 ~policy ~warmup ~horizon ~samples ~seed =
-      if samples <= 0 then invalid_arg "Analysis.stationary_cloud: samples <= 0";
-      if warmup >= horizon then
-        invalid_arg "Analysis.stationary_cloud: warmup >= horizon";
-      let times =
-        Array.init samples (fun i ->
-            warmup
-            +. (horizon -. warmup)
-               *. float_of_int (i + 1)
-               /. float_of_int samples)
-      in
-      Ssa.sampled model ~n ~x0 ~policy ~times (Rng.create seed)
+      (stationary_cloud (spec ~horizon model) ~n ~x0 ~policy ~warmup ~samples
+         ~seed)
+        .states
 
     let inclusion_fraction ?tol region states =
       if Array.length states = 0 then
         invalid_arg "Analysis.inclusion_fraction: no states";
-      let inside = ref 0 in
-      Array.iter
-        (fun x ->
-          if Birkhoff.contains ?tol region (x.(0), x.(1)) then incr inside)
-        states;
-      float_of_int !inside /. float_of_int (Array.length states)
+      let inside, _ = inclusion_counts ?tol region states in
+      float_of_int inside /. float_of_int (Array.length states)
 
     let mean_exceedance region states =
       if Array.length states = 0 then
         invalid_arg "Analysis.mean_exceedance: no states";
-      let acc = ref 0. in
-      Array.iter
-        (fun x ->
-          acc :=
-            !acc
-            +. Geometry.violation_depth (x.(0), x.(1)) region.Birkhoff.polygon)
-        states;
-      !acc /. float_of_int (Array.length states)
+      let acc, _ = exceedance_stats region.Birkhoff.polygon states in
+      acc /. float_of_int (Array.length states)
   end
 end

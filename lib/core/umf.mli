@@ -54,6 +54,9 @@ module Lint = Umf_lint.Lint
 (* multicore execution engine *)
 module Runtime = Umf_runtime.Runtime
 
+(* tracing & metrics (zero-cost when off) *)
+module Obs = Umf_obs.Obs
+
 (* differential-inclusion mean-field limits *)
 module Di = Umf_diffinc.Di
 module Hull = Umf_diffinc.Hull
@@ -102,6 +105,14 @@ module Analysis : sig
         (** Fan parallel selections of the inclusion out across these
             domains; [None] (default) runs sequentially.  Results are
             bit-identical for any pool size. *)
+    obs : Obs.t;
+        (** Observation context every analysis threads into its
+            solvers; default {!Obs.off}.  When enabled, solver spans,
+            counters and gauges reach the context's sinks, the spec's
+            pool reports its sections to it for the duration of each
+            call, and each result record carries a {!metrics} summary.
+            When off, instrumentation costs nothing and results are
+            bit-identical. *)
   }
 
   val spec :
@@ -112,6 +123,7 @@ module Analysis : sig
     ?dt:float ->
     ?tol:float ->
     ?pool:Runtime.Pool.t ->
+    ?obs:Obs.t ->
     Population.t ->
     spec
   (** Smart constructor with the defaults above.
@@ -122,11 +134,31 @@ module Analysis : sig
   (** The mean-field differential inclusion the spec denotes (with the
       θ-box override applied). *)
 
+  type metrics = {
+    wall : float;
+        (** Wall seconds of the whole analysis call (0 when obs is
+            off). *)
+    spans : (string * Obs.Agg.span_stat) list;
+        (** Per-span rows (calls, total and max wall seconds) recorded
+            during this call, sorted by name. *)
+    counters : (string * float) list;  (** Counter sums, sorted. *)
+  }
+  (** Per-call solver-effort summary attached to every result record.
+      Populated only when [spec.obs] is enabled; equals {!no_metrics}
+      otherwise, so comparing the {e numeric} payload of results is
+      meaningful across observed and unobserved runs. *)
+
+  val no_metrics : metrics
+
+  val metric : metrics -> string -> float option
+  (** Counter lookup, e.g. [metric m "pontryagin.sweeps"]. *)
+
   type bounds = {
     coord : int;
     times : float array;
     lower : float array;
     upper : float array;
+    metrics : metrics;
   }
   (** Reachability envelope of one coordinate: at [times.(i)] the
       variable lies in [lower.(i), upper.(i)]. *)
@@ -146,6 +178,7 @@ module Analysis : sig
     birkhoff : Birkhoff.result;
     area : float;
     converged : bool;  (** [Birkhoff.converged]. *)
+    metrics : metrics;
   }
 
   val steady_state_region_2d : ?x_start:Vec.t -> spec -> region
@@ -153,7 +186,7 @@ module Analysis : sig
       the imprecise scenario).  [x_start] defaults to the
       all-coordinates-0.5 seed. *)
 
-  type cloud = { times : float array; states : Vec.t array }
+  type cloud = { times : float array; states : Vec.t array; metrics : metrics }
   (** Sampled states of the finite-N system, [states.(i)] at
       [times.(i)]. *)
 
@@ -175,6 +208,7 @@ module Analysis : sig
     inside : int;  (** Number of states within the [tol] slack. *)
     fraction : float;  (** [inside / total]. *)
     strict : float;  (** Fraction with no boundary slack. *)
+    metrics : metrics;
   }
 
   val inclusion_fraction :
@@ -184,15 +218,23 @@ module Analysis : sig
       policies like θ1 ride exactly along the region boundary, so a
       small slack separates genuine escapes from boundary hugging). *)
 
-  type exceedance = { mean : float; worst : float }
+  type exceedance = { mean : float; worst : float; metrics : metrics }
 
   val mean_exceedance : spec -> region -> Vec.t array -> exceedance
   (** Average (and worst-case) distance by which sample states stick
       out of the region (0 when all inside); the mean converges to 0
       as N → ∞ by Theorem 3. *)
 
-  (** The pre-spec API, kept for one release as deprecated wrappers
-      with the original signatures. *)
+  (** The pre-spec API, now thin aliases over the {!spec} entry points
+      (each wrapper builds a throwaway sequential spec, or shares the
+      spec API's fold cores when it never took a model).
+
+      {b Removal timeline}: deprecated since the spec redesign; kept
+      through one more release for downstream migration and deleted in
+      the release after that.  New code must build an {!Analysis.spec}
+      and call the functions above; the dedicated compat test
+      ([test/integration/test_legacy.ml]) is the only sanctioned
+      caller inside this repository. *)
   module Legacy : sig
     val transient_bounds :
       ?scenario:scenario ->

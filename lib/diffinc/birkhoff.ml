@@ -1,4 +1,5 @@
 open Umf_numerics
+module Obs = Umf_obs.Obs
 
 type result = {
   polygon : Geometry.point list;
@@ -15,8 +16,10 @@ let traj_points traj =
 
 let compute ?theta_a ?theta_b ?(dt = 1e-2) ?(settle_time = 200.)
     ?(escape_time = 30.) ?(n_boundary = 200) ?(max_rounds = 50) ?(tol = 1e-6)
-    di ~x_start =
+    ?(check = false) ?(obs = Obs.off) di ~x_start =
   if di.Di.dim <> 2 then invalid_arg "Birkhoff.compute: system is not 2-D";
+  let on = Obs.enabled obs in
+  let sp = Obs.span_begin obs "birkhoff.compute" in
   let theta_a =
     match theta_a with Some t -> t | None -> di.Di.theta.Optim.Box.hi
   in
@@ -24,11 +27,12 @@ let compute ?theta_a ?theta_b ?(dt = 1e-2) ?(settle_time = 200.)
     match theta_b with Some t -> t | None -> di.Di.theta.Optim.Box.lo
   in
   let settle theta x0 =
-    Ode.integrate_to (fun _t x -> di.Di.drift x theta) ~t0:0. ~y0:x0
-      ~t1:settle_time ~dt
+    Ode.integrate_to ~obs
+      (fun _t x -> di.Di.drift x theta)
+      ~t0:0. ~y0:x0 ~t1:settle_time ~dt
   in
   let run theta x0 horizon =
-    Di.integrate_constant di ~theta ~x0 ~horizon ~dt
+    Di.integrate_constant ~obs di ~theta ~x0 ~horizon ~dt
   in
   (* seed region: heteroclinic loop between the two extreme dynamics *)
   let x0 = settle theta_a x_start in
@@ -87,6 +91,11 @@ let compute ?theta_a ?theta_b ?(dt = 1e-2) ?(settle_time = 200.)
       hull := Geometry.convex_hull !points;
       points := !hull;
       let after = Geometry.polygon_area !hull in
+      if check && not (Float.is_finite after) then
+        failwith
+          (Printf.sprintf
+             "Birkhoff.compute: non-finite region area at round %d" !rounds);
+      if on then Obs.gauge obs "birkhoff.area" after;
       (* stop growing once escapes no longer enlarge the region: the
          outward drift then only traces chords of a non-convex set
          already inside the hull *)
@@ -103,11 +112,22 @@ let compute ?theta_a ?theta_b ?(dt = 1e-2) ?(settle_time = 200.)
       Geometry.convex_hull (Geometry.resample_boundary !hull max_vertices)
     else !hull
   in
-  {
-    polygon;
-    iterations = !rounds;
-    escaped = !outward_left && !rounds >= max_rounds;
-  }
+  let escaped = !outward_left && !rounds >= max_rounds in
+  if on then begin
+    let area = Geometry.polygon_area polygon in
+    Obs.count obs "birkhoff.iterations" !rounds;
+    if escaped then Obs.count obs "birkhoff.nonconverged" 1;
+    Obs.gauge obs "birkhoff.area" area;
+    Obs.span_end
+      ~metrics:
+        [
+          ("rounds", float_of_int !rounds);
+          ("area", area);
+          ("converged", if escaped then 0. else 1.);
+        ]
+      obs sp
+  end;
+  { polygon; iterations = !rounds; escaped }
 
 let contains ?tol r p =
   Geometry.point_in_convex_polygon ?tol p r.polygon

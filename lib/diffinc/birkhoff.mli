@@ -32,6 +32,8 @@ val compute :
   ?n_boundary:int ->
   ?max_rounds:int ->
   ?tol:float ->
+  ?check:bool ->
+  ?obs:Umf_obs.Obs.t ->
   Di.t ->
   x_start:Vec.t ->
   result
@@ -39,6 +41,12 @@ val compute :
     [settle_time = 200] for reaching equilibria, [escape_time = 30] for
     growing trajectories, [n_boundary = 200] boundary test points,
     [max_rounds = 50], [tol = 1e-6] on the outward drift component.
+
+    [check] (default false) raises [Failure] if the region area goes
+    non-finite — the sanitizer convention shared with {!Hull.bounds}
+    and {!Pontryagin.solve}.  [obs] records the ["birkhoff.compute"]
+    span, the ["birkhoff.iterations"] / ["birkhoff.nonconverged"]
+    counters and the per-round ["birkhoff.area"] gauge.
     @raise Invalid_argument unless the system is 2-dimensional. *)
 
 val contains : ?tol:float -> result -> Geometry.point -> bool

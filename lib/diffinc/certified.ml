@@ -26,21 +26,21 @@ let opt_of ?domain report s =
   | Some r -> r.Lint.recommended_opt
   | None -> recommended_hamiltonian_opt ?domain s
 
-let pontryagin ?steps ?max_iter ?tol ?relax ?domain ?lint s ~x0 ~horizon
+let pontryagin ?steps ?max_iter ?tol ?relax ?domain ?lint ?obs s ~x0 ~horizon
     ~sense obj =
   let report = gate ?domain ?lint s in
   let opt = opt_of ?domain report s in
-  Pontryagin.solve ?steps ?max_iter ?tol ?relax ~opt (di s) ~x0 ~horizon
-    ~sense obj
+  Pontryagin.solve ?steps ?max_iter ?tol ?relax ~opt ~check:true ?obs (di s)
+    ~x0 ~horizon ~sense obj
 
-let bound_series ?steps ?max_iter ?tol ?relax ?domain ?lint s ~x0 ~coord
+let bound_series ?steps ?max_iter ?tol ?relax ?domain ?lint ?obs s ~x0 ~coord
     ~times =
   let report = gate ?domain ?lint s in
   let opt = opt_of ?domain report s in
-  Pontryagin.bound_series ?steps ?max_iter ?tol ?relax ~opt (di s) ~x0 ~coord
-    ~times
+  Pontryagin.bound_series ?steps ?max_iter ?tol ?relax ~opt ~check:true ?obs
+    (di s) ~x0 ~coord ~times
 
-let hull_bounds ?clip ?lint s ~x0 ~horizon ~dt =
+let hull_bounds ?clip ?lint ?obs s ~x0 ~horizon ~dt =
   ignore (gate ?domain:clip ?lint s : Lint.report option);
   let model = Symbolic.population s in
   let theta_ivs =
@@ -63,4 +63,4 @@ let hull_bounds ?clip ?lint s ~x0 ~horizon ~dt =
     | `Min -> Interval.lo enclosure
     | `Max -> Interval.hi enclosure
   in
-  Hull.bounds ~check:true ?clip ~face_extremum (di s) ~x0 ~horizon ~dt
+  Hull.bounds ~check:true ?clip ~face_extremum ?obs (di s) ~x0 ~horizon ~dt

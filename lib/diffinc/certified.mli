@@ -36,6 +36,7 @@ val pontryagin :
   ?relax:float ->
   ?domain:Optim.Box.t ->
   ?lint:bool ->
+  ?obs:Umf_obs.Obs.t ->
   Symbolic.t ->
   x0:Vec.t ->
   horizon:float ->
@@ -46,7 +47,10 @@ val pontryagin :
     to [true]) and with the Hamiltonian optimiser auto-selected from
     the lint classification; the chosen strategy is recorded in the
     result's [opt] field.  [domain] is passed to the linter (defaults
-    to the unit box).
+    to the unit box).  Runs with the [~check:true] non-finiteness
+    sanitizer on, and threads [obs] into the solver — the one
+    observation context convention shared by every certified entry
+    point.
     @raise Rejected when the lint report contains errors. *)
 
 val bound_series :
@@ -56,18 +60,21 @@ val bound_series :
   ?relax:float ->
   ?domain:Optim.Box.t ->
   ?lint:bool ->
+  ?obs:Umf_obs.Obs.t ->
   Symbolic.t ->
   x0:Vec.t ->
   coord:int ->
   times:float array ->
   (float * float) array
-(** {!Pontryagin.bound_series} with the same lint gate and optimiser
-    auto-selection as {!pontryagin}.
+(** {!Pontryagin.bound_series} with the same lint gate, optimiser
+    auto-selection, [~check:true] sanitizer and [obs] threading as
+    {!pontryagin}.
     @raise Rejected when the lint report contains errors. *)
 
 val hull_bounds :
   ?clip:Optim.Box.t ->
   ?lint:bool ->
+  ?obs:Umf_obs.Obs.t ->
   Symbolic.t ->
   x0:Vec.t ->
   horizon:float ->
@@ -75,7 +82,8 @@ val hull_bounds :
   Hull.traj
 (** Interval-certified differential hull.  Runs the linter first
     (over [clip] when given, else the unit box) and integrates with
-    the {!Hull.bounds} [~check:true] NaN/Inf sanitizer on.
+    the {!Hull.bounds} [~check:true] NaN/Inf sanitizer on; [obs] is
+    threaded into the hull integration.
     @raise Rejected when the lint report contains errors. *)
 
 val recommended_hamiltonian_opt :

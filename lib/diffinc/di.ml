@@ -19,11 +19,12 @@ let of_population ?jacobian (m : Umf_meanfield.Population.t) =
     jacobian;
   }
 
-let integrate_constant di ~theta ~x0 ~horizon ~dt =
-  Ode.integrate (fun _t x -> di.drift x theta) ~t0:0. ~y0:x0 ~t1:horizon ~dt
+let integrate_constant ?obs di ~theta ~x0 ~horizon ~dt =
+  Ode.integrate ?obs (fun _t x -> di.drift x theta) ~t0:0. ~y0:x0 ~t1:horizon
+    ~dt
 
-let integrate_control di ~control ~x0 ~horizon ~dt =
-  Ode.integrate
+let integrate_control ?obs di ~control ~x0 ~horizon ~dt =
+  Ode.integrate ?obs
     (fun t x -> di.drift x (Optim.Box.clamp di.theta (control t x)))
     ~t0:0. ~y0:x0 ~t1:horizon ~dt
 

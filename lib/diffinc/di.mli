@@ -29,10 +29,18 @@ val of_population : ?jacobian:(Vec.t -> Vec.t -> Mat.t) -> Umf_meanfield.Populat
     drift and θ-box are taken from the transition classes. *)
 
 val integrate_constant :
-  t -> theta:Vec.t -> x0:Vec.t -> horizon:float -> dt:float -> Ode.Traj.t
-(** One selection: the solution under a constant parameter. *)
+  ?obs:Umf_obs.Obs.t ->
+  t ->
+  theta:Vec.t ->
+  x0:Vec.t ->
+  horizon:float ->
+  dt:float ->
+  Ode.Traj.t
+(** One selection: the solution under a constant parameter.  [?obs]
+    is forwarded to {!Ode.integrate}. *)
 
 val integrate_control :
+  ?obs:Umf_obs.Obs.t ->
   t ->
   control:(float -> Vec.t -> Vec.t) ->
   x0:Vec.t ->
@@ -40,7 +48,7 @@ val integrate_control :
   dt:float ->
   Ode.Traj.t
 (** The solution under a deterministic feedback control θ(t, x)
-    (clamped into Θ). *)
+    (clamped into Θ).  [?obs] is forwarded to {!Ode.integrate}. *)
 
 val costate_rhs : t -> x:Vec.t -> theta:Vec.t -> p:Vec.t -> Vec.t
 (** The Pontryagin costate right-hand side ṗ = −(∂f/∂x)ᵀ p, using the

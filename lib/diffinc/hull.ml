@@ -1,4 +1,5 @@
 open Umf_numerics
+module Obs = Umf_obs.Obs
 
 type traj = {
   times : float array;
@@ -30,10 +31,12 @@ type face_extremum =
   lo:Vec.t -> hi:Vec.t -> coord:int -> value:float -> [ `Min | `Max ] -> float
 
 let bounds ?(grid = 2) ?(refine = 8) ?(check = false) ?clip
-    ?face_extremum:custom di ~x0 ~horizon ~dt =
+    ?face_extremum:custom ?(obs = Obs.off) di ~x0 ~horizon ~dt =
   if horizon < 0. then invalid_arg "Hull.bounds: negative horizon";
   if dt <= 0. then invalid_arg "Hull.bounds: dt <= 0";
   if Vec.dim x0 <> di.Di.dim then invalid_arg "Hull.bounds: x0 dimension";
+  let on = Obs.enabled obs in
+  let sp = Obs.span_begin obs "hull.bounds" in
   let d = di.Di.dim in
   let extremum =
     match custom with
@@ -41,6 +44,13 @@ let bounds ?(grid = 2) ?(refine = 8) ?(check = false) ?clip
     | None ->
         fun ~lo ~hi ~coord ~value sense ->
           face_extremum ~grid ~refine di ~lo ~hi ~coord ~v:value sense
+  in
+  let face_evals = ref 0 in
+  let extremum =
+    if on then fun ~lo ~hi ~coord ~value sense ->
+      incr face_evals;
+      extremum ~lo ~hi ~coord ~value sense
+    else extremum
   in
   (* hull state z = (lower, upper) of dimension 2d *)
   let rhs _t z =
@@ -96,6 +106,20 @@ let bounds ?(grid = 2) ?(refine = 8) ?(check = false) ?clip
     upper.(i) <- hi';
     z := Array.append lo' hi'
   done;
+  if on then begin
+    Obs.count obs "hull.steps" steps;
+    Obs.count obs "hull.face_evals" !face_evals;
+    let width = Vec.norm_inf (Vec.sub upper.(steps) lower.(steps)) in
+    Obs.gauge obs "hull.final_width" width;
+    Obs.span_end
+      ~metrics:
+        [
+          ("steps", float_of_int steps);
+          ("face_evals", float_of_int !face_evals);
+          ("final_width", width);
+        ]
+      obs sp
+  end;
   { times; lower; upper }
 
 let locate times t =

@@ -33,6 +33,7 @@ val bounds :
   ?check:bool ->
   ?clip:Optim.Box.t ->
   ?face_extremum:face_extremum ->
+  ?obs:Umf_obs.Obs.t ->
   Di.t ->
   x0:Vec.t ->
   horizon:float ->
@@ -46,7 +47,9 @@ val bounds :
     the runtime sanitizer the {!Certified} path switches on.
     [clip] bounds the hull inside an invariant state box (e.g. the unit
     simplex box for densities) — without it, hulls that blow up take
-    the drift far outside the model's domain. *)
+    the drift far outside the model's domain.
+    [obs] records the ["hull.bounds"] span, the ["hull.steps"] /
+    ["hull.face_evals"] counters and the ["hull.final_width"] gauge. *)
 
 val lower_at : traj -> float -> Vec.t
 

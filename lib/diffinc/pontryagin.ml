@@ -1,5 +1,6 @@
 open Umf_numerics
 module Pool = Umf_runtime.Runtime.Pool
+module Obs = Umf_obs.Obs
 
 type objective = [ `Coord of int | `Linear of Vec.t ]
 
@@ -67,10 +68,13 @@ let backward di ~c ~h ~control xs ps =
   done
 
 let solve ?(steps = 400) ?(max_iter = 200) ?(tol = 1e-4) ?(relax = 0.5)
-    ?(opt = `Vertices) di ~x0 ~horizon ~sense obj =
+    ?(opt = `Vertices) ?(check = false) ?(obs = Obs.off) di ~x0 ~horizon
+    ~sense obj =
   if horizon <= 0. then invalid_arg "Pontryagin.solve: need horizon > 0";
   if steps < 1 then invalid_arg "Pontryagin.solve: need steps >= 1";
   if Vec.dim x0 <> di.Di.dim then invalid_arg "Pontryagin.solve: x0 dimension";
+  let on = Obs.enabled obs in
+  let sp = Obs.span_begin obs "pontryagin.solve" in
   let c = objective_vector di sense obj in
   let h = horizon /. float_of_int steps in
   let times = Array.init (steps + 1) (fun i -> float_of_int i *. h) in
@@ -78,7 +82,11 @@ let solve ?(steps = 400) ?(max_iter = 200) ?(tol = 1e-4) ?(relax = 0.5)
   let control = Array.init steps (fun _ -> Vec.copy mid) in
   let xs = Array.make (steps + 1) (Vec.zeros di.Di.dim) in
   let ps = Array.make (steps + 1) (Vec.zeros di.Di.dim) in
+  (* each update_control call evaluates the Hamiltonian arg max once
+     per grid interval *)
+  let update_calls = ref 0 in
   let update_control ~relax =
+    incr update_calls;
     for i = 0 to steps - 1 do
       (* evaluate at the interval midpoint state/costate *)
       let x = Vec.lerp xs.(i) xs.(i + 1) 0.5 in
@@ -101,6 +109,11 @@ let solve ?(steps = 400) ?(max_iter = 200) ?(tol = 1e-4) ?(relax = 0.5)
     incr iterations;
     forward di ~x0 ~h ~control xs;
     let v = value () in
+    if check && not (Float.is_finite v) then
+      failwith
+        (Printf.sprintf
+           "Pontryagin.solve: non-finite objective (%g) at sweep %d" v
+           !iterations);
     if v > !best_value then begin
       best_value := v;
       Array.iteri (fun i ci -> best_control.(i) <- Vec.copy ci) control
@@ -130,29 +143,64 @@ let solve ?(steps = 400) ?(max_iter = 200) ?(tol = 1e-4) ?(relax = 0.5)
   backward di ~c ~h ~control xs ps;
   let signed = value () in
   let value = match sense with `Max -> signed | `Min -> -.signed in
+  if on then begin
+    (* bang-bang switch count: grid cells where the control changes *)
+    let switches = ref 0 in
+    for i = 1 to steps - 1 do
+      if Vec.norm_inf (Vec.sub control.(i) control.(i - 1)) > 1e-9 then
+        incr switches
+    done;
+    Obs.count obs "pontryagin.sweeps" !iterations;
+    Obs.count obs "pontryagin.hamiltonian_evals" (steps * !update_calls);
+    if not !converged then Obs.count obs "pontryagin.nonconverged" 1;
+    Obs.gauge obs "pontryagin.switches" (float_of_int !switches);
+    Obs.span_end
+      ~metrics:
+        [
+          ("sweeps", float_of_int !iterations);
+          ("switches", float_of_int !switches);
+          ("converged", if !converged then 1. else 0.);
+        ]
+      obs sp
+  end;
   { value; times; x = xs; p = ps; control; iterations = !iterations;
     converged = !converged; opt }
 
-let bound_series ?pool ?steps ?max_iter ?tol ?relax ?opt di ~x0 ~coord ~times =
+let bound_series ?pool ?steps ?max_iter ?tol ?relax ?opt ?check ?obs di ~x0
+    ~coord ~times =
+  let sp =
+    match obs with
+    | Some o -> Obs.span_begin o "pontryagin.bound_series"
+    | None -> Obs.null_span
+  in
   let at t =
     if t <= 0. then (x0.(coord), x0.(coord))
     else begin
       let lo =
-        (solve ?steps ?max_iter ?tol ?relax ?opt di ~x0 ~horizon:t ~sense:`Min
-           (`Coord coord))
+        (solve ?steps ?max_iter ?tol ?relax ?opt ?check ?obs di ~x0 ~horizon:t
+           ~sense:`Min (`Coord coord))
           .value
       in
       let hi =
-        (solve ?steps ?max_iter ?tol ?relax ?opt di ~x0 ~horizon:t ~sense:`Max
-           (`Coord coord))
+        (solve ?steps ?max_iter ?tol ?relax ?opt ?check ?obs di ~x0 ~horizon:t
+           ~sense:`Max (`Coord coord))
           .value
       in
       (lo, hi)
     end
   in
-  match pool with
-  | Some p -> Pool.parallel_map ~stage:"pontryagin-series" p at times
-  | None -> Array.map at times
+  let out =
+    match pool with
+    | Some p -> Pool.parallel_map ~stage:"pontryagin-series" p at times
+    | None -> Array.map at times
+  in
+  (match obs with
+  | Some o ->
+      Obs.span_end
+        ~metrics:[ ("horizons", float_of_int (Array.length times)) ]
+        o sp
+  | None -> ());
+  out
 
 let pp_result ppf r =
   let strategy =

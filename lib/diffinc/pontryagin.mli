@@ -40,6 +40,8 @@ val solve :
   ?tol:float ->
   ?relax:float ->
   ?opt:[ `Vertices | `Box of int ] ->
+  ?check:bool ->
+  ?obs:Umf_obs.Obs.t ->
   Di.t ->
   x0:Vec.t ->
   horizon:float ->
@@ -49,6 +51,15 @@ val solve :
 (** Defaults: [steps = 400] grid intervals, [max_iter = 200],
     [relax = 0.5] under-relaxation of the control update (full updates
     make the sweep cycle between suboptimal bang-bang patterns).
+
+    [check] (default false) raises [Failure] as soon as the objective
+    value goes non-finite during a sweep — the same runtime sanitizer
+    convention as {!Hull.bounds} and {!Birkhoff.compute}, switched on
+    by the {!Certified} wrappers.  [obs] records the
+    ["pontryagin.solve"] span, the ["pontryagin.sweeps"] /
+    ["pontryagin.hamiltonian_evals"] / ["pontryagin.nonconverged"]
+    counters and the ["pontryagin.switches"] gauge (bang-bang switch
+    count of the returned control).
 
     Near the optimal switch the value enters a small limit cycle whose
     amplitude is the grid-discretisation precision; the solver declares
@@ -66,6 +77,8 @@ val bound_series :
   ?tol:float ->
   ?relax:float ->
   ?opt:[ `Vertices | `Box of int ] ->
+  ?check:bool ->
+  ?obs:Umf_obs.Obs.t ->
   Di.t ->
   x0:Vec.t ->
   coord:int ->
@@ -75,7 +88,9 @@ val bound_series :
     inclusion — the curves of Figure 1.  A zero horizon yields the
     initial value on both sides.  Each horizon is an independent
     min/max solve pair, so with [pool] the series fans out across the
-    worker domains with results stored by time index. *)
+    worker domains with results stored by time index.  [check]/[obs]
+    are threaded to every {!solve}; the whole series is additionally
+    wrapped in a ["pontryagin.bound_series"] span. *)
 
 val pp_result : Format.formatter -> result -> unit
 (** One-line summary: value, iterations, convergence and the

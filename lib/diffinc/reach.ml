@@ -1,6 +1,7 @@
 open Umf_numerics
 module Runtime = Umf_runtime.Runtime
 module Pool = Runtime.Pool
+module Obs = Umf_obs.Obs
 
 let random_piecewise_control rng di ~horizon ~switches ~vertex_bias =
   let vertices = Array.of_list (Optim.Box.vertices di.Di.theta) in
@@ -19,10 +20,11 @@ let random_piecewise_control rng di ~horizon ~switches ~vertex_bias =
     let rec piece i = if i < Array.length cuts && t >= cuts.(i) then piece (i + 1) else i in
     values.(piece 0)
 
-let sample_states ?pool ?(dt = 1e-2) ?(switches = 4) ?(vertex_bias = 0.7) di ~x0
-    ~horizon ~n_controls rng =
+let sample_states ?pool ?(obs = Obs.off) ?(dt = 1e-2) ?(switches = 4)
+    ?(vertex_bias = 0.7) di ~x0 ~horizon ~n_controls rng =
   if n_controls <= 0 then invalid_arg "Reach.sample_states: need n_controls > 0";
   if horizon <= 0. then invalid_arg "Reach.sample_states: need horizon > 0";
+  let sp = Obs.span_begin obs "reach.sample" in
   let one rng =
     let control =
       random_piecewise_control rng di ~horizon ~switches ~vertex_bias
@@ -30,23 +32,33 @@ let sample_states ?pool ?(dt = 1e-2) ?(switches = 4) ?(vertex_bias = 0.7) di ~x0
     let traj = Di.integrate_control di ~control ~x0 ~horizon ~dt in
     Ode.Traj.last traj
   in
-  match pool with
-  | None -> List.init n_controls (fun _ -> one rng)
-  | Some p ->
-      (* one draw from the caller's stream picks a root; control [i]
-         then runs on its own splitmix64-derived generator, so the
-         cloud is a function of (root, i) only — bit-identical for any
-         chunking or domain count *)
-      let root = Int64.to_int (Rng.uint64 rng) in
-      Array.to_list
-        (Pool.parallel_map ~stage:"reach-sample" p
-           (fun i -> one (Runtime.Seeds.rng ~root i))
-           (Array.init n_controls Fun.id))
+  let out =
+    match pool with
+    | None -> List.init n_controls (fun _ -> one rng)
+    | Some p ->
+        (* one draw from the caller's stream picks a root; control [i]
+           then runs on its own splitmix64-derived generator, so the
+           cloud is a function of (root, i) only — bit-identical for any
+           chunking or domain count *)
+        let root = Int64.to_int (Rng.uint64 rng) in
+        Array.to_list
+          (Pool.parallel_map ~stage:"reach-sample" p
+             (fun i -> one (Runtime.Seeds.rng ~root i))
+             (Array.init n_controls Fun.id))
+  in
+  if Obs.enabled obs then begin
+    Obs.count obs "reach.controls" n_controls;
+    Obs.span_end
+      ~metrics:[ ("controls", float_of_int n_controls) ]
+      obs sp
+  end;
+  out
 
-let hull_2d ?pool ?dt ?switches ?vertex_bias di ~x0 ~horizon ~n_controls rng =
+let hull_2d ?pool ?obs ?dt ?switches ?vertex_bias di ~x0 ~horizon ~n_controls
+    rng =
   if di.Di.dim <> 2 then invalid_arg "Reach.hull_2d: system is not 2-D";
   let states =
-    sample_states ?pool ?dt ?switches ?vertex_bias di ~x0 ~horizon ~n_controls
-      rng
+    sample_states ?pool ?obs ?dt ?switches ?vertex_bias di ~x0 ~horizon
+      ~n_controls rng
   in
   Geometry.convex_hull (List.map (fun x -> (x.(0), x.(1))) states)

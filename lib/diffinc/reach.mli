@@ -11,6 +11,7 @@ module Pool = Umf_runtime.Runtime.Pool
 
 val sample_states :
   ?pool:Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
   ?dt:float ->
   ?switches:int ->
   ?vertex_bias:float ->
@@ -31,10 +32,14 @@ val sample_states :
     from [rng] picks a root seed and control [i] runs on the derived
     stream [Seeds.rng ~root i]: the cloud is then bit-identical for
     any number of domains (including a pool of one), though different
-    from the sequential shared-stream cloud. *)
+    from the sequential shared-stream cloud.
+
+    [obs] records the sweep as a ["reach.sample"] span plus a
+    ["reach.controls"] counter. *)
 
 val hull_2d :
   ?pool:Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
   ?dt:float ->
   ?switches:int ->
   ?vertex_bias:float ->

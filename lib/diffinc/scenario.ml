@@ -178,12 +178,13 @@ let rate_limited_extremum ~grid ~dt di ~x0 ~coord ~horizon ~rate sense =
     None starts
   |> function Some v -> v | None -> x0.(coord)
 
-let extremal_coord ?pool ?(grid = 5) ?steps ?(dt = 1e-2) scenario di ~x0 ~coord
-    ~horizon =
+let extremal_coord ?pool ?obs ?(grid = 5) ?steps ?(dt = 1e-2) scenario di ~x0
+    ~coord ~horizon =
   if coord < 0 || coord >= di.Di.dim then
     invalid_arg "Scenario.extremal_coord: coordinate out of range";
   match scenario with
-  | Uncertain -> Uncertain.extremal_coord ?pool ~dt ~grid di ~x0 ~coord ~horizon
+  | Uncertain ->
+      Uncertain.extremal_coord ?pool ?obs ~dt ~grid di ~x0 ~coord ~horizon
   | Piecewise k ->
       if k < 1 then invalid_arg "Scenario.extremal_coord: need k >= 1";
       ( piecewise_extremum ~grid ~dt di ~x0 ~coord ~horizon ~k `Min,
@@ -204,11 +205,13 @@ let extremal_coord ?pool ?(grid = 5) ?steps ?(dt = 1e-2) scenario di ~x0 ~coord
         rate_limited_extremum ~grid ~dt di ~x0 ~coord ~horizon ~rate `Max )
   | Imprecise ->
       let lo =
-        (Pontryagin.solve ?steps di ~x0 ~horizon ~sense:`Min (`Coord coord))
+        (Pontryagin.solve ?steps ?obs di ~x0 ~horizon ~sense:`Min
+           (`Coord coord))
           .Pontryagin.value
       in
       let hi =
-        (Pontryagin.solve ?steps di ~x0 ~horizon ~sense:`Max (`Coord coord))
+        (Pontryagin.solve ?steps ?obs di ~x0 ~horizon ~sense:`Max
+           (`Coord coord))
           .Pontryagin.value
       in
       (lo, hi)

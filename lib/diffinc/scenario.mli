@@ -35,6 +35,7 @@ type t =
 
 val extremal_coord :
   ?pool:Umf_runtime.Runtime.Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
   ?grid:int ->
   ?steps:int ->
   ?dt:float ->
@@ -50,4 +51,6 @@ val extremal_coord :
     search when the grid is small enough and coordinate-ascent sweeps
     otherwise, so its result is a certified {e lower} bound on the true
     envelope width (any returned value is attained by an admissible
-    control). *)
+    control).  [obs] is threaded into the underlying Uncertain sweep or
+    Pontryagin solves (the Piecewise/RateLimited searches are not yet
+    individually instrumented). *)

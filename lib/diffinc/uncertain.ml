@@ -1,18 +1,29 @@
 open Umf_numerics
 module Pool = Umf_runtime.Runtime.Pool
+module Obs = Umf_obs.Obs
 
 let theta_grid di grid = Optim.Box.sample_grid di.Di.theta grid
 
 (* map [f] over the grid; with a pool the per-θ integrations run on
    the worker domains, but results always come back in grid order so
    downstream folds are bit-identical to the sequential path *)
-let map_grid ?pool ~stage di grid f =
+let map_grid ?pool ?(obs = Obs.off) ~stage di grid f =
   let thetas = Array.of_list (theta_grid di grid) in
-  match pool with
-  | Some p -> Pool.parallel_map ~stage p f thetas
-  | None -> Array.map f thetas
+  let sp = Obs.span_begin obs "uncertain.sweep" in
+  let out =
+    match pool with
+    | Some p -> Pool.parallel_map ~stage p f thetas
+    | None -> Array.map f thetas
+  in
+  if Obs.enabled obs then begin
+    Obs.count obs "uncertain.thetas" (Array.length thetas);
+    Obs.span_end
+      ~metrics:[ ("thetas", float_of_int (Array.length thetas)) ]
+      obs sp
+  end;
+  out
 
-let transient_envelope ?pool ?(dt = 1e-2) ?(grid = 21) di ~x0 ~times =
+let transient_envelope ?pool ?obs ?(dt = 1e-2) ?(grid = 21) di ~x0 ~times =
   let m = Array.length times in
   if m = 0 then invalid_arg "Uncertain.transient_envelope: no sample times";
   let horizon = Array.fold_left Float.max 0. times in
@@ -20,12 +31,13 @@ let transient_envelope ?pool ?(dt = 1e-2) ?(grid = 21) di ~x0 ~times =
   let upper = Array.make m (Vec.create di.Di.dim Float.neg_infinity) in
   let sample theta =
     let traj =
-      if horizon > 0. then Di.integrate_constant di ~theta ~x0 ~horizon ~dt
+      if horizon > 0. then
+        Di.integrate_constant ?obs di ~theta ~x0 ~horizon ~dt
       else Ode.Traj.of_arrays [| 0. |] [| Vec.copy x0 |]
     in
     Array.map (Ode.Traj.at traj) times
   in
-  let per_theta = map_grid ?pool ~stage:"uncertain-sweep" di grid sample in
+  let per_theta = map_grid ?pool ?obs ~stage:"uncertain-sweep" di grid sample in
   Array.iter
     (fun samples ->
       Array.iteri
@@ -36,17 +48,19 @@ let transient_envelope ?pool ?(dt = 1e-2) ?(grid = 21) di ~x0 ~times =
     per_theta;
   (lower, upper)
 
-let equilibria ?pool ?(dt = 1e-2) ?(grid = 21) ?(settle_time = 200.) di ~x0 =
+let equilibria ?pool ?obs ?(dt = 1e-2) ?(grid = 21) ?(settle_time = 200.) di
+    ~x0 =
   Array.to_list
-    (map_grid ?pool ~stage:"uncertain-equilibria" di grid (fun theta ->
+    (map_grid ?pool ?obs ~stage:"uncertain-equilibria" di grid (fun theta ->
          Ode.integrate_to
            (fun _t x -> di.Di.drift x theta)
            ~t0:0. ~y0:x0 ~t1:settle_time ~dt))
 
-let extremal_coord ?pool ?(dt = 1e-2) ?(grid = 21) di ~x0 ~coord ~horizon =
+let extremal_coord ?pool ?obs ?(dt = 1e-2) ?(grid = 21) di ~x0 ~coord ~horizon
+    =
   if coord < 0 || coord >= di.Di.dim then
     invalid_arg "Uncertain.extremal_coord: coordinate out of range";
   let lower, upper =
-    transient_envelope ?pool ~dt ~grid di ~x0 ~times:[| horizon |]
+    transient_envelope ?pool ?obs ~dt ~grid di ~x0 ~times:[| horizon |]
   in
   (lower.(0).(coord), upper.(0).(coord))

@@ -6,13 +6,18 @@
     an optional [?pool]; the per-θ integrations are independent, so
     with a pool they fan out across the worker domains and are folded
     back in grid order — output is bit-identical to the sequential
-    path for any number of domains. *)
+    path for any number of domains.
+
+    Every entry point also takes [?obs]: each grid sweep is recorded
+    as an ["uncertain.sweep"] span carrying a [thetas] metric plus an
+    ["uncertain.thetas"] counter. *)
 
 open Umf_numerics
 module Pool = Umf_runtime.Runtime.Pool
 
 val transient_envelope :
   ?pool:Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
   ?dt:float ->
   ?grid:int ->
   Di.t ->
@@ -25,6 +30,7 @@ val transient_envelope :
 
 val equilibria :
   ?pool:Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
   ?dt:float ->
   ?grid:int ->
   ?settle_time:float ->
@@ -38,6 +44,7 @@ val equilibria :
 
 val extremal_coord :
   ?pool:Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
   ?dt:float ->
   ?grid:int ->
   Di.t ->

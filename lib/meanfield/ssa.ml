@@ -1,6 +1,7 @@
 open Umf_numerics
 module Runtime = Umf_runtime.Runtime
 module Pool = Runtime.Pool
+module Obs = Umf_obs.Obs
 
 (* Core Gillespie loop.  [on_hold t0 t1 x] is invoked for every maximal
    interval on which the density state is the constant [x] (a copy);
@@ -64,8 +65,11 @@ let run model ~n ~x0 ~(policy : Policy.t) ~tmax ~rng ~on_hold =
   done;
   (density (), !events)
 
-let final model ~n ~x0 ~policy ~tmax rng =
-  let x, _ = run model ~n ~x0 ~policy ~tmax ~rng ~on_hold:(fun _ _ _ -> ()) in
+let final ?(obs = Obs.off) model ~n ~x0 ~policy ~tmax rng =
+  let x, events =
+    run model ~n ~x0 ~policy ~tmax ~rng ~on_hold:(fun _ _ _ -> ())
+  in
+  if Obs.enabled obs then Obs.count obs "ssa.events" events;
   x
 
 let count_events model ~n ~x0 ~policy ~tmax rng =
@@ -94,10 +98,11 @@ let trajectory model ~n ~x0 ~policy ~tmax rng =
     (Array.of_list (List.rev !times))
     (Array.of_list (List.rev !states))
 
-let sampled model ~n ~x0 ~policy ~times rng =
+let sampled ?(obs = Obs.off) model ~n ~x0 ~policy ~times rng =
   let m = Array.length times in
   if m = 0 then [||]
   else begin
+    let sp = Obs.span_begin obs "ssa.sampled" in
     for i = 1 to m - 1 do
       if times.(i) <= times.(i - 1) then
         invalid_arg "Ssa.sampled: times not increasing"
@@ -114,24 +119,46 @@ let sampled model ~n ~x0 ~policy ~times rng =
         incr next
       done
     in
-    let xf, _ = run model ~n ~x0 ~policy ~tmax ~rng ~on_hold in
+    let xf, events = run model ~n ~x0 ~policy ~tmax ~rng ~on_hold in
     while !next < m do
       out.(!next) <- xf;
       incr next
     done;
+    if Obs.enabled obs then begin
+      Obs.count obs "ssa.events" events;
+      Obs.span_end
+        ~metrics:
+          [ ("samples", float_of_int m); ("events", float_of_int events) ]
+        obs sp
+    end;
     out
   end
 
-let replicate ?pool model ~n ~x0 ~policy ~tmax ~reps ~seed =
+let replicate ?pool ?(obs = Obs.off) model ~n ~x0 ~policy ~tmax ~reps ~seed =
   if reps <= 0 then invalid_arg "Ssa.replicate: need reps > 0";
+  let on = Obs.enabled obs in
+  let sp = Obs.span_begin obs "ssa.replicate" in
   (* replication [i] always runs on the stream derived from (seed, i),
      so the batch is a pure function of its arguments: sequential and
      parallel runs of any domain count are bit-identical *)
-  let one i = final model ~n ~x0 ~policy ~tmax (Runtime.Seeds.rng ~root:seed i) in
-  match pool with
-  | None -> Array.init reps one
-  | Some p ->
-      Pool.parallel_map ~stage:"ssa-replicate" p one (Array.init reps Fun.id)
+  let one i =
+    let x =
+      final ~obs model ~n ~x0 ~policy ~tmax (Runtime.Seeds.rng ~root:seed i)
+    in
+    (* per-replication tick: replication progress is visible live in a
+       trace stream *)
+    if on then Obs.count obs "ssa.reps" 1;
+    x
+  in
+  let out =
+    match pool with
+    | None -> Array.init reps one
+    | Some p ->
+        Pool.parallel_map ~stage:"ssa-replicate" p one (Array.init reps Fun.id)
+  in
+  if on then
+    Obs.span_end ~metrics:[ ("reps", float_of_int reps) ] obs sp;
+  out
 
 let time_average model ~n ~x0 ~policy ~tmax ~warmup ~reward rng =
   if warmup < 0. || warmup >= tmax then

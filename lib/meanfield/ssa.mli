@@ -11,6 +11,7 @@ open Umf_numerics
 module Pool = Umf_runtime.Runtime.Pool
 
 val final :
+  ?obs:Umf_obs.Obs.t ->
   Population.t ->
   n:int ->
   x0:Vec.t ->
@@ -19,7 +20,8 @@ val final :
   Rng.t ->
   Vec.t
 (** Density state at [tmax].  [x0] is a density vector; the initial
-    counts are [round (N x0)] component-wise.
+    counts are [round (N x0)] component-wise.  [obs] receives the
+    number of transitions fired as the ["ssa.events"] counter.
     @raise Failure if a transition drives a count negative (a
     mis-specified model whose rate does not vanish at the
     boundary). *)
@@ -36,6 +38,7 @@ val trajectory :
     with the number of events. *)
 
 val sampled :
+  ?obs:Umf_obs.Obs.t ->
   Population.t ->
   n:int ->
   x0:Vec.t ->
@@ -44,7 +47,8 @@ val sampled :
   Rng.t ->
   Vec.t array
 (** Density states at the given increasing sample times (piecewise
-    constant between events), without storing the full path. *)
+    constant between events), without storing the full path.  [obs]
+    records an ["ssa.sampled"] span and the ["ssa.events"] counter. *)
 
 val time_average :
   Population.t ->
@@ -60,6 +64,7 @@ val time_average :
 
 val replicate :
   ?pool:Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
   Population.t ->
   n:int ->
   x0:Vec.t ->
@@ -73,7 +78,9 @@ val replicate :
     [(seed, i)].  The batch is deterministic in its arguments —
     with or without a [pool], and for any pool size, the output is
     bit-identical (the Figure 6 inclusion-fraction workload at
-    N = 10⁴). *)
+    N = 10⁴).  [obs] records an ["ssa.replicate"] span, a one-tick
+    ["ssa.reps"] counter per finished replication (live progress in a
+    trace stream) and the total ["ssa.events"]. *)
 
 val count_events :
   Population.t ->

@@ -1,3 +1,5 @@
+module Obs = Umf_obs.Obs
+
 type rhs = float -> Vec.t -> Vec.t
 
 module Traj = struct
@@ -118,8 +120,10 @@ let check_state ~enabled ~step t y =
   if enabled && not (all_finite y) then
     fail_non_finite ~what:"state" ~t ~step:!step y
 
-let integrate ?(method_ = `Rk4) ?(check = false) f ~t0 ~y0 ~t1 ~dt =
+let integrate ?(method_ = `Rk4) ?(check = false) ?(obs = Obs.off) f ~t0 ~y0 ~t1
+    ~dt =
   check_span t0 t1 dt;
+  let sp = Obs.span_begin obs "ode.integrate" in
   let step = step_fn method_ in
   let step_no = ref 0 in
   let f = checked_rhs ~enabled:check ~step:step_no f in
@@ -135,12 +139,18 @@ let integrate ?(method_ = `Rk4) ?(check = false) f ~t0 ~y0 ~t1 ~dt =
     times := !t :: !times;
     states := !y :: !states
   done;
+  if Obs.enabled obs then begin
+    Obs.count obs "ode.steps" !step_no;
+    Obs.span_end ~metrics:[ ("steps", float_of_int !step_no) ] obs sp
+  end;
   Traj.of_arrays
     (Array.of_list (List.rev !times))
     (Array.of_list (List.rev !states))
 
-let integrate_to ?(method_ = `Rk4) ?(check = false) f ~t0 ~y0 ~t1 ~dt =
+let integrate_to ?(method_ = `Rk4) ?(check = false) ?(obs = Obs.off) f ~t0 ~y0
+    ~t1 ~dt =
   check_span t0 t1 dt;
+  let sp = Obs.span_begin obs "ode.integrate_to" in
   let step = step_fn method_ in
   let step_no = ref 0 in
   let f = checked_rhs ~enabled:check ~step:step_no f in
@@ -153,6 +163,10 @@ let integrate_to ?(method_ = `Rk4) ?(check = false) f ~t0 ~y0 ~t1 ~dt =
     t := !t +. h;
     check_state ~enabled:check ~step:step_no !t !y
   done;
+  if Obs.enabled obs then begin
+    Obs.count obs "ode.steps" !step_no;
+    Obs.span_end ~metrics:[ ("steps", float_of_int !step_no) ] obs sp
+  end;
   !y
 
 (* Dormand-Prince 5(4) coefficients *)
@@ -182,8 +196,14 @@ let dp_b4 =
   |]
 
 let integrate_adaptive ?(rtol = 1e-6) ?(atol = 1e-9) ?dt0 ?dt_max
-    ?(max_steps = 1_000_000) ?(check = false) f ~t0 ~y0 ~t1 =
+    ?(max_steps = 1_000_000) ?(check = false) ?(obs = Obs.off) f ~t0 ~y0 ~t1 =
   if t1 < t0 then invalid_arg "Ode.integrate_adaptive: t1 < t0";
+  (* metric accumulators live and are touched only when observing, so
+     the disabled path allocates nothing extra *)
+  let on = Obs.enabled obs in
+  let sp = Obs.span_begin obs "ode.rk45" in
+  let accepted = ref 0 and rejected = ref 0 in
+  let dt_min_seen = ref Float.infinity and dt_max_seen = ref 0. in
   let span = t1 -. t0 in
   let dt_max = match dt_max with Some h -> h | None -> span in
   let h = ref (match dt0 with Some h -> h | None -> Float.min dt_max (span /. 100.)) in
@@ -233,12 +253,34 @@ let integrate_adaptive ?(rtol = 1e-6) ?(atol = 1e-9) ?dt0 ?dt_max
         y := y5;
         check_state ~enabled:check ~step:steps !t !y;
         times := !t :: !times;
-        states := !y :: !states
-      end;
+        states := !y :: !states;
+        if on then begin
+          incr accepted;
+          if hh < !dt_min_seen then dt_min_seen := hh;
+          if hh > !dt_max_seen then dt_max_seen := hh
+        end
+      end
+      else if on then incr rejected;
       let fac = if err = 0. then 5. else 0.9 *. (err ** -0.2) in
       let fac = Float.max 0.2 (Float.min 5. fac) in
       h := Float.min dt_max (hh *. fac)
     done
+  end;
+  if on then begin
+    Obs.count obs "ode.rk45.accepted" !accepted;
+    Obs.count obs "ode.rk45.rejected" !rejected;
+    if !accepted > 0 then begin
+      Obs.gauge obs "ode.rk45.dt_min" !dt_min_seen;
+      Obs.gauge obs "ode.rk45.dt_max" !dt_max_seen
+    end;
+    let metrics =
+      [ ("accepted", float_of_int !accepted); ("rejected", float_of_int !rejected) ]
+      @
+      if !accepted > 0 then
+        [ ("dt_min", !dt_min_seen); ("dt_max", !dt_max_seen) ]
+      else []
+    in
+    Obs.span_end ~metrics obs sp
   end;
   Traj.of_arrays
     (Array.of_list (List.rev !times))

@@ -46,6 +46,7 @@ val rk4_step : rhs -> float -> Vec.t -> float -> Vec.t
 val integrate :
   ?method_:[ `Euler | `Rk4 ] ->
   ?check:bool ->
+  ?obs:Umf_obs.Obs.t ->
   rhs ->
   t0:float ->
   y0:Vec.t ->
@@ -57,11 +58,14 @@ val integrate :
     [dt > 0].  With [check] (default off), every right-hand-side
     evaluation and every accepted state is sanitised and a NaN/Inf
     raises [Failure] naming the offending time and step instead of
-    silently propagating. *)
+    silently propagating.  [obs] (default {!Umf_obs.Obs.off}) records
+    an ["ode.integrate"] span and the ["ode.steps"] counter; the
+    disabled default adds no allocation to the stepping loop. *)
 
 val integrate_to :
   ?method_:[ `Euler | `Rk4 ] ->
   ?check:bool ->
+  ?obs:Umf_obs.Obs.t ->
   rhs ->
   t0:float ->
   y0:Vec.t ->
@@ -78,6 +82,7 @@ val integrate_adaptive :
   ?dt_max:float ->
   ?max_steps:int ->
   ?check:bool ->
+  ?obs:Umf_obs.Obs.t ->
   rhs ->
   t0:float ->
   y0:Vec.t ->
@@ -85,7 +90,8 @@ val integrate_adaptive :
   Traj.t
 (** Dormand–Prince RK45 with PI step-size control.  Defaults:
     [rtol = 1e-6], [atol = 1e-9], [max_steps = 1_000_000]; [check] as
-    in {!integrate}.
+    in {!integrate}.  [obs] records an ["ode.rk45"] span with
+    accepted/rejected step counts and [dt] min/max gauges.
     @raise Failure when the step count budget is exhausted or the step
     size underflows. *)
 

@@ -55,22 +55,46 @@ let step_fn method_ ?newton_tol =
   | `BackwardEuler -> backward_euler_step ?newton_tol
   | `Trapezoidal -> trapezoidal_step ?newton_tol
 
-let integrate ?(method_ = `Trapezoidal) ?newton_tol f ~t0 ~y0 ~t1 ~dt =
+let integrate ?(method_ = `Trapezoidal) ?newton_tol ?(obs = Umf_obs.Obs.off) f
+    ~t0 ~y0 ~t1 ~dt =
   if t1 < t0 then invalid_arg "Ode_stiff: t1 < t0";
   if dt <= 0. then invalid_arg "Ode_stiff: dt <= 0";
+  let module Obs = Umf_obs.Obs in
+  let on = Obs.enabled obs in
+  let sp = Obs.span_begin obs "ode_stiff.integrate" in
+  (* when observing, wrap the rhs to count evaluations: each Newton
+     iteration costs one residual evaluation plus a finite-difference
+     Jacobian, so rhs evaluations are the natural cost proxy *)
+  let evals = ref 0 in
+  let f =
+    if on then fun t y ->
+      incr evals;
+      f t y
+    else f
+  in
   let step = step_fn method_ ?newton_tol in
+  let steps = ref 0 in
   let times = ref [ t0 ] and states = ref [ Vec.copy y0 ] in
   let t = ref t0 and y = ref y0 in
   while !t < t1 -. 1e-12 do
+    incr steps;
     let h = Float.min dt (t1 -. !t) in
     y := step f !t !y h;
     t := !t +. h;
     times := !t :: !times;
     states := !y :: !states
   done;
+  if on then begin
+    Obs.count obs "ode_stiff.steps" !steps;
+    Obs.count obs "ode_stiff.rhs_evals" !evals;
+    Obs.span_end
+      ~metrics:
+        [ ("steps", float_of_int !steps); ("rhs_evals", float_of_int !evals) ]
+      obs sp
+  end;
   Ode.Traj.of_arrays
     (Array.of_list (List.rev !times))
     (Array.of_list (List.rev !states))
 
-let integrate_to ?method_ ?newton_tol f ~t0 ~y0 ~t1 ~dt =
-  Ode.Traj.last (integrate ?method_ ?newton_tol f ~t0 ~y0 ~t1 ~dt)
+let integrate_to ?method_ ?newton_tol ?obs f ~t0 ~y0 ~t1 ~dt =
+  Ode.Traj.last (integrate ?method_ ?newton_tol ?obs f ~t0 ~y0 ~t1 ~dt)

@@ -19,17 +19,22 @@ val trapezoidal_step :
 val integrate :
   ?method_:[ `BackwardEuler | `Trapezoidal ] ->
   ?newton_tol:float ->
+  ?obs:Umf_obs.Obs.t ->
   Ode.rhs ->
   t0:float ->
   y0:Vec.t ->
   t1:float ->
   dt:float ->
   Ode.Traj.t
-(** Fixed-step implicit integration (default trapezoidal). *)
+(** Fixed-step implicit integration (default trapezoidal).  With [obs]
+    enabled, records the ["ode_stiff.integrate"] span and the
+    ["ode_stiff.steps"] / ["ode_stiff.rhs_evals"] counters (rhs
+    evaluations being the natural cost proxy for the Newton solves). *)
 
 val integrate_to :
   ?method_:[ `BackwardEuler | `Trapezoidal ] ->
   ?newton_tol:float ->
+  ?obs:Umf_obs.Obs.t ->
   Ode.rhs ->
   t0:float ->
   y0:Vec.t ->

@@ -1,4 +1,5 @@
 module Rng = Umf_numerics.Rng
+module Obs = Umf_obs.Obs
 
 type stats = { domains : int; sections : int; tasks : int; wall : float }
 
@@ -20,12 +21,11 @@ let stats_to_string s = Format.asprintf "%a" pp_stats s
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 module Pool = struct
-  type stage_acc = {
-    mutable s_sections : int;
-    mutable s_tasks : int;
-    mutable s_wall : float;
-  }
-
+  (* section bookkeeping lives in an Obs.Agg metrics registry instead
+     of private counters: every section is a "pool.<stage>" span plus a
+     "pool.<stage>.tasks" counter (and a "pool"-rooted total), so the
+     same numbers feed [stats]/[stage_stats] and any user observation
+     context attached with [set_obs]. *)
   type t = {
     mutable workers : unit Domain.t array;
     queue : (unit -> unit) Queue.t;
@@ -33,10 +33,8 @@ module Pool = struct
     work_available : Condition.t;
     mutable stop : bool;
     mutable shut : bool;
-    mutable sections : int;
-    mutable tasks : int;
-    mutable wall : float;
-    stages : (string, stage_acc) Hashtbl.t;
+    reg : Obs.Agg.t;
+    mutable obs : Obs.t;
   }
 
   let worker_loop t () =
@@ -57,7 +55,7 @@ module Pool = struct
     in
     loop ()
 
-  let create ?domains () =
+  let create ?(obs = Obs.off) ?domains () =
     let domains =
       match domains with
       | Some d ->
@@ -73,14 +71,14 @@ module Pool = struct
         work_available = Condition.create ();
         stop = false;
         shut = false;
-        sections = 0;
-        tasks = 0;
-        wall = 0.;
-        stages = Hashtbl.create 8;
+        reg = Obs.Agg.create ();
+        obs;
       }
     in
     t.workers <- Array.init domains (fun _ -> Domain.spawn (worker_loop t));
     t
+
+  let set_obs t obs = t.obs <- obs
 
   let size t = Array.length t.workers
 
@@ -106,23 +104,19 @@ module Pool = struct
     Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
   let record ?stage t ~n_tasks ~dt =
-    Mutex.lock t.lock;
-    t.sections <- t.sections + 1;
-    t.tasks <- t.tasks + n_tasks;
-    t.wall <- t.wall +. dt;
     let label = match stage with Some s -> s | None -> "_" in
-    let acc =
-      match Hashtbl.find_opt t.stages label with
-      | Some a -> a
-      | None ->
-          let a = { s_sections = 0; s_tasks = 0; s_wall = 0. } in
-          Hashtbl.add t.stages label a;
-          a
-    in
-    acc.s_sections <- acc.s_sections + 1;
-    acc.s_tasks <- acc.s_tasks + n_tasks;
-    acc.s_wall <- acc.s_wall +. dt;
-    Mutex.unlock t.lock
+    let name = "pool." ^ label in
+    let tasks = float_of_int n_tasks in
+    (* internal registry (Agg is mutex-protected itself) *)
+    Obs.Agg.record_span t.reg "pool" ~dur:dt;
+    Obs.Agg.record_counter t.reg "pool.tasks" tasks;
+    Obs.Agg.record_span t.reg name ~dur:dt;
+    Obs.Agg.record_counter t.reg (name ^ ".tasks") tasks;
+    (* user observation context, if any *)
+    if Obs.enabled t.obs then begin
+      Obs.record_span ~metrics:[ ("tasks", tasks) ] t.obs name ~dur:dt;
+      Obs.add t.obs (name ^ ".tasks") tasks
+    end
 
   (* fork-join over [n] items, dealt out as [n_chunks] contiguous
      chunk tasks; [body ~lo ~hi] must only touch state owned by items
@@ -208,31 +202,30 @@ module Pool = struct
   let map_list ?stage ?chunk t f xs =
     Array.to_list (parallel_map ?stage ?chunk t f (Array.of_list xs))
 
+  let stats_of_row t name (s : Obs.Agg.span_stat) =
+    {
+      domains = size t;
+      sections = s.calls;
+      tasks = int_of_float (Obs.Agg.counter t.reg (name ^ ".tasks"));
+      wall = s.total;
+    }
+
   let stats t =
-    Mutex.lock t.lock;
-    let s =
-      { domains = size t; sections = t.sections; tasks = t.tasks; wall = t.wall }
-    in
-    Mutex.unlock t.lock;
-    s
+    match Obs.Agg.span_stat t.reg "pool" with
+    | Some s -> stats_of_row t "pool" s
+    | None -> { domains = size t; sections = 0; tasks = 0; wall = 0. }
 
   let stage_stats t =
-    Mutex.lock t.lock;
-    let rows =
-      Hashtbl.fold
-        (fun label a acc ->
-          ( label,
-            {
-              domains = size t;
-              sections = a.s_sections;
-              tasks = a.s_tasks;
-              wall = a.s_wall;
-            } )
-          :: acc)
-        t.stages []
-    in
-    Mutex.unlock t.lock;
-    List.sort (fun (a, _) (b, _) -> compare a b) rows
+    List.filter_map
+      (fun (name, s) ->
+        match String.length name > 5 && String.sub name 0 5 = "pool." with
+        | true when not (String.ends_with ~suffix:".tasks" name) ->
+            Some
+              (String.sub name 5 (String.length name - 5), stats_of_row t name s)
+        | _ -> None)
+      (Obs.Agg.span_stats t.reg)
+
+  let metrics t = t.reg
 end
 
 module Seeds = struct

@@ -36,10 +36,17 @@ module Pool : sig
       Create once, reuse across many parallel sections, [shutdown]
       when done (or use {!with_pool}). *)
 
-  val create : ?domains:int -> unit -> t
+  val create : ?obs:Umf_obs.Obs.t -> ?domains:int -> unit -> t
   (** [create ~domains ()] spawns [domains] workers (default
-      [Domain.recommended_domain_count () - 1], at least 1).
+      [Domain.recommended_domain_count () - 1], at least 1).  [obs]
+      (default {!Umf_obs.Obs.off}) additionally receives every
+      section as a ["pool.<stage>"] span (with a [tasks] metric) and a
+      ["pool.<stage>.tasks"] counter.
       @raise Invalid_argument if [domains < 1]. *)
+
+  val set_obs : t -> Umf_obs.Obs.t -> unit
+  (** Replace the observation context sections report to.  The pool's
+      own metrics registry keeps accumulating regardless. *)
 
   val size : t -> int
   (** Number of worker domains. *)
@@ -79,6 +86,11 @@ module Pool : sig
   val stage_stats : t -> (string * stats) list
   (** Per-[?stage] breakdown of {!stats}, sorted by label; unlabelled
       sections are accumulated under ["_"]. *)
+
+  val metrics : t -> Umf_obs.Obs.Agg.t
+  (** The pool's internal metrics registry: a ["pool.<stage>"] span row
+      and a ["pool.<stage>.tasks"] counter per stage (plus the ["pool"]
+      totals that back {!stats}).  Read-only use is expected. *)
 end
 
 (** Deterministic RNG stream splitting.

@@ -141,49 +141,36 @@ let test_stationary_cloud_validation () =
         (Analysis.stationary_cloud s ~n:10 ~x0:Sir.x0
            ~policy:(Sir.policy_theta1 p) ~warmup:5. ~samples:10 ~seed:1))
 
-(* the deprecated wrappers must keep producing the same numbers as the
-   spec-based entry points *)
-[@@@ocaml.warning "-3"]
-
-let test_legacy_wrappers_agree () =
-  let s = Analysis.spec ~steps:150 model in
-  let fresh = Analysis.transient_bounds ~times s ~x0:Sir.x0 ~coord:1 in
-  let legacy =
-    Analysis.Legacy.transient_bounds ~steps:150 model ~x0:Sir.x0 ~coord:1
-      ~times
+(* observability: enabling a spec's obs context must not change any
+   numeric result, and must populate the metrics summary *)
+let test_obs_metrics_populated () =
+  let agg = Obs.Agg.create () in
+  let s_obs =
+    Analysis.spec ~steps:150 ~obs:(Obs.make ~agg:agg ()) model
   in
+  let s_off = Analysis.spec ~steps:150 model in
+  let observed = Analysis.transient_bounds ~times s_obs ~x0:Sir.x0 ~coord:1 in
+  let plain = Analysis.transient_bounds ~times s_off ~x0:Sir.x0 ~coord:1 in
   Array.iteri
-    (fun i (lo, hi) ->
-      Alcotest.(check (float 0.)) "legacy lower identical" fresh.Analysis.lower.(i) lo;
-      Alcotest.(check (float 0.)) "legacy upper identical" fresh.Analysis.upper.(i) hi)
-    legacy;
-  let b = Analysis.Legacy.steady_state_region_2d ~x_start:Sir.x0 model in
-  let r = Analysis.steady_state_region_2d ~x_start:Sir.x0 (Analysis.spec model) in
-  Alcotest.(check (float 0.)) "legacy region identical"
-    (Birkhoff.area r.Analysis.birkhoff) (Birkhoff.area b);
-  let sc = Analysis.spec ~horizon:40. model in
-  let cloud =
-    Analysis.stationary_cloud sc ~n:200 ~x0:Sir.x0
-      ~policy:(Sir.policy_theta1 p) ~warmup:10. ~samples:20 ~seed:1
-  in
-  let legacy_cloud =
-    Analysis.Legacy.stationary_cloud model ~n:200 ~x0:Sir.x0
-      ~policy:(Sir.policy_theta1 p) ~warmup:10. ~horizon:40. ~samples:20
-      ~seed:1
-  in
-  Array.iteri
-    (fun i x ->
-      Alcotest.(check bool) "legacy cloud identical" true
-        (x = cloud.Analysis.states.(i)))
-    legacy_cloud;
-  let incl = Analysis.inclusion_fraction ~tol:3e-3 sc r cloud.Analysis.states in
-  Alcotest.(check (float 0.)) "legacy inclusion identical"
-    incl.Analysis.fraction
-    (Analysis.Legacy.inclusion_fraction ~tol:3e-3 b legacy_cloud);
-  let exc = Analysis.mean_exceedance sc r cloud.Analysis.states in
-  Alcotest.(check (float 0.)) "legacy exceedance identical"
-    exc.Analysis.mean
-    (Analysis.Legacy.mean_exceedance b legacy_cloud)
+    (fun i lo ->
+      Alcotest.(check (float 0.)) "obs on/off lower identical"
+        plain.Analysis.lower.(i) lo;
+      Alcotest.(check (float 0.)) "obs on/off upper identical"
+        plain.Analysis.upper.(i)
+        observed.Analysis.upper.(i))
+    observed.Analysis.lower;
+  Alcotest.(check bool) "off leaves metrics empty" true
+    (plain.Analysis.metrics = Analysis.no_metrics);
+  let m = observed.Analysis.metrics in
+  Alcotest.(check bool) "sweep counter recorded" true
+    (match Analysis.metric m "pontryagin.sweeps" with
+    | Some v -> v > 0.
+    | None -> false);
+  Alcotest.(check bool) "solve span recorded" true
+    (List.mem_assoc "pontryagin.solve" m.Analysis.spans);
+  (* the caller's own sink saw the same probes *)
+  Alcotest.(check bool) "caller agg fed too" true
+    (Obs.Agg.counter agg "pontryagin.sweeps" > 0.)
 
 let suites =
   [
@@ -200,6 +187,6 @@ let suites =
         Alcotest.test_case "mean exceedance semantics" `Quick test_mean_exceedance_semantics;
         Alcotest.test_case "safety end-to-end" `Quick test_safety_on_population_model;
         Alcotest.test_case "validation" `Quick test_stationary_cloud_validation;
-        Alcotest.test_case "legacy wrappers agree" `Slow test_legacy_wrappers_agree;
+        Alcotest.test_case "obs metrics populated" `Quick test_obs_metrics_populated;
       ] );
   ]

@@ -1,0 +1,76 @@
+(* Dedicated compatibility test for the deprecated Analysis.Legacy
+   wrappers — the only sanctioned Legacy caller in the repository.  The
+   wrappers are thin aliases over the spec API and must keep producing
+   the same numbers as the spec-based entry points until removal. *)
+open Umf
+
+let p = Sir.default_params
+
+let model = Sir.model p
+
+let times = [| 0.; 1.; 2. |]
+
+[@@@ocaml.warning "-3"]
+
+let test_legacy_wrappers_agree () =
+  let s = Analysis.spec ~steps:150 model in
+  let fresh = Analysis.transient_bounds ~times s ~x0:Sir.x0 ~coord:1 in
+  let legacy =
+    Analysis.Legacy.transient_bounds ~steps:150 model ~x0:Sir.x0 ~coord:1
+      ~times
+  in
+  Array.iteri
+    (fun i (lo, hi) ->
+      Alcotest.(check (float 0.)) "legacy lower identical" fresh.Analysis.lower.(i) lo;
+      Alcotest.(check (float 0.)) "legacy upper identical" fresh.Analysis.upper.(i) hi)
+    legacy;
+  let b = Analysis.Legacy.steady_state_region_2d ~x_start:Sir.x0 model in
+  let r = Analysis.steady_state_region_2d ~x_start:Sir.x0 (Analysis.spec model) in
+  Alcotest.(check (float 0.)) "legacy region identical"
+    (Birkhoff.area r.Analysis.birkhoff) (Birkhoff.area b);
+  let sc = Analysis.spec ~horizon:40. model in
+  let cloud =
+    Analysis.stationary_cloud sc ~n:200 ~x0:Sir.x0
+      ~policy:(Sir.policy_theta1 p) ~warmup:10. ~samples:20 ~seed:1
+  in
+  let legacy_cloud =
+    Analysis.Legacy.stationary_cloud model ~n:200 ~x0:Sir.x0
+      ~policy:(Sir.policy_theta1 p) ~warmup:10. ~horizon:40. ~samples:20
+      ~seed:1
+  in
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check bool) "legacy cloud identical" true
+        (x = cloud.Analysis.states.(i)))
+    legacy_cloud;
+  let incl = Analysis.inclusion_fraction ~tol:3e-3 sc r cloud.Analysis.states in
+  Alcotest.(check (float 0.)) "legacy inclusion identical"
+    incl.Analysis.fraction
+    (Analysis.Legacy.inclusion_fraction ~tol:3e-3 b legacy_cloud);
+  let exc = Analysis.mean_exceedance sc r cloud.Analysis.states in
+  Alcotest.(check (float 0.)) "legacy exceedance identical"
+    exc.Analysis.mean
+    (Analysis.Legacy.mean_exceedance b legacy_cloud)
+
+let test_legacy_hull_agrees () =
+  let clip = Optim.Box.make [| 0.; 0. |] [| 1.; 1. |] in
+  let s = Analysis.spec ~horizon:2. model in
+  let fresh = Analysis.hull_bounds ~clip s ~x0:Sir.x0 in
+  let legacy = Analysis.Legacy.hull_bounds ~clip model ~x0:Sir.x0 ~horizon:2. in
+  let n = Array.length fresh.Hull.times in
+  Alcotest.(check int) "same grid" n (Array.length legacy.Hull.times);
+  for i = 0 to n - 1 do
+    Alcotest.(check bool) "legacy hull identical" true
+      (fresh.Hull.lower.(i) = legacy.Hull.lower.(i)
+      && fresh.Hull.upper.(i) = legacy.Hull.upper.(i))
+  done
+
+let suites =
+  [
+    ( "legacy",
+      [
+        Alcotest.test_case "legacy wrappers agree" `Slow
+          test_legacy_wrappers_agree;
+        Alcotest.test_case "legacy hull agrees" `Quick test_legacy_hull_agrees;
+      ] );
+  ]

@@ -117,7 +117,7 @@ let test_fig6_stationary_inclusion () =
   let b = Birkhoff.compute di ~x_start:Sir.x0 in
   let region =
     { Analysis.birkhoff = b; area = Birkhoff.area b;
-      converged = Birkhoff.converged b }
+      converged = Birkhoff.converged b; metrics = Analysis.no_metrics }
   in
   let spec = Analysis.spec ~horizon:120. (Sir.model p) in
   List.iter
@@ -139,7 +139,7 @@ let test_fig6_inclusion_improves_with_n () =
   let b = Birkhoff.compute di ~x_start:Sir.x0 in
   let region =
     { Analysis.birkhoff = b; area = Birkhoff.area b;
-      converged = Birkhoff.converged b }
+      converged = Birkhoff.converged b; metrics = Analysis.no_metrics }
   in
   let spec = Analysis.spec ~horizon:80. (Sir.model p) in
   let stats n =

@@ -1,0 +1,235 @@
+(* The umf_obs layer itself: aggregator semantics under a fake clock
+   (span nesting, counter sums, gauge envelopes), the JSON value
+   round-trip, the NDJSON trace sink's event schema, and the
+   obs-off/obs-on determinism of the solvers (sequential and on a
+   4-domain pool). *)
+open Umf
+
+(* --- aggregator ------------------------------------------------- *)
+
+(* a hand-cranked clock makes span durations exact *)
+let fake_clock t = fun () -> !t
+
+let test_agg_span_nesting () =
+  let t = ref 0. in
+  let agg = Obs.Agg.create () in
+  let obs = Obs.make ~clock:(fake_clock t) ~agg () in
+  let outer = Obs.span_begin obs "outer" in
+  t := 1.;
+  let inner1 = Obs.span_begin obs "inner" in
+  t := 2.;
+  Obs.span_end obs inner1;
+  t := 3.;
+  let inner2 = Obs.span_begin obs "inner" in
+  t := 5.;
+  Obs.span_end obs inner2;
+  t := 10.;
+  Obs.span_end obs outer;
+  let st name =
+    match Obs.Agg.span_stat agg name with
+    | Some st -> st
+    | None -> Alcotest.failf "no span row for %s" name
+  in
+  let o = st "outer" and i = st "inner" in
+  Alcotest.(check int) "outer calls" 1 o.Obs.Agg.calls;
+  Alcotest.(check (float 1e-12)) "outer total" 10. o.Obs.Agg.total;
+  Alcotest.(check (float 1e-12)) "outer max" 10. o.Obs.Agg.max;
+  Alcotest.(check int) "inner calls" 2 i.Obs.Agg.calls;
+  Alcotest.(check (float 1e-12)) "inner total" 3. i.Obs.Agg.total;
+  Alcotest.(check (float 1e-12)) "inner max" 2. i.Obs.Agg.max;
+  (* nested spans never leak into the enclosing row *)
+  Alcotest.(check bool) "outer >= sum of inners" true
+    (o.Obs.Agg.total >= i.Obs.Agg.total)
+
+let test_agg_counter_sums () =
+  let agg = Obs.Agg.create () in
+  let obs = Obs.make ~agg () in
+  Obs.count obs "c" 3;
+  Obs.count obs "c" 4;
+  Obs.add obs "c" 0.5;
+  Obs.add obs "other" 2.;
+  Alcotest.(check (float 1e-12)) "summed" 7.5 (Obs.Agg.counter agg "c");
+  Alcotest.(check (float 1e-12)) "independent" 2. (Obs.Agg.counter agg "other");
+  Alcotest.(check (float 1e-12)) "absent is 0" 0. (Obs.Agg.counter agg "nope");
+  Alcotest.(check int) "two rows" 2 (List.length (Obs.Agg.counters agg));
+  Obs.Agg.reset agg;
+  Alcotest.(check (float 1e-12)) "reset" 0. (Obs.Agg.counter agg "c")
+
+let test_agg_gauges () =
+  let agg = Obs.Agg.create () in
+  let obs = Obs.make ~agg () in
+  Obs.gauge obs "g" 3.;
+  Obs.gauge obs "g" 1.;
+  Obs.gauge obs "g" 2.;
+  match Obs.Agg.gauge_stat agg "g" with
+  | None -> Alcotest.fail "no gauge row"
+  | Some g ->
+      Alcotest.(check (float 1e-12)) "last" 2. g.Obs.Agg.last;
+      Alcotest.(check (float 1e-12)) "min" 1. g.Obs.Agg.g_min;
+      Alcotest.(check (float 1e-12)) "max" 3. g.Obs.Agg.g_max;
+      Alcotest.(check int) "samples" 3 g.Obs.Agg.samples
+
+let test_off_is_inert () =
+  Alcotest.(check bool) "off disabled" false (Obs.enabled Obs.off);
+  (* probes on off are no-ops and ending the null span is safe *)
+  Obs.count Obs.off "c" 1;
+  Obs.gauge Obs.off "g" 1.;
+  let sp = Obs.span_begin Obs.off "s" in
+  Obs.span_end Obs.off sp;
+  (* make with no sink degenerates to off *)
+  Alcotest.(check bool) "sinkless make disabled" false
+    (Obs.enabled (Obs.make ()))
+
+(* --- JSON ------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.Obj
+      [
+        ("s", Obs.Json.Str "a \"quoted\"\n\ttab");
+        ("n", Obs.Json.Num 0.1);
+        ("big", Obs.Json.Num 1e17);
+        ("neg", Obs.Json.Num (-42.));
+        ("b", Obs.Json.Bool true);
+        ("z", Obs.Json.Null);
+        ("a", Obs.Json.Arr [ Obs.Json.Num 1.; Obs.Json.Bool false ]);
+      ]
+  in
+  let v' = Obs.Json.of_string (Obs.Json.to_string v) in
+  Alcotest.(check bool) "round-trips" true (v = v');
+  Alcotest.(check bool) "member" true
+    (Obs.Json.member "b" v' = Some (Obs.Json.Bool true));
+  (* non-finite numbers degrade to null rather than invalid JSON *)
+  Alcotest.(check string) "nan is null" "null"
+    (Obs.Json.to_string (Obs.Json.Num Float.nan));
+  Alcotest.(check bool) "malformed input raises" true
+    (match Obs.Json.of_string "{" with
+    | exception Failure _ -> true
+    | _ -> false)
+
+(* --- trace sink ------------------------------------------------- *)
+
+let test_trace_schema () =
+  let file = Filename.temp_file "umf_test_obs" ".ndjson" in
+  let oc = open_out file in
+  let tr = Obs.Trace.to_channel oc in
+  let t = ref 0. in
+  let obs = Obs.make ~clock:(fake_clock t) ~trace:tr () in
+  let sp = Obs.span_begin obs "work" in
+  t := 2.5;
+  Obs.span_end ~metrics:[ ("iters", 7.) ] obs sp;
+  Obs.count obs "hits" 3;
+  Obs.gauge obs "width" 0.25;
+  Obs.Trace.flush tr;
+  close_out oc;
+  let ic = open_in file in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove file;
+  let events = List.rev_map Obs.Json.of_string !lines in
+  Alcotest.(check int) "three events" 3 (List.length events);
+  let num name ev =
+    match Obs.Json.member name ev with
+    | Some (Obs.Json.Num v) -> v
+    | _ -> Alcotest.failf "missing numeric field %s" name
+  in
+  let find kind name =
+    match
+      List.find_opt
+        (fun ev ->
+          Obs.Json.member "ev" ev = Some (Obs.Json.Str kind)
+          && Obs.Json.member "name" ev = Some (Obs.Json.Str name))
+        events
+    with
+    | Some ev -> ev
+    | None -> Alcotest.failf "no %s event named %s" kind name
+  in
+  let span = find "span" "work" in
+  Alcotest.(check (float 1e-12)) "span end time" 2.5 (num "t" span);
+  Alcotest.(check (float 1e-12)) "span duration" 2.5 (num "dur" span);
+  Alcotest.(check (float 1e-12)) "extra metric field" 7. (num "iters" span);
+  Alcotest.(check (float 1e-12)) "count value" 3. (num "v" (find "count" "hits"));
+  Alcotest.(check (float 1e-12)) "gauge value" 0.25
+    (num "v" (find "gauge" "width"))
+
+(* --- solver determinism ---------------------------------------- *)
+
+let p = Sir.default_params
+
+let model = Sir.model p
+
+let times = [| 0.5; 1.; 2. |]
+
+(* obs on vs off must be bit-identical, sequentially and on a pool *)
+let test_determinism_bounds () =
+  let spec ?pool ?obs () =
+    Analysis.spec ~scenario:(Analysis.Uncertain 5) ~steps:60 ?pool ?obs model
+  in
+  let plain = Analysis.transient_bounds ~times (spec ()) ~x0:Sir.x0 ~coord:1 in
+  let seq_obs =
+    let agg = Obs.Agg.create () in
+    Analysis.transient_bounds ~times
+      (spec ~obs:(Obs.make ~agg ()) ())
+      ~x0:Sir.x0 ~coord:1
+  in
+  let pool_obs, pool_spans =
+    Runtime.Pool.with_pool ~domains:4 (fun pool ->
+        let agg = Obs.Agg.create () in
+        let b =
+          Analysis.transient_bounds ~times
+            (spec ~pool ~obs:(Obs.make ~agg ()) ())
+            ~x0:Sir.x0 ~coord:1
+        in
+        (b, Obs.Agg.span_stats agg))
+  in
+  Alcotest.(check bool) "seq obs-on identical" true
+    (plain.Analysis.lower = seq_obs.Analysis.lower
+    && plain.Analysis.upper = seq_obs.Analysis.upper);
+  Alcotest.(check bool) "4-domain obs-on identical" true
+    (plain.Analysis.lower = pool_obs.Analysis.lower
+    && plain.Analysis.upper = pool_obs.Analysis.upper);
+  Alcotest.(check bool) "pool stage span captured" true
+    (List.mem_assoc "pool.uncertain-sweep" pool_spans)
+
+let test_determinism_cloud () =
+  let spec ?pool ?obs () = Analysis.spec ~horizon:6. ?pool ?obs model in
+  let cloud s =
+    (Analysis.stationary_cloud s ~n:100 ~x0:Sir.x0
+       ~policy:(Sir.policy_theta1 p) ~warmup:2. ~samples:8 ~seed:7)
+      .Analysis.states
+  in
+  let plain = cloud (spec ()) in
+  let seq_obs = cloud (spec ~obs:(Obs.make ~agg:(Obs.Agg.create ()) ()) ()) in
+  let pool_obs =
+    Runtime.Pool.with_pool ~domains:4 (fun pool ->
+        cloud (spec ~pool ~obs:(Obs.make ~agg:(Obs.Agg.create ()) ()) ()))
+  in
+  Alcotest.(check bool) "seq obs-on identical" true (plain = seq_obs);
+  Alcotest.(check bool) "4-domain obs-on identical" true (plain = pool_obs)
+
+let () =
+  Alcotest.run "umf_obs"
+    [
+      ( "agg",
+        [
+          Alcotest.test_case "span nesting" `Quick test_agg_span_nesting;
+          Alcotest.test_case "counter sums" `Quick test_agg_counter_sums;
+          Alcotest.test_case "gauges" `Quick test_agg_gauges;
+          Alcotest.test_case "off is inert" `Quick test_off_is_inert;
+        ] );
+      ( "json",
+        [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip ] );
+      ( "trace",
+        [ Alcotest.test_case "NDJSON schema" `Quick test_trace_schema ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "bounds obs on/off" `Quick
+            test_determinism_bounds;
+          Alcotest.test_case "cloud obs on/off" `Quick test_determinism_cloud;
+        ] );
+    ]
