@@ -6,10 +6,10 @@ open Umf
 let run () =
   Common.banner "CERT: certified hull and exact Jacobians (cholera, 3-D)";
   let p = Cholera.default_params in
-  let s = Cholera.symbolic p in
+  let s = Cholera.make p in
   let di = Cholera.di p in
   Common.claim "cholera drift detected affine in theta"
-    (Symbolic.affine_in_theta s) "vertex argmax exact";
+    (Model.affine_in_theta s) "vertex argmax exact";
   let horizon = 3. and dt = 0.01 in
   let (sampled : Hull.traj), t_sampled =
     Common.time_it (fun () ->

@@ -52,7 +52,7 @@ let run () =
         fun obs ->
           `O
             (Ode.integrate_adaptive ~obs
-               (fun _t x -> Sir.drift p x [| 5. |])
+               ((Sir.di p).Di.drift |> fun f -> fun _t x -> f x [| 5. |])
                ~t0:0. ~y0:Sir.x0 ~t1:10.) );
       ( "ssa",
         fun obs ->

@@ -8,9 +8,9 @@ open Umf
 let run ?pool () =
   Common.banner "FIG6: stationary SIR samples vs Birkhoff centre";
   let p = Sir.default_params in
-  let model = Sir.model p in
+  let model = Sir.make p in
   let spec = Analysis.spec ?pool ~horizon:120. model in
-  (* the region comes from Sir.di (hand-written jacobian), exactly as
+  (* the region comes from Sir.di (exact symbolic jacobian), exactly as
      before the spec API; wrap it in the Analysis.region record *)
   let b = Birkhoff.compute (Sir.di p) ~x_start:Sir.x0 in
   let region =

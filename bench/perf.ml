@@ -48,7 +48,7 @@ let tests =
     Test.make ~name:"substrate:rk45-sir"
       (Staged.stage (fun () ->
            Ode.integrate_adaptive
-             (fun _t x -> Sir.drift p x [| 5. |])
+             ((Sir.di p).Di.drift |> fun f -> fun _t x -> f x [| 5. |])
              ~t0:0. ~y0:Sir.x0 ~t1:10.));
     Test.make ~name:"template:16-dir-sir-T2"
       (Staged.stage (fun () ->
@@ -62,7 +62,7 @@ let tests =
           fun () -> Interval_dtmc.lower_expectation dtmc ~h ~steps:1000));
     Test.make ~name:"certified:interval-hull-cholera-T3"
       (Staged.stage
-         (let s = Cholera.symbolic Cholera.default_params in
+         (let s = Cholera.make Cholera.default_params in
           fun () ->
             Certified.hull_bounds ~clip:Cholera.state_clip s ~x0:Cholera.x0
               ~horizon:3. ~dt:0.01));

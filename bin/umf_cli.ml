@@ -2,6 +2,7 @@
    OCaml.
 
      umf_cli list
+     umf_cli models
      umf_cli bounds --model sir --var I --horizon 4 --points 20
      umf_cli bounds --model sir --var I --scenario uncertain --jobs 4
      umf_cli bounds --model sir --var I --scenario pw:3
@@ -9,6 +10,11 @@
      umf_cli steady --model sir
      umf_cli simulate --model sir --n 1000 --tmax 20 --policy theta1
      umf_cli simulate --model sir --n 1000 --reps 50 --jobs 0
+
+   Every command pulls its model from {!Umf.Registry} — the CLI holds
+   no model definitions of its own.  The registered [Model.t] carries
+   everything a command needs: x0, the state clip box, named policies
+   and the symbolic transitions the linter checks.
 
    --jobs (or UMF_JOBS) only changes wall-clock time, never results:
    parallel sweeps use per-task RNG streams split deterministically
@@ -22,150 +28,10 @@
 open Umf
 open Cmdliner
 
-type entry = {
-  model : Population.t;
-  di : Di.t;
-  x0 : Vec.t;
-  clip : Optim.Box.t option;
-  policies : (string * Policy.t) list;
-  symbolic : Symbolic.t option;
-      (* symbolic twin for the static analyzer; None only if a model
-         has no Expr-tree form *)
-  lint_domain : Optim.Box.t option;
-      (* state box for lint certification; defaults to the unit box *)
-}
+let lookup_model = Registry.find
 
-let registry () =
-  let sirp = Sir.default_params in
-  let sir =
-    {
-      model = Sir.model sirp;
-      di = Sir.di sirp;
-      x0 = Sir.x0;
-      clip = Some (Optim.Box.make [| 0.; 0. |] [| 1.; 1. |]);
-      policies =
-        [ ("theta1", Sir.policy_theta1 sirp); ("theta2", Sir.policy_theta2 sirp) ];
-      (* lint the 3-variable S/I/R layout: it carries the S+I+R
-         conservation law the 2-variable projection hides *)
-      symbolic = Some (Sir.symbolic3 sirp);
-      lint_domain = None;
-    }
-  in
-  let sisp = Sis.default_params in
-  let sis =
-    {
-      model = Sis.model sisp;
-      di = Sis.di sisp;
-      x0 = Sis.x0;
-      clip = Some (Optim.Box.make [| 0. |] [| 1. |]);
-      policies = [];
-      symbolic = Some (Sis.symbolic sisp);
-      lint_domain = None;
-    }
-  in
-  let bikep = Bikesharing.default_params in
-  let bike =
-    {
-      model = Bikesharing.model bikep;
-      di = Bikesharing.di bikep;
-      x0 = [| 0.5 |];
-      clip = Some (Optim.Box.make [| 0. |] [| 1. |]);
-      policies = [];
-      symbolic = Some (Bikesharing.symbolic bikep);
-      lint_domain = None;
-    }
-  in
-  let cholp = Cholera.default_params in
-  let cholera =
-    {
-      model = Cholera.model cholp;
-      di = Cholera.di cholp;
-      x0 = Cholera.x0;
-      clip = Some Cholera.state_clip;
-      policies = [];
-      symbolic = Some (Cholera.symbolic cholp);
-      lint_domain = Some Cholera.state_clip;
-    }
-  in
-  let gpsp = Gps.default_params in
-  let gps_poisson =
-    {
-      model = Gps.poisson_model gpsp;
-      di = Gps.poisson_di gpsp;
-      x0 = Gps.x0_poisson;
-      clip = Some (Optim.Box.make [| 0.; 0. |] [| 1.; 1. |]);
-      policies = [];
-      symbolic = Some (Gps.poisson_symbolic gpsp);
-      lint_domain = None;
-    }
-  in
-  let gps_map =
-    {
-      model = Gps.map_model gpsp;
-      di = Gps.map_di gpsp;
-      x0 = Gps.x0_map;
-      clip = Some (Optim.Box.make (Vec.zeros 4) (Vec.create 4 1.));
-      policies = [];
-      symbolic = Some (Gps.map_symbolic gpsp);
-      lint_domain = None;
-    }
-  in
-  let lbp = Loadbalance.default_params in
-  let loadbalance =
-    {
-      model = Loadbalance.model lbp;
-      di = Loadbalance.di lbp;
-      x0 = Loadbalance.x0_empty lbp;
-      clip =
-        Some
-          (Optim.Box.make
-             (Vec.zeros lbp.Loadbalance.k_max)
-             (Vec.create lbp.Loadbalance.k_max 1.));
-      policies = [];
-      symbolic = Some (Loadbalance.symbolic lbp);
-      lint_domain = None;
-    }
-  in
-  let bnp = Bikenetwork.default_params in
-  let bikenetwork =
-    let cap = Bikenetwork.capacity bnp in
-    let dim = Bikenetwork.dim bnp in
-    let box =
-      Optim.Box.make (Vec.zeros dim)
-        (Array.init dim (fun i -> if i = dim - 1 then 1. else cap))
-    in
-    {
-      model = Bikenetwork.model bnp;
-      di = Bikenetwork.di bnp;
-      x0 = Bikenetwork.x0 bnp;
-      clip = Some box;
-      policies = [];
-      symbolic = Some (Bikenetwork.symbolic bnp);
-      lint_domain = Some box;
-    }
-  in
-  [
-    ("sir", sir);
-    ("sis", sis);
-    ("bike", bike);
-    ("cholera", cholera);
-    ("gps-poisson", gps_poisson);
-    ("gps-map", gps_map);
-    ("jsq2", loadbalance);
-    ("bikenet", bikenetwork);
-  ]
-
-let lookup_model name =
-  match List.assoc_opt name (registry ()) with
-  | Some e -> Ok e
-  | None ->
-      Error
-        (`Msg
-          (Printf.sprintf "unknown model %s (try: %s)" name
-             (String.concat ", " (List.map fst (registry ())))))
-
-let var_index entry name =
-  let names = entry.model.Population.var_names in
+let var_index m name =
+  let names = Model.var_names m in
   let found = ref None in
   Array.iteri (fun i n -> if n = name then found := Some i) names;
   match !found with
@@ -190,7 +56,7 @@ let model_arg =
   Arg.(
     required
     & opt (some string) None
-    & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Model name (see `list').")
+    & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Model name (see `models').")
 
 let horizon_arg default =
   Arg.(value & opt float default & info [ "horizon" ] ~docv:"T" ~doc:"Time horizon.")
@@ -302,16 +168,37 @@ let list_cmd =
   let doc = "List the bundled models, their variables and policies." in
   let run () =
     List.iter
-      (fun (name, e) ->
+      (fun (name, m) ->
         Printf.printf "%-12s vars: %s; theta: %s; policies: %s\n" name
-          (String.concat ", " (Array.to_list e.model.Population.var_names))
-          (String.concat ", " (Array.to_list e.model.Population.theta_names))
-          (match e.policies with
+          (String.concat ", " (Array.to_list (Model.var_names m)))
+          (String.concat ", " (Array.to_list (Model.theta_names m)))
+          (match Model.policies m with
           | [] -> "(constant/feedback only)"
           | ps -> String.concat ", " (List.map fst ps)))
-      (registry ())
+      (Registry.all ())
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* models command *)
+let models_cmd =
+  let doc =
+    "Inventory of the registered models: dimension, parameter-box \
+     vertex count, structure flags and lint status."
+  in
+  let run () =
+    Printf.printf "%-12s %4s %6s %9s %7s %11s %s\n" "name" "dim" "|theta|"
+      "vertices" "affine" "multilinear" "lint";
+    List.iter
+      (fun (name, m) ->
+        let report = Lint.analyze m in
+        Printf.printf "%-12s %4d %6d %9d %7b %11b %s\n" name (Model.dim m)
+          (Model.theta_dim m)
+          (1 lsl Model.theta_dim m)
+          (Model.affine_in_theta m) (Model.multilinear m)
+          (if Lint.ok report then "ok" else "errors"))
+      (Registry.all ())
+  in
+  Cmd.v (Cmd.info "models" ~doc) Term.(const run $ const ())
 
 (* bounds command *)
 let bounds_cmd =
@@ -337,9 +224,11 @@ let bounds_cmd =
   let run model var scenario horizon points steps jobs trace metrics =
     exit_of_result
       (let ( let* ) = Result.bind in
-       let* entry = lookup_model model in
-       let* coord = var_index entry var in
+       let* m = lookup_model model in
+       let* coord = var_index m var in
        let* scen = parse_scenario scenario in
+       let di = Di.of_model m in
+       let x0 = Model.x0 m in
        if points < 2 then Error (`Msg "need at least 2 points")
        else
          with_obs ~trace ~metrics (fun obs ->
@@ -349,12 +238,12 @@ let bounds_cmd =
                  Array.iter
                    (fun t ->
                      if t <= 0. then
-                       Printf.printf "%.3f\t%.5f\t%.5f\n" t entry.x0.(coord)
-                         entry.x0.(coord)
+                       Printf.printf "%.3f\t%.5f\t%.5f\n" t x0.(coord)
+                         x0.(coord)
                      else begin
                        let lo, hi =
-                         Scenario.extremal_coord ?pool ~obs ~steps scen
-                           entry.di ~x0:entry.x0 ~coord ~horizon:t
+                         Scenario.extremal_coord ?pool ~obs ~steps scen di ~x0
+                           ~coord ~horizon:t
                        in
                        Printf.printf "%.3f\t%.5f\t%.5f\n" t lo hi
                      end)
@@ -375,13 +264,13 @@ let hull_cmd =
   let run model horizon dt trace metrics =
     exit_of_result
       (let ( let* ) = Result.bind in
-       let* entry = lookup_model model in
+       let* m = lookup_model model in
        with_obs ~trace ~metrics (fun obs ->
            let h =
-             Hull.bounds ?clip:entry.clip ~obs entry.di ~x0:entry.x0 ~horizon
-               ~dt
+             Hull.bounds ~clip:(Model.clip m) ~obs (Di.of_model m)
+               ~x0:(Model.x0 m) ~horizon ~dt
            in
-           let names = entry.model.Population.var_names in
+           let names = Model.var_names m in
            print_string "t";
            Array.iter (fun n -> Printf.printf "\t%s_lo\t%s_hi" n n) names;
            print_newline ();
@@ -407,14 +296,16 @@ let steady_cmd =
   let run model trace metrics =
     exit_of_result
       (let ( let* ) = Result.bind in
-       let* entry = lookup_model model in
-       if Population.dim entry.model <> 2 then
+       let* m = lookup_model model in
+       if Model.dim m <> 2 then
          Error (`Msg "steady-state regions are computed for 2-variable models")
        else
          with_obs ~trace ~metrics (fun obs ->
-             let b = Birkhoff.compute ~obs entry.di ~x_start:entry.x0 in
+             let b =
+               Birkhoff.compute ~obs (Di.of_model m) ~x_start:(Model.x0 m)
+             in
              Printf.printf "# %s\n" (Birkhoff.result_to_string b);
-             let names = entry.model.Population.var_names in
+             let names = Model.var_names m in
              Printf.printf "%s\t%s\n" names.(0) names.(1);
              List.iter
                (fun (x, y) -> Printf.printf "%.5f\t%.5f\n" x y)
@@ -454,15 +345,17 @@ let simulate_cmd =
   let run model n tmax seed points policy reps jobs trace metrics =
     exit_of_result
       (let ( let* ) = Result.bind in
-       let* entry = lookup_model model in
-       let box = entry.model.Population.theta in
+       let* m = lookup_model model in
+       let pop = Model.population m in
+       let x0 = Model.x0 m in
+       let box = Model.theta m in
        let* pol =
          match policy with
          | "mid" -> Ok (Policy.constant (Optim.Box.midpoint box))
          | "lo" -> Ok (Policy.constant box.Optim.Box.lo)
          | "hi" -> Ok (Policy.constant box.Optim.Box.hi)
          | name -> (
-             match List.assoc_opt name entry.policies with
+             match List.assoc_opt name (Model.policies m) with
              | Some p -> Ok p
              | None ->
                  Error
@@ -479,10 +372,10 @@ let simulate_cmd =
                      tmax *. float_of_int (i + 1) /. float_of_int points)
                in
                let states =
-                 Ssa.sampled ~obs entry.model ~n ~x0:entry.x0 ~policy:pol
-                   ~times (Rng.create seed)
+                 Ssa.sampled ~obs pop ~n ~x0 ~policy:pol ~times
+                   (Rng.create seed)
                in
-               let names = entry.model.Population.var_names in
+               let names = Model.var_names m in
                Printf.printf "t\t%s\n"
                  (String.concat "\t" (Array.to_list names));
                Array.iteri
@@ -496,10 +389,10 @@ let simulate_cmd =
              else
                with_jobs ~obs jobs (fun pool ->
                    let finals =
-                     Ssa.replicate ?pool ~obs entry.model ~n ~x0:entry.x0
-                       ~policy:pol ~tmax ~reps ~seed
+                     Ssa.replicate ?pool ~obs pop ~n ~x0 ~policy:pol ~tmax
+                       ~reps ~seed
                    in
-                   let names = entry.model.Population.var_names in
+                   let names = Model.var_names m in
                    Printf.printf "rep\t%s\n"
                      (String.concat "\t" (Array.to_list names));
                    Array.iteri
@@ -508,7 +401,7 @@ let simulate_cmd =
                        Array.iter (fun v -> Printf.printf "\t%.5f" v) x;
                        print_newline ())
                      finals;
-                   let dim = Population.dim entry.model in
+                   let dim = Model.dim m in
                    Printf.printf "mean";
                    for c = 0 to dim - 1 do
                      let s =
@@ -535,7 +428,7 @@ let lint_cmd =
     Arg.(
       value
       & pos 0 (some string) None
-      & info [] ~docv:"MODEL" ~doc:"Model name (see `list').")
+      & info [] ~docv:"MODEL" ~doc:"Model name (see `models').")
   in
   let all_arg =
     Arg.(value & flag & info [ "all" ] ~doc:"Lint every bundled model.")
@@ -546,15 +439,10 @@ let lint_cmd =
       & info [ "strict" ]
           ~doc:"Exit non-zero if any linted model has Error-level findings.")
   in
-  let lint_entry name entry =
-    match entry.symbolic with
-    | None ->
-        Printf.printf "%s: no symbolic form; nothing to lint\n" name;
-        Ok true
-    | Some s ->
-        let report = Lint.analyze ?domain:entry.lint_domain s in
-        Format.printf "%a@." Lint.pp_report report;
-        Ok (Lint.ok report)
+  let lint_model m =
+    let report = Lint.analyze m in
+    Format.printf "%a@." Lint.pp_report report;
+    Ok (Lint.ok report)
   in
   let run model all strict =
     exit_of_result
@@ -562,16 +450,16 @@ let lint_cmd =
        let* clean =
          match (model, all) with
          | None, false -> Error (`Msg "need a MODEL argument (or --all)")
-         | Some m, false ->
-             let* entry = lookup_model m in
-             lint_entry m entry
+         | Some name, false ->
+             let* m = lookup_model name in
+             lint_model m
          | _, true ->
              List.fold_left
-               (fun acc (name, entry) ->
+               (fun acc (_, m) ->
                  let* acc = acc in
-                 let* clean = lint_entry name entry in
+                 let* clean = lint_model m in
                  Ok (acc && clean))
-               (Ok true) (registry ())
+               (Ok true) (Registry.all ())
        in
        if strict && not clean then
          Error (`Msg "lint found Error-level problems")
@@ -586,4 +474,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; bounds_cmd; hull_cmd; steady_cmd; simulate_cmd; lint_cmd ]))
+          [
+            list_cmd;
+            models_cmd;
+            bounds_cmd;
+            hull_cmd;
+            steady_cmd;
+            simulate_cmd;
+            lint_cmd;
+          ]))

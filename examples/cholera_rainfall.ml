@@ -12,12 +12,12 @@ open Umf
 
 let () =
   let p = Cholera.default_params in
-  let s = Cholera.symbolic p in
+  let s = Cholera.make p in
   let di = Cholera.di p in
   Printf.printf "water-borne infection rate theta in [%g, %g] (rainfall-driven)\n"
     (Interval.lo p.Cholera.theta) (Interval.hi p.Cholera.theta);
   Printf.printf "drift affine in theta: %b (vertex bang-bang controls exact)\n\n"
-    (Symbolic.affine_in_theta s);
+    (Model.affine_in_theta s);
 
   (* worst-case infected fraction over the first weeks *)
   print_endline "t\tworst-case infected (imprecise)\tbest-case";

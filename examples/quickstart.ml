@@ -11,18 +11,22 @@ open Umf
 
 let () =
   (* 1. the model: one density variable D (fraction of machines down),
-     one imprecise parameter theta_f *)
-  let theta = Optim.Box.make [| 0.1 |] [| 0.5 |] in
-  let tr name change rate = { Population.name; change; rate } in
+     one imprecise parameter theta_f.  Rates are symbolic expressions,
+     so the library derives the drift, exact Jacobians and certified
+     interval bounds from this single definition. *)
+  let theta_box = Optim.Box.make [| 0.1 |] [| 0.5 |] in
+  let x0 = [| 0.05 |] in
   let model =
-    Population.make ~name:"cluster" ~var_names:[| "Down" |]
-      ~theta_names:[| "fail_rate" |] ~theta
+    let open Expr in
+    let tr name change rate = { Model.name; change; rate } in
+    Model.make ~name:"cluster" ~var_names:[| "Down" |]
+      ~theta_names:[| "fail_rate" |] ~theta:theta_box ~x0
       [
-        tr "failure" [| 1. |] (fun x th -> th.(0) *. Float.max 0. (1. -. x.(0)));
-        tr "repair" [| -1. |] (fun x _ -> 2. *. x.(0));
+        tr "failure" [| 1. |]
+          (theta 0 *: max_ (const 0.) (const 1. -: var 0));
+        tr "repair" [| -1. |] (const 2. *: var 0);
       ]
   in
-  let x0 = [| 0.05 |] in
 
   (* 2. transient bounds in the imprecise scenario: the exact envelope
      of the mean-field differential inclusion, by Pontryagin.  One
@@ -54,7 +58,9 @@ let () =
         if x.(0) < 0.1 then [| 0.5 |] else [| 0.1 |])
   in
   let rng = Rng.create 42 in
-  let final = Ssa.final model ~n:50 ~x0 ~policy:adversary ~tmax:5. rng in
+  let final =
+    Ssa.final (Model.population model) ~n:50 ~x0 ~policy:adversary ~tmax:5. rng
+  in
   Printf.printf "\nN=50 sample run under adversarial environment: %.0f%% down at t=5\n"
     (100. *. final.(0));
   let lo5 = bounds.Analysis.lower.(10) and hi5 = bounds.Analysis.upper.(10) in

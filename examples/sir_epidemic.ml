@@ -65,7 +65,7 @@ let () =
   Printf.printf
     "\nattack on the b = %.0f design (hysteresis environment, N = 2000):\n"
     b_unc;
-  let model = Sir.model p_fragile in
+  let model = Sir.make p_fragile in
   let spec = Analysis.spec ~horizon:100. model in
   let cloud =
     Analysis.stationary_cloud spec ~n:2000 ~x0:Sir.x0

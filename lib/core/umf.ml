@@ -10,6 +10,7 @@ module Rng = Umf_numerics.Rng
 module Stats = Umf_numerics.Stats
 module Diff = Umf_numerics.Diff
 module Expr = Umf_numerics.Expr
+module Tape = Umf_numerics.Tape
 module Generator = Umf_ctmc.Generator
 module Ctmc_path = Umf_ctmc.Path
 module Ctmc_simulate = Umf_ctmc.Simulate
@@ -18,7 +19,7 @@ module Stationary = Umf_ctmc.Stationary
 module Imprecise_ctmc = Umf_ctmc.Imprecise_ctmc
 module Interval_dtmc = Umf_ctmc.Interval_dtmc
 module Population = Umf_meanfield.Population
-module Symbolic = Umf_meanfield.Symbolic
+module Model = Umf_meanfield.Model
 module Policy = Umf_meanfield.Policy
 module Ssa = Umf_meanfield.Ssa
 module Convergence = Umf_meanfield.Convergence
@@ -42,12 +43,13 @@ module Sis = Umf_models.Sis
 module Cholera = Umf_models.Cholera
 module Loadbalance = Umf_models.Loadbalance
 module Bikenetwork = Umf_models.Bikenetwork
+module Registry = Umf_models.Registry
 
 module Analysis = struct
   type scenario = Imprecise | Uncertain of int
 
   type spec = {
-    model : Population.t;
+    model : Model.t;
     scenario : scenario;
     theta : Optim.Box.t option;
     horizon : float;
@@ -69,7 +71,7 @@ module Analysis = struct
     { model; scenario; theta; horizon; steps; dt; tol; pool; obs }
 
   let di_of_spec s =
-    let di = Di.of_population s.model in
+    let di = Di.of_model s.model in
     match s.theta with None -> di | Some box -> { di with Di.theta = box }
 
   type metrics = {
@@ -168,7 +170,7 @@ module Analysis = struct
     let x_start =
       match x_start with
       | Some x -> x
-      | None -> Vec.create (Population.dim s.model) 0.5
+      | None -> Vec.create (Model.dim s.model) 0.5
     in
     let b, metrics =
       instrumented s "analysis.steady_state_region_2d" (fun obs ->
@@ -196,7 +198,8 @@ module Analysis = struct
     in
     let states, metrics =
       instrumented s "analysis.stationary_cloud" (fun obs ->
-          Ssa.sampled ~obs s.model ~n ~x0 ~policy ~times (Rng.create seed))
+          Ssa.sampled ~obs (Model.population s.model) ~n ~x0 ~policy ~times
+            (Rng.create seed))
     in
     { times; states; metrics }
 
@@ -238,8 +241,7 @@ module Analysis = struct
       Array.fold_left combine init partials
     end
 
-  (* shared cores: the spec entry points wrap these in [instrumented];
-     the Legacy wrappers call them pool-less and context-free *)
+  (* shared cores: the spec entry points wrap these in [instrumented] *)
   let inclusion_counts ?pool ?tol b states =
     let count (slack, strict) x =
       let p = (x.(0), x.(1)) in
@@ -285,37 +287,4 @@ module Analysis = struct
     in
     { mean = acc /. float_of_int (Array.length states); worst; metrics }
 
-  (* Deprecated pre-spec entry points, now thin aliases over the spec
-     API (they build a throwaway sequential spec, or share the fold
-     cores above when they never had a model argument).  Scheduled for
-     removal: see the timeline note in umf.mli. *)
-  module Legacy = struct
-    let transient_bounds ?(scenario = Imprecise) ?steps model ~x0 ~coord ~times
-        =
-      let b = transient_bounds ~times (spec ~scenario ?steps model) ~x0 ~coord in
-      Array.init (Array.length times) (fun i -> (b.lower.(i), b.upper.(i)))
-
-    let hull_bounds ?clip ?(dt = 1e-2) model ~x0 ~horizon =
-      hull_bounds ?clip (spec ~horizon ~dt model) ~x0
-
-    let steady_state_region_2d ?x_start model =
-      (steady_state_region_2d ?x_start (spec model)).birkhoff
-
-    let stationary_cloud model ~n ~x0 ~policy ~warmup ~horizon ~samples ~seed =
-      (stationary_cloud (spec ~horizon model) ~n ~x0 ~policy ~warmup ~samples
-         ~seed)
-        .states
-
-    let inclusion_fraction ?tol region states =
-      if Array.length states = 0 then
-        invalid_arg "Analysis.inclusion_fraction: no states";
-      let inside, _ = inclusion_counts ?tol region states in
-      float_of_int inside /. float_of_int (Array.length states)
-
-    let mean_exceedance region states =
-      if Array.length states = 0 then
-        invalid_arg "Analysis.mean_exceedance: no states";
-      let acc, _ = exceedance_stats region.Birkhoff.polygon states in
-      acc /. float_of_int (Array.length states)
-  end
 end

@@ -31,6 +31,7 @@ module Rng = Umf_numerics.Rng
 module Stats = Umf_numerics.Stats
 module Diff = Umf_numerics.Diff
 module Expr = Umf_numerics.Expr
+module Tape = Umf_numerics.Tape
 
 (* Markov chain substrate *)
 module Generator = Umf_ctmc.Generator
@@ -43,7 +44,7 @@ module Interval_dtmc = Umf_ctmc.Interval_dtmc
 
 (* population models and their simulation *)
 module Population = Umf_meanfield.Population
-module Symbolic = Umf_meanfield.Symbolic
+module Model = Umf_meanfield.Model
 module Policy = Umf_meanfield.Policy
 module Ssa = Umf_meanfield.Ssa
 module Convergence = Umf_meanfield.Convergence
@@ -77,6 +78,7 @@ module Sis = Umf_models.Sis
 module Cholera = Umf_models.Cholera
 module Loadbalance = Umf_models.Loadbalance
 module Bikenetwork = Umf_models.Bikenetwork
+module Registry = Umf_models.Registry
 
 (** High-level end-to-end analyses.
 
@@ -93,7 +95,7 @@ module Analysis : sig
             resolution used to sweep Θ. *)
 
   type spec = {
-    model : Population.t;
+    model : Model.t;
     scenario : scenario;  (** Default [Imprecise]. *)
     theta : Optim.Box.t option;
         (** Overrides the model's parameter box when given. *)
@@ -124,7 +126,7 @@ module Analysis : sig
     ?tol:float ->
     ?pool:Runtime.Pool.t ->
     ?obs:Obs.t ->
-    Population.t ->
+    Model.t ->
     spec
   (** Smart constructor with the defaults above.
       @raise Invalid_argument on non-positive horizon/steps/dt or an
@@ -225,58 +227,4 @@ module Analysis : sig
       out of the region (0 when all inside); the mean converges to 0
       as N → ∞ by Theorem 3. *)
 
-  (** The pre-spec API, now thin aliases over the {!spec} entry points
-      (each wrapper builds a throwaway sequential spec, or shares the
-      spec API's fold cores when it never took a model).
-
-      {b Removal timeline}: deprecated since the spec redesign; kept
-      through one more release for downstream migration and deleted in
-      the release after that.  New code must build an {!Analysis.spec}
-      and call the functions above; the dedicated compat test
-      ([test/integration/test_legacy.ml]) is the only sanctioned
-      caller inside this repository. *)
-  module Legacy : sig
-    val transient_bounds :
-      ?scenario:scenario ->
-      ?steps:int ->
-      Population.t ->
-      x0:Vec.t ->
-      coord:int ->
-      times:float array ->
-      (float * float) array
-    [@@ocaml.deprecated "use Analysis.transient_bounds with an Analysis.spec"]
-
-    val hull_bounds :
-      ?clip:Optim.Box.t ->
-      ?dt:float ->
-      Population.t ->
-      x0:Vec.t ->
-      horizon:float ->
-      Hull.traj
-    [@@ocaml.deprecated "use Analysis.hull_bounds with an Analysis.spec"]
-
-    val steady_state_region_2d :
-      ?x_start:Vec.t -> Population.t -> Birkhoff.result
-    [@@ocaml.deprecated
-      "use Analysis.steady_state_region_2d with an Analysis.spec"]
-
-    val stationary_cloud :
-      Population.t ->
-      n:int ->
-      x0:Vec.t ->
-      policy:Policy.t ->
-      warmup:float ->
-      horizon:float ->
-      samples:int ->
-      seed:int ->
-      Vec.t array
-    [@@ocaml.deprecated "use Analysis.stationary_cloud with an Analysis.spec"]
-
-    val inclusion_fraction :
-      ?tol:float -> Birkhoff.result -> Vec.t array -> float
-    [@@ocaml.deprecated "use Analysis.inclusion_fraction with an Analysis.spec"]
-
-    val mean_exceedance : Birkhoff.result -> Vec.t array -> float
-    [@@ocaml.deprecated "use Analysis.mean_exceedance with an Analysis.spec"]
-  end
 end

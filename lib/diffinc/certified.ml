@@ -1,56 +1,50 @@
 open Umf_numerics
-module Symbolic = Umf_meanfield.Symbolic
-module Population = Umf_meanfield.Population
+module Model = Umf_meanfield.Model
 module Lint = Umf_lint.Lint
 
 exception Rejected of Lint.report
 
-let di s =
-  Di.of_population ~jacobian:(Symbolic.jacobian s) (Symbolic.population s)
+let di = Di.of_model
 
 (* gate: refuse models the static analyzer rejects, and reuse its
    structure classification to pick the Hamiltonian arg-max strategy *)
-let gate ?domain ?(lint = true) s =
+let gate ?domain ?(lint = true) m =
   if not lint then None
   else begin
-    let report = Lint.analyze ?domain s in
+    let report = Lint.analyze ?domain m in
     if not (Lint.ok report) then raise (Rejected report);
     Some report
   end
 
-let recommended_hamiltonian_opt ?domain s =
-  (Lint.analyze ?domain s).Lint.recommended_opt
+let recommended_hamiltonian_opt ?domain m =
+  (Lint.analyze ?domain m).Lint.recommended_opt
 
-let opt_of ?domain report s =
+let opt_of ?domain report m =
   match report with
   | Some r -> r.Lint.recommended_opt
-  | None -> recommended_hamiltonian_opt ?domain s
+  | None -> recommended_hamiltonian_opt ?domain m
 
-let pontryagin ?steps ?max_iter ?tol ?relax ?domain ?lint ?obs s ~x0 ~horizon
+let pontryagin ?steps ?max_iter ?tol ?relax ?domain ?lint ?obs m ~x0 ~horizon
     ~sense obj =
-  let report = gate ?domain ?lint s in
-  let opt = opt_of ?domain report s in
-  Pontryagin.solve ?steps ?max_iter ?tol ?relax ~opt ~check:true ?obs (di s)
+  let report = gate ?domain ?lint m in
+  let opt = opt_of ?domain report m in
+  Pontryagin.solve ?steps ?max_iter ?tol ?relax ~opt ~check:true ?obs (di m)
     ~x0 ~horizon ~sense obj
 
-let bound_series ?steps ?max_iter ?tol ?relax ?domain ?lint ?obs s ~x0 ~coord
+let bound_series ?steps ?max_iter ?tol ?relax ?domain ?lint ?obs m ~x0 ~coord
     ~times =
-  let report = gate ?domain ?lint s in
-  let opt = opt_of ?domain report s in
+  let report = gate ?domain ?lint m in
+  let opt = opt_of ?domain report m in
   Pontryagin.bound_series ?steps ?max_iter ?tol ?relax ~opt ~check:true ?obs
-    (di s) ~x0 ~coord ~times
+    (di m) ~x0 ~coord ~times
 
-let hull_bounds ?clip ?lint ?obs s ~x0 ~horizon ~dt =
-  ignore (gate ?domain:clip ?lint s : Lint.report option);
-  let model = Symbolic.population s in
+let hull_bounds ?clip ?lint ?obs m ~x0 ~horizon ~dt =
+  ignore (gate ?domain:clip ?lint m : Lint.report option);
+  let theta = Model.theta m in
   let theta_ivs =
-    Array.to_list
-      (Array.mapi
-         (fun j _ ->
-           Interval.make model.Population.theta.Optim.Box.lo.(j)
-             model.Population.theta.Optim.Box.hi.(j))
-         model.Population.theta.Optim.Box.lo)
-    |> Array.of_list
+    Array.mapi
+      (fun j lo -> Interval.make lo theta.Optim.Box.hi.(j))
+      theta.Optim.Box.lo
   in
   let face_extremum ~lo ~hi ~coord ~value sense =
     let x =
@@ -58,9 +52,9 @@ let hull_bounds ?clip ?lint ?obs s ~x0 ~horizon ~dt =
           if i = coord then Interval.make value value
           else Interval.make lo.(i) hi.(i))
     in
-    let enclosure = (Symbolic.drift_interval s ~x ~th:theta_ivs).(coord) in
+    let enclosure = (Model.drift_interval m ~x ~th:theta_ivs).(coord) in
     match sense with
     | `Min -> Interval.lo enclosure
     | `Max -> Interval.hi enclosure
   in
-  Hull.bounds ~check:true ?clip ~face_extremum ?obs (di s) ~x0 ~horizon ~dt
+  Hull.bounds ~check:true ?clip ~face_extremum ?obs (di m) ~x0 ~horizon ~dt

@@ -1,8 +1,8 @@
 (** Certified analyses of symbolically-specified models.
 
-    For models whose rates are {!Umf_numerics.Expr} trees
-    ({!Umf_meanfield.Symbolic}), the solvers can replace sampling-based
-    ingredients with sound symbolic ones:
+    For symbolically-defined models ({!Umf_meanfield.Model}), the
+    solvers can replace sampling-based ingredients with sound symbolic
+    ones:
 
     - {!di} builds the differential inclusion with the {e exact}
       Jacobian (Pontryagin costates free of finite-difference error);
@@ -20,14 +20,13 @@
     bang-bang controls are provably optimal. *)
 
 open Umf_numerics
-module Symbolic = Umf_meanfield.Symbolic
 module Lint = Umf_lint.Lint
 
 exception Rejected of Lint.report
 (** Raised when the pre-solve lint finds Error-level problems; the
     payload is the full diagnostic report. *)
 
-val di : Symbolic.t -> Di.t
+val di : Umf_meanfield.Model.t -> Di.t
 
 val pontryagin :
   ?steps:int ->
@@ -37,7 +36,7 @@ val pontryagin :
   ?domain:Optim.Box.t ->
   ?lint:bool ->
   ?obs:Umf_obs.Obs.t ->
-  Symbolic.t ->
+  Umf_meanfield.Model.t ->
   x0:Vec.t ->
   horizon:float ->
   sense:[ `Max | `Min ] ->
@@ -47,7 +46,7 @@ val pontryagin :
     to [true]) and with the Hamiltonian optimiser auto-selected from
     the lint classification; the chosen strategy is recorded in the
     result's [opt] field.  [domain] is passed to the linter (defaults
-    to the unit box).  Runs with the [~check:true] non-finiteness
+    to the model's clip box).  Runs with the [~check:true] non-finiteness
     sanitizer on, and threads [obs] into the solver — the one
     observation context convention shared by every certified entry
     point.
@@ -61,7 +60,7 @@ val bound_series :
   ?domain:Optim.Box.t ->
   ?lint:bool ->
   ?obs:Umf_obs.Obs.t ->
-  Symbolic.t ->
+  Umf_meanfield.Model.t ->
   x0:Vec.t ->
   coord:int ->
   times:float array ->
@@ -75,18 +74,18 @@ val hull_bounds :
   ?clip:Optim.Box.t ->
   ?lint:bool ->
   ?obs:Umf_obs.Obs.t ->
-  Symbolic.t ->
+  Umf_meanfield.Model.t ->
   x0:Vec.t ->
   horizon:float ->
   dt:float ->
   Hull.traj
 (** Interval-certified differential hull.  Runs the linter first
-    (over [clip] when given, else the unit box) and integrates with
+    (over [clip] when given, else the model's clip box) and integrates with
     the {!Hull.bounds} [~check:true] NaN/Inf sanitizer on; [obs] is
     threaded into the hull integration.
     @raise Rejected when the lint report contains errors. *)
 
 val recommended_hamiltonian_opt :
-  ?domain:Optim.Box.t -> Symbolic.t -> [ `Vertices | `Box of int ]
+  ?domain:Optim.Box.t -> Umf_meanfield.Model.t -> [ `Vertices | `Box of int ]
 (** The linter's solver recommendation: [`Vertices] when every drift
     coordinate is affine in θ (exact bang-bang), [`Box 5] otherwise. *)

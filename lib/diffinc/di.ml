@@ -19,6 +19,14 @@ let of_population ?jacobian (m : Umf_meanfield.Population.t) =
     jacobian;
   }
 
+let of_model (m : Umf_meanfield.Model.t) =
+  {
+    dim = Umf_meanfield.Model.dim m;
+    theta = Umf_meanfield.Model.theta m;
+    drift = Umf_meanfield.Model.drift m;
+    jacobian = Some (Umf_meanfield.Model.jacobian m);
+  }
+
 let integrate_constant ?obs di ~theta ~x0 ~horizon ~dt =
   Ode.integrate ?obs (fun _t x -> di.drift x theta) ~t0:0. ~y0:x0 ~t1:horizon
     ~dt

@@ -28,6 +28,11 @@ val of_population : ?jacobian:(Vec.t -> Vec.t -> Mat.t) -> Umf_meanfield.Populat
 (** The mean-field differential inclusion of a population model:
     drift and θ-box are taken from the transition classes. *)
 
+val of_model : Umf_meanfield.Model.t -> t
+(** The differential inclusion of a symbolic model: compiled drift,
+    θ-box, and the {e exact} symbolic Jacobian (Pontryagin costates
+    free of finite-difference error). *)
+
 val integrate_constant :
   ?obs:Umf_obs.Obs.t ->
   t ->

@@ -1,6 +1,5 @@
 open Umf_numerics
-module Symbolic = Umf_meanfield.Symbolic
-module Population = Umf_meanfield.Population
+module Model = Umf_meanfield.Model
 
 type severity = Error | Warning | Info
 
@@ -124,7 +123,7 @@ let pretty_weights var_names (w : Vec.t) =
 (* the analysis                                                        *)
 
 let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
-    (transitions : Symbolic.transition list) =
+    (transitions : Model.transition list) =
   let dim = Array.length var_names in
   let theta_dim = Array.length theta_names in
   let domain =
@@ -153,7 +152,7 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
   (* -------- well-formedness: L003/L004/L005 ----------------------- *)
   let valid =
     List.filter
-      (fun (tr : Symbolic.transition) ->
+      (fun (tr : Model.transition) ->
         let ok = ref true in
         if Vec.dim tr.change <> dim then begin
           report "L005" Error (Transition tr.name)
@@ -190,7 +189,7 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
   (* -------- rate soundness: L001/L002/L006/L403 ------------------- *)
   let rate_sound = ref true in
   List.iter
-    (fun (tr : Symbolic.transition) ->
+    (fun (tr : Model.transition) ->
       if Expr.simplify tr.rate = Expr.Const 0. then
         report "L403" Warning (Transition tr.name)
           "transition %s: rate simplifies to 0 — the transition never fires"
@@ -227,7 +226,7 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
   let var_read = Array.make dim false and var_moved = Array.make dim false in
   let param_read = Array.make theta_dim false in
   List.iter
-    (fun (tr : Symbolic.transition) ->
+    (fun (tr : Model.transition) ->
       List.iter (fun i -> var_read.(i) <- true) (Expr.vars tr.rate);
       List.iter (fun j -> param_read.(j) <- true) (Expr.thetas tr.rate);
       Array.iteri (fun i c -> if c <> 0. then var_moved.(i) <- true) tr.change)
@@ -251,7 +250,7 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
   (* -------- positive-orthant invariance: L404 --------------------- *)
   let orthant_ok = ref true in
   List.iter
-    (fun (tr : Symbolic.transition) ->
+    (fun (tr : Model.transition) ->
       Array.iteri
         (fun i c ->
           if
@@ -289,7 +288,7 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
   let drift =
     Array.init dim (fun i ->
         List.fold_left
-          (fun acc (tr : Symbolic.transition) ->
+          (fun acc (tr : Model.transition) ->
             if tr.change.(i) = 0. then acc
             else Expr.(acc +: (const tr.change.(i) *: tr.rate)))
           (Expr.const 0.) valid
@@ -345,7 +344,7 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
   let conservation =
     if valid = [] || dim = 0 then []
     else begin
-      let c = Mat.of_arrays (Array.of_list (List.map (fun (tr : Symbolic.transition) -> Vec.copy tr.change) valid)) in
+      let c = Mat.of_arrays (Array.of_list (List.map (fun (tr : Model.transition) -> Vec.copy tr.change) valid)) in
       Mat.null_space ~tol:1e-9 c
       |> Array.to_list
       |> List.map (fun w -> { weights = w; pretty = pretty_weights var_names w })
@@ -359,7 +358,7 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
   let mass_conserved =
     valid <> []
     && List.for_all
-         (fun (tr : Symbolic.transition) -> Float.abs (Vec.sum tr.change) <= tol)
+         (fun (tr : Model.transition) -> Float.abs (Vec.sum tr.change) <= tol)
          valid
   in
   let simplex_preserving = mass_conserved && !rate_sound && !orthant_ok in
@@ -438,11 +437,11 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
     recommended_opt;
   }
 
-let analyze ?domain s =
-  let m = Symbolic.population s in
-  analyze_transitions ?domain ~name:m.Population.name
-    ~var_names:m.Population.var_names ~theta_names:m.Population.theta_names
-    ~theta:m.Population.theta (Symbolic.transitions s)
+let analyze ?domain m =
+  let domain = match domain with Some b -> b | None -> Model.clip m in
+  analyze_transitions ~domain ~name:(Model.name m)
+    ~var_names:(Model.var_names m) ~theta_names:(Model.theta_names m)
+    ~theta:(Model.theta m) (Model.transitions m)
 
 (* ------------------------------------------------------------------ *)
 (* report access and printing                                          *)

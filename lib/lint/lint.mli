@@ -11,8 +11,8 @@
     - hull face extrema are attained at box vertices only for
       multilinear drifts.
 
-    [Lint] checks these {e before} any solver runs, over a symbolic
-    ({!Umf_meanfield.Symbolic}) model: certified rate non-negativity
+    [Lint] checks these {e before} any solver runs, over the symbolic
+    transitions of a {!Umf_meanfield.Model}: certified rate non-negativity
     and division-by-zero freedom by interval arithmetic, structure
     classification with a solver recommendation, conservation laws
     from the left null space of the change-vector matrix, an interval
@@ -70,10 +70,12 @@ type report = {
           drift coordinate is affine in θ *)
 }
 
-val analyze : ?domain:Optim.Box.t -> Umf_meanfield.Symbolic.t -> report
-(** Lint a well-formed symbolic model.  [domain] is the state box over
-    which rates and derivatives are certified; it defaults to the unit
-    box [0,1]^dim (densities). *)
+val analyze : ?domain:Optim.Box.t -> Umf_meanfield.Model.t -> report
+(** Lint a well-formed model.  [domain] is the state box over which
+    rates and derivatives are certified; it defaults to the model's
+    clip box (itself the unit box [0,1]^dim unless declared
+    otherwise).  Every {!Umf_meanfield.Model.t} is lintable by
+    construction — there is no escape hatch. *)
 
 val analyze_transitions :
   ?domain:Optim.Box.t ->
@@ -81,10 +83,10 @@ val analyze_transitions :
   var_names:string array ->
   theta_names:string array ->
   theta:Optim.Box.t ->
-  Umf_meanfield.Symbolic.transition list ->
+  Umf_meanfield.Model.transition list ->
   report
 (** Like {!analyze} but on raw transitions, without requiring
-    {!Umf_meanfield.Symbolic.make} to accept them first: out-of-range
+    {!Umf_meanfield.Model.make} to accept them first: out-of-range
     variable or parameter references and mis-sized change vectors are
     {e reported} (L003–L005) instead of raised, and the offending
     transitions are excluded from the remaining checks. *)

@@ -42,8 +42,20 @@ let dim p = p.stations + 1
 
 let capacity p = 1. /. float_of_int p.stations
 
-let model p =
+let x0 p =
   validate p;
+  let per_station = p.fleet /. float_of_int p.stations in
+  Array.init (dim p) (fun i -> if i = p.stations then 0. else per_station)
+
+let state_box p =
+  let cap = capacity p in
+  let d = dim p in
+  Optim.Box.make (Vec.zeros d)
+    (Array.init d (fun i -> if i = d - 1 then 1. else cap))
+
+let make p =
+  validate p;
+  let open Expr in
   let k = p.stations in
   let z_idx = k in
   let unit i s =
@@ -51,24 +63,25 @@ let model p =
     v.(i) <- s;
     v
   in
+  let cap = capacity p in
+  (* Ite (g, a, b) is [a] where g <= 0: empty/full threshold guards *)
   let departure i =
     {
-      Population.name = Printf.sprintf "depart-%d" (i + 1);
+      Model.name = Printf.sprintf "depart-%d" (i + 1);
       change = Vec.add (unit i (-1.)) (unit z_idx 1.);
-      rate =
-        (fun x th -> if x.(i) > 1e-12 then th.(i) else 0.);
+      rate = Ite (var i -: const 1e-12, const 0., theta i);
     }
   in
   let arrival i =
+    (* returns are blocked at a full station and stay in transit *)
     {
-      Population.name = Printf.sprintf "return-%d" (i + 1);
+      Model.name = Printf.sprintf "return-%d" (i + 1);
       change = Vec.add (unit i 1.) (unit z_idx (-1.));
       rate =
-        (fun x _th ->
-          (* returns are blocked at a full station and stay in transit *)
-          if x.(i) < capacity p -. 1e-12 then
-            p.mu *. Float.max 0. x.(z_idx) *. p.routing.(i)
-          else 0.);
+        Ite
+          ( var i -: const (cap -. 1e-12),
+            const p.mu *: max_ (const 0.) (var z_idx) *: const p.routing.(i),
+            const 0. );
     }
   in
   (* truck rebalancing (the redistribution of [22]): bikes are moved
@@ -85,70 +98,7 @@ let model p =
               else
                 Some
                   {
-                    Population.name = Printf.sprintf "rebalance-%d-%d" (j + 1) (i + 1);
-                    change = Vec.add (unit j (-1.)) (unit i 1.);
-                    rate =
-                      (fun x _th ->
-                        let cap = capacity p in
-                        let stock = Float.max 0. x.(j) in
-                        let room = Float.max 0. (cap -. x.(i)) /. cap in
-                        p.rebalance *. stock *. room);
-                  })
-            (List.init k Fun.id))
-        (List.init k Fun.id)
-  in
-  Population.make ~name:"bike-network"
-    ~var_names:
-      (Array.init (k + 1) (fun i ->
-           if i = k then "Z" else Printf.sprintf "S%d" (i + 1)))
-    ~theta_names:(Array.init k (fun i -> Printf.sprintf "theta%d" (i + 1)))
-    ~theta:
-      (Optim.Box.of_intervals (Array.to_list p.demand))
-    (List.init k departure @ List.init k arrival @ rebalances)
-
-let symbolic p =
-  validate p;
-  let open Expr in
-  let k = p.stations in
-  let z_idx = k in
-  let unit i s =
-    let v = Vec.zeros (k + 1) in
-    v.(i) <- s;
-    v
-  in
-  let cap = capacity p in
-  (* Ite (g, a, b) is [a] where g <= 0: the same threshold guards as the
-     closure rates *)
-  let departure i =
-    {
-      Symbolic.name = Printf.sprintf "depart-%d" (i + 1);
-      change = Vec.add (unit i (-1.)) (unit z_idx 1.);
-      rate = Ite (var i -: const 1e-12, const 0., theta i);
-    }
-  in
-  let arrival i =
-    {
-      Symbolic.name = Printf.sprintf "return-%d" (i + 1);
-      change = Vec.add (unit i 1.) (unit z_idx (-1.));
-      rate =
-        Ite
-          ( var i -: const (cap -. 1e-12),
-            const p.mu *: max_ (const 0.) (var z_idx) *: const p.routing.(i),
-            const 0. );
-    }
-  in
-  let rebalances =
-    if p.rebalance = 0. then []
-    else
-      List.concat_map
-        (fun j ->
-          List.filter_map
-            (fun i ->
-              if i = j then None
-              else
-                Some
-                  {
-                    Symbolic.name =
+                    Model.name =
                       Printf.sprintf "rebalance-%d-%d" (j + 1) (i + 1);
                     change = Vec.add (unit j (-1.)) (unit i 1.);
                     rate =
@@ -159,20 +109,18 @@ let symbolic p =
             (List.init k Fun.id))
         (List.init k Fun.id)
   in
-  Symbolic.make ~name:"bike-network"
+  Model.make ~name:"bike-network"
     ~var_names:
       (Array.init (k + 1) (fun i ->
            if i = k then "Z" else Printf.sprintf "S%d" (i + 1)))
     ~theta_names:(Array.init k (fun i -> Printf.sprintf "theta%d" (i + 1)))
     ~theta:(Optim.Box.of_intervals (Array.to_list p.demand))
+    ~x0:(x0 p) ~clip:(state_box p)
     (List.init k departure @ List.init k arrival @ rebalances)
 
-let di p = Umf_diffinc.Di.of_population (model p)
+let model p = Model.population (make p)
 
-let x0 p =
-  validate p;
-  let per_station = p.fleet /. float_of_int p.stations in
-  Array.init (dim p) (fun i -> if i = p.stations then 0. else per_station)
+let di p = Umf_diffinc.Di.of_model (make p)
 
 let total_bikes x = Vec.sum x
 

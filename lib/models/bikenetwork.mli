@@ -44,12 +44,12 @@ val with_fleet : params -> float -> params
 
 val with_rebalance : params -> float -> params
 
-val model : params -> Population.t
-(** Variables x1 … xK, z. *)
+val make : params -> Model.t
+(** The symbolic model, variables x1 … xK, z: the empty/full guards
+    become [Ite] thresholds; conserves Σ x_i + z (every change vector
+    sums to 0).  Clipped to {!state_box}. *)
 
-val symbolic : params -> Symbolic.t
-(** Symbolic twin of {!model}: the empty/full guards become [Ite]
-    thresholds; conserves Σ x_i + z (every change vector sums to 0). *)
+val model : params -> Population.t
 
 val di : params -> Umf_diffinc.Di.t
 
@@ -60,6 +60,10 @@ val dim : params -> int
 
 val capacity : params -> float
 (** Rack capacity per station on the density scale, 1/K. *)
+
+val state_box : params -> Optim.Box.t
+(** The invariant box [0, 1/K]^K × [0, 1] — the hull clip and lint
+    certification domain. *)
 
 val total_bikes : Vec.t -> float
 (** Σ x_i + z: the conserved fleet density. *)

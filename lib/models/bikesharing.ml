@@ -8,31 +8,24 @@ let default_params =
 
 let theta_box p = Optim.Box.of_intervals [ p.arrival; p.return_ ]
 
-let model p =
-  let tr name change rate = { Population.name; change; rate } in
-  Population.make ~name:"bike-station" ~var_names:[| "B" |]
-    ~theta_names:[| "theta_a"; "theta_r" |] ~theta:(theta_box p)
-    [
-      tr "departure" [| -1. |]
-        (fun x theta -> if x.(0) > 1e-12 then theta.(0) else 0.);
-      tr "return" [| 1. |]
-        (fun x theta -> if x.(0) < 1. -. 1e-12 then theta.(1) else 0.);
-    ]
+let x0 = [| 0.5 |]
 
-let symbolic p =
+let make p =
   let open Expr in
   let b = var 0 in
-  let tr name change rate = { Symbolic.name; change; rate } in
-  (* Ite (g, a, b) is [a] where g <= 0: the same indicator guards as the
-     closure rates, written as threshold tests *)
-  Symbolic.make ~name:"bike-station" ~var_names:[| "B" |]
-    ~theta_names:[| "theta_a"; "theta_r" |] ~theta:(theta_box p)
+  let tr name change rate = { Model.name; change; rate } in
+  (* Ite (g, a, b) is [a] where g <= 0: the emptiness/fullness
+     indicators written as threshold tests *)
+  Model.make ~name:"bike-station" ~var_names:[| "B" |]
+    ~theta_names:[| "theta_a"; "theta_r" |] ~theta:(theta_box p) ~x0
     [
       tr "departure" [| -1. |] (Ite (b -: const 1e-12, const 0., theta 0));
       tr "return" [| 1. |] (Ite (b -: const (1. -. 1e-12), theta 1, const 0.));
     ]
 
-let di p = Umf_diffinc.Di.of_population (model p)
+let model p = Model.population (make p)
+
+let di p = Umf_diffinc.Di.of_model (make p)
 
 let ictmc p ~capacity =
   if capacity <= 0 then invalid_arg "Bikesharing.ictmc: need capacity > 0";

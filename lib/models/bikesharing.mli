@@ -20,15 +20,19 @@ val default_params : params
 (** θ_a ∈ [0.8, 1.4], θ_r ∈ [0.9, 1.2]: a station that can drift
     towards either emptying or filling depending on the environment. *)
 
-val model : params -> Population.t
-(** Population model with the single density variable X_B. *)
+val make : params -> Model.t
+(** The symbolic model with the single density variable X_B: the
+    emptiness/fullness indicator guards become [Ite] thresholds, so
+    the drift is affine in θ but only piecewise-smooth. *)
 
-val symbolic : params -> Symbolic.t
-(** Symbolic twin of {!model}: the emptiness/fullness indicator guards
-    become [Ite] thresholds, so the drift is affine in θ but only
-    piecewise-smooth. *)
+val model : params -> Population.t
 
 val di : params -> Umf_diffinc.Di.t
+
+val theta_box : params -> Optim.Box.t
+
+val x0 : Vec.t
+(** A half-full station. *)
 
 val ictmc : params -> capacity:int -> Umf_ctmc.Imprecise_ctmc.t
 (** Finite imprecise CTMC on \{0, …, capacity\} bikes. *)

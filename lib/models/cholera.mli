@@ -9,7 +9,7 @@
     are infected through the water at the imprecise rate θ S W with
     θ ∈ [θ_min, θ_max] driven by rainfall, plus a small direct rate a.
 
-    The model is specified {e symbolically} ({!symbolic}), so exact
+    The model is specified {e symbolically} ({!make}), so exact
     Jacobians and certified interval hull bounds are available; it is
     3-dimensional, exercising every solver beyond the planar case
     (no Birkhoff centre, which is 2-D only). *)
@@ -29,7 +29,9 @@ type params = {
 val default_params : params
 (** a = 0.01, γ = 2, ρ = 0.2, ξ = 1, δ = 1, θ ∈ [0.5, 4]. *)
 
-val symbolic : params -> Symbolic.t
+val make : params -> Model.t
+(** Clipped to {!state_clip} (the declared invariant box, which also
+    serves as the lint certification domain). *)
 
 val model : params -> Population.t
 

@@ -38,23 +38,6 @@ let with_phi1 p phi1 = { p with phi1 }
 
 let equivalent_poisson_rate ~a ~lambda = 1. /. ((1. /. a) +. (1. /. lambda))
 
-(* GPS service rate of class i on the density scale; the weighted
-   backlog vanishing means an empty system, hence no service.  Queue
-   densities are clamped into [0, 1] so that states driven marginally
-   outside the simplex by numerical integration cannot make the GPS
-   ratio (whose derivative blows up at the origin) misbehave. *)
-let service p ~q1 ~q2 i =
-  let clamp q = Float.min 1. (Float.max 0. q) in
-  let q1 = clamp q1 and q2 = clamp q2 in
-  let backlog = (p.phi1 *. p.gamma1 *. q1) +. (p.phi2 *. p.gamma2 *. q2) in
-  if backlog <= 1e-12 then 0.
-  else begin
-    match i with
-    | 1 -> p.mu1 *. p.capacity *. p.phi1 *. p.gamma1 *. q1 /. backlog
-    | 2 -> p.mu2 *. p.capacity *. p.phi2 *. p.gamma2 *. q2 /. backlog
-    | _ -> invalid_arg "Gps.service: class must be 1 or 2"
-  end
-
 let poisson_theta p =
   Optim.Box.of_intervals
     [
@@ -66,61 +49,22 @@ let poisson_theta p =
         p.lambda2;
     ]
 
-(* Poisson layout: x = (q1, q2); count step of class i is 1/gamma_i *)
-let poisson_model p =
-  let tr name change rate = { Population.name; change; rate } in
-  let arrival i gamma (x : Vec.t) (theta : Vec.t) =
-    let q = x.(i - 1) in
-    theta.(i - 1) *. gamma *. Float.max 0. (1. -. q)
-  in
-  (* service p already carries the gamma_i factor of the density rate *)
-  let serve i (x : Vec.t) _theta = service p ~q1:x.(0) ~q2:x.(1) i in
-  Population.make ~name:"gps-poisson" ~var_names:[| "Q1"; "Q2" |]
-    ~theta_names:[| "lambda'1"; "lambda'2" |] ~theta:(poisson_theta p)
-    [
-      tr "arrival-1" [| 1. /. p.gamma1; 0. |] (arrival 1 p.gamma1);
-      tr "service-1" [| -1. /. p.gamma1; 0. |] (serve 1);
-      tr "arrival-2" [| 0.; 1. /. p.gamma2 |] (arrival 2 p.gamma2);
-      tr "service-2" [| 0.; -1. /. p.gamma2 |] (serve 2);
-    ]
-
 let map_theta p = Optim.Box.of_intervals [ p.lambda1; p.lambda2 ]
 
-(* MAP layout: x = (q1, d1, q2, d2); e_i = 1 - q_i - d_i *)
-let map_model p =
-  let tr name change rate = { Population.name; change; rate } in
-  let qi i x = x.((2 * (i - 1)) + 0) in
-  let di_ i x = x.((2 * (i - 1)) + 1) in
-  let ei i x = Float.max 0. (1. -. qi i x -. di_ i x) in
-  let activation i gamma ai x _theta = ai *. gamma *. ei i x in
-  let arrival i gamma (x : Vec.t) (theta : Vec.t) =
-    theta.(i - 1) *. gamma *. Float.max 0. (di_ i x)
-  in
-  let serve i (x : Vec.t) _theta = service p ~q1:(qi 1 x) ~q2:(qi 2 x) i in
-  let step i gamma ~dq ~dd =
-    let v = Vec.zeros 4 in
-    v.((2 * (i - 1)) + 0) <- dq /. gamma;
-    v.((2 * (i - 1)) + 1) <- dd /. gamma;
-    v
-  in
-  Population.make ~name:"gps-map"
-    ~var_names:[| "Q1"; "D1"; "Q2"; "D2" |]
-    ~theta_names:[| "lambda1"; "lambda2" |] ~theta:(map_theta p)
-    [
-      tr "activate-1" (step 1 p.gamma1 ~dq:0. ~dd:1.) (activation 1 p.gamma1 p.a1);
-      tr "arrival-1" (step 1 p.gamma1 ~dq:1. ~dd:(-1.)) (arrival 1 p.gamma1);
-      tr "service-1" (step 1 p.gamma1 ~dq:(-1.) ~dd:0.) (serve 1);
-      tr "activate-2" (step 2 p.gamma2 ~dq:0. ~dd:1.) (activation 2 p.gamma2 p.a2);
-      tr "arrival-2" (step 2 p.gamma2 ~dq:1. ~dd:(-1.)) (arrival 2 p.gamma2);
-      tr "service-2" (step 2 p.gamma2 ~dq:(-1.) ~dd:0.) (serve 2);
-    ]
+let x0_poisson = [| 0.1; 0.1 |]
 
-(* symbolic GPS service rate: the same guarded ratio as [service], with
-   the denominator floored at the guard threshold so that the quotient
+let x0_map = [| 0.1; 0.9; 0.1; 0.9 |]
+
+(* GPS service rate of class i on the density scale; the weighted
+   backlog vanishing means an empty system, hence no service.  Queue
+   densities are clamped into [0, 1] so that states driven marginally
+   outside the simplex by numerical integration cannot make the GPS
+   ratio (whose derivative blows up at the origin) misbehave.  The
+   denominator is floored at the guard threshold so that the quotient
    is well-defined (and interval-certifiable) on the whole box — below
    the threshold the Ite selects 0, so the floor never changes the
-   value *)
-let symbolic_service p ~q1 ~q2 i =
+   value. *)
+let service p ~q1 ~q2 i =
   let open Expr in
   let clamp q = min_ (const 1.) (max_ (const 0.) q) in
   let q1 = clamp q1 and q2 = clamp q2 in
@@ -131,24 +75,27 @@ let symbolic_service p ~q1 ~q2 i =
     match i with
     | 1 -> const (p.mu1 *. p.capacity *. p.phi1 *. p.gamma1) *: q1
     | 2 -> const (p.mu2 *. p.capacity *. p.phi2 *. p.gamma2) *: q2
-    | _ -> invalid_arg "Gps.symbolic_service: class must be 1 or 2"
+    | _ -> invalid_arg "Gps.service: class must be 1 or 2"
   in
   Ite
     ( backlog -: const 1e-12,
       const 0.,
       num /: max_ backlog (const 1e-12) )
 
-let poisson_symbolic p =
+(* Poisson layout: x = (q1, q2); count step of class i is 1/gamma_i *)
+let make_poisson p =
   let open Expr in
-  let tr name change rate = { Symbolic.name; change; rate } in
+  let tr name change rate = { Model.name; change; rate } in
   let arrival i =
     let gamma = if i = 1 then p.gamma1 else p.gamma2 in
     theta (i - 1) *: const gamma
     *: max_ (const 0.) (const 1. -: var (i - 1))
   in
-  let serve i = symbolic_service p ~q1:(var 0) ~q2:(var 1) i in
-  Symbolic.make ~name:"gps-poisson" ~var_names:[| "Q1"; "Q2" |]
+  (* service already carries the gamma_i factor of the density rate *)
+  let serve i = service p ~q1:(var 0) ~q2:(var 1) i in
+  Model.make ~name:"gps-poisson" ~var_names:[| "Q1"; "Q2" |]
     ~theta_names:[| "lambda'1"; "lambda'2" |] ~theta:(poisson_theta p)
+    ~x0:x0_poisson
     [
       tr "arrival-1" [| 1. /. p.gamma1; 0. |] (arrival 1);
       tr "service-1" [| -1. /. p.gamma1; 0. |] (serve 1);
@@ -156,24 +103,25 @@ let poisson_symbolic p =
       tr "service-2" [| 0.; -1. /. p.gamma2 |] (serve 2);
     ]
 
-let map_symbolic p =
+(* MAP layout: x = (q1, d1, q2, d2); e_i = 1 - q_i - d_i *)
+let make_map p =
   let open Expr in
-  let tr name change rate = { Symbolic.name; change; rate } in
+  let tr name change rate = { Model.name; change; rate } in
   let q i = var ((2 * (i - 1)) + 0) in
   let d i = var ((2 * (i - 1)) + 1) in
   let e i = max_ (const 0.) (const 1. -: q i -: d i) in
   let activation i gamma ai = const (ai *. gamma) *: e i in
   let arrival i gamma = theta (i - 1) *: const gamma *: max_ (const 0.) (d i) in
-  let serve i = symbolic_service p ~q1:(q 1) ~q2:(q 2) i in
+  let serve i = service p ~q1:(q 1) ~q2:(q 2) i in
   let step i gamma ~dq ~dd =
     let v = Vec.zeros 4 in
     v.((2 * (i - 1)) + 0) <- dq /. gamma;
     v.((2 * (i - 1)) + 1) <- dd /. gamma;
     v
   in
-  Symbolic.make ~name:"gps-map"
+  Model.make ~name:"gps-map"
     ~var_names:[| "Q1"; "D1"; "Q2"; "D2" |]
-    ~theta_names:[| "lambda1"; "lambda2" |] ~theta:(map_theta p)
+    ~theta_names:[| "lambda1"; "lambda2" |] ~theta:(map_theta p) ~x0:x0_map
     [
       tr "activate-1" (step 1 p.gamma1 ~dq:0. ~dd:1.) (activation 1 p.gamma1 p.a1);
       tr "arrival-1" (step 1 p.gamma1 ~dq:1. ~dd:(-1.)) (arrival 1 p.gamma1);
@@ -183,13 +131,13 @@ let map_symbolic p =
       tr "service-2" (step 2 p.gamma2 ~dq:(-1.) ~dd:0.) (serve 2);
     ]
 
-let poisson_di p = Umf_diffinc.Di.of_population (poisson_model p)
+let poisson_model p = Model.population (make_poisson p)
 
-let map_di p = Umf_diffinc.Di.of_population (map_model p)
+let map_model p = Model.population (make_map p)
 
-let x0_poisson = [| 0.1; 0.1 |]
+let poisson_di p = Umf_diffinc.Di.of_model (make_poisson p)
 
-let x0_map = [| 0.1; 0.9; 0.1; 0.9 |]
+let map_di p = Umf_diffinc.Di.of_model (make_map p)
 
 let total_queue layout x =
   match layout with

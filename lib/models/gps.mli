@@ -48,20 +48,19 @@ val with_phi1 : params -> float -> params
 val equivalent_poisson_rate : a:float -> lambda:float -> float
 (** λ' such that 1/λ' = 1/a + 1/λ. *)
 
-val poisson_model : params -> Population.t
-(** Poisson-arrival population model.  θ = (λ'1, λ'2), the box being
-    the image of the λ-ranges under {!equivalent_poisson_rate}. *)
+val make_poisson : params -> Model.t
+(** Poisson-arrival model.  θ = (λ'1, λ'2), the box being the image of
+    the λ-ranges under {!equivalent_poisson_rate}.  Affine in θ (the
+    GPS service ratio carries no θ), but the ratio itself has a [Div]
+    and an [Ite] guard, so the drift is neither multilinear nor
+    smooth. *)
 
-val map_model : params -> Population.t
+val make_map : params -> Model.t
 (** MAP-arrival model.  θ = (λ1, λ2). *)
 
-val poisson_symbolic : params -> Symbolic.t
-(** Symbolic twin of {!poisson_model}: affine in θ (the GPS service
-    ratio carries no θ), but the ratio itself has a [Div] and an [Ite]
-    guard, so the drift is neither multilinear nor smooth. *)
+val poisson_model : params -> Population.t
 
-val map_symbolic : params -> Symbolic.t
-(** Symbolic twin of {!map_model}. *)
+val map_model : params -> Population.t
 
 val poisson_di : params -> Umf_diffinc.Di.t
 

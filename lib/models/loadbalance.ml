@@ -5,57 +5,13 @@ type params = { d : int; k_max : int; lambda : Interval.t }
 
 let default_params = { d = 2; k_max = 8; lambda = Interval.make 0.5 0.9 }
 
-let clamp01 v = Float.min 1. (Float.max 0. v)
-
 let ipow x n =
   let rec go acc n = if n = 0 then acc else go (acc *. x) (n - 1) in
   go 1. n
 
-let model p =
-  if p.d < 1 then invalid_arg "Loadbalance: need d >= 1";
-  if p.k_max < 1 then invalid_arg "Loadbalance: need k_max >= 1";
-  let kk = p.k_max in
-  let x_at (x : Vec.t) k =
-    if k = 0 then 1. else if k > kk then 0. else clamp01 x.(k - 1)
-  in
-  let unit k =
-    let v = Vec.zeros kk in
-    v.(k - 1) <- 1.;
-    v
-  in
-  let arrival k (x : Vec.t) (th : Vec.t) =
-    (* a job lands on a server with exactly k-1 jobs *)
-    let below = x_at x (k - 1) and here = x_at x k in
-    th.(0) *. Float.max 0. (ipow below p.d -. ipow here p.d)
-  in
-  let departure k (x : Vec.t) _th =
-    Float.max 0. (x_at x k -. x_at x (k + 1))
-  in
-  let transitions =
-    List.concat_map
-      (fun k ->
-        [
-          {
-            Population.name = Printf.sprintf "arrive-%d" k;
-            change = unit k;
-            rate = arrival k;
-          };
-          {
-            Population.name = Printf.sprintf "depart-%d" k;
-            change = Vec.scale (-1.) (unit k);
-            rate = departure k;
-          };
-        ])
-      (List.init kk (fun i -> i + 1))
-  in
-  Population.make
-    ~name:(Printf.sprintf "jsq-%d" p.d)
-    ~var_names:(Array.init kk (fun i -> Printf.sprintf "x%d" (i + 1)))
-    ~theta_names:[| "lambda" |]
-    ~theta:(Optim.Box.of_intervals [ p.lambda ])
-    transitions
+let x0_empty p = Vec.zeros p.k_max
 
-let symbolic p =
+let make p =
   if p.d < 1 then invalid_arg "Loadbalance: need d >= 1";
   if p.k_max < 1 then invalid_arg "Loadbalance: need k_max >= 1";
   let open Expr in
@@ -71,6 +27,7 @@ let symbolic p =
     v
   in
   let arrival k =
+    (* a job lands on a server with exactly k-1 jobs *)
     theta 0 *: max_ (const 0.) (pow (x_at (k - 1)) p.d -: pow (x_at k) p.d)
   in
   let departure k = max_ (const 0.) (x_at k -: x_at (k + 1)) in
@@ -79,28 +36,28 @@ let symbolic p =
       (fun k ->
         [
           {
-            Symbolic.name = Printf.sprintf "arrive-%d" k;
+            Model.name = Printf.sprintf "arrive-%d" k;
             change = unit k;
             rate = arrival k;
           };
           {
-            Symbolic.name = Printf.sprintf "depart-%d" k;
+            Model.name = Printf.sprintf "depart-%d" k;
             change = Vec.scale (-1.) (unit k);
             rate = departure k;
           };
         ])
       (List.init kk (fun i -> i + 1))
   in
-  Symbolic.make
+  Model.make
     ~name:(Printf.sprintf "jsq-%d" p.d)
     ~var_names:(Array.init kk (fun i -> Printf.sprintf "x%d" (i + 1)))
     ~theta_names:[| "lambda" |]
     ~theta:(Optim.Box.of_intervals [ p.lambda ])
-    transitions
+    ~x0:(x0_empty p) transitions
 
-let di p = Umf_diffinc.Di.of_population (model p)
+let model p = Model.population (make p)
 
-let x0_empty p = Vec.zeros p.k_max
+let di p = Umf_diffinc.Di.of_model (make p)
 
 let fixed_point p ~lambda =
   if lambda >= 1. then invalid_arg "Loadbalance.fixed_point: need lambda < 1";

@@ -29,13 +29,12 @@ type params = {
 val default_params : params
 (** d = 2, k_max = 8, λ ∈ [0.5, 0.9]. *)
 
-val model : params -> Population.t
-(** Variables x_1 … x_{k_max}. *)
+val make : params -> Model.t
+(** The symbolic model, variables x_1 … x_{k_max}: affine in θ, with
+    clamps and tail differences written as [Min]/[Max] kinks and the
+    power-of-d choice as [Pow _ d] (not multilinear for d ≥ 2). *)
 
-val symbolic : params -> Symbolic.t
-(** Symbolic twin of {!model}: affine in θ, with clamps and tail
-    differences written as [Min]/[Max] kinks and the power-of-d choice
-    as [Pow _ d] (not multilinear for d ≥ 2). *)
+val model : params -> Population.t
 
 val di : params -> Umf_diffinc.Di.t
 

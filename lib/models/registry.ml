@@ -1,0 +1,67 @@
+open Umf_meanfield
+
+let catalogue : (string * Model.t Lazy.t) list =
+  [
+    ("sir", lazy (Sir.make Sir.default_params));
+    ("sir3", lazy (Sir.make3 Sir.default_params));
+    ("sis", lazy (Sis.make Sis.default_params));
+    ("bike", lazy (Bikesharing.make Bikesharing.default_params));
+    ("cholera", lazy (Cholera.make Cholera.default_params));
+    ("gps-poisson", lazy (Gps.make_poisson Gps.default_params));
+    ("gps-map", lazy (Gps.make_map Gps.default_params));
+    ("jsq2", lazy (Loadbalance.make Loadbalance.default_params));
+    ("bikenet", lazy (Bikenetwork.make Bikenetwork.default_params));
+  ]
+
+let names = List.map fst catalogue
+
+let all () = List.map (fun (n, m) -> (n, Lazy.force m)) catalogue
+
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let subst = prev.(j - 1) + (if a.[i - 1] = b.[j - 1] then 0 else 1) in
+      cur.(j) <- Stdlib.min subst (1 + Stdlib.min prev.(j) cur.(j - 1))
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let suggest name =
+  let name = String.lowercase_ascii name in
+  let best =
+    List.fold_left
+      (fun acc cand ->
+        let d = edit_distance name cand in
+        match acc with
+        | Some (_, d') when d' <= d -> acc
+        | _ -> Some (cand, d))
+      None names
+  in
+  match best with
+  | Some (cand, d)
+    when d <= Stdlib.max 2 (String.length cand / 2) && d < String.length cand
+    ->
+      Some cand
+  | _ -> None
+
+let not_found_msg name =
+  let hint =
+    match suggest name with
+    | Some s -> Printf.sprintf " (did you mean %S?)" s
+    | None -> ""
+  in
+  Printf.sprintf "unknown model %S%s; registered models: %s" name hint
+    (String.concat ", " names)
+
+let find name =
+  match List.assoc_opt name catalogue with
+  | Some m -> Ok (Lazy.force m)
+  | None -> Error (`Msg (not_found_msg name))
+
+let find_exn name =
+  match find name with Ok m -> m | Error (`Msg m) -> invalid_arg m

@@ -1,0 +1,27 @@
+(** The catalogue of bundled models, each at its default parameters.
+
+    This is the single source of truth consumed by the CLI, the
+    benchmark harness and the test suite — adding a model here makes it
+    reachable from [umf_cli --model], [umf_cli models], [umf_cli lint
+    --all] and the model-consistency gate at once. *)
+
+open Umf_meanfield
+
+val names : string list
+(** Registered names, in catalogue order. *)
+
+val find : string -> (Model.t, [ `Msg of string ]) result
+(** Look a model up by name.  On an unknown name the error message
+    lists the catalogue and suggests the nearest registered name (by
+    edit distance). *)
+
+val find_exn : string -> Model.t
+(** Like {!find}, raising [Invalid_argument] with the same message. *)
+
+val all : unit -> (string * Model.t) list
+(** Every registered model, built on demand. *)
+
+val suggest : string -> string option
+(** The registered name closest to the argument, if any is remotely
+    close (edit distance at most half the target's length, minimum 2).
+    Exposed for the CLI's error messages. *)

@@ -13,79 +13,9 @@ let default_params = { a = 0.1; b = 5.; c = 1.; theta_min = 1.; theta_max = 10. 
 
 let x0 = [| 0.7; 0.3 |]
 
+let x0_3 = [| 0.7; 0.3; 0. |]
+
 let theta_box p = Optim.Box.make [| p.theta_min |] [| p.theta_max |]
-
-let infection_rate p x theta =
-  let xs = x.(0) and xi = x.(1) in
-  (p.a *. xs) +. (theta.(0) *. xs *. xi)
-
-let model p =
-  let tr name change rate = { Population.name; change; rate } in
-  Population.make ~name:"sir" ~var_names:[| "S"; "I" |] ~theta_names:[| "theta" |]
-    ~theta:(theta_box p)
-    [
-      tr "infection" [| -1.; 1. |] (infection_rate p);
-      tr "recovery" [| 0.; -1. |] (fun x _ -> p.b *. x.(1));
-      tr "immunity-loss" [| 1.; 0. |]
-        (fun x _ -> p.c *. Float.max 0. (1. -. x.(0) -. x.(1)));
-    ]
-
-let model3 p =
-  let tr name change rate = { Population.name; change; rate } in
-  Population.make ~name:"sir3" ~var_names:[| "S"; "I"; "R" |]
-    ~theta_names:[| "theta" |] ~theta:(theta_box p)
-    [
-      tr "infection" [| -1.; 1.; 0. |] (infection_rate p);
-      tr "recovery" [| 0.; -1.; 1. |] (fun x _ -> p.b *. x.(1));
-      tr "immunity-loss" [| 1.; 0.; -1. |] (fun x _ -> p.c *. x.(2));
-    ]
-
-(* symbolic twins of [model]/[model3]: same rates as Expr trees, so the
-   static analyzer and the certified solvers can inspect them *)
-let symbolic p =
-  let open Expr in
-  let s = var 0 and i = var 1 in
-  let tr name change rate = { Symbolic.name; change; rate } in
-  Symbolic.make ~name:"sir" ~var_names:[| "S"; "I" |]
-    ~theta_names:[| "theta" |] ~theta:(theta_box p)
-    [
-      tr "infection" [| -1.; 1. |] ((const p.a *: s) +: (theta 0 *: s *: i));
-      tr "recovery" [| 0.; -1. |] (const p.b *: i);
-      tr "immunity-loss" [| 1.; 0. |]
-        (const p.c *: max_ (const 0.) (const 1. -: s -: i));
-    ]
-
-let symbolic3 p =
-  let open Expr in
-  let s = var 0 and i = var 1 and r = var 2 in
-  let tr name change rate = { Symbolic.name; change; rate } in
-  Symbolic.make ~name:"sir3" ~var_names:[| "S"; "I"; "R" |]
-    ~theta_names:[| "theta" |] ~theta:(theta_box p)
-    [
-      tr "infection" [| -1.; 1.; 0. |] ((const p.a *: s) +: (theta 0 *: s *: i));
-      tr "recovery" [| 0.; -1.; 1. |] (const p.b *: i);
-      tr "immunity-loss" [| 1.; 0.; -1. |] (const p.c *: r);
-    ]
-
-(* Eq. (11) of the paper *)
-let drift p x theta =
-  let xs = x.(0) and xi = x.(1) and th = theta.(0) in
-  [|
-    p.c -. ((p.a +. p.c) *. xs) -. (p.c *. xi) -. (th *. xs *. xi);
-    (p.a *. xs) +. (th *. xs *. xi) -. (p.b *. xi);
-  |]
-
-let jacobian p x theta =
-  let xs = x.(0) and xi = x.(1) and th = theta.(0) in
-  Mat.of_arrays
-    [|
-      [| -.(p.a +. p.c) -. (th *. xi); -.p.c -. (th *. xs) |];
-      [| p.a +. (th *. xi); (th *. xs) -. p.b |];
-    |]
-
-let di p =
-  Umf_diffinc.Di.make ~jacobian:(jacobian p) ~dim:2 ~theta:(theta_box p)
-    (drift p)
 
 let policy_theta1 p =
   Policy.hysteresis ~name:"theta1-hysteresis" ~high:[| p.theta_max |]
@@ -99,3 +29,36 @@ let policy_theta2 ?(redraw_rate = 5.) p =
     ~rate:(fun _t x -> redraw_rate *. x.(1))
     ~redraw:Policy.uniform_redraw ~box:(theta_box p)
     ~init:[| 0.5 *. (p.theta_min +. p.theta_max) |]
+
+(* the single source of truth: symbolic rates, everything else derived *)
+let make p =
+  let open Expr in
+  let s = var 0 and i = var 1 in
+  let tr name change rate = { Model.name; change; rate } in
+  Model.make ~name:"sir" ~var_names:[| "S"; "I" |] ~theta_names:[| "theta" |]
+    ~theta:(theta_box p) ~x0
+    ~policies:[ ("theta1", policy_theta1 p); ("theta2", policy_theta2 p) ]
+    [
+      tr "infection" [| -1.; 1. |] ((const p.a *: s) +: (theta 0 *: s *: i));
+      tr "recovery" [| 0.; -1. |] (const p.b *: i);
+      tr "immunity-loss" [| 1.; 0. |]
+        (const p.c *: max_ (const 0.) (const 1. -: s -: i));
+    ]
+
+let make3 p =
+  let open Expr in
+  let s = var 0 and i = var 1 and r = var 2 in
+  let tr name change rate = { Model.name; change; rate } in
+  Model.make ~name:"sir3" ~var_names:[| "S"; "I"; "R" |]
+    ~theta_names:[| "theta" |] ~theta:(theta_box p) ~x0:x0_3
+    [
+      tr "infection" [| -1.; 1.; 0. |] ((const p.a *: s) +: (theta 0 *: s *: i));
+      tr "recovery" [| 0.; -1.; 1. |] (const p.b *: i);
+      tr "immunity-loss" [| 1.; 0.; -1. |] (const p.c *: r);
+    ]
+
+let model p = Model.population (make p)
+
+let model3 p = Model.population (make3 p)
+
+let di p = Umf_diffinc.Di.of_model (make p)

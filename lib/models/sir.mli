@@ -7,7 +7,10 @@
     rate [c].
 
     The analysis uses the reduced 2-D state (X_S, X_I) with
-    X_R = 1 − X_S − X_I substituted (Eq. 11). *)
+    X_R = 1 − X_S − X_I substituted (Eq. 11).  Both layouts are
+    defined once, symbolically ({!make} / {!make3}); drift, Jacobian,
+    simulation model and differential inclusion all derive from that
+    single definition. *)
 
 open Umf_numerics
 open Umf_meanfield
@@ -26,31 +29,30 @@ val default_params : params
 val x0 : Vec.t
 (** The paper's initial condition (X_S, X_I) = (0.7, 0.3). *)
 
+val x0_3 : Vec.t
+(** The 3-variable initial condition (0.7, 0.3, 0). *)
+
+val make : params -> Model.t
+(** Reduced 2-variable model (variables S, I; Eq. 11 drift): affine in
+    θ, but the reduced immunity-loss rate carries a
+    [max(0, 1 − S − I)] kink.  Ships the θ1/θ2 policies of Sec. V-E. *)
+
+val make3 : params -> Model.t
+(** Full 3-variable model (S, I, R) — used to check the reduction:
+    affine in θ, multilinear, smooth, and mass-conserving (S + I + R
+    constant) — the model the static analyzer certifies completely
+    clean. *)
+
 val model : params -> Population.t
-(** Reduced 2-variable population model (variables S, I). *)
+(** [Model.population (make p)]. *)
 
 val model3 : params -> Population.t
-(** Full 3-variable model (S, I, R) — used to check the reduction. *)
-
-val symbolic : params -> Symbolic.t
-(** Symbolic twin of {!model} (same rates as {!Umf_numerics.Expr}
-    trees): drift affine in θ, but the reduced immunity-loss rate
-    carries a [max(0, 1 − S − I)] kink. *)
-
-val symbolic3 : params -> Symbolic.t
-(** Symbolic twin of {!model3}: affine in θ, multilinear, smooth, and
-    mass-conserving (S + I + R constant) — the model the static
-    analyzer certifies completely clean. *)
-
-val drift : params -> Vec.t -> Vec.t -> Vec.t
-(** Closed-form reduced drift (Eq. 11): [drift p x theta] with
-    [x = (xS, xI)] and [theta] a 1-vector. *)
-
-val jacobian : params -> Vec.t -> Vec.t -> Mat.t
-(** Analytic ∂f/∂x of the reduced drift. *)
 
 val di : params -> Umf_diffinc.Di.t
-(** The mean-field differential inclusion with analytic Jacobian. *)
+(** The mean-field differential inclusion with the exact symbolic
+    Jacobian. *)
+
+val theta_box : params -> Optim.Box.t
 
 val policy_theta1 : params -> Policy.t
 (** Hysteresis policy θ1 of Sec. V-E: plays θ_max and drops to θ_min

@@ -7,36 +7,23 @@ let default_params = { a = 0.05; delta = 2.; beta = Interval.make 1. 4. }
 
 let theta_box p = Optim.Box.of_intervals [ p.beta ]
 
-let drift p x theta =
-  let xi = x.(0) and beta = theta.(0) in
-  [| (p.a *. (1. -. xi)) +. (beta *. xi *. (1. -. xi)) -. (p.delta *. xi) |]
+let x0 = [| 0.2 |]
 
-let model p =
-  let tr name change rate = { Population.name; change; rate } in
-  Population.make ~name:"sis-malware" ~var_names:[| "I" |]
-    ~theta_names:[| "beta" |] ~theta:(theta_box p)
-    [
-      tr "infection" [| 1. |]
-        (fun x theta ->
-          let xi = x.(0) in
-          let clean = Float.max 0. (1. -. xi) in
-          (p.a *. clean) +. (theta.(0) *. xi *. clean));
-      tr "patch" [| -1. |] (fun x _ -> p.delta *. x.(0));
-    ]
-
-let symbolic p =
+let make p =
   let open Expr in
   let i = var 0 in
   let clean = max_ (const 0.) (const 1. -: i) in
-  let tr name change rate = { Symbolic.name; change; rate } in
-  Symbolic.make ~name:"sis-malware" ~var_names:[| "I" |]
-    ~theta_names:[| "beta" |] ~theta:(theta_box p)
+  let tr name change rate = { Model.name; change; rate } in
+  Model.make ~name:"sis-malware" ~var_names:[| "I" |] ~theta_names:[| "beta" |]
+    ~theta:(theta_box p) ~x0
     [
       tr "infection" [| 1. |] ((const p.a *: clean) +: (theta 0 *: i *: clean));
       tr "patch" [| -1. |] (const p.delta *: i);
     ]
 
-let di p = Umf_diffinc.Di.of_population (model p)
+let model p = Model.population (make p)
+
+let di p = Umf_diffinc.Di.of_model (make p)
 
 (* a(1-x) + b x(1-x) - d x = 0  <=>  b x^2 + (d - b + a) x - a = 0 *)
 let equilibrium p ~beta =
@@ -46,5 +33,3 @@ let equilibrium p ~beta =
     let disc = (bq *. bq) +. (4. *. beta *. p.a) in
     ((-.bq) +. sqrt disc) /. (2. *. beta)
   end
-
-let x0 = [| 0.2 |]

@@ -19,17 +19,16 @@ type params = {
 val default_params : params
 (** a = 0.05, δ = 2, β ∈ [1, 4]. *)
 
-val model : params -> Population.t
+val make : params -> Model.t
+(** The symbolic model, f(x, β) = a(1−x)⁺ + βx(1−x)⁺ − δx: affine in
+    θ; the clean fraction [max(0, 1 − I)] is a kink and I·(1 − I) is
+    quadratic, so the drift is neither smooth nor multilinear. *)
 
-val symbolic : params -> Symbolic.t
-(** Symbolic twin of {!model}: affine in θ; the clean fraction
-    [max(0, 1 − I)] is a kink and I·(1 − I) is quadratic, so the drift
-    is neither smooth nor multilinear. *)
+val model : params -> Population.t
 
 val di : params -> Umf_diffinc.Di.t
 
-val drift : params -> Vec.t -> Vec.t -> Vec.t
-(** f(x, β) = a(1−x) + βx(1−x) − δx. *)
+val theta_box : params -> Optim.Box.t
 
 val equilibrium : params -> beta:float -> float
 (** The unique stable equilibrium of the mean-field ODE for a fixed β

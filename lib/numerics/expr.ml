@@ -131,12 +131,16 @@ let rec simplify e =
       | Const x, Const y -> Const (x +. y)
       | Const 0., b' -> b'
       | a', Const 0. -> a'
+      (* x + (-y) and (-x) + y are bitwise subtractions *)
+      | a', Neg b' -> Sub (a', b')
+      | Neg a', b' -> Sub (b', a')
       | a', b' -> Add (a', b'))
   | Sub (a, b) -> (
       match (s a, s b) with
       | Const x, Const y -> Const (x -. y)
       | a', Const 0. -> a'
       | Const 0., b' -> Neg b'
+      | a', Neg b' -> Add (a', b')
       | a', b' -> Sub (a', b'))
   | Mul (a, b) -> (
       match (s a, s b) with
@@ -144,6 +148,9 @@ let rec simplify e =
       | Const 0., _ | _, Const 0. -> Const 0.
       | Const 1., b' -> b'
       | a', Const 1. -> a'
+      (* negation is exact: (-1)·x is bitwise -x *)
+      | Const -1., b' -> Neg b'
+      | a', Const -1. -> Neg a'
       | a', b' -> Mul (a', b'))
   | Div (a, b) -> (
       match (s a, s b) with

@@ -1,0 +1,418 @@
+(* A flat instruction tape over a slot-indexed workspace.
+
+   The workspace is laid out [constants | variables | parameters |
+   temporaries]: constants are preloaded once by [make_ws], the
+   variable and parameter zones are refreshed from x/θ at the start of
+   every run (so there are no load instructions at all), and each
+   executed instruction writes one temporary.  Instructions are packed
+   into a single int array with stride 5 (op, dst, a, b, c) and the
+   inner loop uses unchecked accesses — every index is produced and
+   bounds-validated by [compile], and the public entry points check
+   the workspace and input dimensions before running.
+
+   A peephole pass fuses a single-use [Mul] into the [Add]/[Sub]
+   consuming it (muladd/submul/mulsub), which cuts the dispatch count
+   of mass-action drifts by a third without changing results: the
+   fused forms evaluate fl(fl(a·b) ± c), exactly the association the
+   unfused instructions produce. *)
+
+let op_add = 0
+
+let op_sub = 1
+
+let op_mul = 2
+
+let op_div = 3
+
+let op_neg = 4
+
+let op_pow = 5
+
+let op_min = 6
+
+let op_max = 7
+
+let op_ite = 8
+
+let op_muladd = 9 (* a*b + c *)
+
+let op_submul = 10 (* a - b*c *)
+
+let op_mulsub = 11 (* a*b - c *)
+
+type t = {
+  n_slots : int;
+  n_instrs : int;
+  code : int array;  (* stride 5: op, dst, a, b, c; b is the exponent
+                        for pow, c is unused outside ite/fused ops *)
+  const_val : float array;  (* consts occupy slots 0 .. n_consts-1 *)
+  var_base : int;
+  theta_base : int;
+  outs : int array;
+  n_vars : int;  (* minimum admissible [Vec.dim x] *)
+  n_thetas : int;
+}
+
+let n_outputs t = Array.length t.outs
+
+let n_instructions t = t.n_instrs
+
+let n_slots t = t.n_slots
+
+let rec count_nodes (e : Expr.t) =
+  match e with
+  | Const _ | Var _ | Theta _ -> 1
+  | Neg a | Pow (a, _) -> 1 + count_nodes a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Min (a, b) | Max (a, b)
+    ->
+      1 + count_nodes a + count_nodes b
+  | Ite (g, a, b) -> 1 + count_nodes g + count_nodes a + count_nodes b
+
+let n_nodes exprs = Array.fold_left (fun n e -> n + count_nodes e) 0 exprs
+
+(* provisional operands during compilation: which zone, which index *)
+type operand = Oconst of int | Ovar of int | Otheta of int | Otemp of int
+
+type pinstr = {
+  mutable op : int;
+  dst : int;  (* temp index *)
+  mutable a : operand;
+  mutable b : operand;  (* [Oconst exponent] abused for pow *)
+  mutable c : operand;
+  mutable dead : bool;
+}
+
+let no_operand = Oconst 0
+
+let compile exprs =
+  let tbl : (Expr.t, operand) Hashtbl.t = Hashtbl.create 64 in
+  let instrs = ref [] in
+  let n_temps = ref 0 in
+  let consts = ref [] in
+  let n_consts = ref 0 in
+  let n_vars = ref 0 in
+  let n_thetas = ref 0 in
+  let emit op a b c =
+    let dst = !n_temps in
+    incr n_temps;
+    instrs := { op; dst; a; b; c; dead = false } :: !instrs;
+    Otemp dst
+  in
+  let rec go (e : Expr.t) =
+    match Hashtbl.find_opt tbl e with
+    | Some operand -> operand
+    | None ->
+        let operand =
+          match e with
+          | Const v ->
+              let s = !n_consts in
+              incr n_consts;
+              consts := v :: !consts;
+              Oconst s
+          | Var i ->
+              if i >= !n_vars then n_vars := i + 1;
+              Ovar i
+          | Theta j ->
+              if j >= !n_thetas then n_thetas := j + 1;
+              Otheta j
+          | Add (a, b) ->
+              let sa = go a in
+              let sb = go b in
+              emit op_add sa sb no_operand
+          | Sub (a, b) ->
+              let sa = go a in
+              let sb = go b in
+              emit op_sub sa sb no_operand
+          | Mul (a, b) ->
+              let sa = go a in
+              let sb = go b in
+              emit op_mul sa sb no_operand
+          | Div (a, b) ->
+              let sa = go a in
+              let sb = go b in
+              emit op_div sa sb no_operand
+          | Neg a -> emit op_neg (go a) no_operand no_operand
+          | Pow (a, n) -> emit op_pow (go a) (Oconst n) no_operand
+          | Min (a, b) ->
+              let sa = go a in
+              let sb = go b in
+              emit op_min sa sb no_operand
+          | Max (a, b) ->
+              let sa = go a in
+              let sb = go b in
+              emit op_max sa sb no_operand
+          | Ite (g, a, b) ->
+              let sg = go g in
+              let sa = go a in
+              let sb = go b in
+              emit op_ite sg sa sb
+        in
+        Hashtbl.add tbl e operand;
+        operand
+  in
+  let outs_op = Array.map go exprs in
+  let instrs = Array.of_list (List.rev !instrs) in
+  (* ---- fusion: a Mul consumed exactly once by an Add/Sub ---- *)
+  let use = Array.make (Stdlib.max 1 !n_temps) 0 in
+  let bump = function Otemp i -> use.(i) <- use.(i) + 1 | _ -> () in
+  Array.iter
+    (fun ins ->
+      bump ins.a;
+      if ins.op <> op_pow then bump ins.b;
+      if ins.op = op_ite then bump ins.c)
+    instrs;
+  Array.iter bump outs_op;
+  let producer = Array.make (Stdlib.max 1 !n_temps) (-1) in
+  Array.iteri
+    (fun k ins -> if ins.op = op_mul then producer.(ins.dst) <- k)
+    instrs;
+  let fusable = function
+    | Otemp i when producer.(i) >= 0 && use.(i) = 1 -> Some producer.(i)
+    | _ -> None
+  in
+  Array.iter
+    (fun ins ->
+      if not ins.dead then
+        if ins.op = op_add then (
+          match fusable ins.a with
+          | Some j ->
+              (* fl(a·b) + c, the order Add(Mul(a,b), c) evaluates *)
+              instrs.(j).dead <- true;
+              ins.op <- op_muladd;
+              ins.c <- ins.b;
+              ins.a <- instrs.(j).a;
+              ins.b <- instrs.(j).b
+          | None -> (
+              match fusable ins.b with
+              | Some j ->
+                  instrs.(j).dead <- true;
+                  ins.op <- op_muladd;
+                  ins.c <- ins.a;
+                  ins.a <- instrs.(j).a;
+                  ins.b <- instrs.(j).b
+              | None -> ()))
+        else if ins.op = op_sub then
+          match fusable ins.b with
+          | Some j ->
+              (* a - fl(b·c) *)
+              instrs.(j).dead <- true;
+              ins.op <- op_submul;
+              ins.c <- instrs.(j).b;
+              ins.b <- instrs.(j).a
+          | None -> (
+              match fusable ins.a with
+              | Some j ->
+                  (* fl(a·b) - c *)
+                  instrs.(j).dead <- true;
+                  ins.op <- op_mulsub;
+                  ins.c <- ins.b;
+                  ins.a <- instrs.(j).a;
+                  ins.b <- instrs.(j).b
+              | None -> ()))
+    instrs;
+  (* ---- slot assignment and packing ---- *)
+  let var_base = !n_consts in
+  let theta_base = var_base + !n_vars in
+  let temp_base = theta_base + !n_thetas in
+  let slot = function
+    | Oconst k -> k
+    | Ovar i -> var_base + i
+    | Otheta j -> theta_base + j
+    | Otemp m -> temp_base + m
+  in
+  let live = Array.of_list (List.filter (fun i -> not i.dead)
+                              (Array.to_list instrs)) in
+  let n = Array.length live in
+  let code = Array.make (Stdlib.max 1 (5 * n)) 0 in
+  Array.iteri
+    (fun k ins ->
+      let i = 5 * k in
+      code.(i) <- ins.op;
+      code.(i + 1) <- temp_base + ins.dst;
+      code.(i + 2) <- slot ins.a;
+      (code.(i + 3) <-
+         (match (ins.op, ins.b) with
+         | 5 (* pow *), Oconst e -> e
+         | _ -> slot ins.b));
+      code.(i + 4) <- slot ins.c)
+    live;
+  let const_val = Array.make (Stdlib.max 1 !n_consts) 0. in
+  List.iteri (fun k v -> const_val.(!n_consts - 1 - k) <- v) !consts;
+  {
+    n_slots = Stdlib.max 1 (temp_base + !n_temps);
+    n_instrs = n;
+    code;
+    const_val;
+    var_base;
+    theta_base;
+    outs = Array.map slot outs_op;
+    n_vars = !n_vars;
+    n_thetas = !n_thetas;
+  }
+
+let make_ws t =
+  let ws = Array.make t.n_slots 0. in
+  Array.blit t.const_val 0 ws 0 (Stdlib.min t.var_base t.n_slots);
+  ws
+
+(* [Array.length] rather than [Vec.dim]: the latter is a value alias,
+   which the non-flambda compiler turns into an indirect closure call
+   — measurable on a hot path this short *)
+let[@inline] check t ~ws_len ~(x : float array) ~(th : float array) =
+  if ws_len <> t.n_slots then invalid_arg "Tape: workspace size mismatch";
+  if Array.length x < t.n_vars then invalid_arg "Tape: variable out of range";
+  if Array.length th < t.n_thetas then invalid_arg "Tape: theta out of range"
+
+(* the hot loop: all indices were produced (and thus bounds-checked)
+   by [compile]; the x/th reads are guarded by [check] in every public
+   entry point *)
+let[@inline] run t ws (x : float array) (th : float array) =
+  for i = 0 to t.n_vars - 1 do
+    Array.unsafe_set ws (t.var_base + i) (Array.unsafe_get x i)
+  done;
+  for j = 0 to t.n_thetas - 1 do
+    Array.unsafe_set ws (t.theta_base + j) (Array.unsafe_get th j)
+  done;
+  let code = t.code in
+  (* every branch stores directly so the float result is never boxed *)
+  for k = 0 to t.n_instrs - 1 do
+    let i = 5 * k in
+    let dst = Array.unsafe_get code (i + 1)
+    and a = Array.unsafe_get code (i + 2)
+    and b = Array.unsafe_get code (i + 3) in
+    match Array.unsafe_get code i with
+    | 0 (* add *) ->
+        Array.unsafe_set ws dst (Array.unsafe_get ws a +. Array.unsafe_get ws b)
+    | 1 (* sub *) ->
+        Array.unsafe_set ws dst (Array.unsafe_get ws a -. Array.unsafe_get ws b)
+    | 2 (* mul *) ->
+        Array.unsafe_set ws dst (Array.unsafe_get ws a *. Array.unsafe_get ws b)
+    | 3 (* div *) ->
+        Array.unsafe_set ws dst (Array.unsafe_get ws a /. Array.unsafe_get ws b)
+    | 4 (* neg *) -> Array.unsafe_set ws dst (-.Array.unsafe_get ws a)
+    | 5 (* pow *) ->
+        (* same recurrence as Expr.eval: left fold from 1. *)
+        let base = Array.unsafe_get ws a in
+        let acc = ref 1. in
+        for _ = 1 to b do
+          acc := !acc *. base
+        done;
+        Array.unsafe_set ws dst !acc
+    | 6 (* min *) ->
+        Array.unsafe_set ws dst
+          (Float.min (Array.unsafe_get ws a) (Array.unsafe_get ws b))
+    | 7 (* max *) ->
+        Array.unsafe_set ws dst
+          (Float.max (Array.unsafe_get ws a) (Array.unsafe_get ws b))
+    | 8 (* ite *) ->
+        Array.unsafe_set ws dst
+          (if Array.unsafe_get ws a <= 0. then Array.unsafe_get ws b
+           else Array.unsafe_get ws (Array.unsafe_get code (i + 4)))
+    | 9 (* muladd *) ->
+        Array.unsafe_set ws dst
+          ((Array.unsafe_get ws a *. Array.unsafe_get ws b)
+          +. Array.unsafe_get ws (Array.unsafe_get code (i + 4)))
+    | 10 (* submul *) ->
+        Array.unsafe_set ws dst
+          (Array.unsafe_get ws a
+          -. Array.unsafe_get ws b
+             *. Array.unsafe_get ws (Array.unsafe_get code (i + 4)))
+    | _ (* mulsub *) ->
+        Array.unsafe_set ws dst
+          ((Array.unsafe_get ws a *. Array.unsafe_get ws b)
+          -. Array.unsafe_get ws (Array.unsafe_get code (i + 4)))
+  done
+
+let eval_into t ~ws ~x ~th ~(out : float array) =
+  check t ~ws_len:(Array.length ws) ~x ~th;
+  if Array.length out <> Array.length t.outs then
+    invalid_arg "Tape.eval_into: output size mismatch";
+  run t ws x th;
+  let outs = t.outs in
+  for i = 0 to Array.length outs - 1 do
+    Array.unsafe_set out i (Array.unsafe_get ws (Array.unsafe_get outs i))
+  done
+
+let eval t ~x ~th =
+  let out = Vec.zeros (Array.length t.outs) in
+  eval_into t ~ws:(make_ws t) ~x ~th ~out;
+  out
+
+let evaluator t =
+  let key = Domain.DLS.new_key (fun () -> make_ws t) in
+  fun ~x ~th ~out -> eval_into t ~ws:(Domain.DLS.get key) ~x ~th ~out
+
+let scalar_evaluator t =
+  if Array.length t.outs <> 1 then
+    invalid_arg "Tape.scalar_evaluator: tape has more than one output";
+  let key = Domain.DLS.new_key (fun () -> make_ws t) in
+  let out_slot = t.outs.(0) in
+  fun x th ->
+    let ws = Domain.DLS.get key in
+    check t ~ws_len:(Array.length ws) ~x ~th;
+    run t ws x th;
+    ws.(out_slot)
+
+(* interval mode: same tape, interval slots *)
+
+let make_interval_ws t =
+  let ws = Array.make t.n_slots (Interval.of_float 0.) in
+  for k = 0 to Stdlib.min t.var_base t.n_slots - 1 do
+    ws.(k) <- Interval.of_float t.const_val.(k)
+  done;
+  ws
+
+let run_interval t (ws : Interval.t array) x th =
+  for i = 0 to t.n_vars - 1 do
+    ws.(t.var_base + i) <- x.(i)
+  done;
+  for j = 0 to t.n_thetas - 1 do
+    ws.(t.theta_base + j) <- th.(j)
+  done;
+  let code = t.code in
+  for k = 0 to t.n_instrs - 1 do
+    let i = 5 * k in
+    let dst = code.(i + 1) and a = code.(i + 2) and b = code.(i + 3) in
+    let r =
+      match code.(i) with
+      | 0 -> Interval.add ws.(a) ws.(b)
+      | 1 -> Interval.sub ws.(a) ws.(b)
+      | 2 -> Interval.mul ws.(a) ws.(b)
+      | 3 -> Interval.div ws.(a) ws.(b)
+      | 4 -> Interval.neg ws.(a)
+      | 5 ->
+          (* even powers via [sq], exactly as Expr.eval_interval *)
+          let ia = ws.(a) in
+          let rec go n =
+            if n = 0 then Interval.of_float 1.
+            else if n mod 2 = 0 then Interval.sq (go (n / 2))
+            else Interval.mul ia (go (n - 1))
+          in
+          go b
+      | 6 -> Interval.min_ ws.(a) ws.(b)
+      | 7 -> Interval.max_ ws.(a) ws.(b)
+      | 8 ->
+          let ig = ws.(a) in
+          if Interval.hi ig <= 0. then ws.(b)
+          else if Interval.lo ig > 0. then ws.(code.(i + 4))
+          else Interval.hull ws.(b) ws.(code.(i + 4))
+      | 9 -> Interval.add (Interval.mul ws.(a) ws.(b)) ws.(code.(i + 4))
+      | 10 -> Interval.sub ws.(a) (Interval.mul ws.(b) ws.(code.(i + 4)))
+      | _ -> Interval.sub (Interval.mul ws.(a) ws.(b)) ws.(code.(i + 4))
+    in
+    ws.(dst) <- r
+  done
+
+let eval_interval_into t ~ws ~x ~th =
+  if Array.length ws <> t.n_slots then
+    invalid_arg "Tape: workspace size mismatch";
+  if Array.length x < t.n_vars then invalid_arg "Tape: variable out of range";
+  if Array.length th < t.n_thetas then invalid_arg "Tape: theta out of range";
+  run_interval t ws x th;
+  Array.map (fun s -> ws.(s)) t.outs
+
+let eval_interval t ~x ~th = eval_interval_into t ~ws:(make_interval_ws t) ~x ~th
+
+let interval_evaluator t =
+  let key = Domain.DLS.new_key (fun () -> make_interval_ws t) in
+  fun ~x ~th -> eval_interval_into t ~ws:(Domain.DLS.get key) ~x ~th

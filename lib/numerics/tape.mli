@@ -1,0 +1,88 @@
+(** Compiled evaluation tapes for {!Expr} trees.
+
+    [compile] flattens an array of expressions into a single linear
+    instruction tape: a topological ordering of the distinct subtrees
+    (structural common-subexpression elimination — a subexpression
+    shared between drift coordinates is computed once per evaluation),
+    with constants preloaded into dedicated workspace slots so they
+    cost nothing at run time.
+
+    Evaluation writes into a caller-supplied workspace and output
+    vector, so the inner loop allocates nothing — compiled rates run
+    at hand-written-closure speed.  The same tape also evaluates in
+    interval arithmetic over a second workspace, giving the certified
+    enclosures used by the differential hull.
+
+    Semantics match {!Expr.eval} / {!Expr.eval_interval} operation for
+    operation (same association order, same [Pow] recurrences), with
+    one deliberate difference: [Ite] evaluates both branches eagerly
+    and then selects, where the tree interpreter only descends into
+    the active branch.  Both branches of every model conditional are
+    total (division floors), so the results are identical. *)
+
+type t
+
+val compile : Expr.t array -> t
+(** Flatten the expressions into one shared tape.  The i-th output of
+    the tape is the value of the i-th expression. *)
+
+val n_outputs : t -> int
+
+val n_instructions : t -> int
+(** Instructions executed per evaluation (constants excluded — they
+    are preloaded, not executed). *)
+
+val n_slots : t -> int
+(** Workspace width: distinct subexpressions + constants. *)
+
+val n_nodes : Expr.t array -> int
+(** Total tree-node count of the source expressions — compare with
+    {!n_instructions} to measure the CSE sharing factor. *)
+
+(** {1 Scalar evaluation} *)
+
+val make_ws : t -> float array
+(** A fresh workspace with constants preloaded.  A workspace may be
+    reused across calls on the same domain but must not be shared
+    between concurrently evaluating domains. *)
+
+val eval_into : t -> ws:float array -> x:Vec.t -> th:Vec.t -> out:Vec.t -> unit
+(** Run the tape; [out.(i)] receives the i-th expression's value.
+    Allocation-free.  [ws] must come from {!make_ws} on this tape.
+    @raise Invalid_argument on dimension mismatches. *)
+
+val eval : t -> x:Vec.t -> th:Vec.t -> Vec.t
+(** Convenience wrapper allocating a fresh workspace and result. *)
+
+val evaluator : t -> x:Vec.t -> th:Vec.t -> out:Vec.t -> unit
+(** An evaluation closure over a domain-local cached workspace: safe
+    to call concurrently from multiple domains (each gets its own
+    workspace via [Domain.DLS]) and allocation-free after the first
+    call on each domain. *)
+
+val scalar_evaluator : t -> Vec.t -> Vec.t -> float
+(** Like {!evaluator} for single-output tapes, returning the value
+    directly — the compiled form of one transition rate.
+    @raise Invalid_argument if the tape has more than one output. *)
+
+(** {1 Interval evaluation} *)
+
+val make_interval_ws : t -> Interval.t array
+
+val eval_interval_into :
+  t ->
+  ws:Interval.t array ->
+  x:Interval.t array ->
+  th:Interval.t array ->
+  Interval.t array
+(** Conservative enclosure of every output over boxes of states and
+    parameters.  Matches {!Expr.eval_interval} except that undecided
+    [Ite] guards hull both (eagerly computed) branches.
+    @raise Division_by_zero if a divisor interval contains 0. *)
+
+val eval_interval :
+  t -> x:Interval.t array -> th:Interval.t array -> Interval.t array
+
+val interval_evaluator :
+  t -> x:Interval.t array -> th:Interval.t array -> Interval.t array
+(** Domain-local cached interval workspace, as {!evaluator}. *)

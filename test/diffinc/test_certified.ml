@@ -5,9 +5,10 @@ open Umf_diffinc
 (* bilinear controlled system, symbolic: f = th x (1 - x) - x *)
 let sys () =
   let open Expr in
-  let tr name change rate = { Symbolic.name; change; rate } in
-  Symbolic.make ~name:"logistic" ~var_names:[| "X" |] ~theta_names:[| "th" |]
+  let tr name change rate = { Model.name; change; rate } in
+  Model.make ~name:"logistic" ~var_names:[| "X" |] ~theta_names:[| "th" |]
     ~theta:(Optim.Box.make [| 2. |] [| 4. |])
+    ~x0:[| 0.3 |]
     [
       tr "birth" [| 1. |] (theta 0 *: var 0 *: (const 1. -: var 0));
       tr "death" [| -1. |] (var 0);
@@ -68,9 +69,10 @@ let test_recommendation () =
     (Certified.recommended_hamiltonian_opt s = `Vertices);
   let open Expr in
   let quad =
-    Symbolic.make ~name:"quad" ~var_names:[| "X" |] ~theta_names:[| "th" |]
+    Model.make ~name:"quad" ~var_names:[| "X" |] ~theta_names:[| "th" |]
       ~theta:(Optim.Box.make [| 0. |] [| 1. |])
-      [ { Symbolic.name = "t"; change = [| 1. |]; rate = pow (theta 0) 2 } ]
+      ~x0:[| 0. |]
+      [ { Model.name = "t"; change = [| 1. |]; rate = pow (theta 0) 2 } ]
   in
   Alcotest.(check bool) "non-affine: box" true
     (Certified.recommended_hamiltonian_opt quad = `Box 5)
@@ -79,7 +81,7 @@ let test_auto_select_vertices () =
   (* the lint-gated solver must pick vertex enumeration for the
      affine-in-theta SIR drift, record it in the result, and compute
      exactly the same bound as the plain solver with explicit opt *)
-  let s = Umf_models.Sir.symbolic Umf_models.Sir.default_params in
+  let s = Umf_models.Sir.make Umf_models.Sir.default_params in
   let x0 = Umf_models.Sir.x0 in
   let r =
     Certified.pontryagin ~steps:100 s ~x0 ~horizon:2. ~sense:`Max (`Coord 1)
@@ -93,7 +95,7 @@ let test_auto_select_vertices () =
   Alcotest.(check (float 1e-12)) "sir: identical bound"
     plain.Pontryagin.value r.Pontryagin.value;
   (* same on the GPS Poisson network (affine in theta despite Div/Ite) *)
-  let g = Umf_models.Gps.poisson_symbolic Umf_models.Gps.default_params in
+  let g = Umf_models.Gps.make_poisson Umf_models.Gps.default_params in
   let gx0 = Umf_models.Gps.x0_poisson in
   let gr =
     Certified.pontryagin ~steps:60 g ~x0:gx0 ~horizon:1. ~sense:`Max (`Coord 0)
@@ -110,9 +112,10 @@ let test_auto_select_vertices () =
 let test_auto_select_box_when_not_affine () =
   let open Expr in
   let quad =
-    Symbolic.make ~name:"quad" ~var_names:[| "X" |] ~theta_names:[| "th" |]
+    Model.make ~name:"quad" ~var_names:[| "X" |] ~theta_names:[| "th" |]
       ~theta:(Optim.Box.make [| 0. |] [| 1. |])
-      [ { Symbolic.name = "t"; change = [| 1. |]; rate = pow (theta 0) 2 } ]
+      ~x0:[| 0. |]
+      [ { Model.name = "t"; change = [| 1. |]; rate = pow (theta 0) 2 } ]
   in
   let r =
     Certified.pontryagin ~steps:40 quad ~x0:[| 0. |] ~horizon:0.5 ~sense:`Max

@@ -1,11 +1,10 @@
 (* The high-level Analysis API wiring: the spec record consumed by all
-   entry points, the named result records, and the deprecated Legacy
-   wrappers. *)
+   entry points and the named result records. *)
 open Umf
 
 let p = Sir.default_params
 
-let model = Sir.model p
+let model = Sir.make p
 
 let times = [| 0.; 1.; 2. |]
 
@@ -124,8 +123,8 @@ let test_mean_exceedance_semantics () =
   Alcotest.(check (float 1e-9)) "worst over samples" e half.Analysis.worst
 
 let test_safety_on_population_model () =
-  (* end-to-end: Safety over a Di built from the population model *)
-  let di = Di.of_population model in
+  (* end-to-end: Safety over a Di derived from the model *)
+  let di = Di.of_model model in
   match
     Safety.verify ~steps:150 ~check_points:6 di ~x0:Sir.x0 ~horizon:4.
       [ Safety.le ~coord:1 ~dim:2 0.9 ]

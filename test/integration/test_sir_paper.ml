@@ -119,7 +119,7 @@ let test_fig6_stationary_inclusion () =
     { Analysis.birkhoff = b; area = Birkhoff.area b;
       converged = Birkhoff.converged b; metrics = Analysis.no_metrics }
   in
-  let spec = Analysis.spec ~horizon:120. (Sir.model p) in
+  let spec = Analysis.spec ~horizon:120. (Sir.make p) in
   List.iter
     (fun (policy, name) ->
       let cloud =
@@ -141,7 +141,7 @@ let test_fig6_inclusion_improves_with_n () =
     { Analysis.birkhoff = b; area = Birkhoff.area b;
       converged = Birkhoff.converged b; metrics = Analysis.no_metrics }
   in
-  let spec = Analysis.spec ~horizon:80. (Sir.model p) in
+  let spec = Analysis.spec ~horizon:80. (Sir.make p) in
   let stats n =
     let cloud =
       Analysis.stationary_cloud spec ~n ~x0:Sir.x0

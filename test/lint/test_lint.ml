@@ -8,7 +8,7 @@ open Umf_lint
 
 let broken_report () =
   let open Expr in
-  let tr name change rate = { Symbolic.name; change; rate } in
+  let tr name change rate = { Model.name; change; rate } in
   Lint.analyze_transitions ~name:"broken"
     ~var_names:[| "X"; "Y"; "Z" |]
     ~theta_names:[| "a"; "b" |]
@@ -88,30 +88,27 @@ let test_invalid_transitions_excluded () =
 
 let models () =
   [
-    ("sir3", Lint.analyze (Umf_models.Sir.symbolic3 Umf_models.Sir.default_params));
-    ("sir", Lint.analyze (Umf_models.Sir.symbolic Umf_models.Sir.default_params));
-    ("sis", Lint.analyze (Umf_models.Sis.symbolic Umf_models.Sis.default_params));
+    ("sir3", Lint.analyze (Umf_models.Sir.make3 Umf_models.Sir.default_params));
+    ("sir", Lint.analyze (Umf_models.Sir.make Umf_models.Sir.default_params));
+    ("sis", Lint.analyze (Umf_models.Sis.make Umf_models.Sis.default_params));
     ( "bike",
       Lint.analyze
-        (Umf_models.Bikesharing.symbolic Umf_models.Bikesharing.default_params)
-    );
+        (Umf_models.Bikesharing.make Umf_models.Bikesharing.default_params) );
     ( "cholera",
-      Lint.analyze
-        ~domain:Umf_models.Cholera.state_clip
-        (Umf_models.Cholera.symbolic Umf_models.Cholera.default_params) );
+      (* the model's clip box [0,1]² × [0,2] is the lint domain *)
+      Lint.analyze (Umf_models.Cholera.make Umf_models.Cholera.default_params)
+    );
     ( "gps-poisson",
-      Lint.analyze (Umf_models.Gps.poisson_symbolic Umf_models.Gps.default_params)
+      Lint.analyze (Umf_models.Gps.make_poisson Umf_models.Gps.default_params)
     );
     ( "gps-map",
-      Lint.analyze (Umf_models.Gps.map_symbolic Umf_models.Gps.default_params) );
+      Lint.analyze (Umf_models.Gps.make_map Umf_models.Gps.default_params) );
     ( "jsq2",
       Lint.analyze
-        (Umf_models.Loadbalance.symbolic Umf_models.Loadbalance.default_params)
-    );
+        (Umf_models.Loadbalance.make Umf_models.Loadbalance.default_params) );
     ( "bikenet",
       Lint.analyze
-        (Umf_models.Bikenetwork.symbolic Umf_models.Bikenetwork.default_params)
-    );
+        (Umf_models.Bikenetwork.make Umf_models.Bikenetwork.default_params) );
   ]
 
 let test_all_models_error_free () =
@@ -195,9 +192,10 @@ let test_report_printing () =
 
 let negative_rate_model () =
   let open Expr in
-  Symbolic.make ~name:"bad" ~var_names:[| "X" |] ~theta_names:[| "t" |]
+  Model.make ~name:"bad" ~var_names:[| "X" |] ~theta_names:[| "t" |]
     ~theta:(Optim.Box.make [| 0. |] [| 1. |])
-    [ { Symbolic.name = "sink"; change = [| 1. |]; rate = const (-2.) } ]
+    ~x0:[| 0.5 |]
+    [ { Model.name = "sink"; change = [| 1. |]; rate = const (-2.) } ]
 
 let test_certified_gate_rejects () =
   let s = negative_rate_model () in

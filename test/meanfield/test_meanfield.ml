@@ -1,4 +1,4 @@
 let () =
   Alcotest.run "umf_meanfield"
     (Test_population.suites @ Test_policy.suites @ Test_ssa.suites
-   @ Test_convergence.suites @ Test_symbolic.suites)
+   @ Test_convergence.suites @ Test_model.suites)

@@ -25,16 +25,16 @@ let test_water_drives_infection () =
     (f_hi.(1) -. f_lo.(1))
 
 let test_symbolic_jacobian_vs_fd () =
-  let s = Cholera.symbolic p in
+  let s = Cholera.make p in
   let x = [| 0.7; 0.2; 0.4 |] and th = [| 2. |] in
-  let sym = Symbolic.jacobian s x th in
+  let sym = Model.jacobian s x th in
   let m = Cholera.model p in
   let fd = Diff.jacobian (fun y -> Population.drift m y th) x in
   Alcotest.(check bool) "symbolic = FD" true (Mat.approx_equal ~tol:1e-5 sym fd)
 
 let test_affine_in_theta () =
   Alcotest.(check bool) "affine" true
-    (Symbolic.affine_in_theta (Cholera.symbolic p))
+    (Model.affine_in_theta (Cholera.make p))
 
 let test_transition_structure () =
   (* epidemiological transitions never touch W; reservoir transitions
@@ -99,7 +99,7 @@ let test_pontryagin_bounds_3d () =
     (lo <= u_lo +. 1e-4 && u_hi <= hi +. 1e-4)
 
 let test_certified_hull_3d () =
-  let s = Cholera.symbolic p in
+  let s = Cholera.make p in
   let h =
     Umf_diffinc.Certified.hull_bounds ~clip:Cholera.state_clip s ~x0:Cholera.x0
       ~horizon:2. ~dt:0.01

@@ -2,4 +2,4 @@ let () =
   Alcotest.run "umf_models"
     (Test_sir.suites @ Test_gps.suites @ Test_bikesharing.suites
    @ Test_sis.suites @ Test_cholera.suites @ Test_loadbalance.suites
-   @ Test_bikenetwork.suites)
+   @ Test_bikenetwork.suites @ Test_equiv.suites)

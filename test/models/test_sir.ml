@@ -4,6 +4,26 @@ open Umf_models
 
 let p = Sir.default_params
 
+(* Eq. (11) of the paper in closed form — the golden reference the
+   symbolic model must keep reproducing *)
+let drift x theta =
+  let xs = x.(0) and xi = x.(1) and th = theta.(0) in
+  [|
+    p.Sir.c
+    -. ((p.Sir.a +. p.Sir.c) *. xs)
+    -. (p.Sir.c *. xi)
+    -. (th *. xs *. xi);
+    (p.Sir.a *. xs) +. (th *. xs *. xi) -. (p.Sir.b *. xi);
+  |]
+
+let jacobian x theta =
+  let xs = x.(0) and xi = x.(1) and th = theta.(0) in
+  Mat.of_arrays
+    [|
+      [| -.(p.Sir.a +. p.Sir.c) -. (th *. xi); -.p.Sir.c -. (th *. xs) |];
+      [| p.Sir.a +. (th *. xi); (th *. xs) -. p.Sir.b |];
+    |]
+
 let test_default_params () =
   Alcotest.(check (float 1e-12)) "a" 0.1 p.Sir.a;
   Alcotest.(check (float 1e-12)) "b" 5. p.Sir.b;
@@ -15,7 +35,7 @@ let test_model_drift_matches_closed_form () =
   let m = Sir.model p in
   let check x theta =
     let from_classes = Population.drift m x [| theta |] in
-    let closed = Sir.drift p x [| theta |] in
+    let closed = drift x [| theta |] in
     Alcotest.(check bool)
       (Printf.sprintf "drift at (%g, %g), theta=%g" x.(0) x.(1) theta)
       true
@@ -33,7 +53,7 @@ let test_model3_reduction () =
     (fun (s, i, th) ->
       let r = 1. -. s -. i in
       let f3 = Population.drift m3 [| s; i; r |] [| th |] in
-      let f2 = Sir.drift p [| s; i |] [| th |] in
+      let f2 = drift [| s; i |] [| th |] in
       Alcotest.(check (float 1e-12)) "fS matches" f2.(0) f3.(0);
       Alcotest.(check (float 1e-12)) "fI matches" f2.(1) f3.(1);
       (* conservation: the 3-var drift sums to zero *)
@@ -42,17 +62,20 @@ let test_model3_reduction () =
 
 let test_jacobian_matches_fd () =
   let x = [| 0.6; 0.2 |] and theta = [| 4. |] in
-  let analytic = Sir.jacobian p x theta in
-  let fd = Diff.jacobian (fun y -> Sir.drift p y theta) x in
+  let analytic = jacobian x theta in
+  let fd = Diff.jacobian (fun y -> drift y theta) x in
   Alcotest.(check bool) "jacobian matches FD" true
-    (Mat.approx_equal ~tol:1e-5 analytic fd)
+    (Mat.approx_equal ~tol:1e-5 analytic fd);
+  let exact = Model.jacobian (Sir.make p) x theta in
+  Alcotest.(check bool) "symbolic jacobian matches closed form" true
+    (Mat.approx_equal ~tol:1e-12 analytic exact)
 
 let test_di_wiring () =
   let di = Sir.di p in
   Alcotest.(check int) "dim 2" 2 di.Umf_diffinc.Di.dim;
   let f = di.Umf_diffinc.Di.drift Sir.x0 [| 2. |] in
   Alcotest.(check bool) "drift wired" true
-    (Vec.approx_equal f (Sir.drift p Sir.x0 [| 2. |]))
+    (Vec.approx_equal f (drift Sir.x0 [| 2. |]))
 
 let test_policy_theta1_bounds () =
   let pol = Sir.policy_theta1 p in
@@ -91,7 +114,7 @@ let test_fluid_limit_decay () =
       ~dt:0.01
   in
   let final = Ode.Traj.last traj in
-  let f = Sir.drift p final [| 1. |] in
+  let f = drift final [| 1. |] in
   Alcotest.(check bool) "reached equilibrium" true (Vec.norm_inf f < 1e-6);
   Alcotest.(check bool) "endemic level positive" true (final.(1) > 0.)
 
@@ -103,12 +126,12 @@ let prop_drift_keeps_simplex_invariant =
   QCheck.Test.make ~name:"drift points inward on simplex boundary" ~count:200
     (QCheck.make gen) (fun (s, th) ->
       (* edge I = 0 *)
-      let f_i0 = Sir.drift p [| s; 0. |] [| th |] in
+      let f_i0 = drift [| s; 0. |] [| th |] in
       (* edge S = 0 *)
       let i = s in
-      let f_s0 = Sir.drift p [| 0.; i |] [| th |] in
+      let f_s0 = drift [| 0.; i |] [| th |] in
       (* edge S + I = 1 *)
-      let f_edge = Sir.drift p [| s; 1. -. s |] [| th |] in
+      let f_edge = drift [| s; 1. -. s |] [| th |] in
       f_i0.(1) >= -1e-12 && f_s0.(0) >= -1e-12
       && f_edge.(0) +. f_edge.(1) <= 1e-12)
 

@@ -4,12 +4,21 @@ open Umf_models
 
 let p = Sis.default_params
 
+(* closed-form drift, the golden reference for the symbolic model *)
+let drift x theta =
+  let xi = x.(0) and beta = theta.(0) in
+  [|
+    (p.Sis.a *. (1. -. xi))
+    +. (beta *. xi *. (1. -. xi))
+    -. (p.Sis.delta *. xi);
+  |]
+
 let test_drift_closed_form () =
   let m = Sis.model p in
   List.iter
     (fun (x, beta) ->
       let from_classes = Population.drift m [| x |] [| beta |] in
-      let closed = Sis.drift p [| x |] [| beta |] in
+      let closed = drift [| x |] [| beta |] in
       Alcotest.(check (float 1e-12))
         (Printf.sprintf "drift at x=%g beta=%g" x beta)
         closed.(0) from_classes.(0))
@@ -19,7 +28,7 @@ let test_equilibrium_closed_form () =
   List.iter
     (fun beta ->
       let eq = Sis.equilibrium p ~beta in
-      let f = Sis.drift p [| eq |] [| beta |] in
+      let f = drift [| eq |] [| beta |] in
       Alcotest.(check (float 1e-10))
         (Printf.sprintf "drift vanishes at eq (beta=%g)" beta)
         0. f.(0);
@@ -29,7 +38,7 @@ let test_equilibrium_closed_form () =
 let test_equilibrium_matches_ode () =
   let eq_ode =
     Ode.fixed_point
-      (fun _t x -> Sis.drift p x [| 3. |])
+      (fun _t x -> drift x [| 3. |])
       Sis.x0
   in
   Alcotest.(check (float 1e-6)) "ODE equilibrium" (Sis.equilibrium p ~beta:3.)

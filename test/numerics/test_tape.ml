@@ -1,0 +1,164 @@
+open Umf_numerics
+open Expr
+
+(* same-or-both-NaN: the tape mirrors Expr.eval operation for
+   operation, so values must agree bit-for-bit even through inf/nan *)
+let same a b = a = b || (Float.is_nan a && Float.is_nan b)
+
+(* random expression generators over x0, x1 and theta0 — the full
+   grammar, Div/Pow/Ite included *)
+let rec expr_gen depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [
+        map (fun c -> Const c) (float_range (-3.) 3.);
+        map (fun i -> Var i) (int_range 0 1);
+        return (Theta 0);
+      ]
+  else begin
+    let sub = expr_gen (depth - 1) in
+    oneof
+      [
+        map2 (fun a b -> Add (a, b)) sub sub;
+        map2 (fun a b -> Sub (a, b)) sub sub;
+        map2 (fun a b -> Mul (a, b)) sub sub;
+        map2 (fun a b -> Div (a, b)) sub sub;
+        map (fun a -> Neg a) sub;
+        map2 (fun a n -> Pow (a, n)) sub (int_range 0 4);
+        map2 (fun a b -> Min (a, b)) sub sub;
+        map2 (fun a b -> Max (a, b)) sub sub;
+        map3 (fun g a b -> Ite (g, a, b)) sub sub sub;
+        sub;
+      ]
+  end
+
+let arb_expr = QCheck.make ~print:to_string (expr_gen 4)
+
+let arb_point =
+  QCheck.Gen.(
+    triple (float_range (-2.) 2.) (float_range (-2.) 2.)
+      (float_range (-2.) 2.))
+
+let arb_expr_points =
+  QCheck.make
+    ~print:(fun (e, _) -> to_string e)
+    QCheck.Gen.(pair (expr_gen 4) (list_size (return 5) arb_point))
+
+let prop_tape_matches_interpreter =
+  QCheck.Test.make ~name:"tape eval = Expr.eval (random exprs/points)"
+    ~count:500 arb_expr_points (fun (e, points) ->
+      let t = Tape.compile [| e |] in
+      let ws = Tape.make_ws t in
+      let out = Vec.zeros 1 in
+      List.for_all
+        (fun (a, b, th) ->
+          let x = [| a; b |] and th = [| th |] in
+          Tape.eval_into t ~ws ~x ~th ~out;
+          same (Expr.eval e ~x ~th) out.(0))
+        points)
+
+let prop_multi_output =
+  QCheck.Test.make ~name:"multi-output tape matches per-expr eval" ~count:200
+    (QCheck.make
+       ~print:(fun es -> String.concat "; " (List.map to_string es))
+       QCheck.Gen.(list_size (int_range 1 5) (expr_gen 3)))
+    (fun es ->
+      let arr = Array.of_list es in
+      let t = Tape.compile arr in
+      let x = [| 0.37; -1.2 |] and th = [| 2.3 |] in
+      let out = Tape.eval t ~x ~th in
+      Array.length out = Array.length arr
+      && Array.for_all2 same (Array.map (fun e -> Expr.eval e ~x ~th) arr) out)
+
+let prop_cse_shares_instructions =
+  (* compiling the same tree twice must not execute it twice *)
+  QCheck.Test.make ~name:"CSE: duplicated outputs cost no extra instructions"
+    ~count:200 arb_expr (fun e ->
+      let one = Tape.n_instructions (Tape.compile [| e |]) in
+      let two = Tape.n_instructions (Tape.compile [| e; e |]) in
+      two = one)
+
+let prop_instructions_bounded_by_nodes =
+  QCheck.Test.make ~name:"CSE: instructions <= tree nodes" ~count:200 arb_expr
+    (fun e ->
+      Tape.n_instructions (Tape.compile [| e |]) <= Tape.n_nodes [| e |])
+
+let prop_interval_sound =
+  (* the tape enclosure contains every pointwise tape value on the box *)
+  QCheck.Test.make ~name:"tape interval enclosure sound" ~count:500
+    arb_expr_points (fun (e, points) ->
+      let t = Tape.compile [| e |] in
+      let xa = Interval.make (-2.) 2. and ta = Interval.make (-2.) 2. in
+      let enc =
+        try (Tape.eval_interval t ~x:[| xa; xa |] ~th:[| ta |]).(0)
+        with Division_by_zero ->
+          QCheck.assume false;
+          assert false
+      in
+      List.for_all
+        (fun (a, b, th) ->
+          let p = Expr.eval e ~x:[| a; b |] ~th:[| th |] in
+          (not (Float.is_finite p))
+          || (let tol = 1e-9 *. Float.max 1. (Float.abs p) in
+              Interval.lo enc -. tol <= p && p <= Interval.hi enc +. tol))
+        points)
+
+let test_constants_preloaded () =
+  (* constant leaves live in preloaded slots, not instructions: the sum
+     of two constants executes exactly one Add and nothing else *)
+  let t = Tape.compile [| Expr.(const 2. +: const 3.) |] in
+  Alcotest.(check int) "one executed instruction" 1 (Tape.n_instructions t);
+  Alcotest.(check int) "constant alone executes nothing" 0
+    (Tape.n_instructions (Tape.compile [| Expr.const 7. |]));
+  Alcotest.(check (float 0.)) "value" 5.
+    (Tape.eval t ~x:[||] ~th:[||]).(0)
+
+let test_scalar_evaluator () =
+  let e = Expr.((theta 0 *: var 0 *: var 1) +: (const 0.1 *: var 0)) in
+  let t = Tape.compile [| e |] in
+  let f = Tape.scalar_evaluator t in
+  let x = [| 0.7; 0.3 |] and th = [| 5. |] in
+  Alcotest.(check (float 0.)) "scalar = interpreted" (Expr.eval e ~x ~th)
+    (f x th);
+  (* repeated calls reuse the cached workspace *)
+  Alcotest.(check (float 0.)) "second call identical" (f x th) (f x th)
+
+let test_workspace_validation () =
+  let t = Tape.compile [| Expr.(var 0 +: theta 0) |] in
+  Alcotest.check_raises "foreign workspace"
+    (Invalid_argument "Tape: workspace size mismatch") (fun () ->
+      Tape.eval_into t ~ws:[| 0. |] ~x:[| 1. |] ~th:[| 1. |]
+        ~out:(Vec.zeros 1));
+  Alcotest.check_raises "missing variable"
+    (Invalid_argument "Tape: variable out of range") (fun () ->
+      Tape.eval_into t ~ws:(Tape.make_ws t) ~x:[||] ~th:[| 1. |]
+        ~out:(Vec.zeros 1))
+
+let test_ite_selects_like_interpreter () =
+  (* guard <= 0 picks the then-branch, > 0 the else-branch — and the
+     eagerly evaluated inactive branch never corrupts the result *)
+  let e = Expr.(Ite (var 0, const 1., const 2.)) in
+  let t = Tape.compile [| e |] in
+  Alcotest.(check (float 0.)) "guard negative" 1.
+    (Tape.eval t ~x:[| -1. |] ~th:[||]).(0);
+  Alcotest.(check (float 0.)) "guard zero" 1.
+    (Tape.eval t ~x:[| 0. |] ~th:[||]).(0);
+  Alcotest.(check (float 0.)) "guard positive" 2.
+    (Tape.eval t ~x:[| 1. |] ~th:[||]).(0)
+
+let suites =
+  [
+    ( "tape",
+      [
+        Alcotest.test_case "constants preloaded" `Quick test_constants_preloaded;
+        Alcotest.test_case "scalar evaluator" `Quick test_scalar_evaluator;
+        Alcotest.test_case "workspace validation" `Quick test_workspace_validation;
+        Alcotest.test_case "ite selection" `Quick test_ite_selects_like_interpreter;
+        QCheck_alcotest.to_alcotest prop_tape_matches_interpreter;
+        QCheck_alcotest.to_alcotest prop_multi_output;
+        QCheck_alcotest.to_alcotest prop_cse_shares_instructions;
+        QCheck_alcotest.to_alcotest prop_instructions_bounded_by_nodes;
+        QCheck_alcotest.to_alcotest prop_interval_sound;
+      ] );
+  ]

@@ -12,7 +12,7 @@ let fail msg =
 let () =
   let file = Filename.temp_file "umf_obs_smoke" ".ndjson" in
   let p = Sir.default_params in
-  let model = Sir.model p in
+  let model = Sir.make p in
   let agg = Obs.Agg.create () in
   let oc = open_out file in
   let tr = Obs.Trace.to_channel oc in

@@ -161,7 +161,7 @@ let test_trace_schema () =
 
 let p = Sir.default_params
 
-let model = Sir.model p
+let model = Sir.make p
 
 let times = [| 0.5; 1.; 2. |]
 

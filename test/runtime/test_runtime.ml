@@ -128,6 +128,8 @@ let di = Sir.di p
 
 let model = Sir.model p
 
+let sym = Sir.make p
+
 let check_env name (lo1, hi1) (lo2, hi2) =
   Array.iteri
     (fun i v ->
@@ -168,7 +170,7 @@ let test_ssa_replicate_deterministic () =
 
 let test_inclusion_fraction_deterministic () =
   (* > 1024 synthetic states forces the chunked parallel fold *)
-  let spec_seq = Analysis.spec model in
+  let spec_seq = Analysis.spec sym in
   let region = Analysis.steady_state_region_2d ~x_start:Sir.x0 spec_seq in
   let rng = Rng.create 11 in
   let states =
@@ -177,7 +179,7 @@ let test_inclusion_fraction_deterministic () =
   let seq = Analysis.inclusion_fraction ~tol:3e-3 spec_seq region states in
   let seq_exc = Analysis.mean_exceedance spec_seq region states in
   Pool.with_pool ~domains:4 (fun p4 ->
-      let spec_par = Analysis.spec ~pool:p4 model in
+      let spec_par = Analysis.spec ~pool:p4 sym in
       let par = Analysis.inclusion_fraction ~tol:3e-3 spec_par region states in
       let par_exc = Analysis.mean_exceedance spec_par region states in
       Alcotest.(check int) "inside counts equal" seq.Analysis.inside
