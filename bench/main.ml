@@ -30,6 +30,7 @@ let experiments =
     ("runtime", Perf.run_runtime);
     ("obs", Exp_obs.run);
     ("expr", Exp_expr.run);
+    ("ctmc", Exp_ctmc.run);
   ]
 
 let () =

@@ -10,6 +10,9 @@
      umf_cli steady --model sir
      umf_cli simulate --model sir --n 1000 --tmax 20 --policy theta1
      umf_cli simulate --model sir --n 1000 --reps 50 --jobs 0
+     umf_cli ctmc transient --model sir -n 200 --horizon 5
+     umf_cli ctmc stationary --model sir -n 100 --theta hi
+     umf_cli ctmc bounds --model sir -n 100 --var I --scenario imprecise
 
    Every command pulls its model from {!Umf.Registry} — the CLI holds
    no model definitions of its own.  The registered [Model.t] carries
@@ -417,6 +420,193 @@ let simulate_cmd =
       const run $ model_arg $ n_arg $ horizon_arg 10. $ seed_arg $ points_arg
       $ policy_arg $ reps_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
+(* ctmc command: the exact finite-N engine *)
+let ctmc_cmd =
+  let doc =
+    "Exact finite-N CTMC analysis: enumerate the N-scaled lattice of a \
+     model and solve it with the sparse uniformisation engine."
+  in
+  let mode_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [
+                  ("transient", `Transient);
+                  ("stationary", `Stationary);
+                  ("bounds", `Bounds);
+                ]))
+          None
+      & info [] ~docv:"MODE"
+          ~doc:
+            "What to compute: `transient' (exact E[x(t)] per variable), \
+             `stationary' (exact stationary means), or `bounds' (exact \
+             envelope of one variable over the $(b,theta)-box).")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "n"; "size" ] ~docv:"N" ~doc:"Population size.")
+  in
+  let var_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "var" ] ~docv:"VAR" ~doc:"Variable name (required for bounds).")
+  in
+  let theta_arg =
+    Arg.(
+      value & opt string "mid"
+      & info [ "theta" ] ~docv:"THETA"
+          ~doc:
+            "Parameter point for transient/stationary: `mid', `lo' or `hi' \
+             corner of the $(b,theta)-box.")
+  in
+  let scenario_arg =
+    Arg.(
+      value & opt string "uncertain"
+      & info [ "scenario" ] ~docv:"S"
+          ~doc:
+            "Envelope scenario for bounds: `uncertain' ($(b,theta) constant, \
+             grid sweep) or `imprecise' (time-varying $(b,theta), backward \
+             sweeps; needs rates affine in $(b,theta)).")
+  in
+  let grid_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "grid" ] ~docv:"G"
+          ~doc:"Per-axis grid for the uncertain envelope.")
+  in
+  let points_arg =
+    Arg.(value & opt int 11 & info [ "points" ] ~docv:"P" ~doc:"Sample times.")
+  in
+  let epsilon_arg =
+    Arg.(
+      value & opt float 1e-12
+      & info [ "epsilon" ] ~docv:"EPS"
+          ~doc:"Uniformisation truncation tolerance.")
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "max-states" ] ~docv:"M" ~doc:"Lattice enumeration budget.")
+  in
+  let theta_of m = function
+    | "mid" -> Ok (Optim.Box.midpoint (Model.theta m))
+    | "lo" -> Ok ((Model.theta m).Optim.Box.lo)
+    | "hi" -> Ok ((Model.theta m).Optim.Box.hi)
+    | s -> Error (`Msg (Printf.sprintf "unknown theta point %s" s))
+  in
+  let run mode model n var theta scenario grid horizon points epsilon
+      max_states jobs trace metrics =
+    exit_of_result
+      (let ( let* ) = Result.bind in
+       let* m = lookup_model model in
+       if n < 1 then Error (`Msg "--n must be >= 1")
+       else if points < 2 then Error (`Msg "need at least 2 points")
+       else
+         try
+           with_obs ~trace ~metrics (fun obs ->
+               with_jobs ~obs jobs (fun pool ->
+                   let names = Model.var_names m in
+                   match mode with
+                   | `Bounds ->
+                       let* var =
+                         match var with
+                         | Some v -> Ok v
+                         | None -> Error (`Msg "bounds needs --var")
+                       in
+                       let* coord = var_index m var in
+                       let* scen =
+                         match scenario with
+                         | "imprecise" -> Ok Analysis.Imprecise
+                         | "uncertain" -> Ok (Analysis.Uncertain grid)
+                         | s ->
+                             Error
+                               (`Msg (Printf.sprintf "unknown scenario %s" s))
+                       in
+                       let spec =
+                         Analysis.spec ~scenario:scen ~horizon ?pool ~obs m
+                       in
+                       let fn =
+                         Analysis.finite_n_transient
+                           ~times:(Vec.linspace 0. horizon points)
+                           ~epsilon spec ~n
+                           ~reward:(fun x -> x.(coord))
+                       in
+                       Printf.printf "# states=%d\n" fn.Analysis.states;
+                       Printf.printf "t\t%s_mean\t%s_min\t%s_max\n" var var var;
+                       Array.iteri
+                         (fun j t ->
+                           Printf.printf "%.3f\t%.5f\t%.5f\t%.5f\n" t
+                             fn.Analysis.mean.(j) fn.Analysis.lower.(j)
+                             fn.Analysis.upper.(j))
+                         fn.Analysis.times;
+                       Ok ()
+                   | (`Transient | `Stationary) as mode ->
+                       let* th = theta_of m theta in
+                       let pop = Model.population m in
+                       let space =
+                         Ctmc_of_population.state_space ~obs ~max_states pop
+                           ~n ~x0:(Model.x0 m)
+                       in
+                       let g =
+                         Ctmc_of_population.generator ?pool ~obs space pop
+                           ~theta:th
+                       in
+                       Printf.printf "# states=%d nnz=%d\n"
+                         (Ctmc_of_population.n_states space) (Generator.nnz g);
+                       let rewards =
+                         Array.mapi
+                           (fun c _ ->
+                             Ctmc_of_population.reward space (fun x -> x.(c)))
+                           names
+                       in
+                       (match mode with
+                       | `Transient ->
+                           let times = Vec.linspace 0. horizon points in
+                           let e =
+                             Transient.expectation_series ?pool ~obs ~epsilon g
+                               ~p0:(Ctmc_of_population.point_mass space)
+                               ~times rewards
+                           in
+                           Printf.printf "t\t%s\n"
+                             (String.concat "\t" (Array.to_list names));
+                           Array.iteri
+                             (fun j t ->
+                               Printf.printf "%.3f" t;
+                               Array.iteri
+                                 (fun c _ -> Printf.printf "\t%.5f" e.(j).(c))
+                                 names;
+                               print_newline ())
+                             times
+                       | `Stationary ->
+                           let pi = Stationary.power_iteration ?pool ~obs g in
+                           Printf.printf "var\tmean\n";
+                           Array.iteri
+                             (fun c name ->
+                               Printf.printf "%s\t%.5f\n" name
+                                 (Vec.dot rewards.(c) pi))
+                             names);
+                       Ok ()))
+         with
+         | Failure msg -> Error (`Msg msg)
+         | Transient.Truncated { epsilon; mass; terms } ->
+             Error
+               (`Msg
+                 (Printf.sprintf
+                    "uniformisation truncated: accumulated mass %.17g after \
+                     %d terms misses the 1 - %g target (raise --epsilon or \
+                     the term budget)"
+                    mass terms epsilon)))
+  in
+  Cmd.v (Cmd.info "ctmc" ~doc)
+    Term.(
+      const run $ mode_arg $ model_arg $ n_arg $ var_arg $ theta_arg
+      $ scenario_arg $ grid_arg $ horizon_arg 10. $ points_arg $ epsilon_arg
+      $ max_states_arg $ jobs_arg $ trace_arg $ metrics_arg)
+
 (* lint command *)
 let lint_cmd =
   let doc =
@@ -481,5 +671,6 @@ let () =
             hull_cmd;
             steady_cmd;
             simulate_cmd;
+            ctmc_cmd;
             lint_cmd;
           ]))

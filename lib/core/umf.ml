@@ -12,6 +12,7 @@ module Diff = Umf_numerics.Diff
 module Expr = Umf_numerics.Expr
 module Tape = Umf_numerics.Tape
 module Generator = Umf_ctmc.Generator
+module Ctmc_sparse = Umf_ctmc.Sparse
 module Ctmc_path = Umf_ctmc.Path
 module Ctmc_simulate = Umf_ctmc.Simulate
 module Transient = Umf_ctmc.Transient
@@ -19,6 +20,7 @@ module Stationary = Umf_ctmc.Stationary
 module Imprecise_ctmc = Umf_ctmc.Imprecise_ctmc
 module Interval_dtmc = Umf_ctmc.Interval_dtmc
 module Population = Umf_meanfield.Population
+module Ctmc_of_population = Umf_meanfield.Ctmc_of_population
 module Model = Umf_meanfield.Model
 module Policy = Umf_meanfield.Policy
 module Ssa = Umf_meanfield.Ssa
@@ -274,6 +276,86 @@ module Analysis = struct
       strict = float_of_int strict_inside /. float_of_int total;
       metrics;
     }
+
+  type finite_n = {
+    n : int;
+    states : int;
+    times : float array;
+    mean : float array;
+    lower : float array;
+    upper : float array;
+    metrics : metrics;
+  }
+
+  let finite_n_transient ?times ?epsilon s ~n ~reward =
+    let times =
+      match times with Some ts -> ts | None -> Vec.linspace 0. s.horizon 11
+    in
+    let model = s.model in
+    let pop = Model.population model in
+    let theta_box =
+      match s.theta with Some b -> b | None -> Model.theta model
+    in
+    let (states, mean, lower, upper), metrics =
+      instrumented s "analysis.finite_n_transient" (fun obs ->
+          let space =
+            Ctmc_of_population.state_space ~obs ~theta:theta_box pop ~n
+              ~x0:(Model.x0 model)
+          in
+          let h = Ctmc_of_population.reward space reward in
+          let p0 = Ctmc_of_population.point_mass space in
+          let series theta =
+            let g =
+              Ctmc_of_population.generator ?pool:s.pool ~obs space pop ~theta
+            in
+            Array.map
+              (fun row -> row.(0))
+              (Transient.expectation_series ?pool:s.pool ~obs ?epsilon g ~p0
+                 ~times [| h |])
+          in
+          let mean = series (Optim.Box.midpoint theta_box) in
+          let lower, upper =
+            match s.scenario with
+            | Imprecise ->
+                if not (Model.affine_in_theta model) then
+                  invalid_arg
+                    "Analysis.finite_n_transient: imprecise finite-N bounds \
+                     need rates affine in theta (vertex extremisation is \
+                     only exact there); use the Uncertain scenario";
+                let im =
+                  Ctmc_of_population.imprecise ~theta:theta_box space pop
+                in
+                let x0i = Ctmc_of_population.x0_index space in
+                let steps_per_unit =
+                  Stdlib.max 1
+                    (int_of_float
+                       (Float.ceil (float_of_int s.steps /. s.horizon)))
+                in
+                let lo =
+                  Imprecise_ctmc.lower_series ~steps_per_unit im ~h ~times
+                in
+                let hi =
+                  Imprecise_ctmc.upper_series ~steps_per_unit im ~h ~times
+                in
+                ( Array.map (fun v -> v.(x0i)) lo,
+                  Array.map (fun v -> v.(x0i)) hi )
+            | Uncertain grid ->
+                let nt = Array.length times in
+                let lo = Array.make nt Float.infinity
+                and hi = Array.make nt Float.neg_infinity in
+                List.iter
+                  (fun th ->
+                    let e = series th in
+                    for j = 0 to nt - 1 do
+                      if e.(j) < lo.(j) then lo.(j) <- e.(j);
+                      if e.(j) > hi.(j) then hi.(j) <- e.(j)
+                    done)
+                  (Optim.Box.sample_grid theta_box grid);
+                (lo, hi)
+          in
+          (Ctmc_of_population.n_states space, mean, lower, upper))
+    in
+    { n; states; times; mean; lower; upper; metrics }
 
   type exceedance = { mean : float; worst : float; metrics : metrics }
 

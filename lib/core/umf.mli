@@ -35,6 +35,7 @@ module Tape = Umf_numerics.Tape
 
 (* Markov chain substrate *)
 module Generator = Umf_ctmc.Generator
+module Ctmc_sparse = Umf_ctmc.Sparse
 module Ctmc_path = Umf_ctmc.Path
 module Ctmc_simulate = Umf_ctmc.Simulate
 module Transient = Umf_ctmc.Transient
@@ -44,6 +45,7 @@ module Interval_dtmc = Umf_ctmc.Interval_dtmc
 
 (* population models and their simulation *)
 module Population = Umf_meanfield.Population
+module Ctmc_of_population = Umf_meanfield.Ctmc_of_population
 module Model = Umf_meanfield.Model
 module Policy = Umf_meanfield.Policy
 module Ssa = Umf_meanfield.Ssa
@@ -219,6 +221,49 @@ module Analysis : sig
       boundary slack [tol] (the convergence diagnostic of Figure 6 —
       policies like θ1 ride exactly along the region boundary, so a
       small slack separates genuine escapes from boundary hugging). *)
+
+  type finite_n = {
+    n : int;  (** Population size. *)
+    states : int;  (** Enumerated lattice states. *)
+    times : float array;
+    mean : float array;
+        (** Exact E[h(X_t)] under θ = the box midpoint. *)
+    lower : float array;
+    upper : float array;
+        (** Envelope of E[h(X_t)] over the θ-box (see below). *)
+    metrics : metrics;
+  }
+  (** Exact finite-N transient envelope of a state reward — the ground
+      truth the mean-field bounds of {!transient_bounds} approximate
+      (Theorem 1: for large N the exact values fall inside the
+      differential-inclusion bounds). *)
+
+  val finite_n_transient :
+    ?times:float array ->
+    ?epsilon:float ->
+    spec ->
+    n:int ->
+    reward:(Vec.t -> float) ->
+    finite_n
+  (** Enumerates the reachable N-scaled lattice of the spec's model
+      from its initial density ({!Ctmc_of_population}), then computes
+      E[reward(X_t/N)] exactly by sparse uniformisation
+      ({!Transient.expectation_series}; [epsilon] is its truncation
+      tolerance) at each time ([times] defaults to 11 points on
+      [0, horizon]).
+
+      The envelope depends on the scenario: [Uncertain g] sweeps the
+      θ-grid with one exact transient computation per grid point;
+      [Imprecise] runs the finite-chain backward sweeps
+      {!Imprecise_ctmc.lower_series}/[upper_series] (discretised with
+      [spec.steps] over the horizon, auto-refined for stability), which
+      requires the model's rates affine in θ — the same
+      [Model.affine_in_theta] precondition Umf_lint gates on.
+      All sweeps fan out over [spec.pool] bit-identically.
+
+      @raise Invalid_argument in the imprecise scenario on a model not
+      affine in θ.
+      @raise Failure if the lattice exceeds the enumeration budget. *)
 
   type exceedance = { mean : float; worst : float; metrics : metrics }
 

@@ -30,7 +30,32 @@ let make ~n transitions =
   in
   { n; rows; exit }
 
+let of_rows rows =
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Generator.of_rows: need n > 0";
+  Array.iteri
+    (fun i row ->
+      let prev = ref (-1) in
+      Array.iter
+        (fun (dst, rate) ->
+          if dst < 0 || dst >= n then
+            invalid_arg "Generator.of_rows: state out of range";
+          if dst = i then invalid_arg "Generator.of_rows: self loop";
+          if dst <= !prev then
+            invalid_arg "Generator.of_rows: row not sorted by destination";
+          if not (rate > 0. && rate < Float.infinity) then
+            invalid_arg "Generator.of_rows: rate not positive and finite";
+          prev := dst)
+        row)
+    rows;
+  let exit =
+    Array.map (fun row -> Array.fold_left (fun s (_, r) -> s +. r) 0. row) rows
+  in
+  { n; rows; exit }
+
 let n_states g = g.n
+
+let nnz g = Array.fold_left (fun acc row -> acc + Array.length row) 0 g.rows
 
 let outgoing g i = g.rows.(i)
 

@@ -12,7 +12,20 @@ val make : n:int -> (int * int * float) list -> t
     @raise Invalid_argument on out-of-range states, self loops or
     negative rates. *)
 
+val of_rows : (int * float) array array -> t
+(** [of_rows rows] builds a generator directly from per-state outgoing
+    rows — the O(nnz) constructor used by the finite-N lattice engine,
+    skipping {!make}'s per-row hashtable merge.  Row [i] must hold
+    [(dst, rate)] pairs sorted strictly ascending by destination with
+    [rate > 0] finite and [dst <> i]; the arrays are taken over by the
+    generator (do not mutate them afterwards).
+    @raise Invalid_argument on unsorted/duplicate destinations,
+    out-of-range states, self loops or non-positive rates. *)
+
 val n_states : t -> int
+
+val nnz : t -> int
+(** Number of stored transitions (off-diagonal entries). *)
 
 val outgoing : t -> int -> (int * float) array
 

@@ -2,24 +2,60 @@ open Umf_numerics
 
 type transition = { src : int; dst : int; rate : Vec.t -> float }
 
+(* Static per-state row layout: merged destinations in ascending order
+   (exactly the row [Generator.make] would produce) plus, for each
+   transition of [by_src.(x)], the slot its rate accumulates into.
+   Lets the simulator rebuild a state's outgoing row in O(out-degree)
+   without constructing a [Generator.t]. *)
+type row_layout = { dsts : int array; slot : int array }
+
 type t = {
   n : int;
   theta : Optim.Box.t;
-  by_src : transition list array;
+  by_src : transition array array;
   theta_vertices : Vec.t list;
+  layout : row_layout array;
 }
+
+let layout_of_row row =
+  let m = Array.length row in
+  let sorted = Array.map (fun tr -> tr.dst) row in
+  Array.sort compare sorted;
+  let uniq = ref [] in
+  Array.iteri
+    (fun i d -> if i = 0 || d <> sorted.(i - 1) then uniq := d :: !uniq)
+    sorted;
+  let dsts = Array.of_list (List.rev !uniq) in
+  let index_of d =
+    let lo = ref 0 and hi = ref (Array.length dsts - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if dsts.(mid) < d then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let slot = Array.make m 0 in
+  Array.iteri (fun i tr -> slot.(i) <- index_of tr.dst) row;
+  { dsts; slot }
 
 let make ~n ~theta transitions =
   if n <= 0 then invalid_arg "Imprecise_ctmc.make: need n > 0";
-  let by_src = Array.make n [] in
+  let acc = Array.make n [] in
   List.iter
     (fun tr ->
       if tr.src < 0 || tr.src >= n || tr.dst < 0 || tr.dst >= n then
         invalid_arg "Imprecise_ctmc.make: state out of range";
       if tr.src = tr.dst then invalid_arg "Imprecise_ctmc.make: self loop";
-      by_src.(tr.src) <- tr :: by_src.(tr.src))
+      acc.(tr.src) <- tr :: acc.(tr.src))
     transitions;
-  { n; theta; by_src; theta_vertices = Optim.Box.vertices theta }
+  let by_src = Array.map Array.of_list acc in
+  {
+    n;
+    theta;
+    by_src;
+    theta_vertices = Optim.Box.vertices theta;
+    layout = Array.map layout_of_row by_src;
+  }
 
 let n_states m = m.n
 
@@ -28,7 +64,7 @@ let theta_box m = m.theta
 let generator_at m theta =
   let triples = ref [] in
   Array.iter
-    (List.iter (fun tr ->
+    (Array.iter (fun tr ->
          let r = tr.rate theta in
          if r < 0. then invalid_arg "Imprecise_ctmc: negative rate at theta";
          if r > 0. then triples := (tr.src, tr.dst, r) :: !triples))
@@ -37,7 +73,7 @@ let generator_at m theta =
 
 (* (Q^θ g)(x) for a given state x: the backward operator row *)
 let row_value m g x theta =
-  List.fold_left
+  Array.fold_left
     (fun acc tr -> acc +. (tr.rate theta *. (g.(tr.dst) -. g.(x))))
     0. m.by_src.(x)
 
@@ -49,18 +85,14 @@ let max_exit_bound m =
     List.iter
       (fun theta ->
         let e =
-          List.fold_left (fun acc tr -> acc +. tr.rate theta) 0. m.by_src.(x)
+          Array.fold_left (fun acc tr -> acc +. tr.rate theta) 0. m.by_src.(x)
         in
         if e > !best then best := e)
       m.theta_vertices
   done;
   !best
 
-let extremal_expectation sense ?steps_per_unit m ~h ~horizon =
-  if Vec.dim h <> m.n then
-    invalid_arg "Imprecise_ctmc: reward dimension mismatch";
-  if horizon < 0. then invalid_arg "Imprecise_ctmc: negative horizon";
-  let lambda = max_exit_bound m in
+let steps_for ?steps_per_unit ~lambda duration =
   let per_unit =
     match steps_per_unit with
     | Some s ->
@@ -68,16 +100,20 @@ let extremal_expectation sense ?steps_per_unit m ~h ~horizon =
         float_of_int s
     | None -> Float.max 100. (10. *. lambda)
   in
-  let steps = int_of_float (Float.ceil (horizon *. per_unit)) in
+  let steps = int_of_float (Float.ceil (duration *. per_unit)) in
   let steps = Stdlib.max steps 1 in
-  let dt = horizon /. float_of_int steps in
-  let g = ref (Vec.copy h) in
-  let pick =
-    match sense with
-    | `Lower -> fun a b -> Float.min a b
-    | `Upper -> fun a b -> Float.max a b
-  in
-  if horizon > 0. then
+  (* stability guard: the Euler step of the backward equation is a
+     convex combination of the current values iff dt·λ <= 1, which is
+     what keeps the envelope inside [min h, max h]; auto-refine a too
+     coarse user grid instead of letting the sweep blow up *)
+  Stdlib.max steps (int_of_float (Float.ceil (duration *. lambda)))
+
+(* Integrate d/dt g(x) = extremum_θ (Q^θ g)(x) for [duration], clamping
+   each step to the invariant envelope [hmin, hmax] (under the dt·λ <= 1
+   guard the clamp only trims float rounding). *)
+let euler_sweep pick m ~g ~duration ~steps ~hmin ~hmax =
+  if duration > 0. then begin
+    let dt = duration /. float_of_int steps in
     for _ = 1 to steps do
       let cur = !g in
       g :=
@@ -91,15 +127,66 @@ let extremal_expectation sense ?steps_per_unit m ~h ~horizon =
                   Some (match !best with None -> v | Some b -> pick v b))
               m.theta_vertices;
             let rate = match !best with None -> 0. | Some v -> v in
-            cur.(x) +. (dt *. rate))
-    done;
+            let v = cur.(x) +. (dt *. rate) in
+            if v < hmin then hmin else if v > hmax then hmax else v)
+    done
+  end
+
+let picker = function
+  | `Lower -> fun a b -> Float.min a b
+  | `Upper -> fun a b -> Float.max a b
+
+let extremal_expectation sense ?steps_per_unit m ~h ~horizon =
+  if Vec.dim h <> m.n then
+    invalid_arg "Imprecise_ctmc: reward dimension mismatch";
+  if horizon < 0. then invalid_arg "Imprecise_ctmc: negative horizon";
+  let lambda = max_exit_bound m in
+  let steps = steps_for ?steps_per_unit ~lambda horizon in
+  let g = ref (Vec.copy h) in
+  euler_sweep (picker sense) m ~g ~duration:horizon ~steps
+    ~hmin:(Vec.min_elt h) ~hmax:(Vec.max_elt h);
   !g
+
+let extremal_series sense ?steps_per_unit m ~h ~times =
+  if Vec.dim h <> m.n then
+    invalid_arg "Imprecise_ctmc: reward dimension mismatch";
+  let nt = Array.length times in
+  if nt = 0 then invalid_arg "Imprecise_ctmc: no times";
+  if times.(0) < 0. then invalid_arg "Imprecise_ctmc: negative horizon";
+  for j = 1 to nt - 1 do
+    if times.(j) <= times.(j - 1) then
+      invalid_arg "Imprecise_ctmc: times not increasing"
+  done;
+  let lambda = max_exit_bound m in
+  let hmin = Vec.min_elt h and hmax = Vec.max_elt h in
+  let pick = picker sense in
+  let g = ref (Vec.copy h) in
+  let prev = ref 0. in
+  (* the backward equation is autonomous, so one sweep up to the
+     largest horizon serves every time point: integrate segment by
+     segment and snapshot *)
+  Array.map
+    (fun t ->
+      let duration = t -. !prev in
+      if duration > 0. then begin
+        let steps = steps_for ?steps_per_unit ~lambda duration in
+        euler_sweep pick m ~g ~duration ~steps ~hmin ~hmax
+      end;
+      prev := t;
+      Vec.copy !g)
+    times
 
 let lower_expectation ?steps_per_unit m ~h ~horizon =
   extremal_expectation `Lower ?steps_per_unit m ~h ~horizon
 
 let upper_expectation ?steps_per_unit m ~h ~horizon =
   extremal_expectation `Upper ?steps_per_unit m ~h ~horizon
+
+let lower_series ?steps_per_unit m ~h ~times =
+  extremal_series `Lower ?steps_per_unit m ~h ~times
+
+let upper_series ?steps_per_unit m ~h ~times =
+  extremal_series `Upper ?steps_per_unit m ~h ~times
 
 let probability_bounds ?steps_per_unit m ~state ~horizon ~x0 =
   if state < 0 || state >= m.n || x0 < 0 || x0 >= m.n then
@@ -113,11 +200,57 @@ type policy = t:float -> x:int -> Vec.t
 
 let constant_policy theta ~t:_ ~x:_ = theta
 
-let simulate rng m policy ~x0 ~tmax =
-  Simulate.run_imprecise
+(* Rebuild state [x]'s merged outgoing row at θ into [rates]
+   (accumulation order matches [generator_at]'s duplicate merge, so
+   summed rates are bit-identical to the Generator path). *)
+let fill_row m rates x theta =
+  Array.fill rates 0 (Array.length rates) 0.;
+  let lay = m.layout.(x) in
+  Array.iteri
+    (fun i tr ->
+      let r = tr.rate theta in
+      if r < 0. then invalid_arg "Imprecise_ctmc: negative rate at theta";
+      rates.(lay.slot.(i)) <- rates.(lay.slot.(i)) +. r)
+    m.by_src.(x)
+
+let simulate ?(cache = 64) rng m policy ~x0 ~tmax =
+  if cache < 0 then invalid_arg "Imprecise_ctmc.simulate: cache < 0";
+  (* per-θ cache of fully materialised rate rows — for (near-)constant
+     policies every jump after the first is a table lookup instead of a
+     full generator rebuild.  On overflow (more distinct θ than [cache]
+     slots, e.g. a time-continuous policy) only the current state's row
+     is rebuilt, into a reused scratch buffer. *)
+  let tbl : (Vec.t, float array array) Hashtbl.t =
+    Hashtbl.create (Stdlib.max 1 (Stdlib.min cache 64))
+  in
+  let scratch =
+    Array.map (fun lay -> Array.make (Array.length lay.dsts) 0.) m.layout
+  in
+  let rates_for theta x =
+    match Hashtbl.find_opt tbl theta with
+    | Some rows -> rows.(x)
+    | None ->
+        if Hashtbl.length tbl < cache then begin
+          let rows =
+            Array.map
+              (fun lay -> Array.make (Array.length lay.dsts) 0.)
+              m.layout
+          in
+          for s = 0 to m.n - 1 do
+            fill_row m rows.(s) s theta
+          done;
+          Hashtbl.add tbl (Vec.copy theta) rows;
+          rows.(x)
+        end
+        else begin
+          fill_row m scratch.(x) x theta;
+          scratch.(x)
+        end
+  in
+  Simulate.run_imprecise_rows
     ~rate_bound:(max_exit_bound m *. 1.000001)
     rng
     (fun ~t ~x ->
       let theta = Optim.Box.clamp m.theta (policy ~t ~x) in
-      generator_at m theta)
+      (m.layout.(x).dsts, rates_for theta x))
     ~x0 ~tmax

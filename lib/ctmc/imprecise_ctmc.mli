@@ -12,7 +12,15 @@
     d/dt g_t(x) = min_{θ ∈ Θ} Σ_y Q^θ(x,y) g_t(y),
 
     where the minimum is taken independently per state — exact for the
-    imprecise semantics. *)
+    imprecise semantics.
+
+    {b Vertex extremisation.}  The per-state extremum over Θ is
+    evaluated at the vertices of the box only.  This is exact when each
+    row of Q^θ is {e affine} in θ (then (Q^θ g)(x) is affine in θ and
+    its extremum over a box is attained at a vertex) — the common case
+    for the paper's models, and what [Umf_lint] checks via the model's
+    [affine_in_theta] flag.  For rates non-affine in θ the vertex sweep
+    yields inner bounds only. *)
 
 open Umf_numerics
 
@@ -32,16 +40,38 @@ val generator_at : t -> Vec.t -> Generator.t
 (** The precise generator for a fixed θ.
     @raise Invalid_argument if some rate is negative at θ. *)
 
+val max_exit_bound : t -> float
+(** An upper bound on every exit rate over Θ: the maximum over the
+    θ-vertices (exact for rates monotone in each θ component, e.g.
+    affine).  The uniformisation rate used by {!simulate}. *)
+
 val lower_expectation :
   ?steps_per_unit:int -> t -> h:Vec.t -> horizon:float -> Vec.t
 (** [lower_expectation m ~h ~horizon] is the vector of lower
     expectations x ↦ E̲[h(X_horizon) | X_0 = x].  The backward equation
     is integrated with uniformisation-style Euler steps;
     [steps_per_unit] (default: enough for stability at the maximal exit
-    rate, at least 100) controls the discretisation. *)
+    rate, at least 100) controls the discretisation.  The grid is
+    automatically refined to dt·λ <= 1 (λ = {!max_exit_bound}), the
+    condition under which each Euler step is a convex combination of
+    current values — so the sweep always stays in the invariant
+    envelope [min h, max h] (values are clamped there against float
+    rounding), instead of silently diverging on a too coarse
+    user-supplied grid. *)
 
 val upper_expectation :
   ?steps_per_unit:int -> t -> h:Vec.t -> horizon:float -> Vec.t
+
+val lower_series :
+  ?steps_per_unit:int -> t -> h:Vec.t -> times:float array -> Vec.t array
+(** [lower_series m ~h ~times] is the lower expectation vector at every
+    horizon in the strictly increasing [times >= 0] — one backward
+    sweep up to the largest horizon with snapshots (the equation is
+    autonomous), not one sweep per horizon.  A singleton [times]
+    reproduces {!lower_expectation} exactly. *)
+
+val upper_series :
+  ?steps_per_unit:int -> t -> h:Vec.t -> times:float array -> Vec.t array
 
 val probability_bounds :
   ?steps_per_unit:int -> t -> state:int -> horizon:float -> x0:int -> float * float
@@ -54,5 +84,17 @@ type policy = t:float -> x:int -> Vec.t
 val constant_policy : Vec.t -> policy
 
 val simulate :
-  Rng.t -> t -> policy -> x0:int -> tmax:float -> Path.t
-(** Simulate the chain under a policy (θ frozen between jumps). *)
+  ?cache:int -> Rng.t -> t -> policy -> x0:int -> tmax:float -> Path.t
+(** Simulate the chain under a policy (θ frozen between jumps) by exact
+    thinning at rate {!max_exit_bound}.
+
+    Outgoing rows are rebuilt from a static per-state layout instead of
+    constructing a full generator at every jump: rows for up to [cache]
+    distinct θ values (default 64) are materialised once and reused —
+    for a constant policy every jump after the first is a lookup — and
+    past the cache bound only the current state's row is recomputed
+    into a reused scratch buffer.  Sample paths are draw-for-draw
+    identical for every [cache] value (including 0) and to the former
+    rebuild-per-jump implementation.
+    @raise Invalid_argument if [cache < 0] or some rate is negative on
+    Θ. *)

@@ -1,0 +1,123 @@
+open Umf_numerics
+module Pool = Umf_runtime.Runtime.Pool
+
+(* CSR by destination: for state j, the incoming edges are
+   src.(off.(j)) .. src.(off.(j+1) - 1) in ascending source order,
+   with probabilities prob (= rate / lambda).  diag_pos.(j) is the
+   index of the first incoming edge with source > j, so the diagonal
+   term 1 - exit_j/lambda can be folded in at exactly the position the
+   dense transposed product visits it. *)
+type t = {
+  n : int;
+  lambda : float;
+  diag : float array;
+  off : int array;
+  src : int array;
+  prob : float array;
+  diag_pos : int array;
+}
+
+let n_states op = op.n
+
+let nnz op = Array.length op.src
+
+let rate op = op.lambda
+
+let forward ?rate g =
+  let n = Generator.n_states g in
+  let lambda =
+    match rate with
+    | Some r ->
+        if r < Generator.max_exit_rate g then
+          invalid_arg "Sparse.forward: rate below max exit rate";
+        r
+    | None -> Float.max 1e-9 (1.01 *. Generator.max_exit_rate g)
+  in
+  let counts = Array.make n 0 in
+  for i = 0 to n - 1 do
+    Array.iter (fun (j, _) -> counts.(j) <- counts.(j) + 1) (Generator.outgoing g i)
+  done;
+  let off = Array.make (n + 1) 0 in
+  for j = 0 to n - 1 do
+    off.(j + 1) <- off.(j) + counts.(j)
+  done;
+  let m = off.(n) in
+  let src = Array.make m 0 and prob = Array.make m 0. in
+  let cursor = Array.sub off 0 n in
+  (* sources are filled in ascending order because i runs 0..n-1 *)
+  for i = 0 to n - 1 do
+    Array.iter
+      (fun (j, r) ->
+        let c = cursor.(j) in
+        src.(c) <- i;
+        prob.(c) <- r /. lambda;
+        cursor.(j) <- c + 1)
+      (Generator.outgoing g i)
+  done;
+  let diag = Array.init n (fun j -> 1. -. (Generator.exit_rate g j /. lambda)) in
+  let diag_pos =
+    Array.init n (fun j ->
+        let p = ref off.(j + 1) in
+        (try
+           for e = off.(j) to off.(j + 1) - 1 do
+             if src.(e) > j then begin
+               p := e;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !p)
+  in
+  { n; lambda; diag; off; src; prob; diag_pos }
+
+(* one destination slice of the fused step: into.(j) <- (Pᵀ v)(j) and,
+   when weighted, acc.(j) <- acc.(j) + w * v.(j).  Index-owned writes
+   only, so any chunking of [lo, hi) is bit-identical. *)
+let segment op v into weight acc lo hi =
+  let src = op.src and prob = op.prob and diag = op.diag in
+  let off = op.off and diag_pos = op.diag_pos in
+  for j = lo to hi - 1 do
+    let s = ref 0. in
+    let dp = Array.unsafe_get diag_pos j in
+    for e = Array.unsafe_get off j to dp - 1 do
+      s :=
+        !s
+        +. (Array.unsafe_get prob e
+            *. Array.unsafe_get v (Array.unsafe_get src e))
+    done;
+    s := !s +. (Array.unsafe_get diag j *. Array.unsafe_get v j);
+    for e = dp to Array.unsafe_get off (j + 1) - 1 do
+      s :=
+        !s
+        +. (Array.unsafe_get prob e
+            *. Array.unsafe_get v (Array.unsafe_get src e))
+    done;
+    Array.unsafe_set into j !s;
+    match acc with
+    | None -> ()
+    | Some r ->
+        Array.unsafe_set r j
+          (Array.unsafe_get r j +. (weight *. Array.unsafe_get v j))
+  done
+
+let chunk_size = 4096
+
+let step_into ?pool ?acc op v ~into =
+  if Vec.dim v <> op.n || Vec.dim into <> op.n then
+    invalid_arg "Sparse.step_into: dimension mismatch";
+  if v == into then invalid_arg "Sparse.step_into: into aliases v";
+  let weight, accv =
+    match acc with None -> (0., None) | Some (w, r) -> (w, Some r)
+  in
+  (match accv with
+  | Some r when Vec.dim r <> op.n ->
+      invalid_arg "Sparse.step_into: accumulator dimension mismatch"
+  | _ -> ());
+  match pool with
+  | Some p when op.n > chunk_size ->
+      let n_chunks = (op.n + chunk_size - 1) / chunk_size in
+      Pool.parallel_for ~stage:"ctmc-spmv" ~chunk:1 p n_chunks (fun ci ->
+          let lo = ci * chunk_size in
+          let hi = Stdlib.min op.n (lo + chunk_size) in
+          segment op v into weight accv lo hi)
+  | _ -> segment op v into weight accv 0 op.n

@@ -1,0 +1,51 @@
+(** Sparse uniformised-step kernels.
+
+    The dense path ([Generator.uniformized] + [Mat.tmulv]) materialises
+    the n x n DTMC matrix P = I + Q/Λ, which caps the finite-N engine
+    at a few thousand states.  This module compiles a generator's
+    adjacency into a CSR-by-destination operator and applies the
+    forward uniformised step p' = Pᵀ p in O(nnz), allocation-free and
+    optionally fanned out over a {!Umf_runtime.Runtime.Pool}.
+
+    Bit-compatibility contract: for every vector [v] of finite floats,
+    [step_into op v ~into] writes exactly the same bits as
+    [Mat.tmulv (Generator.uniformized ~rate g) v] — per destination the
+    incoming terms are accumulated in ascending source order with the
+    diagonal term inserted at its dense position, and each edge weight
+    is the same [rate /. Λ] float the dense constructor stores.  The
+    pool-parallel path chunks destinations into index-owned slices, so
+    it is bit-identical to the sequential path for any pool size. *)
+
+module Pool = Umf_runtime.Runtime.Pool
+
+type t
+(** A compiled forward uniformised operator for a fixed rate Λ. *)
+
+val forward : ?rate:float -> Generator.t -> t
+(** [forward g] compiles P = I + Q/Λ in transposed (by-destination)
+    layout; [rate] defaults to [1.01 * max_exit_rate] exactly like
+    {!Generator.uniformized}.
+    @raise Invalid_argument if [rate] is below the maximal exit
+    rate. *)
+
+val n_states : t -> int
+
+val nnz : t -> int
+(** Stored off-diagonal entries (the generator's transition count). *)
+
+val rate : t -> float
+(** The uniformisation rate Λ the operator was compiled for. *)
+
+val step_into :
+  ?pool:Pool.t ->
+  ?acc:float * Umf_numerics.Vec.t ->
+  t ->
+  Umf_numerics.Vec.t ->
+  into:Umf_numerics.Vec.t ->
+  unit
+(** [step_into op v ~into] writes Pᵀ v into [into] ([into] must not
+    alias [v]).  With [acc = (w, r)] it additionally accumulates
+    [r <- r + w * v] in the same pass — the fused
+    accumulate-and-advance of the uniformisation loop, sharing one
+    parallel section.  @raise Invalid_argument on dimension mismatch or
+    aliasing. *)

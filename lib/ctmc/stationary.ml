@@ -1,4 +1,5 @@
 open Umf_numerics
+module Obs = Umf_obs.Obs
 
 let gth g =
   let n = Generator.n_states g in
@@ -39,18 +40,23 @@ let gth g =
   let total = Vec.sum pi in
   Vec.scale (1. /. total) pi
 
-let power_iteration ?(tol = 1e-12) ?(max_iter = 1_000_000) g =
+let power_iteration ?pool ?(obs = Obs.off) ?(tol = 1e-12)
+    ?(max_iter = 1_000_000) g =
   let n = Generator.n_states g in
-  let p = Generator.uniformized g in
+  let op = Sparse.forward g in
   let pi = ref (Vec.create n (1. /. float_of_int n)) in
+  let w = ref (Vec.zeros n) in
   let converged = ref false in
   let iter = ref 0 in
   while (not !converged) && !iter < max_iter do
     incr iter;
-    let next = Mat.tmulv p !pi in
-    let next = Vec.scale (1. /. Vec.sum next) next in
-    if Vec.dist_inf next !pi < tol then converged := true;
-    pi := next
+    Sparse.step_into ?pool op !pi ~into:!w;
+    Vec.scale_into (1. /. Vec.sum !w) !w ~into:!w;
+    if Vec.dist_inf !w !pi < tol then converged := true;
+    let tmp = !pi in
+    pi := !w;
+    w := tmp
   done;
+  if Obs.enabled obs then Obs.count obs "ctmc.power_iters" !iter;
   if not !converged then failwith "Stationary.power_iteration: no convergence";
   !pi

@@ -8,7 +8,16 @@ val gth : Generator.t -> Umf_numerics.Vec.t
     zero pivot). *)
 
 val power_iteration :
-  ?tol:float -> ?max_iter:int -> Generator.t -> Umf_numerics.Vec.t
+  ?pool:Umf_runtime.Runtime.Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
+  ?tol:float ->
+  ?max_iter:int ->
+  Generator.t ->
+  Umf_numerics.Vec.t
 (** The same distribution by power iteration on the uniformised DTMC —
-    used as a cross-check of {!gth}.
+    used as a cross-check of {!gth}.  Iterates through the sparse
+    forward operator {!Sparse.step_into} with reused buffers (no dense
+    matrix, no per-iteration allocation); results are bit-identical to
+    the former dense implementation, and [pool]-parallel steps are
+    bit-identical to sequential ones.
     @raise Failure if the iteration does not converge. *)

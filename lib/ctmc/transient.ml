@@ -1,4 +1,17 @@
 open Umf_numerics
+module Obs = Umf_obs.Obs
+
+exception Truncated of { epsilon : float; mass : float; terms : int }
+
+let () =
+  Printexc.register_printer (function
+    | Truncated { epsilon; mass; terms } ->
+        Some
+          (Printf.sprintf
+             "Transient.Truncated: uniformisation capped at %d terms with \
+              Poisson mass %.17g < 1 - %g"
+             terms mass epsilon)
+    | _ -> None)
 
 let check_distribution g p0 =
   if Vec.dim p0 <> Generator.n_states g then
@@ -9,36 +22,108 @@ let check_distribution g p0 =
   if Float.abs (Vec.sum p0 -. 1.) > 1e-9 then
     invalid_arg "Transient: distribution does not sum to 1"
 
-let uniformization ?(epsilon = 1e-12) g ~p0 ~t =
+let check_epsilon epsilon =
+  if not (epsilon > 0. && epsilon < 1.) then
+    invalid_arg "Transient: epsilon must be in (0, 1)"
+
+let check_max_terms = function
+  | Some m when m < 1 -> invalid_arg "Transient: max_terms < 1"
+  | _ -> ()
+
+(* Fox–Glynn-style right truncation point: the smallest K >= λt with
+   the Chernoff tail bound P(Pois(λt) >= K) <= exp(K - λt - K ln(K/λt))
+   below epsilon.  Purely analytic — no accumulated floating-point mass
+   is involved — so it both sizes the sweep a priori and certifies the
+   tail when rounding keeps the measured mass just short of
+   1 - epsilon. *)
+let poisson_cap ~lt ~epsilon =
+  let log_tail k =
+    let kf = float_of_int k in
+    kf -. lt -. (kf *. Float.log (kf /. lt))
+  in
+  let target = Float.log epsilon in
+  let lo = ref (Stdlib.max 1 (int_of_float (Float.ceil lt))) in
+  if log_tail !lo <= target then !lo
+  else begin
+    (* doubling search for an upper bracket, then bisection: log_tail
+       is decreasing for k >= λt *)
+    let hi = ref (2 * !lo) in
+    while log_tail !hi > target do
+      lo := !hi;
+      hi := 2 * !hi
+    done;
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if log_tail mid > target then lo := mid else hi := mid
+    done;
+    !hi
+  end
+
+let uniformization ?pool ?(obs = Obs.off) ?(epsilon = 1e-12) ?max_terms g ~p0
+    ~t =
   check_distribution g p0;
+  check_epsilon epsilon;
+  check_max_terms max_terms;
   if t < 0. then invalid_arg "Transient.uniformization: t < 0";
-  let lambda = Float.max 1e-9 (1.01 *. Generator.max_exit_rate g) in
   if t = 0. then Vec.copy p0
   else begin
-    let p_mat = Generator.uniformized ~rate:lambda g in
+    let sp = Obs.span_begin obs "ctmc.uniformization" in
+    let lambda = Float.max 1e-9 (1.01 *. Generator.max_exit_rate g) in
+    let op = Sparse.forward ~rate:lambda g in
     let lt = lambda *. t in
-    (* iterate v_k = p0 P^k, accumulating Poisson(lt, k) v_k until the
-       Poisson tail is below epsilon *)
+    let cap = poisson_cap ~lt ~epsilon in
+    let limit =
+      match max_terms with Some m -> Stdlib.min (m - 1) cap | None -> cap
+    in
+    let target = 1. -. epsilon in
     let result = Vec.zeros (Vec.dim p0) in
-    let v = ref (Vec.copy p0) in
-    let weight = ref (Float.exp (-.lt)) in
-    let cumulative = ref 0. in
-    let k = ref 0 in
-    (* for large lt, exp(-lt) underflows; rescale by tracking log *)
+    let v = ref (Vec.copy p0) and w = ref (Vec.zeros (Vec.dim p0)) in
     let log_weight = ref (-.lt) in
-    while !cumulative < 1. -. epsilon && !k < 100_000 do
-      weight := Float.exp !log_weight;
-      if !weight > 0. then begin
-        Vec.axpy_in_place !weight !v result;
-        cumulative := !cumulative +. !weight
-      end;
-      incr k;
-      log_weight := !log_weight +. Float.log (lt /. float_of_int !k);
-      v := Mat.tmulv p_mat !v
+    let mass = ref 0. and k = ref 0 in
+    let running = ref true in
+    while !running do
+      let wk = Float.exp !log_weight in
+      if !mass +. wk >= target || !k >= limit then begin
+        (* final term: accumulate without a wasted extra step *)
+        if wk > 0. then Vec.axpy_in_place wk !v result;
+        mass := !mass +. wk;
+        running := false
+      end
+      else begin
+        (* fused accumulate-and-advance: one pass over the edges *)
+        if wk > 0. then
+          Sparse.step_into ?pool ~acc:(wk, result) op !v ~into:!w
+        else Sparse.step_into ?pool op !v ~into:!w;
+        mass := !mass +. wk;
+        let tmp = !v in
+        v := !w;
+        w := tmp;
+        incr k;
+        log_weight := !log_weight +. Float.log (lt /. float_of_int !k)
+      end
     done;
-    (* renormalise the truncation mass *)
-    let s = Vec.sum result in
-    if s > 0. then Vec.scale (1. /. s) result else result
+    (* never renormalise a miss away: either the measured mass met the
+       target, or the analytic cap certifies the tail is below epsilon;
+       a user-supplied cap that cut the sweep short raises instead *)
+    if !mass < target then begin
+      match max_terms with
+      | Some m when !k + 1 >= m && !k < cap ->
+          raise (Truncated { epsilon; mass = !mass; terms = !k + 1 })
+      | _ -> ()
+    end;
+    let terms = !k + 1 in
+    if Obs.enabled obs then begin
+      Obs.count obs "ctmc.terms" terms;
+      Obs.add obs "ctmc.spmv_flops"
+        (2.
+        *. float_of_int (Sparse.nnz op + Sparse.n_states op)
+        *. float_of_int (terms - 1));
+      Obs.gauge obs "ctmc.truncation_mass" (1. -. !mass);
+      Obs.span_end
+        ~metrics:[ ("terms", float_of_int terms); ("mass", !mass) ]
+        obs sp
+    end;
+    result
   end
 
 let kolmogorov_ode ?(dt = 1e-3) g ~p0 ~t =
@@ -49,8 +134,121 @@ let kolmogorov_ode ?(dt = 1e-3) g ~p0 ~t =
     Ode.integrate_to (fun _t p -> Generator.apply_forward g p) ~t0:0. ~y0:p0
       ~t1:t ~dt
 
-let expectation ?epsilon g ~p0 ~t h =
-  let p = uniformization ?epsilon g ~p0 ~t in
+let expectation ?pool ?obs ?epsilon ?max_terms g ~p0 ~t h =
+  let p = uniformization ?pool ?obs ?epsilon ?max_terms g ~p0 ~t in
   let acc = ref 0. in
   Array.iteri (fun i pi -> acc := !acc +. (pi *. h i)) p;
   !acc
+
+let expectation_series ?pool ?(obs = Obs.off) ?(epsilon = 1e-12) ?max_terms g
+    ~p0 ~times rewards =
+  check_distribution g p0;
+  check_epsilon epsilon;
+  check_max_terms max_terms;
+  let nt = Array.length times and nr = Array.length rewards in
+  if nt = 0 then invalid_arg "Transient.expectation_series: no times";
+  if nr = 0 then invalid_arg "Transient.expectation_series: no rewards";
+  Array.iter
+    (fun h ->
+      if Vec.dim h <> Generator.n_states g then
+        invalid_arg "Transient.expectation_series: reward dimension mismatch")
+    rewards;
+  if times.(0) < 0. then
+    invalid_arg "Transient.expectation_series: negative time";
+  for j = 1 to nt - 1 do
+    if times.(j) <= times.(j - 1) then
+      invalid_arg "Transient.expectation_series: times not increasing"
+  done;
+  let out = Array.make_matrix nt nr 0. in
+  let sp = Obs.span_begin obs "ctmc.expectation_series" in
+  let lambda = Float.max 1e-9 (1.01 *. Generator.max_exit_rate g) in
+  let tmax = times.(nt - 1) in
+  (* a time equal to 0 is the initial expectation *)
+  Array.iteri
+    (fun j t ->
+      if t = 0. then
+        Array.iteri (fun r h -> out.(j).(r) <- Vec.dot h p0) rewards)
+    times;
+  let terms = ref 1 in
+  if tmax > 0. then begin
+    let op = Sparse.forward ~rate:lambda g in
+    let cap = poisson_cap ~lt:(lambda *. tmax) ~epsilon in
+    let limit =
+      match max_terms with Some m -> Stdlib.min (m - 1) cap | None -> cap
+    in
+    let target = 1. -. epsilon in
+    (* all horizons share one v_k sweep: the expectation is linear in
+       the distribution, so per term only the nr scalar dots h·v_k are
+       needed, reweighted per time by Pois(λ t_j, k).  Weights are
+       computed in log space with a running ln k!. *)
+    let log_lt =
+      Array.map
+        (fun t -> if t > 0. then Float.log (lambda *. t) else 0.)
+        times
+    in
+    let klog = Array.make nt 0. in
+    let mass = Array.make nt 0. in
+    let lfact = ref 0. in
+    let pending = ref 0 in
+    Array.iter (fun t -> if t > 0. then incr pending) times;
+    let v = ref (Vec.copy p0) and w = ref (Vec.zeros (Vec.dim p0)) in
+    let dots = Array.make nr 0. in
+    let k = ref 0 in
+    let running = ref true in
+    while !running do
+      for r = 0 to nr - 1 do
+        dots.(r) <- Vec.dot rewards.(r) !v
+      done;
+      for j = 0 to nt - 1 do
+        if times.(j) > 0. && mass.(j) < target then begin
+          let wk =
+            Float.exp ((-.lambda *. times.(j)) +. klog.(j) -. !lfact)
+          in
+          if wk > 0. then begin
+            for r = 0 to nr - 1 do
+              out.(j).(r) <- out.(j).(r) +. (wk *. dots.(r))
+            done;
+            mass.(j) <- mass.(j) +. wk
+          end;
+          if mass.(j) >= target then decr pending
+        end
+      done;
+      if !pending = 0 || !k >= limit then running := false
+      else begin
+        Sparse.step_into ?pool op !v ~into:!w;
+        let tmp = !v in
+        v := !w;
+        w := tmp;
+        incr k;
+        lfact := !lfact +. Float.log (float_of_int !k);
+        for j = 0 to nt - 1 do
+          klog.(j) <- klog.(j) +. log_lt.(j)
+        done
+      end
+    done;
+    terms := !k + 1;
+    if !pending > 0 then begin
+      (* some horizon missed its mass target: certified by the cap
+         unless a user cap cut the sweep short *)
+      match max_terms with
+      | Some m when !k + 1 >= m && !k < cap ->
+          let worst = ref 1. in
+          Array.iteri
+            (fun j t ->
+              if t > 0. && mass.(j) < !worst then worst := mass.(j))
+            times;
+          raise (Truncated { epsilon; mass = !worst; terms = !k + 1 })
+      | _ -> ()
+    end;
+    if Obs.enabled obs then
+      Obs.add obs "ctmc.spmv_flops"
+        (2.
+        *. float_of_int (Sparse.nnz op + Sparse.n_states op)
+        *. float_of_int !k)
+  end;
+  if Obs.enabled obs then begin
+    Obs.count obs "ctmc.terms" !terms;
+    Obs.span_end ~metrics:[ ("terms", float_of_int !terms) ] obs sp
+  end
+  else Obs.span_end obs sp;
+  out

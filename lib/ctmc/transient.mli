@@ -1,16 +1,47 @@
 (** Transient distributions of finite CTMCs. *)
 
+exception Truncated of { epsilon : float; mass : float; terms : int }
+(** Raised when a caller-supplied [max_terms] cap stops the
+    uniformisation sweep before the accumulated Poisson mass reached
+    [1 - epsilon] {e and} before the analytic Fox–Glynn/Chernoff cap
+    certified the tail: the result would carry more truncation error
+    than requested, and is never silently renormalised instead. *)
+
 val uniformization :
+  ?pool:Umf_runtime.Runtime.Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
   ?epsilon:float ->
+  ?max_terms:int ->
   Generator.t ->
   p0:Umf_numerics.Vec.t ->
   t:float ->
   Umf_numerics.Vec.t
 (** [uniformization g ~p0 ~t] is the distribution at time [t] starting
-    from [p0], by uniformisation with Poisson-tail truncation at total
-    mass [1 - epsilon] (default [1e-12]).
+    from [p0], by uniformisation through the sparse forward operator
+    {!Sparse.forward} — no dense matrix is formed.
+
+    The truncation point is sized from [(epsilon, λt)]: the sweep stops
+    as soon as the accumulated Poisson mass reaches [1 - epsilon]
+    (default [epsilon = 1e-12]), and runs at most up to the Chernoff
+    tail cap — the smallest [K >= λt] with
+    [P(Pois(λt) >= K) <= epsilon] — which certifies the tail
+    analytically even when floating-point rounding keeps the measured
+    mass just below the target.  The result is the raw partial sum:
+    its total mass is reported via [?obs] (gauge
+    ["ctmc.truncation_mass"]) and is {e never} renormalised to hide a
+    truncation miss.
+
+    [max_terms] bounds the number of retained terms; if it stops the
+    sweep before the mass target or the analytic cap is reached,
+    {!Truncated} is raised.
+
+    [pool] parallelises the sparse steps over destination chunks,
+    bit-identically to the sequential path.
+
     @raise Invalid_argument if [p0] is not a distribution over the
-    chain's states or [t < 0]. *)
+    chain's states, [t < 0], [epsilon] is outside [(0, 1)] or
+    [max_terms < 1].
+    @raise Truncated as described above. *)
 
 val kolmogorov_ode :
   ?dt:float ->
@@ -23,10 +54,36 @@ val kolmogorov_ode :
     cross-check uniformisation. *)
 
 val expectation :
+  ?pool:Umf_runtime.Runtime.Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
   ?epsilon:float ->
+  ?max_terms:int ->
   Generator.t ->
   p0:Umf_numerics.Vec.t ->
   t:float ->
   (int -> float) ->
   float
 (** E[h(X_t)] under the transient distribution. *)
+
+val expectation_series :
+  ?pool:Umf_runtime.Runtime.Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
+  ?epsilon:float ->
+  ?max_terms:int ->
+  Generator.t ->
+  p0:Umf_numerics.Vec.t ->
+  times:float array ->
+  Umf_numerics.Vec.t array ->
+  float array array
+(** [expectation_series g ~p0 ~times rewards] is the matrix
+    [e.(j).(r) = E[rewards.(r)(X_{times.(j)})]] for strictly increasing
+    [times >= 0].  Expectations are linear in the distribution, so one
+    uniformisation sweep up to the largest horizon serves every time
+    point: per Poisson term only the scalar products [h · v_k] are
+    taken and reweighted per time in log space.  This is how the
+    finite-N engine extracts a whole transient trajectory for the cost
+    of a single endpoint computation.
+
+    Truncation semantics, [pool], [obs], [epsilon] and [max_terms] are
+    exactly those of {!uniformization} (mass targets are tracked per
+    time point; {!Truncated} reports the worst mass). *)

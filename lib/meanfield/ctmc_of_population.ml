@@ -1,0 +1,293 @@
+open Umf_numerics
+module Obs = Umf_obs.Obs
+module Pool = Umf_runtime.Runtime.Pool
+module Generator = Umf_ctmc.Generator
+module Imprecise_ctmc = Umf_ctmc.Imprecise_ctmc
+
+type space = {
+  pop_n : int;
+  counts : int array array;
+  dens : Vec.t array;
+  index : (int array, int) Hashtbl.t;
+  (* per transition class: integer change vector and, per state, the
+     support flag found during enumeration *)
+  changes : int array array;
+  probes : Vec.t list;
+  (* rates at or below this threshold are treated as structural zeros:
+     boundary rates like max(0, 1 - s - i) do not vanish exactly in
+     floating point, and without a threshold the roundoff residue
+     (~1e-16) would count as support and walk the BFS off the lattice *)
+  support_tol : float;
+}
+
+let n_states sp = Array.length sp.counts
+
+let population_size sp = sp.pop_n
+
+let x0_index _sp = 0
+
+let counts sp i = sp.counts.(i)
+
+let density sp i = sp.dens.(i)
+
+let index sp c = Hashtbl.find_opt sp.index c
+
+let point_mass sp =
+  let p = Vec.zeros (n_states sp) in
+  p.(0) <- 1.;
+  p
+
+let reward sp f = Array.map f sp.dens
+
+let int_changes (pop : Population.t) =
+  Array.map
+    (fun (tr : Population.transition) ->
+      Array.map
+        (fun c ->
+          let r = Float.round c in
+          if Float.abs (c -. r) > 1e-9 then
+            invalid_arg
+              ("Ctmc_of_population: non-integral change vector in transition "
+             ^ tr.name);
+          int_of_float r)
+        tr.change)
+    pop.transitions
+
+let density_of ~nf c = Array.map (fun k -> float_of_int k /. nf) c
+
+let state_space ?(obs = Obs.off) ?theta ?clip ?(max_states = 2_000_000)
+    ?(support_tol = 1e-12) (pop : Population.t) ~n ~x0 =
+  if n <= 0 then invalid_arg "Ctmc_of_population: need n > 0";
+  if not (support_tol >= 0.) then
+    invalid_arg "Ctmc_of_population: support_tol < 0";
+  if Vec.dim x0 <> pop.dim then
+    invalid_arg "Ctmc_of_population: x0 dimension mismatch";
+  let theta_box = match theta with Some b -> b | None -> pop.theta in
+  if Optim.Box.dim theta_box <> Array.length pop.theta_names then
+    invalid_arg "Ctmc_of_population: theta box dimension mismatch";
+  let clip =
+    match clip with
+    | Some b ->
+        if Optim.Box.dim b <> pop.dim then
+          invalid_arg "Ctmc_of_population: clip dimension mismatch";
+        b
+    | None -> Optim.Box.make (Vec.zeros pop.dim) (Vec.create pop.dim 1.)
+  in
+  let sp = Obs.span_begin obs "ctmc.state_space" in
+  let nf = float_of_int n in
+  let lo =
+    Array.map (fun v -> int_of_float (Float.ceil ((v *. nf) -. 1e-9))) clip.lo
+  in
+  let hi =
+    Array.map (fun v -> int_of_float (Float.floor ((v *. nf) +. 1e-9))) clip.hi
+  in
+  (* round n·x0 to the lattice by largest remainder, preserving the
+     rounded total count: per-coordinate rounding can overshoot a
+     conserved total (n·x0 = (17.5, 7.5) would round to 26 counts out
+     of n = 25) and push the initial state off the model's invariant
+     manifold *)
+  let c0 =
+    let scaled =
+      Array.map
+        (fun v ->
+          if v < 0. then invalid_arg "Ctmc_of_population: negative x0";
+          v *. nf)
+        x0
+    in
+    let floors =
+      Array.map (fun v -> int_of_float (Float.floor (v +. 1e-9))) scaled
+    in
+    let total =
+      int_of_float (Float.round (Array.fold_left ( +. ) 0. scaled))
+    in
+    let rem = total - Array.fold_left ( + ) 0 floors in
+    if rem > 0 then begin
+      let order = Array.init (Array.length scaled) Fun.id in
+      Array.sort
+        (fun i j ->
+          let fi = scaled.(i) -. float_of_int floors.(i)
+          and fj = scaled.(j) -. float_of_int floors.(j) in
+          if fi <> fj then compare fj fi else compare i j)
+        order;
+      for k = 0 to Stdlib.min rem (Array.length order) - 1 do
+        floors.(order.(k)) <- floors.(order.(k)) + 1
+      done
+    end;
+    floors
+  in
+  Array.iteri
+    (fun i c ->
+      if c < lo.(i) || c > hi.(i) then
+        invalid_arg "Ctmc_of_population: x0 outside clip box")
+    c0;
+  let changes = int_changes pop in
+  let probes = Optim.Box.midpoint theta_box :: Optim.Box.vertices theta_box in
+  let index = Hashtbl.create 4096 in
+  let states = ref [] and n_found = ref 0 in
+  let queue = Queue.create () in
+  let add c =
+    if !n_found >= max_states then
+      failwith
+        (Printf.sprintf
+           "Ctmc_of_population: state space exceeds max_states = %d"
+           max_states);
+    Hashtbl.add index c !n_found;
+    states := c :: !states;
+    incr n_found;
+    Queue.add c queue
+  in
+  add c0;
+  let dim = pop.dim in
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    let x = density_of ~nf c in
+    Array.iteri
+      (fun ti (tr : Population.transition) ->
+        let supported =
+          List.exists
+            (fun th ->
+              let r = tr.rate x th in
+              if Float.is_nan r then
+                invalid_arg
+                  ("Ctmc_of_population: NaN rate in transition " ^ tr.name);
+              r > support_tol)
+            probes
+        in
+        if supported then begin
+          let c' = Array.mapi (fun i k -> k + changes.(ti).(i)) c in
+          let inside = ref true in
+          for i = 0 to dim - 1 do
+            if c'.(i) < lo.(i) || c'.(i) > hi.(i) then inside := false
+          done;
+          if not !inside then
+            failwith
+              (Printf.sprintf
+                 "Ctmc_of_population: transition %s leaves the clip box \
+                  (state space would be truncated)"
+                 tr.name);
+          if not (Hashtbl.mem index c') then add c'
+        end)
+      pop.transitions
+  done;
+  let counts = Array.of_list (List.rev !states) in
+  let dens = Array.map (density_of ~nf) counts in
+  if Obs.enabled obs then begin
+    Obs.count obs "ctmc.states" (Array.length counts);
+    Obs.span_end
+      ~metrics:[ ("states", float_of_int (Array.length counts)) ]
+      obs sp
+  end
+  else Obs.span_end obs sp;
+  { pop_n = n; counts; dens; index; changes; probes; support_tol }
+
+(* Row assembly for one source state: absolute rates N·β(x, θ) per
+   class, targets resolved through the index, merged by destination
+   (stable sort, so duplicate targets sum in class order). *)
+let assemble_row sp (pop : Population.t) ~nf ~theta s =
+  let x = sp.dens.(s) in
+  let pairs = ref [] and count = ref 0 in
+  Array.iteri
+    (fun ti (tr : Population.transition) ->
+      let beta = tr.rate x theta in
+      if Float.is_nan beta || beta < 0. then
+        invalid_arg
+          ("Ctmc_of_population: invalid rate in transition " ^ tr.name);
+      if beta > sp.support_tol then begin
+        let c' = Array.mapi (fun i k -> k + sp.changes.(ti).(i)) sp.counts.(s) in
+        match Hashtbl.find_opt sp.index c' with
+        | Some d when d <> s ->
+            pairs := (d, nf *. beta) :: !pairs;
+            incr count
+        | Some _ -> ()
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "Ctmc_of_population: transition %s has positive rate \
+                  outside the enumerated space (missed support at the probe \
+                  thetas)"
+                 tr.name)
+      end)
+    pop.transitions;
+  let row = Array.make !count (0, 0.) in
+  (* !pairs is in reverse class order; fill backwards to restore it *)
+  List.iteri (fun i p -> row.(!count - 1 - i) <- p) !pairs;
+  Array.stable_sort (fun (a, _) (b, _) -> compare a b) row;
+  (* merge duplicate destinations, summing in class order *)
+  let m = Array.length row in
+  let uniq = ref 0 in
+  let i = ref 0 in
+  while !i < m do
+    let d, r = row.(!i) in
+    let acc = ref r in
+    incr i;
+    while !i < m && fst row.(!i) = d do
+      acc := !acc +. snd row.(!i);
+      incr i
+    done;
+    row.(!uniq) <- (d, !acc);
+    incr uniq
+  done;
+  if !uniq = m then row else Array.sub row 0 !uniq
+
+let generator ?pool ?(obs = Obs.off) sp (pop : Population.t) ~theta =
+  if Vec.dim theta <> Array.length pop.theta_names then
+    invalid_arg "Ctmc_of_population: theta dimension mismatch";
+  let span = Obs.span_begin obs "ctmc.assemble" in
+  let nf = float_of_int sp.pop_n in
+  let ns = n_states sp in
+  let rows = Array.make ns [||] in
+  let fill s = rows.(s) <- assemble_row sp pop ~nf ~theta s in
+  (match pool with
+  | Some p when ns > 1024 -> Pool.parallel_for ~stage:"ctmc-assemble" p ns fill
+  | _ ->
+      for s = 0 to ns - 1 do
+        fill s
+      done);
+  let g = Generator.of_rows rows in
+  if Obs.enabled obs then begin
+    Obs.count obs "ctmc.nnz" (Generator.nnz g);
+    Obs.span_end
+      ~metrics:[ ("nnz", float_of_int (Generator.nnz g)) ]
+      obs span
+  end
+  else Obs.span_end obs span;
+  g
+
+let imprecise ?theta sp (pop : Population.t) =
+  let theta_box = match theta with Some b -> b | None -> pop.theta in
+  let nf = float_of_int sp.pop_n in
+  let transitions = ref [] in
+  for s = n_states sp - 1 downto 0 do
+    let x = sp.dens.(s) in
+    Array.iteri
+      (fun ti (tr : Population.transition) ->
+        let supported =
+          List.exists (fun th -> tr.rate x th > sp.support_tol) sp.probes
+        in
+        if supported then begin
+          let c' =
+            Array.mapi (fun i k -> k + sp.changes.(ti).(i)) sp.counts.(s)
+          in
+          match Hashtbl.find_opt sp.index c' with
+          | Some d when d <> s ->
+              let rate th =
+                let beta = tr.rate x th in
+                if Float.is_nan beta then
+                  invalid_arg
+                    ("Ctmc_of_population: NaN rate in transition " ^ tr.name);
+                nf *. beta
+              in
+              transitions :=
+                { Imprecise_ctmc.src = s; dst = d; rate } :: !transitions
+          | Some _ -> ()
+          | None ->
+              failwith
+                (Printf.sprintf
+                   "Ctmc_of_population: transition %s has positive rate \
+                    outside the enumerated space (missed support at the \
+                    probe thetas)"
+                   tr.name)
+        end)
+      pop.transitions
+  done;
+  Imprecise_ctmc.make ~n:(n_states sp) ~theta:theta_box !transitions

@@ -1,0 +1,105 @@
+(** The exact finite-N CTMC of a population model.
+
+    A {!Population.t} at size N is a CTMC on the lattice of count
+    vectors X = N·x.  This module enumerates the reachable lattice from
+    the (rounded) initial counts and emits the sparse finite-N
+    generator from the model's compiled rate tapes — the ground truth
+    the paper's mean-field and imprecise bounds approximate, computable
+    well past the dense-matrix limit (an N = 1000 SIR instance has
+    ≈ 5·10⁵ states and fits easily).
+
+    Truncation is loud by construction: enumeration stops only at the
+    model's clip box scaled by N, an explicit [max_states] budget
+    raises [Failure], and {!generator} raises if any positive-rate
+    transition leaves the enumerated space — a distribution computed
+    through this engine never silently loses mass. *)
+
+open Umf_numerics
+
+type space
+(** An enumerated reachable state space at a fixed population size. *)
+
+val state_space :
+  ?obs:Umf_obs.Obs.t ->
+  ?theta:Optim.Box.t ->
+  ?clip:Optim.Box.t ->
+  ?max_states:int ->
+  ?support_tol:float ->
+  Population.t ->
+  n:int ->
+  x0:Vec.t ->
+  space
+(** [state_space pop ~n ~x0] enumerates (breadth-first, deterministic
+    order, state 0 = the initial state) every count vector reachable
+    from [n·x0] rounded to the lattice by largest remainder — each
+    coordinate is floored and the leftover units (against the rounded
+    total count) go to the largest fractional parts, so a conserved
+    total such as S + I <= N survives the rounding — through
+    transitions whose rate is positive at
+    some probe θ — the vertices and midpoint of the θ-box ([theta]
+    defaults to the population's own box).  Counts are kept inside the
+    [clip] box scaled by N (default: the unit density box, i.e. counts
+    in [0, N]).
+
+    [max_states] (default 2_000_000) bounds the enumeration.
+
+    [support_tol] (default 1e-12) is the structural-zero threshold: a
+    transition counts as supported at a state only when its rate
+    exceeds it at some probe θ, and {!generator} / {!imprecise} drop
+    edges at or below it.  Boundary rates such as
+    [max (0, 1 - s - i)] do not vanish exactly in floating point;
+    without the threshold their roundoff residue (~1e-16) would count
+    as support and push the enumeration outside the exact lattice.
+
+    @raise Failure if the reachable space exceeds [max_states] or a
+    positive-rate transition leaves the clip box (the lattice would be
+    truncated).
+    @raise Invalid_argument on dimension mismatches, [n <= 0], a
+    non-integral change vector, or [x0] with negative entries. *)
+
+val n_states : space -> int
+
+val population_size : space -> int
+
+val x0_index : space -> int
+(** Index of the initial state (always 0). *)
+
+val counts : space -> int -> int array
+(** The count vector of a state (not a copy — do not mutate). *)
+
+val density : space -> int -> Vec.t
+(** The density vector x = X/N of a state (not a copy). *)
+
+val index : space -> int array -> int option
+(** Look a count vector up. *)
+
+val point_mass : space -> Vec.t
+(** The initial distribution δ_{x0} over the space. *)
+
+val reward : space -> (Vec.t -> float) -> Vec.t
+(** [reward sp f] tabulates a density-level reward x ↦ f(x) as a
+    state-indexed vector for {!Umf_ctmc.Transient.expectation_series}. *)
+
+val generator :
+  ?pool:Umf_runtime.Runtime.Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
+  space ->
+  Population.t ->
+  theta:Vec.t ->
+  Umf_ctmc.Generator.t
+(** The sparse finite-N generator at a fixed θ: state X fires class c
+    at absolute rate N·β(X/N, θ) towards X + ℓ_c.  Rows are assembled
+    in parallel over [pool] (index-owned writes — bit-identical to
+    sequential) through the model's tape-compiled rates.
+
+    @raise Failure if a positive rate leads outside the enumerated
+    space (the probe set used by {!state_space} missed its support —
+    enlarge the θ-box probes or the clip box).
+    @raise Invalid_argument if a rate is negative or NaN at θ. *)
+
+val imprecise : ?theta:Optim.Box.t -> space -> Population.t -> Umf_ctmc.Imprecise_ctmc.t
+(** The finite-N chain as an imprecise CTMC over the θ-box, for
+    {!Umf_ctmc.Imprecise_ctmc.lower_series}/[upper_series] backward
+    sweeps.  Each enumerated support edge carries the rate closure
+    θ ↦ N·β(X/N, θ).
+    @raise Failure as {!generator}, applied at the probe thetas. *)

@@ -2,4 +2,4 @@ let () =
   Alcotest.run "umf_ctmc"
     (Test_generator.suites @ Test_path.suites @ Test_simulate.suites
    @ Test_transient.suites @ Test_stationary.suites @ Test_imprecise.suites
-   @ Test_interval_dtmc.suites)
+   @ Test_interval_dtmc.suites @ Test_sparse.suites)

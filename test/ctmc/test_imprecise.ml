@@ -100,6 +100,91 @@ let test_simulation_within_bounds () =
         (mean <= hi.(3) +. margin))
     policies
 
+let test_coarse_grid_auto_refined () =
+  (* regression for the unstable backward sweep: steps_per_unit:1 gives
+     dt·λ = 6 — the old explicit Euler diverged (values far outside
+     [min h, max h]); the stability guard now refines the grid and the
+     envelope invariant holds *)
+  let m = bike_station ~cap:4 ~theta_box:(box2 1. 3. 1. 3.) in
+  let h = Array.init 5 float_of_int in
+  let lo = Imprecise_ctmc.lower_expectation ~steps_per_unit:1 m ~h ~horizon:2. in
+  let hi = Imprecise_ctmc.upper_expectation ~steps_per_unit:1 m ~h ~horizon:2. in
+  for x = 0 to 4 do
+    Alcotest.(check bool) "lower in [min h, max h]" true
+      (lo.(x) >= 0. && lo.(x) <= 4.);
+    Alcotest.(check bool) "upper in [min h, max h]" true
+      (hi.(x) >= 0. && hi.(x) <= 4.);
+    Alcotest.(check bool) "lower <= upper" true (lo.(x) <= hi.(x) +. 1e-9)
+  done;
+  (* and the refined coarse grid still lands near the accurate sweep
+     (first-order Euler at dt·λ = 1, so only O(dt) accuracy) *)
+  let ref_lo = Imprecise_ctmc.lower_expectation ~steps_per_unit:2000 m ~h ~horizon:2. in
+  Alcotest.(check bool) "coarse refined close to accurate" true
+    (Vec.dist_inf lo ref_lo < 0.2)
+
+let test_series_matches_single_horizon () =
+  let m = bike_station ~cap:4 ~theta_box:(box2 1. 2. 1. 3.) in
+  let h = Array.init 5 float_of_int in
+  let series = Imprecise_ctmc.lower_series m ~h ~times:[| 2. |] in
+  let single = Imprecise_ctmc.lower_expectation m ~h ~horizon:2. in
+  Alcotest.(check bool) "singleton series = single horizon" true
+    (Vec.approx_equal ~tol:0. series.(0) single);
+  (* multi-time series is monotone in nesting: each snapshot stays in
+     the envelope *)
+  let times = [| 0.5; 1.; 2. |] in
+  let los = Imprecise_ctmc.lower_series m ~h ~times in
+  let his = Imprecise_ctmc.upper_series m ~h ~times in
+  Array.iteri
+    (fun j _ ->
+      for x = 0 to 4 do
+        Alcotest.(check bool) "lo <= hi" true (los.(j).(x) <= his.(j).(x) +. 1e-9)
+      done)
+    times;
+  Alcotest.check_raises "times must increase"
+    (Invalid_argument "Imprecise_ctmc: times not increasing") (fun () ->
+      ignore (Imprecise_ctmc.lower_series m ~h ~times:[| 1.; 0.5 |]))
+
+let path_equal (a : Path.t) (b : Path.t) =
+  a.Path.times = b.Path.times && a.Path.states = b.Path.states
+  && a.Path.horizon = b.Path.horizon
+
+let test_simulate_cache_bitwise () =
+  (* the cached-rows fast path, the scratch-buffer overflow path
+     (cache:0) and the rebuild-a-generator-per-jump reference must
+     produce draw-for-draw identical paths *)
+  let box = box2 1. 3. 1. 3. in
+  let m = bike_station ~cap:5 ~theta_box:box in
+  let policies =
+    [
+      ("constant", Imprecise_ctmc.constant_policy [| 2.; 2. |]);
+      ("time switch", fun ~t ~x:_ -> if t < 1. then [| 1.; 3. |] else [| 3.; 1. |]);
+      ("state feedback", fun ~t:_ ~x -> if x > 2 then [| 3.; 1. |] else [| 1.; 3. |]);
+    ]
+  in
+  List.iter
+    (fun (name, policy) ->
+      let cached =
+        Imprecise_ctmc.simulate (Rng.create 123) m policy ~x0:3 ~tmax:4.
+      in
+      let uncached =
+        Imprecise_ctmc.simulate ~cache:0 (Rng.create 123) m policy ~x0:3
+          ~tmax:4.
+      in
+      let reference =
+        Simulate.run_imprecise
+          ~rate_bound:(Imprecise_ctmc.max_exit_bound m *. 1.000001)
+          (Rng.create 123)
+          (fun ~t ~x ->
+            Imprecise_ctmc.generator_at m
+              (Optim.Box.clamp box (policy ~t ~x)))
+          ~x0:3 ~tmax:4.
+      in
+      Alcotest.(check bool) (name ^ ": cache = no cache") true
+        (path_equal cached uncached);
+      Alcotest.(check bool) (name ^ ": cache = generator rebuild") true
+        (path_equal cached reference))
+    policies
+
 let test_negative_rate_detected () =
   let m =
     Imprecise_ctmc.make ~n:2
@@ -120,6 +205,12 @@ let suites =
         Alcotest.test_case "zero horizon" `Quick test_horizon_zero_is_reward;
         Alcotest.test_case "probability bounds" `Quick test_probability_bounds;
         Alcotest.test_case "simulations within bounds" `Slow test_simulation_within_bounds;
+        Alcotest.test_case "coarse grid auto-refined" `Quick
+          test_coarse_grid_auto_refined;
+        Alcotest.test_case "series matches single horizon" `Quick
+          test_series_matches_single_horizon;
+        Alcotest.test_case "simulate cache bit-identical" `Quick
+          test_simulate_cache_bitwise;
         Alcotest.test_case "negative rate detection" `Quick test_negative_rate_detected;
       ] );
   ]

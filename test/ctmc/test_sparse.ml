@@ -1,0 +1,145 @@
+open Umf_numerics
+open Umf_ctmc
+module Pool = Umf_runtime.Runtime.Pool
+
+(* random chain: every state gets a forward edge (so nothing is
+   absorbing) plus a few extra random edges with positive rates *)
+let random_chain rng n =
+  let trans = ref [] in
+  for i = 0 to n - 1 do
+    trans := (i, (i + 1) mod n, 0.1 +. Rng.float rng) :: !trans;
+    for _ = 1 to 2 do
+      let j = Rng.int rng n in
+      if j <> i then trans := (i, j, 0.01 +. (2. *. Rng.float rng)) :: !trans
+    done
+  done;
+  Generator.make ~n !trans
+
+let random_distribution rng n =
+  let p = Array.init n (fun _ -> Rng.float rng +. 1e-3) in
+  Vec.scale (1. /. Vec.sum p) p
+
+let bits = Int64.bits_of_float
+
+let check_bitwise msg a b =
+  Alcotest.(check int) (msg ^ ": dim") (Vec.dim a) (Vec.dim b);
+  Array.iteri
+    (fun i x ->
+      if bits x <> bits b.(i) then
+        Alcotest.failf "%s: component %d differs: %h vs %h" msg i x b.(i))
+    a
+
+let test_matches_dense_bitwise () =
+  let rng = Rng.create 42 in
+  for trial = 1 to 10 do
+    let n = 2 + Rng.int rng 40 in
+    let g = random_chain rng n in
+    let rate = 1.01 *. Generator.max_exit_rate g in
+    let v = random_distribution rng n in
+    let dense = Mat.tmulv (Generator.uniformized ~rate g) v in
+    let op = Sparse.forward ~rate g in
+    let into = Vec.zeros n in
+    Sparse.step_into op v ~into;
+    check_bitwise (Printf.sprintf "trial %d" trial) dense into
+  done
+
+let test_default_rate_matches () =
+  let rng = Rng.create 7 in
+  let g = random_chain rng 17 in
+  let v = random_distribution rng 17 in
+  let dense = Mat.tmulv (Generator.uniformized g) v in
+  let op = Sparse.forward g in
+  Alcotest.(check (float 0.))
+    "same default rate"
+    (Float.max 1e-9 (1.01 *. Generator.max_exit_rate g))
+    (Sparse.rate op);
+  let into = Vec.zeros 17 in
+  Sparse.step_into op v ~into;
+  check_bitwise "default rate" dense into
+
+let test_fused_accumulate () =
+  let rng = Rng.create 9 in
+  let n = 23 in
+  let g = random_chain rng n in
+  let op = Sparse.forward g in
+  let v = random_distribution rng n in
+  let w = 0.37 in
+  let r0 = Array.init n (fun i -> float_of_int i /. 10.) in
+  (* fused pass *)
+  let acc = Vec.copy r0 and into = Vec.zeros n in
+  Sparse.step_into ~acc:(w, acc) op v ~into;
+  (* separate passes *)
+  let into' = Vec.zeros n in
+  Sparse.step_into op v ~into:into';
+  let acc' = Vec.copy r0 in
+  Vec.axpy_in_place w v acc';
+  check_bitwise "step" into' into;
+  check_bitwise "accumulator" acc' acc
+
+let test_pool_bit_identical () =
+  (* n > the internal 4096 chunk so the pooled path actually splits *)
+  let rng = Rng.create 11 in
+  let n = 9000 in
+  let g = random_chain rng n in
+  let op = Sparse.forward g in
+  let v = random_distribution rng n in
+  let seq = Vec.zeros n and par = Vec.zeros n in
+  let acc_seq = Vec.zeros n and acc_par = Vec.zeros n in
+  Sparse.step_into ~acc:(0.5, acc_seq) op v ~into:seq;
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () -> Sparse.step_into ~pool ~acc:(0.5, acc_par) op v ~into:par);
+  check_bitwise "pooled step" seq par;
+  check_bitwise "pooled accumulator" acc_seq acc_par
+
+let test_nnz_and_sizes () =
+  let g = Generator.make ~n:3 [ (0, 1, 1.); (1, 2, 2.); (2, 0, 3.); (0, 2, 4.) ] in
+  let op = Sparse.forward g in
+  Alcotest.(check int) "n_states" 3 (Sparse.n_states op);
+  Alcotest.(check int) "nnz" 4 (Sparse.nnz op);
+  Alcotest.(check int) "generator nnz" 4 (Generator.nnz g)
+
+let test_validation () =
+  let g = Generator.make ~n:2 [ (0, 1, 2.); (1, 0, 3.) ] in
+  Alcotest.check_raises "rate below max exit"
+    (Invalid_argument "Sparse.forward: rate below max exit rate") (fun () ->
+      ignore (Sparse.forward ~rate:1. g));
+  let op = Sparse.forward g in
+  let v = [| 0.5; 0.5 |] in
+  Alcotest.check_raises "aliasing"
+    (Invalid_argument "Sparse.step_into: into aliases v") (fun () ->
+      Sparse.step_into op v ~into:v);
+  Alcotest.check_raises "dimension"
+    (Invalid_argument "Sparse.step_into: dimension mismatch") (fun () ->
+      Sparse.step_into op v ~into:(Vec.zeros 3))
+
+let test_of_rows () =
+  let g = Generator.of_rows [| [| (1, 2.) |]; [| (0, 3.) |] |] in
+  Alcotest.(check (float 0.)) "exit 0" 2. (Generator.exit_rate g 0);
+  Alcotest.(check (float 0.)) "exit 1" 3. (Generator.exit_rate g 1);
+  Alcotest.check_raises "unsorted row"
+    (Invalid_argument "Generator.of_rows: row not sorted by destination")
+    (fun () ->
+      ignore (Generator.of_rows [| [| (2, 1.); (1, 1.) |]; [||]; [||] |]));
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Generator.of_rows: self loop") (fun () ->
+      ignore (Generator.of_rows [| [| (0, 1.) |] |]));
+  Alcotest.check_raises "zero rate"
+    (Invalid_argument "Generator.of_rows: rate not positive and finite")
+    (fun () -> ignore (Generator.of_rows [| [| (1, 0.) |]; [||] |]))
+
+let suites =
+  [
+    ( "sparse",
+      [
+        Alcotest.test_case "bitwise vs dense tmulv" `Quick
+          test_matches_dense_bitwise;
+        Alcotest.test_case "default rate" `Quick test_default_rate_matches;
+        Alcotest.test_case "fused accumulate" `Quick test_fused_accumulate;
+        Alcotest.test_case "pool bit-identical" `Quick test_pool_bit_identical;
+        Alcotest.test_case "nnz and sizes" `Quick test_nnz_and_sizes;
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "of_rows" `Quick test_of_rows;
+      ] );
+  ]

@@ -45,6 +45,45 @@ let test_stationarity_equation () =
   Alcotest.(check bool) "pi Q = 0" true (Vec.norm_inf residual < 1e-12);
   Alcotest.(check (float 1e-12)) "normalised" 1. (Vec.sum pi)
 
+let test_random_irreducible_gth_vs_power () =
+  (* a ring keeps every chain irreducible; extra random edges vary the
+     structure across seeds *)
+  let rng = Rng.create 2024 in
+  for trial = 1 to 8 do
+    let n = 5 + Rng.int rng 20 in
+    let trans = ref [] in
+    for i = 0 to n - 1 do
+      trans := (i, (i + 1) mod n, 0.2 +. Rng.float rng) :: !trans
+    done;
+    for _ = 1 to n do
+      let i = Rng.int rng n and j = Rng.int rng n in
+      if i <> j then trans := (i, j, 0.05 +. Rng.float rng) :: !trans
+    done;
+    let g = Generator.make ~n !trans in
+    let pi1 = Stationary.gth g in
+    let pi2 = Stationary.power_iteration ~tol:1e-13 g in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d (n=%d)" trial n)
+      true
+      (Vec.approx_equal ~tol:1e-8 pi1 pi2)
+  done
+
+let test_power_accepts_pool () =
+  let g =
+    Generator.make ~n:4
+      [ (0, 1, 1.); (1, 2, 0.5); (2, 3, 2.); (3, 0, 1.5); (1, 0, 0.2) ]
+  in
+  let seq = Stationary.power_iteration ~tol:1e-13 g in
+  let par =
+    Umf_runtime.Runtime.Pool.with_pool ~domains:2 (fun pool ->
+        Stationary.power_iteration ~pool ~tol:1e-13 g)
+  in
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float par.(i) then
+        Alcotest.failf "pooled power iteration differs at %d" i)
+    seq
+
 let test_reducible_detected () =
   (* two disconnected components *)
   let g = Generator.make ~n:4 [ (0, 1, 1.); (1, 0, 1.); (2, 3, 1.); (3, 2, 1.) ] in
@@ -66,6 +105,10 @@ let suites =
         Alcotest.test_case "two-state" `Quick test_two_state;
         Alcotest.test_case "birth-death closed form" `Quick test_birth_death;
         Alcotest.test_case "gth vs power iteration" `Quick test_gth_vs_power;
+        Alcotest.test_case "random irreducible gth vs power" `Quick
+          test_random_irreducible_gth_vs_power;
+        Alcotest.test_case "power iteration with pool" `Quick
+          test_power_accepts_pool;
         Alcotest.test_case "stationarity equation" `Quick test_stationarity_equation;
         Alcotest.test_case "reducible detection" `Quick test_reducible_detected;
         Alcotest.test_case "stiff chain" `Quick test_stiff_chain;

@@ -60,6 +60,88 @@ let test_large_lambda_t () =
   let p = Transient.uniformization g ~p0:[| 1.; 0. |] ~t:10. in
   Alcotest.(check (float 1e-6)) "stationary" (300. /. 800.) p.(0)
 
+let test_large_lambda_t_vs_ode () =
+  (* λt ≈ 240: thousands of uniformisation terms against the RK4
+     reference *)
+  let g =
+    Generator.make ~n:3 [ (0, 1, 50.); (1, 2, 30.); (2, 0, 40.); (1, 0, 20.) ]
+  in
+  let p0 = [| 1.; 0.; 0. |] in
+  let pu = Transient.uniformization g ~p0 ~t:3. in
+  let po = Transient.kolmogorov_ode ~dt:1e-6 g ~p0 ~t:3. in
+  Alcotest.(check bool)
+    "uniformization = ODE at large Λt" true
+    (Vec.approx_equal ~tol:1e-6 pu po)
+
+let test_epsilon_validation () =
+  let g = two_state () in
+  let bad = Invalid_argument "Transient: epsilon must be in (0, 1)" in
+  List.iter
+    (fun eps ->
+      Alcotest.check_raises
+        (Printf.sprintf "epsilon = %g" eps)
+        bad
+        (fun () ->
+          ignore (Transient.uniformization ~epsilon:eps g ~p0:[| 1.; 0. |] ~t:1.)))
+    [ 0.; 1.; -0.5; 2. ]
+
+let test_truncation_raises_not_renormalises () =
+  (* regression for the silent-truncation bug: the old implementation
+     capped the sweep at a hard-coded term count and renormalised the
+     partial sum to mass 1, hiding arbitrarily large error for large
+     λt.  λt ≈ 8080 needs thousands of terms; a 50-term user cap must
+     raise, not return a renormalised guess. *)
+  let g = Generator.make ~n:2 [ (0, 1, 500.); (1, 0, 300.) ] in
+  (match
+     Transient.uniformization ~max_terms:50 g ~p0:[| 1.; 0. |] ~t:10.
+   with
+  | _ -> Alcotest.fail "expected Transient.Truncated"
+  | exception Transient.Truncated { epsilon; mass; terms } ->
+      Alcotest.(check int) "terms = cap" 50 terms;
+      Alcotest.(check bool) "reported mass below target" true
+        (mass < 1. -. epsilon);
+      Alcotest.(check bool) "mass is tiny here" true (mass < 1e-6));
+  Alcotest.check_raises "max_terms validated"
+    (Invalid_argument "Transient: max_terms < 1") (fun () ->
+      ignore (Transient.uniformization ~max_terms:0 g ~p0:[| 1.; 0. |] ~t:1.))
+
+let test_mass_never_renormalised () =
+  (* with a loose epsilon the sweep stops early; the returned vector
+     must carry the honest partial mass (>= 1 - ε but below 1), not be
+     scaled up to 1 *)
+  let g = Generator.make ~n:2 [ (0, 1, 500.); (1, 0, 300.) ] in
+  let epsilon = 1e-3 in
+  let p = Transient.uniformization ~epsilon g ~p0:[| 1.; 0. |] ~t:1. in
+  let mass = Vec.sum p in
+  Alcotest.(check bool) "mass >= 1 - eps" true (mass >= 1. -. epsilon);
+  Alcotest.(check bool) "mass <= 1" true (mass <= 1. +. 1e-12);
+  Alcotest.(check bool) "not renormalised to exactly 1" true (mass < 1.)
+
+let test_expectation_series () =
+  let g = two_state () in
+  let times = [| 0.; 0.1; 0.5; 1.; 2.5 |] in
+  let h0 = [| 1.; 0. |] and h1 = [| 0.; 1. |] in
+  let e = Transient.expectation_series g ~p0:[| 1.; 0. |] ~times [| h0; h1 |] in
+  Array.iteri
+    (fun j t ->
+      let p = Transient.uniformization g ~p0:[| 1.; 0. |] ~t in
+      Alcotest.(check (float 1e-10))
+        (Printf.sprintf "h0 at t=%g" t)
+        p.(0) e.(j).(0);
+      Alcotest.(check (float 1e-10))
+        (Printf.sprintf "h1 at t=%g" t)
+        p.(1) e.(j).(1);
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "closed form at t=%g" t)
+        (closed_form 1. t) e.(j).(0))
+    times;
+  Alcotest.check_raises "times must increase"
+    (Invalid_argument "Transient.expectation_series: times not increasing")
+    (fun () ->
+      ignore
+        (Transient.expectation_series g ~p0:[| 1.; 0. |] ~times:[| 1.; 1. |]
+           [| h0 |]))
+
 let suites =
   [
     ( "transient",
@@ -71,5 +153,12 @@ let suites =
         Alcotest.test_case "validation" `Quick test_validation;
         Alcotest.test_case "expectation" `Quick test_expectation;
         Alcotest.test_case "stiff / large Λt" `Quick test_large_lambda_t;
+        Alcotest.test_case "large Λt vs ODE" `Quick test_large_lambda_t_vs_ode;
+        Alcotest.test_case "epsilon validation" `Quick test_epsilon_validation;
+        Alcotest.test_case "truncation raises (regression)" `Quick
+          test_truncation_raises_not_renormalises;
+        Alcotest.test_case "mass never renormalised" `Quick
+          test_mass_never_renormalised;
+        Alcotest.test_case "expectation series" `Quick test_expectation_series;
       ] );
   ]

@@ -1,0 +1,137 @@
+(* The finite-N sparse engine against the mean-field machinery:
+   Theorem 1 sanity (the exact transient mean lies inside the
+   differential-inclusion bounds), envelope consistency between the
+   two scenarios, pool determinism and the affine-θ gate. *)
+
+open Umf
+
+let infected x = x.(1)
+
+let times = Vec.linspace 0. 5. 6
+
+let test_theorem1_sir () =
+  (* Theorem 1: for large N the exact E[X_I(t)] under any fixed θ lies
+     inside the imprecise DI transient bounds.  N = 100 (5151 lattice
+     states, solved exactly by sparse uniformisation) with a slack for
+     the O(1/sqrt N) finite-size gap. *)
+  let model = Sir.make Sir.default_params in
+  let di_spec = Analysis.spec ~horizon:5. model in
+  let bounds = Analysis.transient_bounds ~times di_spec ~x0:Sir.x0 ~coord:1 in
+  let fn_spec = Analysis.spec ~scenario:(Analysis.Uncertain 3) ~horizon:5. model in
+  let fn = Analysis.finite_n_transient ~times fn_spec ~n:100 ~reward:infected in
+  Alcotest.(check int) "lattice size" 5151 fn.Analysis.states;
+  let slack = 0.05 in
+  Array.iteri
+    (fun j t ->
+      let m = fn.Analysis.mean.(j) in
+      Alcotest.(check bool)
+        (Printf.sprintf "mean above DI lower at t=%g" t)
+        true
+        (m >= bounds.Analysis.lower.(j) -. slack);
+      Alcotest.(check bool)
+        (Printf.sprintf "mean below DI upper at t=%g" t)
+        true
+        (m <= bounds.Analysis.upper.(j) +. slack);
+      (* the grid includes the box midpoint, so the uncertain envelope
+         brackets the midpoint mean exactly *)
+      Alcotest.(check bool)
+        (Printf.sprintf "envelope brackets mean at t=%g" t)
+        true
+        (fn.Analysis.lower.(j) <= m +. 1e-9
+        && m -. 1e-9 <= fn.Analysis.upper.(j)))
+    times;
+  Alcotest.(check (float 1e-9)) "t=0 mean is the initial density" 0.3
+    fn.Analysis.mean.(0)
+
+let test_imprecise_contains_uncertain () =
+  (* the imprecise (time-varying θ) envelope must contain the
+     uncertain (constant θ) one; slack covers the backward sweep's
+     first-order discretisation *)
+  let model = Sir.make Sir.default_params in
+  let unc_spec =
+    Analysis.spec ~scenario:(Analysis.Uncertain 3) ~horizon:2. model
+  in
+  let imp_spec = Analysis.spec ~horizon:2. model in
+  let t2 = Vec.linspace 0. 2. 5 in
+  let unc = Analysis.finite_n_transient ~times:t2 unc_spec ~n:30 ~reward:infected in
+  let imp = Analysis.finite_n_transient ~times:t2 imp_spec ~n:30 ~reward:infected in
+  let slack = 0.05 in
+  Array.iteri
+    (fun j t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "imprecise lower below uncertain at t=%g" t)
+        true
+        (imp.Analysis.lower.(j) <= unc.Analysis.lower.(j) +. slack);
+      Alcotest.(check bool)
+        (Printf.sprintf "imprecise upper above uncertain at t=%g" t)
+        true
+        (imp.Analysis.upper.(j) >= unc.Analysis.upper.(j) -. slack))
+    t2
+
+let test_pool_bit_identical () =
+  let model = Sir.make Sir.default_params in
+  let run pool =
+    let s =
+      Analysis.spec ~scenario:(Analysis.Uncertain 2) ~horizon:2. ?pool model
+    in
+    Analysis.finite_n_transient ~times:(Vec.linspace 0. 2. 5) s ~n:40
+      ~reward:infected
+  in
+  let seq = run None in
+  let par =
+    Runtime.Pool.with_pool ~domains:2 (fun pool -> run (Some pool))
+  in
+  let bitwise name a b =
+    Array.iteri
+      (fun i x ->
+        if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then
+          Alcotest.failf "%s differs at %d" name i)
+      a
+  in
+  bitwise "mean" seq.Analysis.mean par.Analysis.mean;
+  bitwise "lower" seq.Analysis.lower par.Analysis.lower;
+  bitwise "upper" seq.Analysis.upper par.Analysis.upper
+
+let test_affine_gate () =
+  (* a θ²-rate model is not affine in θ: the imprecise finite-N sweep
+     must refuse (vertex extremisation would be unsound), the
+     uncertain grid must still work *)
+  let open Expr in
+  let model =
+    Model.make ~name:"quad" ~var_names:[| "x" |] ~theta_names:[| "k" |]
+      ~theta:(Optim.Box.make [| 1. |] [| 2. |])
+      ~x0:[| 0.5 |]
+      [
+        { Model.name = "up"; change = [| 1. |];
+          rate = theta 0 *: theta 0 *: max_ (const 0.) (const 1. -: var 0) };
+        { Model.name = "down"; change = [| -1. |]; rate = var 0 };
+      ]
+  in
+  Alcotest.(check bool) "model really is non-affine" false
+    (Model.affine_in_theta model);
+  let imp_spec = Analysis.spec ~horizon:1. model in
+  (match
+     Analysis.finite_n_transient imp_spec ~n:5 ~reward:(fun x -> x.(0))
+   with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  let unc_spec = Analysis.spec ~scenario:(Analysis.Uncertain 2) ~horizon:1. model in
+  let fn = Analysis.finite_n_transient unc_spec ~n:5 ~reward:(fun x -> x.(0)) in
+  Array.iteri
+    (fun j _ ->
+      Alcotest.(check bool) "envelope ordered" true
+        (fn.Analysis.lower.(j) <= fn.Analysis.upper.(j) +. 1e-12))
+    fn.Analysis.times
+
+let suites =
+  [
+    ( "finite_n",
+      [
+        Alcotest.test_case "Theorem 1 sanity (N=100 SIR)" `Slow
+          test_theorem1_sir;
+        Alcotest.test_case "imprecise contains uncertain" `Quick
+          test_imprecise_contains_uncertain;
+        Alcotest.test_case "pool bit-identical" `Quick test_pool_bit_identical;
+        Alcotest.test_case "affine gate" `Quick test_affine_gate;
+      ] );
+  ]

@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "umf_integration"
-    (Test_sir_paper.suites @ Test_gps_paper.suites @ Test_analysis.suites)
+    (Test_sir_paper.suites @ Test_gps_paper.suites @ Test_analysis.suites @ Test_finite_n.suites)

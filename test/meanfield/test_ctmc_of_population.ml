@@ -1,0 +1,153 @@
+open Umf_numerics
+open Umf_meanfield
+module Generator = Umf_ctmc.Generator
+module Imprecise_ctmc = Umf_ctmc.Imprecise_ctmc
+module Pool = Umf_runtime.Runtime.Pool
+
+let sir () = Model.population (Umf_models.Sir.make Umf_models.Sir.default_params)
+
+let sir_space ?pool:_ n =
+  let pop = sir () in
+  let sp = Ctmc_of_population.state_space pop ~n ~x0:[| 0.7; 0.3 |] in
+  (pop, sp)
+
+let test_sir_state_space () =
+  let _, sp = sir_space 10 in
+  (* SIR is closed on the S + I <= N simplex *)
+  Alcotest.(check int) "simplex size" 66 (Ctmc_of_population.n_states sp);
+  Alcotest.(check int) "population size" 10
+    (Ctmc_of_population.population_size sp);
+  Alcotest.(check int) "initial state is 0" 0 (Ctmc_of_population.x0_index sp);
+  let c0 = Ctmc_of_population.counts sp 0 in
+  Alcotest.(check (array int)) "initial counts = round(N x0)" [| 7; 3 |] c0;
+  Alcotest.(check bool) "density = counts / N" true
+    (Vec.approx_equal ~tol:1e-12 [| 0.7; 0.3 |] (Ctmc_of_population.density sp 0));
+  (* index is the inverse of counts *)
+  for s = 0 to Ctmc_of_population.n_states sp - 1 do
+    match Ctmc_of_population.index sp (Ctmc_of_population.counts sp s) with
+    | Some s' -> Alcotest.(check int) "index round trip" s s'
+    | None -> Alcotest.fail "enumerated state not indexed"
+  done;
+  Alcotest.(check int) "unreachable counts" 0
+    (match Ctmc_of_population.index sp [| 11; 0 |] with Some _ -> 1 | None -> 0)
+
+let test_point_mass_and_reward () =
+  let _, sp = sir_space 10 in
+  let p0 = Ctmc_of_population.point_mass sp in
+  Alcotest.(check (float 0.)) "mass at x0" 1. p0.(0);
+  Alcotest.(check (float 0.)) "total mass" 1. (Vec.sum p0);
+  let infected = Ctmc_of_population.reward sp (fun x -> x.(1)) in
+  Alcotest.(check int) "reward dimension" (Ctmc_of_population.n_states sp)
+    (Vec.dim infected);
+  Alcotest.(check (float 1e-12)) "reward at x0" 0.3 infected.(0)
+
+let test_generator_matches_propensities () =
+  (* the assembled sparse generator must reproduce the model's own
+     propensities: exit rate of every state = sum of N·β over classes
+     (all SIR change vectors are nonzero, so nothing cancels into the
+     diagonal) *)
+  let pop, sp = sir_space 10 in
+  let theta = Optim.Box.midpoint pop.Population.theta in
+  let g = Ctmc_of_population.generator sp pop ~theta in
+  Alcotest.(check int) "generator size" (Ctmc_of_population.n_states sp)
+    (Generator.n_states g);
+  for s = 0 to Ctmc_of_population.n_states sp - 1 do
+    let x = Ctmc_of_population.density sp s in
+    let prop = Population.propensities pop ~n:10 x theta in
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "exit rate of state %d" s)
+      (Vec.sum prop) (Generator.exit_rate g s)
+  done
+
+let test_imprecise_matches_generator () =
+  let pop, sp = sir_space 8 in
+  let im = Ctmc_of_population.imprecise sp pop in
+  let theta = Optim.Box.midpoint pop.Population.theta in
+  let g = Ctmc_of_population.generator sp pop ~theta in
+  let g' = Imprecise_ctmc.generator_at im theta in
+  for s = 0 to Ctmc_of_population.n_states sp - 1 do
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "exit rate of state %d" s)
+      (Generator.exit_rate g s) (Generator.exit_rate g' s)
+  done
+
+let test_pool_assembly_bit_identical () =
+  (* N = 50 gives 1326 states, above the sequential-assembly cutoff, so
+     the pooled path actually runs *)
+  let pop, sp = sir_space 50 in
+  let theta = Optim.Box.midpoint pop.Population.theta in
+  let seq = Ctmc_of_population.generator sp pop ~theta in
+  let par =
+    Pool.with_pool ~domains:2 (fun pool ->
+        Ctmc_of_population.generator ~pool sp pop ~theta)
+  in
+  Alcotest.(check int) "same nnz" (Generator.nnz seq) (Generator.nnz par);
+  for s = 0 to Ctmc_of_population.n_states sp - 1 do
+    let a = Generator.outgoing seq s and b = Generator.outgoing par s in
+    if Array.length a <> Array.length b then
+      Alcotest.failf "row %d: different lengths" s;
+    Array.iteri
+      (fun i (d, r) ->
+        let d', r' = b.(i) in
+        if d <> d' || Int64.bits_of_float r <> Int64.bits_of_float r' then
+          Alcotest.failf "row %d entry %d differs" s i)
+      a
+  done
+
+let test_truncation_is_loud () =
+  let pop = sir () in
+  (* a clip box smaller than the reachable simplex: immunity loss
+     pushes S past 0.8 eventually, so enumeration must fail loudly
+     instead of silently cutting the lattice *)
+  let clip = Optim.Box.make [| 0.; 0. |] [| 0.8; 0.8 |] in
+  (match Ctmc_of_population.state_space ~clip pop ~n:10 ~x0:[| 0.7; 0.3 |] with
+  | _ -> Alcotest.fail "expected Failure on clipped lattice"
+  | exception Failure msg ->
+      Alcotest.(check bool) "mentions the clip box" true
+        (String.length msg > 0));
+  (* an explicit state budget that is too small also raises *)
+  match Ctmc_of_population.state_space ~max_states:10 pop ~n:10 ~x0:[| 0.7; 0.3 |] with
+  | _ -> Alcotest.fail "expected Failure on max_states"
+  | exception Failure _ -> ()
+
+let test_rounding_preserves_total () =
+  (* regression: at n = 25, per-coordinate rounding of n·x0 =
+     (17.5, 7.5) gives (18, 8) — 26 counts out of 25 — off the
+     S + I <= N simplex, from where infection walks to I = 26 and the
+     enumeration (correctly) fails loudly.  Largest-remainder rounding
+     must keep the total at 25 and enumerate the full simplex. *)
+  let _, sp = sir_space 25 in
+  let c0 = Ctmc_of_population.counts sp 0 in
+  Alcotest.(check int) "initial total on the simplex" 25 (c0.(0) + c0.(1));
+  Alcotest.(check (array int)) "ties break to the lower index" [| 18; 7 |] c0;
+  Alcotest.(check int) "full simplex enumerated" (26 * 27 / 2)
+    (Ctmc_of_population.n_states sp)
+
+let test_validation () =
+  let pop = sir () in
+  (match Ctmc_of_population.state_space pop ~n:0 ~x0:[| 0.7; 0.3 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument on n = 0"
+  | exception Invalid_argument _ -> ());
+  match Ctmc_of_population.state_space pop ~n:10 ~x0:[| -0.1; 0.3 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument on negative x0"
+  | exception Invalid_argument _ -> ()
+
+let suites =
+  [
+    ( "ctmc_of_population",
+      [
+        Alcotest.test_case "SIR state space" `Quick test_sir_state_space;
+        Alcotest.test_case "point mass and reward" `Quick
+          test_point_mass_and_reward;
+        Alcotest.test_case "generator matches propensities" `Quick
+          test_generator_matches_propensities;
+        Alcotest.test_case "imprecise matches generator" `Quick
+          test_imprecise_matches_generator;
+        Alcotest.test_case "pool assembly bit-identical" `Quick
+          test_pool_assembly_bit_identical;
+        Alcotest.test_case "truncation is loud" `Quick test_truncation_is_loud;
+        Alcotest.test_case "rounding preserves the total" `Quick
+          test_rounding_preserves_total;
+        Alcotest.test_case "validation" `Quick test_validation;
+      ] );
+  ]
