@@ -1,0 +1,83 @@
+(* LINT: cost and yield of the static-analysis tiers.
+
+   Both tiers run before any solver does, so their wall time is pure
+   pre-flight overhead; this experiment prices it per bundled model —
+   the model tier alone (L-codes: rates, structure, conservation,
+   Lipschitz) against both tiers (adding the tape-level abstract
+   interpretation: float-safety, rounding-error bounds, θ-sign facts
+   from the Jacobian tapes) — and records what the tape tier certifies:
+   float-safety and the per-model a-priori rounding-error bound.
+
+   Results go to BENCH_lint.json; the claims are that every bundled
+   model is certified float-safe with zero Error- or Warning-level
+   findings (the @tape-lint gate) and that vertex optimality of the
+   Hamiltonian arg max is proven, not guessed, for every model the
+   solvers run with vertex enumeration. *)
+open Umf
+
+(* the analyses are milliseconds-fast; average a few repetitions so the
+   figure is not one allocation hiccup *)
+let reps = 10
+
+let time_ms f =
+  ignore (f ());
+  let (), wall = Common.time_it (fun () -> for _ = 1 to reps do ignore (f ()) done) in
+  wall /. float_of_int reps *. 1e3
+
+let run () =
+  Common.banner "LINT: static-analysis tiers over the bundled models";
+  Common.header
+    [ "model"; "model_ms"; "both_ms"; "e/w/i"; "safe"; "max_err"; "vertex" ];
+  let rows, all_clean, all_vertex =
+    List.fold_left
+      (fun (rows, clean, vertex) (name, m) ->
+        let model_ms = time_ms (fun () -> Lint.analyze m) in
+        let both_ms = time_ms (fun () -> Lint.analyze ~tape:true m) in
+        let r = Lint.analyze ~tape:true m in
+        let errs = List.length (Lint.errors r)
+        and warns = List.length (Lint.warnings r) in
+        let infos = List.length r.Lint.findings - errs - warns in
+        let safe, max_err =
+          match r.Lint.tape with
+          | Some t -> (t.Tape_check.float_safe, t.Tape_check.max_abs_err)
+          | None -> (false, infinity)
+        in
+        Common.row "%-12s %8.3f %8.3f %2d/%2d/%2d %5b %9.2e %6b\n" name
+          model_ms both_ms errs warns infos safe max_err
+          r.Lint.vertex_certified;
+        let j =
+          Obs.Json.Obj
+            [
+              ("model_tier_ms", Obs.Json.Num model_ms);
+              ("both_tiers_ms", Obs.Json.Num both_ms);
+              ("errors", Obs.Json.Num (float_of_int errs));
+              ("warnings", Obs.Json.Num (float_of_int warns));
+              ("infos", Obs.Json.Num (float_of_int infos));
+              ("float_safe", Obs.Json.Bool safe);
+              ("max_abs_err", Obs.Json.Num max_err);
+              ("vertex_certified", Obs.Json.Bool r.Lint.vertex_certified);
+            ]
+        in
+        ( (name, j) :: rows,
+          clean && errs = 0 && warns = 0 && safe,
+          vertex && r.Lint.vertex_certified ))
+      ([], true, true) (Registry.all ())
+  in
+  let rows = List.rev rows in
+  Common.claim
+    "every bundled model float-safe, zero errors/warnings at both tiers"
+    all_clean
+    (Printf.sprintf "%d models" (List.length rows));
+  Common.claim "vertex optimality proven for every bundled model" all_vertex
+    "Lint.vertex_certified";
+  let oc = open_out "BENCH_lint.json" in
+  output_string oc
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [
+            ("reps", Obs.Json.Num (float_of_int reps));
+            ("models", Obs.Json.Obj rows);
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_lint.json"

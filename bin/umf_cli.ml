@@ -13,6 +13,14 @@
      umf_cli ctmc transient --model sir -n 200 --horizon 5
      umf_cli ctmc stationary --model sir -n 100 --theta hi
      umf_cli ctmc bounds --model sir -n 100 --var I --scenario imprecise
+     umf_cli lint sir --tape
+     umf_cli lint --all --tape --strict --json
+
+   lint exit codes are part of the interface: 0 = clean, 1 = --strict
+   with Warning-level findings, 2 = Error-level findings.  Model names
+   parse through one shared cmdliner converter backed by
+   {!Registry.find}, so every subcommand rejects an unknown model with
+   the catalogue and a nearest-name suggestion.
 
    Every command pulls its model from {!Umf.Registry} — the CLI holds
    no model definitions of its own.  The registered [Model.t] carries
@@ -31,7 +39,13 @@
 open Umf
 open Cmdliner
 
-let lookup_model = Registry.find
+(* Models parse at the command line, not inside run bodies: every
+   subcommand taking a model shares this converter, so an unknown name
+   fails fast with the registry catalogue and a nearest-name suggestion
+   (from {!Registry.find}) before any work starts. *)
+let model_conv =
+  let print fmt m = Format.pp_print_string fmt (Model.name m) in
+  Arg.conv ~docv:"MODEL" (Registry.find, print)
 
 let var_index m name =
   let names = Model.var_names m in
@@ -58,8 +72,11 @@ let parse_scenario = function
 let model_arg =
   Arg.(
     required
-    & opt (some string) None
-    & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Model name (see `models').")
+    & opt (some model_conv) None
+    & info [ "m"; "model" ] ~docv:"MODEL"
+        ~doc:
+          "Model name (see `models').  Unknown names list the catalogue \
+           and suggest the nearest registered model.")
 
 let horizon_arg default =
   Arg.(value & opt float default & info [ "horizon" ] ~docv:"T" ~doc:"Time horizon.")
@@ -224,10 +241,9 @@ let bounds_cmd =
   let steps_arg =
     Arg.(value & opt int 300 & info [ "steps" ] ~docv:"K" ~doc:"Pontryagin grid.")
   in
-  let run model var scenario horizon points steps jobs trace metrics =
+  let run m var scenario horizon points steps jobs trace metrics =
     exit_of_result
       (let ( let* ) = Result.bind in
-       let* m = lookup_model model in
        let* coord = var_index m var in
        let* scen = parse_scenario scenario in
        let di = Di.of_model m in
@@ -264,11 +280,9 @@ let hull_cmd =
   let dt_arg =
     Arg.(value & opt float 0.02 & info [ "dt" ] ~docv:"DT" ~doc:"Hull step.")
   in
-  let run model horizon dt trace metrics =
+  let run m horizon dt trace metrics =
     exit_of_result
-      (let ( let* ) = Result.bind in
-       let* m = lookup_model model in
-       with_obs ~trace ~metrics (fun obs ->
+      (with_obs ~trace ~metrics (fun obs ->
            let h =
              Hull.bounds ~clip:(Model.clip m) ~obs (Di.of_model m)
                ~x0:(Model.x0 m) ~horizon ~dt
@@ -296,11 +310,9 @@ let hull_cmd =
 (* steady command *)
 let steady_cmd =
   let doc = "Steady-state Birkhoff region of a 2-variable model." in
-  let run model trace metrics =
+  let run m trace metrics =
     exit_of_result
-      (let ( let* ) = Result.bind in
-       let* m = lookup_model model in
-       if Model.dim m <> 2 then
+      (if Model.dim m <> 2 then
          Error (`Msg "steady-state regions are computed for 2-variable models")
        else
          with_obs ~trace ~metrics (fun obs ->
@@ -345,10 +357,9 @@ let simulate_cmd =
              trajectory is sampled over time; with $(docv) > 1 the final \
              state of $(docv) runs is reported (parallelises with --jobs).")
   in
-  let run model n tmax seed points policy reps jobs trace metrics =
+  let run m n tmax seed points policy reps jobs trace metrics =
     exit_of_result
       (let ( let* ) = Result.bind in
-       let* m = lookup_model model in
        let pop = Model.population m in
        let x0 = Model.x0 m in
        let box = Model.theta m in
@@ -498,11 +509,10 @@ let ctmc_cmd =
     | "hi" -> Ok ((Model.theta m).Optim.Box.hi)
     | s -> Error (`Msg (Printf.sprintf "unknown theta point %s" s))
   in
-  let run mode model n var theta scenario grid horizon points epsilon
+  let run mode m n var theta scenario grid horizon points epsilon
       max_states jobs trace metrics =
     exit_of_result
       (let ( let* ) = Result.bind in
-       let* m = lookup_model model in
        if n < 1 then Error (`Msg "--n must be >= 1")
        else if points < 2 then Error (`Msg "need at least 2 points")
        else
@@ -612,12 +622,25 @@ let lint_cmd =
   let doc =
     "Statically analyse a model: certified rate soundness, structure \
      classification, conservation laws, a Lipschitz certificate and \
-     dead-code lints."
+     dead-code lints; --tape adds the tape tier (certified \
+     float-safety, rounding-error bounds and sign/monotonicity facts \
+     for the compiled drift)."
+  in
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"every linted model is clean (no findings gate).";
+      Cmd.Exit.info 1
+        ~doc:
+          "$(b,--strict) and at least one Warning-level finding (but no \
+           errors).";
+      Cmd.Exit.info 2 ~doc:"at least one Error-level finding (always fatal).";
+      Cmd.Exit.info Cmd.Exit.cli_error ~doc:"command-line parse error.";
+    ]
   in
   let model_pos_arg =
     Arg.(
       value
-      & pos 0 (some string) None
+      & pos 0 (some model_conv) None
       & info [] ~docv:"MODEL" ~doc:"Model name (see `models').")
   in
   let all_arg =
@@ -627,36 +650,70 @@ let lint_cmd =
     Arg.(
       value & flag
       & info [ "strict" ]
-          ~doc:"Exit non-zero if any linted model has Error-level findings.")
+          ~doc:
+            "Treat Warning-level findings as failures: exit 1 when any \
+             linted model has warnings (errors exit 2 regardless).")
   in
-  let lint_model m =
-    let report = Lint.analyze m in
-    Format.printf "%a@." Lint.pp_report report;
-    Ok (Lint.ok report)
+  let tape_arg =
+    Arg.(
+      value & flag
+      & info [ "tape" ]
+          ~doc:
+            "Run the tape tier too: abstractly interpret the compiled \
+             drift (and its $(b,theta)-Jacobian) over clip box × \
+             $(b,theta)-box, certifying float-safety, an a-priori \
+             rounding-error bound per drift coordinate, and \
+             sign/monotonicity facts (T-codes).")
   in
-  let run model all strict =
-    exit_of_result
-      (let ( let* ) = Result.bind in
-       let* clean =
-         match (model, all) with
-         | None, false -> Error (`Msg "need a MODEL argument (or --all)")
-         | Some name, false ->
-             let* m = lookup_model name in
-             lint_model m
-         | _, true ->
-             List.fold_left
-               (fun acc (_, m) ->
-                 let* acc = acc in
-                 let* clean = lint_model m in
-                 Ok (acc && clean))
-               (Ok true) (Registry.all ())
-       in
-       if strict && not clean then
-         Error (`Msg "lint found Error-level problems")
-       else Ok ())
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable output: NDJSON, one object per finding \
+             followed by one summary object per model.")
   in
-  Cmd.v (Cmd.info "lint" ~doc)
-    Term.(const run $ model_pos_arg $ all_arg $ strict_arg)
+  let lint_model ~tape ~json m =
+    let report = Lint.analyze ~tape m in
+    if json then begin
+      List.iter
+        (fun f ->
+          print_endline (Obs.Json.to_string (Lint.finding_to_json report f)))
+        report.Lint.findings;
+      print_endline (Obs.Json.to_string (Lint.summary_to_json report))
+    end
+    else Format.printf "%a@." Lint.pp_report report;
+    (List.length (Lint.errors report), List.length (Lint.warnings report))
+  in
+  let run model all tape json strict =
+    let models =
+      match (model, all) with
+      | None, false ->
+          Printf.eprintf "error: need a MODEL argument (or --all)\n";
+          exit Cmd.Exit.cli_error
+      | Some m, false -> [ m ]
+      | _, true -> List.map snd (Registry.all ())
+    in
+    let errors, warnings =
+      List.fold_left
+        (fun (e, w) m ->
+          let e', w' = lint_model ~tape ~json m in
+          (e + e', w + w'))
+        (0, 0) models
+    in
+    if errors > 0 then begin
+      Printf.eprintf "error: lint found %d Error-level finding(s)\n" errors;
+      exit 2
+    end;
+    if strict && warnings > 0 then begin
+      Printf.eprintf
+        "error: lint found %d Warning-level finding(s) (--strict)\n" warnings;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "lint" ~doc ~exits)
+    Term.(const run $ model_pos_arg $ all_arg $ tape_arg $ json_arg
+          $ strict_arg)
 
 let () =
   let doc = "mean-field analysis of uncertain and imprecise stochastic models" in

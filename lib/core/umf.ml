@@ -11,6 +11,7 @@ module Stats = Umf_numerics.Stats
 module Diff = Umf_numerics.Diff
 module Expr = Umf_numerics.Expr
 module Tape = Umf_numerics.Tape
+module Tape_check = Umf_numerics.Tape_check
 module Generator = Umf_ctmc.Generator
 module Ctmc_sparse = Umf_ctmc.Sparse
 module Ctmc_path = Umf_ctmc.Path

@@ -32,6 +32,7 @@ module Stats = Umf_numerics.Stats
 module Diff = Umf_numerics.Diff
 module Expr = Umf_numerics.Expr
 module Tape = Umf_numerics.Tape
+module Tape_check = Umf_numerics.Tape_check
 
 (* Markov chain substrate *)
 module Generator = Umf_ctmc.Generator

@@ -6,18 +6,27 @@ exception Rejected of Lint.report
 
 let di = Di.of_model
 
-(* gate: refuse models the static analyzer rejects, and reuse its
-   structure classification to pick the Hamiltonian arg-max strategy *)
+(* gate: refuse models the static analyzer rejects — both tiers, so a
+   certain division-by-zero in the compiled tape (T002) blocks the
+   solve exactly like a certifiably negative rate (L001) — and reuse
+   the proven sign facts to pick the Hamiltonian arg-max strategy *)
 let gate ?domain ?(lint = true) m =
   if not lint then None
   else begin
-    let report = Lint.analyze ?domain m in
+    let report = Lint.analyze ?domain ~tape:true m in
     if not (Lint.ok report) then raise (Rejected report);
     Some report
   end
 
+let static_report ?domain m = Lint.analyze ?domain ~tape:true m
+
+let float_error_bound ?domain m =
+  match (static_report ?domain m).Lint.tape with
+  | Some t -> t.Tape_check.max_abs_err
+  | None -> infinity
+
 let recommended_hamiltonian_opt ?domain m =
-  (Lint.analyze ?domain m).Lint.recommended_opt
+  (static_report ?domain m).Lint.recommended_opt
 
 let opt_of ?domain report m =
   match report with

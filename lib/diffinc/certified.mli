@@ -12,12 +12,17 @@
       by the interval dependency problem).
 
     Every entry point first runs the static analyzer
-    ({!Umf_lint.Lint}) unless [~lint:false]: models with Error-level
-    findings (certifiably negative rates, malformed transitions) are
-    refused with {!Rejected}, and the linter's structure
-    classification auto-selects the Hamiltonian arg-max strategy —
-    vertex enumeration exactly when the drift is affine in θ, where
-    bang-bang controls are provably optimal. *)
+    ({!Umf_lint.Lint}) with the tape tier on ([~tape:true]) unless
+    [~lint:false]: models with Error-level findings at either tier —
+    certifiably negative rates, malformed transitions (L-codes), or a
+    certain division-by-zero in the compiled tape (T002) — are refused
+    with {!Rejected}.  The Hamiltonian arg-max strategy is no longer a
+    syntactic heuristic: vertex enumeration is selected exactly when
+    the linter {e proves} vertex optimality ([vertex_certified] —
+    coordinatewise θ-affinity with θ-free kinks, established
+    syntactically or from certified-zero second θ-derivatives), which
+    also covers multilinear-in-θ drifts the old affinity test
+    rejected. *)
 
 open Umf_numerics
 module Lint = Umf_lint.Lint
@@ -87,5 +92,20 @@ val hull_bounds :
 
 val recommended_hamiltonian_opt :
   ?domain:Optim.Box.t -> Umf_meanfield.Model.t -> [ `Vertices | `Box of int ]
-(** The linter's solver recommendation: [`Vertices] when every drift
-    coordinate is affine in θ (exact bang-bang), [`Box 5] otherwise. *)
+(** The linter's solver recommendation: [`Vertices] exactly when
+    vertex optimality of the Hamiltonian arg max is proven
+    ([Lint.vertex_certified]), [`Box 5] otherwise. *)
+
+val static_report :
+  ?domain:Optim.Box.t -> Umf_meanfield.Model.t -> Lint.report
+(** The full two-tier static-analysis report the gate runs on
+    ([Lint.analyze ~tape:true]): L-codes plus tape-level T-codes
+    (float-safety, rounding-error bounds, sign facts).  Never raises —
+    inspect the report instead of catching {!Rejected}. *)
+
+val float_error_bound :
+  ?domain:Optim.Box.t -> Umf_meanfield.Model.t -> float
+(** Certified a-priori bound on the absolute rounding error of one
+    compiled drift evaluation, maximised over drift coordinates and
+    the whole [domain] × Θ box ({!Umf_numerics.Tape_check} tier);
+    [infinity] when not certifiable. *)

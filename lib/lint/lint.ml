@@ -33,7 +33,9 @@ type report = {
   conservation : conservation list;
   simplex_preserving : bool;
   lipschitz : float option;
+  vertex_certified : bool;
   recommended_opt : [ `Vertices | `Box of int ];
+  tape : Tape_check.report option;
 }
 
 let code_table =
@@ -58,8 +60,11 @@ let code_table =
     ("L404", "transition can push a coordinate below zero");
   ]
 
+(* L-codes here, T-codes in {!Tape_check}: one lookup covers both tiers *)
 let describe code =
-  match List.assoc_opt code code_table with Some d -> d | None -> ""
+  match List.assoc_opt code code_table with
+  | Some d -> d
+  | None -> Tape_check.describe code
 
 let severity_to_string = function
   | Error -> "error"
@@ -122,8 +127,36 @@ let pretty_weights var_names (w : Vec.t) =
 (* ------------------------------------------------------------------ *)
 (* the analysis                                                        *)
 
-let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
-    (transitions : Model.transition list) =
+(* lint-side view of the tape analyzer: map its severities and
+   subjects into this report's vocabulary (instruction- and tape-level
+   subjects attach to the model; output/input slots are coordinates) *)
+
+let of_tc_severity = function
+  | Tape_check.Error -> Error
+  | Tape_check.Warning -> Warning
+  | Tape_check.Info -> Info
+
+let of_tc_subject = function
+  | Tape_check.Tape | Tape_check.Instr _ -> Model
+  | Tape_check.Output i | Tape_check.Var_slot i -> Coord i
+  | Tape_check.Theta_slot j -> Param j
+
+let div_unsound (rep : Tape_check.report) =
+  List.exists
+    (fun (f : Tape_check.finding) -> f.code = "T001" || f.code = "T002")
+    rep.Tape_check.findings
+
+let first_div_message (rep : Tape_check.report) =
+  match
+    List.find_opt
+      (fun (f : Tape_check.finding) -> f.code = "T001" || f.code = "T002")
+      rep.Tape_check.findings
+  with
+  | Some f -> f.Tape_check.message
+  | None -> "no division defect"
+
+let analyze_transitions ?domain ?(tape = false) ~name ~var_names ~theta_names
+    ~theta (transitions : Model.transition list) =
   let dim = Array.length var_names in
   let theta_dim = Array.length theta_names in
   let domain =
@@ -186,6 +219,24 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
       transitions
   in
 
+  (* total interval evaluation through the tape analyzer: never raises
+     — a zero-containing divisor comes back as an unbounded enclosure
+     plus a T001/T002 finding naming the offending instruction.  One
+     compiled tape per distinct expression, reused across face checks. *)
+  let tape_cache : (Expr.t, Tape.t) Hashtbl.t = Hashtbl.create 16 in
+  let tape_of e =
+    match Hashtbl.find_opt tape_cache e with
+    | Some t -> t
+    | None ->
+        let t = Tape.compile [| e |] in
+        Hashtbl.add tape_cache e t;
+        t
+  in
+  let enclose e ~x =
+    let rep = Tape_check.analyze (tape_of e) ~x ~th:th_ivs in
+    (rep.Tape_check.outputs.(0).Tape_check.range, rep)
+  in
+
   (* -------- rate soundness: L001/L002/L006/L403 ------------------- *)
   let rate_sound = ref true in
   List.iter
@@ -195,30 +246,28 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
           "transition %s: rate simplifies to 0 — the transition never fires"
           tr.name
       else begin
-        match Expr.eval_interval tr.rate ~x:x_ivs ~th:th_ivs with
-        | enc ->
-            if Interval.hi enc < -.tol then begin
-              rate_sound := false;
-              report "L001" Error (Transition tr.name)
-                "transition %s: rate is negative everywhere on the domain \
-                 (enclosure [%g, %g]) — propensities are ill-defined"
-                tr.name (Interval.lo enc) (Interval.hi enc)
-            end
-            else if Interval.lo enc < -.tol then begin
-              rate_sound := false;
-              report "L002" Warning (Transition tr.name)
-                "transition %s: rate not certified non-negative (enclosure \
-                 [%g, %g]); Theorems 1-4 assume β ≥ 0 — guard the rate with \
-                 max(0, ·) or shrink the domain"
-                tr.name (Interval.lo enc) (Interval.hi enc)
-            end
-        | exception Division_by_zero ->
-            rate_sound := false;
-            report "L006" Warning (Transition tr.name)
-              "transition %s: a divisor interval contains 0 on the domain — \
-               division-by-zero freedom not certified (guard the denominator, \
-               e.g. with max(den, ε))"
-              tr.name
+        let enc, rep = enclose tr.rate ~x:x_ivs in
+        if div_unsound rep then begin
+          rate_sound := false;
+          report "L006" Warning (Transition tr.name)
+            "transition %s: division-by-zero freedom not certified — %s"
+            tr.name (first_div_message rep)
+        end
+        else if Interval.hi enc < -.tol then begin
+          rate_sound := false;
+          report "L001" Error (Transition tr.name)
+            "transition %s: rate is negative everywhere on the domain \
+             (enclosure [%g, %g]) — propensities are ill-defined"
+            tr.name (Interval.lo enc) (Interval.hi enc)
+        end
+        else if Interval.lo enc < -.tol then begin
+          rate_sound := false;
+          report "L002" Warning (Transition tr.name)
+            "transition %s: rate not certified non-negative (enclosure \
+             [%g, %g]); Theorems 1-4 assume β ≥ 0 — guard the rate with \
+             max(0, ·) or shrink the domain"
+            tr.name (Interval.lo enc) (Interval.hi enc)
+        end
       end)
     valid;
 
@@ -263,23 +312,22 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
                 (fun k iv -> if k = i then Interval.of_float 0. else iv)
                 x_ivs
             in
-            match Expr.eval_interval tr.rate ~x:face ~th:th_ivs with
-            | enc ->
-                if Interval.hi enc > tol then begin
-                  orthant_ok := false;
-                  report "L404" Warning (Transition tr.name)
-                    "transition %s decreases %s but can fire at rate up to %g \
-                     on the face %s = 0 — the state can leave the positive \
-                     orthant"
-                    tr.name var_names.(i) (Interval.hi enc) var_names.(i)
-                end
-            | exception Division_by_zero ->
-                orthant_ok := false;
-                report "L404" Warning (Transition tr.name)
-                  "transition %s decreases %s and its rate cannot be \
-                   certified zero on the face %s = 0 (division by an \
-                   interval containing 0)"
-                  tr.name var_names.(i) var_names.(i)
+            let enc, rep = enclose tr.rate ~x:face in
+            if div_unsound rep then begin
+              orthant_ok := false;
+              report "L404" Warning (Transition tr.name)
+                "transition %s decreases %s and its rate cannot be certified \
+                 zero on the face %s = 0 — %s"
+                tr.name var_names.(i) var_names.(i) (first_div_message rep)
+            end
+            else if Interval.hi enc > tol then begin
+              orthant_ok := false;
+              report "L404" Warning (Transition tr.name)
+                "transition %s decreases %s but can fire at rate up to %g \
+                 on the face %s = 0 — the state can leave the positive \
+                 orthant"
+                tr.name var_names.(i) (Interval.hi enc) var_names.(i)
+            end
           end)
         tr.change)
     valid;
@@ -306,6 +354,46 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
   in
   let all_affine = Array.for_all (fun c -> c.affine_theta) classes in
   let all_multilinear = Array.for_all (fun c -> c.multilinear) classes in
+
+  (* -------- vertex optimality: T203/T204 -------------------------- *)
+  (* The bang-bang shortcut (Sec. IV-C) maximises the Hamiltonian
+     p·f(x, θ) over the θ-box.  A vertex arg max is guaranteed when
+     every drift coordinate is coordinatewise affine (multilinear) in
+     θ AND no Min/Max argument or Ite guard depends on θ (a min of
+     θ-affine terms is concave — its maximum can sit in the interior).
+     Syntactic θ-affinity implies this; otherwise we prove it: every
+     kink θ-free and every ∂²f_i/∂θ_j² certified identically zero
+     (symbolically, or an exact [0,0] interval enclosure). *)
+  let rec kinks_theta_free e =
+    match (e : Expr.t) with
+    | Const _ | Var _ | Theta _ -> true
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+        kinks_theta_free a && kinks_theta_free b
+    | Neg a | Pow (a, _) -> kinks_theta_free a
+    | Min (a, b) | Max (a, b) -> Expr.thetas a = [] && Expr.thetas b = []
+    | Ite (g, a, b) ->
+        Expr.thetas g = [] && kinks_theta_free a && kinks_theta_free b
+  in
+  let second_theta_deriv_zero fi j =
+    match Expr.simplify (Expr.diff_theta (Expr.diff_theta fi j) j) with
+    | Expr.Const 0. -> true
+    | d2 ->
+        let enc, rep = enclose d2 ~x:x_ivs in
+        (not (div_unsound rep))
+        && Interval.lo enc = 0.
+        && Interval.hi enc = 0.
+  in
+  let vertex_certified =
+    dim > 0
+    && (all_affine
+       || (Array.for_all kinks_theta_free drift
+          && Array.for_all
+               (fun fi ->
+                 List.for_all (second_theta_deriv_zero fi)
+                   (List.init theta_dim Fun.id))
+               drift))
+  in
+
   if dim > 0 then begin
     if all_affine then
       report "L101" Info Model
@@ -317,11 +405,25 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
           (List.filteri (fun i _ -> not classes.(i).affine_theta)
              (Array.to_list var_names))
       in
-      report "L102" Warning Model
-        "drift not affine in θ (coordinate%s %s): vertex enumeration may \
-         miss the Hamiltonian arg max — a box search is used instead"
-        (if String.contains bad ',' then "s" else "")
-        bad
+      if vertex_certified then
+        report "T203" Info Model
+          "drift certified coordinatewise affine (multilinear) in θ although \
+           not syntactically affine (coordinate%s %s): the Hamiltonian arg \
+           max is provably attained at a vertex of Θ — vertex enumeration \
+           stays exact"
+          (if String.contains bad ',' then "s" else "")
+          bad
+      else begin
+        report "L102" Warning Model
+          "drift not affine in θ (coordinate%s %s): vertex enumeration may \
+           miss the Hamiltonian arg max — a box search is used instead"
+          (if String.contains bad ',' then "s" else "")
+          bad;
+        report "T204" Warning Model
+          "vertex optimality of the Hamiltonian arg max not certified (a \
+           second θ-derivative or a θ-dependent kink survives): Pontryagin \
+           falls back to a box search"
+      end
     end;
     if all_multilinear then
       report "L103" Info Model
@@ -331,8 +433,11 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
   let kinked =
     List.filteri (fun i _ -> not classes.(i).smooth) (Array.to_list var_names)
   in
+  (* Info, not Warning: kinks are fully supported (Clarke subgradients,
+     hulled Ite branches) — this states structure, it does not withhold
+     a certificate *)
   if kinked <> [] then
-    report "L302" Warning Model
+    report "L302" Info Model
       "drift coordinate%s %s %s only piecewise-smooth (Min/Max/Ite): \
        costates use Clarke subgradients at kinks; the drift remains \
        Lipschitz but not C¹"
@@ -381,27 +486,30 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
             for j = 0 to dim - 1 do
               if !certified then begin
                 let dij = Expr.simplify (Expr.diff_var fi j) in
-                match Expr.eval_interval dij ~x:x_ivs ~th:th_ivs with
-                | enc ->
-                    let mag =
-                      Float.max (Float.abs (Interval.lo enc))
-                        (Float.abs (Interval.hi enc))
-                    in
-                    if Float.is_finite mag then row := !row +. mag
-                    else begin
-                      certified := false;
-                      report "L303" Warning (Coord i)
-                        "Lipschitz bound not certifiable: ∂f_%s/∂%s is \
-                         unbounded over the domain × Θ"
-                        var_names.(i) var_names.(j)
-                    end
-                | exception Division_by_zero ->
+                let enc, rep = enclose dij ~x:x_ivs in
+                if div_unsound rep then begin
+                  certified := false;
+                  report "L303" Warning (Coord i)
+                    "Lipschitz bound not certifiable: ∂f_%s/∂%s divides by \
+                     an interval containing 0 (%s) — Theorems 1-4 need a \
+                     Lipschitz drift, certify it on a smaller domain"
+                    var_names.(i) var_names.(j) (first_div_message rep)
+                end
+                else begin
+                  let mag =
+                    Float.max
+                      (Float.abs (Interval.lo enc))
+                      (Float.abs (Interval.hi enc))
+                  in
+                  if Float.is_finite mag then row := !row +. mag
+                  else begin
                     certified := false;
                     report "L303" Warning (Coord i)
-                      "Lipschitz bound not certifiable: ∂f_%s/∂%s divides by \
-                       an interval containing 0 — Theorems 1-4 need a \
-                       Lipschitz drift, certify it on a smaller domain"
+                      "Lipschitz bound not certifiable: ∂f_%s/∂%s is \
+                       unbounded over the domain × Θ"
                       var_names.(i) var_names.(j)
+                  end
+                end
               end
             done;
             if !certified then bound := Float.max !bound !row
@@ -418,7 +526,55 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
     end
   in
 
-  let recommended_opt = if all_affine then `Vertices else `Box 5 in
+  (* -------- tape tier: T-findings merged into this report ---------- *)
+  let tape_report =
+    if (not tape) || dim = 0 then None
+    else begin
+      let drift_tape = Tape.compile drift in
+      let rep =
+        Tape_check.analyze ~var_names ~theta_names drift_tape ~x:x_ivs
+          ~th:th_ivs
+      in
+      List.iter
+        (fun (f : Tape_check.finding) ->
+          report f.code (of_tc_severity f.severity) (of_tc_subject f.subject)
+            "%s" f.message)
+        rep.Tape_check.findings;
+      (* certified θ-monotonicity: run the exact ∂f/∂θ tapes through
+         the same interpreter and report the decided signs, one
+         finding per parameter (T202) *)
+      if theta_dim > 0 then begin
+        let jac_exprs =
+          Array.init (dim * theta_dim) (fun k ->
+              Expr.simplify (Expr.diff_theta drift.(k / theta_dim) (k mod theta_dim)))
+        in
+        let jrep =
+          Tape_check.analyze (Tape.compile jac_exprs) ~x:x_ivs ~th:th_ivs
+        in
+        for j = 0 to theta_dim - 1 do
+          let decided = ref [] in
+          for i = dim - 1 downto 0 do
+            let o = jrep.Tape_check.outputs.((i * theta_dim) + j) in
+            match o.Tape_check.sign with
+            | Tape_check.Mixed -> ()
+            | s ->
+                decided :=
+                  Printf.sprintf "∂f_%s/∂%s %s" var_names.(i)
+                    theta_names.(j) (Tape_check.sign_to_string s)
+                  :: !decided
+          done;
+          if !decided <> [] then
+            report "T202" Info (Param j)
+              "certified monotonicity in %s: %s over the domain × Θ"
+              theta_names.(j)
+              (String.concat ", " !decided)
+        done
+      end;
+      Some rep
+    end
+  in
+
+  let recommended_opt = if vertex_certified then `Vertices else `Box 5 in
   let findings =
     List.sort
       (fun a b ->
@@ -434,12 +590,14 @@ let analyze_transitions ?domain ~name ~var_names ~theta_names ~theta
     conservation;
     simplex_preserving;
     lipschitz;
+    vertex_certified;
     recommended_opt;
+    tape = tape_report;
   }
 
-let analyze ?domain m =
+let analyze ?domain ?tape m =
   let domain = match domain with Some b -> b | None -> Model.clip m in
-  analyze_transitions ~domain ~name:(Model.name m)
+  analyze_transitions ~domain ?tape ~name:(Model.name m)
     ~var_names:(Model.var_names m) ~theta_names:(Model.theta_names m)
     ~theta:(Model.theta m) (Model.transitions m)
 
@@ -457,6 +615,75 @@ let findings_with r code = List.filter (fun f -> f.code = code) r.findings
 let pp_finding ppf f =
   Format.fprintf ppf "[%s] %-7s %s" f.code (severity_to_string f.severity)
     f.message
+
+(* ------------------------------------------------------------------ *)
+(* machine-readable findings (NDJSON lines for CI)                     *)
+
+module Json = Umf_obs.Obs.Json
+
+let subject_to_json r = function
+  | Model -> Json.Obj [ ("kind", Json.Str "model") ]
+  | Transition t ->
+      Json.Obj [ ("kind", Json.Str "transition"); ("name", Json.Str t) ]
+  | Coord i ->
+      Json.Obj
+        (("kind", Json.Str "coord")
+        :: ("index", Json.Num (float_of_int i))
+        ::
+        (if i < Array.length r.var_names then
+           [ ("name", Json.Str r.var_names.(i)) ]
+         else []))
+  | Param j ->
+      Json.Obj
+        (("kind", Json.Str "param")
+        :: ("index", Json.Num (float_of_int j))
+        ::
+        (if j < Array.length r.theta_names then
+           [ ("name", Json.Str r.theta_names.(j)) ]
+         else []))
+
+let finding_to_json r f =
+  Json.Obj
+    [
+      ("model", Json.Str r.model);
+      ("code", Json.Str f.code);
+      ("severity", Json.Str (severity_to_string f.severity));
+      ("subject", subject_to_json r f.subject);
+      ("message", Json.Str f.message);
+      ("description", Json.Str (describe f.code));
+    ]
+
+let summary_to_json r =
+  let n_err = List.length (errors r) and n_warn = List.length (warnings r) in
+  let base =
+    [
+      ("model", Json.Str r.model);
+      ("summary", Json.Bool true);
+      ("errors", Json.Num (float_of_int n_err));
+      ("warnings", Json.Num (float_of_int n_warn));
+      ( "infos",
+        Json.Num (float_of_int (List.length r.findings - n_err - n_warn)) );
+      ("vertex_certified", Json.Bool r.vertex_certified);
+      ( "recommended_opt",
+        Json.Str
+          (match r.recommended_opt with
+          | `Vertices -> "vertices"
+          | `Box k -> Printf.sprintf "box:%d" k) );
+      ( "lipschitz",
+        match r.lipschitz with Some l -> Json.Num l | None -> Json.Null );
+    ]
+  in
+  let tape =
+    match r.tape with
+    | None -> []
+    | Some t ->
+        [
+          ("float_safe", Json.Bool t.Tape_check.float_safe);
+          ("max_abs_err", Json.Num t.Tape_check.max_abs_err);
+          ("tape_instrs", Json.Num (float_of_int t.Tape_check.n_instrs));
+        ]
+  in
+  Json.Obj (base @ tape)
 
 let pp_report ppf r =
   let n_err = List.length (errors r)
@@ -492,5 +719,23 @@ let pp_report ppf r =
   | None -> Format.fprintf ppf "  Lipschitz: not certifiable on this domain@.");
   Format.fprintf ppf "  recommended Hamiltonian optimiser: %s@."
     (match r.recommended_opt with
-    | `Vertices -> "vertex enumeration (exact: drift affine in θ)"
-    | `Box k -> Printf.sprintf "box search (grid %d + refinement)" k)
+    | `Vertices ->
+        "vertex enumeration (certified: drift coordinatewise affine in θ)"
+    | `Box k -> Printf.sprintf "box search (grid %d + refinement)" k);
+  match r.tape with
+  | None -> ()
+  | Some t ->
+      Format.fprintf ppf "  tape tier: %d instructions, float-%s, %s@."
+        t.Tape_check.n_instrs
+        (if t.Tape_check.float_safe then "safe" else "UNSAFE")
+        (if Float.is_finite t.Tape_check.max_abs_err then
+           Printf.sprintf "rounding error <= %.3g" t.Tape_check.max_abs_err
+         else "rounding error not certifiable");
+      Array.iteri
+        (fun i o ->
+          Format.fprintf ppf "    %s: range %a, |err| <= %.3g, sign %s@."
+            (if i < Array.length r.var_names then r.var_names.(i)
+             else Printf.sprintf "out%d" i)
+            Interval.pp o.Tape_check.range o.Tape_check.abs_err
+            (Tape_check.sign_to_string o.Tape_check.sign))
+        t.Tape_check.outputs

@@ -17,11 +17,27 @@
     classification with a solver recommendation, conservation laws
     from the left null space of the change-vector matrix, an interval
     Lipschitz certificate, and dead-code lints.  Each finding carries
-    a stable code ([L001]…), a severity, and the transition or
-    coordinate it points at.  Certification is sound but not complete:
-    interval arithmetic over-approximates, so a [Warning] means
-    "cannot be certified", not "definitely wrong"; an [Error] is a
-    definite violation. *)
+    a stable code, a severity, and the transition or coordinate it
+    points at.  Certification is sound but not complete: interval
+    arithmetic over-approximates, so a [Warning] means "cannot be
+    certified", not "definitely wrong"; an [Error] is a definite
+    violation.
+
+    Two analysis tiers share the one report.  L-codes ([L001]…) are
+    model-tier: properties of the mathematical object (rates, drift,
+    conservation).  T-codes ([T001]…) come from {!Tape_check}, the
+    tape tier: properties of the {e executable} — the compiled
+    instruction stream every solver evaluates — certifying float-safety
+    (division by zero, NaN, overflow), a-priori rounding-error bounds,
+    and sign/monotonicity facts.  [analyze ~tape:true] runs both tiers
+    and merges the T-findings; interval evaluation inside the linter is
+    always total (a zero-containing divisor produces a finding naming
+    the offending instruction, never a [Division_by_zero] exception).
+    Vertex optimality of the Hamiltonian arg max is {e proven}, not
+    guessed: [vertex_certified] holds exactly when every drift
+    coordinate is certified coordinatewise affine in θ with θ-free
+    kinks — syntactic affinity is a sufficient shortcut, second
+    θ-derivatives certified identically zero the general path. *)
 
 open Umf_numerics
 
@@ -65,20 +81,33 @@ type report = {
   lipschitz : float option;
       (** certified bound on ‖∂f/∂x‖∞ over domain × Θ; [None] when not
           certifiable (e.g. a divisor interval containing zero) *)
+  vertex_certified : bool;
+      (** the Hamiltonian arg max is {e proven} attained at a vertex of
+          Θ: every drift coordinate is coordinatewise affine in θ
+          (syntactically, or all second θ-derivatives certified
+          identically zero) and every [Min]/[Max]/[Ite] kink is θ-free *)
   recommended_opt : [ `Vertices | `Box of int ];
-      (** Hamiltonian optimiser: vertex enumeration exactly when every
-          drift coordinate is affine in θ *)
+      (** Hamiltonian optimiser: vertex enumeration exactly when
+          [vertex_certified] *)
+  tape : Tape_check.report option;
+      (** tape-tier report for the drift tape; [None] unless the
+          analysis ran with [~tape:true] *)
 }
 
-val analyze : ?domain:Optim.Box.t -> Umf_meanfield.Model.t -> report
+val analyze : ?domain:Optim.Box.t -> ?tape:bool -> Umf_meanfield.Model.t -> report
 (** Lint a well-formed model.  [domain] is the state box over which
     rates and derivatives are certified; it defaults to the model's
     clip box (itself the unit box [0,1]^dim unless declared
-    otherwise).  Every {!Umf_meanfield.Model.t} is lintable by
-    construction — there is no escape hatch. *)
+    otherwise).  [tape] (default [false]) additionally compiles the
+    drift and its θ-Jacobian and runs {!Tape_check} over domain × Θ,
+    merging the T-findings (float-safety, rounding-error bounds,
+    sign/monotonicity facts) into the report and filling {!report.tape}.
+    Every {!Umf_meanfield.Model.t} is lintable by construction — there
+    is no escape hatch. *)
 
 val analyze_transitions :
   ?domain:Optim.Box.t ->
+  ?tape:bool ->
   name:string ->
   var_names:string array ->
   theta_names:string array ->
@@ -102,7 +131,8 @@ val findings_with : report -> string -> finding list
 (** All findings carrying the given code. *)
 
 val describe : string -> string
-(** One-line description of a lint code (empty for unknown codes). *)
+(** One-line description of a lint code — both families, L-codes and
+    {!Tape_check} T-codes (empty for unknown codes). *)
 
 val severity_to_string : severity -> string
 
@@ -110,5 +140,15 @@ val pp_finding : Format.formatter -> finding -> unit
 
 val pp_report : Format.formatter -> report -> unit
 (** Human-readable report: findings, per-coordinate classification,
-    conservation laws, the Lipschitz certificate and the solver
-    recommendation. *)
+    conservation laws, the Lipschitz certificate, the solver
+    recommendation, and (when present) the tape tier's float-safety
+    and error-bound summary. *)
+
+(** {1 Machine-readable output}
+
+    One JSON object per finding plus one summary object per report —
+    the NDJSON stream behind [umf_cli lint --json]. *)
+
+val finding_to_json : report -> finding -> Umf_obs.Obs.Json.t
+
+val summary_to_json : report -> Umf_obs.Obs.Json.t

@@ -416,3 +416,63 @@ let eval_interval t ~x ~th = eval_interval_into t ~ws:(make_interval_ws t) ~x ~t
 let interval_evaluator t =
   let key = Domain.DLS.new_key (fun () -> make_interval_ws t) in
   fun ~x ~th -> eval_interval_into t ~ws:(Domain.DLS.get key) ~x ~th
+
+(* static-analysis view: decode the packed int-code back into a typed
+   instruction stream *)
+
+type slot_kind =
+  | Slot_const of float
+  | Slot_var of int
+  | Slot_theta of int
+  | Slot_temp
+
+type vinstr =
+  | V_add of int * int
+  | V_sub of int * int
+  | V_mul of int * int
+  | V_div of int * int
+  | V_neg of int
+  | V_pow of int * int
+  | V_min of int * int
+  | V_max of int * int
+  | V_ite of int * int * int
+  | V_muladd of int * int * int
+  | V_submul of int * int * int
+  | V_mulsub of int * int * int
+
+let instructions t =
+  Array.init t.n_instrs (fun k ->
+      let i = 5 * k in
+      let dst = t.code.(i + 1)
+      and a = t.code.(i + 2)
+      and b = t.code.(i + 3)
+      and c = t.code.(i + 4) in
+      let ins =
+        match t.code.(i) with
+        | 0 -> V_add (a, b)
+        | 1 -> V_sub (a, b)
+        | 2 -> V_mul (a, b)
+        | 3 -> V_div (a, b)
+        | 4 -> V_neg a
+        | 5 -> V_pow (a, b)
+        | 6 -> V_min (a, b)
+        | 7 -> V_max (a, b)
+        | 8 -> V_ite (a, b, c)
+        | 9 -> V_muladd (a, b, c)
+        | 10 -> V_submul (a, b, c)
+        | _ -> V_mulsub (a, b, c)
+      in
+      (dst, ins))
+
+let slot_kind t s =
+  if s < 0 || s >= t.n_slots then invalid_arg "Tape.slot_kind: out of range";
+  if s < t.var_base then
+    (* a degenerate tape has one slot but possibly zero constants *)
+    Slot_const (if s < Array.length t.const_val then t.const_val.(s) else 0.)
+  else if s < t.theta_base then Slot_var (s - t.var_base)
+  else if s < t.theta_base + t.n_thetas then Slot_theta (s - t.theta_base)
+  else Slot_temp
+
+let output_slots t = Array.copy t.outs
+
+let input_dims t = (t.n_vars, t.n_thetas)

@@ -86,3 +86,49 @@ val eval_interval :
 val interval_evaluator :
   t -> x:Interval.t array -> th:Interval.t array -> Interval.t array
 (** Domain-local cached interval workspace, as {!evaluator}. *)
+
+(** {1 Static-analysis view}
+
+    A decoded, read-only rendering of the compiled instruction stream.
+    {!Tape_check} abstractly interprets it and the test suite's
+    reference evaluators (e.g. double-double) replay it; neither needs
+    access to the packed int-code.  All slot indices refer to the one
+    shared workspace laid out [constants | variables | parameters |
+    temporaries]; {!slot_kind} classifies each index. *)
+
+type slot_kind =
+  | Slot_const of float  (** preloaded constant *)
+  | Slot_var of int  (** state coordinate x_i *)
+  | Slot_theta of int  (** parameter coordinate θ_j *)
+  | Slot_temp  (** written by exactly one instruction *)
+
+type vinstr =
+  | V_add of int * int
+  | V_sub of int * int
+  | V_mul of int * int
+  | V_div of int * int
+  | V_neg of int
+  | V_pow of int * int  (** base slot, literal exponent (≥ 0) *)
+  | V_min of int * int
+  | V_max of int * int
+  | V_ite of int * int * int
+      (** guard, then-branch (guard ≤ 0), else-branch *)
+  | V_muladd of int * int * int  (** fl(a·b) + c *)
+  | V_submul of int * int * int  (** a − fl(b·c) *)
+  | V_mulsub of int * int * int  (** fl(a·b) − c *)
+
+val instructions : t -> (int * vinstr) array
+(** [(dst, instr)] pairs in execution order — exactly the instructions
+    {!eval_into} executes, fused forms included. *)
+
+val slot_kind : t -> int -> slot_kind
+(** Classification of a workspace slot.
+    @raise Invalid_argument on an out-of-range index. *)
+
+val output_slots : t -> int array
+(** The workspace slot holding each output, in output order.  An
+    output slot need not be a temporary: a constant or input
+    expression compiles to a direct reference. *)
+
+val input_dims : t -> int * int
+(** [(n_vars, n_thetas)]: minimum admissible input dimensions. *)

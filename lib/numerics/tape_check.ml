@@ -1,0 +1,661 @@
+(* Abstract interpretation of compiled tapes.
+
+   One forward pass over [Tape.instructions] carries, per workspace
+   slot, an abstract value
+
+     { lo; hi;    a closed interval enclosing BOTH the exact real
+                  result and the float the tape computes (each
+                  operation widens its endpoints outward by two ulps,
+                  which covers one endpoint rounding plus one interior
+                  rounding);
+       err;       a certified bound on |computed float - exact real|,
+                  propagated first-order (FPTaylor-style): each
+                  operation adds one ulp-weighted rounding term and
+                  amplifies incoming errors by its conditioning over
+                  the ranges.  Branch-local at undecided [Ite]s;
+       nan }      whether the computed value can be NaN.
+
+   The arithmetic is total: division by a zero-containing divisor
+   yields [-inf, inf] plus a finding (T001/T002) — never an exception.
+   NaN endpoints arising from inf - inf / 0 * inf are replaced by the
+   conservative infinity of their side and flagged (T003). *)
+
+type severity = Error | Warning | Info
+
+type subject =
+  | Tape
+  | Output of int
+  | Instr of int
+  | Var_slot of int
+  | Theta_slot of int
+
+type finding = {
+  code : string;
+  severity : severity;
+  subject : subject;
+  message : string;
+}
+
+type sign = Pos | Neg | Zero | Non_neg | Non_pos | Mixed
+
+type output_fact = {
+  range : Interval.t;
+  abs_err : float;
+  sign : sign;
+  constant : bool;
+  may_be_nan : bool;
+}
+
+type report = {
+  findings : finding list;
+  outputs : output_fact array;
+  float_safe : bool;
+  max_abs_err : float;
+  n_instrs : int;
+}
+
+let code_table =
+  [
+    ("T001", "a divisor can be zero on the domain: division-by-zero reachable");
+    ("T002", "divisor is identically zero on the domain: certain division by zero");
+    ("T003", "NaN reachable (inf - inf, 0 * inf, 0/0 or inf/inf)");
+    ("T004", "finite operands can overflow to an infinity");
+    ("T005", "tape certified float-safe: no division by zero, NaN or overflow is reachable");
+    ("T101", "certified a-priori rounding-error bound over the domain");
+    ("T102", "catastrophic cancellation: rounding error amplified to a significant fraction of the result scale");
+    ("T103", "rounding-error bound not certifiable (unbounded) for an output");
+    ("T104", "undecided conditional guard carries rounding error: floats may pick a different branch than exact arithmetic");
+    ("T201", "output sign certified constant over the domain");
+    ("T202", "certified sign of a theta-derivative: output monotone in a parameter");
+    ("T203", "drift certified coordinatewise affine in theta: Hamiltonian vertex optimality proven");
+    ("T204", "vertex optimality of the Hamiltonian arg max not certified");
+    ("T301", "instruction is constant over the domain: foldable, the compiler missed it");
+    ("T302", "output is constant over the domain");
+    ("T303", "input occupies a workspace slot but is never read by any instruction or output");
+    ("T401", "output enclosure is unbounded over the domain");
+  ]
+
+let describe code =
+  match List.assoc_opt code code_table with Some d -> d | None -> ""
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let sign_to_string = function
+  | Pos -> "> 0"
+  | Neg -> "< 0"
+  | Zero -> "= 0"
+  | Non_neg -> ">= 0"
+  | Non_pos -> "<= 0"
+  | Mixed -> "mixed"
+
+(* ------------------------------------------------------------------ *)
+(* the abstract value                                                  *)
+
+type av = { lo : float; hi : float; err : float; nan : bool }
+
+let u = 0x1p-53 (* unit roundoff of binary64 *)
+
+let eta = 0x1p-1074 (* absorbs the absolute part of subnormal rounding *)
+
+(* outward widening by two ulps: covers the rounding of the endpoint
+   computation itself plus the rounding of any interior evaluation *)
+let wlo x = if x = Float.neg_infinity then x else Float.pred (Float.pred x)
+
+let whi x = if x = Float.infinity then x else Float.succ (Float.succ x)
+
+(* build a sane abstract value from raw endpoint candidates: NaN
+   endpoints are replaced by the conservative infinity of their side *)
+let mk ~err ~nan lo hi =
+  let lo = if Float.is_nan lo then Float.neg_infinity else lo in
+  let hi = if Float.is_nan hi then Float.infinity else hi in
+  let lo, hi = if lo <= hi then (lo, hi) else (hi, lo) in
+  let err = if Float.is_nan err then Float.infinity else Float.max 0. err in
+  { lo; hi; err; nan }
+
+let exact v = { lo = v; hi = v; err = 0.; nan = false }
+
+let top = { lo = Float.neg_infinity; hi = Float.infinity; err = Float.infinity; nan = true }
+
+let mag v = Float.max (Float.abs v.lo) (Float.abs v.hi)
+
+let min_mag v = if v.lo > 0. then v.lo else if v.hi < 0. then -.v.hi else 0.
+
+let contains_zero v = v.lo <= 0. && v.hi >= 0.
+
+let has_pinf v = v.hi = Float.infinity
+
+let has_ninf v = v.lo = Float.neg_infinity
+
+let has_inf v = has_pinf v || has_ninf v
+
+let finite_range v = (not (has_inf v)) && not v.nan
+
+let width v = if v.lo = v.hi then 0. else v.hi -. v.lo
+
+(* one rounding on a result confined to [lo, hi] *)
+let rnd lo hi =
+  let m = Float.max (Float.abs lo) (Float.abs hi) in
+  if Float.is_finite m then (u *. m) +. eta else Float.infinity
+
+(* error-term product that treats 0 * inf as 0: a zero incoming error
+   is exactly zero no matter the amplification, and vice versa *)
+let emul m e = if e = 0. || m = 0. then 0. else m *. e
+
+(* relative error against the value's own scale — drives the
+   cancellation detector *)
+let rel v =
+  if not (Float.is_finite v.err) then Float.infinity
+  else
+    let s = width v +. mag v in
+    if Float.is_finite s then v.err /. (s +. 1e-300) else 0.
+
+(* ------------------------------------------------------------------ *)
+(* transfer functions                                                  *)
+
+(* each returns the result plus the defects this operation introduces:
+   [`Overflow] — finite operands, infinite result; [`Fresh_nan] — NaN
+   not inherited from an operand *)
+
+type defect = D_overflow | D_fresh_nan
+
+let defects_of a b r =
+  let d = if (not (has_inf a || has_inf b)) && has_inf r then [ D_overflow ] else [] in
+  if r.nan && not (a.nan || b.nan) then D_fresh_nan :: d else d
+
+let av_add a b =
+  let lo = wlo (a.lo +. b.lo) and hi = whi (a.hi +. b.hi) in
+  let nan =
+    a.nan || b.nan || (has_pinf a && has_ninf b) || (has_ninf a && has_pinf b)
+  in
+  let r = mk ~err:(a.err +. b.err +. rnd lo hi) ~nan lo hi in
+  (r, defects_of a b r)
+
+let av_sub a b =
+  let lo = wlo (a.lo -. b.hi) and hi = whi (a.hi -. b.lo) in
+  let nan =
+    a.nan || b.nan || (has_pinf a && has_pinf b) || (has_ninf a && has_ninf b)
+  in
+  let r = mk ~err:(a.err +. b.err +. rnd lo hi) ~nan lo hi in
+  (r, defects_of a b r)
+
+let av_neg a = { a with lo = -.a.hi; hi = -.a.lo }
+
+let av_mul a b =
+  let zero_times_inf =
+    (contains_zero a && has_inf b) || (contains_zero b && has_inf a)
+  in
+  let lo, hi =
+    if zero_times_inf then (Float.neg_infinity, Float.infinity)
+    else begin
+      let p1 = a.lo *. b.lo
+      and p2 = a.lo *. b.hi
+      and p3 = a.hi *. b.lo
+      and p4 = a.hi *. b.hi in
+      ( wlo (Float.min (Float.min p1 p2) (Float.min p3 p4)),
+        whi (Float.max (Float.max p1 p2) (Float.max p3 p4)) )
+    end
+  in
+  let nan = a.nan || b.nan || zero_times_inf in
+  let err =
+    emul (mag b) a.err +. emul (mag a) b.err +. emul a.err b.err +. rnd lo hi
+  in
+  let r = mk ~err ~nan lo hi in
+  (r, defects_of a b r)
+
+let av_div a b =
+  if contains_zero b then
+    (* total: unbounded quotient, never an exception; the caller turns
+       this into T001/T002 *)
+    let nan = a.nan || b.nan || contains_zero a in
+    let certain = b.lo = 0. && b.hi = 0. in
+    ( mk ~err:Float.infinity ~nan Float.neg_infinity Float.infinity,
+      [ D_fresh_nan ],
+      Some (if certain then `Certain else `Possible) )
+  else begin
+    let inf_over_inf = has_inf a && has_inf b in
+    let lo, hi =
+      if inf_over_inf then (Float.neg_infinity, Float.infinity)
+      else begin
+        let q1 = a.lo /. b.lo
+        and q2 = a.lo /. b.hi
+        and q3 = a.hi /. b.lo
+        and q4 = a.hi /. b.hi in
+        ( wlo (Float.min (Float.min q1 q2) (Float.min q3 q4)),
+          whi (Float.max (Float.max q1 q2) (Float.max q3 q4)) )
+      end
+    in
+    let nan = a.nan || b.nan || inf_over_inf in
+    let bm = min_mag b in
+    let err =
+      (emul (mag b) a.err +. emul (mag a) b.err) /. (bm *. bm) +. rnd lo hi
+    in
+    let r = mk ~err ~nan lo hi in
+    (r, defects_of a b r, None)
+  end
+
+let av_min a b =
+  mk
+    ~err:(Float.max a.err b.err)
+    ~nan:(a.nan || b.nan)
+    (Float.min a.lo b.lo) (Float.min a.hi b.hi)
+
+let av_max a b =
+  mk
+    ~err:(Float.max a.err b.err)
+    ~nan:(a.nan || b.nan)
+    (Float.max a.lo b.lo) (Float.max a.hi b.hi)
+
+(* the ideal (real-arithmetic) range of an integer power, via the
+   squaring recurrence — tight for even powers straddling zero *)
+let pow_ideal (lo, hi) n =
+  let mul (al, ah) (bl, bh) =
+    let p1 = al *. bl and p2 = al *. bh and p3 = ah *. bl and p4 = ah *. bh in
+    let sane v side = if Float.is_nan v then side else v in
+    ( sane (Float.min (Float.min p1 p2) (Float.min p3 p4)) Float.neg_infinity,
+      sane (Float.max (Float.max p1 p2) (Float.max p3 p4)) Float.infinity )
+  in
+  let sq (l, h) =
+    let m = Float.max (Float.abs l) (Float.abs h) in
+    if l <= 0. && h >= 0. then (0., m *. m) else
+      let a = Float.abs l *. Float.abs l and b = Float.abs h *. Float.abs h in
+      (Float.min a b, Float.max a b)
+  in
+  let rec go n =
+    if n = 0 then (1., 1.)
+    else if n mod 2 = 0 then sq (go (n / 2))
+    else mul (lo, hi) (go (n - 1))
+  in
+  go n
+
+(* x^n as the tape computes it: a left fold of n multiplications from
+   1.0 — the error recurrence follows that association exactly, and
+   the range is tightened by the ideal squaring enclosure expanded by
+   the accumulated error *)
+let av_pow a n =
+  if n = 0 then (exact 1., [])
+  else begin
+    let r = ref (exact 1.) in
+    let ds = ref [] in
+    for _ = 1 to n do
+      let r', d = av_mul !r a in
+      r := r';
+      ds := d @ !ds
+    done;
+    let r = !r in
+    let il, ih = pow_ideal (a.lo, a.hi) n in
+    let r =
+      if Float.is_finite r.err && not r.nan then begin
+        (* both the exact value (in the ideal range) and the computed
+           one (within err of it) lie in the expanded ideal range *)
+        let lo = Float.max r.lo (wlo (il -. r.err))
+        and hi = Float.min r.hi (whi (ih +. r.err)) in
+        if lo <= hi then { r with lo; hi } else r
+      end
+      else r
+    in
+    (r, List.sort_uniq compare !ds)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* the analysis                                                        *)
+
+let sign_of_range ~nan lo hi =
+  if nan then Mixed
+  else if lo = 0. && hi = 0. then Zero
+  else if lo > 0. then Pos
+  else if hi < 0. then Neg
+  else if lo >= 0. then Non_neg
+  else if hi <= 0. then Non_pos
+  else Mixed
+
+let analyze ?var_names ?theta_names tape ~x ~th =
+  let n_vars, n_thetas = Tape.input_dims tape in
+  if Array.length x < n_vars then
+    invalid_arg "Tape_check.analyze: variable box too small";
+  if Array.length th < n_thetas then
+    invalid_arg "Tape_check.analyze: theta box too small";
+  let n_slots = Tape.n_slots tape in
+  let var_name i =
+    match var_names with
+    | Some a when i < Array.length a -> a.(i)
+    | _ -> Printf.sprintf "x%d" i
+  in
+  let theta_name j =
+    match theta_names with
+    | Some a when j < Array.length a -> a.(j)
+    | _ -> Printf.sprintf "th%d" j
+  in
+  let slot_str s =
+    match Tape.slot_kind tape s with
+    | Tape.Slot_const c -> Printf.sprintf "%g" c
+    | Tape.Slot_var i -> var_name i
+    | Tape.Slot_theta j -> theta_name j
+    | Tape.Slot_temp -> Printf.sprintf "t%d" s
+  in
+  let slots = Array.make n_slots (exact 0.) in
+  for s = 0 to n_slots - 1 do
+    slots.(s) <-
+      (match Tape.slot_kind tape s with
+      | Tape.Slot_const c ->
+          if Float.is_nan c then top else { (exact c) with nan = false }
+      | Tape.Slot_var i ->
+          { lo = Interval.lo x.(i); hi = Interval.hi x.(i); err = 0.; nan = false }
+      | Tape.Slot_theta j ->
+          { lo = Interval.lo th.(j); hi = Interval.hi th.(j); err = 0.; nan = false }
+      | Tape.Slot_temp -> exact 0.)
+  done;
+  let findings = ref [] in
+  let seen = Hashtbl.create 32 in
+  let note code severity subject fmt =
+    Printf.ksprintf
+      (fun message ->
+        let key = (code, subject) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          findings := { code; severity; subject; message } :: !findings
+        end)
+      fmt
+  in
+  let instrs = Tape.instructions tape in
+  let v s = slots.(s) in
+  Array.iteri
+    (fun k (dst, ins) ->
+      let subj = Instr k in
+      let op_str =
+        let bin name a b = Printf.sprintf "%s := %s(%s, %s)" (slot_str dst) name (slot_str a) (slot_str b) in
+        let tern name a b c =
+          Printf.sprintf "%s := %s(%s, %s, %s)" (slot_str dst) name (slot_str a)
+            (slot_str b) (slot_str c)
+        in
+        match ins with
+        | Tape.V_add (a, b) -> bin "add" a b
+        | Tape.V_sub (a, b) -> bin "sub" a b
+        | Tape.V_mul (a, b) -> bin "mul" a b
+        | Tape.V_div (a, b) -> bin "div" a b
+        | Tape.V_neg a -> Printf.sprintf "%s := neg(%s)" (slot_str dst) (slot_str a)
+        | Tape.V_pow (a, n) ->
+            Printf.sprintf "%s := pow(%s, %d)" (slot_str dst) (slot_str a) n
+        | Tape.V_min (a, b) -> bin "min" a b
+        | Tape.V_max (a, b) -> bin "max" a b
+        | Tape.V_ite (g, a, b) -> tern "ite" g a b
+        | Tape.V_muladd (a, b, c) -> tern "muladd" a b c
+        | Tape.V_submul (a, b, c) -> tern "submul" a b c
+        | Tape.V_mulsub (a, b, c) -> tern "mulsub" a b c
+      in
+      let note_defects ds =
+        List.iter
+          (function
+            | D_overflow ->
+                note "T004" Warning subj
+                  "instruction #%d (%s): finite operands can overflow to an \
+                   infinity"
+                  k op_str
+            | D_fresh_nan ->
+                note "T003" Warning subj
+                  "instruction #%d (%s): the result can be NaN" k op_str)
+          ds
+      in
+      let note_div = function
+        | None -> ()
+        | Some `Certain ->
+            note "T002" Error subj
+              "instruction #%d (%s): the divisor is identically zero on the \
+               domain — certain division by zero"
+              k op_str
+        | Some `Possible ->
+            note "T001" Warning subj
+              "instruction #%d (%s): the divisor's enclosure contains zero — \
+               division by zero is reachable (guard the denominator, e.g. \
+               max(den, eps))"
+              k op_str
+      in
+      (* additive operations get the cancellation detector: fire when
+         the relative error jumps across the operation, not merely
+         when a large upstream error flows through *)
+      let cancel_check operands r =
+        if Float.is_finite r.err && finite_range r then begin
+          let rel_out = rel r in
+          let rel_in =
+            List.fold_left (fun m o -> Float.max m (rel o)) 0. operands
+          in
+          if rel_out >= 0.1 && rel_out >= 8. *. rel_in then
+            note "T102" Warning subj
+              "instruction #%d (%s): catastrophic cancellation — the \
+               certified rounding error %.3g is %.0f%% of the result scale \
+               [%g, %g]"
+              k op_str r.err
+              (100. *. rel_out)
+              r.lo r.hi
+        end
+      in
+      let r =
+        match ins with
+        | Tape.V_add (a, b) ->
+            let r, ds = av_add (v a) (v b) in
+            note_defects ds;
+            cancel_check [ v a; v b ] r;
+            r
+        | Tape.V_sub (a, b) ->
+            let r, ds = av_sub (v a) (v b) in
+            note_defects ds;
+            cancel_check [ v a; v b ] r;
+            r
+        | Tape.V_mul (a, b) ->
+            let r, ds = av_mul (v a) (v b) in
+            note_defects ds;
+            r
+        | Tape.V_div (a, b) ->
+            let r, ds, div = av_div (v a) (v b) in
+            note_div div;
+            if div = None then note_defects ds;
+            r
+        | Tape.V_neg a -> av_neg (v a)
+        | Tape.V_pow (a, n) ->
+            let r, ds = av_pow (v a) n in
+            note_defects ds;
+            r
+        | Tape.V_min (a, b) -> av_min (v a) (v b)
+        | Tape.V_max (a, b) -> av_max (v a) (v b)
+        | Tape.V_ite (g, a, b) ->
+            let g = v g in
+            if g.hi <= 0. && not g.nan then v a
+            else if g.lo > 0. && not g.nan then v b
+            else begin
+              (* undecided guard: hull of the eagerly computed branches;
+                 the error bound stays branch-local *)
+              if g.err > 0. then
+                note "T104" Info subj
+                  "instruction #%d (%s): the guard is undecided over the \
+                   domain and carries rounding error <= %.3g — floats can \
+                   select a different branch than exact arithmetic near the \
+                   threshold (the error bound is per-branch)"
+                  k op_str g.err;
+              let a = v a and b = v b in
+              mk
+                ~err:(Float.max a.err b.err)
+                ~nan:(a.nan || b.nan || g.nan)
+                (Float.min a.lo b.lo) (Float.max a.hi b.hi)
+            end
+        | Tape.V_muladd (a, b, c) ->
+            let m, ds1 = av_mul (v a) (v b) in
+            let r, ds2 = av_add m (v c) in
+            note_defects (ds1 @ ds2);
+            cancel_check [ m; v c ] r;
+            r
+        | Tape.V_submul (a, b, c) ->
+            let m, ds1 = av_mul (v b) (v c) in
+            let r, ds2 = av_sub (v a) m in
+            note_defects (ds1 @ ds2);
+            cancel_check [ v a; m ] r;
+            r
+        | Tape.V_mulsub (a, b, c) ->
+            let m, ds1 = av_mul (v a) (v b) in
+            let r, ds2 = av_sub m (v c) in
+            note_defects (ds1 @ ds2);
+            cancel_check [ m; v c ] r;
+            r
+      in
+      slots.(dst) <- r;
+      (* constant folding the compiler missed: the result is one value
+         (up to rounding slack) over the whole domain *)
+      if
+        finite_range r
+        && (width r = 0. || (mag r > 0. && width r <= 8. *. u *. mag r))
+      then
+        note "T301" Info subj
+          "instruction #%d (%s) is constant (~ %g) over the domain — the \
+           compiler could fold it"
+          k op_str
+          ((r.lo +. r.hi) /. 2.))
+    instrs;
+
+  (* -------- dead input slots: T303 ------------------------------- *)
+  let used = Array.make n_slots false in
+  Array.iter
+    (fun (_, ins) ->
+      let u s = used.(s) <- true in
+      match ins with
+      | Tape.V_add (a, b)
+      | Tape.V_sub (a, b)
+      | Tape.V_mul (a, b)
+      | Tape.V_div (a, b)
+      | Tape.V_min (a, b)
+      | Tape.V_max (a, b) ->
+          u a;
+          u b
+      | Tape.V_neg a | Tape.V_pow (a, _) -> u a
+      | Tape.V_ite (a, b, c)
+      | Tape.V_muladd (a, b, c)
+      | Tape.V_submul (a, b, c)
+      | Tape.V_mulsub (a, b, c) ->
+          u a;
+          u b;
+          u c)
+    instrs;
+  Array.iter (fun s -> used.(s) <- true) (Tape.output_slots tape);
+  for s = 0 to n_slots - 1 do
+    if not used.(s) then
+      match Tape.slot_kind tape s with
+      | Tape.Slot_var i ->
+          note "T303" Warning (Var_slot i)
+            "input %s occupies workspace slot %d but is never read by any \
+             instruction or output"
+            (var_name i) s
+      | Tape.Slot_theta j ->
+          note "T303" Warning (Theta_slot j)
+            "input %s occupies workspace slot %d but is never read by any \
+             instruction or output"
+            (theta_name j) s
+      | Tape.Slot_const _ | Tape.Slot_temp -> ()
+  done;
+
+  (* -------- per-output facts: T101/T103/T201/T302/T401 ------------ *)
+  let outs = Tape.output_slots tape in
+  let outputs =
+    Array.mapi
+      (fun i s ->
+        let a = slots.(s) in
+        let constant = finite_range a && width a = 0. in
+        let sign = sign_of_range ~nan:a.nan a.lo a.hi in
+        if has_inf a then
+          note "T401" Warning (Output i)
+            "output %d: enclosure [%g, %g] is unbounded over the domain" i
+            a.lo a.hi;
+        if not (Float.is_finite a.err) then
+          note "T103" Warning (Output i)
+            "output %d: the rounding-error bound is not certifiable \
+             (unbounded) over the domain"
+            i
+        else if constant then
+          note "T302" Info (Output i)
+            "output %d is constant (= %g) over the domain" i a.lo
+        else if sign <> Mixed then
+          note "T201" Info (Output i)
+            "output %d: sign certified %s over the domain (enclosure [%g, %g])"
+            i (sign_to_string sign) a.lo a.hi;
+        {
+          range = Interval.make a.lo a.hi;
+          abs_err = a.err;
+          sign;
+          constant;
+          may_be_nan = a.nan;
+        })
+      outs
+  in
+  let max_abs_err =
+    Array.fold_left (fun m o -> Float.max m o.abs_err) 0. outputs
+  in
+  let float_safe =
+    not
+      (List.exists
+         (fun f -> match f.code with "T001" | "T002" | "T003" | "T004" -> true | _ -> false)
+         !findings)
+  in
+  if float_safe && Array.length outs > 0 then
+    note "T005" Info Tape
+      "tape certified float-safe over the domain: no division by zero, NaN \
+       or overflow is reachable in any of its %d instructions"
+      (Array.length instrs);
+  if Float.is_finite max_abs_err && Array.length outs > 0 then
+    note "T101" Info Tape
+      "certified a-priori rounding-error bound: every output is within %.3g \
+       of its exact real value (worst output, branch-local at kinks)"
+      max_abs_err;
+  let findings =
+    List.sort
+      (fun a b ->
+        match compare a.code b.code with
+        | 0 -> compare a.message b.message
+        | c -> c)
+      !findings
+  in
+  {
+    findings;
+    outputs;
+    float_safe;
+    max_abs_err;
+    n_instrs = Array.length instrs;
+  }
+
+let ranges tape ~x ~th =
+  Array.map (fun o -> o.range) (analyze tape ~x ~th).outputs
+
+(* ------------------------------------------------------------------ *)
+(* report access and printing                                          *)
+
+let errors r = List.filter (fun f -> f.severity = Error) r.findings
+
+let warnings r = List.filter (fun f -> f.severity = Warning) r.findings
+
+let ok r = errors r = []
+
+let findings_with r code = List.filter (fun f -> f.code = code) r.findings
+
+let pp_finding ppf f =
+  Format.fprintf ppf "[%s] %-7s %s" f.code (severity_to_string f.severity)
+    f.message
+
+let pp_report ppf r =
+  let n_err = List.length (errors r) and n_warn = List.length (warnings r) in
+  let n_info = List.length r.findings - n_err - n_warn in
+  Format.fprintf ppf
+    "tape analysis: %d instruction%s, %d error%s, %d warning%s, %d info%s@."
+    r.n_instrs
+    (if r.n_instrs = 1 then "" else "s")
+    n_err
+    (if n_err = 1 then "" else "s")
+    n_warn
+    (if n_warn = 1 then "" else "s")
+    n_info
+    (if n_info = 1 then "" else "s");
+  List.iter (fun f -> Format.fprintf ppf "  %a@." pp_finding f) r.findings;
+  Array.iteri
+    (fun i o ->
+      Format.fprintf ppf "  output %d: range %a, |err| <= %.3g, sign %s%s%s@."
+        i Interval.pp o.range o.abs_err (sign_to_string o.sign)
+        (if o.constant then ", constant" else "")
+        (if o.may_be_nan then ", may be NaN" else ""))
+    r.outputs

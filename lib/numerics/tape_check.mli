@@ -1,0 +1,132 @@
+(** Abstract interpretation of compiled tapes: certified float-safety,
+    a-priori rounding-error bounds, and sign facts.
+
+    {!Lint} certifies properties of the {e mathematical} model — rate
+    signs, Lipschitz constants — at the {!Expr} level.  This module
+    certifies the {e executable}: it abstractly interprets the exact
+    instruction stream of a compiled {!Tape} (fused multiply-adds,
+    eager [Ite] branches and all) over a state box × θ-box, in three
+    cooperating abstract domains:
+
+    - {b Ranges.}  A total, outward-widened interval per slot.  Unlike
+      {!Interval.div}, division by a zero-containing divisor never
+      raises: it yields an unbounded enclosure and a finding.  Every
+      enclosure contains both the real-arithmetic value and the float
+      value actually computed by {!Tape.eval_into}, because each
+      widening step covers one rounding.  Range facts certify the
+      absence of division-by-zero, NaN and overflow per instruction
+      (T0xx) and flag constant/dead code (T3xx) and unbounded outputs
+      (T401).
+
+    - {b First-order error forms.}  Alongside its range, each slot
+      carries an accumulated absolute rounding-error bound: a proof
+      that the computed float differs from the exact real result by at
+      most that much, propagated FPTaylor-style (each operation adds
+      one ulp-weighted rounding term and amplifies the incoming errors
+      by the operation's conditioning over the ranges).  The bound is
+      {e branch-local}: at an [Ite]/[Min]/[Max] whose comparison is not
+      decided over the box, it bounds the distance to the exact result
+      {e of the branch the floats chose}; undecided guards whose
+      operand carries rounding error are reported separately (T104)
+      rather than charged the full branch gap, which would drown every
+      piecewise model in noise.  Per-output bounds surface as T101 and
+      as {!output_fact.abs_err}.
+
+    - {b Sign facts.}  Decided output signs over the box (T201 at this
+      level; {!Lint} runs Jacobian tapes through the same interpreter
+      to obtain certified ∂f/∂θ monotonicity and vertex-optimality
+      facts, T202–T204).
+
+    Soundness contract (property-tested at 10⁴ points per bundled
+    model): for every input in the box, the value computed by
+    {!Tape.eval_into} lies inside [range] and within [abs_err] of the
+    exact real evaluation with the same branch choices.  The analysis
+    is sound but not complete — interval dependency makes ranges
+    over-wide, so a [Warning] means "not certified", not "wrong";
+    [Error] (T002: a divisor identically zero) is a definite defect. *)
+
+type severity = Error | Warning | Info
+
+type subject =
+  | Tape  (** the tape as a whole *)
+  | Output of int  (** the i-th compiled expression *)
+  | Instr of int  (** instruction index, as in {!Tape.instructions} *)
+  | Var_slot of int  (** input slot for state coordinate x_i *)
+  | Theta_slot of int  (** input slot for parameter θ_j *)
+
+type finding = {
+  code : string;  (** stable code, ["T001"]… *)
+  severity : severity;
+  subject : subject;
+  message : string;
+}
+
+(** Decided sign of an output over the whole domain. *)
+type sign = Pos | Neg | Zero | Non_neg | Non_pos | Mixed
+
+type output_fact = {
+  range : Interval.t;
+      (** enclosure of both the real and the computed value; endpoints
+          may be infinite *)
+  abs_err : float;
+      (** certified bound on |computed float − exact real| (branch-
+          local, see above); [infinity] when not certifiable *)
+  sign : sign;  (** decided from [range] (real semantics) *)
+  constant : bool;  (** the output is one value over the whole box *)
+  may_be_nan : bool;  (** NaN reachable (e.g. 0/0 under a guard) *)
+}
+
+type report = {
+  findings : finding list;  (** in code order *)
+  outputs : output_fact array;  (** one per tape output *)
+  float_safe : bool;
+      (** no division-by-zero, NaN or overflow is reachable (no T0xx
+          defect anywhere in the tape) *)
+  max_abs_err : float;
+      (** max of [abs_err] over the outputs; 0 for an output-free tape *)
+  n_instrs : int;  (** instructions interpreted *)
+}
+
+val analyze :
+  ?var_names:string array ->
+  ?theta_names:string array ->
+  Tape.t ->
+  x:Interval.t array ->
+  th:Interval.t array ->
+  report
+(** Interpret the tape over the given boxes.  [x]/[th] must cover the
+    tape's input dimensions; names (when given) make messages readable.
+    Never raises on any tape content — total by construction.
+    @raise Invalid_argument on input dimension mismatch only. *)
+
+val ranges :
+  Tape.t -> x:Interval.t array -> th:Interval.t array -> Interval.t array
+(** Total replacement for {!Tape.eval_interval}: per-output enclosures
+    that never raise — a division by a zero-containing divisor yields
+    infinite endpoints instead of [Division_by_zero].  Slightly wider
+    than {!Tape.eval_interval} (outward widening covers rounding). *)
+
+(** {1 Report access} *)
+
+val errors : report -> finding list
+
+val warnings : report -> finding list
+
+val ok : report -> bool
+(** No [Error]-level findings. *)
+
+val findings_with : report -> string -> finding list
+
+val describe : string -> string
+(** One-line description of a T-code (empty for unknown codes). *)
+
+val code_table : (string * string) list
+(** All T-codes with their descriptions, in code order. *)
+
+val severity_to_string : severity -> string
+
+val sign_to_string : sign -> string
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val pp_report : Format.formatter -> report -> unit
