@@ -5,11 +5,16 @@ type t = {
   theta : Optim.Box.t;
   drift : Vec.t -> Vec.t -> Vec.t;
   jacobian : (Vec.t -> Vec.t -> Mat.t) option;
+  plan : Tape.Plan.t option;
 }
 
-let make ?jacobian ~dim ~theta drift =
+let make ?jacobian ?plan ~dim ~theta drift =
   if dim <= 0 then invalid_arg "Di.make: need dim > 0";
-  { dim; theta; drift; jacobian }
+  (match plan with
+  | Some p when Tape.n_outputs (Tape.Plan.tape p) <> dim ->
+      invalid_arg "Di.make: plan output count differs from dim"
+  | _ -> ());
+  { dim; theta; drift; jacobian; plan }
 
 let of_population ?jacobian (m : Umf_meanfield.Population.t) =
   {
@@ -17,6 +22,7 @@ let of_population ?jacobian (m : Umf_meanfield.Population.t) =
     theta = m.Umf_meanfield.Population.theta;
     drift = Umf_meanfield.Population.drift m;
     jacobian;
+    plan = None;
   }
 
 let of_model (m : Umf_meanfield.Model.t) =
@@ -25,6 +31,7 @@ let of_model (m : Umf_meanfield.Model.t) =
     theta = Umf_meanfield.Model.theta m;
     drift = Umf_meanfield.Model.drift m;
     jacobian = Some (Umf_meanfield.Model.jacobian m);
+    plan = Some (Umf_meanfield.Model.drift_plan m);
   }
 
 let integrate_constant ?obs di ~theta ~x0 ~horizon ~dt =
@@ -35,6 +42,183 @@ let integrate_control ?obs di ~control ~x0 ~horizon ~dt =
   Ode.integrate ?obs
     (fun t x -> di.drift x (Optim.Box.clamp di.theta (control t x)))
     ~t0:0. ~y0:x0 ~t1:horizon ~dt
+
+(* ---- lockstep batched integration over a compiled drift plan ----
+
+   All lanes share the time grid (it never depends on the state), so a
+   whole family of selections advances through one RK4 step at a time
+   with the four stage drifts evaluated by [Tape.Plan.run_batch].  The
+   per-lane arithmetic below transcribes [Ode.rk4_step] /
+   [Ode.integrate] term for term — [axpy_rows] is [Vec.axpy_into],
+   [combine_rows] the stage combination, [Float.min dt (t1 - t)] the
+   step clamp — and the batch kernel is bit-identical to the scalar
+   tape, so every lane's trajectory equals its [integrate_constant] /
+   [integrate_control] twin bitwise, for any [par]. *)
+
+(* tmp := (a * k) + y, per entry (= Vec.axpy_into per lane) *)
+let axpy_rows a (k : Mat.t) (y : Mat.t) (tmp : Mat.t) =
+  let kd = Mat.data k and yd = Mat.data y and td = Mat.data tmp in
+  for i = 0 to Array.length td - 1 do
+    td.(i) <- (a *. kd.(i)) +. yd.(i)
+  done
+
+(* y := y + (h/6)(k1 + 2 k2 + 2 k3 + k4), as [Ode.rk4_step] *)
+let combine_rows h (y : Mat.t) k1 k2 k3 k4 =
+  let yd = Mat.data y
+  and k1d = Mat.data k1
+  and k2d = Mat.data k2
+  and k3d = Mat.data k3
+  and k4d = Mat.data k4 in
+  for i = 0 to Array.length yd - 1 do
+    yd.(i) <-
+      yd.(i)
+      +. ((h /. 6.) *. (k1d.(i) +. (2. *. k2d.(i)) +. (2. *. k3d.(i)) +. k4d.(i)))
+  done
+
+(* one lockstep RK4 step; [theta_at t xs ths] refreshes the per-lane
+   parameter rows at a stage time/state (no-op for constant θ) *)
+let lockstep_step ?par plan ~theta_at ~t ~h ~ys ~ths ~tmp ~k1 ~k2 ~k3 ~k4 =
+  theta_at t ys ths;
+  Tape.Plan.run_batch ?par plan ~xs:ys ~ths ~out:k1;
+  axpy_rows (h /. 2.) k1 ys tmp;
+  theta_at (t +. (h /. 2.)) tmp ths;
+  Tape.Plan.run_batch ?par plan ~xs:tmp ~ths ~out:k2;
+  axpy_rows (h /. 2.) k2 ys tmp;
+  theta_at (t +. (h /. 2.)) tmp ths;
+  Tape.Plan.run_batch ?par plan ~xs:tmp ~ths ~out:k3;
+  axpy_rows h k3 ys tmp;
+  theta_at (t +. h) tmp ths;
+  Tape.Plan.run_batch ?par plan ~xs:tmp ~ths ~out:k4;
+  combine_rows h ys k1 k2 k3 k4
+
+(* drive [n] lanes from x0 to the horizon; [record t ys] observes the
+   shared time grid exactly as [Ode.integrate] builds it *)
+let lockstep_run ?par di plan ~theta_at ~theta_cols ~record ~x0 ~horizon ~dt ~n
+    =
+  if horizon < 0. then invalid_arg "Ode: t1 < t0";
+  if dt <= 0. then invalid_arg "Ode: dt <= 0";
+  let d = di.dim in
+  if Vec.dim x0 <> d then invalid_arg "Di: x0 dimension mismatch";
+  let ys = Mat.init n d (fun _ j -> x0.(j)) in
+  let ths = Mat.zeros n (Stdlib.max 1 theta_cols) in
+  let tmp = Mat.zeros n d
+  and k1 = Mat.zeros n d
+  and k2 = Mat.zeros n d
+  and k3 = Mat.zeros n d
+  and k4 = Mat.zeros n d in
+  let t = ref 0. in
+  record !t ys;
+  while !t < horizon -. 1e-12 do
+    let h = Float.min dt (horizon -. !t) in
+    lockstep_step ?par plan ~theta_at ~t:!t ~h ~ys ~ths ~tmp ~k1 ~k2 ~k3 ~k4;
+    t := !t +. h;
+    record !t ys
+  done
+
+let mat_row (m : Mat.t) i =
+  let d = Mat.cols m in
+  Array.init d (fun j -> Mat.get m i j)
+
+let fill_thetas (ths : Mat.t) (thetas : Vec.t array) =
+  Array.iteri
+    (fun l th ->
+      for j = 0 to Vec.dim th - 1 do
+        Mat.set ths l j th.(j)
+      done)
+    thetas
+
+let theta_width di (thetas : Vec.t array) =
+  Array.fold_left (fun w th -> Stdlib.max w (Vec.dim th))
+    (Optim.Box.dim di.theta) thetas
+
+let integrate_constant_batch ?par di ~(thetas : Vec.t array) ~x0 ~horizon ~dt =
+  let n = Array.length thetas in
+  if n = 0 then [||]
+  else
+    match di.plan with
+    | None ->
+        Array.map
+          (fun theta -> integrate_constant di ~theta ~x0 ~horizon ~dt)
+          thetas
+    | Some plan ->
+        let times = ref [] and states = Array.make n [] in
+        let record t ys =
+          times := t :: !times;
+          for l = 0 to n - 1 do
+            states.(l) <- mat_row ys l :: states.(l)
+          done
+        in
+        let theta_cols = theta_width di thetas in
+        (* constant θ: fill the rows once, before the first stage *)
+        let primed = ref false in
+        let theta_at _t _xs ths =
+          if not !primed then begin
+            primed := true;
+            fill_thetas ths thetas
+          end
+        in
+        lockstep_run ?par di plan ~theta_at ~theta_cols ~record ~x0 ~horizon
+          ~dt ~n;
+        Array.map
+          (fun rev ->
+            let sts = Array.of_list (List.rev rev) in
+            Ode.Traj.of_arrays (Array.of_list (List.rev !times)) sts)
+          states
+
+let integrate_to_constant_batch ?par di ~(thetas : Vec.t array) ~x0 ~horizon
+    ~dt =
+  let n = Array.length thetas in
+  if n = 0 then [||]
+  else
+    match di.plan with
+    | None ->
+        Array.map
+          (fun theta ->
+            Ode.Traj.last (integrate_constant di ~theta ~x0 ~horizon ~dt))
+          thetas
+    | Some plan ->
+        let last = ref None in
+        let record _t ys = last := Some ys in
+        let theta_cols = theta_width di thetas in
+        let primed = ref false in
+        let theta_at _t _xs ths =
+          if not !primed then begin
+            primed := true;
+            fill_thetas ths thetas
+          end
+        in
+        lockstep_run ?par di plan ~theta_at ~theta_cols ~record ~x0 ~horizon
+          ~dt ~n;
+        let ys = match !last with Some m -> m | None -> assert false in
+        Array.init n (fun l -> mat_row ys l)
+
+let integrate_control_batch ?par di
+    ~(controls : (float -> Vec.t -> Vec.t) array) ~x0 ~horizon ~dt =
+  let n = Array.length controls in
+  if n = 0 then [||]
+  else
+    match di.plan with
+    | None ->
+        Array.map
+          (fun control ->
+            Ode.Traj.last (integrate_control di ~control ~x0 ~horizon ~dt))
+          controls
+    | Some plan ->
+        let last = ref None in
+        let record _t ys = last := Some ys in
+        let theta_cols = Optim.Box.dim di.theta in
+        let theta_at t xs ths =
+          for l = 0 to n - 1 do
+            let th = Optim.Box.clamp di.theta (controls.(l) t (mat_row xs l)) in
+            for j = 0 to Vec.dim th - 1 do
+              Mat.set ths l j th.(j)
+            done
+          done
+        in
+        lockstep_run ?par di plan ~theta_at ~theta_cols ~record ~x0 ~horizon
+          ~dt ~n;
+        let ys = match !last with Some m -> m | None -> assert false in
+        Array.init n (fun l -> mat_row ys l)
 
 let costate_rhs di ~x ~theta ~p =
   match di.jacobian with

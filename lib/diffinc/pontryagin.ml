@@ -85,15 +85,71 @@ let solve ?(steps = 400) ?(max_iter = 200) ?(tol = 1e-4) ?(relax = 0.5)
   (* each update_control call evaluates the Hamiltonian arg max once
      per grid interval *)
   let update_calls = ref 0 in
-  let update_control ~relax =
-    incr update_calls;
-    for i = 0 to steps - 1 do
-      (* evaluate at the interval midpoint state/costate *)
-      let x = Vec.lerp xs.(i) xs.(i + 1) 0.5 in
-      let p = Vec.lerp ps.(i) ps.(i + 1) 0.5 in
-      let star = Di.argmax_hamiltonian ~opt di ~x ~p in
-      control.(i) <- Vec.lerp control.(i) star relax
-    done
+  let update_control =
+    match (opt, di.Di.plan) with
+    | `Vertices, Some plan ->
+        (* compiled drift + vertex enumeration: evaluate the drift at
+           every (interval midpoint, Θ-vertex) pair in ONE batched
+           sweep per call, then replay [Optim.argmax_vertices]'s
+           keep-first fold per interval.  H = f·p uses [Vec.dot] on the
+           batched drift rows, so each interval's arg max is bitwise
+           the scalar [Di.argmax_hamiltonian]. *)
+        let d = di.Di.dim in
+        let verts = Array.of_list (Optim.Box.vertices di.Di.theta) in
+        let nv = Array.length verts in
+        let rows = steps * nv in
+        let thd = Optim.Box.dim di.Di.theta in
+        let ths = Mat.zeros rows (Stdlib.max 1 thd) in
+        for i = 0 to steps - 1 do
+          for v = 0 to nv - 1 do
+            for j = 0 to Vec.dim verts.(v) - 1 do
+              Mat.set ths ((i * nv) + v) j verts.(v).(j)
+            done
+          done
+        done;
+        let xs_mat = Mat.zeros rows d in
+        let fout = Mat.zeros rows d in
+        let frow = Vec.zeros d in
+        fun ~relax ->
+          incr update_calls;
+          for i = 0 to steps - 1 do
+            let x = Vec.lerp xs.(i) xs.(i + 1) 0.5 in
+            for v = 0 to nv - 1 do
+              let r = (i * nv) + v in
+              for j = 0 to d - 1 do
+                Mat.set xs_mat r j x.(j)
+              done
+            done
+          done;
+          Tape.Plan.run_batch plan ~xs:xs_mat ~ths ~out:fout;
+          for i = 0 to steps - 1 do
+            let p = Vec.lerp ps.(i) ps.(i + 1) 0.5 in
+            let best = ref None in
+            for v = 0 to nv - 1 do
+              let r = (i * nv) + v in
+              for j = 0 to d - 1 do
+                frow.(j) <- Mat.get fout r j
+              done;
+              let hx = Vec.dot frow p in
+              match !best with
+              | Some (_, fb) when fb >= hx -> ()
+              | _ -> best := Some (v, hx)
+            done;
+            let star =
+              match !best with Some (v, _) -> verts.(v) | None -> assert false
+            in
+            control.(i) <- Vec.lerp control.(i) star relax
+          done
+    | _ ->
+        fun ~relax ->
+          incr update_calls;
+          for i = 0 to steps - 1 do
+            (* evaluate at the interval midpoint state/costate *)
+            let x = Vec.lerp xs.(i) xs.(i + 1) 0.5 in
+            let p = Vec.lerp ps.(i) ps.(i + 1) 0.5 in
+            let star = Di.argmax_hamiltonian ~opt di ~x ~p in
+            control.(i) <- Vec.lerp control.(i) star relax
+          done
   in
   let value () = Vec.dot c xs.(steps) in
   let iterations = ref 0 and converged = ref false in

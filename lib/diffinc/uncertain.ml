@@ -37,7 +37,23 @@ let transient_envelope ?pool ?obs ?(dt = 1e-2) ?(grid = 21) di ~x0 ~times =
     in
     Array.map (Ode.Traj.at traj) times
   in
-  let per_theta = map_grid ?pool ?obs ~stage:"uncertain-sweep" di grid sample in
+  let obs_off = match obs with Some o -> not (Obs.enabled o) | None -> true in
+  let per_theta =
+    match (pool, di.Di.plan, obs_off && horizon > 0.) with
+    | None, Some _, true ->
+        (* compiled drift, no pool, not tracing: integrate the whole θ
+           grid in lockstep — one batched drift evaluation per RK4
+           stage instead of one tape call per (θ, stage).  Lanes come
+           back in grid order and are bit-identical to the per-θ
+           [Di.integrate_constant] loop, so the envelope fold below is
+           unchanged.  Tracing keeps the scalar path (it owns the
+           per-trajectory ode.integrate spans); a pool keeps the
+           per-θ parallel map from PR 2. *)
+        let thetas = Array.of_list (theta_grid di grid) in
+        let trajs = Di.integrate_constant_batch di ~thetas ~x0 ~horizon ~dt in
+        Array.map (fun traj -> Array.map (Ode.Traj.at traj) times) trajs
+    | _ -> map_grid ?pool ?obs ~stage:"uncertain-sweep" di grid sample
+  in
   Array.iter
     (fun samples ->
       Array.iteri
@@ -50,11 +66,22 @@ let transient_envelope ?pool ?obs ?(dt = 1e-2) ?(grid = 21) di ~x0 ~times =
 
 let equilibria ?pool ?obs ?(dt = 1e-2) ?(grid = 21) ?(settle_time = 200.) di
     ~x0 =
-  Array.to_list
-    (map_grid ?pool ?obs ~stage:"uncertain-equilibria" di grid (fun theta ->
-         Ode.integrate_to
-           (fun _t x -> di.Di.drift x theta)
-           ~t0:0. ~y0:x0 ~t1:settle_time ~dt))
+  let obs_off = match obs with Some o -> not (Obs.enabled o) | None -> true in
+  match (pool, di.Di.plan, obs_off) with
+  | None, Some _, true ->
+      (* batched settle: final states only, in grid order, bit-identical
+         to the per-θ [Ode.integrate_to] loop (see transient_envelope) *)
+      let thetas = Array.of_list (theta_grid di grid) in
+      Array.to_list
+        (Di.integrate_to_constant_batch di ~thetas ~x0 ~horizon:settle_time
+           ~dt)
+  | _ ->
+      Array.to_list
+        (map_grid ?pool ?obs ~stage:"uncertain-equilibria" di grid
+           (fun theta ->
+             Ode.integrate_to
+               (fun _t x -> di.Di.drift x theta)
+               ~t0:0. ~y0:x0 ~t1:settle_time ~dt))
 
 let extremal_coord ?pool ?obs ?(dt = 1e-2) ?(grid = 21) di ~x0 ~coord ~horizon
     =

@@ -182,13 +182,16 @@ let state_space ?(obs = Obs.off) ?theta ?clip ?(max_states = 2_000_000)
 
 (* Row assembly for one source state: absolute rates N·β(x, θ) per
    class, targets resolved through the index, merged by destination
-   (stable sort, so duplicate targets sum in class order). *)
-let assemble_row sp (pop : Population.t) ~nf ~theta s =
-  let x = sp.dens.(s) in
+   (stable sort, so duplicate targets sum in class order).  [rate ti tr]
+   supplies β for transition class [ti] — either a direct [tr.rate]
+   call or a lane of a batched tape evaluation; the two are
+   bit-identical, so the assembled generator does not depend on which
+   path produced it. *)
+let assemble_row sp (pop : Population.t) ~nf ~rate s =
   let pairs = ref [] and count = ref 0 in
   Array.iteri
     (fun ti (tr : Population.transition) ->
-      let beta = tr.rate x theta in
+      let beta = rate ti tr in
       if Float.is_nan beta || beta < 0. then
         invalid_arg
           ("Ctmc_of_population: invalid rate in transition " ^ tr.name);
@@ -236,13 +239,62 @@ let generator ?pool ?(obs = Obs.off) sp (pop : Population.t) ~theta =
   let nf = float_of_int sp.pop_n in
   let ns = n_states sp in
   let rows = Array.make ns [||] in
-  let fill s = rows.(s) <- assemble_row sp pop ~nf ~theta s in
-  (match pool with
-  | Some p when ns > 1024 -> Pool.parallel_for ~stage:"ctmc-assemble" p ns fill
-  | _ ->
-      for s = 0 to ns - 1 do
-        fill s
-      done);
+  (match Population.rates_plan pop with
+  | Some plan ->
+      (* batched assembly: all transition rates for a block of states
+         in one dispatch per tape instruction, then per-row bookkeeping
+         from the precomputed β.  Each row depends only on its own
+         state and the kernel is bit-identical to the scalar [tr.rate]
+         calls, so any block size — and any pool partition — yields
+         the same generator. *)
+      let ntr = Array.length pop.transitions in
+      let dim = pop.dim in
+      let td = Vec.dim theta in
+      let block = 8192 in
+      let n_blocks = (ns + block - 1) / block in
+      let fill_block bi =
+        let b0 = bi * block in
+        let bn = Stdlib.min block (ns - b0) in
+        let xs = Mat.zeros bn dim and ths = Mat.zeros bn (Stdlib.max 1 td) in
+        for r = 0 to bn - 1 do
+          let x = sp.dens.(b0 + r) in
+          for i = 0 to dim - 1 do
+            Mat.set xs r i x.(i)
+          done;
+          for i = 0 to td - 1 do
+            Mat.set ths r i theta.(i)
+          done
+        done;
+        let betas = Mat.zeros bn ntr in
+        Tape.Plan.run_batch plan ~xs ~ths ~out:betas;
+        for r = 0 to bn - 1 do
+          let s = b0 + r in
+          rows.(s) <-
+            assemble_row sp pop ~nf ~rate:(fun ti _ -> Mat.get betas r ti) s
+        done
+      in
+      (match pool with
+      | Some p when ns > 1024 ->
+          Pool.parallel_for ~stage:"ctmc-assemble" p n_blocks fill_block
+      | _ ->
+          for bi = 0 to n_blocks - 1 do
+            fill_block bi
+          done)
+  | None ->
+      let fill s =
+        rows.(s) <-
+          assemble_row sp pop ~nf
+            ~rate:(fun _ (tr : Population.transition) ->
+              tr.rate sp.dens.(s) theta)
+            s
+      in
+      (match pool with
+      | Some p when ns > 1024 ->
+          Pool.parallel_for ~stage:"ctmc-assemble" p ns fill
+      | _ ->
+          for s = 0 to ns - 1 do
+            fill s
+          done));
   let g = Generator.of_rows rows in
   if Obs.enabled obs then begin
     Obs.count obs "ctmc.nnz" (Generator.nnz g);

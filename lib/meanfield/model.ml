@@ -9,12 +9,9 @@ type t = {
   clip : Optim.Box.t;
   policies : (string * Policy.t) list;
   drift_exprs : Expr.t array;
-  drift_tape : Tape.t;
-  drift_eval : x:Vec.t -> th:Vec.t -> out:Vec.t -> unit;
-  jac_eval : x:Vec.t -> th:Vec.t -> out:Vec.t -> unit;
-  theta_jac_eval : x:Vec.t -> th:Vec.t -> out:Vec.t -> unit;
-  drift_interval_eval :
-    x:Interval.t array -> th:Interval.t array -> Interval.t array;
+  drift_plan : Tape.Plan.t;
+  jac_plan : Tape.Plan.t;
+  theta_jac_plan : Tape.Plan.t;
   affine : bool;
   multilinear : bool;
 }
@@ -53,18 +50,27 @@ let make ~name ~var_names ~theta_names ~theta ~x0 ?clip ?(policies = [])
     | None -> Optim.Box.make (Vec.zeros dim) (Vec.create dim 1.)
   in
   (* each rate compiles to its own single-output tape so that firing
-     one transition never pays for the others *)
+     one transition never pays for the others; the combined multi-output
+     tape below serves the all-rates-at-once consumers (propensities,
+     CTMC generator assembly) and batch sweeps *)
   let compiled =
     List.map
       (fun tr ->
         {
           Population.name = tr.name;
           change = tr.change;
-          rate = Tape.scalar_evaluator (Tape.compile [| tr.rate |]);
+          rate = Tape.Plan.run_scalar (Tape.Plan.make (Tape.compile [| tr.rate |]));
         })
       transitions
   in
-  let population = Population.make ~name ~var_names ~theta_names ~theta compiled in
+  let rates_plan =
+    Tape.Plan.make
+      (Tape.compile
+         (Array.of_list (List.map (fun tr -> tr.rate) transitions)))
+  in
+  let population =
+    Population.make ~name ~var_names ~theta_names ~theta ~rates_plan compiled
+  in
   (* f_i = sum over transitions of change_i * rate *)
   let drift_exprs =
     Array.init dim (fun i ->
@@ -87,7 +93,6 @@ let make ~name ~var_names ~theta_names ~theta ~x0 ?clip ?(policies = [])
       drift_exprs
   in
   let flatten rows = Array.concat (Array.to_list rows) in
-  let drift_tape = Tape.compile drift_exprs in
   {
     population;
     transitions;
@@ -95,11 +100,9 @@ let make ~name ~var_names ~theta_names ~theta ~x0 ?clip ?(policies = [])
     clip;
     policies;
     drift_exprs;
-    drift_tape;
-    drift_eval = Tape.evaluator drift_tape;
-    jac_eval = Tape.evaluator (Tape.compile (flatten jac_exprs));
-    theta_jac_eval = Tape.evaluator (Tape.compile (flatten theta_jac_exprs));
-    drift_interval_eval = Tape.interval_evaluator drift_tape;
+    drift_plan = Tape.Plan.make (Tape.compile drift_exprs);
+    jac_plan = Tape.Plan.make (Tape.compile (flatten jac_exprs));
+    theta_jac_plan = Tape.Plan.make (Tape.compile (flatten theta_jac_exprs));
     affine = Array.for_all Expr.is_affine_in_theta drift_exprs;
     multilinear = Array.for_all Expr.is_multilinear drift_exprs;
   }
@@ -128,28 +131,27 @@ let population m = m.population
 
 let drift_exprs m = m.drift_exprs
 
-let drift_tape m = m.drift_tape
+let drift_tape m = Tape.Plan.tape m.drift_plan
 
-let drift_into m ~x ~th ~out = m.drift_eval ~x ~th ~out
+let drift_plan m = m.drift_plan
 
-let drift m x th =
-  let out = Vec.zeros (dim m) in
-  m.drift_eval ~x ~th ~out;
-  out
+let drift_into m ~x ~th ~out = Tape.Plan.run m.drift_plan ~x ~th ~out
 
-let eval_matrix eval ~rows ~cols x th =
+let drift m x th = Tape.Plan.run_alloc m.drift_plan ~x ~th
+
+let eval_matrix plan ~rows ~cols x th =
   let out = Vec.zeros (rows * cols) in
-  eval ~x ~th ~out;
+  Tape.Plan.run plan ~x ~th ~out;
   Mat.init rows cols (fun i j -> out.((i * cols) + j))
 
 let jacobian m x th =
   let d = dim m in
-  eval_matrix m.jac_eval ~rows:d ~cols:d x th
+  eval_matrix m.jac_plan ~rows:d ~cols:d x th
 
 let theta_jacobian m x th =
-  eval_matrix m.theta_jac_eval ~rows:(dim m) ~cols:(theta_dim m) x th
+  eval_matrix m.theta_jac_plan ~rows:(dim m) ~cols:(theta_dim m) x th
 
-let drift_interval m ~x ~th = m.drift_interval_eval ~x ~th
+let drift_interval m ~x ~th = Tape.Plan.run_interval m.drift_plan ~x ~th
 
 let affine_in_theta m = m.affine
 

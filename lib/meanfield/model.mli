@@ -86,6 +86,12 @@ val drift_tape : t -> Tape.t
 (** The compiled drift (all coordinates in one CSE'd tape) — exposed
     for instruction-count statistics and benchmarks. *)
 
+val drift_plan : t -> Tape.Plan.t
+(** The drift's pre-compiled evaluation plan: scalar, interval and
+    batch ([Tape.Plan.run_batch]) modes over shared per-domain scratch.
+    Batch consumers ({!Umf_diffinc} sweeps) pull this instead of
+    looping {!drift}. *)
+
 val drift : t -> Vec.t -> Vec.t -> Vec.t
 (** [drift m x theta] = f(x, θ), from the compiled tape. *)
 

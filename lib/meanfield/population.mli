@@ -29,6 +29,11 @@ type t = private {
   theta_names : string array;
   theta : Optim.Box.t;
   transitions : transition array;
+  rates_plan : Tape.Plan.t option;
+      (** all transition rates compiled into one multi-output tape, in
+          transition order — lets {!drift}, {!propensities} and the
+          CTMC generator assembly evaluate every rate in one dispatch
+          (and whole state batches via [Plan.run_batch]) *)
 }
 
 val make :
@@ -36,15 +41,21 @@ val make :
   var_names:string array ->
   theta_names:string array ->
   theta:Optim.Box.t ->
+  ?rates_plan:Tape.Plan.t ->
   transition list ->
   t
 (** @raise Invalid_argument on empty variables, a θ-box whose dimension
-    differs from [theta_names], or a transition whose [change] has the
-    wrong dimension. *)
+    differs from [theta_names], a transition whose [change] has the
+    wrong dimension, or a [rates_plan] whose output count differs from
+    the transition count.  When [rates_plan] is given, its k-th output
+    must compute the k-th transition's rate (bitwise — {!Model.make}
+    guarantees this by compiling both from the same expressions). *)
 
 val dim : t -> int
 
 val theta_dim : t -> int
+
+val rates_plan : t -> Tape.Plan.t option
 
 val drift : t -> Vec.t -> Vec.t -> Vec.t
 (** [drift m x theta] is f(x, θ) = Σ β(x, θ) ℓ (Definition 3 in the

@@ -33,6 +33,8 @@ let rows m = m.r
 
 let cols m = m.c
 
+let data m = m.a
+
 let get m i j = m.a.((i * m.c) + j)
 
 let set m i j v = m.a.((i * m.c) + j) <- v

@@ -26,6 +26,12 @@ val rows : t -> int
 
 val cols : t -> int
 
+val data : t -> float array
+(** The row-major backing store, shared (not copied): element [(i, j)]
+    lives at index [i * cols + j].  Exposed for batch kernels that
+    stride over whole matrices; treat as read-only unless you own the
+    matrix. *)
+
 val get : t -> int -> int -> float
 
 val set : t -> int -> int -> float -> unit

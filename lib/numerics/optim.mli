@@ -43,6 +43,14 @@ module Box : sig
   val clamp : t -> Vec.t -> Vec.t
 end
 
+val coordinate_refine : (Vec.t -> float) -> Box.t -> Vec.t -> int -> Vec.t * float
+(** [coordinate_refine f box x0 iters]: the shrinking coordinate
+    descent {!minimize_box} runs from its best candidate — exposed so
+    batched callers can replay the candidate scan themselves and still
+    finish with the identical refinement.  Probes [x ± r·span] per
+    coordinate, radius r starting at 0.25 and shrinking by 0.7 per
+    sweep; accepts strictly improving points only. *)
+
 val minimize_box :
   ?grid:int ->
   ?refine_iters:int ->

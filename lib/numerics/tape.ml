@@ -333,26 +333,6 @@ let eval_into t ~ws ~x ~th ~(out : float array) =
     Array.unsafe_set out i (Array.unsafe_get ws (Array.unsafe_get outs i))
   done
 
-let eval t ~x ~th =
-  let out = Vec.zeros (Array.length t.outs) in
-  eval_into t ~ws:(make_ws t) ~x ~th ~out;
-  out
-
-let evaluator t =
-  let key = Domain.DLS.new_key (fun () -> make_ws t) in
-  fun ~x ~th ~out -> eval_into t ~ws:(Domain.DLS.get key) ~x ~th ~out
-
-let scalar_evaluator t =
-  if Array.length t.outs <> 1 then
-    invalid_arg "Tape.scalar_evaluator: tape has more than one output";
-  let key = Domain.DLS.new_key (fun () -> make_ws t) in
-  let out_slot = t.outs.(0) in
-  fun x th ->
-    let ws = Domain.DLS.get key in
-    check t ~ws_len:(Array.length ws) ~x ~th;
-    run t ws x th;
-    ws.(out_slot)
-
 (* interval mode: same tape, interval slots *)
 
 let make_interval_ws t =
@@ -411,11 +391,314 @@ let eval_interval_into t ~ws ~x ~th =
   run_interval t ws x th;
   Array.map (fun s -> ws.(s)) t.outs
 
-let eval_interval t ~x ~th = eval_interval_into t ~ws:(make_interval_ws t) ~x ~th
+(* ---- batch mode: structure-of-arrays kernel over chunks of rows ----
+
+   The batch workspace is the scalar workspace with every slot widened
+   to [chunk] lanes, slot-major: lane l of slot s lives at
+   [s * chunk + l].  Constants are broadcast across all lanes once at
+   scratch creation; variables and parameters are gathered from the
+   row-major input matrices at the head of each chunk; then each
+   instruction is dispatched ONCE and executed across all live lanes,
+   so the per-instruction dispatch cost is amortised over the chunk.
+
+   Every lane performs exactly the scalar op sequence ([Float.min],
+   the [pow] left fold, the [<= 0.] ite guard), so batch output is
+   bit-identical to a scalar [run] loop over the same rows — which is
+   what makes chunk-parallel execution deterministic: chunks write
+   disjoint output rows and each row's value does not depend on which
+   domain computed it. *)
+
+let make_batch_ws t chunk =
+  let bws = Array.make (t.n_slots * chunk) 0. in
+  for k = 0 to Stdlib.min t.var_base t.n_slots - 1 do
+    let v = t.const_val.(k) in
+    let base = k * chunk in
+    for l = 0 to chunk - 1 do
+      bws.(base + l) <- v
+    done
+  done;
+  bws
+
+(* one chunk of [m <= chunk] rows starting at row [r0]; all indices
+   into [bws] are (slot * chunk + lane) with slots produced by
+   [compile] and lanes < m <= chunk, and the xd/td/od accesses are
+   guarded by the shape checks in [Plan.run_batch] *)
+let run_batch_chunk t (bws : float array) ~chunk ~m ~r0 ~(xd : float array) ~xc
+    ~(td : float array) ~tc ~(od : float array) ~oc =
+  for i = 0 to t.n_vars - 1 do
+    let base = (t.var_base + i) * chunk in
+    for l = 0 to m - 1 do
+      Array.unsafe_set bws (base + l)
+        (Array.unsafe_get xd (((r0 + l) * xc) + i))
+    done
+  done;
+  for j = 0 to t.n_thetas - 1 do
+    let base = (t.theta_base + j) * chunk in
+    for l = 0 to m - 1 do
+      Array.unsafe_set bws (base + l)
+        (Array.unsafe_get td (((r0 + l) * tc) + j))
+    done
+  done;
+  let code = t.code in
+  for k = 0 to t.n_instrs - 1 do
+    let i = 5 * k in
+    let dst = Array.unsafe_get code (i + 1) * chunk
+    and a = Array.unsafe_get code (i + 2) * chunk
+    and b = Array.unsafe_get code (i + 3) in
+    match Array.unsafe_get code i with
+    | 0 (* add *) ->
+        let b = b * chunk in
+        for l = 0 to m - 1 do
+          Array.unsafe_set bws (dst + l)
+            (Array.unsafe_get bws (a + l) +. Array.unsafe_get bws (b + l))
+        done
+    | 1 (* sub *) ->
+        let b = b * chunk in
+        for l = 0 to m - 1 do
+          Array.unsafe_set bws (dst + l)
+            (Array.unsafe_get bws (a + l) -. Array.unsafe_get bws (b + l))
+        done
+    | 2 (* mul *) ->
+        let b = b * chunk in
+        for l = 0 to m - 1 do
+          Array.unsafe_set bws (dst + l)
+            (Array.unsafe_get bws (a + l) *. Array.unsafe_get bws (b + l))
+        done
+    | 3 (* div *) ->
+        let b = b * chunk in
+        for l = 0 to m - 1 do
+          Array.unsafe_set bws (dst + l)
+            (Array.unsafe_get bws (a + l) /. Array.unsafe_get bws (b + l))
+        done
+    | 4 (* neg *) ->
+        for l = 0 to m - 1 do
+          Array.unsafe_set bws (dst + l) (-.Array.unsafe_get bws (a + l))
+        done
+    | 5 (* pow: b is the literal exponent; same left fold as [run] *) ->
+        for l = 0 to m - 1 do
+          let base = Array.unsafe_get bws (a + l) in
+          let acc = ref 1. in
+          for _ = 1 to b do
+            acc := !acc *. base
+          done;
+          Array.unsafe_set bws (dst + l) !acc
+        done
+    | 6 (* min *) ->
+        let b = b * chunk in
+        for l = 0 to m - 1 do
+          Array.unsafe_set bws (dst + l)
+            (Float.min (Array.unsafe_get bws (a + l))
+               (Array.unsafe_get bws (b + l)))
+        done
+    | 7 (* max *) ->
+        let b = b * chunk in
+        for l = 0 to m - 1 do
+          Array.unsafe_set bws (dst + l)
+            (Float.max (Array.unsafe_get bws (a + l))
+               (Array.unsafe_get bws (b + l)))
+        done
+    | 8 (* ite *) ->
+        let b = b * chunk
+        and c = Array.unsafe_get code (i + 4) * chunk in
+        for l = 0 to m - 1 do
+          Array.unsafe_set bws (dst + l)
+            (if Array.unsafe_get bws (a + l) <= 0. then
+               Array.unsafe_get bws (b + l)
+             else Array.unsafe_get bws (c + l))
+        done
+    | 9 (* muladd *) ->
+        let b = b * chunk
+        and c = Array.unsafe_get code (i + 4) * chunk in
+        for l = 0 to m - 1 do
+          Array.unsafe_set bws (dst + l)
+            ((Array.unsafe_get bws (a + l) *. Array.unsafe_get bws (b + l))
+            +. Array.unsafe_get bws (c + l))
+        done
+    | 10 (* submul *) ->
+        let b = b * chunk
+        and c = Array.unsafe_get code (i + 4) * chunk in
+        for l = 0 to m - 1 do
+          Array.unsafe_set bws (dst + l)
+            (Array.unsafe_get bws (a + l)
+            -. Array.unsafe_get bws (b + l) *. Array.unsafe_get bws (c + l))
+        done
+    | _ (* mulsub *) ->
+        let b = b * chunk
+        and c = Array.unsafe_get code (i + 4) * chunk in
+        for l = 0 to m - 1 do
+          Array.unsafe_set bws (dst + l)
+            ((Array.unsafe_get bws (a + l) *. Array.unsafe_get bws (b + l))
+            -. Array.unsafe_get bws (c + l))
+        done
+  done;
+  let outs = t.outs in
+  for o = 0 to Array.length outs - 1 do
+    let src = Array.unsafe_get outs o * chunk in
+    for l = 0 to m - 1 do
+      Array.unsafe_set od
+        (((r0 + l) * oc) + o)
+        (Array.unsafe_get bws (src + l))
+    done
+  done
+
+(* C twin of [run_batch_chunk] (tape_batch_stubs.c): same SoA layout,
+   same op semantics bit for bit, each instruction's lane loop compiled
+   (and auto-vectorised) instead of interpreted.  [desc] packs the
+   tape-shape integers the kernel needs, [geom] the per-chunk ones.
+   The stub allocates nothing and never re-enters the runtime. *)
+external batch_chunk_c :
+  int array ->
+  int array ->
+  float array ->
+  float array ->
+  float array ->
+  float array ->
+  int array ->
+  unit = "umf_tape_batch_chunk_byte" "umf_tape_batch_chunk"
+[@@noalloc]
+
+(* escape hatch for A/B-testing the kernels: UMF_BATCH_KERNEL=ocaml
+   routes [Plan.run_batch] through the reference OCaml chunk kernel
+   (the @batch-smoke gate runs both ways) *)
+let use_c_kernel =
+  lazy (match Sys.getenv_opt "UMF_BATCH_KERNEL" with
+        | Some "ocaml" -> false
+        | _ -> true)
+
+module Plan = struct
+  (* keep the tape-level interpreters reachable under their own names
+     once [run] is shadowed by the plan-level runner below *)
+  let tape_run = run
+
+  type runner = int -> (int -> unit) -> unit
+
+  type nonrec t = {
+    tape : t;
+    chunk : int;
+    desc : int array;  (* [| n_instrs; n_vars; n_thetas; var_base;
+                            theta_base; n_outs; out_slots... |] *)
+    ws_key : float array Domain.DLS.key;
+    iws_key : Interval.t array Domain.DLS.key;
+    bws_key : float array Domain.DLS.key;
+  }
+
+  let make ?(chunk = 64) tape =
+    if chunk < 1 then invalid_arg "Tape.Plan.make: chunk must be >= 1";
+    {
+      tape;
+      chunk;
+      desc =
+        Array.append
+          [|
+            tape.n_instrs;
+            tape.n_vars;
+            tape.n_thetas;
+            tape.var_base;
+            tape.theta_base;
+            Array.length tape.outs;
+          |]
+          tape.outs;
+      ws_key = Domain.DLS.new_key (fun () -> make_ws tape);
+      iws_key = Domain.DLS.new_key (fun () -> make_interval_ws tape);
+      bws_key = Domain.DLS.new_key (fun () -> make_batch_ws tape chunk);
+    }
+
+  let tape p = p.tape
+
+  let chunk p = p.chunk
+
+  let run p ~x ~th ~out =
+    eval_into p.tape ~ws:(Domain.DLS.get p.ws_key) ~x ~th ~out
+
+  let run_alloc p ~x ~th =
+    let out = Vec.zeros (Array.length p.tape.outs) in
+    run p ~x ~th ~out;
+    out
+
+  let run_scalar p =
+    if Array.length p.tape.outs <> 1 then
+      invalid_arg "Tape.Plan.run_scalar: tape has more than one output";
+    let t = p.tape in
+    let out_slot = t.outs.(0) in
+    let key = p.ws_key in
+    fun x th ->
+      let ws = Domain.DLS.get key in
+      check t ~ws_len:(Array.length ws) ~x ~th;
+      tape_run t ws x th;
+      ws.(out_slot)
+
+  let run_interval p ~x ~th =
+    eval_interval_into p.tape ~ws:(Domain.DLS.get p.iws_key) ~x ~th
+
+  let seq_runner n f =
+    for i = 0 to n - 1 do
+      f i
+    done
+
+  let run_batch ?(par = seq_runner) p ~(xs : Mat.t) ~(ths : Mat.t)
+      ~(out : Mat.t) =
+    let t = p.tape in
+    let n = Mat.rows xs in
+    let shapes () =
+      Printf.sprintf "xs %dx%d, ths %dx%d, out %dx%d" (Mat.rows xs)
+        (Mat.cols xs) (Mat.rows ths) (Mat.cols ths) (Mat.rows out)
+        (Mat.cols out)
+    in
+    if n = 0 then
+      invalid_arg
+        (Printf.sprintf "Tape.Plan.run_batch: empty batch (%s)" (shapes ()));
+    if Mat.rows ths <> n || Mat.rows out <> n then
+      invalid_arg
+        (Printf.sprintf "Tape.Plan.run_batch: batch row mismatch (%s)"
+           (shapes ()));
+    if Mat.cols xs < t.n_vars || Mat.cols ths < t.n_thetas then
+      invalid_arg
+        (Printf.sprintf
+           "Tape.Plan.run_batch: inputs too narrow (%s; tape needs >= %d \
+            vars, >= %d thetas)"
+           (shapes ()) t.n_vars t.n_thetas);
+    if Mat.cols out <> Array.length t.outs then
+      invalid_arg
+        (Printf.sprintf
+           "Tape.Plan.run_batch: output width mismatch (%s; tape has %d \
+            outputs)"
+           (shapes ()) (Array.length t.outs));
+    let chunk = p.chunk in
+    let xd = Mat.data xs and td = Mat.data ths and od = Mat.data out in
+    let xc = Mat.cols xs and tc = Mat.cols ths and oc = Mat.cols out in
+    let n_chunks = (n + chunk - 1) / chunk in
+    let bws_key = p.bws_key in
+    if Lazy.force use_c_kernel then begin
+      let code = t.code and desc = p.desc in
+      par n_chunks (fun ci ->
+          let bws = Domain.DLS.get bws_key in
+          let r0 = ci * chunk in
+          let m = Stdlib.min chunk (n - r0) in
+          batch_chunk_c code desc bws xd td od [| chunk; m; r0; xc; tc; oc |])
+    end
+    else
+      par n_chunks (fun ci ->
+          let bws = Domain.DLS.get bws_key in
+          let r0 = ci * chunk in
+          let m = Stdlib.min chunk (n - r0) in
+          run_batch_chunk t bws ~chunk ~m ~r0 ~xd ~xc ~td ~tc ~od ~oc)
+end
+
+(* ---- deprecated compatibility wrappers (see tape.mli) ---- *)
+
+let eval t ~x ~th = Plan.run_alloc (Plan.make t) ~x ~th
+
+let evaluator t =
+  let p = Plan.make t in
+  fun ~x ~th ~out -> Plan.run p ~x ~th ~out
+
+let scalar_evaluator t = Plan.run_scalar (Plan.make t)
+
+let eval_interval t ~x ~th = Plan.run_interval (Plan.make t) ~x ~th
 
 let interval_evaluator t =
-  let key = Domain.DLS.new_key (fun () -> make_interval_ws t) in
-  fun ~x ~th -> eval_interval_into t ~ws:(Domain.DLS.get key) ~x ~th
+  let p = Plan.make t in
+  fun ~x ~th -> Plan.run_interval p ~x ~th
 
 (* static-analysis view: decode the packed int-code back into a typed
    instruction stream *)

@@ -39,35 +39,107 @@ val n_nodes : Expr.t array -> int
 (** Total tree-node count of the source expressions — compare with
     {!n_instructions} to measure the CSE sharing factor. *)
 
-(** {1 Scalar evaluation} *)
+(** {1 Evaluation plans}
+
+    The one evaluation API.  A plan pre-resolves everything an
+    evaluation needs — workspace layout, per-domain scalar / interval /
+    batch scratch — so every entry point below is allocation-free after
+    the first call on each domain, and safe to call concurrently from
+    multiple domains ([Domain.DLS] scratch).  Build a plan once per
+    tape, next to [compile], and share it. *)
+
+module Plan : sig
+  type tape := t
+
+  type t
+
+  type runner = int -> (int -> unit) -> unit
+  (** A chunk scheduler: [par n_chunks f] must call [f ci] exactly once
+      for every [0 <= ci < n_chunks], in any order, possibly
+      concurrently — [Runtime.Pool.parallel_for] partially applied, or
+      the built-in sequential loop. *)
+
+  val make : ?chunk:int -> tape -> t
+  (** Pre-compile an evaluation plan.  [chunk] (default 64) is the
+      batch lane count: the structure-of-arrays scratch holds
+      [n_slots * chunk] floats per domain and {!run_batch} dispatches
+      each instruction once per chunk of that many rows.
+      @raise Invalid_argument if [chunk < 1]. *)
+
+  val tape : t -> tape
+
+  val chunk : t -> int
+
+  val run : t -> x:Vec.t -> th:Vec.t -> out:Vec.t -> unit
+  (** Scalar mode: run the tape at one point; [out.(i)] receives the
+      i-th expression's value.  @raise Invalid_argument on dimension
+      mismatches. *)
+
+  val run_alloc : t -> x:Vec.t -> th:Vec.t -> Vec.t
+  (** {!run} into a fresh result vector. *)
+
+  val run_scalar : t -> Vec.t -> Vec.t -> float
+  (** A closure returning the single output directly — the compiled
+      form of one transition rate.
+      @raise Invalid_argument if the tape has more than one output. *)
+
+  val run_interval :
+    t -> x:Interval.t array -> th:Interval.t array -> Interval.t array
+  (** Interval mode: conservative enclosure of every output over boxes
+      of states and parameters.  Matches {!Expr.eval_interval} except
+      that undecided [Ite] guards hull both (eagerly computed)
+      branches. *)
+
+  val run_batch : ?par:runner -> t -> xs:Mat.t -> ths:Mat.t -> out:Mat.t -> unit
+  (** Batch mode: row [i] of [out] receives the tape's outputs at state
+      [xs] row [i] and parameters [ths] row [i].  Rows are processed in
+      chunks of {!chunk} lanes, each instruction dispatched once per
+      chunk (structure-of-arrays inner loops); [par] schedules the
+      chunks ([Runtime.Pool.parallel_for] partially applied —
+      sequential by default).  Chunks write disjoint output rows and
+      every lane performs exactly the scalar op sequence, so the result
+      is bit-identical to a {!run} loop over the rows for any [par].
+      @raise Invalid_argument on an empty batch, mismatched row counts,
+      inputs narrower than the tape's [input_dims], or an output
+      narrower than [n_outputs] — shapes are spelled out in the
+      message, nothing is evaluated partially. *)
+end
+
+(** {1 Deprecated entry points}
+
+    The pre-plan API: six entry points with ad-hoc workspace plumbing,
+    kept for this PR only as one-line wrappers over {!Plan}.  Each
+    [eval]/[evaluator] call below builds a throwaway plan — hoist a
+    {!Plan.make} instead. *)
 
 val make_ws : t -> float array
+[@@deprecated "build a Tape.Plan instead; plans manage their own scratch"]
 (** A fresh workspace with constants preloaded.  A workspace may be
     reused across calls on the same domain but must not be shared
     between concurrently evaluating domains. *)
 
 val eval_into : t -> ws:float array -> x:Vec.t -> th:Vec.t -> out:Vec.t -> unit
+[@@deprecated "use Tape.Plan.run"]
 (** Run the tape; [out.(i)] receives the i-th expression's value.
     Allocation-free.  [ws] must come from {!make_ws} on this tape.
     @raise Invalid_argument on dimension mismatches. *)
 
 val eval : t -> x:Vec.t -> th:Vec.t -> Vec.t
-(** Convenience wrapper allocating a fresh workspace and result. *)
+[@@deprecated "use Tape.Plan.run_alloc"]
+(** Convenience wrapper allocating a fresh plan and result. *)
 
 val evaluator : t -> x:Vec.t -> th:Vec.t -> out:Vec.t -> unit
-(** An evaluation closure over a domain-local cached workspace: safe
-    to call concurrently from multiple domains (each gets its own
-    workspace via [Domain.DLS]) and allocation-free after the first
-    call on each domain. *)
+[@@deprecated "use Tape.Plan.run"]
+(** An evaluation closure over a domain-local cached workspace. *)
 
 val scalar_evaluator : t -> Vec.t -> Vec.t -> float
+[@@deprecated "use Tape.Plan.run_scalar"]
 (** Like {!evaluator} for single-output tapes, returning the value
-    directly — the compiled form of one transition rate.
-    @raise Invalid_argument if the tape has more than one output. *)
-
-(** {1 Interval evaluation} *)
+    directly.  @raise Invalid_argument if the tape has more than one
+    output. *)
 
 val make_interval_ws : t -> Interval.t array
+[@@deprecated "build a Tape.Plan instead; plans manage their own scratch"]
 
 val eval_interval_into :
   t ->
@@ -75,6 +147,7 @@ val eval_interval_into :
   x:Interval.t array ->
   th:Interval.t array ->
   Interval.t array
+[@@deprecated "use Tape.Plan.run_interval"]
 (** Conservative enclosure of every output over boxes of states and
     parameters.  Matches {!Expr.eval_interval} except that undecided
     [Ite] guards hull both (eagerly computed) branches.
@@ -82,9 +155,11 @@ val eval_interval_into :
 
 val eval_interval :
   t -> x:Interval.t array -> th:Interval.t array -> Interval.t array
+[@@deprecated "use Tape.Plan.run_interval"]
 
 val interval_evaluator :
   t -> x:Interval.t array -> th:Interval.t array -> Interval.t array
+[@@deprecated "use Tape.Plan.run_interval"]
 (** Domain-local cached interval workspace, as {!evaluator}. *)
 
 (** {1 Static-analysis view}

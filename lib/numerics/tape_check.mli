@@ -12,7 +12,7 @@
       {!Interval.div}, division by a zero-containing divisor never
       raises: it yields an unbounded enclosure and a finding.  Every
       enclosure contains both the real-arithmetic value and the float
-      value actually computed by {!Tape.eval_into}, because each
+      value actually computed by {!Tape.Plan.run}, because each
       widening step covers one rounding.  Range facts certify the
       absence of division-by-zero, NaN and overflow per instruction
       (T0xx) and flag constant/dead code (T3xx) and unbounded outputs
@@ -39,7 +39,7 @@
 
     Soundness contract (property-tested at 10⁴ points per bundled
     model): for every input in the box, the value computed by
-    {!Tape.eval_into} lies inside [range] and within [abs_err] of the
+    {!Tape.Plan.run} lies inside [range] and within [abs_err] of the
     exact real evaluation with the same branch choices.  The analysis
     is sound but not complete — interval dependency makes ranges
     over-wide, so a [Warning] means "not certified", not "wrong";
@@ -101,10 +101,10 @@ val analyze :
 
 val ranges :
   Tape.t -> x:Interval.t array -> th:Interval.t array -> Interval.t array
-(** Total replacement for {!Tape.eval_interval}: per-output enclosures
+(** Total replacement for {!Tape.Plan.run_interval}: per-output enclosures
     that never raise — a division by a zero-containing divisor yields
     infinite endpoints instead of [Division_by_zero].  Slightly wider
-    than {!Tape.eval_interval} (outward widening covers rounding). *)
+    than {!Tape.Plan.run_interval} (outward widening covers rounding). *)
 
 (** {1 Report access} *)
 

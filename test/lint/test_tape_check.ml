@@ -64,7 +64,7 @@ module Dd = struct
   let to_float x = x.h +. x.l
 end
 
-(* Reference evaluator: the same instruction stream as {!Tape.eval},
+(* Reference evaluator: the same instruction stream as {!Tape.Plan.run},
    executed twice per slot — in plain floats (replicating the runtime
    bit for bit, asserted below) and in double-double.  Branches follow
    the FLOAT comparisons, matching the analyzer's branch-local error
@@ -156,7 +156,7 @@ let test_soundness name m () =
   for _ = 1 to points do
     let x = Optim.Box.sample_uniform rng (Model.clip m) in
     let th = Optim.Box.sample_uniform rng (Model.theta m) in
-    let v = Tape.eval tape ~x ~th in
+    let v = Tape.Plan.run_alloc (Tape.Plan.make tape) ~x ~th in
     let fl, dd = reference x th in
     Array.iteri
       (fun i vi ->
@@ -172,7 +172,7 @@ let test_soundness name m () =
            runtime before its double-double twin is trusted *)
         if fl.(i) <> vi then
           Alcotest.failf
-            "%s: reference evaluator diverges from Tape.eval (%.17g vs %.17g)"
+            "%s: reference evaluator diverges from the tape runtime (%.17g vs %.17g)"
             name fl.(i) vi;
         if Float.is_finite o.TC.abs_err then begin
           let gap =
@@ -285,8 +285,8 @@ let test_ranges_total () =
   let tape = Tape.compile [| const 1. /: var 0 |] in
   let x = [| iv 0. 1. |] and th = [||] in
   (* the strict evaluator raises; the lint-path replacement must not *)
-  (match Tape.eval_interval tape ~x ~th with
-  | _ -> Alcotest.fail "Tape.eval_interval should raise Division_by_zero"
+  (match Tape.Plan.run_interval (Tape.Plan.make tape) ~x ~th with
+  | _ -> Alcotest.fail "Tape.Plan.run_interval should raise Division_by_zero"
   | exception Division_by_zero -> ());
   let rs = TC.ranges tape ~x ~th in
   Alcotest.(check bool) "unbounded enclosure instead of an exception" true
