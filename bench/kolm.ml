@@ -17,23 +17,23 @@ let run () =
   let sound = ref true in
   List.iter
     (fun t ->
-      let lo = (Imprecise_ctmc.lower_expectation m ~h ~horizon:t).(x0) in
-      let hi = (Imprecise_ctmc.upper_expectation m ~h ~horizon:t).(x0) in
+      let lo = (Ctmc.Imprecise.lower_expectation m ~h ~horizon:t).(x0) in
+      let hi = (Ctmc.Imprecise.upper_expectation m ~h ~horizon:t).(x0) in
       let theta_mid =
         [| Interval.midpoint p.Bikesharing.arrival;
            Interval.midpoint p.Bikesharing.return_ |]
       in
-      let g = Imprecise_ctmc.generator_at m theta_mid in
+      let g = Ctmc.Imprecise.generator_at m theta_mid in
       let p0 = Array.init (capacity + 1) (fun i -> if i = x0 then 1. else 0.) in
-      let mid = Transient.expectation g ~p0 ~t (fun s -> h.(s)) in
+      let mid = Ctmc.Transient.expectation g ~p0 ~t (fun s -> h.(s)) in
       if not (lo -. 1e-3 <= mid && mid <= hi +. 1e-3) then sound := false;
       Printf.printf "%.1f\t%.4f\t%.4f\t%.4f\n" t lo hi mid)
     times;
   Common.claim "constant-theta expectations inside imprecise bounds" !sound "";
   (* adversarial simulation stays within bounds *)
   let horizon = 5. in
-  let lo = (Imprecise_ctmc.lower_expectation m ~h ~horizon).(x0) in
-  let hi = (Imprecise_ctmc.upper_expectation m ~h ~horizon).(x0) in
+  let lo = (Ctmc.Imprecise.lower_expectation m ~h ~horizon).(x0) in
+  let hi = (Ctmc.Imprecise.upper_expectation m ~h ~horizon).(x0) in
   let policy ~t:_ ~x =
     (* drain aggressively when the station is full, fill when empty *)
     if x > capacity / 2 then [| Interval.hi p.Bikesharing.arrival; Interval.lo p.Bikesharing.return_ |]
@@ -42,7 +42,7 @@ let run () =
   let rng = Rng.create 5 in
   let acc = Stats.Running.create () in
   for _ = 1 to 2000 do
-    let path = Imprecise_ctmc.simulate rng m policy ~x0 ~tmax:horizon in
+    let path = Ctmc.Imprecise.simulate rng m policy ~x0 ~tmax:horizon in
     Stats.Running.add acc h.(Ctmc_path.final_state path)
   done;
   let mean = Stats.Running.mean acc in
@@ -62,8 +62,8 @@ let run () =
   in
   (* chain at horizon t corresponds to fluid at t/N with N-scaled rates;
      here rates are O(1), so fluid horizon 1 ~ chain horizon capacity *)
-  let lo_n = (Imprecise_ctmc.lower_expectation m ~h ~horizon:(float_of_int capacity)).(x0) in
-  let hi_n = (Imprecise_ctmc.upper_expectation m ~h ~horizon:(float_of_int capacity)).(x0) in
+  let lo_n = (Ctmc.Imprecise.lower_expectation m ~h ~horizon:(float_of_int capacity)).(x0) in
+  let hi_n = (Ctmc.Imprecise.upper_expectation m ~h ~horizon:(float_of_int capacity)).(x0) in
   Printf.printf "\nmean-field DI bounds at t=1: [%.4f, %.4f]; chain (N=%d) at t=N: [%.4f, %.4f]\n"
     fl fh capacity lo_n hi_n;
   Common.claim "finite-N bounds within O(1/sqrt N) of mean-field bounds"

@@ -13,6 +13,8 @@
      umf_cli ctmc transient --model sir -n 200 --horizon 5
      umf_cli ctmc stationary --model sir -n 100 --theta hi
      umf_cli ctmc bounds --model sir -n 100 --var I --scenario imprecise
+     umf_cli ctmc bounds --model sir -n 2000 --var I --max-states 50000 \
+       --truncation adaptive
      umf_cli lint sir --tape
      umf_cli lint --all --tape --strict --json
 
@@ -431,11 +433,13 @@ let simulate_cmd =
       const run $ model_arg $ n_arg $ horizon_arg 10. $ seed_arg $ points_arg
       $ policy_arg $ reps_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
-(* ctmc command: the exact finite-N engine *)
+(* ctmc command: the finite-N engine behind Ctmc.Engine.spec *)
 let ctmc_cmd =
   let doc =
-    "Exact finite-N CTMC analysis: enumerate the N-scaled lattice of a \
-     model and solve it with the sparse uniformisation engine."
+    "Finite-N CTMC analysis through the Ctmc.Engine spec front door: \
+     enumerate the N-scaled lattice of a model (exactly, or adaptively \
+     truncated with certified escaped-mass bounds) and solve it with the \
+     sparse uniformisation engine."
   in
   let mode_arg =
     Arg.(
@@ -503,6 +507,17 @@ let ctmc_cmd =
       value & opt int 2_000_000
       & info [ "max-states" ] ~docv:"M" ~doc:"Lattice enumeration budget.")
   in
+  let truncation_arg =
+    Arg.(
+      value
+      & opt (enum [ ("exact", `Exact); ("adaptive", `Adaptive) ]) `Exact
+      & info [ "truncation" ] ~docv:"POLICY"
+          ~doc:
+            "What happens when the lattice outgrows --max-states: `exact' \
+             fails loudly; `adaptive' retains the closest states and \
+             reports the escaped probability mass as a certified bound \
+             (escaped column).")
+  in
   let theta_of m = function
     | "mid" -> Ok (Optim.Box.midpoint (Model.theta m))
     | "lo" -> Ok ((Model.theta m).Optim.Box.lo)
@@ -510,7 +525,7 @@ let ctmc_cmd =
     | s -> Error (`Msg (Printf.sprintf "unknown theta point %s" s))
   in
   let run mode m n var theta scenario grid horizon points epsilon
-      max_states jobs trace metrics =
+      max_states truncation jobs trace metrics =
     exit_of_result
       (let ( let* ) = Result.bind in
        if n < 1 then Error (`Msg "--n must be >= 1")
@@ -520,6 +535,19 @@ let ctmc_cmd =
            with_obs ~trace ~metrics (fun obs ->
                with_jobs ~obs jobs (fun pool ->
                    let names = Model.var_names m in
+                   let truncation =
+                     match truncation with
+                     | `Exact -> Ctmc.Engine.Exact { max_states }
+                     | `Adaptive -> Ctmc.Engine.Adaptive { max_states }
+                   in
+                   let spec_of scenario =
+                     Ctmc.Engine.spec ~scenario ~horizon
+                       ~times:(Vec.linspace 0. horizon points)
+                       ~epsilon ~truncation ?pool ~obs ~n m
+                   in
+                   let lost (c : Ctmc.Engine.certificate) =
+                     c.escaped +. c.tail
+                   in
                    match mode with
                    | `Bounds ->
                        let* var =
@@ -530,92 +558,76 @@ let ctmc_cmd =
                        let* coord = var_index m var in
                        let* scen =
                          match scenario with
-                         | "imprecise" -> Ok Analysis.Imprecise
-                         | "uncertain" -> Ok (Analysis.Uncertain grid)
+                         | "imprecise" -> Ok Ctmc.Engine.Imprecise
+                         | "uncertain" -> Ok (Ctmc.Engine.Uncertain grid)
                          | s ->
                              Error
                                (`Msg (Printf.sprintf "unknown scenario %s" s))
                        in
-                       let spec =
-                         Analysis.spec ~scenario:scen ~horizon ?pool ~obs m
+                       let spec = spec_of scen in
+                       let env =
+                         Ctmc.Engine.envelope spec
+                           ~reward:(Ctmc.Engine.Coord coord)
                        in
-                       let fn =
-                         Analysis.finite_n_transient
-                           ~times:(Vec.linspace 0. horizon points)
-                           ~epsilon spec ~n
-                           ~reward:(fun x -> x.(coord))
-                       in
-                       Printf.printf "# states=%d\n" fn.Analysis.states;
-                       Printf.printf "t\t%s_mean\t%s_min\t%s_max\n" var var var;
+                       Printf.printf "# states=%d escaped<=%.3g\n"
+                         env.Ctmc.Engine.states env.escaped;
+                       Printf.printf "t\t%s_mean\t%s_min\t%s_max\tescaped\n"
+                         var var var;
                        Array.iteri
                          (fun j t ->
-                           Printf.printf "%.3f\t%.5f\t%.5f\t%.5f\n" t
-                             fn.Analysis.mean.(j) fn.Analysis.lower.(j)
-                             fn.Analysis.upper.(j))
-                         fn.Analysis.times;
+                           Printf.printf "%.3f\t%.5f\t%.5f\t%.5f\t%.3g\n" t
+                             env.mean.(j) env.lower.(j) env.upper.(j)
+                             (lost env.certificates.(j)))
+                         env.times;
                        Ok ()
                    | (`Transient | `Stationary) as mode ->
                        let* th = theta_of m theta in
-                       let pop = Model.population m in
-                       let space =
-                         Ctmc_of_population.state_space ~obs ~max_states pop
-                           ~n ~x0:(Model.x0 m)
-                       in
-                       let g =
-                         Ctmc_of_population.generator ?pool ~obs space pop
-                           ~theta:th
-                       in
-                       Printf.printf "# states=%d nnz=%d\n"
-                         (Ctmc_of_population.n_states space) (Generator.nnz g);
+                       let spec = spec_of Ctmc.Engine.Imprecise in
+                       let space = Ctmc.Engine.space spec in
                        let rewards =
-                         Array.mapi
-                           (fun c _ ->
-                             Ctmc_of_population.reward space (fun x -> x.(c)))
-                           names
+                         Array.mapi (fun c _ -> Ctmc.Engine.Coord c) names
                        in
                        (match mode with
                        | `Transient ->
-                           let times = Vec.linspace 0. horizon points in
-                           let e =
-                             Transient.expectation_series ?pool ~obs ~epsilon g
-                               ~p0:(Ctmc_of_population.point_mass space)
-                               ~times rewards
+                           let tr =
+                             Ctmc.Engine.transient ~theta:th ~space spec
+                               ~rewards
                            in
-                           Printf.printf "t\t%s\n"
+                           Printf.printf "# states=%d\n" tr.Ctmc.Engine.states;
+                           Printf.printf "t\t%s\tescaped\n"
                              (String.concat "\t" (Array.to_list names));
                            Array.iteri
                              (fun j t ->
                                Printf.printf "%.3f" t;
                                Array.iteri
-                                 (fun c _ -> Printf.printf "\t%.5f" e.(j).(c))
+                                 (fun c _ ->
+                                   Printf.printf "\t%.5f" tr.value.(j).(c))
                                  names;
+                               Printf.printf "\t%.3g"
+                                 (lost tr.certificates.(j));
                                print_newline ())
-                             times
+                             tr.times
                        | `Stationary ->
-                           let pi = Stationary.power_iteration ?pool ~obs g in
+                           let st =
+                             Ctmc.Engine.stationary ~theta:th ~space spec
+                               ~rewards
+                           in
+                           Printf.printf "# states=%d\n" st.Ctmc.Engine.states;
                            Printf.printf "var\tmean\n";
                            Array.iteri
                              (fun c name ->
-                               Printf.printf "%s\t%.5f\n" name
-                                 (Vec.dot rewards.(c) pi))
+                               Printf.printf "%s\t%.5f\n" name st.values.(c))
                              names);
                        Ok ()))
          with
          | Failure msg -> Error (`Msg msg)
-         | Transient.Truncated { epsilon; mass; terms } ->
-             Error
-               (`Msg
-                 (Printf.sprintf
-                    "uniformisation truncated: accumulated mass %.17g after \
-                     %d terms misses the 1 - %g target (raise --epsilon or \
-                     the term budget)"
-                    mass terms epsilon)))
+         | Invalid_argument msg -> Error (`Msg msg))
   in
   Cmd.v (Cmd.info "ctmc" ~doc)
     Term.(
       const run $ mode_arg $ model_arg $ n_arg $ var_arg $ theta_arg
       $ scenario_arg $ grid_arg $ horizon_arg 10. $ points_arg $ epsilon_arg
-      $ max_states_arg $ jobs_arg $ trace_arg $ metrics_arg)
+      $ max_states_arg $ truncation_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* lint command *)
 let lint_cmd =

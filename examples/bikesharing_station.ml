@@ -24,7 +24,7 @@ let () =
     (fun capacity ->
       let m = Bikesharing.ictmc p ~capacity in
       let h = Bikesharing.empty_indicator ~capacity in
-      let hi = Imprecise_ctmc.upper_expectation m ~h ~horizon in
+      let hi = Ctmc.Imprecise.upper_expectation m ~h ~horizon in
       (* start half full *)
       Printf.printf "%d\t\t%.4f\n" capacity hi.(capacity / 2))
     [ 4; 8; 12; 16; 24 ];
@@ -55,7 +55,7 @@ let () =
   let empty_runs = ref 0 in
   let runs = 1000 in
   for _ = 1 to runs do
-    let path = Imprecise_ctmc.simulate rng m rush ~x0:6 ~tmax:horizon in
+    let path = Ctmc.Imprecise.simulate rng m rush ~x0:6 ~tmax:horizon in
     let hit_empty = ref false in
     Array.iter (fun s -> if s = 0 then hit_empty := true) path.Ctmc_path.states;
     if !hit_empty then incr empty_runs

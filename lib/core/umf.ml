@@ -48,6 +48,18 @@ module Loadbalance = Umf_models.Loadbalance
 module Bikenetwork = Umf_models.Bikenetwork
 module Registry = Umf_models.Registry
 
+(* finite-N CTMC: the spec-record front door plus its kernels, under
+   one namespace.  The historical top-level aliases (Transient,
+   Ctmc_sparse, Imprecise_ctmc) are deprecated in the interface. *)
+module Ctmc = struct
+  module Engine = Umf_meanfield.Engine
+  module Generator = Umf_ctmc.Generator
+  module Sparse = Umf_ctmc.Sparse
+  module Transient = Umf_ctmc.Transient
+  module Stationary = Umf_ctmc.Stationary
+  module Imprecise = Umf_ctmc.Imprecise_ctmc
+end
+
 module Analysis = struct
   type scenario = Imprecise | Uncertain of int
 
@@ -288,75 +300,31 @@ module Analysis = struct
     metrics : metrics;
   }
 
+  (* deprecated wrapper: the whole pipeline now lives behind
+     Ctmc.Engine.envelope (the Lattice reward reproduces the historical
+     reward-closure semantics, whose range was never declared) *)
   let finite_n_transient ?times ?epsilon s ~n ~reward =
-    let times =
-      match times with Some ts -> ts | None -> Vec.linspace 0. s.horizon 11
+    let scenario =
+      match s.scenario with
+      | Imprecise -> Ctmc.Engine.Imprecise
+      | Uncertain g -> Ctmc.Engine.Uncertain g
     in
-    let model = s.model in
-    let pop = Model.population model in
-    let theta_box =
-      match s.theta with Some b -> b | None -> Model.theta model
-    in
-    let (states, mean, lower, upper), metrics =
+    let env, metrics =
       instrumented s "analysis.finite_n_transient" (fun obs ->
-          let space =
-            Ctmc_of_population.state_space ~obs ~theta:theta_box pop ~n
-              ~x0:(Model.x0 model)
-          in
-          let h = Ctmc_of_population.reward space reward in
-          let p0 = Ctmc_of_population.point_mass space in
-          let series theta =
-            let g =
-              Ctmc_of_population.generator ?pool:s.pool ~obs space pop ~theta
-            in
-            Array.map
-              (fun row -> row.(0))
-              (Transient.expectation_series ?pool:s.pool ~obs ?epsilon g ~p0
-                 ~times [| h |])
-          in
-          let mean = series (Optim.Box.midpoint theta_box) in
-          let lower, upper =
-            match s.scenario with
-            | Imprecise ->
-                if not (Model.affine_in_theta model) then
-                  invalid_arg
-                    "Analysis.finite_n_transient: imprecise finite-N bounds \
-                     need rates affine in theta (vertex extremisation is \
-                     only exact there); use the Uncertain scenario";
-                let im =
-                  Ctmc_of_population.imprecise ~theta:theta_box space pop
-                in
-                let x0i = Ctmc_of_population.x0_index space in
-                let steps_per_unit =
-                  Stdlib.max 1
-                    (int_of_float
-                       (Float.ceil (float_of_int s.steps /. s.horizon)))
-                in
-                let lo =
-                  Imprecise_ctmc.lower_series ~steps_per_unit im ~h ~times
-                in
-                let hi =
-                  Imprecise_ctmc.upper_series ~steps_per_unit im ~h ~times
-                in
-                ( Array.map (fun v -> v.(x0i)) lo,
-                  Array.map (fun v -> v.(x0i)) hi )
-            | Uncertain grid ->
-                let nt = Array.length times in
-                let lo = Array.make nt Float.infinity
-                and hi = Array.make nt Float.neg_infinity in
-                List.iter
-                  (fun th ->
-                    let e = series th in
-                    for j = 0 to nt - 1 do
-                      if e.(j) < lo.(j) then lo.(j) <- e.(j);
-                      if e.(j) > hi.(j) then hi.(j) <- e.(j)
-                    done)
-                  (Optim.Box.sample_grid theta_box grid);
-                (lo, hi)
-          in
-          (Ctmc_of_population.n_states space, mean, lower, upper))
+          Ctmc.Engine.envelope
+            (Ctmc.Engine.spec ~scenario ?theta:s.theta ~horizon:s.horizon
+               ?times ?epsilon ~steps:s.steps ?pool:s.pool ~obs ~n s.model)
+            ~reward:(Ctmc.Engine.Lattice reward))
     in
-    { n; states; times; mean; lower; upper; metrics }
+    {
+      n;
+      states = env.Ctmc.Engine.states;
+      times = env.times;
+      mean = env.mean;
+      lower = env.lower;
+      upper = env.upper;
+      metrics;
+    }
 
   type exceedance = { mean : float; worst : float; metrics : metrics }
 

@@ -14,7 +14,7 @@
       {!Birkhoff} (steady-state regions);
 
     and validate against finite-N stochastic simulation ({!Ssa}) or
-    exact finite-chain imprecise bounds ({!Imprecise_ctmc}).
+    the exact finite-N CTMC engine ({!Ctmc.Engine}).
 
     The {!Analysis} module bundles the common end-to-end workflows. *)
 
@@ -36,12 +36,27 @@ module Tape_check = Umf_numerics.Tape_check
 
 (* Markov chain substrate *)
 module Generator = Umf_ctmc.Generator
+
 module Ctmc_sparse = Umf_ctmc.Sparse
+[@@deprecated
+  "use Ctmc.Engine (spec front door) or Ctmc.Sparse (kernel); removed two \
+   releases after 0.8"]
+
 module Ctmc_path = Umf_ctmc.Path
 module Ctmc_simulate = Umf_ctmc.Simulate
+
 module Transient = Umf_ctmc.Transient
+[@@deprecated
+  "use Ctmc.Engine.transient/distribution (spec front door) or \
+   Ctmc.Transient (kernel); removed two releases after 0.8"]
+
 module Stationary = Umf_ctmc.Stationary
+
 module Imprecise_ctmc = Umf_ctmc.Imprecise_ctmc
+[@@deprecated
+  "use Ctmc.Engine.envelope (spec front door) or Ctmc.Imprecise (kernel); \
+   removed two releases after 0.8"]
+
 module Interval_dtmc = Umf_ctmc.Interval_dtmc
 
 (* population models and their simulation *)
@@ -51,6 +66,20 @@ module Model = Umf_meanfield.Model
 module Policy = Umf_meanfield.Policy
 module Ssa = Umf_meanfield.Ssa
 module Convergence = Umf_meanfield.Convergence
+
+(** The finite-N CTMC engine: {!Ctmc.Engine} is the one spec-record
+    front door (transient expectations, scenario envelopes, stationary
+    distributions — all with certified escaped-mass accounting under
+    adaptive truncation); the submodules next to it are its kernels for
+    callers that build generators by hand. *)
+module Ctmc : sig
+  module Engine = Umf_meanfield.Engine
+  module Generator = Umf_ctmc.Generator
+  module Sparse = Umf_ctmc.Sparse
+  module Transient = Umf_ctmc.Transient
+  module Stationary = Umf_ctmc.Stationary
+  module Imprecise = Umf_ctmc.Imprecise_ctmc
+end
 
 (* static model analysis *)
 module Lint = Umf_lint.Lint
@@ -246,21 +275,17 @@ module Analysis : sig
     n:int ->
     reward:(Vec.t -> float) ->
     finite_n
-  (** Enumerates the reachable N-scaled lattice of the spec's model
-      from its initial density ({!Ctmc_of_population}), then computes
-      E[reward(X_t/N)] exactly by sparse uniformisation
-      ({!Transient.expectation_series}; [epsilon] is its truncation
-      tolerance) at each time ([times] defaults to 11 points on
-      [0, horizon]).
-
-      The envelope depends on the scenario: [Uncertain g] sweeps the
-      θ-grid with one exact transient computation per grid point;
-      [Imprecise] runs the finite-chain backward sweeps
-      {!Imprecise_ctmc.lower_series}/[upper_series] (discretised with
-      [spec.steps] over the horizon, auto-refined for stability), which
-      requires the model's rates affine in θ — the same
-      [Model.affine_in_theta] precondition Umf_lint gates on.
-      All sweeps fan out over [spec.pool] bit-identically.
+  [@@deprecated
+    "use Ctmc.Engine.envelope with an Engine spec (it adds adaptive \
+     truncation with certified escaped-mass bounds and richer result \
+     records); removed two releases after 0.8"]
+  (** Thin wrapper over {!Ctmc.Engine.envelope} with a
+      [Ctmc.Engine.Lattice] reward, kept for source compatibility: same
+      lattice enumeration, certified uniformisation sweeps
+      ([epsilon] is the mass tolerance, [times] defaults to 11 points
+      on [0, horizon]) and scenario envelopes ([Uncertain g] θ-grid
+      sweeps; [Imprecise] backward sweeps, rates affine in θ required),
+      fanned out over [spec.pool] bit-identically.
 
       @raise Invalid_argument in the imprecise scenario on a model not
       affine in θ.

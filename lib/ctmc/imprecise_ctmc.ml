@@ -1,4 +1,6 @@
 open Umf_numerics
+module Pool = Umf_runtime.Runtime.Pool
+module Obs = Umf_obs.Obs
 
 type transition = { src : int; dst : int; rate : Vec.t -> float }
 
@@ -110,44 +112,72 @@ let steps_for ?steps_per_unit ~lambda duration =
 
 (* Integrate d/dt g(x) = extremum_θ (Q^θ g)(x) for [duration], clamping
    each step to the invariant envelope [hmin, hmax] (under the dt·λ <= 1
-   guard the clamp only trims float rounding). *)
-let euler_sweep pick m ~g ~duration ~steps ~hmin ~hmax =
+   guard the clamp only trims float rounding).  Two swapped buffers
+   instead of an allocation per step; each state's value is computed by
+   the same per-x arithmetic as before into an index-owned slot, so any
+   chunking over a pool is bit-identical to the sequential sweep. *)
+let sweep_chunk = 1024
+
+let euler_sweep ?pool ?(obs = Obs.off) pick m ~g ~duration ~steps ~hmin ~hmax =
   if duration > 0. then begin
     let dt = duration /. float_of_int steps in
+    let sp = Obs.span_begin obs "ctmc.imprecise_sweep" in
+    let cur = ref !g and nxt = ref (Vec.zeros m.n) in
+    let body cur nxt lo hi =
+      for x = lo to hi - 1 do
+        (* extremise the backward operator over the θ-vertices *)
+        let best = ref None in
+        List.iter
+          (fun theta ->
+            let v = row_value m cur x theta in
+            best := Some (match !best with None -> v | Some b -> pick v b))
+          m.theta_vertices;
+        let rate = match !best with None -> 0. | Some v -> v in
+        let v = cur.(x) +. (dt *. rate) in
+        nxt.(x) <- (if v < hmin then hmin else if v > hmax then hmax else v)
+      done
+    in
     for _ = 1 to steps do
-      let cur = !g in
-      g :=
-        Array.init m.n (fun x ->
-            (* extremise the backward operator over the θ-vertices *)
-            let best = ref None in
-            List.iter
-              (fun theta ->
-                let v = row_value m cur x theta in
-                best :=
-                  Some (match !best with None -> v | Some b -> pick v b))
-              m.theta_vertices;
-            let rate = match !best with None -> 0. | Some v -> v in
-            let v = cur.(x) +. (dt *. rate) in
-            if v < hmin then hmin else if v > hmax then hmax else v)
-    done
+      let c = !cur and nx = !nxt in
+      (match pool with
+      | Some p when m.n > sweep_chunk ->
+          let n_chunks = (m.n + sweep_chunk - 1) / sweep_chunk in
+          Pool.parallel_for ~stage:"ctmc-backward" ~chunk:1 p n_chunks
+            (fun ci ->
+              let lo = ci * sweep_chunk in
+              body c nx lo (Stdlib.min m.n (lo + sweep_chunk)))
+      | _ -> body c nx 0 m.n);
+      cur := nx;
+      nxt := c
+    done;
+    g := !cur;
+    if Obs.enabled obs then
+      Obs.span_end
+        ~metrics:
+          [
+            ("steps", float_of_int steps);
+            ("rows", float_of_int (m.n * steps));
+          ]
+        obs sp
+    else Obs.span_end obs sp
   end
 
 let picker = function
   | `Lower -> fun a b -> Float.min a b
   | `Upper -> fun a b -> Float.max a b
 
-let extremal_expectation sense ?steps_per_unit m ~h ~horizon =
+let extremal_expectation sense ?pool ?obs ?steps_per_unit m ~h ~horizon =
   if Vec.dim h <> m.n then
     invalid_arg "Imprecise_ctmc: reward dimension mismatch";
   if horizon < 0. then invalid_arg "Imprecise_ctmc: negative horizon";
   let lambda = max_exit_bound m in
   let steps = steps_for ?steps_per_unit ~lambda horizon in
   let g = ref (Vec.copy h) in
-  euler_sweep (picker sense) m ~g ~duration:horizon ~steps
+  euler_sweep ?pool ?obs (picker sense) m ~g ~duration:horizon ~steps
     ~hmin:(Vec.min_elt h) ~hmax:(Vec.max_elt h);
   !g
 
-let extremal_series sense ?steps_per_unit m ~h ~times =
+let extremal_series sense ?pool ?obs ?steps_per_unit m ~h ~times =
   if Vec.dim h <> m.n then
     invalid_arg "Imprecise_ctmc: reward dimension mismatch";
   let nt = Array.length times in
@@ -170,30 +200,30 @@ let extremal_series sense ?steps_per_unit m ~h ~times =
       let duration = t -. !prev in
       if duration > 0. then begin
         let steps = steps_for ?steps_per_unit ~lambda duration in
-        euler_sweep pick m ~g ~duration ~steps ~hmin ~hmax
+        euler_sweep ?pool ?obs pick m ~g ~duration ~steps ~hmin ~hmax
       end;
       prev := t;
       Vec.copy !g)
     times
 
-let lower_expectation ?steps_per_unit m ~h ~horizon =
-  extremal_expectation `Lower ?steps_per_unit m ~h ~horizon
+let lower_expectation ?pool ?obs ?steps_per_unit m ~h ~horizon =
+  extremal_expectation `Lower ?pool ?obs ?steps_per_unit m ~h ~horizon
 
-let upper_expectation ?steps_per_unit m ~h ~horizon =
-  extremal_expectation `Upper ?steps_per_unit m ~h ~horizon
+let upper_expectation ?pool ?obs ?steps_per_unit m ~h ~horizon =
+  extremal_expectation `Upper ?pool ?obs ?steps_per_unit m ~h ~horizon
 
-let lower_series ?steps_per_unit m ~h ~times =
-  extremal_series `Lower ?steps_per_unit m ~h ~times
+let lower_series ?pool ?obs ?steps_per_unit m ~h ~times =
+  extremal_series `Lower ?pool ?obs ?steps_per_unit m ~h ~times
 
-let upper_series ?steps_per_unit m ~h ~times =
-  extremal_series `Upper ?steps_per_unit m ~h ~times
+let upper_series ?pool ?obs ?steps_per_unit m ~h ~times =
+  extremal_series `Upper ?pool ?obs ?steps_per_unit m ~h ~times
 
-let probability_bounds ?steps_per_unit m ~state ~horizon ~x0 =
+let probability_bounds ?pool ?obs ?steps_per_unit m ~state ~horizon ~x0 =
   if state < 0 || state >= m.n || x0 < 0 || x0 >= m.n then
     invalid_arg "Imprecise_ctmc.probability_bounds: state out of range";
   let h = Array.init m.n (fun i -> if i = state then 1. else 0.) in
-  let lo = lower_expectation ?steps_per_unit m ~h ~horizon in
-  let hi = upper_expectation ?steps_per_unit m ~h ~horizon in
+  let lo = lower_expectation ?pool ?obs ?steps_per_unit m ~h ~horizon in
+  let hi = upper_expectation ?pool ?obs ?steps_per_unit m ~h ~horizon in
   (lo.(x0), hi.(x0))
 
 type policy = t:float -> x:int -> Vec.t

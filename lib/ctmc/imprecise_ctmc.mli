@@ -46,7 +46,13 @@ val max_exit_bound : t -> float
     affine).  The uniformisation rate used by {!simulate}. *)
 
 val lower_expectation :
-  ?steps_per_unit:int -> t -> h:Vec.t -> horizon:float -> Vec.t
+  ?pool:Umf_runtime.Runtime.Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
+  ?steps_per_unit:int ->
+  t ->
+  h:Vec.t ->
+  horizon:float ->
+  Vec.t
 (** [lower_expectation m ~h ~horizon] is the vector of lower
     expectations x ↦ E̲[h(X_horizon) | X_0 = x].  The backward equation
     is integrated with uniformisation-style Euler steps;
@@ -57,13 +63,30 @@ val lower_expectation :
     current values — so the sweep always stays in the invariant
     envelope [min h, max h] (values are clamped there against float
     rounding), instead of silently diverging on a too coarse
-    user-supplied grid. *)
+    user-supplied grid.
+
+    [pool] fans each Euler step out over index-owned state chunks,
+    bit-identically to the sequential sweep for any domain count; [obs]
+    records a ["ctmc.imprecise_sweep"] span per integrated segment
+    (steps, rows touched). *)
 
 val upper_expectation :
-  ?steps_per_unit:int -> t -> h:Vec.t -> horizon:float -> Vec.t
+  ?pool:Umf_runtime.Runtime.Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
+  ?steps_per_unit:int ->
+  t ->
+  h:Vec.t ->
+  horizon:float ->
+  Vec.t
 
 val lower_series :
-  ?steps_per_unit:int -> t -> h:Vec.t -> times:float array -> Vec.t array
+  ?pool:Umf_runtime.Runtime.Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
+  ?steps_per_unit:int ->
+  t ->
+  h:Vec.t ->
+  times:float array ->
+  Vec.t array
 (** [lower_series m ~h ~times] is the lower expectation vector at every
     horizon in the strictly increasing [times >= 0] — one backward
     sweep up to the largest horizon with snapshots (the equation is
@@ -71,10 +94,23 @@ val lower_series :
     reproduces {!lower_expectation} exactly. *)
 
 val upper_series :
-  ?steps_per_unit:int -> t -> h:Vec.t -> times:float array -> Vec.t array
+  ?pool:Umf_runtime.Runtime.Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
+  ?steps_per_unit:int ->
+  t ->
+  h:Vec.t ->
+  times:float array ->
+  Vec.t array
 
 val probability_bounds :
-  ?steps_per_unit:int -> t -> state:int -> horizon:float -> x0:int -> float * float
+  ?pool:Umf_runtime.Runtime.Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
+  ?steps_per_unit:int ->
+  t ->
+  state:int ->
+  horizon:float ->
+  x0:int ->
+  float * float
 (** Lower and upper bounds on P(X_horizon = state | X_0 = x0). *)
 
 type policy = t:float -> x:int -> Vec.t

@@ -6,7 +6,19 @@ module Pool = Umf_runtime.Runtime.Pool
    with probabilities prob (= rate / lambda).  diag_pos.(j) is the
    index of the first incoming edge with source > j, so the diagonal
    term 1 - exit_j/lambda can be folded in at exactly the position the
-   dense transposed product visits it. *)
+   dense transposed product visits it.
+
+   blocks is a monotone boundary array [0; b1; ...; n] partitioning the
+   destination range into cache-sized slices (bounded rows AND bounded
+   stored entries), fixed at assembly time.  Both the sequential and
+   the pooled step walk the same partition and combine per-block loss
+   partials in block order, so every scalar reduction has one fixed
+   association independent of the pool size.
+
+   loss, when present, is the per-state one-step escape probability
+   leak_j / lambda of a substochastic (truncated) operator; the fused
+   step returns sum_j loss_j * v_j as the probability mass certified to
+   have left the retained state space during the step. *)
 type t = {
   n : int;
   lambda : float;
@@ -15,6 +27,8 @@ type t = {
   src : int array;
   prob : float array;
   diag_pos : int array;
+  blocks : int array;
+  loss : float array option;
 }
 
 let n_states op = op.n
@@ -23,15 +37,59 @@ let nnz op = Array.length op.src
 
 let rate op = op.lambda
 
-let forward ?rate g =
+let n_blocks op = Array.length op.blocks - 1
+
+let substochastic op = op.loss <> None
+
+(* Cache-block bounds: a block never exceeds [block_rows] destinations
+   nor (beyond its first row) [block_nnz] stored entries, so one block's
+   slice of src/prob plus its stripe of v stays L2-resident and one
+   block is a sensible unit of pool work. *)
+let block_rows = 4096
+
+let block_nnz = 16384
+
+let make_blocks n off =
+  let acc = ref [] in
+  let start = ref 0 in
+  while !start < n do
+    let stop = ref (!start + 1) in
+    while
+      !stop < n
+      && !stop - !start < block_rows
+      && off.(!stop + 1) - off.(!start) <= block_nnz
+    do
+      incr stop
+    done;
+    acc := !stop :: !acc;
+    start := !stop
+  done;
+  Array.of_list (0 :: List.rev !acc)
+
+let forward ?rate ?leak g =
   let n = Generator.n_states g in
+  (match leak with
+  | Some l when Array.length l <> n ->
+      invalid_arg "Sparse.forward: leak dimension mismatch"
+  | _ -> ());
+  let total_exit i =
+    Generator.exit_rate g i
+    +. (match leak with None -> 0. | Some l -> l.(i))
+  in
+  let max_total =
+    let m = ref 0. in
+    for i = 0 to n - 1 do
+      m := Float.max !m (total_exit i)
+    done;
+    !m
+  in
   let lambda =
     match rate with
     | Some r ->
-        if r < Generator.max_exit_rate g then
+        if r < max_total then
           invalid_arg "Sparse.forward: rate below max exit rate";
         r
-    | None -> Float.max 1e-9 (1.01 *. Generator.max_exit_rate g)
+    | None -> Float.max 1e-9 (1.01 *. max_total)
   in
   let counts = Array.make n 0 in
   for i = 0 to n - 1 do
@@ -54,7 +112,7 @@ let forward ?rate g =
         cursor.(j) <- c + 1)
       (Generator.outgoing g i)
   done;
-  let diag = Array.init n (fun j -> 1. -. (Generator.exit_rate g j /. lambda)) in
+  let diag = Array.init n (fun j -> 1. -. (total_exit j /. lambda)) in
   let diag_pos =
     Array.init n (fun j ->
         let p = ref off.(j + 1) in
@@ -68,14 +126,23 @@ let forward ?rate g =
          with Exit -> ());
         !p)
   in
-  { n; lambda; diag; off; src; prob; diag_pos }
+  let loss =
+    match leak with
+    | None -> None
+    | Some l -> Some (Array.map (fun r -> r /. lambda) l)
+  in
+  { n; lambda; diag; off; src; prob; diag_pos; blocks = make_blocks n off; loss }
 
 (* one destination slice of the fused step: into.(j) <- (Pᵀ v)(j) and,
    when weighted, acc.(j) <- acc.(j) + w * v.(j).  Index-owned writes
-   only, so any chunking of [lo, hi) is bit-identical. *)
+   only, so any chunking of [lo, hi) is bit-identical.  Returns the
+   slice's escaped-mass partial sum_{j in [lo,hi)} loss_j v_j (0 for an
+   exact operator), accumulated in ascending j order. *)
 let segment op v into weight acc lo hi =
   let src = op.src and prob = op.prob and diag = op.diag in
   let off = op.off and diag_pos = op.diag_pos in
+  let loss = op.loss in
+  let lost = ref 0. in
   for j = lo to hi - 1 do
     let s = ref 0. in
     let dp = Array.unsafe_get diag_pos j in
@@ -93,14 +160,17 @@ let segment op v into weight acc lo hi =
             *. Array.unsafe_get v (Array.unsafe_get src e))
     done;
     Array.unsafe_set into j !s;
-    match acc with
+    (match acc with
     | None -> ()
     | Some r ->
         Array.unsafe_set r j
-          (Array.unsafe_get r j +. (weight *. Array.unsafe_get v j))
-  done
-
-let chunk_size = 4096
+          (Array.unsafe_get r j +. (weight *. Array.unsafe_get v j)));
+    match loss with
+    | None -> ()
+    | Some l ->
+        lost := !lost +. (Array.unsafe_get l j *. Array.unsafe_get v j)
+  done;
+  !lost
 
 let step_into ?pool ?acc op v ~into =
   if Vec.dim v <> op.n || Vec.dim into <> op.n then
@@ -113,11 +183,26 @@ let step_into ?pool ?acc op v ~into =
   | Some r when Vec.dim r <> op.n ->
       invalid_arg "Sparse.step_into: accumulator dimension mismatch"
   | _ -> ());
-  match pool with
-  | Some p when op.n > chunk_size ->
-      let n_chunks = (op.n + chunk_size - 1) / chunk_size in
-      Pool.parallel_for ~stage:"ctmc-spmv" ~chunk:1 p n_chunks (fun ci ->
-          let lo = ci * chunk_size in
-          let hi = Stdlib.min op.n (lo + chunk_size) in
-          segment op v into weight accv lo hi)
-  | _ -> segment op v into weight accv 0 op.n
+  let blocks = op.blocks in
+  let nb = Array.length blocks - 1 in
+  if nb <= 0 then 0.
+  else begin
+    let partial = Array.make nb 0. in
+    (match pool with
+    | Some p when nb > 1 ->
+        Pool.parallel_for ~stage:"ctmc-spmv" ~chunk:1 p nb (fun bi ->
+            partial.(bi) <-
+              segment op v into weight accv blocks.(bi) blocks.(bi + 1))
+    | _ ->
+        for bi = 0 to nb - 1 do
+          partial.(bi) <-
+            segment op v into weight accv blocks.(bi) blocks.(bi + 1)
+        done);
+    (* fixed block-ordered reduction: identical association for any
+       pool size, including the sequential path *)
+    let lost = ref 0. in
+    for bi = 0 to nb - 1 do
+      lost := !lost +. partial.(bi)
+    done;
+    !lost
+  end

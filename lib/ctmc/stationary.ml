@@ -50,7 +50,7 @@ let power_iteration ?pool ?(obs = Obs.off) ?(tol = 1e-12)
   let iter = ref 0 in
   while (not !converged) && !iter < max_iter do
     incr iter;
-    Sparse.step_into ?pool op !pi ~into:!w;
+    ignore (Sparse.step_into ?pool op !pi ~into:!w : float);
     Vec.scale_into (1. /. Vec.sum !w) !w ~into:!w;
     if Vec.dist_inf !w !pi < tol then converged := true;
     let tmp = !pi in

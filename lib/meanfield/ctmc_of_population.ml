@@ -18,11 +18,20 @@ type space = {
      floating point, and without a threshold the roundoff residue
      (~1e-16) would count as support and walk the BFS off the lattice *)
   support_tol : float;
+  (* adaptive: enumeration was allowed to stop at the budget / clip box
+     instead of failing; truncated: it actually did, so transitions out
+     of the retained set exist and must be accounted as leak *)
+  adaptive : bool;
+  truncated : bool;
 }
 
 let n_states sp = Array.length sp.counts
 
 let population_size sp = sp.pop_n
+
+let adaptive sp = sp.adaptive
+
+let truncated sp = sp.truncated
 
 let x0_index _sp = 0
 
@@ -56,7 +65,8 @@ let int_changes (pop : Population.t) =
 let density_of ~nf c = Array.map (fun k -> float_of_int k /. nf) c
 
 let state_space ?(obs = Obs.off) ?theta ?clip ?(max_states = 2_000_000)
-    ?(support_tol = 1e-12) (pop : Population.t) ~n ~x0 =
+    ?(support_tol = 1e-12) ?(truncation = `Exact) (pop : Population.t) ~n ~x0
+    =
   if n <= 0 then invalid_arg "Ctmc_of_population: need n > 0";
   if not (support_tol >= 0.) then
     invalid_arg "Ctmc_of_population: support_tol < 0";
@@ -124,19 +134,34 @@ let state_space ?(obs = Obs.off) ?theta ?clip ?(max_states = 2_000_000)
   let probes = Optim.Box.midpoint theta_box :: Optim.Box.vertices theta_box in
   let index = Hashtbl.create 4096 in
   let states = ref [] and n_found = ref 0 in
+  let adaptive = truncation = `Adaptive in
+  let truncated = ref false in
   let queue = Queue.create () in
+  (* under `Adaptive a refused add is not an error: the state stays
+     outside the retained set and its incoming transitions become leak
+     edges, certified later by [truncated_generator] *)
   let add c =
-    if !n_found >= max_states then
-      failwith
-        (Printf.sprintf
-           "Ctmc_of_population: state space exceeds max_states = %d"
-           max_states);
-    Hashtbl.add index c !n_found;
-    states := c :: !states;
-    incr n_found;
-    Queue.add c queue
+    if !n_found >= max_states then begin
+      if adaptive then begin
+        truncated := true;
+        false
+      end
+      else
+        failwith
+          (Printf.sprintf
+             "Ctmc_of_population: state space exceeds max_states = %d"
+             max_states)
+    end
+    else begin
+      Hashtbl.add index c !n_found;
+      states := c :: !states;
+      incr n_found;
+      Queue.add c queue;
+      true
+    end
   in
-  add c0;
+  if not (add c0) then
+    invalid_arg "Ctmc_of_population: max_states < 1";
   let dim = pop.dim in
   while not (Queue.is_empty queue) do
     let c = Queue.pop queue in
@@ -159,13 +184,16 @@ let state_space ?(obs = Obs.off) ?theta ?clip ?(max_states = 2_000_000)
           for i = 0 to dim - 1 do
             if c'.(i) < lo.(i) || c'.(i) > hi.(i) then inside := false
           done;
-          if not !inside then
-            failwith
-              (Printf.sprintf
-                 "Ctmc_of_population: transition %s leaves the clip box \
-                  (state space would be truncated)"
-                 tr.name);
-          if not (Hashtbl.mem index c') then add c'
+          if not !inside then begin
+            if adaptive then truncated := true
+            else
+              failwith
+                (Printf.sprintf
+                   "Ctmc_of_population: transition %s leaves the clip box \
+                    (state space would be truncated)"
+                   tr.name)
+          end
+          else if not (Hashtbl.mem index c') then ignore (add c' : bool)
         end)
       pop.transitions
   done;
@@ -174,11 +202,25 @@ let state_space ?(obs = Obs.off) ?theta ?clip ?(max_states = 2_000_000)
   if Obs.enabled obs then begin
     Obs.count obs "ctmc.states" (Array.length counts);
     Obs.span_end
-      ~metrics:[ ("states", float_of_int (Array.length counts)) ]
+      ~metrics:
+        [
+          ("states", float_of_int (Array.length counts));
+          ("truncated", if !truncated then 1. else 0.);
+        ]
       obs sp
   end
   else Obs.span_end obs sp;
-  { pop_n = n; counts; dens; index; changes; probes; support_tol }
+  {
+    pop_n = n;
+    counts;
+    dens;
+    index;
+    changes;
+    probes;
+    support_tol;
+    adaptive;
+    truncated = !truncated;
+  }
 
 (* Row assembly for one source state: absolute rates N·β(x, θ) per
    class, targets resolved through the index, merged by destination
@@ -187,7 +229,7 @@ let state_space ?(obs = Obs.off) ?theta ?clip ?(max_states = 2_000_000)
    call or a lane of a batched tape evaluation; the two are
    bit-identical, so the assembled generator does not depend on which
    path produced it. *)
-let assemble_row sp (pop : Population.t) ~nf ~rate s =
+let assemble_row ?on_escape sp (pop : Population.t) ~nf ~rate s =
   let pairs = ref [] and count = ref 0 in
   Array.iteri
     (fun ti (tr : Population.transition) ->
@@ -202,13 +244,19 @@ let assemble_row sp (pop : Population.t) ~nf ~rate s =
             pairs := (d, nf *. beta) :: !pairs;
             incr count
         | Some _ -> ()
-        | None ->
-            failwith
-              (Printf.sprintf
-                 "Ctmc_of_population: transition %s has positive rate \
-                  outside the enumerated space (missed support at the probe \
-                  thetas)"
-                 tr.name)
+        | None -> (
+            (* target outside the retained set: a truncated space feeds
+               it to the leak accumulator (in class order, so the sum is
+               deterministic); an exact space treats it as a bug *)
+            match on_escape with
+            | Some f -> f (nf *. beta)
+            | None ->
+                failwith
+                  (Printf.sprintf
+                     "Ctmc_of_population: transition %s has positive rate \
+                      outside the enumerated space (missed support at the \
+                      probe thetas)"
+                     tr.name))
       end)
     pop.transitions;
   let row = Array.make !count (0, 0.) in
@@ -232,14 +280,15 @@ let assemble_row sp (pop : Population.t) ~nf ~rate s =
   done;
   if !uniq = m then row else Array.sub row 0 !uniq
 
-let generator ?pool ?(obs = Obs.off) sp (pop : Population.t) ~theta =
-  if Vec.dim theta <> Array.length pop.theta_names then
-    invalid_arg "Ctmc_of_population: theta dimension mismatch";
-  let span = Obs.span_begin obs "ctmc.assemble" in
+(* Shared assembly driver.  [escape], when present, receives
+   (state, absolute rate) for every supported transition whose target
+   is outside the retained set; leak writes are index-owned per state
+   so any pool partition accumulates them bit-identically. *)
+let assemble_rows ?pool ?escape sp (pop : Population.t) ~theta rows =
   let nf = float_of_int sp.pop_n in
   let ns = n_states sp in
-  let rows = Array.make ns [||] in
-  (match Population.rates_plan pop with
+  let escape_for s = Option.map (fun f -> f s) escape in
+  match Population.rates_plan pop with
   | Some plan ->
       (* batched assembly: all transition rates for a block of states
          in one dispatch per tape instruction, then per-row bookkeeping
@@ -270,7 +319,9 @@ let generator ?pool ?(obs = Obs.off) sp (pop : Population.t) ~theta =
         for r = 0 to bn - 1 do
           let s = b0 + r in
           rows.(s) <-
-            assemble_row sp pop ~nf ~rate:(fun ti _ -> Mat.get betas r ti) s
+            assemble_row ?on_escape:(escape_for s) sp pop ~nf
+              ~rate:(fun ti _ -> Mat.get betas r ti)
+              s
         done
       in
       (match pool with
@@ -283,7 +334,7 @@ let generator ?pool ?(obs = Obs.off) sp (pop : Population.t) ~theta =
   | None ->
       let fill s =
         rows.(s) <-
-          assemble_row sp pop ~nf
+          assemble_row ?on_escape:(escape_for s) sp pop ~nf
             ~rate:(fun _ (tr : Population.transition) ->
               tr.rate sp.dens.(s) theta)
             s
@@ -294,7 +345,19 @@ let generator ?pool ?(obs = Obs.off) sp (pop : Population.t) ~theta =
       | _ ->
           for s = 0 to ns - 1 do
             fill s
-          done));
+          done)
+
+let generator ?pool ?(obs = Obs.off) sp (pop : Population.t) ~theta =
+  if Vec.dim theta <> Array.length pop.theta_names then
+    invalid_arg "Ctmc_of_population: theta dimension mismatch";
+  if sp.truncated then
+    failwith
+      "Ctmc_of_population.generator: space was adaptively truncated — its \
+       exits carry probability mass; use truncated_generator";
+  let span = Obs.span_begin obs "ctmc.assemble" in
+  let ns = n_states sp in
+  let rows = Array.make ns [||] in
+  assemble_rows ?pool sp pop ~theta rows;
   let g = Generator.of_rows rows in
   if Obs.enabled obs then begin
     Obs.count obs "ctmc.nnz" (Generator.nnz g);
@@ -305,11 +368,51 @@ let generator ?pool ?(obs = Obs.off) sp (pop : Population.t) ~theta =
   else Obs.span_end obs span;
   g
 
+let truncated_generator ?pool ?(obs = Obs.off) sp (pop : Population.t) ~theta
+    =
+  if Vec.dim theta <> Array.length pop.theta_names then
+    invalid_arg "Ctmc_of_population: theta dimension mismatch";
+  let span = Obs.span_begin obs "ctmc.assemble" in
+  let ns = n_states sp in
+  let rows = Array.make ns [||] in
+  let leak = Vec.zeros ns in
+  (* only a truncated space may legitimately lose edges; on a fully
+     enumerated space a missing target is still a missed-support bug *)
+  let escape =
+    if sp.truncated then
+      Some (fun s r -> leak.(s) <- leak.(s) +. r)
+    else None
+  in
+  assemble_rows ?pool ?escape sp pop ~theta rows;
+  let g = Generator.of_rows rows in
+  if Obs.enabled obs then begin
+    let boundary = ref 0 in
+    Array.iter (fun l -> if l > 0. then incr boundary) leak;
+    Obs.count obs "ctmc.nnz" (Generator.nnz g);
+    Obs.gauge obs "ctmc.boundary_states" (float_of_int !boundary);
+    Obs.span_end
+      ~metrics:
+        [
+          ("nnz", float_of_int (Generator.nnz g));
+          ("boundary", float_of_int !boundary);
+        ]
+      obs span
+  end
+  else Obs.span_end obs span;
+  (g, leak)
+
 let imprecise ?theta sp (pop : Population.t) =
   let theta_box = match theta with Some b -> b | None -> pop.theta in
   let nf = float_of_int sp.pop_n in
+  let ns = n_states sp in
+  (* a truncated space gets one absorbing sink state (index n_states):
+     escaped edges route there, so a backward sweep that pins the
+     sink's reward at the full-space extremum yields certified outer
+     bounds instead of failing *)
+  let sink = ns in
+  let n_total = if sp.truncated then ns + 1 else ns in
   let transitions = ref [] in
-  for s = n_states sp - 1 downto 0 do
+  for s = ns - 1 downto 0 do
     let x = sp.dens.(s) in
     Array.iteri
       (fun ti (tr : Population.transition) ->
@@ -320,26 +423,31 @@ let imprecise ?theta sp (pop : Population.t) =
           let c' =
             Array.mapi (fun i k -> k + sp.changes.(ti).(i)) sp.counts.(s)
           in
+          let rate th =
+            let beta = tr.rate x th in
+            if Float.is_nan beta then
+              invalid_arg
+                ("Ctmc_of_population: NaN rate in transition " ^ tr.name);
+            nf *. beta
+          in
           match Hashtbl.find_opt sp.index c' with
           | Some d when d <> s ->
-              let rate th =
-                let beta = tr.rate x th in
-                if Float.is_nan beta then
-                  invalid_arg
-                    ("Ctmc_of_population: NaN rate in transition " ^ tr.name);
-                nf *. beta
-              in
               transitions :=
                 { Imprecise_ctmc.src = s; dst = d; rate } :: !transitions
           | Some _ -> ()
           | None ->
-              failwith
-                (Printf.sprintf
-                   "Ctmc_of_population: transition %s has positive rate \
-                    outside the enumerated space (missed support at the \
-                    probe thetas)"
-                   tr.name)
+              if sp.truncated then
+                transitions :=
+                  { Imprecise_ctmc.src = s; dst = sink; rate }
+                  :: !transitions
+              else
+                failwith
+                  (Printf.sprintf
+                     "Ctmc_of_population: transition %s has positive rate \
+                      outside the enumerated space (missed support at the \
+                      probe thetas)"
+                     tr.name)
         end)
       pop.transitions
   done;
-  Imprecise_ctmc.make ~n:(n_states sp) ~theta:theta_box !transitions
+  Imprecise_ctmc.make ~n:n_total ~theta:theta_box !transitions

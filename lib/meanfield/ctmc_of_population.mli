@@ -8,11 +8,16 @@
     well past the dense-matrix limit (an N = 1000 SIR instance has
     ≈ 5·10⁵ states and fits easily).
 
-    Truncation is loud by construction: enumeration stops only at the
-    model's clip box scaled by N, an explicit [max_states] budget
-    raises [Failure], and {!generator} raises if any positive-rate
-    transition leaves the enumerated space — a distribution computed
-    through this engine never silently loses mass. *)
+    Truncation is loud by construction: under the default [`Exact]
+    policy enumeration stops only at the model's clip box scaled by N,
+    an explicit [max_states] budget raises [Failure], and {!generator}
+    raises if any positive-rate transition leaves the enumerated space
+    — a distribution computed through this engine never silently loses
+    mass.  Under [`Adaptive] the budget and the clip box {e truncate}
+    the space instead, and every transition out of the retained set is
+    accounted as an explicit per-state leak rate
+    ({!truncated_generator}), so downstream sweeps return certified
+    escaped-mass bounds rather than refusing. *)
 
 open Umf_numerics
 
@@ -25,6 +30,7 @@ val state_space :
   ?clip:Optim.Box.t ->
   ?max_states:int ->
   ?support_tol:float ->
+  ?truncation:[ `Exact | `Adaptive ] ->
   Population.t ->
   n:int ->
   x0:Vec.t ->
@@ -51,15 +57,31 @@ val state_space :
     without the threshold their roundoff residue (~1e-16) would count
     as support and push the enumeration outside the exact lattice.
 
-    @raise Failure if the reachable space exceeds [max_states] or a
-    positive-rate transition leaves the clip box (the lattice would be
-    truncated).
+    [truncation] (default [`Exact]) selects what happens when the
+    reachable set outgrows [max_states] or escapes the clip box:
+    [`Exact] raises [Failure]; [`Adaptive] stops enumerating there
+    instead (BFS order, so the retained set is always the [max_states]
+    states closest to the initial state in transition count) and marks
+    the space {!truncated} — only {!truncated_generator} and
+    {!imprecise} accept such a space.
+
+    @raise Failure if under [`Exact] the reachable space exceeds
+    [max_states] or a positive-rate transition leaves the clip box (the
+    lattice would be truncated).
     @raise Invalid_argument on dimension mismatches, [n <= 0], a
     non-integral change vector, or [x0] with negative entries. *)
 
 val n_states : space -> int
 
 val population_size : space -> int
+
+val adaptive : space -> bool
+(** Whether the space was enumerated under the [`Adaptive] policy. *)
+
+val truncated : space -> bool
+(** Whether enumeration actually hit the budget or the clip box — i.e.
+    supported transitions out of the retained set exist.  Always
+    [false] for an [`Exact] space. *)
 
 val x0_index : space -> int
 (** Index of the initial state (always 0). *)
@@ -94,12 +116,38 @@ val generator :
 
     @raise Failure if a positive rate leads outside the enumerated
     space (the probe set used by {!state_space} missed its support —
-    enlarge the θ-box probes or the clip box).
+    enlarge the θ-box probes or the clip box), or if the space is
+    {!truncated} (its exits carry probability mass; use
+    {!truncated_generator}).
     @raise Invalid_argument if a rate is negative or NaN at θ. *)
+
+val truncated_generator :
+  ?pool:Umf_runtime.Runtime.Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
+  space ->
+  Population.t ->
+  theta:Vec.t ->
+  Umf_ctmc.Generator.t * Vec.t
+(** Like {!generator} but accepts a {!truncated} space: the generator
+    keeps only edges inside the retained set, and the second component
+    is the per-state leak rate — the total rate of supported
+    transitions out of the retained set, accumulated in class order
+    (index-owned per state, so bit-identical for any pool partition).
+    Feed it to {!Umf_ctmc.Sparse.forward}'s [?leak] /
+    {!Umf_ctmc.Transient.uniformization_certified} to get transient
+    answers with certified escaped-mass bounds.  On a non-truncated
+    space the leak vector is all zeros and a missing target still
+    raises [Failure] (missed support is a bug, not truncation). *)
 
 val imprecise : ?theta:Optim.Box.t -> space -> Population.t -> Umf_ctmc.Imprecise_ctmc.t
 (** The finite-N chain as an imprecise CTMC over the θ-box, for
     {!Umf_ctmc.Imprecise_ctmc.lower_series}/[upper_series] backward
     sweeps.  Each enumerated support edge carries the rate closure
     θ ↦ N·β(X/N, θ).
-    @raise Failure as {!generator}, applied at the probe thetas. *)
+
+    On a {!truncated} space the chain gains one extra absorbing sink
+    state (index [n_states]) receiving every escaped edge; pin the
+    sink's reward at the full-space minimum (lower sweep) or maximum
+    (upper sweep) to keep the bounds certified outer bounds.
+    @raise Failure as {!generator}, applied at the probe thetas
+    (non-truncated spaces only). *)

@@ -1,0 +1,183 @@
+(** The finite-N CTMC engine behind one spec record.
+
+    Historically the exact finite-N pipeline was driven through four
+    separate entry points — {!Umf_ctmc.Transient},
+    {!Umf_ctmc.Sparse}, {!Umf_ctmc.Imprecise_ctmc} and
+    [Analysis.finite_n_transient] — each with its own calling
+    convention.  This module collapses them behind a single {!spec}
+    record mirroring [Analysis.spec]: declare the model, scenario,
+    population size, horizon, tolerance and truncation policy once,
+    then ask for {!transient} expectations, scenario {!envelope}s, the
+    {!stationary} distribution or the raw {!distribution}.
+
+    Every result carries an explicit escaped-mass {!certificate}: under
+    [Adaptive] truncation the engine runs the substochastic operator of
+    the retained lattice and reports the probability mass that provably
+    left it, instead of raising [Transient.Truncated] — for any reward
+    with range [rlo, rhi] over the model's clip box the true value lies
+    in [value + lost·rlo, value + lost·rhi] with
+    [lost = escaped + tail].  Under the default [Exact] truncation the
+    certificate's [escaped] is exactly [0.] and [tail <= epsilon].
+
+    All sweeps thread the spec's [pool] (bit-identical to sequential
+    for any domain count) and [obs]. *)
+
+open Umf_numerics
+
+type truncation =
+  | Exact of { max_states : int }
+      (** Fail loudly ([Failure]) if the reachable lattice exceeds
+          [max_states] or escapes the clip box. *)
+  | Adaptive of { max_states : int }
+      (** Retain at most [max_states] states (BFS order from the
+          initial state) and account every transition out of the
+          retained set as certified escaped mass. *)
+
+type scenario = Imprecise | Uncertain of int
+(** [Imprecise]: θ may vary in time; bounds by backward sweeps
+    (vertex extremisation — exact for rates affine in θ).
+    [Uncertain g]: θ constant but unknown; bounds by a g-per-axis
+    sample grid of certified forward sweeps. *)
+
+type reward =
+  | Coord of int
+      (** The i-th density coordinate; certificate range from the
+          model's clip box. *)
+  | Custom of { f : Vec.t -> float; range : float * float }
+      (** An arbitrary density-level reward with an explicit range
+          over the model's domain. *)
+  | Lattice of (Vec.t -> float)
+      (** Range inferred from the enumerated lattice — only sound (and
+          only accepted) under [Exact] truncation. *)
+
+type spec = {
+  model : Model.t;
+  scenario : scenario;
+  theta : Optim.Box.t option;  (** θ-box override (default: model's). *)
+  n : int;  (** Population size N. *)
+  horizon : float;
+  times : float array option;
+      (** Query times (default: 11 points linearly spaced on
+          [0, horizon]). *)
+  epsilon : float;  (** Uniformisation mass tolerance. *)
+  steps : int;  (** Backward-sweep step budget over the horizon. *)
+  truncation : truncation;
+  pool : Umf_runtime.Runtime.Pool.t option;
+  obs : Umf_obs.Obs.t;
+}
+
+val spec :
+  ?scenario:scenario ->
+  ?theta:Optim.Box.t ->
+  ?horizon:float ->
+  ?times:float array ->
+  ?epsilon:float ->
+  ?steps:int ->
+  ?truncation:truncation ->
+  ?pool:Umf_runtime.Runtime.Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
+  n:int ->
+  Model.t ->
+  spec
+(** Validated constructor; defaults: [Imprecise] scenario, horizon 10,
+    epsilon 1e-12, steps 400, [Exact {max_states = 2_000_000}].
+    @raise Invalid_argument on [n < 1], [horizon <= 0], epsilon outside
+    (0, 1), [steps < 1], [max_states < 1], an [Uncertain] grid < 2, a
+    θ-box dimension mismatch, or non-increasing [times]. *)
+
+type certificate = Umf_ctmc.Transient.certificate = {
+  escaped : float;
+  tail : float;
+}
+(** See {!Umf_ctmc.Transient.certificate}. *)
+
+val space : spec -> Ctmc_of_population.space
+(** Enumerate the spec's state space (shared by every entry point; pass
+    it back via [?space] to amortise enumeration across calls on the
+    same spec). *)
+
+type transient = {
+  n : int;
+  states : int;  (** Retained lattice size. *)
+  theta : Vec.t;  (** The θ the sweep ran at. *)
+  times : float array;
+  value : float array array;  (** [value.(j).(r)]: time j, reward r. *)
+  lower : float array array;
+      (** [value + lost·rlo] — certified lower bound on the true
+          expectation. *)
+  upper : float array array;  (** [value + lost·rhi]. *)
+  certificates : certificate array;  (** Per time point. *)
+}
+
+val transient :
+  ?theta:Vec.t ->
+  ?space:Ctmc_of_population.space ->
+  spec ->
+  rewards:reward array ->
+  transient
+(** Certified transient expectations at a fixed θ (default: the θ-box
+    midpoint) for every reward and query time, in one uniformisation
+    sweep.  Never raises [Transient.Truncated].
+    @raise Invalid_argument on an empty reward array, a reward
+    coordinate out of range, or a θ dimension mismatch.
+    @raise Failure from enumeration/assembly under [Exact] truncation
+    as documented in {!Ctmc_of_population}. *)
+
+type envelope = {
+  n : int;
+  states : int;
+  times : float array;
+  mean : float array;  (** Certified sweep at the θ-box midpoint. *)
+  lower : float array;
+  upper : float array;
+  certificates : certificate array;  (** Of the mean sweep. *)
+  escaped : float;  (** max_j (escaped_j + tail_j) of the mean sweep. *)
+}
+
+val envelope :
+  ?space:Ctmc_of_population.space -> spec -> reward:reward -> envelope
+(** Scenario bounds around the finite-N mean trajectory of one reward.
+    [Uncertain g]: lower/upper envelope the certified values
+    [value + lost·rlo, value + lost·rhi] over the θ sample grid.
+    [Imprecise]: backward lower/upper sweeps; on a truncated space the
+    escaped mass flows to an absorbing sink whose reward is pinned at
+    [rlo] (lower) / [rhi] (upper), keeping both certified outer bounds
+    on the true expectation.
+    @raise Invalid_argument for [Imprecise] on a model whose rates are
+    not affine in θ. *)
+
+type stationary = {
+  n : int;
+  states : int;
+  theta : Vec.t;
+  pi : Vec.t;  (** The stationary distribution over the lattice. *)
+  values : float array;  (** One expectation per requested reward. *)
+}
+
+val stationary :
+  ?theta:Vec.t ->
+  ?space:Ctmc_of_population.space ->
+  ?tol:float ->
+  ?max_iter:int ->
+  spec ->
+  rewards:reward array ->
+  stationary
+(** Stationary distribution at a fixed θ by pooled sparse power
+    iteration.  Requires [Exact] truncation — a substochastic truncated
+    chain has no stationary distribution.
+    @raise Invalid_argument under [Adaptive] truncation.
+    @raise Failure if the iteration does not converge. *)
+
+type distribution = {
+  n : int;
+  states : int;
+  theta : Vec.t;
+  p : Vec.t;
+      (** Sub-distribution over the retained lattice at [horizon] (its
+          mass deficit is bounded by the certificate). *)
+  certificate : certificate;
+}
+
+val distribution :
+  ?theta:Vec.t -> ?space:Ctmc_of_population.space -> spec -> distribution
+(** The full transient (sub-)distribution at the spec's horizon. *)

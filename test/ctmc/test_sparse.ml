@@ -39,7 +39,7 @@ let test_matches_dense_bitwise () =
     let dense = Mat.tmulv (Generator.uniformized ~rate g) v in
     let op = Sparse.forward ~rate g in
     let into = Vec.zeros n in
-    Sparse.step_into op v ~into;
+    ignore (Sparse.step_into op v ~into : float);
     check_bitwise (Printf.sprintf "trial %d" trial) dense into
   done
 
@@ -54,7 +54,7 @@ let test_default_rate_matches () =
     (Float.max 1e-9 (1.01 *. Generator.max_exit_rate g))
     (Sparse.rate op);
   let into = Vec.zeros 17 in
-  Sparse.step_into op v ~into;
+  ignore (Sparse.step_into op v ~into : float);
   check_bitwise "default rate" dense into
 
 let test_fused_accumulate () =
@@ -67,10 +67,10 @@ let test_fused_accumulate () =
   let r0 = Array.init n (fun i -> float_of_int i /. 10.) in
   (* fused pass *)
   let acc = Vec.copy r0 and into = Vec.zeros n in
-  Sparse.step_into ~acc:(w, acc) op v ~into;
+  ignore (Sparse.step_into ~acc:(w, acc) op v ~into : float);
   (* separate passes *)
   let into' = Vec.zeros n in
-  Sparse.step_into op v ~into:into';
+  ignore (Sparse.step_into op v ~into:into' : float);
   let acc' = Vec.copy r0 in
   Vec.axpy_in_place w v acc';
   check_bitwise "step" into' into;
@@ -85,11 +85,12 @@ let test_pool_bit_identical () =
   let v = random_distribution rng n in
   let seq = Vec.zeros n and par = Vec.zeros n in
   let acc_seq = Vec.zeros n and acc_par = Vec.zeros n in
-  Sparse.step_into ~acc:(0.5, acc_seq) op v ~into:seq;
+  ignore (Sparse.step_into ~acc:(0.5, acc_seq) op v ~into:seq : float);
   let pool = Pool.create ~domains:2 () in
   Fun.protect
     ~finally:(fun () -> Pool.shutdown pool)
-    (fun () -> Sparse.step_into ~pool ~acc:(0.5, acc_par) op v ~into:par);
+    (fun () ->
+      ignore (Sparse.step_into ~pool ~acc:(0.5, acc_par) op v ~into:par : float));
   check_bitwise "pooled step" seq par;
   check_bitwise "pooled accumulator" acc_seq acc_par
 
@@ -109,10 +110,71 @@ let test_validation () =
   let v = [| 0.5; 0.5 |] in
   Alcotest.check_raises "aliasing"
     (Invalid_argument "Sparse.step_into: into aliases v") (fun () ->
-      Sparse.step_into op v ~into:v);
+      ignore (Sparse.step_into op v ~into:v : float));
   Alcotest.check_raises "dimension"
     (Invalid_argument "Sparse.step_into: dimension mismatch") (fun () ->
-      Sparse.step_into op v ~into:(Vec.zeros 3))
+      ignore (Sparse.step_into op v ~into:(Vec.zeros 3) : float))
+
+let test_blocking () =
+  (* blocks are fixed at assembly: a small chain is one block, a large
+     one splits (<= 4096 rows per block) *)
+  let small = Sparse.forward (Generator.make ~n:2 [ (0, 1, 1.); (1, 0, 1.) ]) in
+  Alcotest.(check int) "small chain is one block" 1 (Sparse.n_blocks small);
+  let rng = Rng.create 13 in
+  let g = random_chain rng 9000 in
+  let op = Sparse.forward g in
+  Alcotest.(check bool) "large chain splits" true (Sparse.n_blocks op >= 3)
+
+let test_leak_loss () =
+  let rng = Rng.create 17 in
+  let n = 40 in
+  let g = random_chain rng n in
+  let leak = Array.init n (fun i -> if i mod 3 = 0 then 0.5 else 0.) in
+  let op = Sparse.forward ~leak g in
+  Alcotest.(check bool) "substochastic" true (Sparse.substochastic op);
+  Alcotest.(check bool)
+    "exact operator is not substochastic" false
+    (Sparse.substochastic (Sparse.forward g));
+  let v = random_distribution rng n in
+  let into = Vec.zeros n in
+  let lost = Sparse.step_into op v ~into in
+  (* one block at n = 40, so the escaped mass is exactly the in-order
+     dot product of the per-state loss with v *)
+  let rate = Sparse.rate op in
+  let expected = ref 0. in
+  for j = 0 to n - 1 do
+    expected := !expected +. (leak.(j) /. rate *. v.(j))
+  done;
+  if bits lost <> bits !expected then
+    Alcotest.failf "escaped mass: %h vs %h" lost !expected;
+  Alcotest.(check bool) "mass balance" true
+    (Float.abs (Vec.sum into +. lost -. Vec.sum v) < 1e-14)
+
+let test_leak_pool_deterministic () =
+  (* multi-block substochastic operator: pooled step and escaped mass
+     are bit-identical to sequential for any domain count *)
+  let rng = Rng.create 19 in
+  let n = 9000 in
+  let g = random_chain rng n in
+  let leak = Array.init n (fun _ -> Rng.float rng *. 0.1) in
+  let op = Sparse.forward ~leak g in
+  let v = random_distribution rng n in
+  let seq = Vec.zeros n and par = Vec.zeros n in
+  let lost_seq = Sparse.step_into op v ~into:seq in
+  List.iter
+    (fun domains ->
+      let pool = Pool.create ~domains () in
+      let lost_par =
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () -> Sparse.step_into ~pool op v ~into:par)
+      in
+      if bits lost_seq <> bits lost_par then
+        Alcotest.failf "escaped mass (%d domains): %h vs %h" domains lost_seq
+          lost_par;
+      check_bitwise (Printf.sprintf "pooled leak step (%d domains)" domains)
+        seq par)
+    [ 2; 4 ]
 
 let test_of_rows () =
   let g = Generator.of_rows [| [| (1, 2.) |]; [| (0, 3.) |] |] in
@@ -139,6 +201,10 @@ let suites =
         Alcotest.test_case "fused accumulate" `Quick test_fused_accumulate;
         Alcotest.test_case "pool bit-identical" `Quick test_pool_bit_identical;
         Alcotest.test_case "nnz and sizes" `Quick test_nnz_and_sizes;
+        Alcotest.test_case "cache blocking" `Quick test_blocking;
+        Alcotest.test_case "leak loss" `Quick test_leak_loss;
+        Alcotest.test_case "leak pool deterministic" `Quick
+          test_leak_pool_deterministic;
         Alcotest.test_case "validation" `Quick test_validation;
         Alcotest.test_case "of_rows" `Quick test_of_rows;
       ] );

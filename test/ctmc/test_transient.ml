@@ -142,6 +142,76 @@ let test_expectation_series () =
         (Transient.expectation_series g ~p0:[| 1.; 0. |] ~times:[| 1.; 1. |]
            [| h0 |]))
 
+(* property: retained + certified (escaped + tail) mass accounts for
+   everything — equal to 1 up to roundoff, and retained + escaped alone
+   never falls more than epsilon (+ roundoff) short of 1.  Random
+   chains, random leaks, random horizons. *)
+let certified_mass_accounting =
+  let gen =
+    QCheck.Gen.(
+      triple (int_range 2 40) (float_range 0.1 5.) (int_range 0 1_000_000))
+  in
+  QCheck.Test.make ~name:"certified mass accounting" ~count:50
+    (QCheck.make gen) (fun (n, t, seed) ->
+      let rng = Rng.create seed in
+      let trans = ref [] in
+      for i = 0 to n - 1 do
+        trans := (i, (i + 1) mod n, 0.1 +. Rng.float rng) :: !trans
+      done;
+      let g = Generator.make ~n !trans in
+      let leak = Array.init n (fun _ -> Rng.float rng *. 0.5) in
+      let epsilon = 1e-12 in
+      let p, (c : Transient.certificate) =
+        Transient.uniformization_certified ~epsilon ~leak g
+          ~p0:(Array.init n (fun i -> if i = 0 then 1. else 0.))
+          ~t
+      in
+      let retained = Vec.sum p in
+      c.escaped >= 0. && c.tail >= 0.
+      && Float.abs (retained +. c.escaped +. c.tail -. 1.) < 1e-9
+      && retained +. c.escaped >= 1. -. epsilon -. 1e-9
+      && retained +. c.escaped <= 1. +. 1e-9)
+
+let test_certified_no_leak_bit_identical () =
+  (* without a leak the certified sweep is the strict sweep: same bits,
+     escaped exactly 0 *)
+  let g = Generator.make ~n:2 [ (0, 1, 500.); (1, 0, 300.) ] in
+  let p0 = [| 1.; 0. |] in
+  let strict = Transient.uniformization g ~p0 ~t:1. in
+  let certified, (c : Transient.certificate) =
+    Transient.uniformization_certified g ~p0 ~t:1.
+  in
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float certified.(i) then
+        Alcotest.failf "state %d differs: %h vs %h" i x certified.(i))
+    strict;
+  Alcotest.(check (float 0.)) "escaped is exactly zero" 0. c.escaped;
+  Alcotest.(check bool) "tail below epsilon" true (c.tail <= 1e-12 +. 1e-13)
+
+let test_certified_bounded_where_strict_raised () =
+  (* the regression fixture of test_truncation_raises_not_renormalises:
+     same chain, same 50-term cap.  The strict entry point raises
+     Transient.Truncated; the certified one returns the partial answer
+     with the entire deficit in the tail, so the caller still gets a
+     sound two-sided bound. *)
+  let g = Generator.make ~n:2 [ (0, 1, 500.); (1, 0, 300.) ] in
+  let p0 = [| 1.; 0. |] in
+  (match Transient.uniformization ~max_terms:50 g ~p0 ~t:10. with
+  | _ -> Alcotest.fail "expected Transient.Truncated"
+  | exception Transient.Truncated _ -> ());
+  let p, (c : Transient.certificate) =
+    Transient.uniformization_certified ~max_terms:50 g ~p0 ~t:10.
+  in
+  let retained = Vec.sum p in
+  Alcotest.(check bool) "mass is tiny here" true (retained < 1e-6);
+  Alcotest.(check bool) "tail certifies the cut" true
+    (Float.abs (retained +. c.tail -. 1.) < 1e-12);
+  (* any reward with range [0, 1] is then bounded within [r, r + lost] *)
+  let lost = c.escaped +. c.tail in
+  Alcotest.(check bool) "bound width below 1" true (lost <= 1.);
+  Alcotest.(check bool) "bound is informative" true (lost > 0.9)
+
 let suites =
   [
     ( "transient",
@@ -160,5 +230,10 @@ let suites =
         Alcotest.test_case "mass never renormalised" `Quick
           test_mass_never_renormalised;
         Alcotest.test_case "expectation series" `Quick test_expectation_series;
+        QCheck_alcotest.to_alcotest certified_mass_accounting;
+        Alcotest.test_case "certified = strict without leak" `Quick
+          test_certified_no_leak_bit_identical;
+        Alcotest.test_case "certified bounds where strict raised" `Quick
+          test_certified_bounded_where_strict_raised;
       ] );
   ]
