@@ -17,8 +17,10 @@ let run () =
   let sound = ref true in
   List.iter
     (fun t ->
-      let lo = (Ctmc.Imprecise.lower_expectation m ~h ~horizon:t).(x0) in
-      let hi = (Ctmc.Imprecise.upper_expectation m ~h ~horizon:t).(x0) in
+      let sweep sense =
+        (Ctmc.Imprecise.fixed_series ~sense m ~h ~times:[| t |]).values.(0).(x0)
+      in
+      let lo = sweep `Lower and hi = sweep `Upper in
       let theta_mid =
         [| Interval.midpoint p.Bikesharing.arrival;
            Interval.midpoint p.Bikesharing.return_ |]
@@ -32,8 +34,10 @@ let run () =
   Common.claim "constant-theta expectations inside imprecise bounds" !sound "";
   (* adversarial simulation stays within bounds *)
   let horizon = 5. in
-  let lo = (Ctmc.Imprecise.lower_expectation m ~h ~horizon).(x0) in
-  let hi = (Ctmc.Imprecise.upper_expectation m ~h ~horizon).(x0) in
+  let sweep_at sense t =
+    (Ctmc.Imprecise.fixed_series ~sense m ~h ~times:[| t |]).values.(0).(x0)
+  in
+  let lo = sweep_at `Lower horizon and hi = sweep_at `Upper horizon in
   let policy ~t:_ ~x =
     (* drain aggressively when the station is full, fill when empty *)
     if x > capacity / 2 then [| Interval.hi p.Bikesharing.arrival; Interval.lo p.Bikesharing.return_ |]
@@ -62,8 +66,8 @@ let run () =
   in
   (* chain at horizon t corresponds to fluid at t/N with N-scaled rates;
      here rates are O(1), so fluid horizon 1 ~ chain horizon capacity *)
-  let lo_n = (Ctmc.Imprecise.lower_expectation m ~h ~horizon:(float_of_int capacity)).(x0) in
-  let hi_n = (Ctmc.Imprecise.upper_expectation m ~h ~horizon:(float_of_int capacity)).(x0) in
+  let lo_n = sweep_at `Lower (float_of_int capacity)
+  and hi_n = sweep_at `Upper (float_of_int capacity) in
   Printf.printf "\nmean-field DI bounds at t=1: [%.4f, %.4f]; chain (N=%d) at t=N: [%.4f, %.4f]\n"
     fl fh capacity lo_n hi_n;
   Common.claim "finite-N bounds within O(1/sqrt N) of mean-field bounds"

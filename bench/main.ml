@@ -3,8 +3,8 @@
 
    Usage: main.exe [--dump DIR] [--jobs N] [experiment ...]
    with experiments among fig1 fig2 fig3 fig4 fig5 fig6 fig7 tune kolm
-   conv template hier certified ablation perf runtime obs expr lint batch; no
-   argument
+   conv template hier certified ablation perf runtime obs expr lint batch
+   cert; no argument
    runs everything.  --jobs N (or UMF_JOBS) runs the parallel-aware
    experiments on N worker domains (0 = one per core); results are
    bit-identical for any N. *)
@@ -34,6 +34,7 @@ let experiments =
     ("ctmc", Exp_ctmc.run);
     ("lint", Exp_lint.run);
     ("batch", Exp_batch.run);
+    ("cert", Exp_cert.run);
   ]
 
 let () =

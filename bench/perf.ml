@@ -44,7 +44,8 @@ let tests =
       (Staged.stage
          (let m = Bikesharing.ictmc Bikesharing.default_params ~capacity:20 in
           let h = Bikesharing.occupancy_reward ~capacity:20 in
-          fun () -> Ctmc.Imprecise.lower_expectation m ~h ~horizon:5.));
+          fun () ->
+            Ctmc.Imprecise.fixed_series ~sense:`Lower m ~h ~times:[| 5. |]));
     Test.make ~name:"substrate:rk45-sir"
       (Staged.stage (fun () ->
            Ode.integrate_adaptive

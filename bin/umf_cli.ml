@@ -13,8 +13,12 @@
      umf_cli ctmc transient --model sir -n 200 --horizon 5
      umf_cli ctmc stationary --model sir -n 100 --theta hi
      umf_cli ctmc bounds --model sir -n 100 --var I --scenario imprecise
+     umf_cli ctmc bounds --model sir -n 100 --var I --scenario imprecise \
+       --epsilon 1e-3 --metrics
      umf_cli ctmc bounds --model sir -n 2000 --var I --max-states 50000 \
        --truncation adaptive
+     umf_cli ctmc first-passage --model sir -n 50 --var I --above 0.4 \
+       --horizon 8 --epsilon 1e-3 --metrics
      umf_cli lint sir --tape
      umf_cli lint --all --tape --strict --json
 
@@ -144,6 +148,18 @@ let print_metrics agg =
         g.Obs.Agg.last g.Obs.Agg.g_min g.Obs.Agg.g_max)
     (Obs.Agg.gauges agg)
 
+(* the itemised error ledger of a result, printed to stderr next to the
+   metrics summary: one line for the certified enclosure, one per
+   budget line (discretisation, truncation, rounding, optimiser) *)
+let print_cert name (c : Cert.t) =
+  Printf.eprintf "# cert  %-28s value=[%g, %g] width=%g total=%g%s\n" name
+    (Interval.lo c.Cert.value) (Interval.hi c.Cert.value) (Cert.width c)
+    (Cert.total c)
+    (if Cert.is_vacuous c then " VACUOUS" else "");
+  List.iter
+    (fun (line, v) -> Printf.eprintf "# cert  %-28s %s=%g\n" name line v)
+    (Cert.lines c)
+
 (* the solvers report failed fixpoints through dedicated counters *)
 let check_converged agg =
   let n = Obs.Agg.counter agg in
@@ -243,38 +259,118 @@ let bounds_cmd =
   let steps_arg =
     Arg.(value & opt int 300 & info [ "steps" ] ~docv:"K" ~doc:"Pontryagin grid.")
   in
-  let run m var scenario horizon points steps jobs trace metrics =
+  let epsilon_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "epsilon" ] ~docv:"EPS"
+          ~doc:
+            "Target certified error: refine the solver grids until the \
+             discretisation line of the result's ledger is at most \
+             $(docv), and set the optimiser tolerance to $(docv).  The \
+             itemised budget prints with $(b,--metrics).")
+  in
+  let dt_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "dt" ] ~docv:"DT"
+          ~doc:
+            "Deprecated: raw integrator step for the uncertain sweep.  \
+             Pass $(b,--epsilon) (a target certified error) instead.")
+  in
+  let run m var scenario horizon points steps epsilon dt jobs trace metrics =
     exit_of_result
       (let ( let* ) = Result.bind in
        let* coord = var_index m var in
        let* scen = parse_scenario scenario in
-       let di = Di.of_model m in
-       let x0 = Model.x0 m in
+       let* () =
+         match epsilon with
+         | Some e when e <= 0. -> Error (`Msg "--epsilon must be > 0")
+         | _ -> Ok ()
+       in
+       let* () =
+         match dt with
+         | Some d when d <= 0. -> Error (`Msg "--dt must be > 0")
+         | _ -> Ok ()
+       in
        if points < 2 then Error (`Msg "need at least 2 points")
-       else
+       else begin
+         if dt <> None then
+           prerr_endline
+             "warning: --dt is deprecated; pass --epsilon EPS (a target \
+              certified error — the grid is refined until the ledger's \
+              discretisation line meets it) instead";
          with_obs ~trace ~metrics (fun obs ->
              with_jobs ~obs jobs (fun pool ->
                  let times = Vec.linspace 0. horizon points in
-                 Printf.printf "t\t%s_min\t%s_max\n" var var;
-                 Array.iter
-                   (fun t ->
-                     if t <= 0. then
-                       Printf.printf "%.3f\t%.5f\t%.5f\n" t x0.(coord)
-                         x0.(coord)
-                     else begin
-                       let lo, hi =
-                         Scenario.extremal_coord ?pool ~obs ~steps scen di ~x0
-                           ~coord ~horizon:t
-                       in
-                       Printf.printf "%.3f\t%.5f\t%.5f\n" t lo hi
-                     end)
-                   times;
-                 Ok ())))
+                 let steps =
+                   match epsilon with
+                   | Some e ->
+                       Int.max steps (int_of_float (Float.ceil (horizon /. e)))
+                   | None -> steps
+                 in
+                 let dt_eff =
+                   match (epsilon, dt) with
+                   | Some e, _ -> Float.min 1e-2 e
+                   | None, Some d -> d
+                   | None, None -> 1e-2
+                 in
+                 match scen with
+                 | Scenario.Imprecise | Scenario.Uncertain ->
+                     let scenario =
+                       match scen with
+                       | Scenario.Uncertain -> Analysis.Uncertain 5
+                       | _ -> Analysis.Imprecise
+                     in
+                     let tol =
+                       match epsilon with Some e -> e | None -> 1e-4
+                     in
+                     let spec =
+                       Analysis.spec ~scenario ~horizon ~steps ~dt:dt_eff ~tol
+                         ?pool ~obs m
+                     in
+                     let b =
+                       Analysis.transient_bounds ~times spec ~x0:(Model.x0 m)
+                         ~coord
+                     in
+                     Printf.printf "t\t%s_min\t%s_max\n" var var;
+                     Array.iteri
+                       (fun i t ->
+                         Printf.printf "%.3f\t%.5f\t%.5f\n" t
+                           b.Analysis.lower.(i) b.Analysis.upper.(i))
+                       times;
+                     if metrics then
+                       print_cert "analysis.transient_bounds" b.Analysis.cert;
+                     Ok ()
+                 | scen ->
+                     (* the intermediate adversaries (pw:k, …) keep the
+                        per-horizon extremal search: certified inner
+                        bounds by construction, no error ledger yet *)
+                     let di = Di.of_model m in
+                     let x0 = Model.x0 m in
+                     Printf.printf "t\t%s_min\t%s_max\n" var var;
+                     Array.iter
+                       (fun t ->
+                         if t <= 0. then
+                           Printf.printf "%.3f\t%.5f\t%.5f\n" t x0.(coord)
+                             x0.(coord)
+                         else begin
+                           let lo, hi =
+                             Scenario.extremal_coord ?pool ~obs ~steps
+                               ~dt:dt_eff scen di ~x0 ~coord ~horizon:t
+                           in
+                           Printf.printf "%.3f\t%.5f\t%.5f\n" t lo hi
+                         end)
+                       times;
+                     Ok ()))
+       end)
   in
   Cmd.v (Cmd.info "bounds" ~doc)
     Term.(
       const run $ model_arg $ var_arg $ scenario_arg $ horizon_arg 4.
-      $ points_arg $ steps_arg $ jobs_arg $ trace_arg $ metrics_arg)
+      $ points_arg $ steps_arg $ epsilon_arg $ dt_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
 
 (* hull command *)
 let hull_cmd =
@@ -451,13 +547,17 @@ let ctmc_cmd =
                   ("transient", `Transient);
                   ("stationary", `Stationary);
                   ("bounds", `Bounds);
+                  ("first-passage", `FirstPassage);
                 ]))
           None
       & info [] ~docv:"MODE"
           ~doc:
             "What to compute: `transient' (exact E[x(t)] per variable), \
-             `stationary' (exact stationary means), or `bounds' (exact \
-             envelope of one variable over the $(b,theta)-box).")
+             `stationary' (exact stationary means), `bounds' (exact \
+             envelope of one variable over the $(b,theta)-box), or \
+             `first-passage' (certified hitting-probability and \
+             mean-first-passage-time bounds for a threshold on one \
+             variable, over every adapted $(b,theta)-process).")
   in
   let n_arg =
     Arg.(
@@ -498,9 +598,47 @@ let ctmc_cmd =
   in
   let epsilon_arg =
     Arg.(
-      value & opt float 1e-12
+      value
+      & opt (some float) None
       & info [ "epsilon" ] ~docv:"EPS"
-          ~doc:"Uniformisation truncation tolerance.")
+          ~doc:
+            "Target certified error.  For transient/stationary/bounds the \
+             budget splits evenly between the uniformisation mass \
+             tolerance and — on the imprecise envelope — the adaptive \
+             backward sweep's a-priori discretisation budget; for \
+             first-passage it is the sweep budget directly.  Default: \
+             mass tolerance 1e-12 with the fixed stability grid \
+             (first-passage: 1e-3).  The itemised budget prints with \
+             $(b,--metrics).")
+  in
+  let dt_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "dt" ] ~docv:"DT"
+          ~doc:
+            "Deprecated: raw backward-sweep step for the imprecise \
+             envelope (step budget ceil(horizon/$(docv))).  Pass \
+             $(b,--epsilon) (a target certified error with an a-priori \
+             ledger) instead.")
+  in
+  let above_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "above" ] ~docv:"X"
+          ~doc:
+            "first-passage target: the set where --var's density is >= \
+             $(docv).")
+  in
+  let below_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "below" ] ~docv:"X"
+          ~doc:
+            "first-passage target: the set where --var's density is <= \
+             $(docv).")
   in
   let max_states_arg =
     Arg.(
@@ -524,14 +662,29 @@ let ctmc_cmd =
     | "hi" -> Ok ((Model.theta m).Optim.Box.hi)
     | s -> Error (`Msg (Printf.sprintf "unknown theta point %s" s))
   in
-  let run mode m n var theta scenario grid horizon points epsilon
-      max_states truncation jobs trace metrics =
+  let run mode m n var theta scenario grid horizon points epsilon dt above
+      below max_states truncation jobs trace metrics =
     exit_of_result
       (let ( let* ) = Result.bind in
+       let* () =
+         match epsilon with
+         | Some e when e <= 0. -> Error (`Msg "--epsilon must be > 0")
+         | _ -> Ok ()
+       in
+       let* () =
+         match dt with
+         | Some d when d <= 0. -> Error (`Msg "--dt must be > 0")
+         | _ -> Ok ()
+       in
        if n < 1 then Error (`Msg "--n must be >= 1")
        else if points < 2 then Error (`Msg "need at least 2 points")
        else
          try
+           if dt <> None then
+             prerr_endline
+               "warning: --dt is deprecated; pass --epsilon EPS (a target \
+                certified error — the adaptive sweep spends it with an \
+                a-priori ledger) instead";
            with_obs ~trace ~metrics (fun obs ->
                with_jobs ~obs jobs (fun pool ->
                    let names = Model.var_names m in
@@ -540,10 +693,26 @@ let ctmc_cmd =
                      | `Exact -> Ctmc.Engine.Exact { max_states }
                      | `Adaptive -> Ctmc.Engine.Adaptive { max_states }
                    in
+                   (* --epsilon is the whole certified-error target: half
+                      goes to the uniformisation mass tolerance, half to
+                      the adaptive sweep's discretisation budget.  --dt
+                      (deprecated) only coarsens the fixed grid. *)
+                   let mass_eps, sweep_eps =
+                     match epsilon with
+                     | Some e -> (e /. 2., Some (e /. 2.))
+                     | None -> (1e-12, None)
+                   in
+                   let steps =
+                     Option.map
+                       (fun d ->
+                         Int.max 1 (int_of_float (Float.ceil (horizon /. d))))
+                       dt
+                   in
                    let spec_of scenario =
                      Ctmc.Engine.spec ~scenario ~horizon
                        ~times:(Vec.linspace 0. horizon points)
-                       ~epsilon ~truncation ?pool ~obs ~n m
+                       ~epsilon:mass_eps ?steps ?sweep_eps ~truncation ?pool
+                       ~obs ~n m
                    in
                    let lost (c : Ctmc.Engine.certificate) =
                      c.escaped +. c.tail
@@ -579,6 +748,48 @@ let ctmc_cmd =
                              env.mean.(j) env.lower.(j) env.upper.(j)
                              (lost env.certificates.(j)))
                          env.times;
+                       if metrics then begin
+                         let last = Array.length env.Ctmc.Engine.certs - 1 in
+                         if last >= 0 then
+                           print_cert
+                             (Printf.sprintf "ctmc.envelope.%s" var)
+                             env.Ctmc.Engine.certs.(last)
+                       end;
+                       Ok ()
+                   | `FirstPassage ->
+                       let* var =
+                         match var with
+                         | Some v -> Ok v
+                         | None -> Error (`Msg "first-passage needs --var")
+                       in
+                       let* coord = var_index m var in
+                       let* target =
+                         match (above, below) with
+                         | Some a, None -> Ok (fun (x : Vec.t) -> x.(coord) >= a)
+                         | None, Some b -> Ok (fun (x : Vec.t) -> x.(coord) <= b)
+                         | _ ->
+                             Error
+                               (`Msg
+                                 "first-passage needs exactly one of \
+                                  --above/--below")
+                       in
+                       let spec = Analysis.spec ~horizon ?pool ~obs m in
+                       let fp =
+                         Analysis.first_passage
+                           ~times:(Vec.linspace 0. horizon points)
+                           ?epsilon ~max_states spec ~n ~target
+                       in
+                       Printf.printf "# states=%d mfpt in [%.5f, %.5f]\n"
+                         fp.Analysis.states fp.Analysis.mfpt_lower
+                         fp.Analysis.mfpt_upper;
+                       Printf.printf "t\thit_min\thit_max\n";
+                       Array.iteri
+                         (fun j t ->
+                           Printf.printf "%.3f\t%.5f\t%.5f\n" t
+                             fp.Analysis.hit_lower.(j) fp.Analysis.hit_upper.(j))
+                         fp.Analysis.times;
+                       if metrics then
+                         print_cert "analysis.first_passage" fp.Analysis.cert;
                        Ok ()
                    | (`Transient | `Stationary) as mode ->
                        let* th = theta_of m theta in
@@ -606,7 +817,16 @@ let ctmc_cmd =
                                Printf.printf "\t%.3g"
                                  (lost tr.certificates.(j));
                                print_newline ())
-                             tr.times
+                             tr.times;
+                           if metrics then begin
+                             let nt = Array.length tr.Ctmc.Engine.certs in
+                             if nt > 0 then
+                               Array.iteri
+                                 (fun c name ->
+                                   print_cert ("ctmc.transient." ^ name)
+                                     tr.Ctmc.Engine.certs.(nt - 1).(c))
+                                 names
+                           end
                        | `Stationary ->
                            let st =
                              Ctmc.Engine.stationary ~theta:th ~space spec
@@ -617,7 +837,13 @@ let ctmc_cmd =
                            Array.iteri
                              (fun c name ->
                                Printf.printf "%s\t%.5f\n" name st.values.(c))
-                             names);
+                             names;
+                           if metrics then
+                             Array.iteri
+                               (fun c name ->
+                                 print_cert ("ctmc.stationary." ^ name)
+                                   st.Ctmc.Engine.certs.(c))
+                               names);
                        Ok ()))
          with
          | Failure msg -> Error (`Msg msg)
@@ -627,7 +853,8 @@ let ctmc_cmd =
     Term.(
       const run $ mode_arg $ model_arg $ n_arg $ var_arg $ theta_arg
       $ scenario_arg $ grid_arg $ horizon_arg 10. $ points_arg $ epsilon_arg
-      $ max_states_arg $ truncation_arg $ jobs_arg $ trace_arg $ metrics_arg)
+      $ dt_arg $ above_arg $ below_arg $ max_states_arg $ truncation_arg
+      $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* lint command *)
 let lint_cmd =

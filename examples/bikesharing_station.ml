@@ -24,7 +24,10 @@ let () =
     (fun capacity ->
       let m = Bikesharing.ictmc p ~capacity in
       let h = Bikesharing.empty_indicator ~capacity in
-      let hi = Ctmc.Imprecise.upper_expectation m ~h ~horizon in
+      let hi =
+        (Ctmc.Imprecise.fixed_series ~sense:`Upper m ~h ~times:[| horizon |])
+          .values.(0)
+      in
       (* start half full *)
       Printf.printf "%d\t\t%.4f\n" capacity hi.(capacity / 2))
     [ 4; 8; 12; 16; 24 ];

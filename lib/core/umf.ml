@@ -1,6 +1,7 @@
 module Vec = Umf_numerics.Vec
 module Mat = Umf_numerics.Mat
 module Interval = Umf_numerics.Interval
+module Cert = Umf_numerics.Cert
 module Ode = Umf_numerics.Ode
 module Optim = Umf_numerics.Optim
 module Rootfind = Umf_numerics.Rootfind
@@ -138,33 +139,64 @@ module Analysis = struct
     times : float array;
     lower : float array;
     upper : float array;
+    cert : Cert.t;
     metrics : metrics;
   }
+
+  (* Report a result's error ledger as Obs gauges so traced runs carry
+     the budget next to the solver spans. *)
+  let gauge_cert obs name (c : Cert.t) =
+    if Obs.enabled obs then
+      List.iter
+        (fun (line, v) -> Obs.gauge obs (name ^ ".cert." ^ line) v)
+        (Cert.lines c)
 
   let transient_bounds ?times s ~x0 ~coord =
     let times =
       match times with Some ts -> ts | None -> Vec.linspace 0. s.horizon 11
     in
     let di = di_of_spec s in
-    let pairs, metrics =
+    let (pairs, cert), metrics =
       instrumented s "analysis.transient_bounds" (fun obs ->
-          match s.scenario with
-          | Imprecise ->
-              Pontryagin.bound_series ?pool:s.pool ~steps:s.steps ~tol:s.tol
-                ~obs di ~x0 ~coord ~times
-          | Uncertain grid ->
-              let lower, upper =
-                Uncertain.transient_envelope ?pool:s.pool ~obs ~dt:s.dt ~grid
-                  di ~x0 ~times
-              in
-              Array.init (Array.length times) (fun i ->
-                  (lower.(i).(coord), upper.(i).(coord))))
+          let pairs =
+            match s.scenario with
+            | Imprecise ->
+                Pontryagin.bound_series ?pool:s.pool ~steps:s.steps ~tol:s.tol
+                  ~obs di ~x0 ~coord ~times
+            | Uncertain grid ->
+                let lower, upper =
+                  Uncertain.transient_envelope ?pool:s.pool ~obs ~dt:s.dt ~grid
+                    di ~x0 ~times
+                in
+                Array.init (Array.length times) (fun i ->
+                    (lower.(i).(coord), upper.(i).(coord)))
+          in
+          let last = Array.length pairs - 1 in
+          let lo, hi = pairs.(last) in
+          (* the endpoint enclosure with the spec's solver tolerances on
+             the ledger: a tolerance-level annotation (what the solver
+             aimed for), not an a-priori bound like the imprecise-sweep
+             certificates *)
+          let cert =
+            Cert.of_interval
+              ~budget:
+                (Cert.budget
+                   ~discretisation:
+                     (match s.scenario with
+                     | Imprecise -> s.horizon /. float_of_int s.steps
+                     | Uncertain _ -> s.dt)
+                   ~optimiser:s.tol ())
+              (Interval.make (Float.min lo hi) (Float.max lo hi))
+          in
+          gauge_cert obs "analysis.transient_bounds" cert;
+          (pairs, cert))
     in
     {
       coord;
       times;
       lower = Array.map fst pairs;
       upper = Array.map snd pairs;
+      cert;
       metrics;
     }
 
@@ -338,4 +370,143 @@ module Analysis = struct
     in
     { mean = acc /. float_of_int (Array.length states); worst; metrics }
 
+  type first_passage = {
+    n : int;
+    states : int;
+    times : float array;
+    hit_lower : float array;
+    hit_upper : float array;
+    mfpt_lower : float;
+    mfpt_upper : float;
+    cert : Cert.t;
+    metrics : metrics;
+  }
+
+  let clamp01 x = if x < 0. then 0. else if x > 1. then 1. else x
+
+  (* Certified first-passage bounds for the finite-N chain via the
+     imprecise engine: make the target set (and any truncation sink)
+     absorbing, then the hitting probability P(τ <= t) equals
+     P(X_t ∈ target) on the absorbed chain, which the adaptive backward
+     sweeps bound from both sides over every adapted θ-process.  The
+     sink reward is pinned at 0 (lower) / 1 (upper) so escaped mass is
+     priced at worst case; each sweep's certified discretisation and
+     rounding error is folded into the hitting bounds before anything
+     else consumes them.  The truncated mean first-passage time
+     E[min(τ, T)] = T − ∫₀ᵀ P(τ <= s) ds is then bracketed by monotone
+     Riemann sums (P(τ <= ·) is nondecreasing): left endpoints of the
+     lower bounds under-integrate, right endpoints of the upper bounds
+     over-integrate. *)
+  let first_passage ?times ?(epsilon = 1e-3) ?(max_states = 20_000) s ~n
+      ~target =
+    if n < 1 then invalid_arg "Analysis.first_passage: need n >= 1";
+    if not (epsilon > 0.) then
+      invalid_arg "Analysis.first_passage: need epsilon > 0";
+    if not (Model.affine_in_theta s.model) then
+      invalid_arg
+        "Analysis.first_passage: imprecise finite-N bounds need rates affine \
+         in theta (vertex extremisation is only exact there)";
+    let times =
+      match times with
+      | Some ts ->
+          if Array.length ts = 0 then
+            invalid_arg "Analysis.first_passage: empty times";
+          ts
+      | None -> Vec.linspace 0. s.horizon 101
+    in
+    let box =
+      match s.theta with Some b -> b | None -> Model.theta s.model
+    in
+    let pop = Model.population s.model in
+    let result, metrics =
+      instrumented s "analysis.first_passage" (fun obs ->
+          let sp =
+            Ctmc_of_population.state_space ~obs ~theta:box
+              ~clip:(Model.clip s.model) ~max_states ~truncation:`Adaptive pop
+              ~n ~x0:(Model.x0 s.model)
+          in
+          let states = Ctmc_of_population.n_states sp in
+          let ind =
+            Ctmc_of_population.reward sp (fun x ->
+                if target x then 1. else 0.)
+          in
+          let im = Ctmc_of_population.imprecise ~theta:box sp pop in
+          let has_sink = Ctmc.Imprecise.n_states im > states in
+          let im =
+            Ctmc.Imprecise.absorbing im ~target:(fun i ->
+                i < states && ind.(i) = 1.)
+          in
+          let extend sink_value =
+            if has_sink then Array.append ind [| sink_value |] else ind
+          in
+          let x0i = Ctmc_of_population.x0_index sp in
+          let lo =
+            Ctmc.Imprecise.adaptive_series ?pool:s.pool ~obs ~epsilon
+              ~sense:`Lower im ~h:(extend 0.) ~times
+          in
+          let hi =
+            Ctmc.Imprecise.adaptive_series ?pool:s.pool ~obs ~epsilon
+              ~sense:`Upper im ~h:(extend 1.) ~times
+          in
+          let nt = Array.length times in
+          let hit_lower =
+            Array.init nt (fun j ->
+                clamp01
+                  (lo.Ctmc.Imprecise.values.(j).(x0i)
+                  -. lo.eps.(j) -. lo.rounding.(j)))
+          in
+          let hit_upper =
+            Array.init nt (fun j ->
+                clamp01
+                  (hi.Ctmc.Imprecise.values.(j).(x0i)
+                  +. hi.eps.(j) +. hi.rounding.(j)))
+          in
+          (* P(τ <= ·) is nondecreasing, so the running max of the lower
+             bounds (and, backwards, the running min of the upper ones)
+             is still a sound bracket — it undoes the drift of the
+             accumulating sweep budget at late times *)
+          for j = 1 to nt - 1 do
+            hit_lower.(j) <- Float.max hit_lower.(j) hit_lower.(j - 1)
+          done;
+          for j = nt - 2 downto 0 do
+            hit_upper.(j) <- Float.min hit_upper.(j) hit_upper.(j + 1)
+          done;
+          let horizon = times.(nt - 1) in
+          (* ∫₀ᵀ P: the leading [0, times.(0)] segment contributes 0 to
+             the lower sum and t₀·hit_upper.(0) to the upper one *)
+          let int_lo = ref 0. and int_hi = ref (times.(0) *. hit_upper.(0)) in
+          for j = 0 to nt - 2 do
+            let dt = times.(j + 1) -. times.(j) in
+            int_lo := !int_lo +. (dt *. hit_lower.(j));
+            int_hi := !int_hi +. (dt *. hit_upper.(j + 1))
+          done;
+          let mfpt_lower = Float.max 0. (horizon -. !int_hi) in
+          let mfpt_upper = Float.min horizon (horizon -. !int_lo) in
+          let cert =
+            Cert.of_interval
+              ~budget:
+                (Cert.budget
+                   ~discretisation:
+                     (Float.max lo.eps.(nt - 1) hi.eps.(nt - 1))
+                   ~rounding:
+                     (Float.max lo.rounding.(nt - 1) hi.rounding.(nt - 1))
+                   ())
+              (Interval.make mfpt_lower mfpt_upper)
+          in
+          gauge_cert obs "analysis.first_passage" cert;
+          if Obs.enabled obs then
+            Obs.count obs "first_passage.sweep_steps" (lo.steps + hi.steps);
+          {
+            n;
+            states;
+            times;
+            hit_lower;
+            hit_upper;
+            mfpt_lower;
+            mfpt_upper;
+            cert;
+            metrics = no_metrics;
+          })
+    in
+    { result with metrics }
 end

@@ -22,6 +22,11 @@
 module Vec = Umf_numerics.Vec
 module Mat = Umf_numerics.Mat
 module Interval = Umf_numerics.Interval
+
+(** The unified error ledger: every solver reports its certified
+    enclosure plus an itemised budget (discretisation, truncation,
+    rounding, optimiser) through this one type. *)
+module Cert = Umf_numerics.Cert
 module Ode = Umf_numerics.Ode
 module Optim = Umf_numerics.Optim
 module Rootfind = Umf_numerics.Rootfind
@@ -192,6 +197,11 @@ module Analysis : sig
     times : float array;
     lower : float array;
     upper : float array;
+    cert : Cert.t;
+        (** The endpoint enclosure [lower, upper] at the last time with
+            the spec's solver tolerances on the ledger (grid pitch on
+            the discretisation line, [tol] on the optimiser line) — a
+            tolerance-level annotation, not an a-priori bound. *)
     metrics : metrics;
   }
   (** Reachability envelope of one coordinate: at [times.(i)] the
@@ -298,4 +308,47 @@ module Analysis : sig
       out of the region (0 when all inside); the mean converges to 0
       as N → ∞ by Theorem 3. *)
 
+  type first_passage = {
+    n : int;  (** Population size. *)
+    states : int;  (** Retained lattice states. *)
+    times : float array;
+    hit_lower : float array;
+        (** [hit_lower.(j)] <= P(τ <= times.(j)) over every adapted
+            θ-process, sweep error already folded in. *)
+    hit_upper : float array;
+    mfpt_lower : float;
+        (** Certified bracket of the truncated mean first-passage time
+            E[min(τ, T)], T the last query time. *)
+    mfpt_upper : float;
+    cert : Cert.t;
+        (** The MFPT bracket as one certificate: adaptive-sweep
+            discretisation and rounding budgets on their ledger lines
+            (state-space truncation is priced directly into the hitting
+            bounds through the absorbing sink's 0/1 reward). *)
+    metrics : metrics;
+  }
+
+  val first_passage :
+    ?times:float array ->
+    ?epsilon:float ->
+    ?max_states:int ->
+    spec ->
+    n:int ->
+    target:(Vec.t -> bool) ->
+    first_passage
+  (** Certified first-passage bounds for the finite-N chain ("P(queue
+      overflows before t) <= ?"): hitting-probability lower/upper
+      bounds for the density-level [target] set at each query time
+      ([times] defaults to 101 points on [0, horizon]) and a
+      mean-first-passage-time bracket, via adaptive imprecise backward
+      sweeps ({!Ctmc.Imprecise.adaptive_series}, target discretisation
+      error [epsilon], default 1e-3) on the chain with the target set
+      made absorbing.  The state space is enumerated with [`Adaptive]
+      truncation at [max_states] (default 20_000); escaped mass is
+      priced at worst case (never hits for the lower bound, hits
+      immediately for the upper), so the bounds stay certified outer
+      brackets on every registry model, including ones whose lattice
+      must truncate.
+      @raise Invalid_argument on a model not affine in θ, [n < 1],
+      [epsilon <= 0] or empty [times]. *)
 end

@@ -45,6 +45,76 @@ val max_exit_bound : t -> float
     θ-vertices (exact for rates monotone in each θ component, e.g.
     affine).  The uniformisation rate used by {!simulate}. *)
 
+type sense = [ `Lower | `Upper ]
+(** Which extremum of the backward operator the sweep integrates. *)
+
+type sweep = {
+  values : Vec.t array;  (** expectation vector at each requested time *)
+  eps : float array;
+      (** a-priori Euler discretisation error bound accumulated up to
+          each time: Σ δ²λ²·osc(g) over the steps taken so far *)
+  rounding : float array;
+      (** accumulated floating-point rounding bound at each time *)
+  steps : int;  (** total Euler steps across the whole sweep *)
+}
+(** A certified backward sweep: [values.(j).(x)] bounds
+    E[h(X_times(j)) | X_0 = x] to within [eps.(j) + rounding.(j)]
+    (from below for [`Lower], above for [`Upper]). *)
+
+val fixed_series :
+  ?pool:Umf_runtime.Runtime.Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
+  ?steps_per_unit:int ->
+  sense:sense ->
+  t ->
+  h:Vec.t ->
+  times:float array ->
+  sweep
+(** Fixed-grid backward sweep over the strictly increasing
+    [times >= 0] — one sweep up to the largest horizon with snapshots
+    (the equation is autonomous), not one sweep per horizon.
+    [steps_per_unit] (default: enough for stability at the maximal exit
+    rate, at least 100) controls the discretisation; the grid is
+    automatically refined to dt·λ <= 1 (λ = {!max_exit_bound}), the
+    condition under which each Euler step is a convex combination of
+    current values — so the sweep always stays in the invariant
+    envelope [min h, max h] (values are clamped there against float
+    rounding) and the a-priori [eps] bound Σ δ²λ²·osc(g) is sound.
+
+    [values] is bit-identical to what the deprecated
+    [lower_series]/[upper_series] returned on the same grid.  [pool]
+    fans each Euler step out over index-owned state chunks,
+    bit-identically to the sequential sweep for any domain count; [obs]
+    records a ["ctmc.imprecise_sweep"] span per integrated segment
+    (steps, rows touched). *)
+
+val adaptive_series :
+  ?pool:Umf_runtime.Runtime.Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
+  epsilon:float ->
+  sense:sense ->
+  t ->
+  h:Vec.t ->
+  times:float array ->
+  sweep
+(** Adaptive backward sweep in the style of Erreygers–De Bock: the
+    caller names a target discretisation error [epsilon] for the whole
+    horizon and the step size is chosen per step as
+    δ = min(t_rem, 1/λ, (ε/T)/(λ²·osc g)) — spending the budget at a
+    constant rate per unit time, so the returned [eps] satisfies
+    [eps.(j) <= epsilon · times.(j) / times.(nt-1)] a-priori.  When the
+    iterate goes flat (osc g = 0, e.g. after absorption dominates) the
+    sweep jumps to the next snapshot for free.
+    @raise Invalid_argument if [epsilon <= 0]
+    @raise Failure if the budget needs more than 2·10⁷ steps. *)
+
+val absorbing : t -> target:(int -> bool) -> t
+(** [absorbing m ~target] is the chain with every transition out of a
+    [target] state removed — those states become absorbing.  With the
+    indicator of the target set as reward, the backward sweep on the
+    absorbed chain bounds hitting probabilities
+    P(τ_target <= horizon | X_0 = x). *)
+
 val lower_expectation :
   ?pool:Umf_runtime.Runtime.Pool.t ->
   ?obs:Umf_obs.Obs.t ->
@@ -53,22 +123,10 @@ val lower_expectation :
   h:Vec.t ->
   horizon:float ->
   Vec.t
+  [@@deprecated "use fixed_series ~sense:`Lower (certified sweep)"]
 (** [lower_expectation m ~h ~horizon] is the vector of lower
-    expectations x ↦ E̲[h(X_horizon) | X_0 = x].  The backward equation
-    is integrated with uniformisation-style Euler steps;
-    [steps_per_unit] (default: enough for stability at the maximal exit
-    rate, at least 100) controls the discretisation.  The grid is
-    automatically refined to dt·λ <= 1 (λ = {!max_exit_bound}), the
-    condition under which each Euler step is a convex combination of
-    current values — so the sweep always stays in the invariant
-    envelope [min h, max h] (values are clamped there against float
-    rounding), instead of silently diverging on a too coarse
-    user-supplied grid.
-
-    [pool] fans each Euler step out over index-owned state chunks,
-    bit-identically to the sequential sweep for any domain count; [obs]
-    records a ["ctmc.imprecise_sweep"] span per integrated segment
-    (steps, rows touched). *)
+    expectations x ↦ E̲[h(X_horizon) | X_0 = x] — the singleton-time
+    [values] of {!fixed_series}, without the error ledger. *)
 
 val upper_expectation :
   ?pool:Umf_runtime.Runtime.Pool.t ->
@@ -78,6 +136,7 @@ val upper_expectation :
   h:Vec.t ->
   horizon:float ->
   Vec.t
+  [@@deprecated "use fixed_series ~sense:`Upper (certified sweep)"]
 
 val lower_series :
   ?pool:Umf_runtime.Runtime.Pool.t ->
@@ -87,11 +146,9 @@ val lower_series :
   h:Vec.t ->
   times:float array ->
   Vec.t array
-(** [lower_series m ~h ~times] is the lower expectation vector at every
-    horizon in the strictly increasing [times >= 0] — one backward
-    sweep up to the largest horizon with snapshots (the equation is
-    autonomous), not one sweep per horizon.  A singleton [times]
-    reproduces {!lower_expectation} exactly. *)
+  [@@deprecated "use fixed_series ~sense:`Lower (certified sweep)"]
+(** The [values] of {!fixed_series} with [~sense:`Lower] —
+    bit-identical, minus the error ledger. *)
 
 val upper_series :
   ?pool:Umf_runtime.Runtime.Pool.t ->
@@ -101,6 +158,7 @@ val upper_series :
   h:Vec.t ->
   times:float array ->
   Vec.t array
+  [@@deprecated "use fixed_series ~sense:`Upper (certified sweep)"]
 
 val probability_bounds :
   ?pool:Umf_runtime.Runtime.Pool.t ->
@@ -111,6 +169,9 @@ val probability_bounds :
   horizon:float ->
   x0:int ->
   float * float
+  [@@deprecated
+    "use fixed_series/adaptive_series on an indicator reward (certified \
+     sweep)"]
 (** Lower and upper bounds on P(X_horizon = state | X_0 = x0). *)
 
 type policy = t:float -> x:int -> Vec.t

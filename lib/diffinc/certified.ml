@@ -20,10 +20,29 @@ let gate ?domain ?(lint = true) m =
 
 let static_report ?domain m = Lint.analyze ?domain ~tape:true m
 
+(* the per-coordinate drift certificate: interval enclosure over
+   domain × Θ with the tape tier's rounding bound on the ledger — the
+   object the C-code lint tier checks for vacuity *)
+let drift_cert ?domain m =
+  let box = match domain with Some b -> b | None -> Model.clip m in
+  let ivs (b : Optim.Box.t) =
+    Array.mapi (fun i lo -> Interval.make lo b.Optim.Box.hi.(i)) b.Optim.Box.lo
+  in
+  let enclosure = Model.drift_interval m ~x:(ivs box) ~th:(ivs (Model.theta m)) in
+  let rounding =
+    match (static_report ?domain m).Lint.tape with
+    | Some t -> t.Tape_check.max_abs_err
+    | None -> infinity
+  in
+  Array.map (fun iv -> Cert.widen ~rounding (Cert.of_interval iv)) enclosure
+
 let float_error_bound ?domain m =
-  match (static_report ?domain m).Lint.tape with
-  | Some t -> t.Tape_check.max_abs_err
-  | None -> infinity
+  Array.fold_left
+    (fun acc (c : Cert.t) -> Float.max acc c.Cert.budget.Cert.rounding)
+    0. (drift_cert ?domain m)
+
+let usable_bounds ?domain m =
+  Array.for_all (fun c -> not (Cert.is_vacuous c)) (drift_cert ?domain m)
 
 let recommended_hamiltonian_opt ?domain m =
   (static_report ?domain m).Lint.recommended_opt

@@ -103,9 +103,24 @@ val static_report :
     (float-safety, rounding-error bounds, sign facts).  Never raises —
     inspect the report instead of catching {!Rejected}. *)
 
+val drift_cert :
+  ?domain:Optim.Box.t -> Umf_meanfield.Model.t -> Cert.t array
+(** Per-coordinate certificate of the drift over [domain] (default:
+    the model's clip box) × Θ: the interval-arithmetic enclosure as the
+    value, the tape tier's a-priori rounding bound on the rounding line
+    ([infinity] when not certifiable).  A vacuous entry
+    ({!Cert.is_vacuous}) means interval-based bounds on that coordinate
+    carry no information — the condition the [umf_lint] C-code tier
+    names. *)
+
 val float_error_bound :
   ?domain:Optim.Box.t -> Umf_meanfield.Model.t -> float
 (** Certified a-priori bound on the absolute rounding error of one
     compiled drift evaluation, maximised over drift coordinates and
-    the whole [domain] × Θ box ({!Umf_numerics.Tape_check} tier);
-    [infinity] when not certifiable. *)
+    the whole [domain] × Θ box — the largest rounding line of
+    {!drift_cert}; [infinity] when not certifiable. *)
+
+val usable_bounds : ?domain:Optim.Box.t -> Umf_meanfield.Model.t -> bool
+(** [true] when no {!drift_cert} coordinate is vacuous — the gate
+    certified interval consumers should check before trusting hull
+    enclosures. *)

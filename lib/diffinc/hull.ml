@@ -311,3 +311,12 @@ let pp_traj ppf h =
     h.times.(n - 1) (Vec.dim h.lower.(0))
 
 let traj_to_string h = Format.asprintf "%a" pp_traj h
+
+let final_certs ?(rounding = 0.) tr =
+  let last = Array.length tr.times - 1 in
+  Array.init
+    (Vec.dim tr.lower.(last))
+    (fun i ->
+      Cert.widen ~rounding
+        (Cert.of_interval
+           (Interval.make tr.lower.(last).(i) tr.upper.(last).(i))))

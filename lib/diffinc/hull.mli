@@ -65,6 +65,14 @@ val final_width : traj -> Vec.t
 (** x̄(T) − x̲(T): the looseness of the hull at the end of the
     horizon. *)
 
+val final_certs : ?rounding:float -> traj -> Cert.t array
+(** The final-time enclosure of each coordinate as a certificate: the
+    hull interval [lower, upper] is itself the certified answer (sound
+    whenever the face extrema were, e.g. under {!Certified}'s interval
+    arithmetic), outward-widened by [rounding] (default 0; pass
+    [Certified.float_error_bound] for the compiled-drift rounding
+    budget) on the rounding line. *)
+
 val pp_traj : Format.formatter -> traj -> unit
 (** One-line summary (max final width as the result's value,
     integration steps, horizon, dimension) in the uniform format

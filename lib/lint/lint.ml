@@ -58,9 +58,14 @@ let code_table =
     ("L402", "parameter never referenced by any rate");
     ("L403", "transition rate is identically zero");
     ("L404", "transition can push a coordinate below zero");
+    ("C001", "drift enclosure unbounded: derived certificate values are vacuous");
+    ("C002", "rounding budget line infinite: float-safety not certifiable");
+    ("C003", "rate enclosure unbounded: sweep error ledgers budget at an infinite exit rate");
+    ("C101", "composed certificate vacuous: downstream Cert consumers learn nothing");
   ]
 
-(* L-codes here, T-codes in {!Tape_check}: one lookup covers both tiers *)
+(* L- and C-codes here, T-codes in {!Tape_check}: one lookup covers all
+   three tiers *)
 let describe code =
   match List.assoc_opt code code_table with
   | Some d -> d
@@ -570,6 +575,54 @@ let analyze_transitions ?domain ?(tape = false) ~name ~var_names ~theta_names
               (String.concat ", " !decided)
         done
       end;
+      (* ---- certificate tier: C-codes (vacuous error ledgers) ----
+         Warning severity throughout: a vacuous certificate is honest —
+         the ledger says "no information" — it just helps nobody, and
+         it must not flip {!ok} for models that are otherwise sound. *)
+      let finite_iv iv =
+        Float.is_finite (Interval.lo iv) && Float.is_finite (Interval.hi iv)
+      in
+      let value_vacuous = ref false and budget_vacuous = ref false in
+      Array.iteri
+        (fun i o ->
+          if not (finite_iv o.Tape_check.range) then begin
+            value_vacuous := true;
+            report "C001" Warning (Coord i)
+              "drift enclosure for %s is unbounded over the domain × Θ \
+               ([%g, %g]): every certificate value built on it \
+               (Certified.drift_cert, Hull.final_certs) is vacuous"
+              var_names.(i)
+              (Interval.lo o.Tape_check.range)
+              (Interval.hi o.Tape_check.range)
+          end)
+        rep.Tape_check.outputs;
+      if not (Float.is_finite rep.Tape_check.max_abs_err) then begin
+        budget_vacuous := true;
+        report "C002" Warning Model
+          "the compiled drift's rounding bound is infinite: the rounding \
+           line of every derived certificate (Certified.float_error_bound) \
+           is vacuous"
+      end;
+      List.iter
+        (fun (tr : Model.transition) ->
+          let enc, _ = enclose tr.rate ~x:x_ivs in
+          if not (finite_iv enc) then begin
+            value_vacuous := true;
+            report "C003" Warning (Transition tr.name)
+              "transition %s: rate enclosure over the domain × Θ is \
+               unbounded ([%g, %g]) — imprecise-sweep error ledgers built \
+               from this rate budget at an infinite exit rate"
+              tr.name (Interval.lo enc) (Interval.hi enc)
+          end)
+        valid;
+      if !value_vacuous || !budget_vacuous then
+        report "C101" Warning Model
+          "composed certificate is vacuous (%s): Cert.is_vacuous holds for \
+           the model-level ledger, so Certified.usable_bounds is false and \
+           downstream gates learn nothing"
+          (String.concat " and "
+             ((if !value_vacuous then [ "unbounded value enclosure" ] else [])
+             @ (if !budget_vacuous then [ "infinite rounding line" ] else [])));
       Some rep
     end
   in

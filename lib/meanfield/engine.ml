@@ -25,13 +25,14 @@ type spec = {
   times : float array option;
   epsilon : float;
   steps : int;
+  sweep_eps : float option;
   truncation : truncation;
   pool : Pool.t option;
   obs : Obs.t;
 }
 
 let spec ?(scenario = Imprecise) ?theta ?(horizon = 10.) ?times
-    ?(epsilon = 1e-12) ?(steps = 400)
+    ?(epsilon = 1e-12) ?(steps = 400) ?sweep_eps
     ?(truncation = Exact { max_states = 2_000_000 }) ?pool ?(obs = Obs.off) ~n
     model =
   if n < 1 then invalid_arg "Engine.spec: need n >= 1";
@@ -39,6 +40,10 @@ let spec ?(scenario = Imprecise) ?theta ?(horizon = 10.) ?times
   if not (epsilon > 0. && epsilon < 1.) then
     invalid_arg "Engine.spec: epsilon must be in (0, 1)";
   if steps < 1 then invalid_arg "Engine.spec: need steps >= 1";
+  (match sweep_eps with
+  | Some e when not (e > 0.) ->
+      invalid_arg "Engine.spec: sweep_eps must be > 0"
+  | _ -> ());
   (match truncation with
   | Exact { max_states } | Adaptive { max_states } ->
       if max_states < 1 then invalid_arg "Engine.spec: need max_states >= 1");
@@ -67,6 +72,7 @@ let spec ?(scenario = Imprecise) ?theta ?(horizon = 10.) ?times
     times;
     epsilon;
     steps;
+    sweep_eps;
     truncation;
     pool;
     obs;
@@ -147,6 +153,13 @@ let certified_series s sp ~theta ~times hs =
 
 let lost (c : certificate) = c.escaped +. c.tail
 
+(* The ledger view of a [lower, upper] enclosure whose width comes from
+   lost probability mass priced over the reward range [rlo, rhi]. *)
+let mass_cert ~lost ~rlo ~rhi lo hi =
+  Cert.of_interval
+    ~budget:(Cert.budget ~truncation:(lost *. (rhi -. rlo)) ())
+    (Interval.make lo hi)
+
 type transient = {
   n : int;
   states : int;
@@ -156,7 +169,10 @@ type transient = {
   lower : float array array;
   upper : float array array;
   certificates : certificate array;
+  certs : Cert.t array array;
 }
+
+let transient_certificates t = t.certificates
 
 let transient ?theta ?space s ~rewards =
   let nr = Array.length rewards in
@@ -178,6 +194,13 @@ let transient ?theta ?space s ~rewards =
       upper.(j).(r) <- value.(j).(r) +. (l *. rhi)
     done
   done;
+  let certs =
+    Array.init nt (fun j ->
+        let l = lost certificates.(j) in
+        Array.init nr (fun r ->
+            let _, rlo, rhi = resolved.(r) in
+            mass_cert ~lost:l ~rlo ~rhi lower.(j).(r) upper.(j).(r)))
+  in
   {
     n = s.n;
     states = Ctmc_of_population.n_states sp;
@@ -187,6 +210,7 @@ let transient ?theta ?space s ~rewards =
     lower;
     upper;
     certificates;
+    certs;
   }
 
 type envelope = {
@@ -198,7 +222,27 @@ type envelope = {
   upper : float array;
   certificates : certificate array;
   escaped : float;
+  certs : Cert.t array;
+  sweep_steps : int;
 }
+
+let envelope_certificates e = e.certificates
+
+(* The imprecise lower/upper sweeps of a spec: fixed-grid from the
+   spec's step budget by default, adaptive with target [sweep_eps] when
+   the spec names one. *)
+let imprecise_sweep s ~sense im ~h ~times =
+  match s.sweep_eps with
+  | Some epsilon ->
+      Imprecise_ctmc.adaptive_series ?pool:s.pool ~obs:s.obs ~epsilon ~sense
+        im ~h ~times
+  | None ->
+      let steps_per_unit =
+        Stdlib.max 1
+          (int_of_float (Float.ceil (float_of_int s.steps /. s.horizon)))
+      in
+      Imprecise_ctmc.fixed_series ?pool:s.pool ~obs:s.obs ~steps_per_unit
+        ~sense im ~h ~times
 
 let envelope ?space s ~reward =
   let sp = space_of ?space s in
@@ -212,7 +256,7 @@ let envelope ?space s ~reward =
     (Array.map (fun row -> row.(0)) vals, certs)
   in
   let mean, certificates = series (Optim.Box.midpoint box) in
-  let lower, upper =
+  let lower, upper, disc, rnd, sweep_steps =
     match s.scenario with
     | Imprecise ->
         if not (Model.affine_in_theta s.model) then
@@ -231,19 +275,13 @@ let envelope ?space s ~reward =
             Array.append h [| sink_value |]
           else h
         in
-        let steps_per_unit =
-          Stdlib.max 1
-            (int_of_float (Float.ceil (float_of_int s.steps /. s.horizon)))
-        in
-        let lo =
-          Imprecise_ctmc.lower_series ?pool:s.pool ~obs:s.obs ~steps_per_unit
-            im ~h:(extend h rlo) ~times
-        in
-        let hi =
-          Imprecise_ctmc.upper_series ?pool:s.pool ~obs:s.obs ~steps_per_unit
-            im ~h:(extend h rhi) ~times
-        in
-        (Array.map (fun v -> v.(x0i)) lo, Array.map (fun v -> v.(x0i)) hi)
+        let lo = imprecise_sweep s ~sense:`Lower im ~h:(extend h rlo) ~times in
+        let hi = imprecise_sweep s ~sense:`Upper im ~h:(extend h rhi) ~times in
+        ( Array.map (fun v -> v.(x0i)) lo.Imprecise_ctmc.values,
+          Array.map (fun v -> v.(x0i)) hi.Imprecise_ctmc.values,
+          Array.init nt (fun j -> Float.max lo.eps.(j) hi.eps.(j)),
+          Array.init nt (fun j -> Float.max lo.rounding.(j) hi.rounding.(j)),
+          lo.steps + hi.steps )
     | Uncertain grid ->
         let lo = Array.make nt Float.infinity
         and hi = Array.make nt Float.neg_infinity in
@@ -256,10 +294,17 @@ let envelope ?space s ~reward =
               if e.(j) +. (l *. rhi) > hi.(j) then hi.(j) <- e.(j) +. (l *. rhi)
             done)
           (Optim.Box.sample_grid box grid);
-        (lo, hi)
+        (lo, hi, Array.make nt 0., Array.make nt 0., 0)
   in
   let escaped =
     Array.fold_left (fun acc c -> Float.max acc (lost c)) 0. certificates
+  in
+  let certs =
+    Array.init nt (fun j ->
+        mass_cert
+          ~lost:(lost certificates.(j))
+          ~rlo ~rhi lower.(j) upper.(j)
+        |> Cert.widen ~discretisation:disc.(j) ~rounding:rnd.(j))
   in
   {
     n = s.n;
@@ -270,6 +315,8 @@ let envelope ?space s ~reward =
     upper;
     certificates;
     escaped;
+    certs;
+    sweep_steps;
   }
 
 type stationary = {
@@ -278,6 +325,7 @@ type stationary = {
   theta : Vec.t;
   pi : Vec.t;
   values : float array;
+  certs : Cert.t array;
 }
 
 let stationary ?theta ?space ?(tol = 1e-12) ?(max_iter = 1_000_000) s ~rewards
@@ -297,14 +345,27 @@ let stationary ?theta ?space ?(tol = 1e-12) ?(max_iter = 1_000_000) s ~rewards
   let pi =
     Stationary.power_iteration ?pool:s.pool ~obs:s.obs ~tol ~max_iter g
   in
-  let values =
-    Array.map
-      (fun r ->
-        let h, _, _ = resolve_reward s sp r in
-        Vec.dot h pi)
-      rewards
+  let resolved = Array.map (resolve_reward s sp) rewards in
+  let values = Array.map (fun (h, _, _) -> Vec.dot h pi) resolved in
+  (* the power-iteration residual is a ledger line, not a rigorous
+     distance to the true expectation: the value interval is widened by
+     tol scaled to the reward range so downstream consumers see a
+     non-degenerate, clearly-attributed optimiser contribution *)
+  let certs =
+    Array.map2
+      (fun (_, rlo, rhi) v ->
+        let pad = tol *. Float.max 1. (rhi -. rlo) in
+        Cert.widen ~optimiser:pad (Cert.exact v))
+      resolved values
   in
-  { n = s.n; states = Ctmc_of_population.n_states sp; theta; pi; values }
+  {
+    n = s.n;
+    states = Ctmc_of_population.n_states sp;
+    theta;
+    pi;
+    values;
+    certs;
+  }
 
 type distribution = {
   n : int;
@@ -312,7 +373,10 @@ type distribution = {
   theta : Vec.t;
   p : Vec.t;
   certificate : certificate;
+  cert : Cert.t;
 }
+
+let distribution_certificate d = d.certificate
 
 let distribution ?theta ?space s =
   let sp = space_of ?space s in
@@ -323,4 +387,18 @@ let distribution ?theta ?space s =
     Transient.uniformization_certified ?pool:s.pool ~obs:s.obs
       ~epsilon:s.epsilon ?leak g ~p0 ~t:s.horizon
   in
-  { n = s.n; states = Ctmc_of_population.n_states sp; theta; p; certificate }
+  let retained = Vec.sum p in
+  let l = lost certificate in
+  let cert =
+    Cert.of_interval
+      ~budget:(Cert.budget ~truncation:l ())
+      (Interval.make retained (retained +. l))
+  in
+  {
+    n = s.n;
+    states = Ctmc_of_population.n_states sp;
+    theta;
+    p;
+    certificate;
+    cert;
+  }

@@ -61,6 +61,13 @@ type spec = {
           [0, horizon]). *)
   epsilon : float;  (** Uniformisation mass tolerance. *)
   steps : int;  (** Backward-sweep step budget over the horizon. *)
+  sweep_eps : float option;
+      (** Target certified discretisation error for imprecise backward
+          sweeps.  [None] (default): fixed grid from [steps].  [Some e]:
+          Erreygers–De Bock adaptive step selection with a-priori
+          budget [e] over the horizon ({!Umf_ctmc.Imprecise_ctmc
+          .adaptive_series}); [steps] is then ignored on the imprecise
+          path. *)
   truncation : truncation;
   pool : Umf_runtime.Runtime.Pool.t option;
   obs : Umf_obs.Obs.t;
@@ -73,6 +80,7 @@ val spec :
   ?times:float array ->
   ?epsilon:float ->
   ?steps:int ->
+  ?sweep_eps:float ->
   ?truncation:truncation ->
   ?pool:Umf_runtime.Runtime.Pool.t ->
   ?obs:Umf_obs.Obs.t ->
@@ -82,8 +90,9 @@ val spec :
 (** Validated constructor; defaults: [Imprecise] scenario, horizon 10,
     epsilon 1e-12, steps 400, [Exact {max_states = 2_000_000}].
     @raise Invalid_argument on [n < 1], [horizon <= 0], epsilon outside
-    (0, 1), [steps < 1], [max_states < 1], an [Uncertain] grid < 2, a
-    θ-box dimension mismatch, or non-increasing [times]. *)
+    (0, 1), [steps < 1], [sweep_eps <= 0], [max_states < 1], an
+    [Uncertain] grid < 2, a θ-box dimension mismatch, or non-increasing
+    [times]. *)
 
 type certificate = Umf_ctmc.Transient.certificate = {
   escaped : float;
@@ -107,7 +116,15 @@ type transient = {
           expectation. *)
   upper : float array array;  (** [value + lost·rhi]. *)
   certificates : certificate array;  (** Per time point. *)
+  certs : Cert.t array array;
+      (** [certs.(j).(r)]: the [lower, upper] enclosure of time j,
+          reward r as one {!Cert.t} — the lost mass priced over the
+          reward range on the truncation line. *)
 }
+
+val transient_certificates : transient -> certificate array
+  [@@deprecated "read the certs field (unified Cert ledger) instead"]
+(** The raw escaped/tail view, superseded by [certs]. *)
 
 val transient :
   ?theta:Vec.t ->
@@ -132,7 +149,21 @@ type envelope = {
   upper : float array;
   certificates : certificate array;  (** Of the mean sweep. *)
   escaped : float;  (** max_j (escaped_j + tail_j) of the mean sweep. *)
+  certs : Cert.t array;
+      (** Per time point: the [lower, upper] envelope widened outward
+          by the backward sweeps' certified discretisation and rounding
+          error (imprecise scenario; both lines are 0 on the
+          [Uncertain] grid, whose certified forward sweeps carry their
+          truncation in [lower]/[upper] already — note the θ sample
+          grid itself is an inner approximation of the box). *)
+  sweep_steps : int;
+      (** Euler steps both imprecise sweeps took together (0 under
+          [Uncertain]) — what the adaptive stepper is saving. *)
 }
+
+val envelope_certificates : envelope -> certificate array
+  [@@deprecated "read the certs field (unified Cert ledger) instead"]
+(** The raw escaped/tail view, superseded by [certs]. *)
 
 val envelope :
   ?space:Ctmc_of_population.space -> spec -> reward:reward -> envelope
@@ -152,6 +183,11 @@ type stationary = {
   theta : Vec.t;
   pi : Vec.t;  (** The stationary distribution over the lattice. *)
   values : float array;  (** One expectation per requested reward. *)
+  certs : Cert.t array;
+      (** Per reward: the value widened by the power-iteration
+          tolerance scaled to the reward range, on the optimiser line —
+          a residual-level ledger entry, not a rigorous distance
+          bound. *)
 }
 
 val stationary :
@@ -176,7 +212,13 @@ type distribution = {
       (** Sub-distribution over the retained lattice at [horizon] (its
           mass deficit is bounded by the certificate). *)
   certificate : certificate;
+  cert : Cert.t;
+      (** Certified total retained mass: [Σp, Σp + lost] with the lost
+          mass on the truncation line. *)
 }
+
+val distribution_certificate : distribution -> certificate
+  [@@deprecated "read the cert field (unified Cert ledger) instead"]
 
 val distribution :
   ?theta:Vec.t -> ?space:Ctmc_of_population.space -> spec -> distribution

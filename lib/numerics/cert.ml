@@ -1,0 +1,114 @@
+type budget = {
+  discretisation : float;
+  truncation : float;
+  rounding : float;
+  optimiser : float;
+}
+
+type t = { value : Interval.t; budget : budget }
+
+let zero_budget =
+  { discretisation = 0.; truncation = 0.; rounding = 0.; optimiser = 0. }
+
+let check_line name x =
+  if Float.is_nan x || x < 0. then
+    invalid_arg (Printf.sprintf "Cert: %s line must be >= 0, got %g" name x)
+
+let budget ?(discretisation = 0.) ?(truncation = 0.) ?(rounding = 0.)
+    ?(optimiser = 0.) () =
+  check_line "discretisation" discretisation;
+  check_line "truncation" truncation;
+  check_line "rounding" rounding;
+  check_line "optimiser" optimiser;
+  { discretisation; truncation; rounding; optimiser }
+
+let exact x = { value = Interval.of_float x; budget = zero_budget }
+let of_interval ?(budget = zero_budget) value = { value; budget }
+
+let map2_budget f a b =
+  {
+    discretisation = f a.discretisation b.discretisation;
+    truncation = f a.truncation b.truncation;
+    rounding = f a.rounding b.rounding;
+    optimiser = f a.optimiser b.optimiser;
+  }
+
+let add a b =
+  {
+    value = Interval.add a.value b.value;
+    budget = map2_budget ( +. ) a.budget b.budget;
+  }
+
+let sub a b =
+  {
+    value = Interval.sub a.value b.value;
+    budget = map2_budget ( +. ) a.budget b.budget;
+  }
+
+let scale_budget c b =
+  {
+    discretisation = c *. b.discretisation;
+    truncation = c *. b.truncation;
+    rounding = c *. b.rounding;
+    optimiser = c *. b.optimiser;
+  }
+
+let scale c t =
+  { value = Interval.scale c t.value; budget = scale_budget (Float.abs c) t.budget }
+
+let join a b =
+  {
+    value = Interval.hull a.value b.value;
+    budget = map2_budget Float.max a.budget b.budget;
+  }
+
+let compose ~lipschitz ~value t =
+  if Float.is_nan lipschitz || lipschitz < 0. then
+    invalid_arg "Cert.compose: lipschitz must be >= 0";
+  { value; budget = scale_budget lipschitz t.budget }
+
+let widen ?(discretisation = 0.) ?(truncation = 0.) ?(rounding = 0.)
+    ?(optimiser = 0.) t =
+  check_line "discretisation" discretisation;
+  check_line "truncation" truncation;
+  check_line "rounding" rounding;
+  check_line "optimiser" optimiser;
+  let pad = discretisation +. truncation +. rounding +. optimiser in
+  let value =
+    if pad = 0. then t.value
+    else Interval.make (Interval.lo t.value -. pad) (Interval.hi t.value +. pad)
+  in
+  {
+    value;
+    budget =
+      map2_budget ( +. ) t.budget
+        { discretisation; truncation; rounding; optimiser };
+  }
+
+let total t =
+  t.budget.discretisation +. t.budget.truncation +. t.budget.rounding
+  +. t.budget.optimiser
+
+let width t = Interval.width t.value
+let midpoint t = Interval.midpoint t.value
+let brackets t x = Interval.mem x t.value
+
+let is_vacuous t =
+  (not (Float.is_finite (Interval.lo t.value)))
+  || (not (Float.is_finite (Interval.hi t.value)))
+  || not (Float.is_finite (total t))
+
+let lines t =
+  [
+    ("discretisation", t.budget.discretisation);
+    ("truncation", t.budget.truncation);
+    ("rounding", t.budget.rounding);
+    ("optimiser", t.budget.optimiser);
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf "%a (disc %.3g, trunc %.3g, round %.3g, opt %.3g)"
+    Interval.pp t.value t.budget.discretisation t.budget.truncation
+    t.budget.rounding t.budget.optimiser
+
+let to_string t = Format.asprintf "%a" pp t

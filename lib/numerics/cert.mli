@@ -1,0 +1,108 @@
+(** Composable error certificates — the one ledger every solver
+    reports through.
+
+    A certificate is a certified enclosure [value] (the numerical
+    error is already folded into the interval: the true answer lies in
+    [value] whenever each contributing budget line is sound) together
+    with an itemised provenance {!budget} saying where the width came
+    from:
+
+    - [discretisation] — time-stepping / grid error (Euler sweeps,
+      RK45 tolerance accounting, hull grids);
+    - [truncation] — escaped or unaccounted probability mass priced
+      into the answer (state-space truncation, uniformisation tails);
+    - [rounding] — floating-point error, typically a
+      {!Tape_check.report}'s [max_abs_err];
+    - [optimiser] — nonconvergence slack of an inner optimisation
+      (power iteration residual, pessimisation gap).
+
+    The combinators are sound in the interval-arithmetic sense: if the
+    inputs' values enclose the true inputs and their budgets
+    over-approximate the listed error sources, the output's value
+    encloses the true output and its budget lines over-approximate the
+    combined sources.  Widening amounts must be non-negative; [nan]
+    amounts are rejected so a certificate can only degrade to
+    [±infinity] (a {e vacuous} certificate, which {!is_vacuous} and
+    the lint C-code tier detect) and never to silent nonsense. *)
+
+type budget = {
+  discretisation : float;
+  truncation : float;
+  rounding : float;
+  optimiser : float;
+}
+
+type t = { value : Interval.t; budget : budget }
+
+val zero_budget : budget
+
+val budget :
+  ?discretisation:float ->
+  ?truncation:float ->
+  ?rounding:float ->
+  ?optimiser:float ->
+  unit ->
+  budget
+(** Budget with the given lines (default 0 each).
+    @raise Invalid_argument on a negative or [nan] line. *)
+
+val exact : float -> t
+(** Degenerate certificate: the answer is exactly [x], zero budget. *)
+
+val of_interval : ?budget:budget -> Interval.t -> t
+(** Certificate whose enclosure is [value] with the given provenance
+    (default {!zero_budget}). *)
+
+val add : t -> t -> t
+(** Sum: values add (outward), budget lines add. *)
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+(** [scale c t]: value scales by [c], budget lines by [abs c]. *)
+
+val join : t -> t -> t
+(** Disjunction: value is the hull, each budget line the max — the
+    certificate for "one of the two answers, not sure which". *)
+
+val compose : lipschitz:float -> value:Interval.t -> t -> t
+(** [compose ~lipschitz ~value t] certifies a post-composition
+    [f(x)] where [value] is a sound enclosure of [f] over [t.value]
+    and [f] is [lipschitz]-Lipschitz there: the budget lines scale by
+    [lipschitz] (how much each upstream error source can move the
+    output).  @raise Invalid_argument if [lipschitz < 0]. *)
+
+val widen :
+  ?discretisation:float ->
+  ?truncation:float ->
+  ?rounding:float ->
+  ?optimiser:float ->
+  t ->
+  t
+(** Outward-widen the value by the sum of the given amounts and record
+    each on its budget line — the only way error enters a ledger.
+    Amounts default to 0 and must be non-negative ([infinity] is
+    allowed and yields a vacuous certificate; [nan] raises). *)
+
+val total : t -> float
+(** Sum of the four budget lines. *)
+
+val width : t -> float
+(** Width of the value interval. *)
+
+val midpoint : t -> float
+
+val brackets : t -> float -> bool
+(** [brackets t x]: does the certified enclosure contain [x]? *)
+
+val is_vacuous : t -> bool
+(** True when the enclosure or any budget line is non-finite — the
+    certificate carries no information. *)
+
+val lines : t -> (string * float) list
+(** The itemised ledger, as [("discretisation", d); ...] in fixed
+    order — what the CLI prints under [--metrics] and what Obs gauges
+    record. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -195,7 +195,7 @@ let dp_b4 =
     187. /. 2100.; 1. /. 40.;
   |]
 
-let integrate_adaptive ?(rtol = 1e-6) ?(atol = 1e-9) ?dt0 ?dt_max
+let integrate_adaptive ?err_acc ?(rtol = 1e-6) ?(atol = 1e-9) ?dt0 ?dt_max
     ?(max_steps = 1_000_000) ?(check = false) ?(obs = Obs.off) f ~t0 ~y0 ~t1 =
   if t1 < t0 then invalid_arg "Ode.integrate_adaptive: t1 < t0";
   (* metric accumulators live and are touched only when observing, so
@@ -249,6 +249,19 @@ let integrate_adaptive ?(rtol = 1e-6) ?(atol = 1e-9) ?dt0 ?dt_max
       done;
       let err = sqrt (!err /. float_of_int n) in
       if err <= 1. then begin
+        (* tolerance accounting: the embedded estimate of this step's
+           local error in absolute units, accumulated for the caller's
+           certificate (an estimate-level ledger, not a rigorous
+           bound) *)
+        (match err_acc with
+        | Some acc ->
+            let sc = ref atol in
+            for i = 0 to n - 1 do
+              let s = atol +. (rtol *. Float.abs y5.(i)) in
+              if s > !sc then sc := s
+            done;
+            acc := !acc +. (err *. !sc)
+        | None -> ());
         t := !t +. hh;
         y := y5;
         check_state ~enabled:check ~step:steps !t !y;
@@ -298,3 +311,12 @@ let fixed_point ?(tol = 1e-9) ?(dt = 1e-2) ?(max_time = 1e4) f y0 =
   done;
   if not !converged then failwith "Ode.fixed_point: no equilibrium reached";
   !y
+
+let integrate_adaptive_cert ?rtol ?atol ?dt0 ?dt_max ?max_steps ?check ?obs f
+    ~t0 ~y0 ~t1 =
+  let acc = ref 0. in
+  let traj =
+    integrate_adaptive ~err_acc:acc ?rtol ?atol ?dt0 ?dt_max ?max_steps ?check
+      ?obs f ~t0 ~y0 ~t1
+  in
+  (traj, Cert.widen ~discretisation:!acc (Cert.exact 0.))

@@ -76,6 +76,7 @@ val integrate_to :
     trajectory. *)
 
 val integrate_adaptive :
+  ?err_acc:float ref ->
   ?rtol:float ->
   ?atol:float ->
   ?dt0:float ->
@@ -91,9 +92,32 @@ val integrate_adaptive :
 (** Dormand–Prince RK45 with PI step-size control.  Defaults:
     [rtol = 1e-6], [atol = 1e-9], [max_steps = 1_000_000]; [check] as
     in {!integrate}.  [obs] records an ["ode.rk45"] span with
-    accepted/rejected step counts and [dt] min/max gauges.
+    accepted/rejected step counts and [dt] min/max gauges.  When
+    [err_acc] is given, each accepted step adds its embedded local
+    error estimate (in absolute units) to the ref — the tolerance
+    accounting behind {!integrate_adaptive_cert}.
     @raise Failure when the step count budget is exhausted or the step
     size underflows. *)
+
+val integrate_adaptive_cert :
+  ?rtol:float ->
+  ?atol:float ->
+  ?dt0:float ->
+  ?dt_max:float ->
+  ?max_steps:int ->
+  ?check:bool ->
+  ?obs:Umf_obs.Obs.t ->
+  rhs ->
+  t0:float ->
+  y0:Vec.t ->
+  t1:float ->
+  Traj.t * Cert.t
+(** {!integrate_adaptive} with its tolerance accounting re-expressed
+    as a {!Cert.t}: the certificate's value is the symmetric error
+    interval [-E, E] and its discretisation line is E, the sum of the
+    embedded local error estimates of the accepted steps in absolute
+    units.  An {e estimate-level} ledger entry — what the controller
+    believed it committed, not an a-priori bound. *)
 
 val fixed_point :
   ?tol:float ->

@@ -98,3 +98,8 @@ let integrate ?(method_ = `Trapezoidal) ?newton_tol ?(obs = Umf_obs.Obs.off) f
 
 let integrate_to ?method_ ?newton_tol ?obs f ~t0 ~y0 ~t1 ~dt =
   Ode.Traj.last (integrate ?method_ ?newton_tol ?obs f ~t0 ~y0 ~t1 ~dt)
+
+let integrate_cert ?method_ ?newton_tol ?obs f ~t0 ~y0 ~t1 ~dt =
+  let traj = integrate ?method_ ?newton_tol ?obs f ~t0 ~y0 ~t1 ~dt in
+  let tol = match newton_tol with Some t -> t | None -> 1e-10 in
+  (traj, Cert.widen ~discretisation:dt ~optimiser:tol (Cert.exact 0.))

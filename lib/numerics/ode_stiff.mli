@@ -41,3 +41,18 @@ val integrate_to :
   t1:float ->
   dt:float ->
   Vec.t
+
+val integrate_cert :
+  ?method_:[ `BackwardEuler | `Trapezoidal ] ->
+  ?newton_tol:float ->
+  ?obs:Umf_obs.Obs.t ->
+  Ode.rhs ->
+  t0:float ->
+  y0:Vec.t ->
+  t1:float ->
+  dt:float ->
+  Ode.Traj.t * Cert.t
+(** {!integrate} with its tolerance accounting on the unified ledger:
+    the fixed step [dt] on the discretisation line and the Newton
+    tolerance on the optimiser line (tolerance-level annotations — the
+    implicit steppers carry no embedded error estimate). *)

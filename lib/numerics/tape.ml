@@ -684,22 +684,6 @@ module Plan = struct
           run_batch_chunk t bws ~chunk ~m ~r0 ~xd ~xc ~td ~tc ~od ~oc)
 end
 
-(* ---- deprecated compatibility wrappers (see tape.mli) ---- *)
-
-let eval t ~x ~th = Plan.run_alloc (Plan.make t) ~x ~th
-
-let evaluator t =
-  let p = Plan.make t in
-  fun ~x ~th ~out -> Plan.run p ~x ~th ~out
-
-let scalar_evaluator t = Plan.run_scalar (Plan.make t)
-
-let eval_interval t ~x ~th = Plan.run_interval (Plan.make t) ~x ~th
-
-let interval_evaluator t =
-  let p = Plan.make t in
-  fun ~x ~th -> Plan.run_interval p ~x ~th
-
 (* static-analysis view: decode the packed int-code back into a typed
    instruction stream *)
 

@@ -105,63 +105,6 @@ module Plan : sig
       message, nothing is evaluated partially. *)
 end
 
-(** {1 Deprecated entry points}
-
-    The pre-plan API: six entry points with ad-hoc workspace plumbing,
-    kept for this PR only as one-line wrappers over {!Plan}.  Each
-    [eval]/[evaluator] call below builds a throwaway plan — hoist a
-    {!Plan.make} instead. *)
-
-val make_ws : t -> float array
-[@@deprecated "build a Tape.Plan instead; plans manage their own scratch"]
-(** A fresh workspace with constants preloaded.  A workspace may be
-    reused across calls on the same domain but must not be shared
-    between concurrently evaluating domains. *)
-
-val eval_into : t -> ws:float array -> x:Vec.t -> th:Vec.t -> out:Vec.t -> unit
-[@@deprecated "use Tape.Plan.run"]
-(** Run the tape; [out.(i)] receives the i-th expression's value.
-    Allocation-free.  [ws] must come from {!make_ws} on this tape.
-    @raise Invalid_argument on dimension mismatches. *)
-
-val eval : t -> x:Vec.t -> th:Vec.t -> Vec.t
-[@@deprecated "use Tape.Plan.run_alloc"]
-(** Convenience wrapper allocating a fresh plan and result. *)
-
-val evaluator : t -> x:Vec.t -> th:Vec.t -> out:Vec.t -> unit
-[@@deprecated "use Tape.Plan.run"]
-(** An evaluation closure over a domain-local cached workspace. *)
-
-val scalar_evaluator : t -> Vec.t -> Vec.t -> float
-[@@deprecated "use Tape.Plan.run_scalar"]
-(** Like {!evaluator} for single-output tapes, returning the value
-    directly.  @raise Invalid_argument if the tape has more than one
-    output. *)
-
-val make_interval_ws : t -> Interval.t array
-[@@deprecated "build a Tape.Plan instead; plans manage their own scratch"]
-
-val eval_interval_into :
-  t ->
-  ws:Interval.t array ->
-  x:Interval.t array ->
-  th:Interval.t array ->
-  Interval.t array
-[@@deprecated "use Tape.Plan.run_interval"]
-(** Conservative enclosure of every output over boxes of states and
-    parameters.  Matches {!Expr.eval_interval} except that undecided
-    [Ite] guards hull both (eagerly computed) branches.
-    @raise Division_by_zero if a divisor interval contains 0. *)
-
-val eval_interval :
-  t -> x:Interval.t array -> th:Interval.t array -> Interval.t array
-[@@deprecated "use Tape.Plan.run_interval"]
-
-val interval_evaluator :
-  t -> x:Interval.t array -> th:Interval.t array -> Interval.t array
-[@@deprecated "use Tape.Plan.run_interval"]
-(** Domain-local cached interval workspace, as {!evaluator}. *)
-
 (** {1 Static-analysis view}
 
     A decoded, read-only rendering of the compiled instruction stream.

@@ -1,6 +1,12 @@
 open Umf_numerics
 open Umf_ctmc
 
+(* this suite doubles as the bit-compat gate for the deprecated
+   fixed-grid wrappers (lower/upper_expectation, *_series,
+   probability_bounds) against the certified sweep API they forward
+   to *)
+[@@@alert "-deprecated"]
+
 (* single-station bike sharing chain (paper Sec. II example):
    states 0..cap bikes; arrivals take a bike at rate θa, returns add one
    at rate θr *)

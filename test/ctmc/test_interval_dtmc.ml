@@ -96,8 +96,12 @@ let test_cross_check_with_ictmc () =
   let dt = horizon /. float_of_int steps in
   let dtmc = Interval_dtmc.of_imprecise_ctmc ictmc ~dt in
   let h = [| 1.; 0.; 0. |] in
-  let ctmc_lo = Imprecise_ctmc.lower_expectation ~steps_per_unit:2000 ictmc ~h ~horizon in
-  let ctmc_hi = Imprecise_ctmc.upper_expectation ~steps_per_unit:2000 ictmc ~h ~horizon in
+  let ctmc_sweep sense =
+    (Imprecise_ctmc.fixed_series ~steps_per_unit:2000 ~sense ictmc ~h
+       ~times:[| horizon |])
+      .values.(0)
+  in
+  let ctmc_lo = ctmc_sweep `Lower and ctmc_hi = ctmc_sweep `Upper in
   let dtmc_lo = Interval_dtmc.lower_expectation dtmc ~h ~steps in
   let dtmc_hi = Interval_dtmc.upper_expectation dtmc ~h ~steps in
   for s = 0 to 2 do

@@ -31,8 +31,10 @@ let test_ictmc_bounds_bracket_constant_theta () =
   let m = Bikesharing.ictmc p ~capacity in
   let h = Bikesharing.occupancy_reward ~capacity in
   let horizon = 2. in
-  let lo = Imprecise_ctmc.lower_expectation m ~h ~horizon in
-  let hi = Imprecise_ctmc.upper_expectation m ~h ~horizon in
+  let sweep sense =
+    (Imprecise_ctmc.fixed_series ~sense m ~h ~times:[| horizon |]).values.(0)
+  in
+  let lo = sweep `Lower and hi = sweep `Upper in
   (* exact transient expectation for a few constant parameter choices
      must lie within the imprecise bounds *)
   let x0 = 4 in
@@ -52,7 +54,9 @@ let test_empty_probability_monotone_in_horizon () =
   let m = Bikesharing.ictmc p ~capacity in
   (* starting full, the upper bound on being empty grows with time *)
   let h = Bikesharing.empty_indicator ~capacity in
-  let up t = (Imprecise_ctmc.upper_expectation m ~h ~horizon:t).(capacity) in
+  let up t =
+    (Imprecise_ctmc.fixed_series ~sense:`Upper m ~h ~times:[| t |]).values.(0).(capacity)
+  in
   let u1 = up 1. and u4 = up 4. in
   Alcotest.(check bool) "monotone upper bound" true (u4 >= u1 -. 1e-9);
   Alcotest.(check bool) "bounded by 1" true (u4 <= 1. +. 1e-9)
