@@ -1,0 +1,168 @@
+(* Serve: daemon latency — the compiled-plan/result cache and request
+   batching.
+
+   Claims backed here:
+   - a warm (cache-hit) request answers at least 5x faster than the
+     cold run that seeded it (in practice orders of magnitude: the hit
+     re-emits the stored payload bytes without touching a solver);
+   - the warm payload ("result" and "cert" members) is bitwise
+     identical to the cold one;
+   - a pipelined batch on a small shared pool schedules with bounded
+     queue wait (per-response queue_wait_ms percentiles reported).
+
+   Wall times are recorded together with the core count, so the JSON
+   stays honest on a 1-core CI box.  Results go to BENCH_serve.json. *)
+open Umf
+module Json = Obs.Json
+
+let cores = Domain.recommended_domain_count ()
+
+(* six distinct analysis requests: different ops, coords, horizons and
+   tolerances, so each is a distinct cache entry *)
+let requests =
+  [
+    "{\"id\":1,\"op\":\"bounds\",\"model\":\"sir\",\"coord\":0,\
+     \"horizon\":2,\"steps\":120}";
+    "{\"id\":2,\"op\":\"bounds\",\"model\":\"sir\",\"coord\":1,\
+     \"horizon\":2,\"steps\":120}";
+    "{\"id\":3,\"op\":\"bounds\",\"model\":\"sir\",\"coord\":1,\
+     \"horizon\":3,\"steps\":120,\"tol\":1e-5}";
+    "{\"id\":4,\"op\":\"bounds\",\"model\":\"sir\",\"coord\":1,\
+     \"horizon\":2,\"steps\":120,\"scenario\":{\"uncertain\":3}}";
+    "{\"id\":5,\"op\":\"hull\",\"model\":\"sir\",\"horizon\":2,\
+     \"steps\":120}";
+    "{\"id\":6,\"op\":\"hull\",\"model\":\"sir\",\"horizon\":3,\
+     \"steps\":120}";
+  ]
+
+let parse line =
+  match Json.of_string line with
+  | Json.Obj _ as j -> j
+  | _ -> failwith ("serve bench: malformed response " ^ line)
+
+let num name j =
+  match Json.member name j with
+  | Some (Json.Num x) -> x
+  | _ -> failwith ("serve bench: missing number " ^ name)
+
+let booly name j =
+  match Json.member name j with Some (Json.Bool b) -> b | _ -> false
+
+(* the payload a cache hit must reproduce bitwise: the Json printer
+   round-trips floats, so re-rendered member equality is byte
+   equality of the original payload *)
+let payload j =
+  let m name =
+    match Json.member name j with
+    | Some v -> Json.to_string v
+    | None -> failwith ("serve bench: missing " ^ name)
+  in
+  (m "result", m "cert")
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let percentile p xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  a.(Int.min (n - 1) (int_of_float (Float.of_int n *. p)))
+
+(* one request per batch: end-to-end latency of a singleton round trip *)
+let latency_pass t =
+  List.map
+    (fun r ->
+      let resp, wall = Common.time_it (fun () -> Serve.process t [ r ]) in
+      let j = parse (List.hd resp) in
+      if not (booly "ok" j) then
+        failwith ("serve bench: request failed: " ^ List.hd resp);
+      (j, wall *. 1e3))
+    requests
+
+let run () =
+  Common.banner "Serve: cold vs warm latency, cache identity, queue wait";
+  let t = Serve.create (Serve.config ~domains:2 ()) in
+  Fun.protect ~finally:(fun () -> Serve.shutdown t) @@ fun () ->
+  let cold = latency_pass t in
+  let warm = latency_pass t in
+  let cold_ms = List.map snd cold and warm_ms = List.map snd warm in
+  let med_cold = median cold_ms and med_warm = median warm_ms in
+  let speedup = med_cold /. Float.max med_warm 1e-9 in
+  let identical =
+    List.for_all2
+      (fun (c, _) (w, _) -> payload c = payload w && booly "cached" w)
+      cold warm
+  in
+  (* pipelined batch with the cache off: every request occupies a
+     worker, so queue_wait_ms shows real scheduling pressure *)
+  let uncached =
+    List.concat_map
+      (fun r ->
+        let r' =
+          Printf.sprintf "%s,\"cache\":false}"
+            (String.sub r 0 (String.length r - 1))
+        in
+        [ r'; r' ])
+      requests
+  in
+  let batch, batch_wall = Common.time_it (fun () -> Serve.process t uncached) in
+  let waits = List.map (fun l -> num "queue_wait_ms" (parse l)) batch in
+  let hits, misses =
+    match Json.member "counters" (Serve.metrics_json t) with
+    | Some (Json.Obj kvs) ->
+        let c name =
+          match List.assoc_opt name kvs with
+          | Some (Json.Num x) -> x
+          | _ -> 0.
+        in
+        (c "serve.cache.hit", c "serve.cache.miss")
+    | _ -> (0., 0.)
+  in
+  let hit_rate = hits /. Float.max 1. (hits +. misses) in
+  Common.header [ "request"; "cold_ms"; "warm_ms" ];
+  List.iteri
+    (fun i (c, w) -> Common.row "%d\t%.3f\t%.3f\n" (i + 1) c w)
+    (List.combine cold_ms warm_ms);
+  Common.row "median cold %.3f ms, warm %.3f ms -> %.0fx\n" med_cold med_warm
+    speedup;
+  Common.row "batch of %d uncached on 2 domains: %.1f ms wall, queue wait \
+              p50 %.3f / p90 %.3f / max %.3f ms\n"
+    (List.length uncached) (batch_wall *. 1e3) (percentile 0.5 waits)
+    (percentile 0.9 waits)
+    (List.fold_left Float.max 0. waits);
+  Common.claim "warm (cache hit) at least 5x faster than cold"
+    (speedup >= 5.)
+    (Printf.sprintf "%.0fx (%.3f ms -> %.3f ms)" speedup med_cold med_warm);
+  Common.claim "warm payload bitwise-identical to cold" identical
+    (Printf.sprintf "%d requests compared" (List.length requests));
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [
+            ("cores", Json.Num (float_of_int cores));
+            ("domains", Json.Num 2.);
+            ("requests", Json.Num (float_of_int (List.length requests)));
+            ("cold_ms", Json.Arr (List.map (fun x -> Json.Num x) cold_ms));
+            ("warm_ms", Json.Arr (List.map (fun x -> Json.Num x) warm_ms));
+            ("median_cold_ms", Json.Num med_cold);
+            ("median_warm_ms", Json.Num med_warm);
+            ("warm_speedup", Json.Num speedup);
+            ("warm_bitwise_identical", Json.Bool identical);
+            ("cache_hits", Json.Num hits);
+            ("cache_misses", Json.Num misses);
+            ("cache_hit_rate", Json.Num hit_rate);
+            ( "queue_wait_ms",
+              Json.Obj
+                [
+                  ("p50", Json.Num (percentile 0.5 waits));
+                  ("p90", Json.Num (percentile 0.9 waits));
+                  ("max", Json.Num (List.fold_left Float.max 0. waits));
+                ] );
+            ("batch_size", Json.Num (float_of_int (List.length uncached)));
+            ("batch_wall_ms", Json.Num (batch_wall *. 1e3));
+          ]));
+  close_out oc;
+  print_endline "wrote BENCH_serve.json"

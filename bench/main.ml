@@ -4,7 +4,7 @@
    Usage: main.exe [--dump DIR] [--jobs N] [experiment ...]
    with experiments among fig1 fig2 fig3 fig4 fig5 fig6 fig7 tune kolm
    conv template hier certified ablation perf runtime obs expr lint batch
-   cert; no argument
+   cert serve; no argument
    runs everything.  --jobs N (or UMF_JOBS) runs the parallel-aware
    experiments on N worker domains (0 = one per core); results are
    bit-identical for any N. *)
@@ -35,6 +35,7 @@ let experiments =
     ("lint", Exp_lint.run);
     ("batch", Exp_batch.run);
     ("cert", Exp_cert.run);
+    ("serve", Exp_serve.run);
   ]
 
 let () =

@@ -74,6 +74,24 @@ let parse_scenario = function
       | _ -> Error (`Msg "pw:<k> needs a positive integer"))
   | s -> Error (`Msg (Printf.sprintf "unknown scenario %s" s))
 
+(* --epsilon and --dt are rival tolerance contracts (certified-error
+   target vs raw step); accepting both silently meant --dt was ignored
+   on one command and half-honoured on another.  The combination is a
+   hard command-line error (exit code 124, like any other usage
+   error), and the message names the surviving flag. *)
+let epsilon_dt_conflict epsilon_arg dt_arg =
+  let check epsilon dt =
+    match (epsilon, dt) with
+    | Some _, Some _ ->
+        Error
+          (`Msg
+            "--epsilon and --dt cannot be combined: --epsilon (the target \
+             certified error) is the winner and --dt is deprecated; drop \
+             --dt")
+    | _ -> Ok (epsilon, dt)
+  in
+  Term.(term_result (const check $ epsilon_arg $ dt_arg))
+
 (* common args *)
 let model_arg =
   Arg.(
@@ -183,14 +201,13 @@ let with_obs ~trace ~metrics f =
     match trace with
     | None -> run None
     | Some file ->
-        let oc = open_out file in
+        (* the sink owns the channel: close flushes the tail even when
+           the run raises, so killed-mid-run traces stay complete up to
+           the last emitted event *)
+        let tr = Obs.Trace.to_file file in
         Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () ->
-            let tr = Obs.Trace.to_channel oc in
-            let r = run (Some tr) in
-            Obs.Trace.flush tr;
-            r)
+          ~finally:(fun () -> Obs.Trace.close tr)
+          (fun () -> run (Some tr))
   in
   if metrics then print_metrics agg;
   check_converged agg
@@ -279,7 +296,7 @@ let bounds_cmd =
             "Deprecated: raw integrator step for the uncertain sweep.  \
              Pass $(b,--epsilon) (a target certified error) instead.")
   in
-  let run m var scenario horizon points steps epsilon dt jobs trace metrics =
+  let run m var scenario horizon points steps (epsilon, dt) jobs trace metrics =
     exit_of_result
       (let ( let* ) = Result.bind in
        let* coord = var_index m var in
@@ -369,8 +386,9 @@ let bounds_cmd =
   Cmd.v (Cmd.info "bounds" ~doc)
     Term.(
       const run $ model_arg $ var_arg $ scenario_arg $ horizon_arg 4.
-      $ points_arg $ steps_arg $ epsilon_arg $ dt_arg $ jobs_arg $ trace_arg
-      $ metrics_arg)
+      $ points_arg $ steps_arg
+      $ epsilon_dt_conflict epsilon_arg dt_arg
+      $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* hull command *)
 let hull_cmd =
@@ -662,7 +680,7 @@ let ctmc_cmd =
     | "hi" -> Ok ((Model.theta m).Optim.Box.hi)
     | s -> Error (`Msg (Printf.sprintf "unknown theta point %s" s))
   in
-  let run mode m n var theta scenario grid horizon points epsilon dt above
+  let run mode m n var theta scenario grid horizon points (epsilon, dt) above
       below max_states truncation jobs trace metrics =
     exit_of_result
       (let ( let* ) = Result.bind in
@@ -852,8 +870,9 @@ let ctmc_cmd =
   Cmd.v (Cmd.info "ctmc" ~doc)
     Term.(
       const run $ mode_arg $ model_arg $ n_arg $ var_arg $ theta_arg
-      $ scenario_arg $ grid_arg $ horizon_arg 10. $ points_arg $ epsilon_arg
-      $ dt_arg $ above_arg $ below_arg $ max_states_arg $ truncation_arg
+      $ scenario_arg $ grid_arg $ horizon_arg 10. $ points_arg
+      $ epsilon_dt_conflict epsilon_arg dt_arg
+      $ above_arg $ below_arg $ max_states_arg $ truncation_arg
       $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* lint command *)

@@ -1,0 +1,115 @@
+(* Long-running NDJSON analysis daemon front end.
+
+     umf_serve                         # serve stdin/stdout until EOF
+     umf_serve --socket /tmp/umf.sock  # unix-domain socket accept loop
+     umf_serve --jobs 4 --deadline-ms 5000 --trace /tmp/serve-trace.ndjson
+
+   One JSON request object per line in, one response line out (see the
+   Umf.Codec docs for the schema).  Example session over stdio:
+
+     $ printf '%s\n%s\n' \
+         '{"id":1,"op":"bounds","model":"sir","coord":1,"horizon":4}' \
+         '{"id":2,"op":"metrics"}' | umf_serve
+     {"id":1,"ok":true,"cached":false,...,"result":{...},"cert":{...}}
+     {"id":2,"ok":true,...,"result":{"uptime_s":...,...},...}
+
+   Requests pipelined into one read are scheduled as one batch over the
+   shared worker pool; repeated requests are answered from the
+   exact-match result cache bitwise-identically to the cold run. *)
+open Umf
+open Cmdliner
+
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ]
+        ~env:(Cmd.Env.info "UMF_JOBS")
+        ~docv:"JOBS"
+        ~doc:
+          "Worker domains for the request pool: 0 (default) picks one per \
+           core, $(docv) uses that many.  Results are bit-identical for \
+           any value.")
+
+let cache_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:
+          "Exact-match results memoised (content-addressed by model, \
+           scenario, $(b,theta)-box, horizon and tolerances); 0 disables \
+           the cache.  Hits re-emit the cold run's payload bytes.")
+
+let queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-limit" ] ~docv:"N"
+        ~doc:
+          "Analysis requests admitted per batch; the excess is refused \
+           with an `overloaded' error instead of growing a backlog.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Default per-request deadline.  An expired request unwinds at \
+           the next solver probe and answers with a structured \
+           `deadline_exceeded' error carrying its partial error ledger; \
+           requests may override with their own \"deadline_ms\" field.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Stream solver and pool events to $(docv) as NDJSON (flushed at \
+           least every 0.5 s).")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Listen on a unix-domain socket at $(docv) (clients accepted \
+           sequentially) instead of serving stdin/stdout.")
+
+let run jobs cache_capacity queue_limit deadline trace socket =
+  try
+    let trace_sink =
+      Option.map (Obs.Trace.to_file ~flush_interval:0.5) trace
+    in
+    let obs =
+      match trace_sink with
+      | None -> Obs.off
+      | Some tr -> Obs.make ~trace:tr ()
+    in
+    let cfg =
+      Serve.config
+        ?domains:(if jobs = 0 then None else Some jobs)
+        ~cache_capacity ~queue_limit ?default_deadline_ms:deadline ~obs ()
+    in
+    let t = Serve.create cfg in
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.shutdown t;
+        Option.iter Obs.Trace.close trace_sink)
+      (fun () ->
+        match socket with
+        | None -> Serve.serve_stdio t
+        | Some path -> Serve.serve_socket t path);
+    Ok ()
+  with Invalid_argument m | Failure m -> Error (`Msg m)
+
+let () =
+  let doc = "long-running NDJSON analysis daemon over the umf spec API" in
+  let info = Cmd.info "umf_serve" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(
+            term_result
+              (const run $ jobs_arg $ cache_arg $ queue_arg $ deadline_arg
+             $ trace_arg $ socket_arg))))

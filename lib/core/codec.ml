@@ -1,0 +1,421 @@
+(* NDJSON request/response codec over Analysis.spec: the wire protocol
+   of the umf_serve daemon lives here, next to the spec API it encodes,
+   so the daemon itself only schedules.  One JSON object per line in
+   both directions; requests name a registry model plus spec overrides,
+   responses carry the result payload and its Cert ledger. *)
+
+module Json = Umf_obs.Obs.Json
+module Vec = Umf_numerics.Vec
+module Interval = Umf_numerics.Interval
+module Cert = Umf_numerics.Cert
+module Optim = Umf_numerics.Optim
+module Expr = Umf_numerics.Expr
+module Model = Umf_meanfield.Model
+module Registry = Umf_models.Registry
+module Hull = Umf_diffinc.Hull
+
+exception Bad_request of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_request s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* requests                                                           *)
+
+type op =
+  | Bounds of { x0 : Vec.t option; coord : int; times : float array option }
+  | Hull_bounds of { x0 : Vec.t option }
+  | Steady of { x_start : Vec.t option }
+  | First_passage of {
+      n : int;
+      coord : int;
+      level : float;
+      epsilon : float option;
+      max_states : int option;
+      times : float array option;
+    }
+
+type request = {
+  id : Json.t;
+  model : string;
+  scenario : Analysis.scenario;
+  theta : Optim.Box.t option;
+  horizon : float option;
+  steps : int option;
+  dt : float option;
+  tol : float option;
+  op : op;
+  deadline_ms : float option;
+  cache : bool;
+}
+
+type parsed =
+  | Analyze of request
+  | Ping of Json.t
+  | Metrics of Json.t
+  | Models of Json.t
+
+let op_name = function
+  | Bounds _ -> "bounds"
+  | Hull_bounds _ -> "hull"
+  | Steady _ -> "steady"
+  | First_passage _ -> "first_passage"
+
+(* field accessors: absent and JSON null are both "not given" *)
+let field name j =
+  match Json.member name j with Some Json.Null -> None | v -> v
+
+let opt_num name j =
+  match field name j with
+  | None -> None
+  | Some (Json.Num f) -> Some f
+  | Some _ -> bad "field %S must be a number" name
+
+let opt_int name j =
+  match opt_num name j with
+  | None -> None
+  | Some f ->
+      if Float.is_integer f then Some (int_of_float f)
+      else bad "field %S must be an integer" name
+
+let req_int name j =
+  match opt_int name j with
+  | Some i -> i
+  | None -> bad "missing required integer field %S" name
+
+let req_num name j =
+  match opt_num name j with
+  | Some f -> f
+  | None -> bad "missing required number field %S" name
+
+let num_list name = function
+  | Json.Arr l ->
+      Array.of_list
+        (List.map
+           (function
+             | Json.Num f -> f | _ -> bad "field %S must hold numbers" name)
+           l)
+  | _ -> bad "field %S must be an array" name
+
+let opt_vec name j =
+  match field name j with None -> None | Some v -> Some (num_list name v)
+
+let opt_bool ~default name j =
+  match field name j with
+  | None -> default
+  | Some (Json.Bool b) -> b
+  | Some _ -> bad "field %S must be a boolean" name
+
+let scenario_of_json j =
+  match field "scenario" j with
+  | None -> Analysis.Imprecise
+  | Some (Json.Str "imprecise") -> Analysis.Imprecise
+  | Some (Json.Str s) ->
+      bad "unknown scenario %S (want \"imprecise\" or {\"uncertain\":GRID})" s
+  | Some (Json.Obj _ as o) -> (
+      match Json.member "uncertain" o with
+      | Some (Json.Num g) when Float.is_integer g ->
+          Analysis.Uncertain (int_of_float g)
+      | _ -> bad "scenario object must be {\"uncertain\":GRID}")
+  | Some _ -> bad "field \"scenario\" must be a string or an object"
+
+let theta_of_json j =
+  match field "theta" j with
+  | None -> None
+  | Some (Json.Arr rows) ->
+      let iv = function
+        | Json.Arr [ Json.Num lo; Json.Num hi ] -> (
+            try Interval.make lo hi
+            with Invalid_argument m -> bad "bad theta interval: %s" m)
+        | _ -> bad "field \"theta\" must be an array of [lo, hi] pairs"
+      in
+      if rows = [] then bad "field \"theta\" must not be empty";
+      Some (Optim.Box.of_intervals (List.map iv rows))
+  | Some _ -> bad "field \"theta\" must be an array of [lo, hi] pairs"
+
+let op_of_json j =
+  match field "op" j with
+  | Some (Json.Str "bounds") ->
+      `Analysis
+        (Bounds
+           {
+             x0 = opt_vec "x0" j;
+             coord = (match opt_int "coord" j with Some c -> c | None -> 0);
+             times = opt_vec "times" j;
+           })
+  | Some (Json.Str "hull") -> `Analysis (Hull_bounds { x0 = opt_vec "x0" j })
+  | Some (Json.Str "steady") ->
+      `Analysis (Steady { x_start = opt_vec "x_start" j })
+  | Some (Json.Str "first_passage") ->
+      `Analysis
+        (First_passage
+           {
+             n = req_int "n" j;
+             coord = req_int "coord" j;
+             level = req_num "level" j;
+             epsilon = opt_num "epsilon" j;
+             max_states = opt_int "max_states" j;
+             times = opt_vec "times" j;
+           })
+  | Some (Json.Str "ping") -> `Ping
+  | Some (Json.Str "metrics") -> `Metrics
+  | Some (Json.Str "models") -> `Models
+  | Some (Json.Str s) -> bad "unknown op %S" s
+  | Some _ -> bad "field \"op\" must be a string"
+  | None -> bad "missing required field \"op\""
+
+let request_id j =
+  match Json.member "id" j with Some id -> id | None -> Json.Null
+
+let of_line line =
+  let j =
+    try Ok (Json.of_string line)
+    with Failure m -> Error (Json.Null, "malformed JSON: " ^ m)
+  in
+  match j with
+  | Error _ as e -> e
+  | Ok j -> (
+      let id = request_id j in
+      try
+        match op_of_json j with
+        | `Ping -> Ok (Ping id)
+        | `Metrics -> Ok (Metrics id)
+        | `Models -> Ok (Models id)
+        | `Analysis op ->
+            let model =
+              match field "model" j with
+              | Some (Json.Str m) -> m
+              | Some _ -> bad "field \"model\" must be a string"
+              | None -> bad "missing required field \"model\""
+            in
+            Ok
+              (Analyze
+                 {
+                   id;
+                   model;
+                   scenario = scenario_of_json j;
+                   theta = theta_of_json j;
+                   horizon = opt_num "horizon" j;
+                   steps = opt_int "steps" j;
+                   dt = opt_num "dt" j;
+                   tol = opt_num "tol" j;
+                   op;
+                   deadline_ms = opt_num "deadline_ms" j;
+                   cache = opt_bool ~default:true "cache" j;
+                 })
+      with Bad_request m -> Error (id, m))
+
+let spec_of_request ?(resolve = Registry.find) ?pool ?obs req =
+  match resolve req.model with
+  | Error (`Msg m) -> bad "%s" m
+  | Ok model -> (
+      try
+        Analysis.spec ~scenario:req.scenario ?theta:req.theta
+          ?horizon:req.horizon ?steps:req.steps ?dt:req.dt ?tol:req.tol ?pool
+          ?obs model
+      with Invalid_argument m -> bad "%s" m)
+
+(* ------------------------------------------------------------------ *)
+(* content fingerprints                                               *)
+
+let pf = Printf.bprintf
+
+let add_float b f = pf b "%.17g;" f
+
+let add_vec b v = Array.iter (add_float b) v
+
+let add_box b (box : Optim.Box.t) =
+  add_vec b box.Optim.Box.lo;
+  add_vec b box.Optim.Box.hi
+
+let add_opt b add = function None -> pf b "-;" | Some v -> add b v
+
+(* everything the numeric answer depends on: the model's full content
+   (not just its registry name — a recompiled registry could rebind a
+   name), the effective spec after defaulting, and the op with its
+   parameters.  Deliberately excluded: request id, deadline, cache
+   flag, pool and obs — none of them may change a single output bit. *)
+let fingerprint (s : Analysis.spec) op =
+  let b = Buffer.create 1024 in
+  let m = s.Analysis.model in
+  pf b "model:%s;" (Model.name m);
+  Array.iter (pf b "%s;") (Model.var_names m);
+  Array.iter (pf b "%s;") (Model.theta_names m);
+  add_vec b (Model.x0 m);
+  add_box b (Model.clip m);
+  add_box b (Model.theta m);
+  List.iter
+    (fun (tr : Model.transition) ->
+      pf b "tr:%s;" tr.Model.name;
+      add_vec b tr.Model.change;
+      pf b "%s;" (Expr.to_string tr.Model.rate))
+    (Model.transitions m);
+  (match s.Analysis.scenario with
+  | Analysis.Imprecise -> pf b "sc:imprecise;"
+  | Analysis.Uncertain g -> pf b "sc:uncertain:%d;" g);
+  add_opt b add_box s.Analysis.theta;
+  add_float b s.Analysis.horizon;
+  pf b "%d;" s.Analysis.steps;
+  add_float b s.Analysis.dt;
+  add_float b s.Analysis.tol;
+  (match op with
+  | Bounds { x0; coord; times } ->
+      pf b "op:bounds:%d;" coord;
+      add_opt b add_vec x0;
+      add_opt b add_vec times
+  | Hull_bounds { x0 } ->
+      pf b "op:hull;";
+      add_opt b add_vec x0
+  | Steady { x_start } ->
+      pf b "op:steady;";
+      add_opt b add_vec x_start
+  | First_passage { n; coord; level; epsilon; max_states; times } ->
+      pf b "op:first_passage:%d:%d;" n coord;
+      add_float b level;
+      add_opt b add_float epsilon;
+      add_opt b (fun b i -> pf b "%d;" i) max_states;
+      add_opt b add_vec times);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ------------------------------------------------------------------ *)
+(* evaluation                                                         *)
+
+let vec_json v = Json.Arr (Array.to_list (Array.map (fun f -> Json.Num f) v))
+
+let mat_json rows = Json.Arr (Array.to_list (Array.map vec_json rows))
+
+let json_of_cert (c : Cert.t) =
+  Json.Obj
+    [
+      ("lo", Json.Num c.Cert.value.Interval.lo);
+      ("hi", Json.Num c.Cert.value.Interval.hi);
+      ("vacuous", Json.Bool (Cert.is_vacuous c));
+      ( "budget",
+        Json.Obj
+          [
+            ("discretisation", Json.Num c.Cert.budget.Cert.discretisation);
+            ("truncation", Json.Num c.Cert.budget.Cert.truncation);
+            ("rounding", Json.Num c.Cert.budget.Cert.rounding);
+            ("optimiser", Json.Num c.Cert.budget.Cert.optimiser);
+          ] );
+    ]
+
+let x0_of spec = function
+  | None -> Model.x0 spec.Analysis.model
+  | Some v ->
+      if Array.length v <> Model.dim spec.Analysis.model then
+        bad "x0 has dimension %d, model %S has %d" (Array.length v)
+          (Model.name spec.Analysis.model)
+          (Model.dim spec.Analysis.model);
+      v
+
+let check_coord spec coord =
+  if coord < 0 || coord >= Model.dim spec.Analysis.model then
+    bad "coord %d out of range for model %S (dim %d)" coord
+      (Model.name spec.Analysis.model)
+      (Model.dim spec.Analysis.model)
+
+(* Run one analysis op under the spec.  Every payload comes back with
+   a top-level certificate: the result's own ledger where the analysis
+   produces one, a synthesised one (join over coordinates for hulls,
+   optimiser-tolerance widening for steady-state areas) otherwise. *)
+let eval spec op =
+  try
+    match op with
+    | Bounds { x0; coord; times } ->
+        check_coord spec coord;
+        let x0 = x0_of spec x0 in
+        let b = Analysis.transient_bounds ?times spec ~x0 ~coord in
+        ( Json.Obj
+            [
+              ("coord", Json.Num (float_of_int b.Analysis.coord));
+              ("times", vec_json b.Analysis.times);
+              ("lower", vec_json b.Analysis.lower);
+              ("upper", vec_json b.Analysis.upper);
+            ],
+          b.Analysis.cert )
+    | Hull_bounds { x0 } ->
+        let x0 = x0_of spec x0 in
+        let traj = Analysis.hull_bounds spec ~x0 in
+        let certs = Hull.final_certs traj in
+        let cert =
+          Array.fold_left Cert.join certs.(0)
+            (Array.sub certs 1 (Array.length certs - 1))
+        in
+        ( Json.Obj
+            [
+              ("times", vec_json traj.Hull.times);
+              ("lower", mat_json traj.Hull.lower);
+              ("upper", mat_json traj.Hull.upper);
+              ( "final_certs",
+                Json.Arr (Array.to_list (Array.map json_of_cert certs)) );
+            ],
+          cert )
+    | Steady { x_start } ->
+        let r = Analysis.steady_state_region_2d ?x_start spec in
+        let poly =
+          List.map
+            (fun (x, y) -> Json.Arr [ Json.Num x; Json.Num y ])
+            r.Analysis.birkhoff.Umf_diffinc.Birkhoff.polygon
+        in
+        ( Json.Obj
+            [
+              ("area", Json.Num r.Analysis.area);
+              ("converged", Json.Bool r.Analysis.converged);
+              ( "iterations",
+                Json.Num
+                  (float_of_int
+                     r.Analysis.birkhoff.Umf_diffinc.Birkhoff.iterations) );
+              ("polygon", Json.Arr poly);
+            ],
+          (* the expansion's fixpoint slack is the only budget line a
+             polygon area carries *)
+          Cert.widen ~optimiser:spec.Analysis.tol
+            (Cert.exact r.Analysis.area) )
+    | First_passage { n; coord; level; epsilon; max_states; times } ->
+        check_coord spec coord;
+        let target x = x.(coord) >= level in
+        let fp =
+          Analysis.first_passage ?times ?epsilon ?max_states spec ~n ~target
+        in
+        ( Json.Obj
+            [
+              ("n", Json.Num (float_of_int fp.Analysis.n));
+              ("states", Json.Num (float_of_int fp.Analysis.states));
+              ("times", vec_json fp.Analysis.times);
+              ("hit_lower", vec_json fp.Analysis.hit_lower);
+              ("hit_upper", vec_json fp.Analysis.hit_upper);
+              ("mfpt_lower", Json.Num fp.Analysis.mfpt_lower);
+              ("mfpt_upper", Json.Num fp.Analysis.mfpt_upper);
+            ],
+          fp.Analysis.cert )
+  with Invalid_argument m -> bad "%s" m
+
+(* ------------------------------------------------------------------ *)
+(* responses                                                          *)
+
+(* milliseconds rounded to microsecond precision: stable short JSON *)
+let ms x = Json.Num (Float.round (x *. 1e3) /. 1e3)
+
+let ok_response ~id ~cached ~wall_ms ~queue_wait_ms ~result ~cert =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id);
+         ("ok", Json.Bool true);
+         ("cached", Json.Bool cached);
+         ("wall_ms", ms wall_ms);
+         ("queue_wait_ms", ms queue_wait_ms);
+         ("result", result);
+         ("cert", cert);
+       ])
+
+let error_response ?cert ~id ~kind msg =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("id", id);
+          ("ok", Json.Bool false);
+          ( "error",
+            Json.Obj [ ("kind", Json.Str kind); ("message", Json.Str msg) ] );
+        ]
+       @ match cert with None -> [] | Some c -> [ ("cert", c) ]))

@@ -1,0 +1,146 @@
+(** NDJSON request/response codec over {!Analysis.spec}.
+
+    The wire protocol of the [umf_serve] daemon: one JSON object per
+    line in both directions.  This module owns everything about the
+    protocol that is independent of scheduling — parsing request
+    lines, content-fingerprinting a (spec, op) pair for the compiled
+    result cache, evaluating an op against a spec, and rendering
+    responses — so the daemon itself is pure orchestration and the
+    protocol can be tested without a running server.
+
+    {b Request schema} (fields beyond these are ignored):
+    {v
+{"op":"bounds","model":"sir","coord":1,
+ "scenario":{"uncertain":5},          // default "imprecise"
+ "theta":[[0.5,1.5],[0.3,0.7]],       // default: the model's box
+ "horizon":10,"steps":400,"dt":0.01,"tol":1e-4,   // spec defaults
+ "x0":[0.9,0.1],"times":[0,1,2],      // op-specific, optional
+ "id":42,                             // echoed verbatim
+ "deadline_ms":5000,                  // optional per-request deadline
+ "cache":true}                        // default true
+    v}
+    Ops: ["bounds"] (coord, x0?, times?), ["hull"] (x0?), ["steady"]
+    (x_start?), ["first_passage"] (n, coord, level, epsilon?,
+    max_states?, times?), plus the service ops ["ping"], ["metrics"],
+    ["models"] which take no model.
+
+    {b Response schema}: [{"id":…,"ok":true,"cached":…,"wall_ms":…,
+    "queue_wait_ms":…,"result":{…},"cert":{…}}] on success, and
+    [{"id":…,"ok":false,"error":{"kind":…,"message":…},"cert":{…}?}]
+    on failure.  Every successful analysis response carries its
+    {!Umf_numerics.Cert} ledger; deadline errors carry the partial
+    ledger observed before expiry.  Non-finite numbers render as JSON
+    [null] (the {!Umf_obs.Obs.Json} printer's convention). *)
+
+exception Bad_request of string
+(** Raised by parsers, {!spec_of_request} and {!eval} on malformed or
+    semantically invalid requests (unknown model, coord out of range,
+    non-positive horizon, …).  The daemon maps it to a ["bad_request"]
+    error response. *)
+
+(** An analysis operation with its op-specific parameters ([None]s
+    take the {!Analysis} defaults). *)
+type op =
+  | Bounds of {
+      x0 : Umf_numerics.Vec.t option;
+      coord : int;
+      times : float array option;
+    }
+  | Hull_bounds of { x0 : Umf_numerics.Vec.t option }
+  | Steady of { x_start : Umf_numerics.Vec.t option }
+  | First_passage of {
+      n : int;
+      coord : int;
+      level : float;  (** Target set: states with [x.(coord) >= level]. *)
+      epsilon : float option;
+      max_states : int option;
+      times : float array option;
+    }
+
+type request = {
+  id : Umf_obs.Obs.Json.t;  (** Echoed verbatim; [Null] when absent. *)
+  model : string;  (** {!Umf_models.Registry} name. *)
+  scenario : Analysis.scenario;
+  theta : Umf_numerics.Optim.Box.t option;
+  horizon : float option;
+  steps : int option;
+  dt : float option;
+  tol : float option;
+  op : op;
+  deadline_ms : float option;
+      (** Per-request deadline; expiry yields a structured error, not
+          a dropped connection. *)
+  cache : bool;  (** Whether the exact-match result cache may serve it. *)
+}
+
+(** One parsed request line: an analysis request or a service op (the
+    payload is the echoed request id). *)
+type parsed =
+  | Analyze of request
+  | Ping of Umf_obs.Obs.Json.t
+  | Metrics of Umf_obs.Obs.Json.t
+  | Models of Umf_obs.Obs.Json.t
+
+val op_name : op -> string
+(** The wire name ("bounds", "hull", …) — the per-endpoint metrics
+    key. *)
+
+val of_line : string -> (parsed, Umf_obs.Obs.Json.t * string) result
+(** Parse one NDJSON request line.  [Error (id, msg)] carries the
+    request id when one was readable, so even a malformed request gets
+    a correlatable error response. *)
+
+val spec_of_request :
+  ?resolve:(string -> (Umf_meanfield.Model.t, [ `Msg of string ]) result) ->
+  ?pool:Umf_runtime.Runtime.Pool.t ->
+  ?obs:Umf_obs.Obs.t ->
+  request ->
+  Analysis.spec
+(** Resolve the model and build the effective spec (defaults applied).
+    [resolve] (default {!Umf_models.Registry.find}) is how the daemon
+    injects its compiled-model cache; [pool] and [obs] are the
+    daemon's, not the wire's.
+    @raise Bad_request on unknown models or invalid spec parameters. *)
+
+val fingerprint : Analysis.spec -> op -> string
+(** Content hash (hex) of everything the numeric answer depends on:
+    the model's full content (transitions, rates, boxes — not just its
+    name), the effective scenario/θ-box/horizon/steps/dt/tol, and the
+    op with its parameters.  Excludes id, deadline, cache flag, pool
+    and obs, none of which may change an output bit — so equal
+    fingerprints may share a cached result bitwise. *)
+
+val eval : Analysis.spec -> op -> Umf_obs.Obs.Json.t * Umf_numerics.Cert.t
+(** Run one op under a spec: the result payload and its certificate
+    (the result's own ledger where the analysis produces one; a
+    synthesised one — per-coordinate {!Umf_numerics.Cert.join} for
+    hulls, optimiser-tolerance widening for steady-state areas —
+    otherwise).  @raise Bad_request on op/spec mismatches (coord or
+    x0 dimension out of range). *)
+
+val json_of_cert : Umf_numerics.Cert.t -> Umf_obs.Obs.Json.t
+(** [{"lo":…,"hi":…,"vacuous":…,"budget":{…}}] with all four budget
+    lines always present. *)
+
+val ok_response :
+  id:Umf_obs.Obs.Json.t ->
+  cached:bool ->
+  wall_ms:float ->
+  queue_wait_ms:float ->
+  result:Umf_obs.Obs.Json.t ->
+  cert:Umf_obs.Obs.Json.t ->
+  string
+(** Render a success line (no trailing newline).  [result]/[cert] are
+    pre-rendered JSON values so a cache hit re-emits the {e identical}
+    payload bytes; timings are rounded to microsecond precision. *)
+
+val error_response :
+  ?cert:Umf_obs.Obs.Json.t ->
+  id:Umf_obs.Obs.Json.t ->
+  kind:string ->
+  string ->
+  string
+(** Render an error line.  [kind] is one of ["bad_request"],
+    ["deadline_exceeded"], ["overloaded"], ["internal"]; [cert]
+    attaches a (possibly partial or vacuous) ledger when one was
+    recovered. *)

@@ -17,14 +17,22 @@ module Agg = struct
     spans : (string, span_acc) Hashtbl.t;
     cnts : (string, float ref) Hashtbl.t;
     ggs : (string, gauge_acc) Hashtbl.t;
+    parent : t option;
+        (* long-lived registry gauges propagate to: lets a service keep
+           lifetime gauge envelopes (queue depth, cache size) while the
+           child registry is an ephemeral per-request overlay that is
+           discarded after each reply.  Only gauges climb — spans and
+           counters stay local, so a parent that also records its own
+           per-endpoint spans never double-counts totals. *)
   }
 
-  let create () =
+  let create ?parent () =
     {
       lock = Mutex.create ();
       spans = Hashtbl.create 16;
       cnts = Hashtbl.create 16;
       ggs = Hashtbl.create 16;
+      parent;
     }
 
   let reset t =
@@ -51,7 +59,7 @@ module Agg = struct
     | None -> Hashtbl.add t.cnts name (ref v));
     Mutex.unlock t.lock
 
-  let record_gauge t name v =
+  let rec record_gauge t name v =
     Mutex.lock t.lock;
     (match Hashtbl.find_opt t.ggs name with
     | Some a ->
@@ -61,7 +69,9 @@ module Agg = struct
         a.samples <- a.samples + 1
     | None ->
         Hashtbl.add t.ggs name { last = v; g_min = v; g_max = v; samples = 1 });
-    Mutex.unlock t.lock
+    Mutex.unlock t.lock;
+    (* outside t.lock: parent chains never hold two locks at once *)
+    match t.parent with None -> () | Some p -> record_gauge p name v
 
   let sorted rows = List.sort (fun (a, _) (b, _) -> compare a b) rows
 
@@ -353,21 +363,70 @@ module Json = struct
 end
 
 module Trace = struct
-  type t = { oc : out_channel; lock : Mutex.t }
+  (* A long-running process (the serve daemon in particular) dies by
+     signal, not by orderly return — an event sitting in the channel
+     buffer at that moment is exactly the tail a post-mortem needs.  So
+     the sink flushes after every record by default; [flush_interval]
+     trades that durability for throughput by flushing on a bounded
+     wall-clock interval instead (plus always on [close]). *)
+  type t = {
+    oc : out_channel;
+    lock : Mutex.t;
+    owned : bool;  (* [close] closes the channel only if we opened it *)
+    flush_interval : float;
+    mutable last_flush : float;
+    mutable closed : bool;
+  }
 
-  let to_channel oc = { oc; lock = Mutex.create () }
+  let make ?(flush_interval = 0.) ~owned oc =
+    if not (flush_interval >= 0.) then
+      invalid_arg "Obs.Trace: flush_interval must be >= 0";
+    {
+      oc;
+      lock = Mutex.create ();
+      owned;
+      flush_interval;
+      last_flush = Unix.gettimeofday ();
+      closed = false;
+    }
+
+  let to_channel ?flush_interval oc = make ?flush_interval ~owned:false oc
+
+  let to_file ?flush_interval path =
+    make ?flush_interval ~owned:true (open_out path)
 
   let emit t json =
     let line = Json.to_string json in
     Mutex.lock t.lock;
-    output_string t.oc line;
-    output_char t.oc '\n';
-    flush t.oc;
+    if not t.closed then begin
+      output_string t.oc line;
+      output_char t.oc '\n';
+      if t.flush_interval <= 0. then flush t.oc
+      else begin
+        let now = Unix.gettimeofday () in
+        if now -. t.last_flush >= t.flush_interval then begin
+          flush t.oc;
+          t.last_flush <- now
+        end
+      end
+    end;
     Mutex.unlock t.lock
 
   let flush t =
     Mutex.lock t.lock;
-    flush t.oc;
+    if not t.closed then begin
+      flush t.oc;
+      t.last_flush <- Unix.gettimeofday ()
+    end;
+    Mutex.unlock t.lock
+
+  let close t =
+    Mutex.lock t.lock;
+    if not t.closed then begin
+      t.closed <- true;
+      (try Stdlib.flush t.oc with Sys_error _ -> ());
+      if t.owned then try close_out t.oc with Sys_error _ -> ()
+    end;
     Mutex.unlock t.lock
 end
 
@@ -405,6 +464,9 @@ let with_agg t agg =
   match t with
   | Off -> On { aggs = [ agg ]; traces = []; clock = default_clock }
   | On c -> On { c with aggs = agg :: c.aggs }
+
+let with_clock t clock =
+  match t with Off -> Off | On c -> On { c with clock }
 
 let enabled = function Off -> false | On _ -> true
 

@@ -40,9 +40,19 @@ module Agg : sig
     samples : int;
   }
 
-  val create : unit -> t
+  val create : ?parent:t -> unit -> t
+  (** [parent] (default none) is a long-lived registry this one feeds
+      its {e gauges} into: every [record_gauge] also updates the parent
+      (recursively up the chain), while spans and counters stay local.
+      This is how a service keeps lifetime gauge envelopes — queue
+      depth, cache size, per-result error-ledger lines — across
+      ephemeral per-request overlays ({!with_agg}) without
+      double-counting span totals: the parent accumulates its own
+      endpoint spans exactly once, and discarded request registries
+      leave their gauges behind.  Parent chains must be acyclic. *)
 
   val reset : t -> unit
+  (** Clears this registry's rows (never the parent's). *)
 
   val span_stats : t -> (string * span_stat) list
   (** All span rows, sorted by name. *)
@@ -99,11 +109,25 @@ end
 module Trace : sig
   type t
 
-  val to_channel : out_channel -> t
-  (** Events are written (and flushed per line) to the channel; the
-      caller keeps ownership and closes it. *)
+  val to_channel : ?flush_interval:float -> out_channel -> t
+  (** Events are written to the channel; the caller keeps ownership of
+      the channel (see {!close}).  [flush_interval] bounds how stale
+      the channel buffer may get: [0.] (the default) flushes after
+      every record — a killed process loses at most the event being
+      written — while a positive interval flushes at most every that
+      many wall-clock seconds (long-running daemons streaming many
+      events).  @raise Invalid_argument on a negative interval. *)
+
+  val to_file : ?flush_interval:float -> string -> t
+  (** Like {!to_channel} over a fresh file, except the sink owns the
+      channel: {!close} closes it.  Pair with [Fun.protect] so the
+      tail of a trace survives exceptions. *)
 
   val flush : t -> unit
+
+  val close : t -> unit
+  (** Flush, then close the channel if the sink owns it ({!to_file}).
+      Idempotent; events emitted after [close] are dropped. *)
 end
 
 type t
@@ -125,7 +149,16 @@ val with_agg : t -> Agg.t -> t
 (** [with_agg t agg] observes everything [t] observes and additionally
     feeds [agg] — how {!Umf.Analysis} collects a per-call metrics
     summary on top of the caller's sinks.  Enabled even when [t] is
-    {!off}. *)
+    {!off}.  Give [agg] a long-lived parent ({!Agg.create}) when
+    gauge envelopes must outlive the overlay. *)
+
+val with_clock : t -> (unit -> float) -> t
+(** [with_clock t clock] is [t] with its clock replaced (a no-op on
+    {!off}).  Beyond fake clocks for tests, this is the deadline hook
+    of a serving layer: a clock that raises once a request's deadline
+    has passed turns every subsequent probe into a cancellation point,
+    so a deadline-exceeded request unwinds out of the solver at the
+    next span boundary instead of wedging its worker. *)
 
 val enabled : t -> bool
 

@@ -202,6 +202,15 @@ module Pool = struct
   let map_list ?stage ?chunk t f xs =
     Array.to_list (parallel_map ?stage ?chunk t f (Array.of_list xs))
 
+  (* serving workloads reuse one pool across many request batches, and
+     there a single poisoned task must yield an error *response*, not
+     abort its whole batch the way [parallel_map]'s first-exception
+     re-raise does — so failures are reified per slot instead *)
+  let map_results ?stage ?chunk t f xs =
+    parallel_map ?stage ?chunk t
+      (fun x -> try Ok (f x) with e -> Error e)
+      xs
+
   let stats_of_row t name (s : Obs.Agg.span_stat) =
     {
       domains = size t;

@@ -80,6 +80,22 @@ module Pool : sig
   val map_list : ?stage:string -> ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
   (** {!parallel_map} over a list, preserving order. *)
 
+  val map_results :
+    ?stage:string ->
+    ?chunk:int ->
+    t ->
+    ('a -> 'b) ->
+    'a array ->
+    ('b, exn) result array
+  (** {!parallel_map} with per-task exception isolation: slot [i] holds
+      [Ok (f xs.(i))], or [Error e] when that task raised [e].  The
+      section itself never re-raises a task exception, which is the
+      contract a long-running service needs when it reuses one pool
+      across request batches — one poisoned request becomes one error
+      slot, and the other requests of the batch still complete.
+      (Structural misuse — nested sections, a shut-down pool — still
+      raises in the caller.) *)
+
   val stats : t -> stats
   (** Counters accumulated since [create]. *)
 

@@ -1,0 +1,480 @@
+(* The umf_serve daemon engine: a long-running NDJSON analysis service
+   over the Codec wire protocol.
+
+   Scheduling model: the input is drained greedily, so one read yields
+   every complete request line the client has pipelined — that set is
+   a batch.  Service ops (ping/metrics/models) and parse errors are
+   answered inline; analysis requests beyond the queue limit get an
+   "overloaded" error; the rest fan out over the shared Runtime.Pool
+   with per-request exception isolation (Pool.map_results), each
+   handler running on a worker with pool = None in its spec (nested
+   sections are rejected by the pool, and the per-request solve is the
+   parallel unit here).  Responses are written back in request order.
+
+   Deadlines: a per-request observation clock raises Deadline_exceeded
+   once the absolute deadline has passed, turning every solver probe
+   (span begin/end) into a cancellation point.  The request unwinds at
+   the next probe, the worker survives, and the response is a
+   structured error carrying the partial Cert ledger recovered from
+   the request's gauge registry.
+
+   Caching: model resolution is memoised (the Model.t carries its
+   compiled Tape.Plan, so every request for the same model reuses one
+   compiled plan), and exact-match results — keyed by the Codec
+   content fingerprint of (effective spec, op) — are memoised as
+   rendered JSON payloads, so a warm response is bitwise-identical to
+   the cold one that seeded it. *)
+
+module Obs = Umf.Obs
+module Json = Umf.Obs.Json
+module Cert = Umf.Cert
+module Interval = Umf.Interval
+module Codec = Umf.Codec
+module Model = Umf.Model
+module Registry = Umf.Registry
+module Pool = Umf.Runtime.Pool
+
+exception Deadline_exceeded
+
+type config = {
+  domains : int option;
+  cache_capacity : int;
+  queue_limit : int;
+  default_deadline_ms : float option;
+  obs : Obs.t;
+}
+
+let config ?domains ?(cache_capacity = 256) ?(queue_limit = 64)
+    ?default_deadline_ms ?(obs = Obs.off) () =
+  (match domains with
+  | Some d when d < 1 -> invalid_arg "Serve.config: need domains >= 1"
+  | _ -> ());
+  if cache_capacity < 0 then
+    invalid_arg "Serve.config: need cache_capacity >= 0";
+  if queue_limit < 1 then invalid_arg "Serve.config: need queue_limit >= 1";
+  (match default_deadline_ms with
+  | Some d when not (d > 0.) ->
+      invalid_arg "Serve.config: need default_deadline_ms > 0"
+  | _ -> ());
+  { domains; cache_capacity; queue_limit; default_deadline_ms; obs }
+
+(* a cached payload: the rendered result/cert JSON values, re-emitted
+   verbatim on a hit so warm bytes equal cold bytes *)
+type cached = { result : Json.t; cert : Json.t }
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  agg : Obs.Agg.t;  (* service-lifetime registry; per-request parents *)
+  lock : Mutex.t;  (* guards the two caches and [fifo] *)
+  models : (string, Model.t) Hashtbl.t;
+  results : (string, cached) Hashtbl.t;
+  fifo : string Queue.t;  (* insertion order, for eviction *)
+  t0 : float;
+}
+
+let create cfg =
+  let agg = Obs.Agg.create () in
+  let pool =
+    Pool.create ~obs:(Obs.with_agg cfg.obs agg) ?domains:cfg.domains ()
+  in
+  {
+    cfg;
+    pool;
+    agg;
+    lock = Mutex.create ();
+    models = Hashtbl.create 16;
+    results = Hashtbl.create 64;
+    fifo = Queue.create ();
+    t0 = Unix.gettimeofday ();
+  }
+
+let metrics_agg t = t.agg
+
+let shutdown t = Pool.shutdown t.pool
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* compiled-model cache: resolve each registry name once, force the
+   drift's evaluation plan, and hand the same Model.t (hence the same
+   compiled tapes) to every subsequent request *)
+let resolve_model t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.models name with
+      | Some m -> Ok m
+      | None -> (
+          match Registry.find name with
+          | Error _ as e -> e
+          | Ok m ->
+              ignore (Model.drift_plan m);
+              Hashtbl.replace t.models name m;
+              Ok m))
+
+let find_cached t fp =
+  locked t (fun () -> Hashtbl.find_opt t.results fp)
+
+let store_cached t fp payload =
+  if t.cfg.cache_capacity > 0 then
+    locked t (fun () ->
+        if not (Hashtbl.mem t.results fp) then begin
+          while Queue.length t.fifo >= t.cfg.cache_capacity do
+            Hashtbl.remove t.results (Queue.pop t.fifo)
+          done;
+          Queue.add fp t.fifo;
+          Hashtbl.replace t.results fp payload
+        end;
+        Obs.Agg.record_gauge t.agg "serve.cache.size"
+          (float_of_int (Hashtbl.length t.results)))
+
+(* ------------------------------------------------------------------ *)
+(* per-request handling (runs on a pool worker)                        *)
+
+let count t name = Obs.Agg.record_counter t.agg name 1.
+
+let endpoint_span t label ~dur =
+  Obs.Agg.record_span t.agg ("serve." ^ label) ~dur;
+  Obs.Agg.record_counter t.agg ("serve." ^ label ^ ".requests") 1.
+
+(* reconstruct what the interrupted solve had already certified: the
+   budget-line maxima of the `<span>.cert.<line>` gauges its partial
+   progress published.  The value interval is vacuous — the answer is
+   unknown — but the ledger tells the client how far the error budget
+   had grown before the deadline hit. *)
+let partial_cert_of_agg agg =
+  let gauges = Obs.Agg.gauges agg in
+  let line suffix =
+    List.fold_left
+      (fun acc (name, (st : Obs.Agg.gauge_stat)) ->
+        if String.ends_with ~suffix:(".cert." ^ suffix) name then
+          Float.max acc st.Obs.Agg.g_max
+        else acc)
+      0. gauges
+  in
+  let sane v = if Float.is_nan v || v < 0. then 0. else v in
+  Cert.of_interval
+    ~budget:
+      (Cert.budget
+         ~discretisation:(sane (line "discretisation"))
+         ~truncation:(sane (line "truncation"))
+         ~rounding:(sane (line "rounding"))
+         ~optimiser:(sane (line "optimiser"))
+         ())
+    (Interval.make Float.neg_infinity Float.infinity)
+
+let handle t ~enqueued (req : Codec.request) =
+  let started = Unix.gettimeofday () in
+  let queue_wait_ms = (started -. enqueued) *. 1000. in
+  Obs.Agg.record_gauge t.agg "serve.queue_wait_ms" queue_wait_ms;
+  let label = Codec.op_name req.Codec.op in
+  let req_agg = Obs.Agg.create ~parent:t.agg () in
+  let deadline_ms =
+    match req.Codec.deadline_ms with
+    | Some _ as d -> d
+    | None -> t.cfg.default_deadline_ms
+  in
+  let obs =
+    let with_req_agg = Obs.with_agg t.cfg.obs req_agg in
+    match deadline_ms with
+    | None -> with_req_agg
+    | Some d ->
+        let deadline = started +. (d /. 1000.) in
+        Obs.with_clock with_req_agg (fun () ->
+            let now = Unix.gettimeofday () in
+            if now > deadline then raise Deadline_exceeded;
+            now -. t.t0)
+  in
+  let finish resp =
+    endpoint_span t label ~dur:(Unix.gettimeofday () -. started);
+    resp
+  in
+  try
+    let spec =
+      Codec.spec_of_request ~resolve:(resolve_model t) ~obs req
+    in
+    let fp = Codec.fingerprint spec req.Codec.op in
+    match if req.Codec.cache then find_cached t fp else None with
+    | Some payload ->
+        count t "serve.cache.hit";
+        finish
+          (Codec.ok_response ~id:req.Codec.id ~cached:true
+             ~wall_ms:((Unix.gettimeofday () -. started) *. 1000.)
+             ~queue_wait_ms ~result:payload.result ~cert:payload.cert)
+    | None ->
+        count t "serve.cache.miss";
+        let result, cert = Codec.eval spec req.Codec.op in
+        let payload = { result; cert = Codec.json_of_cert cert } in
+        if req.Codec.cache then store_cached t fp payload;
+        finish
+          (Codec.ok_response ~id:req.Codec.id ~cached:false
+             ~wall_ms:((Unix.gettimeofday () -. started) *. 1000.)
+             ~queue_wait_ms ~result:payload.result ~cert:payload.cert)
+  with
+  | Codec.Bad_request m ->
+      count t "serve.error.bad_request";
+      finish (Codec.error_response ~id:req.Codec.id ~kind:"bad_request" m)
+  | Deadline_exceeded ->
+      count t "serve.error.deadline_exceeded";
+      finish
+        (Codec.error_response
+           ~cert:(Codec.json_of_cert (partial_cert_of_agg req_agg))
+           ~id:req.Codec.id ~kind:"deadline_exceeded"
+           (Printf.sprintf
+              "deadline of %.0f ms exceeded (partial error ledger attached)"
+              (match deadline_ms with Some d -> d | None -> 0.)))
+  | e ->
+      count t "serve.error.internal";
+      finish
+        (Codec.error_response ~id:req.Codec.id ~kind:"internal"
+           (Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* service ops                                                        *)
+
+let exact_cert = Codec.json_of_cert (Cert.exact 0.)
+
+let span_stat_json (st : Obs.Agg.span_stat) =
+  Json.Obj
+    [
+      ("calls", Json.Num (float_of_int st.Obs.Agg.calls));
+      ("total_s", Json.Num st.Obs.Agg.total);
+      ("max_s", Json.Num st.Obs.Agg.max);
+    ]
+
+let gauge_stat_json (st : Obs.Agg.gauge_stat) =
+  Json.Obj
+    [
+      ("last", Json.Num st.Obs.Agg.last);
+      ("min", Json.Num st.Obs.Agg.g_min);
+      ("max", Json.Num st.Obs.Agg.g_max);
+      ("samples", Json.Num (float_of_int st.Obs.Agg.samples));
+    ]
+
+let metrics_json t =
+  Json.Obj
+    [
+      ("uptime_s", Json.Num (Unix.gettimeofday () -. t.t0));
+      ( "cache_size",
+        Json.Num
+          (float_of_int (locked t (fun () -> Hashtbl.length t.results))) );
+      ( "spans",
+        Json.Obj
+          (List.map
+             (fun (n, st) -> (n, span_stat_json st))
+             (Obs.Agg.span_stats t.agg)) );
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (n, v) -> (n, Json.Num v))
+             (Obs.Agg.counters t.agg)) );
+      ( "gauges",
+        Json.Obj
+          (List.map
+             (fun (n, st) -> (n, gauge_stat_json st))
+             (Obs.Agg.gauges t.agg)) );
+    ]
+
+let service_response t ~id ~label ~started result =
+  let wall_ms = (Unix.gettimeofday () -. started) *. 1000. in
+  endpoint_span t label ~dur:(wall_ms /. 1000.);
+  Codec.ok_response ~id ~cached:false ~wall_ms ~queue_wait_ms:0. ~result
+    ~cert:exact_cert
+
+(* ------------------------------------------------------------------ *)
+(* batch processing                                                   *)
+
+type slot =
+  | Inline of string  (* already answered: service op or parse error *)
+  | Work of Codec.request
+
+let classify t ~started line =
+  match Codec.of_line line with
+  | Error (id, msg) ->
+      count t "serve.error.bad_request";
+      endpoint_span t "error" ~dur:0.;
+      Inline (Codec.error_response ~id ~kind:"bad_request" msg)
+  | Ok (Codec.Ping id) ->
+      Inline (service_response t ~id ~label:"ping" ~started (Json.Obj []))
+  | Ok (Codec.Metrics id) ->
+      Inline
+        (service_response t ~id ~label:"metrics" ~started (metrics_json t))
+  | Ok (Codec.Models id) ->
+      Inline
+        (service_response t ~id ~label:"models" ~started
+           (Json.Obj
+              [
+                ( "models",
+                  Json.Arr (List.map (fun n -> Json.Str n) Registry.names) );
+              ]))
+  | Ok (Codec.Analyze req) -> Work req
+
+(* One batch, in, one list of response lines out (request order).
+   Exposed for tests and single-shot embedding; the serve loops below
+   call it with whatever the transport drained. *)
+let process t lines =
+  let started = Unix.gettimeofday () in
+  Obs.Agg.record_gauge t.agg "serve.batch.size"
+    (float_of_int (List.length lines));
+  let slots = Array.of_list (List.map (classify t ~started) lines) in
+  (* admission control: everything past the queue limit is refused up
+     front rather than left to grow an unbounded backlog *)
+  let admitted = ref 0 in
+  let work = ref [] in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Inline _ -> ()
+      | Work req ->
+          incr admitted;
+          if !admitted > t.cfg.queue_limit then begin
+            count t "serve.error.overloaded";
+            slots.(i) <-
+              Inline
+                (Codec.error_response ~id:req.Codec.id ~kind:"overloaded"
+                   (Printf.sprintf
+                      "queue limit %d exceeded by this batch; retry later"
+                      t.cfg.queue_limit))
+          end
+          else work := (i, req) :: !work)
+    slots;
+  let work = Array.of_list (List.rev !work) in
+  if Array.length work > 0 then begin
+    let replies =
+      Pool.map_results ~stage:"serve" ~chunk:1 t.pool
+        (fun (_, req) -> handle t ~enqueued:started req)
+        work
+    in
+    Array.iteri
+      (fun k (i, req) ->
+        slots.(i) <-
+          Inline
+            (match replies.(k) with
+            | Ok resp -> resp
+            | Error e ->
+                (* handle catches everything itself; this is the belt
+                   for failures outside it (e.g. allocation) *)
+                count t "serve.error.internal";
+                Codec.error_response ~id:req.Codec.id ~kind:"internal"
+                  (Printexc.to_string e)))
+      work
+  end;
+  Array.to_list
+    (Array.map
+       (function Inline r -> r | Work _ -> assert false)
+       slots)
+
+(* ------------------------------------------------------------------ *)
+(* transports                                                         *)
+
+(* greedy line reader over a raw fd: one blocking read, then drain
+   whatever else is already available without blocking.  Every
+   complete buffered line becomes part of the batch, so a client that
+   pipelines N requests gets them scheduled as one batch. *)
+let read_batch fd buf acc =
+  let take_lines () =
+    let s = Buffer.contents acc in
+    match String.rindex_opt s '\n' with
+    | None -> []
+    | Some last ->
+        Buffer.clear acc;
+        Buffer.add_substring acc s (last + 1) (String.length s - last - 1);
+        String.split_on_char '\n' (String.sub s 0 last)
+  in
+  let readable_now () =
+    match Unix.select [ fd ] [] [] 0. with
+    | [ _ ], _, _ -> true
+    | _ -> false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+  in
+  let rec fill ~block =
+    if block || readable_now () then begin
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> `Eof
+      | n ->
+          Buffer.add_subbytes acc buf 0 n;
+          fill ~block:false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ~block
+    end
+    else `Data
+  in
+  let rec go () =
+    match take_lines () with
+    | _ :: _ as lines -> Some lines
+    | [] -> (
+        match fill ~block:true with
+        | `Data -> go ()
+        | `Eof -> (
+            (* the drain may have read past EOF detection: hand out any
+               complete lines first, then a final unterminated one *)
+            match take_lines () with
+            | _ :: _ as lines -> Some lines
+            | [] ->
+                if Buffer.length acc > 0 then begin
+                  let s = Buffer.contents acc in
+                  Buffer.clear acc;
+                  Some [ s ]
+                end
+                else None))
+  in
+  go ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd b !off (n - !off) with
+    | w -> off := !off + w
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let serve_fd t ~input ~output =
+  let buf = Bytes.create 65536 in
+  let acc = Buffer.create 65536 in
+  let rec loop () =
+    match read_batch input buf acc with
+    | None -> ()
+    | Some lines ->
+        let keep = List.filter (fun l -> String.trim l <> "") lines in
+        if keep <> [] then begin
+          let out = Buffer.create 4096 in
+          List.iter
+            (fun r ->
+              Buffer.add_string out r;
+              Buffer.add_char out '\n')
+            (process t keep);
+          write_all output (Buffer.contents out)
+        end;
+        loop ()
+  in
+  loop ()
+
+let serve_stdio t = serve_fd t ~input:Unix.stdin ~output:Unix.stdout
+
+(* sequential accept loop over a unix-domain socket: one client at a
+   time end-to-end (requests within a connection still fan out over
+   the pool); [stop] lets an embedding test end the loop *)
+let serve_socket ?(stop = fun () -> false) t path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 16;
+      let rec accept_loop () =
+        if not (stop ()) then begin
+          match Unix.accept sock with
+          | client, _ ->
+              Fun.protect
+                ~finally:(fun () ->
+                  try Unix.close client with Unix.Unix_error _ -> ())
+                (fun () -> serve_fd t ~input:client ~output:client);
+              accept_loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        end
+      in
+      accept_loop ())

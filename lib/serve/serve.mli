@@ -1,0 +1,91 @@
+(** Long-running NDJSON analysis daemon.
+
+    Serves the {!Umf.Analysis} spec API over the {!Umf.Codec} wire
+    protocol: one JSON request object per line in, one response line
+    out, in request order.  Built to stay up:
+
+    - {b Batching}: the transport drains every complete line the
+      client has pipelined and schedules them as one batch over a
+      shared, long-lived {!Umf.Runtime.Pool} — per-request exception
+      isolation, so one poisoned request is one error response.
+    - {b Caching}: model resolution is memoised (one compiled
+      {!Umf.Tape.Plan} per model per process) and exact-match results
+      are memoised by content fingerprint as rendered JSON, so a warm
+      (cache-hit) response is bitwise-identical to the cold response
+      that seeded it.
+    - {b Deadlines}: a per-request observation clock raises past the
+      deadline, turning every solver probe into a cancellation point;
+      expiry yields a structured ["deadline_exceeded"] error carrying
+      the partial {!Umf.Cert} ledger, never a crash or a wedged
+      worker.
+    - {b Backpressure}: analysis requests beyond the queue limit are
+      refused with an ["overloaded"] error instead of growing an
+      unbounded backlog.
+
+    Every request updates the service-lifetime metrics registry
+    (per-endpoint ["serve.<op>"] latency spans and request counters,
+    cache hit/miss and error counters, queue-wait / batch-size /
+    cache-size gauges), which the ["metrics"] endpoint reports. *)
+
+exception Deadline_exceeded
+(** Raised by a request's deadline clock inside solver probes; callers
+    embedding {!process} never see it (it becomes an error response),
+    but custom [Obs] clocks may reuse it. *)
+
+type config = {
+  domains : int option;  (** Pool workers; [None] = runtime default. *)
+  cache_capacity : int;  (** Max memoised results; 0 disables. *)
+  queue_limit : int;  (** Max analysis requests admitted per batch. *)
+  default_deadline_ms : float option;
+      (** Deadline for requests that carry none; [None] = unbounded. *)
+  obs : Umf.Obs.t;  (** Base observation context (e.g. an NDJSON trace). *)
+}
+
+val config :
+  ?domains:int ->
+  ?cache_capacity:int ->
+  ?queue_limit:int ->
+  ?default_deadline_ms:float ->
+  ?obs:Umf.Obs.t ->
+  unit ->
+  config
+(** Defaults: runtime-default pool size, 256 cached results, 64
+    requests per batch, no default deadline, no tracing.
+    @raise Invalid_argument on non-positive sizes or deadline. *)
+
+type t
+(** A running service: pool + caches + metrics registry.  Create once,
+    serve any number of transports/batches, {!shutdown} when done. *)
+
+val create : config -> t
+
+val shutdown : t -> unit
+(** Shut the pool down.  Idempotent; the caches and metrics registry
+    stay readable. *)
+
+val metrics_agg : t -> Umf.Obs.Agg.t
+(** The service-lifetime metrics registry (also the parent of every
+    per-request registry, so request gauges accumulate here). *)
+
+val metrics_json : t -> Umf.Obs.Json.t
+(** What the ["metrics"] endpoint returns: uptime, cache size, and the
+    registry's spans/counters/gauges. *)
+
+val process : t -> string list -> string list
+(** One batch in, one response line per request out (request order, no
+    trailing newlines).  The embedding entry point — the transports
+    below feed it; tests can call it directly. *)
+
+val serve_fd : t -> input:Unix.file_descr -> output:Unix.file_descr -> unit
+(** Serve until EOF on [input].  Reads greedily: each blocking read is
+    followed by a non-blocking drain, and every complete line buffered
+    at that point forms one batch. *)
+
+val serve_stdio : t -> unit
+(** {!serve_fd} over stdin/stdout. *)
+
+val serve_socket : ?stop:(unit -> bool) -> t -> string -> unit
+(** Listen on a unix-domain socket at [path] (unlinking any stale
+    one), accepting clients sequentially; each connection is served
+    with {!serve_fd} until its EOF.  [stop] is polled between
+    connections. *)

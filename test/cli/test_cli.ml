@@ -1,0 +1,81 @@
+(* Black-box test of the umf_cli --dt/--epsilon surface: --dt alone
+   still works but warns on stderr (both solvers' wording), and
+   combining --dt with --epsilon is a hard cmdliner usage error that
+   names --epsilon as the winner. *)
+
+let cli = Sys.argv.(1)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+(* exit code + captured stderr of one invocation (stdout discarded) *)
+let run args =
+  let err_file = Filename.temp_file "umf_cli_test" ".err" in
+  let err_fd =
+    Unix.openfile err_file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+  in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process cli
+      (Array.of_list (cli :: args))
+      Unix.stdin null err_fd
+  in
+  Unix.close err_fd;
+  Unix.close null;
+  let _, status = Unix.waitpid [] pid in
+  let code =
+    match status with
+    | Unix.WEXITED c -> c
+    | Unix.WSIGNALED s | Unix.WSTOPPED s -> 128 + s
+  in
+  let ic = open_in_bin err_file in
+  let err = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove err_file;
+  (code, err)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let check_warns name args wording =
+  let code, err = run args in
+  if code <> 0 then
+    fail "%s: expected success with --dt alone, got exit %d:\n%s" name code
+      err;
+  List.iter
+    (fun w ->
+      if not (contains err w) then
+        fail "%s: stderr lacks %S:\n%s" name w err)
+    ("warning: --dt is deprecated" :: "--epsilon" :: wording)
+
+let check_conflict name args =
+  let code, err = run args in
+  (* Term.term_result errors exit with cmdliner's usage-error code *)
+  if code <> 124 then
+    fail "%s: expected usage error (124) for --epsilon + --dt, got %d:\n%s"
+      name code err;
+  List.iter
+    (fun w ->
+      if not (contains err w) then
+        fail "%s: conflict message lacks %S:\n%s" name w err)
+    [ "--epsilon and --dt cannot be combined"; "winner" ]
+
+let bounds_args =
+  [ "bounds"; "-m"; "sir"; "--var"; "I"; "--horizon"; "0.5"; "--points";
+    "2"; "--steps"; "20"; "--dt"; "0.05" ]
+
+let ctmc_args =
+  [ "ctmc"; "transient"; "-m"; "sir"; "--size"; "5"; "--points"; "2";
+    "--horizon"; "0.5"; "--dt"; "0.05" ]
+
+let () =
+  check_warns "bounds --dt" bounds_args
+    [ "grid is refined until the ledger's" ];
+  check_warns "ctmc --dt" ctmc_args [ "adaptive sweep spends it" ];
+  check_conflict "bounds --epsilon --dt"
+    (bounds_args @ [ "--epsilon"; "1e-2" ]);
+  check_conflict "ctmc --epsilon --dt" (ctmc_args @ [ "--epsilon"; "1e-2" ]);
+  print_endline
+    "cli-deprecation OK (both --dt warnings, hard --epsilon/--dt conflict \
+     on both solvers)"

@@ -212,6 +212,146 @@ let test_determinism_cloud () =
   Alcotest.(check bool) "seq obs-on identical" true (plain = seq_obs);
   Alcotest.(check bool) "4-domain obs-on identical" true (plain = pool_obs)
 
+(* --- parent registries ------------------------------------------ *)
+
+(* a long-lived parent accumulates gauge envelopes across ephemeral
+   per-request overlays without double-counting span totals *)
+let test_agg_parent_gauges () =
+  let service = Obs.Agg.create () in
+  (* two "requests", each with its own discarded overlay registry *)
+  List.iter
+    (fun (v, dur) ->
+      let req = Obs.Agg.create ~parent:service () in
+      Obs.Agg.record_gauge req "queue.depth" v;
+      Obs.Agg.record_span req "request" ~dur;
+      Obs.Agg.record_counter req "requests" 1.)
+    [ (3., 0.5); (1., 0.25) ];
+  (match Obs.Agg.gauge_stat service "queue.depth" with
+  | None -> Alcotest.fail "gauge did not reach the parent"
+  | Some g ->
+      Alcotest.(check (float 1e-12)) "parent last" 1. g.Obs.Agg.last;
+      Alcotest.(check (float 1e-12)) "parent min" 1. g.Obs.Agg.g_min;
+      Alcotest.(check (float 1e-12)) "parent max" 3. g.Obs.Agg.g_max;
+      Alcotest.(check int) "parent samples" 2 g.Obs.Agg.samples);
+  (* spans and counters stay local to the overlay: the parent records
+     its own endpoint spans exactly once, so no double counting *)
+  Alcotest.(check bool) "spans stay local" true
+    (Obs.Agg.span_stat service "request" = None);
+  Alcotest.(check (float 1e-12)) "counters stay local" 0.
+    (Obs.Agg.counter service "requests");
+  (* grandparent chains propagate gauges all the way up *)
+  let root = Obs.Agg.create () in
+  let mid = Obs.Agg.create ~parent:root () in
+  let leaf = Obs.Agg.create ~parent:mid () in
+  Obs.Agg.record_gauge leaf "g" 7.;
+  Alcotest.(check bool) "grandparent sees gauge" true
+    (Obs.Agg.gauge_stat root "g" <> None);
+  (* reset clears only the child's rows *)
+  let parent = Obs.Agg.create () in
+  let child = Obs.Agg.create ~parent () in
+  Obs.Agg.record_gauge child "g" 1.;
+  Obs.Agg.reset child;
+  Alcotest.(check bool) "child reset" true
+    (Obs.Agg.gauge_stat child "g" = None);
+  Alcotest.(check bool) "parent survives child reset" true
+    (Obs.Agg.gauge_stat parent "g" <> None)
+
+(* with_agg keeps the existing sinks, so gauges recorded under an
+   overlay reach both the overlay and the base registry *)
+let test_with_agg_overlay_feeds_both () =
+  let base = Obs.Agg.create () in
+  let overlay = Obs.Agg.create () in
+  let obs = Obs.with_agg (Obs.make ~agg:base ()) overlay in
+  Obs.gauge obs "g" 5.;
+  Alcotest.(check bool) "overlay sees gauge" true
+    (Obs.Agg.gauge_stat overlay "g" <> None);
+  Alcotest.(check bool) "base sees gauge" true
+    (Obs.Agg.gauge_stat base "g" <> None)
+
+(* --- owning trace sinks ------------------------------------------ *)
+
+let test_trace_to_file_close () =
+  let file = Filename.temp_file "umf_test_obs_own" ".ndjson" in
+  let tr = Obs.Trace.to_file file in
+  let obs = Obs.make ~trace:tr () in
+  Obs.count obs "a" 1;
+  Obs.count obs "b" 2;
+  Obs.Trace.close tr;
+  (* idempotent close; post-close events are dropped, not crashes *)
+  Obs.Trace.close tr;
+  Obs.count obs "after-close" 3;
+  Obs.Trace.flush tr;
+  let ic = open_in file in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  Alcotest.(check int) "both events flushed, none after close" 2
+    (List.length lines);
+  List.iter
+    (fun l ->
+      match Obs.Json.of_string l with
+      | Obs.Json.Obj _ -> ()
+      | _ -> Alcotest.fail "trace line is not an object")
+    lines;
+  Sys.remove file;
+  (* per-record flush (the default) survives an abandoned channel: the
+     bytes are already in the file even without close *)
+  let file2 = Filename.temp_file "umf_test_obs_noclose" ".ndjson" in
+  let tr2 = Obs.Trace.to_file file2 in
+  Obs.count (Obs.make ~trace:tr2 ()) "tail" 1;
+  let ic2 = open_in file2 in
+  let line = input_line ic2 in
+  close_in ic2;
+  Alcotest.(check bool) "tail visible before close" true
+    (String.length line > 0);
+  Obs.Trace.close tr2;
+  Sys.remove file2;
+  (* negative flush intervals are rejected *)
+  Alcotest.(check bool) "negative interval rejected" true
+    (match Obs.Trace.to_file ~flush_interval:(-1.) "/dev/null" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- deadline clocks --------------------------------------------- *)
+
+exception Expired
+
+let test_with_clock_deadline () =
+  let t = ref 0. in
+  let agg = Obs.Agg.create () in
+  let base = Obs.make ~clock:(fake_clock t) ~agg () in
+  let obs =
+    Obs.with_clock base (fun () ->
+        if !t > 1. then raise Expired;
+        !t)
+  in
+  (* before the deadline, probes behave normally *)
+  let sp = Obs.span_begin obs "work" in
+  t := 0.5;
+  Obs.span_end obs sp;
+  Alcotest.(check bool) "span recorded" true
+    (Obs.Agg.span_stat agg "work" <> None);
+  (* past the deadline, the next probe raises — the cancellation point *)
+  t := 2.;
+  Alcotest.(check bool) "probe raises past deadline" true
+    (match Obs.span_begin obs "late" with
+    | exception Expired -> true
+    | _ -> false);
+  (* with_agg preserves a replaced clock (the daemon overlays a
+     request registry on top of the deadline clock) *)
+  let obs' = Obs.with_agg obs (Obs.Agg.create ()) in
+  Alcotest.(check bool) "overlay keeps the deadline clock" true
+    (match Obs.span_begin obs' "late" with
+    | exception Expired -> true
+    | _ -> false);
+  (* off stays off *)
+  Alcotest.(check bool) "with_clock on off is off" false
+    (Obs.enabled (Obs.with_clock Obs.off (fun () -> 0.)))
+
 let () =
   Alcotest.run "umf_obs"
     [
@@ -221,11 +361,22 @@ let () =
           Alcotest.test_case "counter sums" `Quick test_agg_counter_sums;
           Alcotest.test_case "gauges" `Quick test_agg_gauges;
           Alcotest.test_case "off is inert" `Quick test_off_is_inert;
+          Alcotest.test_case "parent gauges" `Quick test_agg_parent_gauges;
+          Alcotest.test_case "overlay feeds both" `Quick
+            test_with_agg_overlay_feeds_both;
         ] );
       ( "json",
         [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip ] );
       ( "trace",
-        [ Alcotest.test_case "NDJSON schema" `Quick test_trace_schema ] );
+        [
+          Alcotest.test_case "NDJSON schema" `Quick test_trace_schema;
+          Alcotest.test_case "owning file sink" `Quick
+            test_trace_to_file_close;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "deadline clock" `Quick test_with_clock_deadline;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "bounds obs on/off" `Quick
